@@ -1,0 +1,247 @@
+//! A user-level latent Dirichlet allocation variant shared by the TI
+//! baseline (and available to extensions).
+//!
+//! Follows the micro-blog convention the paper adopts (§3.3): each *post*
+//! carries a single latent topic drawn from its **author's** topic mixture,
+//! and words come from the topic's word distribution. Collapsed Gibbs.
+
+use crate::TextScorer;
+use cold_math::categorical::sample_log_categorical;
+use cold_math::rng::seeded_rng;
+use cold_math::special::log_ascending_factorial;
+use cold_math::stats::log_sum_exp;
+use cold_text::Corpus;
+use rand::Rng as _;
+
+/// Training options for user-level LDA.
+#[derive(Debug, Clone)]
+pub struct UserLdaConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Dirichlet prior on user topic mixtures.
+    pub alpha: f64,
+    /// Dirichlet prior on topic word distributions.
+    pub beta: f64,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+}
+
+impl UserLdaConfig {
+    /// Standard smoothing defaults.
+    pub fn new(num_topics: usize) -> Self {
+        Self {
+            num_topics,
+            alpha: 50.0 / num_topics as f64,
+            beta: 0.01,
+            iterations: 100,
+        }
+    }
+}
+
+/// A fitted user-level LDA model.
+#[derive(Debug, Clone)]
+pub struct UserLda {
+    num_topics: usize,
+    vocab_size: usize,
+    /// Per-user topic mixtures, row-major `U×K`.
+    theta: Vec<f64>,
+    /// Topic-word distributions, row-major `K×V`.
+    phi: Vec<f64>,
+    /// Hardened topic of each training post.
+    post_topics: Vec<u32>,
+}
+
+impl UserLda {
+    /// Fit on a corpus by collapsed Gibbs.
+    pub fn fit(corpus: &Corpus, config: &UserLdaConfig, seed: u64) -> Self {
+        let k = config.num_topics;
+        let v = corpus.vocab_size();
+        let u = corpus.num_users() as usize;
+        let posts = corpus.posts();
+        let mut rng = seeded_rng(seed);
+
+        let multisets: Vec<Vec<(u32, u32)>> = posts.iter().map(|p| p.word_multiset()).collect();
+        let lens: Vec<u32> = posts.iter().map(|p| p.len() as u32).collect();
+        let mut z: Vec<u32> = (0..posts.len()).map(|_| rng.gen_range(0..k) as u32).collect();
+        let mut n_uk = vec![0u32; u * k];
+        let mut n_kv = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, p) in posts.iter().enumerate() {
+            let kk = z[d] as usize;
+            n_uk[p.author as usize * k + kk] += 1;
+            for &(w, cnt) in &multisets[d] {
+                n_kv[kk * v + w as usize] += cnt;
+            }
+            n_k[kk] += lens[d];
+        }
+
+        let vbeta = v as f64 * config.beta;
+        let mut logw = vec![0.0f64; k];
+        for _ in 0..config.iterations {
+            for (d, p) in posts.iter().enumerate() {
+                let i = p.author as usize;
+                let old = z[d] as usize;
+                n_uk[i * k + old] -= 1;
+                for &(w, cnt) in &multisets[d] {
+                    n_kv[old * v + w as usize] -= cnt;
+                }
+                n_k[old] -= lens[d];
+                for (kk, lw) in logw.iter_mut().enumerate() {
+                    let mut acc = (n_uk[i * k + kk] as f64 + config.alpha).ln();
+                    for &(w, cnt) in &multisets[d] {
+                        acc += log_ascending_factorial(
+                            n_kv[kk * v + w as usize] as f64 + config.beta,
+                            cnt,
+                        );
+                    }
+                    acc -= log_ascending_factorial(n_k[kk] as f64 + vbeta, lens[d]);
+                    *lw = acc;
+                }
+                let new = sample_log_categorical(&mut rng, &logw).expect("finite mass");
+                z[d] = new as u32;
+                n_uk[i * k + new] += 1;
+                for &(w, cnt) in &multisets[d] {
+                    n_kv[new * v + w as usize] += cnt;
+                }
+                n_k[new] += lens[d];
+            }
+        }
+
+        let mut theta = vec![0.0f64; u * k];
+        for i in 0..u {
+            let total: u32 = n_uk[i * k..(i + 1) * k].iter().sum();
+            for kk in 0..k {
+                theta[i * k + kk] = (n_uk[i * k + kk] as f64 + config.alpha)
+                    / (total as f64 + k as f64 * config.alpha);
+            }
+        }
+        let mut phi = vec![0.0f64; k * v];
+        for kk in 0..k {
+            for vv in 0..v {
+                phi[kk * v + vv] =
+                    (n_kv[kk * v + vv] as f64 + config.beta) / (n_k[kk] as f64 + vbeta);
+            }
+        }
+        Self {
+            num_topics: k,
+            vocab_size: v,
+            theta,
+            phi,
+            post_topics: z,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// `θ_i` — user `i`'s topic mixture.
+    pub fn user_topics(&self, user: u32) -> &[f64] {
+        &self.theta[user as usize * self.num_topics..(user as usize + 1) * self.num_topics]
+    }
+
+    /// `φ_k` — topic `k`'s word distribution.
+    pub fn topic_words(&self, topic: usize) -> &[f64] {
+        &self.phi[topic * self.vocab_size..(topic + 1) * self.vocab_size]
+    }
+
+    /// Hardened training-post topics (TI derives per-topic interaction
+    /// counts from these).
+    pub fn post_topics(&self) -> &[u32] {
+        &self.post_topics
+    }
+
+    /// Posterior topic distribution of an arbitrary post.
+    pub fn infer_topics(&self, author: u32, words: &[u32]) -> Vec<f64> {
+        let theta = self.user_topics(author);
+        let mut logw = vec![0.0f64; self.num_topics];
+        for (kk, lw) in logw.iter_mut().enumerate() {
+            let phi = self.topic_words(kk);
+            let mut acc = theta[kk].max(f64::MIN_POSITIVE).ln();
+            for &w in words {
+                acc += phi[w as usize].max(f64::MIN_POSITIVE).ln();
+            }
+            *lw = acc;
+        }
+        let lse = log_sum_exp(&logw);
+        logw.iter().map(|&lw| (lw - lse).exp()).collect()
+    }
+}
+
+impl TextScorer for UserLda {
+    fn post_log_likelihood(&self, author: u32, words: &[u32]) -> f64 {
+        let theta = self.user_topics(author);
+        let terms: Vec<f64> = (0..self.num_topics)
+            .map(|kk| {
+                let phi = self.topic_words(kk);
+                let mut acc = theta[kk].max(f64::MIN_POSITIVE).ln();
+                for &w in words {
+                    acc += phi[w as usize].max(f64::MIN_POSITIVE).ln();
+                }
+                acc
+            })
+            .collect();
+        log_sum_exp(&terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_text::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for rep in 0..8u16 {
+            b.push_text(0, rep % 3, &["football", "goal", "match"]);
+            b.push_text(1, rep % 3, &["film", "oscar", "actor"]);
+        }
+        b.push_text(2, 0, &["football", "film"]);
+        b.build()
+    }
+
+    #[test]
+    fn separates_topics_and_user_mixtures() {
+        let c = corpus();
+        let lda = UserLda::fit(&c, &UserLdaConfig { alpha: 0.1, ..UserLdaConfig::new(2) }, 1);
+        let fb = c.vocab().id_of("football").unwrap() as usize;
+        let film = c.vocab().id_of("film").unwrap() as usize;
+        let k_fb = if lda.topic_words(0)[fb] > lda.topic_words(1)[fb] { 0 } else { 1 };
+        let k_film = 1 - k_fb;
+        assert!(lda.topic_words(k_film)[film] > lda.topic_words(k_fb)[film]);
+        // User 0 prefers the football topic, user 1 the film topic.
+        assert!(lda.user_topics(0)[k_fb] > lda.user_topics(0)[k_film]);
+        assert!(lda.user_topics(1)[k_film] > lda.user_topics(1)[k_fb]);
+    }
+
+    #[test]
+    fn inferred_topics_normalize_and_discriminate() {
+        let c = corpus();
+        let lda = UserLda::fit(&c, &UserLdaConfig { alpha: 0.1, ..UserLdaConfig::new(2) }, 2);
+        let fb = c.vocab().id_of("football").unwrap();
+        let post = lda.infer_topics(0, &[fb, fb]);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(post.iter().cloned().fold(0.0, f64::max) > 0.7);
+    }
+
+    #[test]
+    fn likelihood_prefers_topical_text() {
+        let c = corpus();
+        let lda = UserLda::fit(&c, &UserLdaConfig { alpha: 0.1, ..UserLdaConfig::new(2) }, 3);
+        let fb = c.vocab().id_of("football").unwrap();
+        let film = c.vocab().id_of("film").unwrap();
+        assert!(
+            lda.post_log_likelihood(0, &[fb]) > lda.post_log_likelihood(0, &[film]),
+            "sports user should prefer sports words"
+        );
+    }
+
+    #[test]
+    fn post_topics_cover_training_set() {
+        let c = corpus();
+        let lda = UserLda::fit(&c, &UserLdaConfig::new(3), 4);
+        assert_eq!(lda.post_topics().len(), c.num_posts());
+        assert!(lda.post_topics().iter().all(|&z| (z as usize) < 3));
+    }
+}

@@ -1,0 +1,273 @@
+//! Mixed Membership Stochastic Blockmodel (Airoldi et al., JMLR 2008) —
+//! the paper's network-only community baseline (§6.1 method 2).
+//!
+//! Unlike COLD's network component (which, following §3.3, models only
+//! positive links and folds the negatives into a Beta prior), the original
+//! MMSB observes **both** presence and absence of links — the absent pairs
+//! provide the repulsion that makes network-only community detection
+//! possible at all. Modeling all `U(U−1)` absences is quadratic, so we use
+//! the standard negative-subsampling treatment: a configurable multiple of
+//! the positive-link count is drawn uniformly from the absent pairs and
+//! included as observed zeros in the collapsed Gibbs sweep.
+
+use crate::LinkScorer;
+use cold_graph::sampling::sample_negative_links;
+use cold_graph::CsrGraph;
+use cold_math::categorical::sample_categorical;
+use cold_math::rng::seeded_rng;
+use rand::Rng as _;
+
+/// Training options for MMSB.
+#[derive(Debug, Clone)]
+pub struct MmsbConfig {
+    /// Number of communities `C`.
+    pub num_communities: usize,
+    /// Dirichlet prior on user memberships.
+    pub rho: f64,
+    /// Beta pseudo-count for absent links.
+    pub lambda0: f64,
+    /// Beta pseudo-count for present links.
+    pub lambda1: f64,
+    /// Observed negatives per observed positive (subsampling ratio).
+    pub negative_ratio: f64,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+}
+
+impl MmsbConfig {
+    /// Standard defaults.
+    pub fn new(num_communities: usize, _graph: &CsrGraph) -> Self {
+        Self {
+            num_communities,
+            rho: 0.5,
+            lambda0: 0.1,
+            lambda1: 0.1,
+            negative_ratio: 3.0,
+            iterations: 300,
+        }
+    }
+}
+
+/// A fitted MMSB model.
+#[derive(Debug, Clone)]
+pub struct Mmsb {
+    num_communities: usize,
+    /// `π`, row-major `U×C`.
+    pi: Vec<f64>,
+    /// `B` (blockmodel link rates), row-major `C×C`.
+    block: Vec<f64>,
+}
+
+impl Mmsb {
+    /// Fit by collapsed Gibbs on the positive links of `graph` plus a
+    /// subsample of negative pairs.
+    pub fn fit(graph: &CsrGraph, config: &MmsbConfig, seed: u64) -> Self {
+        let c = config.num_communities;
+        assert!(c >= 1, "need at least one community");
+        let u = graph.num_nodes() as usize;
+        let mut rng = seeded_rng(seed);
+
+        // Observed pairs: positives then sampled negatives.
+        let positives: Vec<(u32, u32)> = graph.edges().collect();
+        let wanted_neg = ((positives.len() as f64 * config.negative_ratio) as usize)
+            .min(graph.num_negative_links() as usize);
+        let negatives = if wanted_neg > 0 && u >= 2 {
+            sample_negative_links(&mut rng, graph, wanted_neg)
+        } else {
+            Vec::new()
+        };
+        let num_pos = positives.len();
+        let pairs: Vec<(u32, u32)> = positives.into_iter().chain(negatives).collect();
+
+        let mut src = vec![0u32; pairs.len()];
+        let mut dst = vec![0u32; pairs.len()];
+        let mut n_ic = vec![0u32; u * c];
+        let mut n1_cc = vec![0u32; c * c]; // positive links per cell
+        let mut n0_cc = vec![0u32; c * c]; // observed negatives per cell
+        let user_comm: Vec<u32> = (0..u).map(|_| rng.gen_range(0..c) as u32).collect();
+        for (e, &(i, j)) in pairs.iter().enumerate() {
+            src[e] = user_comm[i as usize];
+            dst[e] = user_comm[j as usize];
+            n_ic[i as usize * c + src[e] as usize] += 1;
+            n_ic[j as usize * c + dst[e] as usize] += 1;
+            let cell = src[e] as usize * c + dst[e] as usize;
+            if e < num_pos {
+                n1_cc[cell] += 1;
+            } else {
+                n0_cc[cell] += 1;
+            }
+        }
+
+        let mut weights = vec![0.0f64; c * c];
+        for _ in 0..config.iterations {
+            for (e, &(i, j)) in pairs.iter().enumerate() {
+                let positive = e < num_pos;
+                let old_cell = src[e] as usize * c + dst[e] as usize;
+                n_ic[i as usize * c + src[e] as usize] -= 1;
+                n_ic[j as usize * c + dst[e] as usize] -= 1;
+                if positive {
+                    n1_cc[old_cell] -= 1;
+                } else {
+                    n0_cc[old_cell] -= 1;
+                }
+                for s in 0..c {
+                    let mi = n_ic[i as usize * c + s] as f64 + config.rho;
+                    for s2 in 0..c {
+                        let mj = n_ic[j as usize * c + s2] as f64 + config.rho;
+                        let n1 = n1_cc[s * c + s2] as f64;
+                        let n0 = n0_cc[s * c + s2] as f64;
+                        let rate = if positive {
+                            (n1 + config.lambda1) / (n1 + n0 + config.lambda0 + config.lambda1)
+                        } else {
+                            (n0 + config.lambda0) / (n1 + n0 + config.lambda0 + config.lambda1)
+                        };
+                        weights[s * c + s2] = mi * mj * rate;
+                    }
+                }
+                let cell = sample_categorical(&mut rng, &weights).expect("positive mass");
+                src[e] = (cell / c) as u32;
+                dst[e] = (cell % c) as u32;
+                n_ic[i as usize * c + src[e] as usize] += 1;
+                n_ic[j as usize * c + dst[e] as usize] += 1;
+                if positive {
+                    n1_cc[cell] += 1;
+                } else {
+                    n0_cc[cell] += 1;
+                }
+            }
+        }
+
+        // Point estimates.
+        let mut pi = vec![0.0f64; u * c];
+        for i in 0..u {
+            let total: u32 = n_ic[i * c..(i + 1) * c].iter().sum();
+            for cc in 0..c {
+                pi[i * c + cc] =
+                    (n_ic[i * c + cc] as f64 + config.rho) / (total as f64 + c as f64 * config.rho);
+            }
+        }
+        let mut block = vec![0.0f64; c * c];
+        for cell in 0..c * c {
+            let n1 = n1_cc[cell] as f64;
+            let n0 = n0_cc[cell] as f64;
+            block[cell] =
+                (n1 + config.lambda1) / (n1 + n0 + config.lambda0 + config.lambda1);
+        }
+        Self {
+            num_communities: c,
+            pi,
+            block,
+        }
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.num_communities
+    }
+
+    /// `π_i` for user `i`.
+    pub fn user_memberships(&self, user: u32) -> &[f64] {
+        let c = self.num_communities;
+        &self.pi[user as usize * c..(user as usize + 1) * c]
+    }
+
+    /// Hardened (arg-max) community per user.
+    pub fn hard_user_communities(&self) -> Vec<u32> {
+        let u = self.pi.len() / self.num_communities;
+        (0..u as u32)
+            .map(|i| {
+                self.user_memberships(i)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(c, _)| c as u32)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// The user's `n` strongest communities (used by the Pipeline baseline,
+    /// which assigns each user to her two most probable communities).
+    pub fn top_communities(&self, user: u32, n: usize) -> Vec<usize> {
+        let row = self.user_memberships(user);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
+        idx.truncate(n);
+        idx
+    }
+}
+
+impl LinkScorer for Mmsb {
+    fn link_score(&self, i: u32, i2: u32) -> f64 {
+        let c = self.num_communities;
+        let pi_i = self.user_memberships(i);
+        let pi_j = self.user_memberships(i2);
+        let mut acc = 0.0;
+        for s in 0..c {
+            for s2 in 0..c {
+                acc += pi_i[s] * pi_j[s2] * self.block[s * c + s2];
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense blocks of 10 users with a couple of weak ties.
+    fn blocks() -> CsrGraph {
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                if a != b {
+                    edges.push((a, b));
+                    edges.push((a + 10, b + 10));
+                }
+            }
+        }
+        edges.push((0, 10));
+        edges.push((15, 5));
+        CsrGraph::from_edges(20, &edges)
+    }
+
+    #[test]
+    fn memberships_are_distributions() {
+        let g = blocks();
+        let m = Mmsb::fit(&g, &MmsbConfig::new(2, &g), 1);
+        for i in 0..20 {
+            let pi = m.user_memberships(i);
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separates_two_blocks() {
+        let g = blocks();
+        let m = Mmsb::fit(&g, &MmsbConfig::new(2, &g), 2);
+        let hard = m.hard_user_communities();
+        let first = hard[0];
+        assert!(hard[..10].iter().all(|&c| c == first), "{hard:?}");
+        assert!(hard[10..].iter().all(|&c| c != first), "{hard:?}");
+    }
+
+    #[test]
+    fn link_scores_favor_intra_block_pairs() {
+        let g = blocks();
+        let m = Mmsb::fit(&g, &MmsbConfig::new(2, &g), 3);
+        let intra = m.link_score(0, 2);
+        let inter = m.link_score(0, 12);
+        assert!(intra > inter, "{intra} vs {inter}");
+    }
+
+    #[test]
+    fn top_communities_is_sorted_prefix() {
+        let g = blocks();
+        let m = Mmsb::fit(&g, &MmsbConfig::new(3, &g), 4);
+        let top = m.top_communities(0, 2);
+        assert_eq!(top.len(), 2);
+        let row = m.user_memberships(0);
+        assert!(row[top[0]] >= row[top[1]]);
+    }
+}

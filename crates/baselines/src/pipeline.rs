@@ -1,0 +1,199 @@
+//! The Pipeline baseline (§6.1 method 5): MMSB communities first, then one
+//! Topics-over-Time model per community on its members' posts.
+//!
+//! This is the paper's stand-in for "community-level temporal dynamics
+//! without interdependence": network and content are exploited *separately*
+//! — the weakness Fig. 11 demonstrates.
+
+use crate::mmsb::{Mmsb, MmsbConfig};
+use crate::tot::{TopicsOverTime, TotConfig};
+use crate::{TextScorer, TimePredictor};
+use cold_graph::CsrGraph;
+use cold_text::Corpus;
+
+/// Training options for the Pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// MMSB stage options.
+    pub mmsb: MmsbConfig,
+    /// TOT stage options (applied per community).
+    pub tot: TotConfig,
+    /// Communities each user is assigned to (paper: the two most probable).
+    pub memberships_per_user: usize,
+}
+
+impl PipelineConfig {
+    /// Paper-style defaults.
+    pub fn new(num_communities: usize, num_topics: usize, graph: &CsrGraph) -> Self {
+        Self {
+            mmsb: MmsbConfig::new(num_communities, graph),
+            tot: TotConfig::new(num_topics),
+            memberships_per_user: 2,
+        }
+    }
+}
+
+/// A fitted Pipeline model.
+pub struct PipelineModel {
+    mmsb: Mmsb,
+    /// One TOT per community (None when a community has no posts).
+    community_tot: Vec<Option<TopicsOverTime>>,
+    /// The top communities of each user, from the MMSB stage.
+    user_communities: Vec<Vec<usize>>,
+}
+
+impl PipelineModel {
+    /// Two-stage fit: MMSB on the network, then TOT per community on the
+    /// posts of that community's members.
+    pub fn fit(corpus: &Corpus, graph: &CsrGraph, config: &PipelineConfig, seed: u64) -> Self {
+        let mmsb = Mmsb::fit(graph, &config.mmsb, seed);
+        let c = config.mmsb.num_communities;
+        let u = corpus.num_users();
+        let user_communities: Vec<Vec<usize>> = (0..u)
+            .map(|i| mmsb.top_communities(i, config.memberships_per_user))
+            .collect();
+        // Collect each community's member posts.
+        let mut community_posts: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for i in 0..u {
+            for &cc in &user_communities[i as usize] {
+                community_posts[cc].extend_from_slice(corpus.posts_of(i));
+            }
+        }
+        let community_tot: Vec<Option<TopicsOverTime>> = community_posts
+            .iter()
+            .enumerate()
+            .map(|(cc, ids)| {
+                if ids.is_empty() {
+                    None
+                } else {
+                    Some(TopicsOverTime::fit(
+                        corpus,
+                        &config.tot,
+                        Some(ids),
+                        seed.wrapping_add(1 + cc as u64),
+                    ))
+                }
+            })
+            .collect();
+        Self {
+            mmsb,
+            community_tot,
+            user_communities,
+        }
+    }
+
+    /// The MMSB stage (for link prediction / community inspection).
+    pub fn mmsb(&self) -> &Mmsb {
+        &self.mmsb
+    }
+
+    /// The TOT model of one community, if it has any posts.
+    pub fn community_model(&self, community: usize) -> Option<&TopicsOverTime> {
+        self.community_tot[community].as_ref()
+    }
+
+    /// The communities a user was assigned to by the first stage.
+    pub fn user_communities(&self, user: u32) -> &[usize] {
+        &self.user_communities[user as usize]
+    }
+}
+
+impl TextScorer for PipelineModel {
+    fn post_log_likelihood(&self, author: u32, words: &[u32]) -> f64 {
+        // Average over the author's assigned communities' models.
+        let models: Vec<&TopicsOverTime> = self.user_communities[author as usize]
+            .iter()
+            .filter_map(|&cc| self.community_tot[cc].as_ref())
+            .collect();
+        if models.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let terms: Vec<f64> = models
+            .iter()
+            .map(|m| m.post_log_likelihood(author, words) - (models.len() as f64).ln())
+            .collect();
+        cold_math::stats::log_sum_exp(&terms)
+    }
+}
+
+impl TimePredictor for PipelineModel {
+    fn predict_time(&self, author: u32, words: &[u32]) -> u16 {
+        // Use the author's strongest community that has a model.
+        for &cc in &self.user_communities[author as usize] {
+            if let Some(m) = &self.community_tot[cc] {
+                return m.predict_time(author, words);
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_text::CorpusBuilder;
+
+    /// Sports block posts early with sports words; movie block late.
+    fn data() -> (Corpus, CsrGraph) {
+        let mut b = CorpusBuilder::new();
+        for u in 0..4u32 {
+            for rep in 0..6u16 {
+                b.push_text(u, rep % 3, &["football", "goal", "match"]);
+            }
+        }
+        for u in 4..8u32 {
+            for rep in 0..6u16 {
+                b.push_text(u, 7 + rep % 3, &["film", "oscar", "actor"]);
+            }
+        }
+        let corpus = b.build();
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for bb in 0..4u32 {
+                if a != bb {
+                    edges.push((a, bb));
+                    edges.push((a + 4, bb + 4));
+                }
+            }
+        }
+        (corpus, CsrGraph::from_edges(8, &edges))
+    }
+
+    #[test]
+    fn stage_one_separates_blocks() {
+        let (corpus, graph) = data();
+        let m = PipelineModel::fit(&corpus, &graph, &PipelineConfig::new(2, 2, &graph), 1);
+        let hard = m.mmsb().hard_user_communities();
+        assert_eq!(hard[0], hard[3]);
+        assert_eq!(hard[4], hard[7]);
+        assert_ne!(hard[0], hard[4]);
+    }
+
+    #[test]
+    fn per_community_models_capture_local_timing() {
+        let (corpus, graph) = data();
+        let m = PipelineModel::fit(&corpus, &graph, &PipelineConfig::new(2, 2, &graph), 2);
+        let fb = corpus.vocab().id_of("football").unwrap();
+        let film = corpus.vocab().id_of("film").unwrap();
+        let t_sports = m.predict_time(0, &[fb, fb]);
+        let t_movie = m.predict_time(5, &[film, film]);
+        assert!(t_sports < t_movie, "{t_sports} vs {t_movie}");
+    }
+
+    #[test]
+    fn users_have_assigned_communities() {
+        let (corpus, graph) = data();
+        let m = PipelineModel::fit(&corpus, &graph, &PipelineConfig::new(3, 2, &graph), 3);
+        for i in 0..8 {
+            assert_eq!(m.user_communities(i).len(), 2);
+        }
+    }
+
+    #[test]
+    fn likelihood_is_finite_for_active_users() {
+        let (corpus, graph) = data();
+        let m = PipelineModel::fit(&corpus, &graph, &PipelineConfig::new(2, 2, &graph), 4);
+        let fb = corpus.vocab().id_of("football").unwrap();
+        assert!(m.post_log_likelihood(0, &[fb]).is_finite());
+    }
+}

@@ -1,0 +1,313 @@
+//! Poisson Mixed-Topic Link Model (Zhu, Yan, Getoor, Moore — KDD 2013) —
+//! the paper's joint text-and-link baseline (§6.1 method 1).
+//!
+//! The defining property the comparison targets: **one latent factor drives
+//! both text and links** — the factor acts as a topic when generating words
+//! and as a community when generating links (one-to-one topic–community
+//! correspondence). We implement a collapsed Gibbs variant adapted to the
+//! micro-blog setting: each post draws a single factor from its author's
+//! mixture; each link draws one *shared* factor weighted by both endpoints'
+//! mixtures (the assortative Poisson-link view of PMTLM-1).
+
+use crate::{LinkScorer, TextScorer};
+use cold_graph::CsrGraph;
+use cold_math::categorical::{sample_categorical, sample_log_categorical};
+use cold_math::rng::seeded_rng;
+use cold_math::special::log_ascending_factorial;
+use cold_math::stats::log_sum_exp;
+use cold_text::Corpus;
+use rand::Rng as _;
+
+/// Training options for PMTLM.
+#[derive(Debug, Clone)]
+pub struct PmtlmConfig {
+    /// Number of shared factors (simultaneously topics and communities).
+    pub num_factors: usize,
+    /// Dirichlet prior on user factor mixtures.
+    pub alpha: f64,
+    /// Dirichlet prior on factor word distributions.
+    pub beta: f64,
+    /// Beta pseudo-counts for the per-factor link strength.
+    pub lambda0: f64,
+    /// Present-link pseudo-count.
+    pub lambda1: f64,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+}
+
+impl PmtlmConfig {
+    /// Defaults mirroring the COLD configuration at the same latent size.
+    pub fn new(num_factors: usize, graph: &CsrGraph) -> Self {
+        let n_neg = graph.num_negative_links() as f64;
+        let k2 = (num_factors * num_factors) as f64;
+        Self {
+            num_factors,
+            alpha: 1.0,
+            beta: 0.01,
+            lambda0: (5.0 * (n_neg / k2).max(std::f64::consts::E).ln()).max(0.1),
+            lambda1: 0.1,
+            iterations: 120,
+        }
+    }
+}
+
+/// A fitted PMTLM model.
+#[derive(Debug, Clone)]
+pub struct Pmtlm {
+    num_factors: usize,
+    vocab_size: usize,
+    /// Per-user factor mixtures, row-major `U×K`.
+    pi: Vec<f64>,
+    /// Factor word distributions, row-major `K×V`.
+    phi: Vec<f64>,
+    /// Per-factor assortative link strength.
+    strength: Vec<f64>,
+}
+
+impl Pmtlm {
+    /// Fit on text + links jointly.
+    pub fn fit(corpus: &Corpus, graph: &CsrGraph, config: &PmtlmConfig, seed: u64) -> Self {
+        let k = config.num_factors;
+        let v = corpus.vocab_size();
+        let u = corpus.num_users().max(graph.num_nodes()) as usize;
+        let posts = corpus.posts();
+        let links: Vec<(u32, u32)> = graph.edges().collect();
+        let mut rng = seeded_rng(seed);
+
+        let multisets: Vec<Vec<(u32, u32)>> = posts.iter().map(|p| p.word_multiset()).collect();
+        let lens: Vec<u32> = posts.iter().map(|p| p.len() as u32).collect();
+
+        // Latent factor per post and per link (shared by both endpoints —
+        // the one-to-one coupling under test).
+        let mut z_post: Vec<u32> = (0..posts.len()).map(|_| rng.gen_range(0..k) as u32).collect();
+        let user_fac: Vec<u32> = (0..u).map(|_| rng.gen_range(0..k) as u32).collect();
+        let mut z_link: Vec<u32> = links
+            .iter()
+            .map(|&(i, _)| user_fac[i as usize])
+            .collect();
+
+        // n_uk counts BOTH post factors and link-endpoint factors, so text
+        // and links shape the same mixture (the model's point).
+        let mut n_uk = vec![0u32; u * k];
+        let mut n_kv = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        let mut n_link_k = vec![0u32; k];
+        for (d, p) in posts.iter().enumerate() {
+            let kk = z_post[d] as usize;
+            n_uk[p.author as usize * k + kk] += 1;
+            for &(w, cnt) in &multisets[d] {
+                n_kv[kk * v + w as usize] += cnt;
+            }
+            n_k[kk] += lens[d];
+        }
+        for (e, &(i, j)) in links.iter().enumerate() {
+            let kk = z_link[e] as usize;
+            n_uk[i as usize * k + kk] += 1;
+            n_uk[j as usize * k + kk] += 1;
+            n_link_k[kk] += 1;
+        }
+
+        let vbeta = v as f64 * config.beta;
+        let mut logw = vec![0.0f64; k];
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..config.iterations {
+            for (d, p) in posts.iter().enumerate() {
+                let i = p.author as usize;
+                let old = z_post[d] as usize;
+                n_uk[i * k + old] -= 1;
+                for &(w, cnt) in &multisets[d] {
+                    n_kv[old * v + w as usize] -= cnt;
+                }
+                n_k[old] -= lens[d];
+                for (kk, lw) in logw.iter_mut().enumerate() {
+                    let mut acc = (n_uk[i * k + kk] as f64 + config.alpha).ln();
+                    for &(w, cnt) in &multisets[d] {
+                        acc += log_ascending_factorial(
+                            n_kv[kk * v + w as usize] as f64 + config.beta,
+                            cnt,
+                        );
+                    }
+                    acc -= log_ascending_factorial(n_k[kk] as f64 + vbeta, lens[d]);
+                    *lw = acc;
+                }
+                let new = sample_log_categorical(&mut rng, &logw).expect("finite mass");
+                z_post[d] = new as u32;
+                n_uk[i * k + new] += 1;
+                for &(w, cnt) in &multisets[d] {
+                    n_kv[new * v + w as usize] += cnt;
+                }
+                n_k[new] += lens[d];
+            }
+            for (e, &(i, j)) in links.iter().enumerate() {
+                let old = z_link[e] as usize;
+                n_uk[i as usize * k + old] -= 1;
+                n_uk[j as usize * k + old] -= 1;
+                n_link_k[old] -= 1;
+                for (kk, w) in weights.iter_mut().enumerate() {
+                    let mi = n_uk[i as usize * k + kk] as f64 + config.alpha;
+                    let mj = n_uk[j as usize * k + kk] as f64 + config.alpha;
+                    let n = n_link_k[kk] as f64;
+                    *w = mi * mj * (n + config.lambda1) / (n + config.lambda0 + config.lambda1);
+                }
+                let new = sample_categorical(&mut rng, &weights).expect("positive mass");
+                z_link[e] = new as u32;
+                n_uk[i as usize * k + new] += 1;
+                n_uk[j as usize * k + new] += 1;
+                n_link_k[new] += 1;
+            }
+        }
+
+        let mut pi = vec![0.0f64; u * k];
+        for i in 0..u {
+            let total: u32 = n_uk[i * k..(i + 1) * k].iter().sum();
+            for kk in 0..k {
+                pi[i * k + kk] = (n_uk[i * k + kk] as f64 + config.alpha)
+                    / (total as f64 + k as f64 * config.alpha);
+            }
+        }
+        let mut phi = vec![0.0f64; k * v];
+        for kk in 0..k {
+            for vv in 0..v {
+                phi[kk * v + vv] =
+                    (n_kv[kk * v + vv] as f64 + config.beta) / (n_k[kk] as f64 + vbeta);
+            }
+        }
+        let strength: Vec<f64> = n_link_k
+            .iter()
+            .map(|&n| (n as f64 + config.lambda1) / (n as f64 + config.lambda0 + config.lambda1))
+            .collect();
+        Self {
+            num_factors: k,
+            vocab_size: v,
+            pi,
+            phi,
+            strength,
+        }
+    }
+
+    /// Number of shared factors.
+    pub fn num_factors(&self) -> usize {
+        self.num_factors
+    }
+
+    /// The user's factor mixture.
+    pub fn user_factors(&self, user: u32) -> &[f64] {
+        &self.pi[user as usize * self.num_factors..(user as usize + 1) * self.num_factors]
+    }
+
+    /// Factor word distribution.
+    pub fn factor_words(&self, factor: usize) -> &[f64] {
+        &self.phi[factor * self.vocab_size..(factor + 1) * self.vocab_size]
+    }
+
+    /// Hardened community (= factor) per user.
+    pub fn hard_user_communities(&self) -> Vec<u32> {
+        let u = self.pi.len() / self.num_factors;
+        (0..u as u32)
+            .map(|i| {
+                self.user_factors(i)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(kk, _)| kk as u32)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl LinkScorer for Pmtlm {
+    fn link_score(&self, i: u32, i2: u32) -> f64 {
+        // Assortative: only shared factors generate links.
+        let pi_i = self.user_factors(i);
+        let pi_j = self.user_factors(i2);
+        (0..self.num_factors)
+            .map(|kk| pi_i[kk] * pi_j[kk] * self.strength[kk])
+            .sum()
+    }
+}
+
+impl TextScorer for Pmtlm {
+    fn post_log_likelihood(&self, author: u32, words: &[u32]) -> f64 {
+        let pi = self.user_factors(author);
+        let terms: Vec<f64> = (0..self.num_factors)
+            .map(|kk| {
+                let phi = self.factor_words(kk);
+                let mut acc = pi[kk].max(f64::MIN_POSITIVE).ln();
+                for &w in words {
+                    acc += phi[w as usize].max(f64::MIN_POSITIVE).ln();
+                }
+                acc
+            })
+            .collect();
+        log_sum_exp(&terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_text::CorpusBuilder;
+
+    fn data() -> (Corpus, CsrGraph) {
+        let mut b = CorpusBuilder::new();
+        for u in 0..3u32 {
+            for rep in 0..5u16 {
+                b.push_text(u, rep % 2, &["football", "goal", "match"]);
+            }
+        }
+        for u in 3..6u32 {
+            for rep in 0..5u16 {
+                b.push_text(u, rep % 2, &["film", "oscar", "actor"]);
+            }
+        }
+        let corpus = b.build();
+        let edges = [
+            (0, 1), (1, 0), (1, 2), (2, 0), (0, 2), (2, 1),
+            (3, 4), (4, 3), (4, 5), (5, 3), (3, 5), (5, 4),
+        ];
+        (corpus, CsrGraph::from_edges(6, &edges))
+    }
+
+    #[test]
+    fn factors_couple_text_and_links() {
+        let (corpus, graph) = data();
+        let m = Pmtlm::fit(&corpus, &graph, &PmtlmConfig::new(2, &graph), 1);
+        // Users separate by factor, and factors separate the vocabularies.
+        let hard = m.hard_user_communities();
+        assert_eq!(hard[0], hard[1]);
+        assert_eq!(hard[3], hard[4]);
+        assert_ne!(hard[0], hard[3]);
+        let fb = corpus.vocab().id_of("football").unwrap() as usize;
+        let f_sports = hard[0] as usize;
+        assert!(m.factor_words(f_sports)[fb] > m.factor_words(1 - f_sports)[fb]);
+    }
+
+    #[test]
+    fn link_scores_respect_blocks() {
+        let (corpus, graph) = data();
+        let m = Pmtlm::fit(&corpus, &graph, &PmtlmConfig::new(2, &graph), 2);
+        assert!(m.link_score(0, 2) > m.link_score(0, 5));
+    }
+
+    #[test]
+    fn text_likelihood_prefers_own_vocabulary() {
+        let (corpus, graph) = data();
+        let m = Pmtlm::fit(&corpus, &graph, &PmtlmConfig::new(2, &graph), 3);
+        let fb = corpus.vocab().id_of("football").unwrap();
+        let film = corpus.vocab().id_of("film").unwrap();
+        assert!(m.post_log_likelihood(0, &[fb]) > m.post_log_likelihood(0, &[film]));
+    }
+
+    #[test]
+    fn mixtures_normalize() {
+        let (corpus, graph) = data();
+        let m = Pmtlm::fit(&corpus, &graph, &PmtlmConfig::new(3, &graph), 4);
+        for i in 0..6 {
+            assert!((m.user_factors(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for kk in 0..3 {
+            assert!((m.factor_words(kk).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

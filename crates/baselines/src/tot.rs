@@ -1,0 +1,321 @@
+//! Topics over Time (Wang & McCallum — KDD 2006), the temporal building
+//! block of the Pipeline baseline (§6.1 method 5).
+//!
+//! TOT couples each topic with a **Beta distribution over normalized time**
+//! — the unimodal temporal assumption the paper contrasts with COLD's
+//! multinomial `ψ` (§3.3). Following the micro-blog convention, each post
+//! carries one topic from a global mixture. The Beta parameters are updated
+//! by moment matching each sweep, as in the original paper.
+
+use crate::{TextScorer, TimePredictor};
+use cold_math::categorical::sample_log_categorical;
+use cold_math::rng::seeded_rng;
+use cold_math::special::{log_ascending_factorial, log_beta_fn};
+use cold_math::stats::log_sum_exp;
+use cold_text::Corpus;
+use rand::Rng as _;
+
+/// Training options for TOT.
+#[derive(Debug, Clone)]
+pub struct TotConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Dirichlet prior on the global topic mixture.
+    pub alpha: f64,
+    /// Dirichlet prior on topic word distributions.
+    pub beta: f64,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+}
+
+impl TotConfig {
+    /// Standard defaults.
+    pub fn new(num_topics: usize) -> Self {
+        Self {
+            num_topics,
+            alpha: 50.0 / num_topics as f64,
+            beta: 0.01,
+            iterations: 100,
+        }
+    }
+}
+
+/// A fitted TOT model.
+#[derive(Debug, Clone)]
+pub struct TopicsOverTime {
+    num_topics: usize,
+    vocab_size: usize,
+    num_time_slices: u16,
+    /// Global topic mixture.
+    theta: Vec<f64>,
+    /// Topic word distributions, row-major `K×V`.
+    phi: Vec<f64>,
+    /// Per-topic Beta(a, b) over normalized time.
+    beta_params: Vec<(f64, f64)>,
+}
+
+/// Map a slice index to the open unit interval (endpoints avoided: the Beta
+/// density can diverge at 0/1).
+fn normalize_time(t: u16, num_slices: u16) -> f64 {
+    (t as f64 + 0.5) / num_slices as f64
+}
+
+/// Log Beta(a, b) density at x.
+fn log_beta_pdf(x: f64, a: f64, b: f64) -> f64 {
+    (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - log_beta_fn(a, b)
+}
+
+/// Moment-matched Beta parameters from a sample mean/variance.
+fn moment_match(mean: f64, var: f64) -> (f64, f64) {
+    let mean = mean.clamp(1e-3, 1.0 - 1e-3);
+    let var = var.max(1e-5).min(mean * (1.0 - mean) * 0.999);
+    let common = mean * (1.0 - mean) / var - 1.0;
+    ((mean * common).max(0.05), ((1.0 - mean) * common).max(0.05))
+}
+
+impl TopicsOverTime {
+    /// Fit on `corpus`; `post_filter` (if given) restricts training to a
+    /// subset of post ids — the Pipeline baseline trains one TOT per
+    /// community on its members' posts.
+    pub fn fit(
+        corpus: &Corpus,
+        config: &TotConfig,
+        post_filter: Option<&[u32]>,
+        seed: u64,
+    ) -> Self {
+        let k = config.num_topics;
+        let v = corpus.vocab_size();
+        let t_slices = corpus.num_time_slices();
+        let mut rng = seeded_rng(seed);
+        let post_ids: Vec<u32> = match post_filter {
+            Some(ids) => ids.to_vec(),
+            None => (0..corpus.num_posts() as u32).collect(),
+        };
+
+        let multisets: Vec<Vec<(u32, u32)>> = post_ids
+            .iter()
+            .map(|&d| corpus.post(d).word_multiset())
+            .collect();
+        let lens: Vec<u32> = post_ids.iter().map(|&d| corpus.post(d).len() as u32).collect();
+        let times: Vec<f64> = post_ids
+            .iter()
+            .map(|&d| normalize_time(corpus.post(d).time, t_slices.max(1)))
+            .collect();
+
+        let n = post_ids.len();
+        let mut z: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+        let mut n_kd = vec![0u32; k]; // posts per topic
+        let mut n_kv = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for d in 0..n {
+            n_kd[z[d]] += 1;
+            for &(w, cnt) in &multisets[d] {
+                n_kv[z[d] * v + w as usize] += cnt;
+            }
+            n_k[z[d]] += lens[d];
+        }
+        let mut beta_params = vec![(1.0f64, 1.0f64); k];
+
+        let vbeta = v as f64 * config.beta;
+        let mut logw = vec![0.0f64; k];
+        for _ in 0..config.iterations {
+            for d in 0..n {
+                let old = z[d];
+                n_kd[old] -= 1;
+                for &(w, cnt) in &multisets[d] {
+                    n_kv[old * v + w as usize] -= cnt;
+                }
+                n_k[old] -= lens[d];
+                for (kk, lw) in logw.iter_mut().enumerate() {
+                    let (a, b) = beta_params[kk];
+                    let mut acc =
+                        (n_kd[kk] as f64 + config.alpha).ln() + log_beta_pdf(times[d], a, b);
+                    for &(w, cnt) in &multisets[d] {
+                        acc += log_ascending_factorial(
+                            n_kv[kk * v + w as usize] as f64 + config.beta,
+                            cnt,
+                        );
+                    }
+                    acc -= log_ascending_factorial(n_k[kk] as f64 + vbeta, lens[d]);
+                    *lw = acc;
+                }
+                let new = sample_log_categorical(&mut rng, &logw).expect("finite mass");
+                z[d] = new;
+                n_kd[new] += 1;
+                for &(w, cnt) in &multisets[d] {
+                    n_kv[new * v + w as usize] += cnt;
+                }
+                n_k[new] += lens[d];
+            }
+            // Moment-match the Beta parameters from each topic's time stamps.
+            for kk in 0..k {
+                let assigned: Vec<f64> = (0..n).filter(|&d| z[d] == kk).map(|d| times[d]).collect();
+                if assigned.len() >= 2 {
+                    let mean = assigned.iter().sum::<f64>() / assigned.len() as f64;
+                    let var = assigned.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                        / assigned.len() as f64;
+                    beta_params[kk] = moment_match(mean, var);
+                }
+            }
+        }
+
+        let total_posts: u32 = n_kd.iter().sum();
+        let theta: Vec<f64> = n_kd
+            .iter()
+            .map(|&c| {
+                (c as f64 + config.alpha) / (total_posts as f64 + k as f64 * config.alpha)
+            })
+            .collect();
+        let mut phi = vec![0.0f64; k * v];
+        for kk in 0..k {
+            for vv in 0..v {
+                phi[kk * v + vv] =
+                    (n_kv[kk * v + vv] as f64 + config.beta) / (n_k[kk] as f64 + vbeta);
+            }
+        }
+        Self {
+            num_topics: k,
+            vocab_size: v,
+            num_time_slices: t_slices,
+            theta,
+            phi,
+            beta_params,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// The fitted Beta parameters of `topic`.
+    pub fn temporal_params(&self, topic: usize) -> (f64, f64) {
+        self.beta_params[topic]
+    }
+
+    /// Topic word distribution.
+    pub fn topic_words(&self, topic: usize) -> &[f64] {
+        &self.phi[topic * self.vocab_size..(topic + 1) * self.vocab_size]
+    }
+}
+
+impl TextScorer for TopicsOverTime {
+    fn post_log_likelihood(&self, _author: u32, words: &[u32]) -> f64 {
+        let terms: Vec<f64> = (0..self.num_topics)
+            .map(|kk| {
+                let phi = self.topic_words(kk);
+                let mut acc = self.theta[kk].max(f64::MIN_POSITIVE).ln();
+                for &w in words {
+                    acc += phi[w as usize].max(f64::MIN_POSITIVE).ln();
+                }
+                acc
+            })
+            .collect();
+        log_sum_exp(&terms)
+    }
+}
+
+impl TimePredictor for TopicsOverTime {
+    fn predict_time(&self, _author: u32, words: &[u32]) -> u16 {
+        // argmax_t Σ_k θ_k · BetaPdf(t) · Π φ
+        let mut word_ll = vec![0.0f64; self.num_topics];
+        for (kk, wll) in word_ll.iter_mut().enumerate() {
+            let phi = self.topic_words(kk);
+            for &w in words {
+                *wll += phi[w as usize].max(f64::MIN_POSITIVE).ln();
+            }
+        }
+        let shift = word_ll.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut best = (0u16, f64::NEG_INFINITY);
+        for t in 0..self.num_time_slices {
+            let x = normalize_time(t, self.num_time_slices);
+            let score: f64 = (0..self.num_topics)
+                .map(|kk| {
+                    let (a, b) = self.beta_params[kk];
+                    self.theta[kk] * (word_ll[kk] - shift).exp() * log_beta_pdf(x, a, b).exp()
+                })
+                .sum();
+            if score > best.1 {
+                best = (t, score);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_text::CorpusBuilder;
+
+    /// Sports early, movie late over 10 slices.
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for rep in 0..12u16 {
+            b.push_text(0, rep % 3, &["football", "goal", "match"]);
+            b.push_text(1, 7 + rep % 3, &["film", "oscar", "actor"]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn beta_densities_separate_bursts() {
+        let c = corpus();
+        let m = TopicsOverTime::fit(&c, &TotConfig { alpha: 0.5, ..TotConfig::new(2) }, None, 1);
+        let fb = c.vocab().id_of("football").unwrap() as usize;
+        let k_sports = if m.topic_words(0)[fb] > m.topic_words(1)[fb] { 0 } else { 1 };
+        let (a_s, b_s) = m.temporal_params(k_sports);
+        let (a_m, b_m) = m.temporal_params(1 - k_sports);
+        // Sports topic mean earlier than movie topic mean.
+        let mean_s = a_s / (a_s + b_s);
+        let mean_m = a_m / (a_m + b_m);
+        assert!(mean_s < mean_m, "{mean_s} vs {mean_m}");
+    }
+
+    #[test]
+    fn time_prediction_tracks_topic_burst() {
+        let c = corpus();
+        let m = TopicsOverTime::fit(&c, &TotConfig { alpha: 0.5, ..TotConfig::new(2) }, None, 2);
+        let fb = c.vocab().id_of("football").unwrap();
+        let film = c.vocab().id_of("film").unwrap();
+        let t_sports = m.predict_time(0, &[fb, fb, fb]);
+        let t_movie = m.predict_time(1, &[film, film, film]);
+        assert!(t_sports < t_movie, "{t_sports} vs {t_movie}");
+    }
+
+    #[test]
+    fn post_filter_restricts_training() {
+        let c = corpus();
+        // Train only on user 0's posts; the movie vocabulary is then unseen.
+        let ids: Vec<u32> = c.posts_of(0).to_vec();
+        let m = TopicsOverTime::fit(&c, &TotConfig::new(2), Some(&ids), 3);
+        let film = c.vocab().id_of("film").unwrap() as usize;
+        let fb = c.vocab().id_of("football").unwrap() as usize;
+        // In whichever topic football dominates, film must be (nearly)
+        // unseen. (A topic that received no posts stays at its uniform
+        // smoothing, so comparing maxima across topics would be vacuous.)
+        let k_fb = (0..2)
+            .max_by(|&a, &b| {
+                m.topic_words(a)[fb].partial_cmp(&m.topic_words(b)[fb]).unwrap()
+            })
+            .unwrap();
+        assert!(m.topic_words(k_fb)[fb] > 10.0 * m.topic_words(k_fb)[film]);
+    }
+
+    #[test]
+    fn moment_match_round_trips() {
+        let (a, b) = moment_match(0.3, 0.01);
+        let mean = a / (a + b);
+        let var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+        assert!((mean - 0.3).abs() < 1e-6);
+        assert!((var - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn likelihood_is_finite() {
+        let c = corpus();
+        let m = TopicsOverTime::fit(&c, &TotConfig::new(2), None, 4);
+        let fb = c.vocab().id_of("football").unwrap();
+        assert!(m.post_log_likelihood(0, &[fb, fb]).is_finite());
+    }
+}

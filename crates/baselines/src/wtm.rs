@@ -1,0 +1,178 @@
+//! Whom To Mention (Wang et al. — WWW 2013), a feature-based diffusion
+//! ranking baseline (§6.1 method 6).
+//!
+//! WTM ranks candidate spreaders of a message by combining three signals:
+//! **user interest match** (content similarity between the message and the
+//! candidate's posting history), **content-dependent user relationship**
+//! (historical interaction strength), and **user influence** (audience
+//! size). There is no topic model — interest match is TF-IDF cosine,
+//! computed per candidate at query time, which is exactly why WTM's online
+//! prediction is slow in Fig. 15.
+
+use crate::DiffusionScorer;
+use cold_data::RetweetTuple;
+use cold_graph::CsrGraph;
+use cold_text::tfidf::TfIdfModel;
+use cold_text::Corpus;
+use std::collections::HashMap;
+
+/// Feature weights for the WTM ranking score.
+#[derive(Debug, Clone, Copy)]
+pub struct WtmWeights {
+    /// Weight of the TF-IDF interest-match feature.
+    pub interest: f64,
+    /// Weight of the historical-relationship feature.
+    pub relationship: f64,
+    /// Weight of the audience-size influence feature.
+    pub influence: f64,
+}
+
+impl Default for WtmWeights {
+    fn default() -> Self {
+        Self {
+            interest: 0.4,
+            relationship: 0.4,
+            influence: 0.2,
+        }
+    }
+}
+
+/// A fitted WTM ranker.
+pub struct WhomToMention {
+    tfidf: TfIdfModel,
+    /// Historical retweet counts `(publisher, retweeter) -> count`,
+    /// accumulated from the training cascades.
+    relationship: HashMap<(u32, u32), f64>,
+    /// Maximum relationship count, for normalization.
+    max_relationship: f64,
+    /// Audience size (out-degree) per user, normalized by the maximum.
+    influence: Vec<f64>,
+    weights: WtmWeights,
+}
+
+impl WhomToMention {
+    /// Fit the feature extractors on the corpus, graph and *training*
+    /// cascades (held-out tuples must not leak into the relationship
+    /// feature).
+    pub fn fit(
+        corpus: &Corpus,
+        graph: &CsrGraph,
+        training_cascades: &[RetweetTuple],
+        weights: WtmWeights,
+    ) -> Self {
+        let tfidf = TfIdfModel::fit(corpus);
+        let mut relationship: HashMap<(u32, u32), f64> = HashMap::new();
+        for tuple in training_cascades {
+            for &r in &tuple.retweeters {
+                *relationship.entry((tuple.publisher, r)).or_insert(0.0) += 1.0;
+            }
+        }
+        let max_relationship = relationship.values().cloned().fold(1.0f64, f64::max);
+        let max_degree = (0..graph.num_nodes())
+            .map(|u| graph.out_degree(u))
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let influence: Vec<f64> = (0..graph.num_nodes())
+            .map(|u| graph.out_degree(u) as f64 / max_degree)
+            .collect();
+        Self {
+            tfidf,
+            relationship,
+            max_relationship,
+            influence,
+            weights,
+        }
+    }
+
+    /// The interest-match feature alone (exposed for analysis).
+    pub fn interest_match(&self, consumer: u32, words: &[u32]) -> f64 {
+        let msg = self.tfidf.vectorize(words);
+        self.tfidf.user_profile(consumer).cosine(&msg)
+    }
+
+    /// The relationship feature alone.
+    pub fn relationship_strength(&self, publisher: u32, consumer: u32) -> f64 {
+        self.relationship
+            .get(&(publisher, consumer))
+            .copied()
+            .unwrap_or(0.0)
+            / self.max_relationship
+    }
+}
+
+impl DiffusionScorer for WhomToMention {
+    fn diffusion_score(&self, publisher: u32, consumer: u32, words: &[u32]) -> f64 {
+        let interest = self.interest_match(consumer, words);
+        let relationship = self.relationship_strength(publisher, consumer);
+        let influence = self
+            .influence
+            .get(consumer as usize)
+            .copied()
+            .unwrap_or(0.0);
+        self.weights.interest * interest
+            + self.weights.relationship * relationship
+            + self.weights.influence * influence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_text::CorpusBuilder;
+
+    fn setup() -> (Corpus, CsrGraph, Vec<RetweetTuple>) {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["football", "goal", "match"]);
+        b.push_text(1, 0, &["football", "league", "goal"]);
+        b.push_text(2, 1, &["film", "oscar", "actor"]);
+        b.push_text(3, 1, &["weather", "rain"]);
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let cascades = vec![RetweetTuple {
+            publisher: 0,
+            post: 0,
+            retweeters: vec![1],
+            ignorers: vec![2, 3],
+        }];
+        (corpus, graph, cascades)
+    }
+
+    #[test]
+    fn interest_match_prefers_similar_history() {
+        let (corpus, graph, cascades) = setup();
+        let m = WhomToMention::fit(&corpus, &graph, &cascades, WtmWeights::default());
+        let fb = corpus.vocab().id_of("football").unwrap();
+        let goal = corpus.vocab().id_of("goal").unwrap();
+        assert!(m.interest_match(1, &[fb, goal]) > m.interest_match(2, &[fb, goal]));
+    }
+
+    #[test]
+    fn relationship_reflects_training_cascades() {
+        let (corpus, graph, cascades) = setup();
+        let m = WhomToMention::fit(&corpus, &graph, &cascades, WtmWeights::default());
+        assert_eq!(m.relationship_strength(0, 1), 1.0);
+        assert_eq!(m.relationship_strength(0, 2), 0.0);
+    }
+
+    #[test]
+    fn combined_score_ranks_engaged_similar_user_first() {
+        let (corpus, graph, cascades) = setup();
+        let m = WhomToMention::fit(&corpus, &graph, &cascades, WtmWeights::default());
+        let fb = corpus.vocab().id_of("football").unwrap();
+        let s1 = m.diffusion_score(0, 1, &[fb]);
+        let s3 = m.diffusion_score(0, 3, &[fb]);
+        assert!(s1 > s3, "{s1} vs {s3}");
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let (corpus, graph, cascades) = setup();
+        let m = WhomToMention::fit(&corpus, &graph, &cascades, WtmWeights::default());
+        let fb = corpus.vocab().id_of("football").unwrap();
+        for j in 0..4 {
+            let s = m.diffusion_score(0, j, &[fb]);
+            assert!((0.0..=1.0 + 1e-9).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the baseline models: every scorer must stay
+//! well-formed on arbitrary small datasets (finite outputs, normalized
+//! mixtures, in-range predictions), whatever the data shape.
+
+use cold_baselines::eutb::{Eutb, EutbConfig};
+use cold_baselines::lda::{UserLda, UserLdaConfig};
+use cold_baselines::mmsb::{Mmsb, MmsbConfig};
+use cold_baselines::pmtlm::{Pmtlm, PmtlmConfig};
+use cold_baselines::tot::{TopicsOverTime, TotConfig};
+use cold_baselines::{LinkScorer, TextScorer, TimePredictor};
+use cold_graph::CsrGraph;
+use cold_text::{Corpus, CorpusBuilder, Post};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = (Corpus, CsrGraph)> {
+    let posts = prop::collection::vec(
+        (0u32..6, 0u16..4, prop::collection::vec(0u32..25, 1..6)),
+        1..25,
+    );
+    let edges = prop::collection::vec((0u32..6, 0u32..6), 1..15);
+    (posts, edges).prop_map(|(posts, edges)| {
+        let mut b = CorpusBuilder::with_vocab(cold_text::Vocabulary::synthetic(25));
+        b.ensure_users(6);
+        for (author, time, words) in posts {
+            b.push(Post::new(author, time, words));
+        }
+        (b.build(), CsrGraph::from_edges(6, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// User-level LDA: mixtures normalize, inference normalizes,
+    /// likelihoods are finite and non-positive.
+    #[test]
+    fn lda_outputs_well_formed((corpus, _) in arb_dataset(), seed in 0u64..200) {
+        let m = UserLda::fit(&corpus, &UserLdaConfig { iterations: 4, ..UserLdaConfig::new(3) }, seed);
+        for u in 0..6 {
+            prop_assert!((m.user_topics(u).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let post = m.infer_topics(0, &[0, 1, 2]);
+        prop_assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let ll = m.post_log_likelihood(0, &[3, 4]);
+        prop_assert!(ll.is_finite() && ll <= 1e-9);
+    }
+
+    /// MMSB: memberships normalize, link scores live in [0, 1].
+    #[test]
+    fn mmsb_outputs_well_formed((_, graph) in arb_dataset(), seed in 0u64..200) {
+        let cfg = MmsbConfig { iterations: 6, ..MmsbConfig::new(2, &graph) };
+        let m = Mmsb::fit(&graph, &cfg, seed);
+        for i in 0..graph.num_nodes() {
+            prop_assert!((m.user_memberships(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                let s = m.link_score(i, j);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "link score {s}");
+            }
+        }
+    }
+
+    /// PMTLM: the shared factor drives both text and link scores sanely.
+    #[test]
+    fn pmtlm_outputs_well_formed((corpus, graph) in arb_dataset(), seed in 0u64..200) {
+        let cfg = PmtlmConfig { iterations: 5, ..PmtlmConfig::new(2, &graph) };
+        let m = Pmtlm::fit(&corpus, &graph, &cfg, seed);
+        for i in 0..6 {
+            prop_assert!((m.user_factors(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(m.link_score(0, 1).is_finite());
+        let ll = m.post_log_likelihood(0, &[0, 5]);
+        prop_assert!(ll.is_finite() && ll <= 1e-9);
+    }
+
+    /// TOT: time predictions land inside the grid, Beta parameters valid.
+    #[test]
+    fn tot_outputs_well_formed((corpus, _) in arb_dataset(), seed in 0u64..200) {
+        let m = TopicsOverTime::fit(&corpus, &TotConfig { iterations: 5, ..TotConfig::new(2) }, None, seed);
+        for k in 0..2 {
+            let (a, b) = m.temporal_params(k);
+            prop_assert!(a > 0.0 && b > 0.0, "Beta({a}, {b})");
+        }
+        let t = m.predict_time(0, &[1, 2]);
+        prop_assert!(t < corpus.num_time_slices());
+    }
+
+    /// EUTB: both mixture families normalize, predictions in range.
+    #[test]
+    fn eutb_outputs_well_formed((corpus, _) in arb_dataset(), seed in 0u64..200) {
+        let m = Eutb::fit(&corpus, &EutbConfig { iterations: 5, ..EutbConfig::new(2) }, seed);
+        for u in 0..6 {
+            prop_assert!((m.user_topics(u).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for t in 0..corpus.num_time_slices() {
+            prop_assert!((m.time_topics(t).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let t = m.predict_time(0, &[0]);
+        prop_assert!(t < corpus.num_time_slices());
+    }
+}

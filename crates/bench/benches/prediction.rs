@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of online prediction (the Fig. 15 claim that
+//! COLD's query cost is `O(K·|w_d|)` thanks to the precomputed community
+//! profiles) and of the offline precomputation itself.
+
+use cold_baselines::ti::{TiConfig, TopicInfluence};
+use cold_baselines::wtm::{WhomToMention, WtmWeights};
+use cold_baselines::DiffusionScorer;
+use cold_bench::workloads::{eval_world, fit_cold, BASE_SEED};
+use cold_core::DiffusionPredictor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn prediction_latency(criterion: &mut Criterion) {
+    let data = eval_world(0.5);
+    let model = fit_cold(&data, 6, 6, 60, BASE_SEED + 9100);
+    let predictor = DiffusionPredictor::new(&model, 5);
+    let ti = TopicInfluence::fit(&data.corpus, &data.cascades, &TiConfig::new(6), BASE_SEED + 9101);
+    let wtm = WhomToMention::fit(&data.corpus, &data.graph, &data.cascades, WtmWeights::default());
+    let post = data.corpus.post(0);
+    let words = &post.words;
+
+    let mut group = criterion.benchmark_group("diffusion_query");
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(predictor.diffusion_score(black_box(0), black_box(1), words)))
+    });
+    group.bench_function("ti", |b| {
+        b.iter(|| black_box(ti.diffusion_score(black_box(0), black_box(1), words)))
+    });
+    group.bench_function("wtm", |b| {
+        b.iter(|| black_box(wtm.diffusion_score(black_box(0), black_box(1), words)))
+    });
+    group.finish();
+
+    let mut group = criterion.benchmark_group("offline_precompute");
+    group.sample_size(20);
+    group.bench_function("top_comm_profiles", |b| {
+        b.iter(|| black_box(DiffusionPredictor::new(&model, 5)))
+    });
+    group.finish();
+}
+
+fn link_and_time_queries(criterion: &mut Criterion) {
+    let data = eval_world(0.5);
+    let model = fit_cold(&data, 6, 6, 60, BASE_SEED + 9102);
+    let post = data.corpus.post(0);
+    let mut group = criterion.benchmark_group("other_queries");
+    group.bench_function("link_probability", |b| {
+        b.iter(|| {
+            black_box(cold_core::predict::link_probability(
+                &model,
+                black_box(0),
+                black_box(1),
+            ))
+        })
+    });
+    group.bench_function("time_slice", |b| {
+        b.iter(|| {
+            black_box(cold_core::predict::predict_time_slice(
+                &model,
+                black_box(post.author),
+                &post.words,
+            ))
+        })
+    });
+    group.bench_function("post_log_likelihood", |b| {
+        b.iter(|| {
+            black_box(cold_core::predict::post_log_likelihood(
+                &model,
+                black_box(post.author),
+                &post.words,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, prediction_latency, link_and_time_queries);
+criterion_main!(benches);

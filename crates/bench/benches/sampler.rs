@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the collapsed Gibbs sweep.
+//!
+//! The §4.2 complexity claim is that one sweep is linear in posts + words +
+//! positive links; `sweep_scaling` measures the per-sweep cost at three
+//! data sizes (2× apart) so the linearity is visible directly in the
+//! criterion report. `sweep_components` isolates the post-only (NoLink)
+//! sweep from the full sweep to show the network component's share.
+
+use cold_bench::workloads::{cold_config, BASE_SEED};
+use cold_core::{ColdConfig, GibbsSampler};
+use cold_data::{generate, SocialDataset, WorldConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_world(scale: f64) -> SocialDataset {
+    let mut config = WorldConfig {
+        num_users: 200,
+        num_communities: 6,
+        num_topics: 6,
+        num_time_slices: 24,
+        vocab_size: 600,
+        posts_per_user: 15.0,
+        ..WorldConfig::default()
+    };
+    config = config.scaled(scale);
+    generate(&config, BASE_SEED + 9000)
+}
+
+fn sweep_scaling(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("sweep_scaling");
+    group.sample_size(20);
+    for &scale in &[0.25f64, 0.5, 1.0] {
+        let data = bench_world(scale);
+        let label = format!(
+            "{}posts_{}links",
+            data.corpus.num_posts(),
+            data.graph.num_edges()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            let config = cold_config(6, 6, 10, data);
+            let mut sampler =
+                GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9001);
+            b.iter(|| sampler.sweep());
+        });
+    }
+    group.finish();
+}
+
+fn sweep_components(criterion: &mut Criterion) {
+    let data = bench_world(0.5);
+    let mut group = criterion.benchmark_group("sweep_components");
+    group.sample_size(20);
+    group.bench_function("full", |b| {
+        let config = cold_config(6, 6, 10, &data);
+        let mut sampler = GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9002);
+        b.iter(|| sampler.sweep());
+    });
+    group.bench_function("nolink", |b| {
+        let config = ColdConfig::builder(6, 6)
+            .iterations(10)
+            .without_links()
+            .build(&data.corpus, &data.graph);
+        let mut sampler = GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9003);
+        b.iter(|| sampler.sweep());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling, sweep_components);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Run every experiment binary in sequence at the default scale,
+//! regenerating `results/*.json`. Equivalent to invoking each `fig*`
+//! binary by hand.
+
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig05_diffusion_graph",
+    "fig06_fluctuation",
+    "fig07_time_lag",
+    "fig08_topic_words",
+    "fig09_perplexity",
+    "fig10_link_auc",
+    "fig11_timestamp",
+    "fig12_diffusion_auc",
+    "fig13_scaling",
+    "fig14_train_time",
+    "fig15_predict_time",
+    "fig16_influence",
+    "fig17_19_sensitivity",
+    "fig_ablation",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let scale = cold_bench::scale_arg();
+    let mut failed: Vec<&str> = Vec::new();
+    for fig in FIGURES {
+        println!("\n=== {fig} ===");
+        let status = Command::new(exe_dir.join(fig))
+            .args(["--scale", &scale.to_string()])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{fig} exited with {s}");
+                failed.push(fig);
+            }
+            Err(err) => {
+                eprintln!("could not launch {fig}: {err} (build with `cargo build --release -p cold-bench --bins` first)");
+                failed.push(fig);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed; see results/", FIGURES.len());
+    } else {
+        eprintln!("\nfailed: {failed:?}");
+        std::process::exit(1);
+    }
+}

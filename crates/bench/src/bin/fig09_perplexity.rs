@@ -1,0 +1,79 @@
+//! Fig. 9 — held-out perplexity vs number of topics `K`, for COLD, EUTB
+//! and PMTLM (§6.2). Paper shape: COLD lowest, EUTB close behind, PMTLM
+//! clearly worse (its topics are entangled with communities).
+
+use cold_baselines::eutb::{Eutb, EutbConfig};
+use cold_baselines::pmtlm::{Pmtlm, PmtlmConfig};
+use cold_baselines::TextScorer;
+use cold_bench::tasks::{perplexity_task, post_split};
+use cold_bench::workloads::{eval_world, fit_cold_best, BASE_SEED};
+use cold_core::predict::post_log_likelihood;
+use cold_eval::{ExperimentReport, Series};
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let folds = cold_bench::folds_arg();
+    let data = eval_world(scale);
+    println!("fig09 world: {} ({folds}-fold)", data.summary());
+
+    let ks = [4usize, 6, 8, 10];
+    let mut cold_series = vec![0.0; ks.len()];
+    let mut eutb_series = vec![0.0; ks.len()];
+    let mut pmtlm_series = vec![0.0; ks.len()];
+    for fold in 0..folds as u64 {
+        let split = post_split(&data, BASE_SEED + 9 + fold);
+        let train = data.corpus.restrict(&split.train);
+        let mut train_data = data.clone();
+        train_data.corpus = train;
+        for (ki, &k) in ks.iter().enumerate() {
+            let cold = fit_cold_best(&train_data, 6, k, 200, BASE_SEED + 90 + fold, 3);
+            cold_series[ki] += perplexity_task(&data, &split.test, |author, words| {
+                post_log_likelihood(&cold, author, words)
+            }) / folds as f64;
+
+            let eutb = Eutb::fit(
+                &train_data.corpus,
+                &EutbConfig { alpha: 1.0, iterations: 120, ..EutbConfig::new(k) },
+                BASE_SEED + 91 + fold,
+            );
+            eutb_series[ki] += perplexity_task(&data, &split.test, |author, words| {
+                eutb.post_log_likelihood(author, words)
+            }) / folds as f64;
+
+            let pmtlm = Pmtlm::fit(
+                &train_data.corpus,
+                &train_data.graph,
+                &PmtlmConfig { iterations: 120, ..PmtlmConfig::new(k, &train_data.graph) },
+                BASE_SEED + 92 + fold,
+            );
+            pmtlm_series[ki] += perplexity_task(&data, &split.test, |author, words| {
+                pmtlm.post_log_likelihood(author, words)
+            }) / folds as f64;
+            println!(
+                "fold {fold} K={k}: COLD {:.1}  EUTB {:.1}  PMTLM {:.1} (running means)",
+                cold_series[ki] * folds as f64 / (fold + 1) as f64,
+                eutb_series[ki] * folds as f64 / (fold + 1) as f64,
+                pmtlm_series[ki] * folds as f64 / (fold + 1) as f64,
+            );
+        }
+    }
+
+    let mut report = ExperimentReport::new(
+        "fig09_perplexity",
+        "Held-out perplexity vs number of topics (lower is better)",
+        "K",
+        "perplexity",
+        ks.iter().map(|k| k.to_string()).collect(),
+    );
+    report.push_series(Series::new("COLD", cold_series));
+    report.push_series(Series::new("EUTB", eutb_series));
+    report.push_series(Series::new("PMTLM", pmtlm_series));
+    report.note(format!("world: {}", data.summary()));
+    report.note(format!(
+        "uniform-baseline perplexity = vocabulary size = {}",
+        data.corpus.vocab_size()
+    ));
+    report.note(format!("{folds}-fold cross validation (paper: 5-fold; pass --folds 5)"));
+    report.note("paper: Fig. 9 — COLD lowest, EUTB close, PMTLM clearly worse".to_owned());
+    cold_bench::emit(&report);
+}

@@ -1,0 +1,53 @@
+//! Fig. 10 — link-prediction AUC for COLD, PMTLM and MMSB (§6.2).
+//! Paper shape: COLD best, PMTLM close behind, MMSB clearly lower
+//! (content helps network modeling).
+
+use cold_baselines::mmsb::{Mmsb, MmsbConfig};
+use cold_baselines::pmtlm::{Pmtlm, PmtlmConfig};
+use cold_baselines::LinkScorer;
+use cold_bench::tasks::{link_auc_task, link_split};
+use cold_bench::workloads::{eval_world, fit_cold_best, BASE_SEED};
+use cold_core::predict::link_probability;
+use cold_eval::{ExperimentReport, Series};
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = eval_world(scale);
+    println!("fig10 world: {}", data.summary());
+    let (train_graph, held_out) = link_split(&data, BASE_SEED + 10);
+    let mut train_data = data.clone();
+    train_data.graph = train_graph;
+
+    let (c, k) = (6usize, 6usize);
+    let cold = fit_cold_best(&train_data, c, k, 300, BASE_SEED + 100, 5);
+    let auc_cold = link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| {
+        link_probability(&cold, i, j)
+    });
+
+    let pmtlm = Pmtlm::fit(
+        &train_data.corpus,
+        &train_data.graph,
+        &PmtlmConfig { iterations: 150, ..PmtlmConfig::new(c, &train_data.graph) },
+        BASE_SEED + 102,
+    );
+    let auc_pmtlm =
+        link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| pmtlm.link_score(i, j));
+
+    let mmsb = Mmsb::fit(&train_data.graph, &MmsbConfig::new(c, &train_data.graph), BASE_SEED + 103);
+    let auc_mmsb =
+        link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| mmsb.link_score(i, j));
+
+    println!("COLD {auc_cold:.3}  PMTLM {auc_pmtlm:.3}  MMSB {auc_mmsb:.3}");
+
+    let mut report = ExperimentReport::new(
+        "fig10_link_auc",
+        "Link prediction AUC (20% links held out vs sampled negatives)",
+        "method",
+        "AUC",
+        vec!["COLD".into(), "PMTLM".into(), "MMSB".into()],
+    );
+    report.push_series(Series::new("AUC", vec![auc_cold, auc_pmtlm, auc_mmsb]));
+    report.note(format!("world: {}", data.summary()));
+    report.note("paper: Fig. 10 — COLD best, PMTLM close, MMSB lowest".to_owned());
+    cold_bench::emit(&report);
+}

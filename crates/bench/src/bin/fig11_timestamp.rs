@@ -1,0 +1,77 @@
+//! Fig. 11 — time-stamp prediction accuracy vs tolerance for COLD,
+//! COLD-NoLink, EUTB and Pipeline (§6.3). Paper shape: COLD best,
+//! COLD-NoLink above EUTB, Pipeline worst (no network/content
+//! interdependence).
+
+use cold_baselines::eutb::{Eutb, EutbConfig};
+use cold_baselines::pipeline::{PipelineConfig, PipelineModel};
+use cold_baselines::TimePredictor;
+use cold_bench::tasks::{post_split, timestamp_task};
+use cold_bench::workloads::{eval_world, fit_cold_best, fit_cold_nolink, BASE_SEED};
+use cold_core::predict::predict_time_slice;
+use cold_eval::{ExperimentReport, Series};
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = eval_world(scale);
+    println!("fig11 world: {}", data.summary());
+    let split = post_split(&data, BASE_SEED + 11);
+    let mut train_data = data.clone();
+    train_data.corpus = data.corpus.restrict(&split.train);
+
+    let tolerances: Vec<u16> = vec![0, 1, 2, 3, 4, 6, 8];
+    let (c, k) = (6usize, 6usize);
+
+    let cold = fit_cold_best(&train_data, c, k, 180, BASE_SEED + 110, 3);
+    let acc_cold = timestamp_task(&data, &split.test, &tolerances, |author, words| {
+        predict_time_slice(&cold, author, words)
+    });
+
+    let nolink = fit_cold_nolink(&train_data, c, k, 180, BASE_SEED + 111);
+    let acc_nolink = timestamp_task(&data, &split.test, &tolerances, |author, words| {
+        predict_time_slice(&nolink, author, words)
+    });
+
+    let eutb = Eutb::fit(
+        &train_data.corpus,
+        &EutbConfig { alpha: 1.0, iterations: 150, ..EutbConfig::new(k) },
+        BASE_SEED + 112,
+    );
+    let acc_eutb = timestamp_task(&data, &split.test, &tolerances, |author, words| {
+        eutb.predict_time(author, words)
+    });
+
+    let pipeline = PipelineModel::fit(
+        &train_data.corpus,
+        &train_data.graph,
+        &PipelineConfig::new(c, k, &train_data.graph),
+        BASE_SEED + 113,
+    );
+    let acc_pipeline = timestamp_task(&data, &split.test, &tolerances, |author, words| {
+        pipeline.predict_time(author, words)
+    });
+
+    for (i, &tol) in tolerances.iter().enumerate() {
+        println!(
+            "tol={tol}: COLD {:.3}  NoLink {:.3}  EUTB {:.3}  Pipeline {:.3}",
+            acc_cold[i], acc_nolink[i], acc_eutb[i], acc_pipeline[i]
+        );
+    }
+
+    let mut report = ExperimentReport::new(
+        "fig11_timestamp",
+        "Time-stamp prediction accuracy vs tolerance (higher is better)",
+        "tolerance (slices)",
+        "accuracy",
+        tolerances.iter().map(|t| t.to_string()).collect(),
+    );
+    report.push_series(Series::new("COLD", acc_cold));
+    report.push_series(Series::new("COLD-NoLink", acc_nolink));
+    report.push_series(Series::new("EUTB", acc_eutb));
+    report.push_series(Series::new("Pipeline", acc_pipeline));
+    report.note(format!("world: {}", data.summary()));
+    report.note(
+        "paper: Fig. 11 — COLD > COLD-NoLink > EUTB > Pipeline at every tolerance".to_owned(),
+    );
+    cold_bench::emit(&report);
+}

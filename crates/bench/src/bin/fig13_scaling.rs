@@ -1,0 +1,83 @@
+//! Fig. 13 — scalability of the parallel (GAS) implementation (§6.4).
+//!
+//! * 13(a): training time vs dataset size at a fixed node count — expected
+//!   linear in posts + links (the §4.2 complexity claim).
+//! * 13(b): training time vs number of nodes on the full dataset —
+//!   expected near-1/N until synchronization dominates.
+//!
+//! The host is a single machine, so node counts are evaluated through the
+//! metered-work cluster cost model (see `cold-engine`'s crate docs);
+//! single-machine wall time is reported alongside as ground truth for the
+//! work meter.
+
+use cold_bench::workloads::{cold_config, scaling_world, BASE_SEED};
+use cold_engine::{ClusterCostModel, ParallelGibbs};
+use cold_eval::{ExperimentReport, Series};
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let iterations = 40usize;
+    let cost = ClusterCostModel::default();
+
+    // --- 13(a): data-size sweep at 4 simulated nodes. ---
+    let fractions = [0.25f64, 0.5, 1.0];
+    let mut wall = Vec::new();
+    let mut simulated4 = Vec::new();
+    let mut sizes = Vec::new();
+    let mut full_stats = None;
+    for &f in &fractions {
+        let data = scaling_world(f * scale);
+        let config = cold_config(6, 6, iterations, &data);
+        let (_, stats) = ParallelGibbs::new(&data.corpus, &data.graph, config, 8, BASE_SEED + 130)
+            .run();
+        println!(
+            "fraction {f}: {} — wall {:.2}s, simulated(4 nodes) {:.2}s",
+            data.summary(),
+            stats.wall_seconds,
+            stats.simulated_seconds(&cost, 4)
+        );
+        sizes.push(format!(
+            "{}p/{}l",
+            data.corpus.num_posts(),
+            data.graph.num_edges()
+        ));
+        wall.push(stats.wall_seconds);
+        simulated4.push(stats.simulated_seconds(&cost, 4));
+        if f == 1.0 {
+            full_stats = Some(stats);
+        }
+    }
+    let mut report_a = ExperimentReport::new(
+        "fig13a_scaling_data",
+        "Training time vs dataset size (8 shards; simulated 4-node cluster)",
+        "dataset (posts/links)",
+        "seconds",
+        sizes,
+    );
+    report_a.push_series(Series::new("wall (1 machine)", wall));
+    report_a.push_series(Series::new("simulated (4 nodes)", simulated4));
+    report_a.note(format!("{iterations} Gibbs sweeps per run"));
+    report_a.note("paper: Fig. 13a — time grows linearly with data size".to_owned());
+    cold_bench::emit(&report_a);
+
+    // --- 13(b): node-count sweep on the full dataset. ---
+    let stats = full_stats.expect("full-fraction run recorded");
+    let nodes = [1usize, 2, 4, 8];
+    let times: Vec<f64> = nodes
+        .iter()
+        .map(|&n| stats.simulated_seconds(&cost, n))
+        .collect();
+    for (n, t) in nodes.iter().zip(&times) {
+        println!("{n} nodes: simulated {t:.2}s (speedup {:.2}x)", times[0] / t);
+    }
+    let mut report_b = ExperimentReport::new(
+        "fig13b_scaling_nodes",
+        "Training time vs cluster size (metered work + cost model)",
+        "nodes",
+        "seconds",
+        nodes.iter().map(|n| n.to_string()).collect(),
+    );
+    report_b.push_series(Series::new("simulated", times));
+    report_b.note("paper: Fig. 13b — time drops sharply with node count, sublinearly due to synchronization".to_owned());
+    cold_bench::emit(&report_b);
+}

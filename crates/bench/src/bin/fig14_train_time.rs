@@ -1,0 +1,106 @@
+//! Fig. 14 — training time of every method on the evaluation world (§6.4).
+//! Paper shape: COLD's joint model is the most expensive single-machine
+//! method (it consumes text+network+time where baselines consume less),
+//! and the distributed run ("COLD (8)") brings it back in line.
+
+use cold_baselines::eutb::{Eutb, EutbConfig};
+use cold_baselines::mmsb::{Mmsb, MmsbConfig};
+use cold_baselines::pipeline::{PipelineConfig, PipelineModel};
+use cold_baselines::pmtlm::{Pmtlm, PmtlmConfig};
+use cold_baselines::ti::{TiConfig, TopicInfluence};
+use cold_bench::workloads::{cold_config, eval_world, BASE_SEED};
+use cold_engine::{ClusterCostModel, ParallelGibbs};
+use cold_eval::timer::timed;
+use cold_eval::{ExperimentReport, Series};
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = eval_world(scale);
+    println!("fig14 world: {}", data.summary());
+    let (c, k) = (6usize, 6usize);
+    let iterations = 150usize;
+
+    let mut names: Vec<String> = Vec::new();
+    let mut seconds: Vec<f64> = Vec::new();
+    let mut record = |name: &str, secs: f64| {
+        println!("{name}: {secs:.2}s");
+        names.push(name.to_owned());
+        seconds.push(secs);
+    };
+
+    let (_, t) = timed(|| {
+        cold_core::GibbsSampler::new(
+            &data.corpus,
+            &data.graph,
+            cold_config(c, k, iterations, &data),
+            BASE_SEED + 140,
+        )
+        .run()
+    });
+    record("COLD", t);
+
+    // The distributed run: wall time on this machine plus the cost model's
+    // 8-node estimate from the metered work.
+    let (stats_model, t_par) = timed(|| {
+        ParallelGibbs::new(
+            &data.corpus,
+            &data.graph,
+            cold_config(c, k, iterations, &data),
+            8,
+            BASE_SEED + 141,
+        )
+        .run()
+    });
+    let simulated8 = stats_model.1.simulated_seconds(&ClusterCostModel::default(), 8);
+    record("COLD (8 shards, 1 machine)", t_par);
+    record("COLD (8) simulated", simulated8);
+
+    let (_, t) = timed(|| {
+        Pmtlm::fit(
+            &data.corpus,
+            &data.graph,
+            &PmtlmConfig { iterations, ..PmtlmConfig::new(c, &data.graph) },
+            BASE_SEED + 142,
+        )
+    });
+    record("PMTLM", t);
+
+    let (_, t) = timed(|| Mmsb::fit(&data.graph, &MmsbConfig::new(c, &data.graph), BASE_SEED + 143));
+    record("MMSB", t);
+
+    let (_, t) = timed(|| {
+        Eutb::fit(
+            &data.corpus,
+            &EutbConfig { alpha: 1.0, iterations, ..EutbConfig::new(k) },
+            BASE_SEED + 144,
+        )
+    });
+    record("EUTB", t);
+
+    let (_, t) = timed(|| {
+        PipelineModel::fit(
+            &data.corpus,
+            &data.graph,
+            &PipelineConfig::new(c, k, &data.graph),
+            BASE_SEED + 145,
+        )
+    });
+    record("Pipeline", t);
+
+    let (_, t) = timed(|| {
+        TopicInfluence::fit(&data.corpus, &data.cascades, &TiConfig::new(k), BASE_SEED + 146)
+    });
+    record("TI", t);
+
+    let mut report = ExperimentReport::new(
+        "fig14_train_time",
+        "Training time per method (C = K = 6; reduced-scale world)",
+        "method",
+        "seconds",
+        names,
+    );
+    report.push_series(Series::new("seconds", seconds));
+    report.note(format!("world: {}", data.summary()));
+    report.note("paper: Fig. 14 — COLD costly sequentially, competitive distributed".to_owned());
+    cold_bench::emit(&report);
+}

@@ -1,0 +1,73 @@
+//! Fig. 15 — online diffusion-prediction latency per method (§6.4).
+//! Paper shape: COLD cheapest (compact precomputed community profiles,
+//! O(K·|w_d|) per query); TI costly (multi-hop influence walks); WTM
+//! costly (online TF-IDF feature construction per candidate).
+
+use cold_baselines::ti::{TiConfig, TopicInfluence};
+use cold_baselines::wtm::{WhomToMention, WtmWeights};
+use cold_baselines::DiffusionScorer;
+use cold_bench::workloads::{eval_world, fit_cold, BASE_SEED};
+use cold_core::DiffusionPredictor;
+use cold_data::cascade::split_tuples;
+use cold_eval::timer::mean_latency_micros;
+use cold_eval::{ExperimentReport, Series};
+use cold_math::rng::seeded_rng;
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = eval_world(scale);
+    println!("fig15 world: {}", data.summary());
+    let mut rng = seeded_rng(BASE_SEED + 15);
+    let (train_tuples, test_tuples) = split_tuples(&mut rng, &data.cascades, 0.2);
+
+    // Query workload: every (publisher, follower, post) triple of the test
+    // tuples, cycled.
+    let mut queries: Vec<(u32, u32, u32)> = Vec::new();
+    for t in &test_tuples {
+        for &f in t.retweeters.iter().chain(&t.ignorers) {
+            queries.push((t.publisher, f, t.post));
+        }
+    }
+    assert!(!queries.is_empty(), "need at least one query");
+    println!("{} queries", queries.len());
+    let iters = 20_000usize;
+
+    let cold = fit_cold(&data, 6, 6, 150, BASE_SEED + 150);
+    let predictor = DiffusionPredictor::new(&cold, 5);
+    let mut qi = 0usize;
+    let t_cold = mean_latency_micros(iters, || {
+        let (p, f, d) = queries[qi % queries.len()];
+        qi += 1;
+        std::hint::black_box(predictor.diffusion_score(p, f, &data.corpus.post(d).words));
+    });
+
+    let ti = TopicInfluence::fit(&data.corpus, &train_tuples, &TiConfig::new(6), BASE_SEED + 151);
+    let mut qi = 0usize;
+    let t_ti = mean_latency_micros(iters, || {
+        let (p, f, d) = queries[qi % queries.len()];
+        qi += 1;
+        std::hint::black_box(ti.diffusion_score(p, f, &data.corpus.post(d).words));
+    });
+
+    let wtm = WhomToMention::fit(&data.corpus, &data.graph, &train_tuples, WtmWeights::default());
+    let mut qi = 0usize;
+    let t_wtm = mean_latency_micros(iters, || {
+        let (p, f, d) = queries[qi % queries.len()];
+        qi += 1;
+        std::hint::black_box(wtm.diffusion_score(p, f, &data.corpus.post(d).words));
+    });
+
+    println!("COLD {t_cold:.2}µs  TI {t_ti:.2}µs  WTM {t_wtm:.2}µs");
+
+    let mut report = ExperimentReport::new(
+        "fig15_predict_time",
+        "Online diffusion-prediction latency per query",
+        "method",
+        "microseconds/query",
+        vec!["COLD".into(), "TI".into(), "WTM".into()],
+    );
+    report.push_series(Series::new("latency", vec![t_cold, t_ti, t_wtm]));
+    report.note(format!("{} distinct queries, {iters} timed calls each", queries.len()));
+    report.note("paper: Fig. 15 — COLD cheapest; TI and WTM notably slower".to_owned());
+    cold_bench::emit(&report);
+}

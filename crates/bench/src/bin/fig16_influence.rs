@@ -1,0 +1,70 @@
+//! Fig. 16 — most influential communities on one topic, plus the pentagon
+//! user embedding (§6.6). The community influence degree is the expected
+//! Independent Cascade spread seeded with that single community over the
+//! `ζ`-weighted community diffusion graph.
+
+use cold_bench::workloads::{eval_world, fit_cold_best, fitted_topic_for_planted, BASE_SEED};
+use cold_cascade::{community_influence, pentagon_embedding, user_influence};
+use cold_eval::{ExperimentReport, Series};
+use cold_math::rng::seeded_rng;
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = eval_world(scale);
+    println!("fig16 world: {}", data.summary());
+    let model = fit_cold_best(&data, 6, 6, 180, BASE_SEED + 160, 3);
+    // The paper's figure uses topic "Sports" — planted topic 0 here.
+    let topic = fitted_topic_for_planted(&model, &data, 0);
+    println!("focus topic: fitted {topic} (planted 'sports')");
+
+    let mut rng = seeded_rng(BASE_SEED + 161);
+    let ranking = community_influence(&model, topic, 3_000, &mut rng);
+    for r in &ranking {
+        println!(
+            "community {:>2}: influence {:.3} communities reached, interest {:.4}",
+            r.community, r.influence, r.interest
+        );
+    }
+
+    // User influence degrees (the figure's point sizes), and the pentagon
+    // embedding over the top-4 influential communities + "others".
+    let user_inf = user_influence(&model, &data.graph, topic, 3, 200, &mut rng);
+    let corners: Vec<usize> = ranking.iter().take(4).map(|r| r.community).collect();
+    let (corner_pos, points) = pentagon_embedding(&model, &corners, Some(&user_inf));
+    let mut top_users: Vec<&cold_cascade::PentagonPoint> = points.iter().collect();
+    top_users.sort_by(|a, b| b.size.partial_cmp(&a.size).expect("finite"));
+    println!("\ntop-5 influential users (id, influence, dominant corner):");
+    for p in top_users.iter().take(5) {
+        println!("  user {:>3}: {:.2} -> corner {}", p.user, p.size, p.dominant_corner);
+    }
+    println!(
+        "corners at {:?}",
+        corner_pos
+            .iter()
+            .map(|&(x, y)| (format!("{x:.2}"), format!("{y:.2}")))
+            .collect::<Vec<_>>()
+    );
+
+    let mut report = ExperimentReport::new(
+        "fig16_influence",
+        "Community influence degrees on the 'sports' topic (single-seed IC spread)",
+        "community",
+        "expected spread (communities)",
+        ranking.iter().map(|r| r.community.to_string()).collect(),
+    );
+    report.push_series(Series::new(
+        "influence",
+        ranking.iter().map(|r| r.influence).collect(),
+    ));
+    report.push_series(Series::new(
+        "interest",
+        ranking.iter().map(|r| r.interest).collect(),
+    ));
+    report.note(format!("world: {}", data.summary()));
+    report.note(format!(
+        "pentagon embedding over top-4 communities {corners:?} + 'others'; {} users embedded",
+        points.len()
+    ));
+    report.note("paper: Fig. 16 — a small number of communities dominate topic influence; influential users concentrate in them".to_owned());
+    cold_bench::emit(&report);
+}

@@ -1,0 +1,90 @@
+//! Figs. 17–19 (appendix B) — sensitivity of the three headline metrics to
+//! the community count `C` and topic count `K`.
+//!
+//! Paper shapes: perplexity is driven by `K` and flat in `C` (Fig. 17);
+//! link AUC is driven by `C` and flat in `K` (Fig. 18); diffusion AUC
+//! improves with both (Fig. 19).
+
+use cold_bench::tasks::{
+    diffusion_auc_task, link_auc_task, link_split, perplexity_task, post_split,
+};
+use cold_bench::workloads::{cold_config, eval_world, BASE_SEED};
+use cold_core::predict::{link_probability, post_log_likelihood};
+use cold_core::{DiffusionPredictor, GibbsSampler};
+use cold_data::cascade::split_tuples;
+use cold_eval::{ExperimentReport, Series};
+use cold_math::rng::seeded_rng;
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = eval_world(scale);
+    println!("fig17-19 world: {}", data.summary());
+    let grid = [3usize, 6, 9];
+
+    // Shared splits across the grid so cells are comparable.
+    let split = post_split(&data, BASE_SEED + 17);
+    let (train_graph, held_links) = link_split(&data, BASE_SEED + 18);
+    let mut rng = seeded_rng(BASE_SEED + 19);
+    let (_, test_tuples) = split_tuples(&mut rng, &data.cascades, 0.2);
+    let mut train_data = data.clone();
+    train_data.corpus = data.corpus.restrict(&split.train);
+    train_data.graph = train_graph;
+
+    let mut perp = vec![vec![0.0; grid.len()]; grid.len()];
+    let mut link = vec![vec![0.0; grid.len()]; grid.len()];
+    let mut diff = vec![vec![0.0; grid.len()]; grid.len()];
+    for (ci, &c) in grid.iter().enumerate() {
+        for (ki, &k) in grid.iter().enumerate() {
+            let model = GibbsSampler::new(
+                &train_data.corpus,
+                &train_data.graph,
+                cold_config(c, k, 150, &train_data),
+                BASE_SEED + 170 + (ci * 3 + ki) as u64,
+            )
+            .run();
+            perp[ci][ki] = perplexity_task(&data, &split.test, |a, w| {
+                post_log_likelihood(&model, a, w)
+            });
+            link[ci][ki] = link_auc_task(&data, &held_links, BASE_SEED + 171, |i, j| {
+                link_probability(&model, i, j)
+            });
+            let predictor = DiffusionPredictor::new(&model, 5);
+            diff[ci][ki] = diffusion_auc_task(&data, &test_tuples, |p, f, w| {
+                predictor.diffusion_score(p, f, w)
+            });
+            println!(
+                "C={c} K={k}: perplexity {:.1}, link AUC {:.3}, diffusion AUC {:.3}",
+                perp[ci][ki], link[ci][ki], diff[ci][ki]
+            );
+        }
+    }
+
+    let ks: Vec<String> = grid.iter().map(|k| format!("K={k}")).collect();
+    for (id, title, ylabel, matrix) in [
+        (
+            "fig17_sensitivity_perplexity",
+            "Perplexity under (C, K): driven by K, flat in C",
+            "perplexity",
+            &perp,
+        ),
+        (
+            "fig18_sensitivity_link_auc",
+            "Link AUC under (C, K): driven by C, flat in K",
+            "link AUC",
+            &link,
+        ),
+        (
+            "fig19_sensitivity_diffusion_auc",
+            "Diffusion AUC under (C, K): both factors matter",
+            "diffusion AUC",
+            &diff,
+        ),
+    ] {
+        let mut report = ExperimentReport::new(id, title, "K", ylabel, ks.clone());
+        for (ci, &c) in grid.iter().enumerate() {
+            report.push_series(Series::new(format!("C={c}"), matrix[ci].clone()));
+        }
+        report.note(format!("world: {}", data.summary()));
+        cold_bench::emit(&report);
+    }
+}

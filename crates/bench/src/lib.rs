@@ -1,0 +1,65 @@
+//! Experiment harness for the COLD reproduction.
+//!
+//! One binary per paper figure (`fig05_…` through `fig17_19_…`, plus the
+//! `fig_ablation` extension study); `all_experiments` runs everything and
+//! refreshes `results/*.json`. The shared pieces live here:
+//!
+//! * [`workloads`] — the standard synthetic worlds (an evaluation world
+//!   standing in for the paper's Dataset 1, and a scaling series standing
+//!   in for Dataset 2) and the standard model-fitting recipes.
+//! * [`tasks`] — the four evaluation tasks of §6 (held-out perplexity,
+//!   link prediction, time-stamp prediction, diffusion prediction),
+//!   implemented once and reused by every figure that reports them.
+//!
+//! Scale note: the paper trains on 11M-post crawls on a cluster; these
+//! experiments default to a few-thousand-post world that trains in seconds
+//! on a laptop. Pass `--scale <f64>` (where a binary supports it) to grow
+//! the world. The *shapes* — who wins, roughly by how much, where the
+//! crossovers sit — are the reproduction target, not absolute numbers.
+
+// Latent-variable code indexes parallel flat arrays by semantically
+// meaningful ids (community c, topic k, user i); iterator rewrites of
+// those loops obscure the math they mirror.
+#![allow(clippy::needless_range_loop)]
+
+pub mod tasks;
+pub mod workloads;
+
+use cold_eval::ExperimentReport;
+use std::path::PathBuf;
+
+/// Directory where experiment JSON lands (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Print a report to stdout and persist it under `results/`.
+pub fn emit(report: &ExperimentReport) {
+    println!("{}", report.to_markdown());
+    match report.save(results_dir()) {
+        Ok(path) => println!("(saved {})\n", path.display()),
+        Err(err) => eprintln!("warning: could not save report: {err}"),
+    }
+}
+
+/// Parse an optional `--scale <f64>` CLI argument (default 1.0).
+pub fn scale_arg() -> f64 {
+    flag_arg("--scale").unwrap_or(1.0)
+}
+
+/// Parse an optional `--folds <usize>` CLI argument (default 1).
+///
+/// The paper's protocol is 5-fold cross validation; the figures default to
+/// a single fold for runtime and accept `--folds 5` to match it exactly.
+pub fn folds_arg() -> usize {
+    flag_arg("--folds").unwrap_or(1).max(1)
+}
+
+fn flag_arg<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

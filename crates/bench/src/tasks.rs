@@ -1,0 +1,193 @@
+//! The four evaluation tasks of §6, implemented once.
+//!
+//! Every task takes *scoring closures* so COLD and every baseline are
+//! measured by exactly the same protocol; the figures only differ in which
+//! models they plug in.
+
+use cold_data::{RetweetTuple, SocialDataset};
+use cold_eval::{averaged_auc, perplexity, ranking_auc};
+use cold_graph::sampling::sample_negative_links;
+use cold_math::rng::seeded_rng;
+use cold_text::PostId;
+use rand::seq::SliceRandom;
+
+/// A train/test split of the dataset's posts (for perplexity / time-stamp
+/// prediction). Links are never held out by this split.
+pub struct PostSplit {
+    /// Post ids to train on.
+    pub train: Vec<PostId>,
+    /// Held-out post ids.
+    pub test: Vec<PostId>,
+}
+
+/// Split posts 80/20, deterministically per `seed`.
+pub fn post_split(data: &SocialDataset, seed: u64) -> PostSplit {
+    let mut ids: Vec<PostId> = (0..data.corpus.num_posts() as PostId).collect();
+    let mut rng = seeded_rng(seed);
+    ids.shuffle(&mut rng);
+    let cut = ids.len() / 5;
+    PostSplit {
+        test: ids[..cut].to_vec(),
+        train: ids[cut..].to_vec(),
+    }
+}
+
+/// Held-out perplexity (§6.2, Fig. 9): `score(author, words) -> ln p(w)`.
+pub fn perplexity_task(
+    data: &SocialDataset,
+    test: &[PostId],
+    score: impl Fn(u32, &[u32]) -> f64,
+) -> f64 {
+    let per_post: Vec<(f64, usize)> = test
+        .iter()
+        .map(|&d| {
+            let post = data.corpus.post(d);
+            (score(post.author, &post.words), post.len())
+        })
+        .collect();
+    perplexity(&per_post).expect("held-out set must score finitely")
+}
+
+/// Link prediction AUC (§6.2, Fig. 10): 20% of positives held out, matched
+/// with an equal number of sampled negatives, ranked by `score(i, i')`.
+pub fn link_auc_task(
+    data: &SocialDataset,
+    held_out: &[(u32, u32)],
+    seed: u64,
+    score: impl Fn(u32, u32) -> f64,
+) -> f64 {
+    let mut rng = seeded_rng(seed);
+    let negatives = sample_negative_links(&mut rng, &data.graph, held_out.len());
+    let mut scored: Vec<(f64, bool)> = Vec::with_capacity(held_out.len() * 2);
+    for &(i, j) in held_out {
+        scored.push((score(i, j), true));
+    }
+    for &(i, j) in &negatives {
+        scored.push((score(i, j), false));
+    }
+    ranking_auc(&scored).expect("both classes present")
+}
+
+/// Hold out 20% of the positive links; returns `(training graph, held out)`.
+pub fn link_split(data: &SocialDataset, seed: u64) -> (cold_graph::CsrGraph, Vec<(u32, u32)>) {
+    let mut rng = seeded_rng(seed);
+    let mut edges: Vec<(u32, u32)> = data.graph.edges().collect();
+    edges.shuffle(&mut rng);
+    let cut = edges.len() / 5;
+    let held = edges[..cut].to_vec();
+    let train = cold_graph::CsrGraph::from_edges(data.graph.num_nodes(), &edges[cut..]);
+    (train, held)
+}
+
+/// Time-stamp prediction accuracies at each tolerance (§6.3, Fig. 11):
+/// `predict(author, words) -> slice`.
+pub fn timestamp_task(
+    data: &SocialDataset,
+    test: &[PostId],
+    tolerances: &[u16],
+    predict: impl Fn(u32, &[u32]) -> u16,
+) -> Vec<f64> {
+    let pairs: Vec<(u16, u16)> = test
+        .iter()
+        .map(|&d| {
+            let post = data.corpus.post(d);
+            (predict(post.author, &post.words), post.time)
+        })
+        .collect();
+    tolerances
+        .iter()
+        .map(|&tol| cold_eval::tolerance_accuracy(&pairs, tol).unwrap_or(0.0))
+        .collect()
+}
+
+/// Diffusion prediction averaged AUC (§6.3, Fig. 12):
+/// `score(publisher, consumer, words)` over held-out retweet tuples.
+pub fn diffusion_auc_task(
+    data: &SocialDataset,
+    test_tuples: &[RetweetTuple],
+    score: impl Fn(u32, u32, &[u32]) -> f64,
+) -> f64 {
+    let groups: Vec<Vec<(f64, bool)>> = test_tuples
+        .iter()
+        .filter(|t| t.is_scorable())
+        .map(|t| {
+            let words = &data.corpus.post(t.post).words;
+            let mut group = Vec::with_capacity(t.audience());
+            for &r in &t.retweeters {
+                group.push((score(t.publisher, r, words), true));
+            }
+            for &g in &t.ignorers {
+                group.push((score(t.publisher, g, words), false));
+            }
+            group
+        })
+        .collect();
+    averaged_auc(&groups).expect("at least one scorable tuple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::eval_world;
+
+    #[test]
+    fn post_split_is_a_partition() {
+        let data = eval_world(0.2);
+        let split = post_split(&data, 1);
+        assert_eq!(
+            split.train.len() + split.test.len(),
+            data.corpus.num_posts()
+        );
+        let mut all = split.train.clone();
+        all.extend(&split.test);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), data.corpus.num_posts());
+    }
+
+    #[test]
+    fn link_split_preserves_counts() {
+        let data = eval_world(0.2);
+        let (train, held) = link_split(&data, 2);
+        assert_eq!(train.num_edges() + held.len(), data.graph.num_edges());
+    }
+
+    #[test]
+    fn oracle_scorers_win_their_tasks() {
+        // A scorer that uses the ground truth should beat a random scorer.
+        let data = eval_world(0.2);
+        let (_, held) = link_split(&data, 3);
+        let truth_auc = link_auc_task(&data, &held, 4, |i, j| {
+            let pi = data.truth.pi_row(i);
+            let pj = data.truth.pi_row(j);
+            (0..data.truth.num_communities)
+                .flat_map(|c| (0..data.truth.num_communities).map(move |c2| (c, c2)))
+                .map(|(c, c2)| pi[c] * pj[c2] * data.truth.eta_at(c, c2))
+                .sum()
+        });
+        let random_auc = link_auc_task(&data, &held, 4, |i, j| ((i * 31 + j) % 97) as f64);
+        assert!(truth_auc > 0.75, "oracle link AUC {truth_auc}");
+        assert!((random_auc - 0.5).abs() < 0.1, "random link AUC {random_auc}");
+    }
+
+    #[test]
+    fn diffusion_task_scores_oracle_above_random() {
+        let data = eval_world(0.2);
+        let truth = &data.truth;
+        let auc = diffusion_auc_task(&data, &data.cascades, |p, c, words| {
+            let _ = words;
+            let pi_c = truth.pi_row(c);
+            let pi_p = truth.pi_row(p);
+            let mut acc = 0.0;
+            for k in 0..truth.num_topics {
+                for cc in 0..truth.num_communities {
+                    for c2 in 0..truth.num_communities {
+                        acc += pi_p[cc] * pi_c[c2] * truth.zeta(k, cc, c2);
+                    }
+                }
+            }
+            acc
+        });
+        assert!(auc > 0.55, "oracle diffusion AUC {auc}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The Independent Cascade model (Goldenberg, Libai, Muller — the paper's
+//! reference [8]).
+//!
+//! Every newly-activated node gets one chance to activate each inactive
+//! out-neighbour `v` with the edge's probability; the process runs until no
+//! new activations occur. Spread is estimated by Monte-Carlo repetition.
+
+use cold_math::rng::Rng;
+use rand::Rng as _;
+
+/// A directed graph with per-edge activation probabilities, in CSR form.
+#[derive(Debug, Clone)]
+pub struct WeightedDigraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    probs: Vec<f64>,
+}
+
+impl WeightedDigraph {
+    /// Build from `(src, dst, probability)` triples.
+    ///
+    /// # Panics
+    /// Panics if a probability is outside `[0, 1]` or an endpoint is out of
+    /// range.
+    pub fn from_edges(num_nodes: u32, edges: &[(u32, u32, f64)]) -> Self {
+        for &(s, t, p) in edges {
+            assert!(s < num_nodes && t < num_nodes, "edge ({s},{t}) out of range");
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        let mut sorted: Vec<(u32, u32, f64)> = edges.to_vec();
+        sorted.sort_by_key(|a| (a.0, a.1));
+        let mut offsets = vec![0u32; num_nodes as usize + 1];
+        for &(s, _, _) in &sorted {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..num_nodes as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        Self {
+            offsets,
+            targets: sorted.iter().map(|&(_, t, _)| t).collect(),
+            probs: sorted.iter().map(|&(_, _, p)| p).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Out-edges of `u` as `(target, probability)` pairs.
+    pub fn out_edges(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.probs[lo..hi].iter().copied())
+    }
+}
+
+/// Monte-Carlo Independent Cascade simulator.
+pub struct IndependentCascade<'g> {
+    graph: &'g WeightedDigraph,
+    /// Simulations per spread estimate.
+    pub simulations: usize,
+}
+
+impl<'g> IndependentCascade<'g> {
+    /// Simulator over `graph` with `simulations` Monte-Carlo repetitions.
+    pub fn new(graph: &'g WeightedDigraph, simulations: usize) -> Self {
+        assert!(simulations > 0);
+        Self { graph, simulations }
+    }
+
+    /// One cascade realization from `seeds`; returns the activated set
+    /// size (including seeds).
+    pub fn simulate_once(&self, seeds: &[u32], rng: &mut Rng) -> usize {
+        let n = self.graph.num_nodes() as usize;
+        let mut active = vec![false; n];
+        let mut frontier: Vec<u32> = Vec::with_capacity(seeds.len());
+        let mut count = 0usize;
+        for &s in seeds {
+            if !active[s as usize] {
+                active[s as usize] = true;
+                frontier.push(s);
+                count += 1;
+            }
+        }
+        let mut next: Vec<u32> = Vec::new();
+        while !frontier.is_empty() {
+            next.clear();
+            for &u in &frontier {
+                for (v, p) in self.graph.out_edges(u) {
+                    if !active[v as usize] && rng.gen::<f64>() < p {
+                        active[v as usize] = true;
+                        next.push(v);
+                        count += 1;
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        count
+    }
+
+    /// Expected spread of `seeds` (mean over the configured simulations).
+    pub fn expected_spread(&self, seeds: &[u32], rng: &mut Rng) -> f64 {
+        let total: usize = (0..self.simulations)
+            .map(|_| self.simulate_once(seeds, rng))
+            .sum();
+        total as f64 / self.simulations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::rng::seeded_rng;
+
+    /// A chain 0 -> 1 -> 2 -> 3 with deterministic edges.
+    fn chain(p: f64) -> WeightedDigraph {
+        WeightedDigraph::from_edges(4, &[(0, 1, p), (1, 2, p), (2, 3, p)])
+    }
+
+    #[test]
+    fn deterministic_chain_fully_activates() {
+        let g = chain(1.0);
+        let ic = IndependentCascade::new(&g, 10);
+        let mut rng = seeded_rng(1);
+        assert_eq!(ic.expected_spread(&[0], &mut rng), 4.0);
+        assert_eq!(ic.expected_spread(&[2], &mut rng), 2.0);
+    }
+
+    #[test]
+    fn zero_probability_spreads_nothing() {
+        let g = chain(0.0);
+        let ic = IndependentCascade::new(&g, 10);
+        let mut rng = seeded_rng(2);
+        assert_eq!(ic.expected_spread(&[0], &mut rng), 1.0);
+    }
+
+    #[test]
+    fn expected_spread_matches_analytic_chain() {
+        // Chain with p = 0.5: E[spread from 0] = 1 + 1/2 + 1/4 + 1/8 = 1.875.
+        let g = chain(0.5);
+        let ic = IndependentCascade::new(&g, 60_000);
+        let mut rng = seeded_rng(3);
+        let spread = ic.expected_spread(&[0], &mut rng);
+        assert!((spread - 1.875).abs() < 0.02, "spread {spread}");
+    }
+
+    #[test]
+    fn duplicate_seeds_count_once() {
+        let g = chain(1.0);
+        let ic = IndependentCascade::new(&g, 5);
+        let mut rng = seeded_rng(4);
+        assert_eq!(ic.simulate_once(&[0, 0, 1], &mut rng), 4);
+    }
+
+    #[test]
+    fn spread_is_monotone_in_seed_set() {
+        let g = WeightedDigraph::from_edges(
+            6,
+            &[(0, 1, 0.4), (1, 2, 0.4), (3, 4, 0.4), (4, 5, 0.4), (0, 3, 0.2)],
+        );
+        let ic = IndependentCascade::new(&g, 20_000);
+        let mut rng = seeded_rng(5);
+        let s1 = ic.expected_spread(&[0], &mut rng);
+        let s2 = ic.expected_spread(&[0, 3], &mut rng);
+        assert!(s2 > s1, "{s2} vs {s1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = WeightedDigraph::from_edges(2, &[(0, 1, 1.5)]);
+    }
+}

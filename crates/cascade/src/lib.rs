@@ -1,0 +1,33 @@
+//! Influence analysis on the extracted community-level diffusion graph.
+//!
+//! §6.6 of the paper applies the **Independent Cascade** model (Goldenberg
+//! et al.) to the community-level diffusion graph that COLD extracts, to
+//! identify the most influential communities for viral marketing, and
+//! ranks users by an analogous influence degree (Fig. 16's point sizes).
+//!
+//! * [`ic`] — the Independent Cascade model over an arbitrary weighted
+//!   directed graph, with Monte-Carlo spread estimation.
+//! * [`maximize`] — greedy influence maximization with CELF lazy
+//!   evaluation, plus the degree heuristic as a baseline (the paper cites
+//!   Kempe et al.; COLD supplies the influence strengths those methods
+//!   assume as given).
+//! * [`community`] — influential-community identification: single-seed IC
+//!   spread over the `ζ`-weighted community graph for a chosen topic, and
+//!   user influence degrees over the interaction network.
+//! * [`pentagon`] — the Fig. 16 visualization data: users embedded as
+//!   membership-weighted convex combinations of polygon corners.
+
+// Latent-variable code indexes parallel flat arrays by semantically
+// meaningful ids (community c, topic k, user i); iterator rewrites of
+// those loops obscure the math they mirror.
+#![allow(clippy::needless_range_loop)]
+
+pub mod community;
+pub mod ic;
+pub mod maximize;
+pub mod pentagon;
+
+pub use community::{community_influence, user_influence, CommunityInfluence};
+pub use ic::{IndependentCascade, WeightedDigraph};
+pub use maximize::{degree_heuristic, greedy_celf, SeedSelection};
+pub use pentagon::{pentagon_embedding, PentagonPoint};

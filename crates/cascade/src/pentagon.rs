@@ -1,0 +1,152 @@
+//! The Fig. 16 "pentagon" embedding.
+//!
+//! The paper visualizes the most influential communities as corners of a
+//! regular polygon and places every user at the membership-weighted convex
+//! combination of the corners: single-membership users sit at corners,
+//! two-community users on sides/diagonals. Communities beyond the top few
+//! are aggregated into one "other communities" corner.
+
+use cold_core::ColdModel;
+use serde::{Deserialize, Serialize};
+
+/// One plotted user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PentagonPoint {
+    /// User id.
+    pub user: u32,
+    /// X coordinate in `[-1, 1]`.
+    pub x: f64,
+    /// Y coordinate in `[-1, 1]`.
+    pub y: f64,
+    /// Point size (the user's influence degree, if provided).
+    pub size: f64,
+    /// The user's dominant corner (index into the corner list).
+    pub dominant_corner: usize,
+}
+
+/// Embed users against `corner_communities` (the top communities of the
+/// figure) plus an implicit final "others" corner; `sizes` are optional
+/// influence degrees (defaults to 1.0).
+///
+/// Corner `i` of the `(n+1)`-gon sits at angle `90° + i·360°/(n+1)`.
+pub fn pentagon_embedding(
+    model: &ColdModel,
+    corner_communities: &[usize],
+    sizes: Option<&[f64]>,
+) -> (Vec<(f64, f64)>, Vec<PentagonPoint>) {
+    let corners_n = corner_communities.len() + 1; // + "others"
+    let corners: Vec<(f64, f64)> = (0..corners_n)
+        .map(|i| {
+            let angle = std::f64::consts::FRAC_PI_2
+                + i as f64 * std::f64::consts::TAU / corners_n as f64;
+            (angle.cos(), angle.sin())
+        })
+        .collect();
+    let u = model.dims().num_users;
+    let points = (0..u)
+        .map(|user| {
+            let pi = model.user_memberships(user);
+            // Corner weights: named communities keep their mass; all other
+            // communities pool into the last corner.
+            let mut weights = vec![0.0f64; corners_n];
+            let mut named_total = 0.0;
+            for (ci, &cc) in corner_communities.iter().enumerate() {
+                weights[ci] = pi[cc];
+                named_total += pi[cc];
+            }
+            weights[corners_n - 1] = (1.0 - named_total).max(0.0);
+            let total: f64 = weights.iter().sum();
+            let (mut x, mut y) = (0.0, 0.0);
+            for (w, &(cx, cy)) in weights.iter().zip(&corners) {
+                x += w / total * cx;
+                y += w / total * cy;
+            }
+            let dominant = weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            PentagonPoint {
+                user,
+                x,
+                y,
+                size: sizes.map_or(1.0, |s| s[user as usize]),
+                dominant_corner: dominant,
+            }
+        })
+        .collect();
+    (corners, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_core::{ColdConfig, GibbsSampler};
+    use cold_graph::CsrGraph;
+    use cold_text::CorpusBuilder;
+
+    fn fitted() -> ColdModel {
+        let mut b = CorpusBuilder::new();
+        for u in 0..2u32 {
+            b.push_text(u, 0, &["football", "goal"]);
+        }
+        for u in 2..4u32 {
+            b.push_text(u, 1, &["film", "oscar"]);
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(40)
+            .burn_in(30)
+            .hyperparams(cold_core::Hyperparams {
+                alpha: 0.5,
+                beta: 0.01,
+                epsilon: 0.1,
+                rho: 0.5,
+                lambda0: 3.0,
+                lambda1: 0.1,
+            })
+            .build(&corpus, &graph);
+        GibbsSampler::new(&corpus, &graph, config, 5).run()
+    }
+
+    #[test]
+    fn points_stay_inside_the_polygon_hull() {
+        let model = fitted();
+        let (corners, points) = pentagon_embedding(&model, &[0, 1], None);
+        assert_eq!(corners.len(), 3);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            // Convex combination of unit-circle corners stays in the disk.
+            assert!(p.x * p.x + p.y * p.y <= 1.0 + 1e-9);
+            assert!(p.dominant_corner < 3);
+            assert_eq!(p.size, 1.0);
+        }
+    }
+
+    #[test]
+    fn concentrated_users_sit_near_their_corner() {
+        let model = fitted();
+        let (corners, points) = pentagon_embedding(&model, &[0, 1], None);
+        for p in &points {
+            let pi = model.user_memberships(p.user);
+            let strongest = if pi[0] > pi[1] { 0 } else { 1 };
+            if pi[strongest] > 0.9 {
+                let (cx, cy) = corners[strongest];
+                let d = ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt();
+                assert!(d < 0.35, "user {} at distance {d}", p.user);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_threaded_through() {
+        let model = fitted();
+        let sizes = vec![3.0, 1.0, 2.0, 5.0];
+        let (_, points) = pentagon_embedding(&model, &[0], Some(&sizes));
+        for p in &points {
+            assert_eq!(p.size, sizes[p.user as usize]);
+        }
+    }
+}

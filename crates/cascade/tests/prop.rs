@@ -1,0 +1,79 @@
+//! Property tests for the Independent Cascade machinery.
+
+use cold_cascade::{degree_heuristic, greedy_celf, IndependentCascade, WeightedDigraph};
+use cold_math::rng::seeded_rng;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32, f64)>)> {
+    (3u32..12).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n, 0.0f64..1.0), 0..40);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Spread always counts the seeds and never exceeds the node count.
+    #[test]
+    fn spread_is_bounded((n, edges) in arb_graph(), seed in 0u64..500) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(s, t, _)| s != t).collect();
+        let g = WeightedDigraph::from_edges(n, &edges);
+        let ic = IndependentCascade::new(&g, 50);
+        let mut rng = seeded_rng(seed);
+        let seeds = [0u32, n - 1];
+        let spread = ic.expected_spread(&seeds, &mut rng);
+        let distinct = if n > 1 { 2.0 } else { 1.0 };
+        prop_assert!(spread >= distinct - 1e-9);
+        prop_assert!(spread <= n as f64 + 1e-9);
+    }
+
+    /// Raising every edge probability cannot reduce expected spread.
+    #[test]
+    fn spread_is_monotone_in_probabilities((n, edges) in arb_graph(), seed in 0u64..500) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(s, t, _)| s != t).collect();
+        prop_assume!(!edges.is_empty());
+        let weak = WeightedDigraph::from_edges(n, &edges);
+        let strong_edges: Vec<_> = edges
+            .iter()
+            .map(|&(s, t, p)| (s, t, (p + 0.3).min(1.0)))
+            .collect();
+        let strong = WeightedDigraph::from_edges(n, &strong_edges);
+        let mut rng = seeded_rng(seed);
+        let ic_weak = IndependentCascade::new(&weak, 800);
+        let ic_strong = IndependentCascade::new(&strong, 800);
+        let s_weak = ic_weak.expected_spread(&[0], &mut rng);
+        let s_strong = ic_strong.expected_spread(&[0], &mut rng);
+        // Monte-Carlo noise tolerance.
+        prop_assert!(s_strong >= s_weak - 0.35, "{s_strong} vs {s_weak}");
+    }
+
+    /// Greedy selection returns distinct seeds with non-decreasing spread.
+    #[test]
+    fn greedy_output_is_well_formed((n, edges) in arb_graph(), seed in 0u64..500) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(s, t, _)| s != t).collect();
+        let g = WeightedDigraph::from_edges(n, &edges);
+        let mut rng = seeded_rng(seed);
+        let sel = greedy_celf(&g, 3, 60, &mut rng);
+        prop_assert_eq!(sel.seeds.len(), 3.min(n as usize));
+        let mut sorted = sel.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sel.seeds.len(), "duplicate seeds");
+        for w in sel.spread.windows(2) {
+            prop_assert!(w[1] >= w[0] - 0.3, "spread decreased: {:?}", sel.spread);
+        }
+    }
+
+    /// The degree heuristic returns the highest-out-mass nodes.
+    #[test]
+    fn degree_heuristic_is_sorted((n, edges) in arb_graph()) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(s, t, _)| s != t).collect();
+        let g = WeightedDigraph::from_edges(n, &edges);
+        let sel = degree_heuristic(&g, n as usize);
+        let mass = |v: u32| g.out_edges(v).map(|(_, p)| p).sum::<f64>();
+        for w in sel.seeds.windows(2) {
+            prop_assert!(mass(w[0]) >= mass(w[1]) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse a flat list of `--key value` pairs.
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut iter = raw.iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            if values.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// A required string argument.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string argument.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A parsed argument with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
+        }
+    }
+
+    /// A required parsed argument.
+    pub fn get_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self.required(name)?;
+        raw.parse()
+            .map_err(|_| format!("flag --{name}: cannot parse '{raw}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let args = Args::parse(&strings(&["--users", "300", "--out", "w.json"])).unwrap();
+        assert_eq!(args.required("out").unwrap(), "w.json");
+        assert_eq!(args.get_or("users", 0u32).unwrap(), 300);
+        assert_eq!(args.get_or("topics", 7usize).unwrap(), 7);
+        assert!(args.optional("absent").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&strings(&["users", "300"])).is_err());
+        assert!(Args::parse(&strings(&["--users"])).is_err());
+        assert!(Args::parse(&strings(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn reports_missing_and_unparsable() {
+        let args = Args::parse(&strings(&["--n", "abc"])).unwrap();
+        assert!(args.required("out").is_err());
+        assert!(args.get_or("n", 1u32).is_err());
+        assert!(args.get_required::<u32>("n").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! CLI subcommands.
+
+use crate::args::Args;
+use cold_core::{ColdConfig, ColdModel, DiffusionPredictor, GibbsSampler};
+use cold_data::{SocialDataset, WorldConfig};
+use cold_math::rng::seeded_rng;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cold — Community Level Diffusion (SIGMOD'15) toolkit
+
+USAGE:
+  cold generate  --out <world.json> [--users N] [--communities C] [--topics K]
+                 [--slices T] [--vocab V] [--seed S]
+  cold train     --data <world.json> --out <model.json>
+                 [--communities C] [--topics K] [--iterations N] [--seed S]
+  cold topics    --model <model.json> --data <world.json> [--top N] [--topic K]
+  cold communities --model <model.json> --data <world.json>
+  cold predict   --model <model.json> --data <world.json>
+                 --publisher I --consumer J --post D
+  cold influence --model <model.json> [--topic K] [--simulations N] [--seed S]
+  cold eval      --model <model.json> --data <world.json> [--seed S]
+  cold help";
+
+type CliResult = Result<(), String>;
+
+fn load_dataset(path: &str) -> Result<SocialDataset, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_model(path: &str) -> Result<ColdModel, String> {
+    ColdModel::load(path).map_err(|e| e.to_string())
+}
+
+/// `cold generate` — sample a synthetic world and write it to disk.
+pub fn generate(args: &Args) -> CliResult {
+    let out = args.required("out")?;
+    let config = WorldConfig {
+        num_users: args.get_or("users", 300u32)?,
+        num_communities: args.get_or("communities", 6usize)?,
+        num_topics: args.get_or("topics", 6usize)?,
+        num_time_slices: args.get_or("slices", 24u16)?,
+        vocab_size: args.get_or("vocab", 900usize)?,
+        ..WorldConfig::default()
+    };
+    config.validate()?;
+    let seed = args.get_or("seed", 42u64)?;
+    let data = cold_data::generate(&config, seed);
+    let json = serde_json::to_string(&data).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("generated {} -> {out}", data.summary());
+    Ok(())
+}
+
+/// `cold train` — fit COLD on a stored world.
+pub fn train(args: &Args) -> CliResult {
+    let data = load_dataset(args.required("data")?)?;
+    let out = args.required("out")?;
+    let c = args.get_or("communities", 6usize)?;
+    let k = args.get_or("topics", 6usize)?;
+    let iterations = args.get_or("iterations", 200usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let config = ColdConfig::builder(c, k)
+        .iterations(iterations)
+        .burn_in(iterations.saturating_sub(20).max(1))
+        .sample_lag(4)
+        .small_data_defaults()
+        .build(&data.corpus, &data.graph);
+    println!("training C={c} K={k} on {} ({iterations} sweeps)…", data.summary());
+    let started = std::time::Instant::now();
+    let model = GibbsSampler::new(&data.corpus, &data.graph, config, seed).run();
+    println!("trained in {:.1}s", started.elapsed().as_secs_f64());
+    model.save(out).map_err(|e| e.to_string())?;
+    println!("model -> {out}");
+    Ok(())
+}
+
+/// `cold topics` — print each topic's top words.
+pub fn topics(args: &Args) -> CliResult {
+    let model = load_model(args.required("model")?)?;
+    let data = load_dataset(args.required("data")?)?;
+    let top = args.get_or("top", 10usize)?;
+    // Optional single-topic filter: `--topic K`.
+    let only: Option<usize> = match args.optional("topic") {
+        Some(raw) => Some(raw.parse().map_err(|_| format!("--topic: cannot parse '{raw}'"))?),
+        None => None,
+    };
+    for k in 0..model.dims().num_topics {
+        if only.is_some_and(|t| t != k) {
+            continue;
+        }
+        let words: Vec<String> = model
+            .top_words(k, top, data.corpus.vocab())
+            .into_iter()
+            .map(|(w, p)| format!("{w} ({p:.3})"))
+            .collect();
+        println!("topic {k}: {}", words.join(", "));
+    }
+    Ok(())
+}
+
+/// `cold communities` — print community interests and sizes.
+pub fn communities(args: &Args) -> CliResult {
+    let model = load_model(args.required("model")?)?;
+    let data = load_dataset(args.required("data")?)?;
+    let hard = model.hard_user_communities();
+    for c in 0..model.dims().num_communities {
+        let members = hard.iter().filter(|&&x| x == c as u32).count();
+        let theta = model.community_topics(c);
+        let mut ranked: Vec<(usize, f64)> =
+            theta.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let interests: Vec<String> = ranked
+            .iter()
+            .take(3)
+            .map(|&(k, p)| format!("k{k}:{:.0}%", p * 100.0))
+            .collect();
+        println!(
+            "community {c}: {members} primary members, interests [{}]",
+            interests.join(" ")
+        );
+    }
+    let _ = data; // dataset kept for symmetry; membership needs only the model
+    Ok(())
+}
+
+/// `cold predict` — diffusion probability of one post between two users.
+pub fn predict(args: &Args) -> CliResult {
+    let model = load_model(args.required("model")?)?;
+    let data = load_dataset(args.required("data")?)?;
+    let publisher: u32 = args.get_required("publisher")?;
+    let consumer: u32 = args.get_required("consumer")?;
+    let post_id: u32 = args.get_required("post")?;
+    if post_id as usize >= data.corpus.num_posts() {
+        return Err(format!("post {post_id} out of range"));
+    }
+    let predictor = DiffusionPredictor::new(&model, cold_core::predict::DEFAULT_TOP_COMM);
+    let words = &data.corpus.post(post_id).words;
+    let score = predictor.diffusion_score(publisher, consumer, words);
+    let topics = predictor.post_topics(publisher, words);
+    let best = topics
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(k, p)| (k, *p))
+        .unwrap_or((0, 0.0));
+    println!(
+        "P({publisher} -> {consumer}, post {post_id}) = {score:.6}  (dominant topic {} at {:.0}%)",
+        best.0,
+        best.1 * 100.0
+    );
+    Ok(())
+}
+
+/// `cold influence` — rank communities by IC influence on one topic.
+pub fn influence(args: &Args) -> CliResult {
+    let model = load_model(args.required("model")?)?;
+    let topic = args.get_or("topic", 0usize)?;
+    if topic >= model.dims().num_topics {
+        return Err(format!("topic {topic} out of range"));
+    }
+    let simulations = args.get_or("simulations", 3000usize)?;
+    let mut rng = seeded_rng(args.get_or("seed", 7u64)?);
+    let ranking = cold_cascade::community_influence(&model, topic, simulations, &mut rng);
+    for r in &ranking {
+        println!(
+            "community {:>3}: influence {:.3}, interest {:.4}",
+            r.community, r.influence, r.interest
+        );
+    }
+    Ok(())
+}
+
+/// `cold eval` — quick quality report: perplexity + link AUC.
+pub fn eval(args: &Args) -> CliResult {
+    let model = load_model(args.required("model")?)?;
+    let data = load_dataset(args.required("data")?)?;
+    let mut rng = seeded_rng(args.get_or("seed", 9u64)?);
+
+    // Perplexity over all posts (in-sample report, labelled as such).
+    let per_post: Vec<(f64, usize)> = data
+        .corpus
+        .posts()
+        .iter()
+        .map(|p| {
+            (
+                cold_core::predict::post_log_likelihood(&model, p.author, &p.words),
+                p.len(),
+            )
+        })
+        .collect();
+    let perplexity =
+        cold_eval::perplexity(&per_post).ok_or("perplexity undefined for empty corpus")?;
+    println!(
+        "in-sample perplexity: {perplexity:.1} (uniform baseline {})",
+        data.corpus.vocab_size()
+    );
+
+    // Link AUC: all positives vs equally many sampled negatives.
+    let positives: Vec<(u32, u32)> = data.graph.edges().collect();
+    if !positives.is_empty() {
+        let negatives = cold_graph::sampling::sample_negative_links(
+            &mut rng,
+            &data.graph,
+            positives.len().min(data.graph.num_negative_links() as usize),
+        );
+        let mut scored: Vec<(f64, bool)> = Vec::new();
+        for &(i, j) in &positives {
+            scored.push((cold_core::predict::link_probability(&model, i, j), true));
+        }
+        for &(i, j) in &negatives {
+            scored.push((cold_core::predict::link_probability(&model, i, j), false));
+        }
+        let auc = cold_eval::ranking_auc(&scored).ok_or("AUC undefined")?;
+        println!("link AUC (in-sample positives vs sampled negatives): {auc:.3}");
+    }
+    Ok(())
+}

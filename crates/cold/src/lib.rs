@@ -1,0 +1,40 @@
+//! # cold — Community Level Diffusion, end to end
+//!
+//! The facade crate of the COLD workspace: re-exports every public API so a
+//! downstream user depends on one crate.
+//!
+//! ```
+//! use cold::data::{generate, WorldConfig};
+//! use cold::core::{ColdConfig, GibbsSampler};
+//!
+//! let world = generate(&WorldConfig::tiny(), 1);
+//! let config = ColdConfig::builder(3, 3)
+//!     .iterations(10)
+//!     .build(&world.corpus, &world.graph);
+//! let model = GibbsSampler::new(&world.corpus, &world.graph, config, 1).run();
+//! assert_eq!(model.dims().num_topics, 3);
+//! ```
+//!
+//! Crate map:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the COLD model, Gibbs inference, prediction, pattern analyses |
+//! | [`engine`] | GraphLab-style parallel (GAS) inference + cluster cost model |
+//! | [`baselines`] | MMSB, PMTLM, TOT, EUTB, Pipeline, WTM, TI comparators |
+//! | [`cascade`] | Independent Cascade, influence maximization, Fig. 16 analysis |
+//! | [`data`] | synthetic Weibo-like dataset generator with planted truth |
+//! | [`graph`] | CSR interaction-network substrate |
+//! | [`text`] | corpus / vocabulary / preprocessing substrate |
+//! | [`eval`] | AUC, perplexity, tolerance accuracy, NMI, timers, reports |
+//! | [`math`] | special functions, samplers, statistics |
+
+pub use cold_baselines as baselines;
+pub use cold_cascade as cascade;
+pub use cold_core as core;
+pub use cold_data as data;
+pub use cold_engine as engine;
+pub use cold_eval as eval;
+pub use cold_graph as graph;
+pub use cold_math as math;
+pub use cold_text as text;

@@ -1,0 +1,194 @@
+//! The collapsed conditionals (Eqs. 1–3) as free functions over
+//! [`CountState`], shared by the sequential sampler and the parallel
+//! engine (`cold-engine`), so both implementations sample from *exactly*
+//! the same distributions.
+
+use crate::params::Hyperparams;
+use crate::state::{CountState, PostsView};
+use cold_math::categorical::{sample_categorical, sample_log_categorical};
+use cold_math::rng::Rng;
+use cold_math::special::log_ascending_factorial;
+
+/// Reusable weight buffers for the conditionals (avoids per-draw allocs).
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Per-community weights (Eq. 1).
+    pub comm_weights: Vec<f64>,
+    /// Per-topic log-weights (Eq. 3).
+    pub topic_logw: Vec<f64>,
+    /// Per-(c,c') weights (Eq. 2).
+    pub pair_weights: Vec<f64>,
+}
+
+impl Scratch {
+    /// Buffers sized for `C` communities and `K` topics.
+    pub fn new(num_communities: usize, num_topics: usize) -> Self {
+        Self {
+            comm_weights: vec![0.0; num_communities],
+            topic_logw: vec![0.0; num_topics],
+            pair_weights: vec![0.0; num_communities * num_communities],
+        }
+    }
+}
+
+/// Resample `c_ij` (Eq. 1) then `z_ij` (Eq. 3) for post `d`, updating
+/// `state` in place. `rho` is passed separately from `hyper` so callers can
+/// anneal the membership prior.
+pub fn resample_post(
+    state: &mut CountState,
+    posts: &PostsView,
+    d: usize,
+    hyper: &Hyperparams,
+    rho: f64,
+    rng: &mut Rng,
+    scratch: &mut Scratch,
+) {
+    state.remove_post(d, posts);
+    let i = posts.authors[d] as usize;
+    let t = posts.times[d] as usize;
+    let cdim = state.num_communities;
+    let kdim = state.num_topics;
+    let tdim = state.num_time_slices as f64;
+
+    // --- Eq. (1): community, with the current topic fixed. ---
+    let k_cur = state.post_topic[d] as usize;
+    for c in 0..cdim {
+        let member = state.n_ic[i * cdim + c] as f64 + rho;
+        let interest = (state.n_ck[c * kdim + k_cur] as f64 + hyper.alpha)
+            / (state.n_c[c] as f64 + kdim as f64 * hyper.alpha);
+        let temporal_denom = if state.time_comm_rows == 1 {
+            (0..cdim).map(|cc| state.n_ck[cc * kdim + k_cur]).sum::<u32>() as f64
+        } else {
+            state.n_ck[c * kdim + k_cur] as f64
+        };
+        let temporal = (state.n_ckt[state.ckt_index(c, k_cur, t)] as f64 + hyper.epsilon)
+            / (temporal_denom + tdim * hyper.epsilon);
+        scratch.comm_weights[c] = member * interest * temporal;
+    }
+    let new_c = sample_categorical(rng, &scratch.comm_weights)
+        .expect("community weights must have positive mass");
+    state.post_comm[d] = new_c as u32;
+
+    // --- Eq. (3): topic, with the (new) community fixed. ---
+    let c = new_c;
+    let vbeta = state.vocab_size as f64 * hyper.beta;
+    for k in 0..kdim {
+        let n_ck = state.n_ck[c * kdim + k] as f64;
+        let temporal_denom = if state.time_comm_rows == 1 {
+            (0..cdim).map(|cc| state.n_ck[cc * kdim + k]).sum::<u32>() as f64
+        } else {
+            n_ck
+        };
+        let mut lw = (n_ck + hyper.alpha).ln()
+            + (state.n_ckt[state.ckt_index(c, k, t)] as f64 + hyper.epsilon).ln()
+            - (temporal_denom + tdim * hyper.epsilon).ln();
+        for &(w, cnt) in &posts.multisets[d] {
+            lw += log_ascending_factorial(
+                state.n_kv[k * state.vocab_size + w as usize] as f64 + hyper.beta,
+                cnt,
+            );
+        }
+        lw -= log_ascending_factorial(state.n_k[k] as f64 + vbeta, posts.lens[d]);
+        scratch.topic_logw[k] = lw;
+    }
+    let new_k = sample_log_categorical(rng, &scratch.topic_logw)
+        .expect("topic weights must have finite mass");
+    state.post_topic[d] = new_k as u32;
+
+    state.add_post(d, posts);
+}
+
+/// Resample `(s_ii', s'_ii')` jointly for link `e` (Eq. 2).
+pub fn resample_link(
+    state: &mut CountState,
+    e: usize,
+    hyper: &Hyperparams,
+    rho: f64,
+    rng: &mut Rng,
+    scratch: &mut Scratch,
+) {
+    state.remove_link(e);
+    let (i, j) = state.links[e];
+    let cdim = state.num_communities;
+    for c in 0..cdim {
+        let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+        for c2 in 0..cdim {
+            let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+            let n1 = state.n_cc[c * cdim + c2] as f64;
+            // With explicit negatives, n0 carries the per-cell absence
+            // evidence; without them it is zero and λ0 alone stands in for
+            // the negatives (the paper's approximation).
+            let n0 = state.n0_cc[c * cdim + c2] as f64;
+            let link = (n1 + hyper.lambda1) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);
+            scratch.pair_weights[c * cdim + c2] = mi * mj * link;
+        }
+    }
+    let cell = sample_categorical(rng, &scratch.pair_weights)
+        .expect("pair weights must have positive mass");
+    state.link_src_comm[e] = (cell / cdim) as u32;
+    state.link_dst_comm[e] = (cell % cdim) as u32;
+    state.add_link(e);
+}
+
+/// Resample `(s, s')` jointly for explicitly-observed negative pair `e`:
+/// the Eq. 2 shape with the Bernoulli *failure* predictive.
+pub fn resample_negative_link(
+    state: &mut CountState,
+    e: usize,
+    hyper: &Hyperparams,
+    rho: f64,
+    rng: &mut Rng,
+    scratch: &mut Scratch,
+) {
+    state.remove_neg_link(e);
+    let (i, j) = state.neg_links[e];
+    let cdim = state.num_communities;
+    for c in 0..cdim {
+        let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+        for c2 in 0..cdim {
+            let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+            let n1 = state.n_cc[c * cdim + c2] as f64;
+            let n0 = state.n0_cc[c * cdim + c2] as f64;
+            let no_link = (n0 + hyper.lambda0) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);
+            scratch.pair_weights[c * cdim + c2] = mi * mj * no_link;
+        }
+    }
+    let cell = sample_categorical(rng, &scratch.pair_weights)
+        .expect("pair weights must have positive mass");
+    state.neg_src_comm[e] = (cell / cdim) as u32;
+    state.neg_dst_comm[e] = (cell % cdim) as u32;
+    state.add_neg_link(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ColdConfig;
+    use cold_graph::CsrGraph;
+    use cold_math::rng::seeded_rng;
+    use cold_text::CorpusBuilder;
+
+    #[test]
+    fn conditionals_preserve_counter_consistency() {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["a", "b"]);
+        b.push_text(1, 1, &["c", "a"]);
+        b.push_text(2, 2, &["b"]);
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        let posts = crate::state::PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(9);
+        let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let mut scratch = Scratch::new(2, 2);
+        for _ in 0..5 {
+            for d in 0..posts.len() {
+                resample_post(&mut state, &posts, d, &config.hyper, config.hyper.rho, &mut rng, &mut scratch);
+            }
+            for e in 0..state.links.len() {
+                resample_link(&mut state, e, &config.hyper, config.hyper.rho, &mut rng, &mut scratch);
+            }
+            state.check_consistency(&posts).unwrap();
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Convergence diagnostics for Gibbs chains.
+//!
+//! §4.3 of the paper monitors "the likelihood of training data" to decide
+//! convergence; this module turns that monitoring into decisions:
+//!
+//! * [`has_plateaued`] — has the likelihood stopped climbing?
+//! * [`geweke_z`] — Geweke's diagnostic: compare the means of an early and
+//!   a late segment of the (post-warm-up) trace, in units of their pooled
+//!   standard error; |z| ≲ 2 is consistent with stationarity.
+//! * [`autocorrelation`] / [`effective_sample_size`] — how many
+//!   effectively-independent samples a correlated trace contains, which
+//!   calibrates `sample_lag`.
+
+use crate::sampler::TrainTrace;
+
+/// Whether the likelihood trace has plateaued: the mean of the last
+/// `window` checkpoints improved by less than `rel_tol` (relative) over
+/// the mean of the preceding `window`.
+///
+/// Returns `false` when the trace is too short to judge.
+pub fn has_plateaued(trace: &TrainTrace, window: usize, rel_tol: f64) -> bool {
+    let values: Vec<f64> = trace.log_likelihood.iter().map(|&(_, ll)| ll).collect();
+    if values.len() < 2 * window || window == 0 {
+        return false;
+    }
+    let late = &values[values.len() - window..];
+    let early = &values[values.len() - 2 * window..values.len() - window];
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let (m_late, m_early) = (mean(late), mean(early));
+    // Log-likelihoods are negative; improvement means moving toward zero.
+    let improvement = m_late - m_early;
+    improvement.abs() <= rel_tol * m_early.abs().max(1.0)
+}
+
+/// Geweke's convergence diagnostic on a scalar trace: `z` comparing the
+/// first `first_frac` against the last `last_frac` of the samples.
+/// Returns `None` for traces too short to segment.
+pub fn geweke_z(values: &[f64], first_frac: f64, last_frac: f64) -> Option<f64> {
+    assert!(first_frac > 0.0 && last_frac > 0.0 && first_frac + last_frac <= 1.0);
+    let n = values.len();
+    let n_a = (n as f64 * first_frac) as usize;
+    let n_b = (n as f64 * last_frac) as usize;
+    if n_a < 2 || n_b < 2 {
+        return None;
+    }
+    let a = &values[..n_a];
+    let b = &values[n - n_b..];
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = |xs: &[f64], m: f64| {
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let se = (va / n_a as f64 + vb / n_b as f64).sqrt();
+    if se == 0.0 {
+        // Both segments constant: identical means converge trivially.
+        return Some(if ma == mb { 0.0 } else { f64::INFINITY });
+    }
+    Some((ma - mb) / se)
+}
+
+/// Lag-`k` autocorrelation of a scalar trace (biased estimator, the usual
+/// choice for ESS computation). Returns 0 for out-of-range lags.
+pub fn autocorrelation(values: &[f64], lag: usize) -> f64 {
+    let n = values.len();
+    if lag >= n || n < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let denom: f64 = values.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (values[i] - mean) * (values[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Effective sample size via the initial-positive-sequence estimator:
+/// `ESS = n / (1 + 2 Σ ρ_k)` truncated at the first non-positive
+/// autocorrelation.
+pub fn effective_sample_size(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 3 {
+        return n as f64;
+    }
+    let mut acf_sum = 0.0;
+    for lag in 1..n / 2 {
+        let rho = autocorrelation(values, lag);
+        if rho <= 0.0 {
+            break;
+        }
+        acf_sum += rho;
+    }
+    (n as f64 / (1.0 + 2.0 * acf_sum)).min(n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::rng::seeded_rng;
+    use rand::Rng as _;
+
+    fn trace_from(values: &[f64]) -> TrainTrace {
+        TrainTrace {
+            log_likelihood: values.iter().enumerate().map(|(i, &v)| (i, v)).collect(),
+            post_draws: 0,
+            link_draws: 0,
+        }
+    }
+
+    #[test]
+    fn plateau_detection() {
+        // Climbing: not plateaued.
+        let climbing: Vec<f64> = (0..20).map(|i| -1000.0 + 20.0 * i as f64).collect();
+        assert!(!has_plateaued(&trace_from(&climbing), 5, 1e-3));
+        // Flat tail: plateaued.
+        let mut flat = climbing.clone();
+        flat.extend(std::iter::repeat_n(-620.0, 10));
+        assert!(has_plateaued(&trace_from(&flat), 5, 1e-3));
+        // Too short to judge.
+        assert!(!has_plateaued(&trace_from(&[-1.0, -2.0]), 5, 1e-3));
+    }
+
+    #[test]
+    fn geweke_accepts_stationary_noise() {
+        let mut rng = seeded_rng(1);
+        let values: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let z = geweke_z(&values, 0.1, 0.5).unwrap();
+        assert!(z.abs() < 3.0, "stationary noise flagged: z = {z}");
+    }
+
+    #[test]
+    fn geweke_rejects_a_trend() {
+        let values: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let z = geweke_z(&values, 0.1, 0.5).unwrap();
+        assert!(z.abs() > 5.0, "clear trend not flagged: z = {z}");
+    }
+
+    #[test]
+    fn geweke_short_trace_is_none() {
+        assert!(geweke_z(&[1.0, 2.0, 3.0], 0.1, 0.5).is_none());
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_noise_is_small() {
+        let mut rng = seeded_rng(2);
+        let values: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        assert!(autocorrelation(&values, 1).abs() < 0.1);
+        assert!((autocorrelation(&values, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ess_of_iid_noise_is_near_n() {
+        let mut rng = seeded_rng(3);
+        let values: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        let ess = effective_sample_size(&values);
+        assert!(ess > 500.0, "iid ESS too low: {ess}");
+    }
+
+    #[test]
+    fn ess_of_sticky_chain_is_small() {
+        // AR(1) with coefficient 0.95: heavily autocorrelated.
+        let mut rng = seeded_rng(4);
+        let mut x = 0.0f64;
+        let values: Vec<f64> = (0..1000)
+            .map(|_| {
+                x = 0.95 * x + rng.gen::<f64>() - 0.5;
+                x
+            })
+            .collect();
+        let ess = effective_sample_size(&values);
+        assert!(ess < 200.0, "sticky-chain ESS too high: {ess}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The community-level diffusion graph (paper §5.1, Fig. 5).
+//!
+//! Nodes are communities annotated with their top interests (`θ`) and the
+//! topic's within-community timeline (`ψ`); edges carry the topic-specific
+//! influence `ζ_kcc'` (Eq. 4). This is both a human-readable overview of a
+//! topic's spread and the substrate for the Independent Cascade influence
+//! analysis (`cold-cascade`, Fig. 16).
+
+use crate::estimates::ColdModel;
+use serde::{Deserialize, Serialize};
+
+/// One directed influence edge between communities for a fixed topic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffusionEdge {
+    /// Source community `c`.
+    pub from: usize,
+    /// Target community `c'`.
+    pub to: usize,
+    /// `ζ_kcc'` — the topic-specific diffusion probability.
+    pub strength: f64,
+}
+
+/// One community node in the diffusion graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffusionNode {
+    /// Community id.
+    pub community: usize,
+    /// The community's interest in the focus topic (`θ_ck`).
+    pub interest: f64,
+    /// Top-interest topics `(topic, θ)` — the "pie chart" of Fig. 5.
+    pub top_topics: Vec<(usize, f64)>,
+    /// The focus topic's timeline within this community (`ψ_kc`).
+    pub timeline: Vec<f64>,
+}
+
+/// The extracted community-level diffusion graph for one topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityDiffusionGraph {
+    /// The focus topic `k`.
+    pub topic: usize,
+    /// Community nodes, one per community above the interest floor.
+    pub nodes: Vec<DiffusionNode>,
+    /// Influence edges with `ζ` above the strength floor.
+    pub edges: Vec<DiffusionEdge>,
+}
+
+impl CommunityDiffusionGraph {
+    /// Extract the diffusion graph of `topic`.
+    ///
+    /// * `min_interest` — drop communities with `θ_ck` below this (the
+    ///   paper's Fig. 5 omits indifferent communities such as *Traffic*);
+    /// * `top_topics` — how many interests to record per node (paper: 5);
+    /// * `min_strength` — drop edges with `ζ` below this.
+    pub fn extract(
+        model: &ColdModel,
+        topic: usize,
+        min_interest: f64,
+        top_topics: usize,
+        min_strength: f64,
+    ) -> Self {
+        let cdim = model.dims().num_communities;
+        let kept: Vec<usize> = (0..cdim)
+            .filter(|&c| model.community_topics(c)[topic] >= min_interest)
+            .collect();
+        let nodes: Vec<DiffusionNode> = kept
+            .iter()
+            .map(|&c| {
+                let theta = model.community_topics(c);
+                let mut order: Vec<usize> = (0..theta.len()).collect();
+                order.sort_by(|&a, &b| theta[b].partial_cmp(&theta[a]).expect("no NaN"));
+                DiffusionNode {
+                    community: c,
+                    interest: theta[topic],
+                    top_topics: order
+                        .into_iter()
+                        .take(top_topics)
+                        .map(|k| (k, theta[k]))
+                        .collect(),
+                    timeline: model.temporal(topic, c).to_vec(),
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for &c in &kept {
+            for &c2 in &kept {
+                if c == c2 {
+                    continue;
+                }
+                let z = model.zeta(topic, c, c2);
+                if z >= min_strength {
+                    edges.push(DiffusionEdge {
+                        from: c,
+                        to: c2,
+                        strength: z,
+                    });
+                }
+            }
+        }
+        edges.sort_by(|a, b| b.strength.partial_cmp(&a.strength).expect("no NaN"));
+        Self { topic, nodes, edges }
+    }
+
+    /// The community with the largest total outgoing influence on the topic
+    /// — Fig. 5's "most influential" reading of edge thickness.
+    pub fn most_influential_community(&self) -> Option<usize> {
+        let mut totals: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for e in &self.edges {
+            *totals.entry(e.from).or_insert(0.0) += e.strength;
+        }
+        totals
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .map(|(c, _)| c)
+    }
+
+    /// Dense `C×C` matrix of `ζ` restricted to the kept communities,
+    /// indexed by *community id* (absent pairs are 0). Convenient input for
+    /// the cascade simulator.
+    pub fn strength_matrix(&self, num_communities: usize) -> Vec<f64> {
+        let mut m = vec![0.0; num_communities * num_communities];
+        for e in &self.edges {
+            m[e.from * num_communities + e.to] = e.strength;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ColdConfig;
+    use crate::sampler::GibbsSampler;
+    use cold_graph::CsrGraph;
+    use cold_text::CorpusBuilder;
+
+    fn fitted() -> ColdModel {
+        let mut b = CorpusBuilder::new();
+        for u in 0..3u32 {
+            for t in 0..3u16 {
+                b.push_text(u, t, &["football", "goal", "match"]);
+            }
+        }
+        for u in 3..6u32 {
+            for t in 0..3u16 {
+                b.push_text(u, t, &["film", "oscar", "actor"]);
+            }
+        }
+        let corpus = b.build();
+        let edges = [
+            (0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (3, 0),
+        ];
+        let graph = CsrGraph::from_edges(6, &edges);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(60)
+            .burn_in(30)
+            .build(&corpus, &graph);
+        GibbsSampler::new(&corpus, &graph, config, 13).run()
+    }
+
+    #[test]
+    fn extraction_produces_nodes_and_edges() {
+        let model = fitted();
+        let g = CommunityDiffusionGraph::extract(&model, 0, 0.0, 2, 0.0);
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.edges.len(), 2); // both directed pairs
+        for n in &g.nodes {
+            assert_eq!(n.timeline.len(), 3);
+            assert_eq!(n.top_topics.len(), 2);
+            assert!((n.timeline.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Edges sorted by strength descending.
+        for w in g.edges.windows(2) {
+            assert!(w[0].strength >= w[1].strength);
+        }
+    }
+
+    #[test]
+    fn interest_floor_filters_nodes() {
+        let model = fitted();
+        let all = CommunityDiffusionGraph::extract(&model, 0, 0.0, 1, 0.0);
+        let strict = CommunityDiffusionGraph::extract(&model, 0, 0.99, 1, 0.0);
+        assert!(strict.nodes.len() <= all.nodes.len());
+        for n in &strict.nodes {
+            assert!(n.interest >= 0.99);
+        }
+    }
+
+    #[test]
+    fn strength_matrix_round_trips_edges() {
+        let model = fitted();
+        let g = CommunityDiffusionGraph::extract(&model, 1, 0.0, 1, 0.0);
+        let m = g.strength_matrix(2);
+        for e in &g.edges {
+            assert_eq!(m[e.from * 2 + e.to], e.strength);
+        }
+        // Diagonal untouched.
+        assert_eq!(m[0], 0.0);
+        assert_eq!(m[3], 0.0);
+    }
+
+    #[test]
+    fn most_influential_has_max_outgoing_mass() {
+        let model = fitted();
+        let g = CommunityDiffusionGraph::extract(&model, 0, 0.0, 1, 0.0);
+        let winner = g.most_influential_community().unwrap();
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = usize::MAX;
+        for c in [0usize, 1] {
+            let total: f64 = g
+                .edges
+                .iter()
+                .filter(|e| e.from == c)
+                .map(|e| e.strength)
+                .sum();
+            if total > best {
+                best = total;
+                arg = c;
+            }
+        }
+        assert_eq!(winner, arg);
+    }
+}

@@ -1,0 +1,372 @@
+//! Point estimation of the collapsed distributions (Appendix A) and the
+//! fitted-model container.
+//!
+//! After burn-in the sampler collects one point estimate per `sample_lag`
+//! sweeps and averages them — "the final predictive distributions are
+//! obtained by integrating across all the samples".
+
+use crate::params::{ColdConfig, Dims};
+use crate::state::CountState;
+use cold_text::Vocabulary;
+use serde::{Deserialize, Serialize};
+
+/// A fitted COLD model: averaged posterior point estimates of
+/// `π, θ, η, φ, ψ` (Table 1), all row-major flat matrices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColdModel {
+    dims: Dims,
+    /// `π`, `U×C`.
+    pi: Vec<f64>,
+    /// `θ`, `C×K`.
+    theta: Vec<f64>,
+    /// `η`, `C×C`.
+    eta: Vec<f64>,
+    /// `φ`, `K×V`.
+    phi: Vec<f64>,
+    /// `ψ`, `C×K×T` (duplicated across communities in shared-temporal mode).
+    psi: Vec<f64>,
+    /// Number of Gibbs samples averaged into the estimates.
+    samples: usize,
+}
+
+impl ColdModel {
+    /// Model dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Number of averaged Gibbs samples.
+    pub fn num_samples(&self) -> usize {
+        self.samples
+    }
+
+    /// `π_i` — user `i`'s distribution over communities.
+    pub fn user_memberships(&self, user: u32) -> &[f64] {
+        let c = self.dims.num_communities;
+        &self.pi[user as usize * c..(user as usize + 1) * c]
+    }
+
+    /// `θ_c` — community `c`'s interest over topics.
+    pub fn community_topics(&self, community: usize) -> &[f64] {
+        let k = self.dims.num_topics;
+        &self.theta[community * k..(community + 1) * k]
+    }
+
+    /// `η_cc'` — general influence strength of community `c` on `c'`.
+    pub fn eta(&self, c: usize, c2: usize) -> f64 {
+        self.eta[c * self.dims.num_communities + c2]
+    }
+
+    /// `φ_k` — topic `k`'s distribution over words.
+    pub fn topic_words(&self, topic: usize) -> &[f64] {
+        let v = self.dims.vocab_size;
+        &self.phi[topic * v..(topic + 1) * v]
+    }
+
+    /// `ψ_kc` — topic `k`'s temporal distribution within community `c`.
+    pub fn temporal(&self, topic: usize, community: usize) -> &[f64] {
+        let t = self.dims.num_time_slices;
+        let k = self.dims.num_topics;
+        let base = (community * k + topic) * t;
+        &self.psi[base..base + t]
+    }
+
+    /// `ζ_kcc' = θ_ck · θ_c'k · η_cc'` — Eq. (4), the topic-sensitive
+    /// community-level influence strength.
+    pub fn zeta(&self, topic: usize, c: usize, c2: usize) -> f64 {
+        self.community_topics(c)[topic] * self.community_topics(c2)[topic] * self.eta(c, c2)
+    }
+
+    /// The `n` most probable words of topic `k`, as `(word, probability)`.
+    /// This is the data behind the word clouds of Fig. 8.
+    pub fn top_words<'v>(
+        &self,
+        topic: usize,
+        n: usize,
+        vocab: &'v Vocabulary,
+    ) -> Vec<(&'v str, f64)> {
+        let row = self.topic_words(topic);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("phi has no NaN"));
+        idx.truncate(n);
+        idx.into_iter().map(|v| (vocab.word(v as u32), row[v])).collect()
+    }
+
+    /// `TopComm(i)` — the user's `n` strongest communities by `π_i`
+    /// (paper §5.2 fixes `n = 5`).
+    pub fn top_communities(&self, user: u32, n: usize) -> Vec<usize> {
+        let row = self.user_memberships(user);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("pi has no NaN"));
+        idx.truncate(n);
+        idx
+    }
+
+    /// Communities ranked by interest in `topic` (for the §5.3 analyses).
+    pub fn communities_by_interest(&self, topic: usize) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = (0..self.dims.num_communities)
+            .map(|c| (c, self.community_topics(c)[topic]))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("theta has no NaN"));
+        out
+    }
+
+    /// Hardened (arg-max) community per user; used for NMI against planted
+    /// ground truth in recovery tests.
+    pub fn hard_user_communities(&self) -> Vec<u32> {
+        (0..self.dims.num_users)
+            .map(|i| {
+                let row = self.user_memberships(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("pi has no NaN"))
+                    .map(|(c, _)| c as u32)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Accumulates per-sample point estimates; finalized into a [`ColdModel`].
+#[derive(Debug, Clone)]
+pub struct EstimateAccumulator {
+    dims: Dims,
+    hyper_rho: f64,
+    hyper_alpha: f64,
+    hyper_beta: f64,
+    hyper_epsilon: f64,
+    lambda0: f64,
+    lambda1: f64,
+    pi: Vec<f64>,
+    theta: Vec<f64>,
+    eta: Vec<f64>,
+    phi: Vec<f64>,
+    psi: Vec<f64>,
+    samples: usize,
+}
+
+impl EstimateAccumulator {
+    /// Fresh accumulator for a configuration.
+    pub fn new(config: &ColdConfig) -> Self {
+        let d = config.dims;
+        let (c, k, t, v, u) = (
+            d.num_communities,
+            d.num_topics,
+            d.num_time_slices,
+            d.vocab_size,
+            d.num_users as usize,
+        );
+        Self {
+            dims: d,
+            hyper_rho: config.hyper.rho,
+            hyper_alpha: config.hyper.alpha,
+            hyper_beta: config.hyper.beta,
+            hyper_epsilon: config.hyper.epsilon,
+            lambda0: config.hyper.lambda0,
+            lambda1: config.hyper.lambda1,
+            pi: vec![0.0; u * c],
+            theta: vec![0.0; c * k],
+            eta: vec![0.0; c * c],
+            phi: vec![0.0; k * v],
+            psi: vec![0.0; c * k * t],
+            samples: 0,
+        }
+    }
+
+    /// Fold in the point estimates computed from the current counts
+    /// (Appendix A "Distribution Estimation").
+    pub fn collect(&mut self, state: &CountState) {
+        let (c, k, t, v) = (
+            self.dims.num_communities,
+            self.dims.num_topics,
+            self.dims.num_time_slices,
+            self.dims.vocab_size,
+        );
+        let u = self.dims.num_users as usize;
+        for i in 0..u {
+            let denom = state.n_i[i] as f64 + c as f64 * self.hyper_rho;
+            for cc in 0..c {
+                self.pi[i * c + cc] +=
+                    (state.n_ic[i * c + cc] as f64 + self.hyper_rho) / denom;
+            }
+        }
+        for cc in 0..c {
+            let denom = state.n_c[cc] as f64 + k as f64 * self.hyper_alpha;
+            for kk in 0..k {
+                self.theta[cc * k + kk] +=
+                    (state.n_ck[cc * k + kk] as f64 + self.hyper_alpha) / denom;
+            }
+        }
+        // η̂: Definition 2 defines η_cc' as the *rate* of link formation
+        // between a user of c and a user of c'. The appendix's point
+        // estimate (n_cc' + λ1)/(n_cc' + λ0 + λ1) saturates once counts
+        // exceed λ0 and ranks cells by raw counts, which conflates strength
+        // with community size; we therefore normalize by the expected
+        // number of ordered user pairs in the cell, m_c·m_c' with
+        // m_c = Σ_i π̂_ic (the MLE denominator of the Bernoulli rate).
+        // This is the one deliberate deviation from Appendix A; see
+        // DESIGN.md.
+        let mut community_mass = vec![0.0f64; c];
+        for i in 0..u {
+            let denom = state.n_i[i] as f64 + c as f64 * self.hyper_rho;
+            for (cc, mass) in community_mass.iter_mut().enumerate() {
+                *mass += (state.n_ic[i * c + cc] as f64 + self.hyper_rho) / denom;
+            }
+        }
+        for cc in 0..c {
+            for c2 in 0..c {
+                let n = state.n_cc[cc * c + c2] as f64;
+                let pairs = community_mass[cc] * community_mass[c2];
+                self.eta[cc * c + c2] +=
+                    ((n + self.lambda1) / (pairs + self.lambda0 + self.lambda1)).min(1.0);
+            }
+        }
+        for kk in 0..k {
+            let denom = state.n_k[kk] as f64 + v as f64 * self.hyper_beta;
+            for vv in 0..v {
+                self.phi[kk * v + vv] +=
+                    (state.n_kv[kk * v + vv] as f64 + self.hyper_beta) / denom;
+            }
+        }
+        for cc in 0..c {
+            for kk in 0..k {
+                let n_ck_time = state.n_ckt
+                    [state.time_row(cc) * k * t + kk * t..state.time_row(cc) * k * t + (kk + 1) * t]
+                    .iter()
+                    .map(|&x| x as f64)
+                    .sum::<f64>();
+                let denom = n_ck_time + t as f64 * self.hyper_epsilon;
+                for tt in 0..t {
+                    self.psi[(cc * k + kk) * t + tt] += (state.n_ckt
+                        [state.ckt_index(cc, kk, tt)]
+                        as f64
+                        + self.hyper_epsilon)
+                        / denom;
+                }
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Average the collected samples into a model.
+    ///
+    /// # Panics
+    /// Panics if no sample was ever collected.
+    pub fn finalize(mut self) -> ColdModel {
+        assert!(self.samples > 0, "no Gibbs samples collected");
+        let scale = 1.0 / self.samples as f64;
+        for buf in [
+            &mut self.pi,
+            &mut self.theta,
+            &mut self.eta,
+            &mut self.phi,
+            &mut self.psi,
+        ] {
+            for x in buf.iter_mut() {
+                *x *= scale;
+            }
+        }
+        ColdModel {
+            dims: self.dims,
+            pi: self.pi,
+            theta: self.theta,
+            eta: self.eta,
+            phi: self.phi,
+            psi: self.psi,
+            samples: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ColdConfig;
+    use crate::state::PostsView;
+    use cold_graph::CsrGraph;
+    use cold_math::rng::seeded_rng;
+    use cold_text::CorpusBuilder;
+
+    fn fitted() -> (ColdModel, cold_text::Corpus) {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["a", "b"]);
+        b.push_text(1, 1, &["c"]);
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(2, &[(0, 1)]);
+        let config = ColdConfig::builder(2, 3).iterations(4).build(&corpus, &graph);
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(8);
+        let state = crate::state::CountState::init_random(&config, &posts, &graph, &mut rng);
+        let mut acc = EstimateAccumulator::new(&config);
+        acc.collect(&state);
+        acc.collect(&state);
+        (acc.finalize(), corpus)
+    }
+
+    #[test]
+    fn estimates_are_normalized() {
+        let (m, _) = fitted();
+        for i in 0..2 {
+            assert!((m.user_memberships(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for c in 0..2 {
+            assert!((m.community_topics(c).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for k in 0..3 {
+            assert!((m.topic_words(k).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for c in 0..2 {
+                assert!((m.temporal(k, c).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+        }
+        assert_eq!(m.num_samples(), 2);
+    }
+
+    #[test]
+    fn eta_is_a_probability() {
+        let (m, _) = fitted();
+        for c in 0..2 {
+            for c2 in 0..2 {
+                let e = m.eta(c, c2);
+                assert!((0.0..=1.0).contains(&e), "eta {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeta_combines_factors() {
+        let (m, _) = fitted();
+        let z = m.zeta(1, 0, 1);
+        let manual = m.community_topics(0)[1] * m.community_topics(1)[1] * m.eta(0, 1);
+        assert!((z - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn top_words_are_sorted() {
+        let (m, corpus) = fitted();
+        let top = m.top_words(0, 3, corpus.vocab());
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn top_communities_ranked_by_pi() {
+        let (m, _) = fitted();
+        let top = m.top_communities(0, 2);
+        assert_eq!(top.len(), 2);
+        let row = m.user_memberships(0);
+        assert!(row[top[0]] >= row[top[1]]);
+        // Truncation below C.
+        assert_eq!(m.top_communities(0, 1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Gibbs samples")]
+    fn finalize_without_samples_panics() {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["a"]);
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(2, &[(0, 1)]);
+        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        let _ = EstimateAccumulator::new(&config).finalize();
+    }
+}

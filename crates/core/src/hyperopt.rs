@@ -1,0 +1,168 @@
+//! Dirichlet hyper-parameter estimation (Minka's fixed-point iteration).
+//!
+//! §6.5 of the paper fixes the Dirichlet hyper-parameters by rule of thumb
+//! (`ρ = 50/C`, `α = 50/K`, `β = ε = 0.01`) and reports low sensitivity.
+//! At very different corpus scales the rule of thumb drifts (see DESIGN.md
+//! §5.3); this module provides the standard empirical-Bayes alternative:
+//! given the sampled count matrix, update a *symmetric* Dirichlet
+//! concentration by Minka's fixed-point iteration
+//!
+//! ```text
+//! a' = a · Σ_j Σ_i [Ψ(n_ij + a) − Ψ(a)]
+//!        ─────────────────────────────────
+//!        K · Σ_j [Ψ(n_j + K·a) − Ψ(K·a)]
+//! ```
+//!
+//! where `j` ranges over groups (users for `ρ`, communities for `α`) and
+//! `i` over the `K` categories of each group.
+
+use crate::state::CountState;
+use cold_math::special::digamma;
+
+/// One Minka fixed-point update of a symmetric Dirichlet concentration.
+///
+/// `counts` is row-major `groups × categories`. Returns the updated
+/// concentration, clamped to `[1e-6, 1e3]` for robustness.
+pub fn minka_update(counts: &[u32], groups: usize, categories: usize, a: f64) -> f64 {
+    debug_assert_eq!(counts.len(), groups * categories);
+    debug_assert!(a > 0.0);
+    let mut numerator = 0.0;
+    let mut denominator = 0.0;
+    let ka = categories as f64 * a;
+    for g in 0..groups {
+        let row = &counts[g * categories..(g + 1) * categories];
+        let total: u32 = row.iter().sum();
+        if total == 0 {
+            continue; // empty groups carry no evidence
+        }
+        for &n in row {
+            if n > 0 {
+                numerator += digamma(n as f64 + a) - digamma(a);
+            }
+        }
+        denominator += categories as f64 * (digamma(total as f64 + ka) - digamma(ka));
+    }
+    if denominator <= 0.0 {
+        return a;
+    }
+    (a * numerator / denominator).clamp(1e-6, 1e3)
+}
+
+/// Iterate [`minka_update`] to convergence (relative tolerance `tol`,
+/// at most `max_iters` rounds).
+pub fn estimate_concentration(
+    counts: &[u32],
+    groups: usize,
+    categories: usize,
+    init: f64,
+    tol: f64,
+    max_iters: usize,
+) -> f64 {
+    let mut a = init;
+    for _ in 0..max_iters {
+        let next = minka_update(counts, groups, categories, a);
+        if (next - a).abs() <= tol * a {
+            return next;
+        }
+        a = next;
+    }
+    a
+}
+
+/// Empirical-Bayes re-estimates of `ρ` (membership prior) and `α` (topic-
+/// interest prior) from a sampled state. Callers can feed these back into
+/// the next training run's [`crate::params::Hyperparams`].
+pub fn estimate_rho_alpha(state: &CountState) -> (f64, f64) {
+    let c = state.num_communities;
+    let k = state.num_topics;
+    let users = state.n_ic.len() / c;
+    let rho = estimate_concentration(&state.n_ic, users, c, 1.0, 1e-4, 100);
+    let alpha = estimate_concentration(&state.n_ck, c, k, 1.0, 1e-4, 100);
+    (rho, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::dirichlet::sample_dirichlet;
+    use cold_math::rng::seeded_rng;
+    use rand::Rng as _;
+
+    /// Sample `groups` count rows from Dir(a) multinomials and check the
+    /// estimator recovers `a` reasonably.
+    fn synthetic_counts(a: f64, groups: usize, categories: usize, per_group: u32, seed: u64) -> Vec<u32> {
+        let mut rng = seeded_rng(seed);
+        let mut counts = vec![0u32; groups * categories];
+        for g in 0..groups {
+            let p = sample_dirichlet(&mut rng, a, categories);
+            // cumulative draw per observation
+            for _ in 0..per_group {
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut chosen = categories - 1;
+                for (i, &pi) in p.iter().enumerate() {
+                    acc += pi;
+                    if u < acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                counts[g * categories + chosen] += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn recovers_sharp_concentration() {
+        let counts = synthetic_counts(0.2, 300, 5, 60, 1);
+        let est = estimate_concentration(&counts, 300, 5, 1.0, 1e-5, 200);
+        assert!((0.1..0.4).contains(&est), "estimated {est} for true 0.2");
+    }
+
+    #[test]
+    fn recovers_flat_concentration() {
+        let counts = synthetic_counts(5.0, 300, 5, 60, 2);
+        let est = estimate_concentration(&counts, 300, 5, 1.0, 1e-5, 200);
+        assert!((3.0..8.0).contains(&est), "estimated {est} for true 5.0");
+    }
+
+    #[test]
+    fn sharp_beats_flat_ordering() {
+        let sharp = synthetic_counts(0.1, 200, 4, 40, 3);
+        let flat = synthetic_counts(10.0, 200, 4, 40, 4);
+        let est_sharp = estimate_concentration(&sharp, 200, 4, 1.0, 1e-5, 200);
+        let est_flat = estimate_concentration(&flat, 200, 4, 1.0, 1e-5, 200);
+        assert!(est_sharp < est_flat, "{est_sharp} vs {est_flat}");
+    }
+
+    #[test]
+    fn empty_counts_leave_concentration_unchanged() {
+        let counts = vec![0u32; 20];
+        let est = minka_update(&counts, 4, 5, 0.7);
+        assert_eq!(est, 0.7);
+    }
+
+    #[test]
+    fn state_level_estimates_are_positive() {
+        use crate::params::ColdConfig;
+        use crate::state::PostsView;
+        use cold_graph::CsrGraph;
+        use cold_text::CorpusBuilder;
+
+        let mut b = CorpusBuilder::new();
+        for rep in 0..5u16 {
+            b.push_text(0, rep % 2, &["a", "b"]);
+            b.push_text(1, rep % 2, &["c", "d"]);
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(2, &[(0, 1)]);
+        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = cold_math::rng::seeded_rng(5);
+        let state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let (rho, alpha) = estimate_rho_alpha(&state);
+        assert!(rho > 0.0 && rho.is_finite());
+        assert!(alpha > 0.0 && alpha.is_finite());
+    }
+}

@@ -1,0 +1,234 @@
+//! Online (streaming) inference — the paper's §7 future-work direction
+//! ("more efficient and compact summarization techniques … for dynamic and
+//! noisy data scenarios").
+//!
+//! Social streams never stop; refitting from scratch for every batch of
+//! new posts is wasteful when the latent structure is stable. The
+//! [`OnlineCold`] wrapper holds a converged [`CountState`] and **folds new
+//! posts in incrementally**: each arriving post is assigned by a few Gibbs
+//! draws against the existing counters (which it then joins), and a short
+//! refresh sweep over a recent window keeps the estimates current. Old
+//! epochs can be retired to bound memory.
+//!
+//! This is the standard particle-style treatment of streaming LDA-family
+//! models; it inherits the collapsed conditionals from [`conditionals`],
+//! so online and batch assignments are drawn from the same distributions.
+
+use crate::conditionals::{resample_post, Scratch};
+use crate::estimates::{ColdModel, EstimateAccumulator};
+use crate::params::ColdConfig;
+use crate::sampler::GibbsSampler;
+use crate::state::{CountState, PostsView};
+use cold_graph::CsrGraph;
+use cold_math::rng::{seeded_rng, Rng};
+use cold_text::Post;
+
+/// A fitted model that accepts new posts incrementally.
+pub struct OnlineCold {
+    config: ColdConfig,
+    state: CountState,
+    posts: PostsView,
+    rng: Rng,
+    scratch: Scratch,
+    /// Gibbs draws per arriving post (burn-in for its assignment).
+    pub draws_per_post: usize,
+    /// Recent-window size for refresh sweeps.
+    pub refresh_window: usize,
+}
+
+impl OnlineCold {
+    /// Warm-start from a batch fit: runs the configured batch training,
+    /// then keeps the final state for streaming updates.
+    pub fn warm_start(
+        corpus: &cold_text::Corpus,
+        graph: &CsrGraph,
+        config: ColdConfig,
+        seed: u64,
+    ) -> Self {
+        let mut sampler = GibbsSampler::new(corpus, graph, config.clone(), seed);
+        for _ in 0..config.iterations {
+            sampler.sweep();
+        }
+        let state = sampler.state().clone();
+        let posts = PostsView::from_corpus(corpus);
+        let scratch = Scratch::new(state.num_communities, state.num_topics);
+        Self {
+            config,
+            state,
+            posts,
+            rng: seeded_rng(seed.wrapping_add(0x0_11e)),
+            scratch,
+            draws_per_post: 3,
+            refresh_window: 256,
+        }
+    }
+
+    /// Number of posts currently absorbed (batch + streamed).
+    pub fn num_posts(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Absorb one new post: append it, then give its assignment
+    /// `draws_per_post` Gibbs draws against the current counters.
+    pub fn absorb(&mut self, post: &Post) {
+        let d = self.posts.len();
+        self.posts.authors.push(post.author);
+        self.posts.times.push(post.time);
+        self.posts.multisets.push(post.word_multiset());
+        self.posts.lens.push(post.len() as u32);
+        // Initial assignment: uniform random, then counted in.
+        use rand::Rng as _;
+        self.state.post_comm.push(
+            self.rng.gen_range(0..self.state.num_communities) as u32,
+        );
+        self.state
+            .post_topic
+            .push(self.rng.gen_range(0..self.state.num_topics) as u32);
+        self.state.add_post(d, &self.posts);
+        for _ in 0..self.draws_per_post {
+            resample_post(
+                &mut self.state,
+                &self.posts,
+                d,
+                &self.config.hyper,
+                self.config.hyper.rho,
+                &mut self.rng,
+                &mut self.scratch,
+            );
+        }
+    }
+
+    /// One refresh sweep over the most recent `refresh_window` posts —
+    /// cheap periodic maintenance that lets recent assignments settle
+    /// against each other.
+    pub fn refresh(&mut self) {
+        let start = self.posts.len().saturating_sub(self.refresh_window);
+        for d in start..self.posts.len() {
+            resample_post(
+                &mut self.state,
+                &self.posts,
+                d,
+                &self.config.hyper,
+                self.config.hyper.rho,
+                &mut self.rng,
+                &mut self.scratch,
+            );
+        }
+    }
+
+    /// Current point-estimate snapshot (single sample, no averaging —
+    /// streaming callers re-snapshot as often as they like).
+    pub fn snapshot(&self) -> ColdModel {
+        let mut acc = EstimateAccumulator::new(&self.config);
+        acc.collect(&self.state);
+        acc.finalize()
+    }
+
+    /// Read access to the live count state (tests, diagnostics).
+    pub fn state(&self) -> &CountState {
+        &self.state
+    }
+
+    /// Consistency check over the absorbed posts (O(data), tests only).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        self.state.check_consistency(&self.posts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ColdConfig, Hyperparams};
+    use cold_text::CorpusBuilder;
+
+    fn setup() -> (cold_text::Corpus, CsrGraph, ColdConfig) {
+        let mut b = CorpusBuilder::new();
+        for rep in 0..6u16 {
+            b.push_text(0, rep % 2, &["football", "goal", "match"]);
+            b.push_text(1, 2 + rep % 2, &["film", "oscar", "actor"]);
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(60)
+            .burn_in(50)
+            .hyperparams(Hyperparams {
+                alpha: 0.2,
+                beta: 0.01,
+                epsilon: 0.05,
+                rho: 0.5,
+                lambda0: 2.0,
+                lambda1: 0.1,
+            })
+            .build(&corpus, &graph);
+        (corpus, graph, config)
+    }
+
+    #[test]
+    fn absorbing_posts_keeps_counters_consistent() {
+        let (corpus, graph, config) = setup();
+        let mut online = OnlineCold::warm_start(&corpus, &graph, config, 3);
+        let fb = corpus.vocab().id_of("football").unwrap();
+        let film = corpus.vocab().id_of("film").unwrap();
+        for i in 0..10 {
+            let post = if i % 2 == 0 {
+                Post::new(0, 1, vec![fb, fb])
+            } else {
+                Post::new(1, 3, vec![film, film])
+            };
+            online.absorb(&post);
+            online.check_consistency().unwrap();
+        }
+        assert_eq!(online.num_posts(), corpus.num_posts() + 10);
+        online.refresh();
+        online.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn absorbed_posts_land_in_the_matching_topic() {
+        let (corpus, graph, config) = setup();
+        let mut online = OnlineCold::warm_start(&corpus, &graph, config, 4);
+        let snapshot = online.snapshot();
+        let fb = corpus.vocab().id_of("football").unwrap() as usize;
+        let k_sports = if snapshot.topic_words(0)[fb] > snapshot.topic_words(1)[fb] {
+            0u32
+        } else {
+            1u32
+        };
+        // Stream ten unambiguous sports posts; they should all be assigned
+        // the sports topic.
+        let mut hits = 0;
+        for _ in 0..10 {
+            let post = Post::new(0, 0, vec![fb as u32, fb as u32, fb as u32]);
+            online.absorb(&post);
+            let d = online.num_posts() - 1;
+            if online.state().post_topic[d] == k_sports {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 8, "only {hits}/10 streamed posts hit the sports topic");
+    }
+
+    #[test]
+    fn snapshot_reflects_streamed_evidence() {
+        let (corpus, graph, config) = setup();
+        let mut online = OnlineCold::warm_start(&corpus, &graph, config, 5);
+        let before = online.snapshot();
+        let fb = corpus.vocab().id_of("football").unwrap();
+        // Stream a burst of sports posts at a previously quiet time slice.
+        for _ in 0..30 {
+            online.absorb(&Post::new(0, 3, vec![fb, fb, fb]));
+        }
+        online.refresh();
+        let after = online.snapshot();
+        let fbu = fb as usize;
+        let k_sports = if after.topic_words(0)[fbu] > after.topic_words(1)[fbu] { 0 } else { 1 };
+        // The sports topic's temporal mass at slice 3 must have grown.
+        let mass_before: f64 = (0..2).map(|c| before.temporal(k_sports, c)[3]).sum();
+        let mass_after: f64 = (0..2).map(|c| after.temporal(k_sports, c)[3]).sum();
+        assert!(
+            mass_after > mass_before,
+            "streamed burst ignored: {mass_before} -> {mass_after}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Diffusion-pattern analyses (paper §5.3).
+//!
+//! Two analyses built on the extracted community-level representations:
+//!
+//! * **Interest vs. fluctuation** (Fig. 6) — the variance of the temporal
+//!   distribution `ψ_kc` (fluctuation intensity) plotted against the
+//!   community's interest `θ_ck`, plus the CDF of interest strengths. The
+//!   paper's finding: topics fluctuate most in *medium-interested*
+//!   communities.
+//! * **Peak time lag** (Fig. 7) — peak-aligned median popularity curves for
+//!   highly- vs medium-interested communities on one topic. The paper's
+//!   finding: popularity rises earlier and lasts longer in
+//!   highly-interested communities.
+
+use crate::estimates::ColdModel;
+use cold_math::stats::{empirical_cdf, median, sample_variance};
+use serde::{Deserialize, Serialize};
+
+/// One `(interest, fluctuation)` observation for Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluctuationPoint {
+    /// Community id.
+    pub community: usize,
+    /// Topic id.
+    pub topic: usize,
+    /// `θ_ck` — interest of the community in the topic.
+    pub interest: f64,
+    /// Variance of the `ψ_kc` *values* across time slices — the paper's
+    /// fluctuation intensity: a steady (flat) curve has near-zero variance,
+    /// a spiky curve a high one.
+    pub fluctuation: f64,
+}
+
+/// The Fig. 6 dataset: the full scatter and the interest CDF.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluctuationAnalysis {
+    /// One point per (community, topic) pair.
+    pub points: Vec<FluctuationPoint>,
+    /// Empirical CDF of all interest strengths.
+    pub interest_cdf: Vec<(f64, f64)>,
+}
+
+impl FluctuationAnalysis {
+    /// Compute the scatter over every `(c, k)` pair of the model.
+    pub fn compute(model: &ColdModel) -> Self {
+        let cdim = model.dims().num_communities;
+        let kdim = model.dims().num_topics;
+        let mut points = Vec::with_capacity(cdim * kdim);
+        for c in 0..cdim {
+            let theta = model.community_topics(c);
+            for k in 0..kdim {
+                points.push(FluctuationPoint {
+                    community: c,
+                    topic: k,
+                    interest: theta[k],
+                    fluctuation: sample_variance(model.temporal(k, c)),
+                });
+            }
+        }
+        let interests: Vec<f64> = points.iter().map(|p| p.interest).collect();
+        Self {
+            interest_cdf: empirical_cdf(&interests),
+            points,
+        }
+    }
+
+    /// Mean fluctuation of points whose interest falls within
+    /// `[lo, hi)` — used to compare the paper's low / medium / high bands.
+    pub fn mean_fluctuation_in_band(&self, lo: f64, hi: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.interest >= lo && p.interest < hi)
+            .map(|p| p.fluctuation)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// The Fig. 7 dataset: peak-aligned median popularity curves of one topic
+/// for two community cohorts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeLagAnalysis {
+    /// The focus topic.
+    pub topic: usize,
+    /// Communities classified as highly interested (paper: top 10 by `θ`).
+    pub high_communities: Vec<usize>,
+    /// Medium-interested communities (above the low floor, below high).
+    pub medium_communities: Vec<usize>,
+    /// Median of peak-normalized `ψ` curves for the high cohort.
+    pub high_curve: Vec<f64>,
+    /// Median curve for the medium cohort.
+    pub medium_curve: Vec<f64>,
+}
+
+impl TimeLagAnalysis {
+    /// Classify communities and compute the median aligned curves,
+    /// following §5.3: the top `num_high` communities by interest form the
+    /// high cohort; the rest above `low_floor` form the medium cohort. Each
+    /// `ψ_kc` curve is scaled so its peak equals 1, then the median is taken
+    /// per time slice.
+    pub fn compute(model: &ColdModel, topic: usize, num_high: usize, low_floor: f64) -> Self {
+        let ranked = model.communities_by_interest(topic);
+        let high: Vec<usize> = ranked.iter().take(num_high).map(|&(c, _)| c).collect();
+        let medium: Vec<usize> = ranked
+            .iter()
+            .skip(num_high)
+            .filter(|&&(_, theta)| theta >= low_floor)
+            .map(|&(c, _)| c)
+            .collect();
+        let high_curve = Self::median_aligned_curve(model, topic, &high);
+        let medium_curve = Self::median_aligned_curve(model, topic, &medium);
+        Self {
+            topic,
+            high_communities: high,
+            medium_communities: medium,
+            high_curve,
+            medium_curve,
+        }
+    }
+
+    /// Peak-normalize each community's `ψ` curve and take per-slice medians.
+    fn median_aligned_curve(model: &ColdModel, topic: usize, cohort: &[usize]) -> Vec<f64> {
+        let tdim = model.dims().num_time_slices;
+        if cohort.is_empty() {
+            return vec![0.0; tdim];
+        }
+        let normalized: Vec<Vec<f64>> = cohort
+            .iter()
+            .map(|&c| {
+                let psi = model.temporal(topic, c);
+                let peak = psi.iter().copied().fold(0.0f64, f64::max);
+                if peak > 0.0 {
+                    psi.iter().map(|&p| p / peak).collect()
+                } else {
+                    psi.to_vec()
+                }
+            })
+            .collect();
+        (0..tdim)
+            .map(|t| {
+                let column: Vec<f64> = normalized.iter().map(|curve| curve[t]).collect();
+                median(&column).unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// Time slice at which a curve peaks (its "rise" reference point).
+    pub fn peak_slice(curve: &[f64]) -> usize {
+        curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("curve is finite"))
+            .map(|(t, _)| t)
+            .unwrap_or(0)
+    }
+
+    /// The lag, in slices, between the medium cohort's peak and the high
+    /// cohort's peak. Positive = high cohort peaks earlier, the paper's
+    /// finding.
+    pub fn peak_lag(&self) -> i64 {
+        Self::peak_slice(&self.medium_curve) as i64 - Self::peak_slice(&self.high_curve) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ColdConfig;
+    use crate::sampler::GibbsSampler;
+    use cold_graph::CsrGraph;
+    use cold_text::CorpusBuilder;
+
+    fn fitted() -> ColdModel {
+        let mut b = CorpusBuilder::new();
+        // Sports block bursts early, movie block bursts late; both also have
+        // background chatter so temporal variance is non-trivial.
+        for u in 0..3u32 {
+            for t in 0..6u16 {
+                let n = if t < 2 { 4 } else { 1 };
+                for _ in 0..n {
+                    b.push_text(u, t, &["football", "goal"]);
+                }
+            }
+        }
+        for u in 3..6u32 {
+            for t in 0..6u16 {
+                let n = if t >= 4 { 4 } else { 1 };
+                for _ in 0..n {
+                    b.push_text(u, t, &["film", "oscar"]);
+                }
+            }
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 4)],
+        );
+        let config = ColdConfig::builder(2, 2)
+            .iterations(60)
+            .burn_in(30)
+            .build(&corpus, &graph);
+        GibbsSampler::new(&corpus, &graph, config, 17).run()
+    }
+
+    #[test]
+    fn fluctuation_scatter_covers_all_pairs() {
+        let model = fitted();
+        let analysis = FluctuationAnalysis::compute(&model);
+        assert_eq!(analysis.points.len(), 2 * 2);
+        assert_eq!(analysis.interest_cdf.len(), 4);
+        for p in &analysis.points {
+            assert!((0.0..=1.0).contains(&p.interest));
+            assert!(p.fluctuation >= 0.0);
+        }
+        // CDF ends at 1.
+        assert_eq!(analysis.interest_cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn band_means_are_defined_only_where_points_exist() {
+        let model = fitted();
+        let analysis = FluctuationAnalysis::compute(&model);
+        assert!(analysis.mean_fluctuation_in_band(0.0, 1.01).is_some());
+        assert!(analysis.mean_fluctuation_in_band(2.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn time_lag_cohorts_partition_by_interest() {
+        let model = fitted();
+        let lag = TimeLagAnalysis::compute(&model, 0, 1, 0.0);
+        assert_eq!(lag.high_communities.len(), 1);
+        assert_eq!(lag.medium_communities.len(), 1);
+        assert_ne!(lag.high_communities[0], lag.medium_communities[0]);
+        assert_eq!(lag.high_curve.len(), 6);
+        // High cohort's aligned curve peaks at 1 by construction.
+        let peak = lag.high_curve.iter().copied().fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_helpers() {
+        let curve = [0.1, 0.9, 0.3];
+        assert_eq!(TimeLagAnalysis::peak_slice(&curve), 1);
+        assert_eq!(TimeLagAnalysis::peak_slice(&[]), 0);
+    }
+
+    #[test]
+    fn empty_cohort_yields_zero_curve() {
+        let model = fitted();
+        // num_high = C means the medium cohort is empty.
+        let lag = TimeLagAnalysis::compute(&model, 0, 2, 0.0);
+        assert!(lag.medium_communities.is_empty());
+        assert!(lag.medium_curve.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Model persistence.
+//!
+//! A fitted [`ColdModel`] is a set of dense probability tables; training it
+//! on real data can take hours (the paper's Fig. 14), so the model must
+//! outlive the process. JSON keeps the format transparent and diffable;
+//! the tables are f64 so round-trips are bit-exact.
+
+use crate::estimates::ColdModel;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file did not contain a valid model.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model persistence I/O error: {e}"),
+            PersistError::Format(msg) => write!(f, "invalid model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl ColdModel {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ColdModel serialization cannot fail")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// Write the model to `path` (JSON).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(())
+    }
+
+    /// Read a model back from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let mut data = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut data)?;
+        Self::from_json(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ColdConfig;
+    use crate::sampler::GibbsSampler;
+    use cold_graph::CsrGraph;
+    use cold_text::CorpusBuilder;
+
+    fn fitted() -> ColdModel {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["a", "b"]);
+        b.push_text(1, 1, &["c", "d"]);
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(2, &[(0, 1)]);
+        let config = ColdConfig::builder(2, 2).iterations(10).build(&corpus, &graph);
+        GibbsSampler::new(&corpus, &graph, config, 1).run()
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let model = fitted();
+        let back = ColdModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(back.dims(), model.dims());
+        assert_eq!(back.num_samples(), model.num_samples());
+        for i in 0..2 {
+            assert_eq!(back.user_memberships(i), model.user_memberships(i));
+        }
+        for k in 0..2 {
+            assert_eq!(back.topic_words(k), model.topic_words(k));
+            for c in 0..2 {
+                assert_eq!(back.temporal(k, c), model.temporal(k, c));
+            }
+        }
+        for c in 0..2 {
+            for c2 in 0..2 {
+                assert_eq!(back.eta(c, c2), model.eta(c, c2));
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = fitted();
+        let path = std::env::temp_dir().join("cold_model_persist_test.json");
+        model.save(&path).unwrap();
+        let back = ColdModel::load(&path).unwrap();
+        assert_eq!(back.user_memberships(0), model.user_memberships(0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_json_is_a_format_error() {
+        let err = ColdModel::from_json("{not json").unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        assert!(err.to_string().contains("invalid model file"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = ColdModel::load("/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,333 @@
+//! The collapsed Gibbs sampler (paper §4.1, Appendix A).
+//!
+//! One sweep resamples, in order:
+//!
+//! 1. for every post `d_ij`: the community `c_ij` (Eq. 1) and then the topic
+//!    `z_ij` (Eq. 3), with the post's own contribution excluded from all
+//!    counters while sampling;
+//! 2. for every positive link `(i, i')`: the endpoint-community pair
+//!    `(s_ii', s'_ii')` *jointly* over the `C²` cells (Eq. 2).
+//!
+//! Each conditional is evaluated from cached counters in O(C), O(K·|d|) and
+//! O(C²) respectively, so a sweep is linear in posts + words + positive
+//! links — the §4.2 complexity claim, which the scaling bench (Fig. 13a)
+//! verifies empirically.
+
+use crate::conditionals::{resample_link, resample_negative_link, resample_post, Scratch};
+use crate::estimates::{ColdModel, EstimateAccumulator};
+use crate::params::ColdConfig;
+use crate::state::{CountState, PostsView};
+use cold_graph::CsrGraph;
+use cold_math::rng::{seeded_rng, Rng};
+
+/// Progress of one training run, for convergence monitoring (§4.3 monitors
+/// "the likelihood of training data").
+#[derive(Debug, Clone, Default)]
+pub struct TrainTrace {
+    /// `(sweep index, complete-data log-likelihood)` checkpoints.
+    pub log_likelihood: Vec<(usize, f64)>,
+    /// Total posts × sweeps sampled (work metric for the scaling bench).
+    pub post_draws: u64,
+    /// Total links × sweeps sampled.
+    pub link_draws: u64,
+}
+
+/// The sequential collapsed Gibbs sampler.
+///
+/// For the parallel (GraphLab-style) implementation see the `cold-engine`
+/// crate, which reuses this crate's [`CountState`] and conditionals.
+pub struct GibbsSampler {
+    config: ColdConfig,
+    posts: PostsView,
+    state: CountState,
+    rng: Rng,
+    trace: TrainTrace,
+    /// Reusable weight buffers for the conditionals.
+    scratch: Scratch,
+    /// Completed sweeps, drives the annealing schedule.
+    sweeps_done: usize,
+    /// The membership prior in effect this sweep (annealed toward `ρ`).
+    current_rho: f64,
+}
+
+impl GibbsSampler {
+    /// Prepare a sampler with random initial assignments. The graph is only
+    /// read during initialization (its positive links are copied into the
+    /// count state).
+    pub fn new(corpus: &cold_text::Corpus, graph: &CsrGraph, config: ColdConfig, seed: u64) -> Self {
+        config.validate().expect("invalid COLD configuration");
+        let posts = PostsView::from_corpus(corpus);
+        let mut rng = seeded_rng(seed);
+        let state = CountState::init_random(&config, &posts, graph, &mut rng);
+        let c = config.dims.num_communities;
+        let k = config.dims.num_topics;
+        let current_rho = Self::annealed_rho(&config, 0);
+        Self {
+            posts,
+            state,
+            rng,
+            trace: TrainTrace::default(),
+            scratch: Scratch::new(c, k),
+            sweeps_done: 0,
+            current_rho,
+            config,
+        }
+    }
+
+    /// The membership prior for sweep `sweep`: linearly decays from
+    /// `anneal_boost·ρ` to `ρ` over the annealing window.
+    fn annealed_rho(config: &ColdConfig, sweep: usize) -> f64 {
+        let rho = config.hyper.rho;
+        if sweep >= config.anneal_sweeps || config.anneal_sweeps == 0 {
+            return rho;
+        }
+        let progress = sweep as f64 / config.anneal_sweeps as f64;
+        rho * (config.anneal_boost + (1.0 - config.anneal_boost) * progress)
+    }
+
+    /// Read access to the mutable state (for tests and the engine crate).
+    pub fn state(&self) -> &CountState {
+        &self.state
+    }
+
+    /// The training trace recorded so far.
+    pub fn trace(&self) -> &TrainTrace {
+        &self.trace
+    }
+
+    /// Run the configured number of sweeps and return the averaged model.
+    pub fn run(mut self) -> ColdModel {
+        let mut acc = EstimateAccumulator::new(&self.config);
+        for sweep in 0..self.config.iterations {
+            self.sweep();
+            if sweep % 10 == 0 || sweep + 1 == self.config.iterations {
+                let ll = self.log_likelihood();
+                self.trace.log_likelihood.push((sweep, ll));
+            }
+            if sweep >= self.config.burn_in
+                && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
+            {
+                acc.collect(&self.state);
+            }
+        }
+        acc.finalize()
+    }
+
+    /// Run and also return the trace (for convergence tests / benches).
+    pub fn run_traced(mut self) -> (ColdModel, TrainTrace) {
+        let mut acc = EstimateAccumulator::new(&self.config);
+        for sweep in 0..self.config.iterations {
+            self.sweep();
+            let ll = self.log_likelihood();
+            self.trace.log_likelihood.push((sweep, ll));
+            if sweep >= self.config.burn_in
+                && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
+            {
+                acc.collect(&self.state);
+            }
+        }
+        (acc.finalize(), self.trace)
+    }
+
+    /// One full Gibbs sweep over all posts and links.
+    pub fn sweep(&mut self) {
+        self.current_rho = Self::annealed_rho(&self.config, self.sweeps_done);
+        for d in 0..self.posts.len() {
+            resample_post(
+                &mut self.state,
+                &self.posts,
+                d,
+                &self.config.hyper,
+                self.current_rho,
+                &mut self.rng,
+                &mut self.scratch,
+            );
+        }
+        self.trace.post_draws += self.posts.len() as u64;
+        for e in 0..self.state.links.len() {
+            resample_link(
+                &mut self.state,
+                e,
+                &self.config.hyper,
+                self.current_rho,
+                &mut self.rng,
+                &mut self.scratch,
+            );
+        }
+        self.trace.link_draws += self.state.links.len() as u64;
+        for e in 0..self.state.neg_links.len() {
+            resample_negative_link(
+                &mut self.state,
+                e,
+                &self.config.hyper,
+                self.current_rho,
+                &mut self.rng,
+                &mut self.scratch,
+            );
+        }
+        self.trace.link_draws += self.state.neg_links.len() as u64;
+        self.sweeps_done += 1;
+    }
+
+    /// Complete-data log-likelihood of the training data under the current
+    /// point estimates — the convergence monitor of §4.3.
+    pub fn log_likelihood(&self) -> f64 {
+        let cdim = self.state.num_communities;
+        let kdim = self.state.num_topics;
+        let tdim = self.state.num_time_slices as f64;
+        let vdim = self.state.vocab_size as f64;
+        let h = &self.config.hyper;
+        let mut ll = 0.0;
+        for d in 0..self.posts.len() {
+            let i = self.posts.authors[d] as usize;
+            let t = self.posts.times[d] as usize;
+            let c = self.state.post_comm[d] as usize;
+            let k = self.state.post_topic[d] as usize;
+            // π̂, θ̂, ψ̂ factors for the assigned pair.
+            ll += ((self.state.n_ic[i * cdim + c] as f64 + h.rho)
+                / (self.state.n_i[i] as f64 + cdim as f64 * h.rho))
+                .ln();
+            ll += ((self.state.n_ck[c * kdim + k] as f64 + h.alpha)
+                / (self.state.n_c[c] as f64 + kdim as f64 * h.alpha))
+                .ln();
+            let temporal_denom = if self.state.time_comm_rows == 1 {
+                (0..cdim).map(|cc| self.state.n_ck[cc * kdim + k]).sum::<u32>() as f64
+            } else {
+                self.state.n_ck[c * kdim + k] as f64
+            };
+            ll += ((self.state.n_ckt[self.state.ckt_index(c, k, t)] as f64 + h.epsilon)
+                / (temporal_denom + tdim * h.epsilon))
+                .ln();
+            for &(w, cnt) in &self.posts.multisets[d] {
+                ll += cnt as f64
+                    * ((self.state.n_kv[k * self.state.vocab_size + w as usize] as f64 + h.beta)
+                        / (self.state.n_k[k] as f64 + vdim * h.beta))
+                        .ln();
+            }
+        }
+        for e in 0..self.state.links.len() {
+            let s = self.state.link_src_comm[e] as usize;
+            let s2 = self.state.link_dst_comm[e] as usize;
+            let n = self.state.n_cc[s * cdim + s2] as f64;
+            ll += ((n + h.lambda1) / (n + h.lambda0 + h.lambda1)).ln();
+        }
+        ll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_text::CorpusBuilder;
+
+    /// Two clear communities: sports users 0–2 link among themselves and use
+    /// sports words; movie users 3–5 likewise.
+    fn two_block_data() -> (cold_text::Corpus, CsrGraph) {
+        let mut b = CorpusBuilder::new();
+        let sports = ["football", "goal", "match", "league", "score"];
+        let movie = ["film", "oscar", "actor", "scene", "cinema"];
+        for u in 0..3u32 {
+            for t in 0..4u16 {
+                b.push_text(u, t, &sports[..3 + (t as usize % 2)]);
+            }
+        }
+        for u in 3..6u32 {
+            for t in 0..4u16 {
+                b.push_text(u, t, &movie[..3 + (t as usize % 2)]);
+            }
+        }
+        let corpus = b.build();
+        let edges = [
+            (0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0),
+            (3, 4), (4, 3), (4, 5), (5, 4), (3, 5), (5, 3),
+            (0, 3), // one weak tie
+        ];
+        (corpus, CsrGraph::from_edges(6, &edges))
+    }
+
+    #[test]
+    fn counters_stay_consistent_across_sweeps() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2).iterations(6).build(&corpus, &graph);
+        let mut s = GibbsSampler::new(&corpus, &graph, config, 5);
+        for _ in 0..3 {
+            s.sweep();
+            s.state().check_consistency(&s.posts).unwrap();
+        }
+        assert_eq!(s.trace().post_draws, 3 * 24);
+        assert_eq!(s.trace().link_draws, 3 * 13);
+    }
+
+    #[test]
+    fn likelihood_improves_from_random_start() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(40)
+            .burn_in(20)
+            .build(&corpus, &graph);
+        let (_, trace) = GibbsSampler::new(&corpus, &graph, config, 6).run_traced();
+        let first = trace.log_likelihood.first().unwrap().1;
+        let last = trace.log_likelihood.last().unwrap().1;
+        assert!(last > first, "log-likelihood did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn recovers_planted_topics() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(60)
+            .burn_in(30)
+            .build(&corpus, &graph);
+        let model = GibbsSampler::new(&corpus, &graph, config, 7).run();
+        // The two topics should separate sports from movie vocabulary:
+        // "football" and "film" should not share a dominant topic.
+        let fb = corpus.vocab().id_of("football").unwrap() as usize;
+        let film = corpus.vocab().id_of("film").unwrap() as usize;
+        let top_fb = (0..2).max_by(|&a, &b| {
+            model.topic_words(a)[fb]
+                .partial_cmp(&model.topic_words(b)[fb])
+                .unwrap()
+        });
+        let top_film = (0..2).max_by(|&a, &b| {
+            model.topic_words(a)[film]
+                .partial_cmp(&model.topic_words(b)[film])
+                .unwrap()
+        });
+        assert_ne!(top_fb, top_film, "topics failed to separate");
+    }
+
+    #[test]
+    fn nolink_sampler_runs_without_network() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(10)
+            .without_links()
+            .build(&corpus, &graph);
+        let model = GibbsSampler::new(&corpus, &graph, config, 8).run();
+        assert_eq!(model.dims().num_topics, 2);
+    }
+
+    #[test]
+    fn shared_temporal_sampler_runs() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(10)
+            .shared_temporal()
+            .build(&corpus, &graph);
+        let model = GibbsSampler::new(&corpus, &graph, config, 9).run();
+        // In shared mode the temporal rows coincide across communities.
+        for k in 0..2 {
+            assert_eq!(model.temporal(k, 0), model.temporal(k, 1));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2).iterations(12).build(&corpus, &graph);
+        let m1 = GibbsSampler::new(&corpus, &graph, config.clone(), 42).run();
+        let m2 = GibbsSampler::new(&corpus, &graph, config, 42).run();
+        assert_eq!(m1.user_memberships(0), m2.user_memberships(0));
+        assert_eq!(m1.topic_words(1), m2.topic_words(1));
+    }
+}

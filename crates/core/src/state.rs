@@ -1,0 +1,465 @@
+//! Collapsed-sampler count state.
+//!
+//! Holds the latent assignments (`c_ij`, `z_ij`, `s_ii'`, `s'_ii'`) and all
+//! sufficient-statistic counters of Eqs. (1–3):
+//!
+//! * `n_i^(c)` — posts *and* link endpoints of user `i` in community `c`;
+//! * `n_c^(k)` — posts of community `c` on topic `k`;
+//! * `n_ck^(t)` — time stamps from community `c`, topic `k` at slice `t`;
+//! * `n_k^(v)` — occurrences of word `v` under topic `k`;
+//! * `n_cc'` — positive links with endpoint communities `(c, c')`.
+//!
+//! Counters are flat `Vec<u32>` arrays (row-major), updated in O(1) per
+//! assignment flip — that is what makes each Gibbs sweep linear in the data
+//! size (§4.2).
+
+use crate::params::ColdConfig;
+use cold_graph::sampling::sample_negative_links;
+use cold_graph::CsrGraph;
+use cold_math::rng::Rng;
+use cold_text::Corpus;
+use rand::Rng as _;
+
+/// Immutable, sampler-friendly view of the posts: authors, times, and
+/// precomputed word multisets (Eq. 3 iterates distinct words with counts).
+#[derive(Debug, Clone)]
+pub struct PostsView {
+    /// Author of each post.
+    pub authors: Vec<u32>,
+    /// Time slice of each post.
+    pub times: Vec<u16>,
+    /// Sorted `(word, count)` multiset of each post.
+    pub multisets: Vec<Vec<(u32, u32)>>,
+    /// Token count of each post.
+    pub lens: Vec<u32>,
+}
+
+impl PostsView {
+    /// Extract the view from a corpus.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let posts = corpus.posts();
+        Self {
+            authors: posts.iter().map(|p| p.author).collect(),
+            times: posts.iter().map(|p| p.time).collect(),
+            multisets: posts.iter().map(|p| p.word_multiset()).collect(),
+            lens: posts.iter().map(|p| p.len() as u32).collect(),
+        }
+    }
+
+    /// Number of posts.
+    pub fn len(&self) -> usize {
+        self.authors.len()
+    }
+
+    /// Whether there are no posts.
+    pub fn is_empty(&self) -> bool {
+        self.authors.is_empty()
+    }
+}
+
+/// The mutable Gibbs state: assignments plus counters.
+#[derive(Debug, Clone)]
+pub struct CountState {
+    /// Number of communities `C`.
+    pub num_communities: usize,
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Number of time slices `T`.
+    pub num_time_slices: usize,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Number of community rows in the time counter: `C`, or `1` when the
+    /// shared-temporal ablation is active.
+    pub time_comm_rows: usize,
+
+    /// `c_ij` per post.
+    pub post_comm: Vec<u32>,
+    /// `z_ij` per post.
+    pub post_topic: Vec<u32>,
+    /// `s_ii'` per positive link (source-endpoint community).
+    pub link_src_comm: Vec<u32>,
+    /// `s'_ii'` per positive link (target-endpoint community).
+    pub link_dst_comm: Vec<u32>,
+    /// The positive links, parallel to the two vectors above.
+    pub links: Vec<(u32, u32)>,
+    /// Explicitly-observed negative pairs (empty unless
+    /// `negative_link_ratio > 0`): the exact treatment of absent links.
+    pub neg_links: Vec<(u32, u32)>,
+    /// `s` per negative pair.
+    pub neg_src_comm: Vec<u32>,
+    /// `s'` per negative pair.
+    pub neg_dst_comm: Vec<u32>,
+
+    /// `n_i^(c)`, row-major `U×C`.
+    pub n_ic: Vec<u32>,
+    /// `n_i^(·)` per user (posts + link endpoints).
+    pub n_i: Vec<u32>,
+    /// `n_c^(k)`, row-major `C×K`.
+    pub n_ck: Vec<u32>,
+    /// `n_c^(·)` — posts per community.
+    pub n_c: Vec<u32>,
+    /// `n_ck^(t)`, row-major `time_comm_rows×K×T`.
+    pub n_ckt: Vec<u32>,
+    /// `n_k^(v)`, row-major `K×V`.
+    pub n_kv: Vec<u32>,
+    /// `n_k^(·)` — tokens per topic.
+    pub n_k: Vec<u32>,
+    /// `n_cc'` (positive links), row-major `C×C`.
+    pub n_cc: Vec<u32>,
+    /// Observed negative pairs per cell, row-major `C×C` (all zero unless
+    /// explicit negatives are enabled).
+    pub n0_cc: Vec<u32>,
+}
+
+impl CountState {
+    /// Initialize with uniformly-random assignments (the standard Gibbs
+    /// start), counting everything in.
+    pub fn init_random(
+        config: &ColdConfig,
+        posts: &PostsView,
+        graph: &CsrGraph,
+        rng: &mut Rng,
+    ) -> Self {
+        let c = config.dims.num_communities;
+        let k = config.dims.num_topics;
+        let t = config.dims.num_time_slices;
+        let v = config.dims.vocab_size;
+        let u = config.dims.num_users as usize;
+        let time_rows = if config.community_specific_time { c } else { 1 };
+        let links: Vec<(u32, u32)> = if config.use_links {
+            graph.edges().collect()
+        } else {
+            Vec::new()
+        };
+        let neg_links: Vec<(u32, u32)> = if config.use_links && config.negative_link_ratio > 0.0 {
+            let wanted = ((links.len() as f64 * config.negative_link_ratio) as usize)
+                .min(graph.num_negative_links() as usize);
+            if wanted > 0 && graph.num_nodes() >= 2 {
+                sample_negative_links(rng, graph, wanted)
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+        let mut state = Self {
+            num_communities: c,
+            num_topics: k,
+            num_time_slices: t,
+            vocab_size: v,
+            time_comm_rows: time_rows,
+            post_comm: vec![0; posts.len()],
+            post_topic: vec![0; posts.len()],
+            link_src_comm: vec![0; links.len()],
+            link_dst_comm: vec![0; links.len()],
+            links,
+            neg_src_comm: vec![0; neg_links.len()],
+            neg_dst_comm: vec![0; neg_links.len()],
+            neg_links,
+            n_ic: vec![0; u * c],
+            n_i: vec![0; u],
+            n_ck: vec![0; c * k],
+            n_c: vec![0; c],
+            n_ckt: vec![0; time_rows * k * t],
+            n_kv: vec![0; k * v],
+            n_k: vec![0; k],
+            n_cc: vec![0; c * c],
+            n0_cc: vec![0; c * c],
+        };
+        // User-coherent initialization: every item of a user starts in one
+        // random community. A per-item random start tends to fall into the
+        // "communities = topics" mode, splitting multi-topic users across
+        // communities; starting user-coherent biases the chain toward
+        // user-level block structure, which is the model's intent.
+        let user_comm: Vec<u32> = (0..u).map(|_| rng.gen_range(0..c) as u32).collect();
+        for d in 0..posts.len() {
+            state.post_comm[d] = user_comm[posts.authors[d] as usize];
+            state.post_topic[d] = rng.gen_range(0..k) as u32;
+            state.add_post(d, posts);
+        }
+        for e in 0..state.links.len() {
+            let (i, j) = state.links[e];
+            state.link_src_comm[e] = user_comm[i as usize];
+            state.link_dst_comm[e] = user_comm[j as usize];
+            state.add_link(e);
+        }
+        for e in 0..state.neg_links.len() {
+            let (i, j) = state.neg_links[e];
+            state.neg_src_comm[e] = user_comm[i as usize];
+            state.neg_dst_comm[e] = user_comm[j as usize];
+            state.add_neg_link(e);
+        }
+        state
+    }
+
+    /// Row index into the time counter for community `c` (collapses to 0 in
+    /// shared-temporal mode).
+    #[inline]
+    pub fn time_row(&self, community: usize) -> usize {
+        if self.time_comm_rows == 1 {
+            0
+        } else {
+            community
+        }
+    }
+
+    /// Index into `n_ckt`.
+    #[inline]
+    pub fn ckt_index(&self, community: usize, topic: usize, time: usize) -> usize {
+        (self.time_row(community) * self.num_topics + topic) * self.num_time_slices + time
+    }
+
+    /// Add post `d`'s current assignment to all counters.
+    pub fn add_post(&mut self, d: usize, posts: &PostsView) {
+        self.apply_post(d, posts, true);
+    }
+
+    /// Remove post `d`'s current assignment from all counters.
+    pub fn remove_post(&mut self, d: usize, posts: &PostsView) {
+        self.apply_post(d, posts, false);
+    }
+
+    fn apply_post(&mut self, d: usize, posts: &PostsView, add: bool) {
+        let i = posts.authors[d] as usize;
+        let t = posts.times[d] as usize;
+        let c = self.post_comm[d] as usize;
+        let k = self.post_topic[d] as usize;
+        let ckt = self.ckt_index(c, k, t);
+        if add {
+            self.n_ic[i * self.num_communities + c] += 1;
+            self.n_i[i] += 1;
+            self.n_ck[c * self.num_topics + k] += 1;
+            self.n_c[c] += 1;
+            self.n_ckt[ckt] += 1;
+            for &(w, cnt) in &posts.multisets[d] {
+                self.n_kv[k * self.vocab_size + w as usize] += cnt;
+            }
+            self.n_k[k] += posts.lens[d];
+        } else {
+            self.n_ic[i * self.num_communities + c] -= 1;
+            self.n_i[i] -= 1;
+            self.n_ck[c * self.num_topics + k] -= 1;
+            self.n_c[c] -= 1;
+            self.n_ckt[ckt] -= 1;
+            for &(w, cnt) in &posts.multisets[d] {
+                self.n_kv[k * self.vocab_size + w as usize] -= cnt;
+            }
+            self.n_k[k] -= posts.lens[d];
+        }
+    }
+
+    /// Add link `e`'s current endpoint-community assignment.
+    pub fn add_link(&mut self, e: usize) {
+        self.apply_link(e, true);
+    }
+
+    /// Remove link `e`'s current endpoint-community assignment.
+    pub fn remove_link(&mut self, e: usize) {
+        self.apply_link(e, false);
+    }
+
+    /// Add negative pair `e`'s endpoint-community assignment.
+    pub fn add_neg_link(&mut self, e: usize) {
+        self.apply_neg_link(e, true);
+    }
+
+    /// Remove negative pair `e`'s endpoint-community assignment.
+    pub fn remove_neg_link(&mut self, e: usize) {
+        self.apply_neg_link(e, false);
+    }
+
+    fn apply_neg_link(&mut self, e: usize, add: bool) {
+        let (i, j) = self.neg_links[e];
+        let s = self.neg_src_comm[e] as usize;
+        let s2 = self.neg_dst_comm[e] as usize;
+        let c = self.num_communities;
+        if add {
+            self.n_ic[i as usize * c + s] += 1;
+            self.n_i[i as usize] += 1;
+            self.n_ic[j as usize * c + s2] += 1;
+            self.n_i[j as usize] += 1;
+            self.n0_cc[s * c + s2] += 1;
+        } else {
+            self.n_ic[i as usize * c + s] -= 1;
+            self.n_i[i as usize] -= 1;
+            self.n_ic[j as usize * c + s2] -= 1;
+            self.n_i[j as usize] -= 1;
+            self.n0_cc[s * c + s2] -= 1;
+        }
+    }
+
+    fn apply_link(&mut self, e: usize, add: bool) {
+        let (i, j) = self.links[e];
+        let s = self.link_src_comm[e] as usize;
+        let s2 = self.link_dst_comm[e] as usize;
+        let c = self.num_communities;
+        if add {
+            self.n_ic[i as usize * c + s] += 1;
+            self.n_i[i as usize] += 1;
+            self.n_ic[j as usize * c + s2] += 1;
+            self.n_i[j as usize] += 1;
+            self.n_cc[s * c + s2] += 1;
+        } else {
+            self.n_ic[i as usize * c + s] -= 1;
+            self.n_i[i as usize] -= 1;
+            self.n_ic[j as usize * c + s2] -= 1;
+            self.n_i[j as usize] -= 1;
+            self.n_cc[s * c + s2] -= 1;
+        }
+    }
+
+    /// Recompute every counter from scratch and compare with the maintained
+    /// values. Used by tests to prove the O(1) incremental updates never
+    /// drift from the definition.
+    pub fn check_consistency(&self, posts: &PostsView) -> Result<(), String> {
+        let mut fresh = Self {
+            post_comm: self.post_comm.clone(),
+            post_topic: self.post_topic.clone(),
+            link_src_comm: self.link_src_comm.clone(),
+            link_dst_comm: self.link_dst_comm.clone(),
+            links: self.links.clone(),
+            neg_links: self.neg_links.clone(),
+            neg_src_comm: self.neg_src_comm.clone(),
+            neg_dst_comm: self.neg_dst_comm.clone(),
+            n_ic: vec![0; self.n_ic.len()],
+            n_i: vec![0; self.n_i.len()],
+            n_ck: vec![0; self.n_ck.len()],
+            n_c: vec![0; self.n_c.len()],
+            n_ckt: vec![0; self.n_ckt.len()],
+            n_kv: vec![0; self.n_kv.len()],
+            n_k: vec![0; self.n_k.len()],
+            n_cc: vec![0; self.n_cc.len()],
+            n0_cc: vec![0; self.n0_cc.len()],
+            ..*self
+        };
+        for d in 0..posts.len() {
+            fresh.add_post(d, posts);
+        }
+        for e in 0..fresh.links.len() {
+            fresh.add_link(e);
+        }
+        for e in 0..fresh.neg_links.len() {
+            fresh.add_neg_link(e);
+        }
+        for (name, a, b) in [
+            ("n_ic", &self.n_ic, &fresh.n_ic),
+            ("n_i", &self.n_i, &fresh.n_i),
+            ("n_ck", &self.n_ck, &fresh.n_ck),
+            ("n_c", &self.n_c, &fresh.n_c),
+            ("n_ckt", &self.n_ckt, &fresh.n_ckt),
+            ("n_kv", &self.n_kv, &fresh.n_kv),
+            ("n_k", &self.n_k, &fresh.n_k),
+            ("n_cc", &self.n_cc, &fresh.n_cc),
+            ("n0_cc", &self.n0_cc, &fresh.n0_cc),
+        ] {
+            if a != b {
+                return Err(format!("counter {name} drifted from definition"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ColdConfig;
+    use cold_math::rng::seeded_rng;
+    use cold_text::CorpusBuilder;
+
+    fn setup() -> (Corpus, CsrGraph, ColdConfig) {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["a", "b", "a"]);
+        b.push_text(1, 1, &["c", "d"]);
+        b.push_text(2, 2, &["a", "c"]);
+        b.push_text(0, 1, &["d"]);
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let config = ColdConfig::builder(3, 2).iterations(4).build(&corpus, &graph);
+        (corpus, graph, config)
+    }
+
+    #[test]
+    fn random_init_is_consistent() {
+        let (corpus, graph, config) = setup();
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(1);
+        let state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        state.check_consistency(&posts).unwrap();
+        // Totals: 4 posts, 4 links -> Σ n_i = 4 + 2*4 = 12.
+        assert_eq!(state.n_i.iter().sum::<u32>(), 12);
+        assert_eq!(state.n_c.iter().sum::<u32>(), 4);
+        assert_eq!(state.n_k.iter().sum::<u32>(), 8); // 8 tokens
+        assert_eq!(state.n_cc.iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn add_remove_round_trips() {
+        let (corpus, graph, config) = setup();
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(2);
+        let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let snapshot = state.clone();
+        // Remove and re-add a post with a different assignment, then revert.
+        state.remove_post(2, &posts);
+        let old = (state.post_comm[2], state.post_topic[2]);
+        state.post_comm[2] = (old.0 + 1) % 3;
+        state.post_topic[2] = (old.1 + 1) % 2;
+        state.add_post(2, &posts);
+        state.check_consistency(&posts).unwrap();
+        state.remove_post(2, &posts);
+        state.post_comm[2] = old.0;
+        state.post_topic[2] = old.1;
+        state.add_post(2, &posts);
+        assert_eq!(state.n_ic, snapshot.n_ic);
+        assert_eq!(state.n_ckt, snapshot.n_ckt);
+        assert_eq!(state.n_kv, snapshot.n_kv);
+    }
+
+    #[test]
+    fn link_updates_touch_both_endpoints() {
+        let (corpus, graph, config) = setup();
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(3);
+        let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let (i, j) = state.links[0];
+        let before_i = state.n_i[i as usize];
+        let before_j = state.n_i[j as usize];
+        state.remove_link(0);
+        assert_eq!(state.n_i[i as usize], before_i - 1);
+        assert_eq!(state.n_i[j as usize], before_j - 1);
+        state.add_link(0);
+        state.check_consistency(&posts).unwrap();
+    }
+
+    #[test]
+    fn nolink_config_has_no_link_state() {
+        let (corpus, graph, _) = setup();
+        let config = ColdConfig::builder(3, 2)
+            .iterations(4)
+            .without_links()
+            .build(&corpus, &graph);
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(4);
+        let state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        assert!(state.links.is_empty());
+        assert_eq!(state.n_cc.iter().sum::<u32>(), 0);
+        assert_eq!(state.n_i.iter().sum::<u32>(), 4); // posts only
+    }
+
+    #[test]
+    fn shared_temporal_collapses_rows() {
+        let (corpus, graph, _) = setup();
+        let config = ColdConfig::builder(3, 2)
+            .iterations(4)
+            .shared_temporal()
+            .build(&corpus, &graph);
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(5);
+        let state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        assert_eq!(state.time_comm_rows, 1);
+        assert_eq!(state.n_ckt.len(), 2 * 3); // K*T
+        assert_eq!(state.ckt_index(2, 1, 1), 3 + 1);
+        state.check_consistency(&posts).unwrap();
+    }
+}

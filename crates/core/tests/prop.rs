@@ -1,0 +1,99 @@
+//! Property tests for the COLD sampler: counter consistency and estimate
+//! normalization must hold for *arbitrary* data shapes, not just the
+//! hand-built fixtures.
+
+use cold_core::{ColdConfig, GibbsSampler};
+use cold_graph::CsrGraph;
+use cold_text::{CorpusBuilder, Post};
+use proptest::prelude::*;
+
+/// Arbitrary small social dataset: up to 8 users, 30 posts, 20 links.
+fn arb_dataset() -> impl Strategy<Value = (cold_text::Corpus, CsrGraph)> {
+    let posts = prop::collection::vec(
+        (0u32..8, 0u16..5, prop::collection::vec(0u32..30, 1..6)),
+        1..30,
+    );
+    let edges = prop::collection::vec((0u32..8, 0u32..8), 0..20);
+    (posts, edges).prop_map(|(posts, edges)| {
+        let mut b = CorpusBuilder::with_vocab(cold_text::Vocabulary::synthetic(30));
+        b.ensure_users(8);
+        for (author, time, words) in posts {
+            b.push(Post::new(author, time, words));
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(8, &edges);
+        (corpus, graph)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any number of sweeps the incremental counters match a from-
+    /// scratch recount, and the resulting estimates are proper distributions.
+    #[test]
+    fn sampler_invariants_hold((corpus, graph) in arb_dataset(), seed in 0u64..1_000, sweeps in 1usize..6) {
+        let config = ColdConfig::builder(3, 3)
+            .iterations(sweeps + 1)
+            .burn_in(sweeps)
+            .build(&corpus, &graph);
+        let model = GibbsSampler::new(&corpus, &graph, config, seed).run();
+
+        for i in 0..corpus.num_users() {
+            let pi = model.user_memberships(i);
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pi.iter().all(|&p| p > 0.0));
+        }
+        for c in 0..3 {
+            prop_assert!((model.community_topics(c).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for c2 in 0..3 {
+                prop_assert!((0.0..=1.0).contains(&model.eta(c, c2)));
+            }
+        }
+        for k in 0..3 {
+            prop_assert!((model.topic_words(k).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for c in 0..3 {
+                let psi = model.temporal(k, c);
+                prop_assert!((psi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// ζ is always a valid probability-scaled strength: non-negative and at
+    /// most the corresponding η.
+    #[test]
+    fn zeta_bounded_by_eta((corpus, graph) in arb_dataset(), seed in 0u64..1_000) {
+        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        let model = GibbsSampler::new(&corpus, &graph, config, seed).run();
+        for k in 0..2 {
+            for c in 0..2 {
+                for c2 in 0..2 {
+                    let z = model.zeta(k, c, c2);
+                    prop_assert!(z >= 0.0);
+                    prop_assert!(z <= model.eta(c, c2) + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Diffusion scores are finite, non-negative, and the topic posterior of
+    /// any post normalizes.
+    #[test]
+    fn prediction_outputs_well_formed(
+        (corpus, graph) in arb_dataset(),
+        seed in 0u64..1_000,
+        words in prop::collection::vec(0u32..30, 0..8)
+    ) {
+        let config = ColdConfig::builder(3, 2).iterations(6).build(&corpus, &graph);
+        let model = GibbsSampler::new(&corpus, &graph, config, seed).run();
+        let pred = cold_core::DiffusionPredictor::new(&model, 2);
+        let topics = pred.post_topics(0, &words);
+        prop_assert!((topics.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let score = pred.diffusion_score(0, 1, &words);
+        prop_assert!(score.is_finite() && score >= 0.0);
+        let ll = cold_core::predict::post_log_likelihood(&model, 0, &words);
+        prop_assert!(ll.is_finite() && ll <= 1e-9);
+        let t = cold_core::predict::predict_time_slice(&model, 0, &words);
+        prop_assert!((t as usize) < model.dims().num_time_slices);
+    }
+}

@@ -1,0 +1,89 @@
+//! Retweet-cascade materialization.
+//!
+//! For a sampled fraction of posts the generator replays the diffusion
+//! decision of every follower through the planted topic-sensitive influence
+//! `ζ` (Eq. 4), producing the labelled tuples
+//! `RT_id = (i, d, U_id, Ū_id)` the diffusion-prediction evaluation of
+//! §6.3 ranks (Fig. 12).
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled retweet tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetweetTuple {
+    /// The publisher `i`.
+    pub publisher: u32,
+    /// The post id `d` (indexes the dataset's corpus).
+    pub post: u32,
+    /// Followers who retweeted (`U_id`).
+    pub retweeters: Vec<u32>,
+    /// Followers who saw and ignored the post (`Ū_id`).
+    pub ignorers: Vec<u32>,
+}
+
+impl RetweetTuple {
+    /// Whether the tuple can contribute to an AUC (needs both classes).
+    pub fn is_scorable(&self) -> bool {
+        !self.retweeters.is_empty() && !self.ignorers.is_empty()
+    }
+
+    /// Total followers that saw the post.
+    pub fn audience(&self) -> usize {
+        self.retweeters.len() + self.ignorers.len()
+    }
+}
+
+/// Split tuples into train/test by index parity of a shuffled order — the
+/// 20% hold-out of §6.3.
+pub fn split_tuples<R: rand::Rng>(
+    rng: &mut R,
+    tuples: &[RetweetTuple],
+    test_fraction: f64,
+) -> (Vec<RetweetTuple>, Vec<RetweetTuple>) {
+    use rand::seq::SliceRandom;
+    assert!((0.0..1.0).contains(&test_fraction));
+    let mut order: Vec<usize> = (0..tuples.len()).collect();
+    order.shuffle(rng);
+    let test_count = (tuples.len() as f64 * test_fraction).round() as usize;
+    let (test_idx, train_idx) = order.split_at(test_count);
+    let take = |idx: &[usize]| idx.iter().map(|&i| tuples[i].clone()).collect::<Vec<_>>();
+    (take(train_idx), take(test_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::rng::seeded_rng;
+
+    fn tuples(n: usize) -> Vec<RetweetTuple> {
+        (0..n)
+            .map(|i| RetweetTuple {
+                publisher: i as u32,
+                post: i as u32,
+                retweeters: if i % 3 == 0 { vec![1] } else { vec![] },
+                ignorers: vec![2, 3],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scorability_requires_both_classes() {
+        let ts = tuples(4);
+        assert!(ts[0].is_scorable());
+        assert!(!ts[1].is_scorable());
+        assert_eq!(ts[0].audience(), 3);
+    }
+
+    #[test]
+    fn split_partitions_tuples() {
+        let ts = tuples(20);
+        let mut rng = seeded_rng(3);
+        let (train, test) = split_tuples(&mut rng, &ts, 0.2);
+        assert_eq!(test.len(), 4);
+        assert_eq!(train.len() + test.len(), 20);
+        // No tuple lost or duplicated: publishers are unique ids here.
+        let mut all: Vec<u32> = train.iter().chain(&test).map(|t| t.publisher).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+}

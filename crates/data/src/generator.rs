@@ -1,0 +1,504 @@
+//! The planted-truth generator: a literal execution of the paper's Alg. 1
+//! plus the cascade replay.
+
+use crate::cascade::RetweetTuple;
+use crate::truth::{GroundTruth, TOPIC_NAMES};
+use crate::world::{SocialDataset, WorldConfig};
+use cold_graph::GraphBuilder;
+use cold_math::categorical::AliasTable;
+use cold_math::dirichlet::sample_dirichlet;
+use cold_math::rng::{seeded_rng, Rng};
+use cold_math::stats::normalize_in_place;
+use cold_text::{CorpusBuilder, Post, Vocabulary};
+use rand::Rng as _;
+
+/// Generate a complete dataset from `config` with deterministic `seed`.
+///
+/// # Panics
+/// Panics if the configuration fails validation.
+pub fn generate(config: &WorldConfig, seed: u64) -> SocialDataset {
+    config.validate().expect("invalid world configuration");
+    let mut rng = seeded_rng(seed);
+    let c = config.num_communities;
+    let k = config.num_topics;
+    let t = config.num_time_slices as usize;
+    let v = config.vocab_size;
+    let u = config.num_users as usize;
+
+    let topic_names: Vec<String> = (0..k)
+        .map(|kk| {
+            let base = TOPIC_NAMES[kk % TOPIC_NAMES.len()];
+            if kk < TOPIC_NAMES.len() {
+                base.to_owned()
+            } else {
+                format!("{base}{}", kk / TOPIC_NAMES.len() + 1)
+            }
+        })
+        .collect();
+
+    // --- Vocabulary: one named block per topic. ---
+    let mut vocab = Vocabulary::new();
+    for w in 0..v {
+        let block = w * k / v; // contiguous blocks of ~V/K words
+        vocab.intern(&format!("{}.w{w:05}", topic_names[block.min(k - 1)]));
+    }
+
+    let phi = planted_phi(&mut rng, config);
+    let theta = planted_theta(&mut rng, config);
+    let eta = planted_eta(&mut rng, config);
+    let psi = planted_psi(&mut rng, config, &theta);
+    let (pi, primary) = planted_pi(&mut rng, config);
+
+    // --- Links: Alg. 1 step 3(c) over sampled candidate pairs. ---
+    let pi_tables: Vec<AliasTable> = (0..u)
+        .map(|i| AliasTable::new(&pi[i * c..(i + 1) * c]))
+        .collect();
+    let mut gb = GraphBuilder::with_nodes(config.num_users);
+    for i in 0..config.num_users {
+        for _ in 0..config.link_candidates_per_user {
+            let j = loop {
+                let j = rng.gen_range(0..config.num_users);
+                if j != i {
+                    break j;
+                }
+            };
+            let s = pi_tables[i as usize].sample(&mut rng);
+            let s2 = pi_tables[j as usize].sample(&mut rng);
+            if rng.gen::<f64>() < eta[s * c + s2] {
+                gb.add_edge(i, j);
+            }
+        }
+    }
+    let graph = gb.build();
+
+    // --- Posts: Alg. 1 step 3(b). ---
+    let theta_tables: Vec<AliasTable> = (0..c)
+        .map(|cc| AliasTable::new(&theta[cc * k..(cc + 1) * k]))
+        .collect();
+    let phi_tables: Vec<AliasTable> = (0..k)
+        .map(|kk| AliasTable::new(&phi[kk * v..(kk + 1) * v]))
+        .collect();
+    let psi_tables: Vec<AliasTable> = (0..c * k)
+        .map(|row| AliasTable::new(&psi[row * t..(row + 1) * t]))
+        .collect();
+    let mut builder = CorpusBuilder::with_vocab(vocab);
+    builder.ensure_users(config.num_users);
+    let mut post_assignments: Vec<(u32, u32)> = Vec::new();
+    for i in 0..u {
+        let n_posts = poisson(&mut rng, config.posts_per_user).max(1);
+        for _ in 0..n_posts {
+            let cc = pi_tables[i].sample(&mut rng);
+            let kk = theta_tables[cc].sample(&mut rng);
+            let tt = psi_tables[cc * k + kk].sample(&mut rng) as u16;
+            let len = poisson(&mut rng, config.words_per_post).max(2);
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                let w = if rng.gen::<f64>() < config.word_noise {
+                    rng.gen_range(0..v)
+                } else {
+                    phi_tables[kk].sample(&mut rng)
+                };
+                words.push(w as u32);
+            }
+            builder.push(Post::new(i as u32, tt, words));
+            post_assignments.push((cc as u32, kk as u32));
+        }
+    }
+    // Pin the time grid to T even if some tail slice drew no post.
+    builder.push(Post::new(
+        0,
+        config.num_time_slices - 1,
+        vec![0, 1.min(v as u32 - 1)],
+    ));
+    post_assignments.push((0, 0));
+    let corpus = builder.build();
+
+    // --- Cascades: replay follower decisions through the planted ζ. ---
+    let truth = GroundTruth {
+        num_communities: c,
+        num_topics: k,
+        num_time_slices: t,
+        vocab_size: v,
+        pi,
+        primary_community: primary,
+        theta,
+        eta,
+        phi,
+        psi,
+        topic_names,
+        post_assignments,
+    };
+    let cascades = replay_cascades(&mut rng, config, &corpus, &graph, &truth);
+
+    SocialDataset {
+        corpus,
+        graph,
+        cascades,
+        truth,
+    }
+}
+
+/// Planted topic-word distributions: Zipfian mass inside the topic's own
+/// vocabulary block, a small uniform spill elsewhere.
+fn planted_phi(rng: &mut Rng, config: &WorldConfig) -> Vec<f64> {
+    let (k, v) = (config.num_topics, config.vocab_size);
+    let spill = 0.05;
+    let mut phi = vec![0.0f64; k * v];
+    for kk in 0..k {
+        let lo = kk * v / k;
+        let hi = ((kk + 1) * v / k).max(lo + 1);
+        let row = &mut phi[kk * v..(kk + 1) * v];
+        for (rank, w) in (lo..hi).enumerate() {
+            // Zipf with mild exponent, jittered so topics differ in shape.
+            let jitter: f64 = rng.gen_range(0.8..1.2);
+            row[w] = jitter / (rank + 1) as f64;
+        }
+        let in_block: f64 = row.iter().sum();
+        for w in 0..v {
+            row[w] = row[w] / in_block * (1.0 - spill) + spill / v as f64;
+        }
+        normalize_in_place(row);
+    }
+    phi
+}
+
+/// Planted community interests: 1–2 dominant topics per community plus a
+/// Dirichlet tail, so interests overlap but are identifiable.
+fn planted_theta(rng: &mut Rng, config: &WorldConfig) -> Vec<f64> {
+    let (c, k) = (config.num_communities, config.num_topics);
+    let mut theta = vec![0.0f64; c * k];
+    for cc in 0..c {
+        let primary = cc % k;
+        let secondary = (cc + 1) % k;
+        let tail = sample_dirichlet(rng, 0.5, k);
+        let row = &mut theta[cc * k..(cc + 1) * k];
+        for kk in 0..k {
+            row[kk] = (1.0 - config.interest_focus) * tail[kk];
+        }
+        row[primary] += config.interest_focus * 0.75;
+        row[secondary] += config.interest_focus * 0.25;
+        normalize_in_place(row);
+    }
+    theta
+}
+
+/// Planted inter-community strengths: strong diagonal, weak jittered
+/// off-diagonal, with per-community "influence" row scales so some
+/// communities are net exporters of attention (the Fig. 5 asymmetry).
+fn planted_eta(rng: &mut Rng, config: &WorldConfig) -> Vec<f64> {
+    let c = config.num_communities;
+    let mut eta = vec![0.0f64; c * c];
+    let row_scale: Vec<f64> = (0..c).map(|_| rng.gen_range(0.6..1.6)).collect();
+    for cc in 0..c {
+        for c2 in 0..c {
+            let base = if cc == c2 {
+                config.eta_intra
+            } else if c2 == (cc + 1) % c && config.weak_tie_strength > 0.0 {
+                // A strong *directed* cross-community channel: the weak-tie
+                // structure the paper builds on ("the strength of weak
+                // ties"). Assortative models (PMTLM's shared-factor links)
+                // cannot represent these asymmetric off-diagonal strengths;
+                // COLD's full η matrix can.
+                config.eta_intra * config.weak_tie_strength
+            } else {
+                config.eta_inter * rng.gen_range(0.5..1.5)
+            };
+            eta[cc * c + c2] = (base * row_scale[cc]).clamp(0.0, 0.95);
+        }
+    }
+    eta
+}
+
+/// Planted temporal profiles, encoding the paper's two §5.3 findings:
+///
+/// * **Time lag (Fig. 7)** — each topic's burst onset lags behind its
+///   most-interested communities by up to `burst_lag` slices.
+/// * **Interest-vs-fluctuation (Fig. 6)** — highly-interested communities
+///   get *broad, steady* engagement curves; medium-interested ones get
+///   *narrow, spiky, often multimodal* curves (attention rises and falls
+///   hard); barely-interested ones get near-flat background chatter. The
+///   multimodal cases are also why COLD models `ψ` as a multinomial rather
+///   than TOT's unimodal Beta.
+fn planted_psi(rng: &mut Rng, config: &WorldConfig, theta: &[f64]) -> Vec<f64> {
+    let (c, k) = (config.num_communities, config.num_topics);
+    let t = config.num_time_slices as usize;
+    let mut psi = vec![0.0f64; c * k * t];
+    // Base peak of each topic, early-to-mid timeline.
+    let peaks: Vec<f64> = (0..k)
+        .map(|_| rng.gen_range(0.15..0.55) * t as f64)
+        .collect();
+    for kk in 0..k {
+        // Interest threshold: only the most-interested community bursts on
+        // time; everyone else lags in proportion to their (lack of)
+        // interest. This makes a topic's timing genuinely community-
+        // specific — the structure COLD's ψ_kc models and aggregate
+        // temporal models cannot represent.
+        let mut interests: Vec<f64> = (0..c).map(|cc| theta[cc * k + kk]).collect();
+        interests.sort_by(|a, b| b.partial_cmp(a).expect("theta has no NaN"));
+        let cut = interests[0];
+        for cc in 0..c {
+            let interest = theta[cc * k + kk];
+            let high = interest >= cut * 0.999;
+            let low = interest < 0.05 * cut;
+            let lag = if high {
+                0.0
+            } else {
+                config.burst_lag as f64 * (1.0 - interest / cut.max(1e-12))
+            };
+            let center = (peaks[kk] + lag).min(t as f64 - 1.0);
+            let row = &mut psi[(cc * k + kk) * t..(cc * k + kk) * t + t];
+            // Width and floor by interest class: broad/steady for high,
+            // narrow/spiky for medium, flat chatter for low.
+            let (width, bump_scale, floor) = if high {
+                (config.burst_width * 2.5, 1.0, 0.03)
+            } else if low {
+                (config.burst_width * 2.0, 0.10, 0.30)
+            } else {
+                (config.burst_width, 1.0, 0.02)
+            };
+            for (tt, p) in row.iter_mut().enumerate() {
+                let d = (tt as f64 - center) / width;
+                *p = bump_scale * (-0.5 * d * d).exp();
+            }
+            // Medium-interest pairs get a second bump: multimodal dynamics.
+            // The bump is clamped (not wrapped) so it stays *after* the
+            // main burst — attention that re-surges, not one that predates
+            // the trigger.
+            if !high && !low {
+                let center2 = (center + t as f64 * 0.4).min(t as f64 - 1.0);
+                for (tt, p) in row.iter_mut().enumerate() {
+                    let d = (tt as f64 - center2) / config.burst_width;
+                    *p += 0.6 * (-0.5 * d * d).exp();
+                }
+            }
+            for p in row.iter_mut() {
+                *p += floor;
+            }
+            normalize_in_place(row);
+        }
+    }
+    psi
+}
+
+/// Planted memberships: a primary community per user plus a Dirichlet tail;
+/// one user in ten is genuinely mixed between two communities.
+fn planted_pi(rng: &mut Rng, config: &WorldConfig) -> (Vec<f64>, Vec<u32>) {
+    let c = config.num_communities;
+    let u = config.num_users as usize;
+    let mut pi = vec![0.0f64; u * c];
+    let mut primary = vec![0u32; u];
+    for i in 0..u {
+        let main = i % c;
+        primary[i] = main as u32;
+        let tail = sample_dirichlet(rng, 0.3, c);
+        let row = &mut pi[i * c..(i + 1) * c];
+        for cc in 0..c {
+            row[cc] = (1.0 - config.membership_focus) * tail[cc];
+        }
+        if i % 10 == 9 && c > 1 {
+            // Mixed-membership user: split the focus across two communities.
+            let other = (main + 1 + rng.gen_range(0..c - 1)) % c;
+            row[main] += config.membership_focus * 0.55;
+            row[other] += config.membership_focus * 0.45;
+        } else {
+            row[main] += config.membership_focus;
+        }
+        normalize_in_place(row);
+    }
+    (pi, primary)
+}
+
+/// Replay each selected post through every follower's decision: retweet
+/// with probability `amplification · Σ_c' π_jc' ζ_kcc'` (clamped), where
+/// `(c, k)` is the post's true assignment, then flip with `retweet_noise`.
+fn replay_cascades(
+    rng: &mut Rng,
+    config: &WorldConfig,
+    corpus: &cold_text::Corpus,
+    graph: &cold_graph::CsrGraph,
+    truth: &GroundTruth,
+) -> Vec<RetweetTuple> {
+    let c = truth.num_communities;
+    let mut tuples = Vec::new();
+    for (d, post) in corpus.posts().iter().enumerate() {
+        if rng.gen::<f64>() >= config.cascade_fraction {
+            continue;
+        }
+        let publisher = post.author;
+        let followers = graph.out_neighbors(publisher);
+        if followers.is_empty() {
+            continue;
+        }
+        let (pc, pk) = truth.post_assignments[d];
+        let (pc, pk) = (pc as usize, pk as usize);
+        let mut retweeters = Vec::new();
+        let mut ignorers = Vec::new();
+        for &j in followers {
+            let pi_j = truth.pi_row(j);
+            let mut p = 0.0;
+            for c2 in 0..c {
+                p += pi_j[c2] * truth.zeta(pk, pc, c2);
+            }
+            let mut p = (p * config.retweet_amplification).clamp(0.005, 0.95);
+            if rng.gen::<f64>() < config.retweet_noise {
+                p = 1.0 - p;
+            }
+            if rng.gen::<f64>() < p {
+                retweeters.push(j);
+            } else {
+                ignorers.push(j);
+            }
+        }
+        tuples.push(RetweetTuple {
+            publisher,
+            post: d as u32,
+            retweeters,
+            ignorers,
+        });
+    }
+    tuples
+}
+
+/// Knuth's Poisson sampler for small means, normal approximation above 30.
+fn poisson(rng: &mut Rng, mean: f64) -> usize {
+    debug_assert!(mean > 0.0);
+    if mean > 30.0 {
+        // Normal approximation with continuity correction.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as usize;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0usize;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn tiny_world_generates_consistent_dataset() {
+        let data = generate(&WorldConfig::tiny(), 42);
+        assert_eq!(data.corpus.num_users(), 60);
+        assert!(data.corpus.num_posts() > 60); // ≥1 per user + pin post
+        assert_eq!(
+            data.truth.post_assignments.len(),
+            data.corpus.num_posts()
+        );
+        assert_eq!(data.corpus.num_time_slices(), 12);
+        assert_eq!(data.corpus.vocab_size(), 120);
+        assert!(data.graph.num_edges() > 0);
+        // Planted matrices are normalized.
+        for i in 0..60 {
+            assert!((data.truth.pi_row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for cc in 0..3 {
+            assert!((data.truth.theta_row(cc).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for kk in 0..3 {
+                assert!(
+                    (data.truth.psi_row(kk, cc).iter().sum::<f64>() - 1.0).abs() < 1e-9
+                );
+            }
+        }
+        for kk in 0..3 {
+            assert!((data.truth.phi_row(kk).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&WorldConfig::tiny(), 7);
+        let b = generate(&WorldConfig::tiny(), 7);
+        assert_eq!(a.corpus.num_posts(), b.corpus.num_posts());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.truth.pi, b.truth.pi);
+        assert_eq!(a.cascades.len(), b.cascades.len());
+        let c = generate(&WorldConfig::tiny(), 8);
+        assert_ne!(a.truth.pi, c.truth.pi);
+    }
+
+    #[test]
+    fn links_respect_block_structure() {
+        let data = generate(&WorldConfig::tiny(), 11);
+        let truth = &data.truth;
+        let c = truth.num_communities as u32;
+        // Three planted link categories: intra-community, the directed
+        // weak-tie channel c -> c+1, and everything else.
+        let (mut intra, mut channel, mut other) = (0usize, 0usize, 0usize);
+        for (s, t) in data.graph.edges() {
+            let cs = truth.primary_community[s as usize];
+            let ct = truth.primary_community[t as usize];
+            if cs == ct {
+                intra += 1;
+            } else if ct == (cs + 1) % c {
+                channel += 1;
+            } else {
+                other += 1;
+            }
+        }
+        assert!(intra > other, "intra {intra} vs other {other}");
+        assert!(channel > other, "channel {channel} vs other {other}");
+    }
+
+    #[test]
+    fn topic_words_come_from_their_block() {
+        let data = generate(&WorldConfig::tiny(), 13);
+        // For each post, most words should carry the topic's block prefix.
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (d, post) in data.corpus.posts().iter().enumerate() {
+            let (_, k) = data.truth.post_assignments[d];
+            let name = &data.truth.topic_names[k as usize];
+            for &w in &post.words {
+                total += 1;
+                if data.corpus.vocab().word(w).starts_with(name.as_str()) {
+                    hits += 1;
+                }
+            }
+        }
+        let frac = hits as f64 / total as f64;
+        assert!(frac > 0.6, "topical word fraction {frac}");
+    }
+
+    #[test]
+    fn cascades_are_well_formed_and_follow_zeta() {
+        let data = generate(&WorldConfig::tiny(), 17);
+        assert!(!data.cascades.is_empty());
+        for tuple in &data.cascades {
+            assert!(tuple.audience() > 0);
+            let followers: std::collections::HashSet<u32> = data
+                .graph
+                .out_neighbors(tuple.publisher)
+                .iter()
+                .copied()
+                .collect();
+            for r in tuple.retweeters.iter().chain(&tuple.ignorers) {
+                assert!(followers.contains(r), "non-follower in tuple");
+            }
+            assert_eq!(
+                data.corpus.post(tuple.post).author,
+                tuple.publisher,
+                "tuple post must belong to the publisher"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_respected() {
+        let mut rng = seeded_rng(23);
+        for &mean in &[2.0f64, 8.0, 50.0] {
+            let n = 20_000;
+            let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let emp = total as f64 / n as f64;
+            assert!((emp - mean).abs() < 0.05 * mean + 0.1, "{emp} vs {mean}");
+        }
+    }
+}

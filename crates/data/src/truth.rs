@@ -1,0 +1,134 @@
+//! The planted ground truth behind a generated dataset.
+
+use serde::{Deserialize, Serialize};
+
+/// Names for the synthetic topical word blocks; cycled when `K` exceeds the
+/// list. These make Fig. 8-style word-cloud output readable.
+pub const TOPIC_NAMES: &[&str] = &[
+    "sports", "movies", "music", "politics", "technology", "food", "travel", "finance",
+    "fashion", "science", "gaming", "weather", "health", "education", "traffic", "literature",
+];
+
+/// The parameters Alg. 1 was executed with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Number of communities `C*`.
+    pub num_communities: usize,
+    /// Number of topics `K*`.
+    pub num_topics: usize,
+    /// Number of time slices `T`.
+    pub num_time_slices: usize,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Planted user memberships `π`, row-major `U×C`.
+    pub pi: Vec<f64>,
+    /// Primary (arg-max) community per user.
+    pub primary_community: Vec<u32>,
+    /// Planted community interests `θ`, row-major `C×K`.
+    pub theta: Vec<f64>,
+    /// Planted inter-community strengths `η`, row-major `C×C`.
+    pub eta: Vec<f64>,
+    /// Planted topic-word distributions `φ`, row-major `K×V`.
+    pub phi: Vec<f64>,
+    /// Planted temporal profiles `ψ`, row-major `C×K×T`.
+    pub psi: Vec<f64>,
+    /// Human-readable name of each topic's word block.
+    pub topic_names: Vec<String>,
+    /// True `(community, topic)` assignment of every generated post.
+    pub post_assignments: Vec<(u32, u32)>,
+}
+
+impl GroundTruth {
+    /// Planted `θ_c` row.
+    pub fn theta_row(&self, community: usize) -> &[f64] {
+        &self.theta[community * self.num_topics..(community + 1) * self.num_topics]
+    }
+
+    /// Planted `π_i` row.
+    pub fn pi_row(&self, user: u32) -> &[f64] {
+        &self.pi[user as usize * self.num_communities..(user as usize + 1) * self.num_communities]
+    }
+
+    /// Planted `φ_k` row.
+    pub fn phi_row(&self, topic: usize) -> &[f64] {
+        &self.phi[topic * self.vocab_size..(topic + 1) * self.vocab_size]
+    }
+
+    /// Planted `ψ_kc` row.
+    pub fn psi_row(&self, topic: usize, community: usize) -> &[f64] {
+        let base = (community * self.num_topics + topic) * self.num_time_slices;
+        &self.psi[base..base + self.num_time_slices]
+    }
+
+    /// Planted `η_cc'`.
+    pub fn eta_at(&self, c: usize, c2: usize) -> f64 {
+        self.eta[c * self.num_communities + c2]
+    }
+
+    /// Ground-truth topic-sensitive influence `ζ_kcc'` (Eq. 4 applied to the
+    /// planted parameters) — the quantity the cascades are replayed through.
+    pub fn zeta(&self, topic: usize, c: usize, c2: usize) -> f64 {
+        self.theta_row(c)[topic] * self.theta_row(c2)[topic] * self.eta_at(c, c2)
+    }
+
+    /// True per-post topics, for recovery scoring.
+    pub fn post_topics(&self) -> Vec<u32> {
+        self.post_assignments.iter().map(|&(_, k)| k).collect()
+    }
+
+    /// True per-post communities.
+    pub fn post_communities(&self) -> Vec<u32> {
+        self.post_assignments.iter().map(|&(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_truth() -> GroundTruth {
+        GroundTruth {
+            num_communities: 2,
+            num_topics: 2,
+            num_time_slices: 3,
+            vocab_size: 4,
+            pi: vec![0.9, 0.1, 0.2, 0.8],
+            primary_community: vec![0, 1],
+            theta: vec![0.7, 0.3, 0.4, 0.6],
+            eta: vec![0.5, 0.1, 0.2, 0.6],
+            phi: vec![0.4, 0.4, 0.1, 0.1, 0.1, 0.1, 0.4, 0.4],
+            psi: vec![
+                // c=0: k=0, k=1
+                0.8, 0.1, 0.1, 0.2, 0.6, 0.2, // c=1
+                0.1, 0.8, 0.1, 0.2, 0.2, 0.6,
+            ],
+            topic_names: vec!["sports".into(), "movies".into()],
+            post_assignments: vec![(0, 0), (1, 1), (0, 1)],
+        }
+    }
+
+    #[test]
+    fn row_accessors_slice_correctly() {
+        let t = tiny_truth();
+        assert_eq!(t.pi_row(1), &[0.2, 0.8]);
+        assert_eq!(t.theta_row(1), &[0.4, 0.6]);
+        assert_eq!(t.phi_row(1), &[0.1, 0.1, 0.4, 0.4]);
+        assert_eq!(t.psi_row(1, 0), &[0.2, 0.6, 0.2]);
+        assert_eq!(t.psi_row(0, 1), &[0.1, 0.8, 0.1]);
+        assert_eq!(t.eta_at(0, 1), 0.1);
+    }
+
+    #[test]
+    fn zeta_matches_eq4() {
+        let t = tiny_truth();
+        let z = t.zeta(0, 0, 1);
+        assert!((z - 0.7 * 0.4 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_label_projections() {
+        let t = tiny_truth();
+        assert_eq!(t.post_topics(), vec![0, 1, 1]);
+        assert_eq!(t.post_communities(), vec![0, 1, 0]);
+    }
+}

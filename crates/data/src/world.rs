@@ -1,0 +1,211 @@
+//! Dataset container and generation parameters.
+
+use crate::cascade::RetweetTuple;
+use crate::truth::GroundTruth;
+use cold_graph::CsrGraph;
+use cold_text::Corpus;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic world.
+///
+/// The defaults describe a laptop-scale analogue of the paper's Dataset 1;
+/// [`WorldConfig::scaled`] shrinks or grows every size-like knob together
+/// for the Fig. 13a scaling sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of users `U`.
+    pub num_users: u32,
+    /// Number of planted communities `C*`.
+    pub num_communities: usize,
+    /// Number of planted topics `K*`.
+    pub num_topics: usize,
+    /// Number of time slices `T`.
+    pub num_time_slices: u16,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Mean posts per user (geometric-ish spread around the mean).
+    pub posts_per_user: f64,
+    /// Mean words per post.
+    pub words_per_post: f64,
+    /// Candidate partners examined per user when wiring links.
+    pub link_candidates_per_user: usize,
+    /// Intra-community link probability (`η` diagonal scale).
+    pub eta_intra: f64,
+    /// Inter-community link probability (`η` off-diagonal scale).
+    pub eta_inter: f64,
+    /// Strength of the directed weak-tie channel `c → c+1`, as a fraction
+    /// of `eta_intra`. The "strength of weak ties" structure the paper
+    /// builds on; 0 disables it.
+    pub weak_tie_strength: f64,
+    /// Concentration of user memberships: fraction of `π_i` mass on the
+    /// user's primary community (the rest is spread by a Dirichlet draw).
+    pub membership_focus: f64,
+    /// Fraction of `θ_c` mass on the community's 1–2 dominant topics.
+    pub interest_focus: f64,
+    /// Time-slice lag of a topic's burst in medium-interested communities
+    /// relative to highly-interested ones (the Fig. 7 ground truth).
+    pub burst_lag: u16,
+    /// Width (std dev, in slices) of each topical burst.
+    pub burst_width: f64,
+    /// Fraction of words drawn uniformly from the whole vocabulary instead
+    /// of the post's topic (lexical noise).
+    pub word_noise: f64,
+    /// Probability that a follower's retweet decision is flipped at random
+    /// (behavioural noise in the cascades).
+    pub retweet_noise: f64,
+    /// Scale factor applied to the ground-truth `ζ` when converting it to a
+    /// per-follower retweet probability.
+    pub retweet_amplification: f64,
+    /// Fraction of posts for which a retweet tuple is materialized.
+    pub cascade_fraction: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 400,
+            num_communities: 8,
+            num_topics: 8,
+            num_time_slices: 24,
+            vocab_size: 1_200,
+            posts_per_user: 20.0,
+            words_per_post: 8.0,
+            link_candidates_per_user: 60,
+            eta_intra: 0.35,
+            eta_inter: 0.02,
+            weak_tie_strength: 0.45,
+            membership_focus: 0.75,
+            interest_focus: 0.75,
+            burst_lag: 4,
+            burst_width: 1.5,
+            word_noise: 0.10,
+            retweet_noise: 0.05,
+            retweet_amplification: 4.0,
+            cascade_fraction: 0.25,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A tiny world for unit tests (hundreds of posts, trains in
+    /// milliseconds even in debug builds).
+    pub fn tiny() -> Self {
+        Self {
+            num_users: 60,
+            num_communities: 3,
+            num_topics: 3,
+            num_time_slices: 12,
+            vocab_size: 120,
+            posts_per_user: 8.0,
+            words_per_post: 6.0,
+            link_candidates_per_user: 25,
+            ..Self::default()
+        }
+    }
+
+    /// Scale every size-like knob by `factor` (users, vocabulary, posts,
+    /// link candidates), keeping the latent structure fixed — the workload
+    /// series for the Fig. 13a scaling experiment.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut c = self.clone();
+        c.num_users = ((self.num_users as f64 * factor).round() as u32).max(10);
+        c.vocab_size = ((self.vocab_size as f64 * factor).round() as usize).max(50);
+        c.posts_per_user = self.posts_per_user; // per-user volume fixed
+        c
+    }
+
+    /// Basic sanity constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_users < 2 {
+            return Err("need at least two users".into());
+        }
+        if self.num_communities == 0 || self.num_topics == 0 {
+            return Err("need at least one community and one topic".into());
+        }
+        if self.vocab_size < self.num_topics {
+            return Err("vocabulary must be at least as large as the topic count".into());
+        }
+        if self.num_time_slices == 0 {
+            return Err("need at least one time slice".into());
+        }
+        for (name, v, lo, hi) in [
+            ("membership_focus", self.membership_focus, 0.0, 1.0),
+            ("interest_focus", self.interest_focus, 0.0, 1.0),
+            ("word_noise", self.word_noise, 0.0, 1.0),
+            ("retweet_noise", self.retweet_noise, 0.0, 0.5),
+            ("cascade_fraction", self.cascade_fraction, 0.0, 1.0),
+            ("eta_intra", self.eta_intra, 0.0, 1.0),
+            ("eta_inter", self.eta_inter, 0.0, 1.0),
+            ("weak_tie_strength", self.weak_tie_strength, 0.0, 1.0),
+        ] {
+            if !(lo..=hi).contains(&v) {
+                return Err(format!("{name} = {v} outside [{lo}, {hi}]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete generated dataset: text + network + cascades + planted truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SocialDataset {
+    /// The time-stamped post collection.
+    pub corpus: Corpus,
+    /// The interaction network (link `(i, i')` = `i'` consumes from `i`).
+    pub graph: CsrGraph,
+    /// Labelled retweet tuples for diffusion-prediction evaluation.
+    pub cascades: Vec<RetweetTuple>,
+    /// The planted parameters the generator sampled from.
+    pub truth: GroundTruth,
+}
+
+impl SocialDataset {
+    /// Human-readable one-line summary (dataset reports, bench logs).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} users, {} links, {} posts, {} tokens, {} cascade tuples, V={}, T={}",
+            self.corpus.num_users(),
+            self.graph.num_edges(),
+            self.corpus.num_posts(),
+            self.corpus.num_tokens(),
+            self.cascades.len(),
+            self.corpus.vocab_size(),
+            self.corpus.num_time_slices(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        WorldConfig::default().validate().unwrap();
+        WorldConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn scaling_moves_size_knobs_only() {
+        let base = WorldConfig::default();
+        let half = base.scaled(0.5);
+        assert_eq!(half.num_users, 200);
+        assert_eq!(half.vocab_size, 600);
+        assert_eq!(half.num_communities, base.num_communities);
+        assert_eq!(half.num_topics, base.num_topics);
+        half.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut c = WorldConfig::tiny();
+        c.word_noise = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = WorldConfig::tiny();
+        c.num_users = 1;
+        assert!(c.validate().is_err());
+        let mut c = WorldConfig::tiny();
+        c.vocab_size = 1;
+        assert!(c.validate().is_err());
+    }
+}

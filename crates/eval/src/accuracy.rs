@@ -1,0 +1,72 @@
+//! Time-stamp prediction accuracy under a tolerance range (Fig. 11).
+//!
+//! The paper predicts a held-out post's time slice and counts a hit when
+//! `|t̂ − t| ≤ tolerance`; Fig. 11 sweeps the tolerance.
+
+/// Fraction of `(predicted, actual)` pairs within `tolerance` slices.
+///
+/// Returns `None` on an empty input.
+pub fn tolerance_accuracy(pairs: &[(u16, u16)], tolerance: u16) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let hits = pairs
+        .iter()
+        .filter(|&&(pred, actual)| pred.abs_diff(actual) <= tolerance)
+        .count();
+    Some(hits as f64 / pairs.len() as f64)
+}
+
+/// The full accuracy-vs-tolerance curve for tolerances `0..=max_tolerance`.
+pub fn accuracy_curve(pairs: &[(u16, u16)], max_tolerance: u16) -> Vec<f64> {
+    (0..=max_tolerance)
+        .map(|tol| tolerance_accuracy(pairs, tol).unwrap_or(0.0))
+        .collect()
+}
+
+/// Mean absolute error in slices, a scalar companion to the curve.
+pub fn mean_absolute_error(pairs: &[(u16, u16)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let total: u64 = pairs
+        .iter()
+        .map(|&(pred, actual)| u64::from(pred.abs_diff(actual)))
+        .sum();
+    Some(total as f64 / pairs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hits_only_at_zero_tolerance() {
+        let pairs = vec![(3, 3), (5, 7), (1, 0)];
+        assert_eq!(tolerance_accuracy(&pairs, 0), Some(1.0 / 3.0));
+        assert_eq!(tolerance_accuracy(&pairs, 1), Some(2.0 / 3.0));
+        assert_eq!(tolerance_accuracy(&pairs, 2), Some(1.0));
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let pairs = vec![(0, 9), (4, 4), (2, 6), (8, 8), (1, 3)];
+        let curve = accuracy_curve(&pairs, 10);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*curve.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mae_matches_hand_computation() {
+        let pairs = vec![(3, 3), (5, 7), (1, 0)];
+        assert_eq!(mean_absolute_error(&pairs), Some(1.0));
+        assert_eq!(mean_absolute_error(&[]), None);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(tolerance_accuracy(&[], 5), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Area under the ROC curve.
+//!
+//! The paper uses AUC twice: once over held-out links ranked against sampled
+//! negatives (Fig. 10), and once *averaged over retweet tuples*
+//! `RT_id = (i, d, U_id, Ū_id)` for diffusion prediction (Fig. 12). Both
+//! reduce to the rank-sum (Mann–Whitney) statistic computed here, with the
+//! standard mid-rank correction for tied scores.
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+}
+
+/// AUC of `scores` against boolean `labels` via the rank-sum statistic.
+///
+/// Interpreted exactly as the paper does: "the probability that a randomly
+/// chosen true positive link is ranked above a randomly chosen true
+/// negative link". Ties contribute 1/2. Returns `None` when either class is
+/// empty (AUC is undefined).
+pub fn ranking_auc(scored: &[(f64, bool)]) -> Option<f64> {
+    let pos = scored.iter().filter(|&&(_, l)| l).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Sort ascending by score and assign mid-ranks to ties.
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        scored[a]
+            .0
+            .partial_cmp(&scored[b].0)
+            .expect("scores must not be NaN")
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut idx = 0usize;
+    while idx < order.len() {
+        let mut j = idx;
+        while j + 1 < order.len() && scored[order[j + 1]].0 == scored[order[idx]].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; all tied items share the average rank.
+        let mid_rank = (idx + 1 + j + 1) as f64 / 2.0;
+        for &item in &order[idx..=j] {
+            if scored[item].1 {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        idx = j + 1;
+    }
+    let pos_f = pos as f64;
+    let neg_f = neg as f64;
+    Some((rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0) / (pos_f * neg_f))
+}
+
+/// The averaged AUC of Fig. 12: one AUC per group (retweet tuple), then the
+/// unweighted mean over groups where AUC is defined.
+///
+/// Each group is the scored follower set of one `(publisher, post)` pair:
+/// positives are followers who retweeted, negatives those who ignored.
+pub fn averaged_auc(groups: &[Vec<(f64, bool)>]) -> Option<f64> {
+    let aucs: Vec<f64> = groups.iter().filter_map(|g| ranking_auc(g)).collect();
+    if aucs.is_empty() {
+        return None;
+    }
+    Some(aucs.iter().sum::<f64>() / aucs.len() as f64)
+}
+
+/// Full ROC curve (thresholds swept from +inf down), starting at (0,0) and
+/// ending at (1,1). Exposed for plots; the AUC reported elsewhere comes from
+/// [`ranking_auc`].
+pub fn roc_curve(scored: &[(f64, bool)]) -> Vec<RocPoint> {
+    let pos = scored.iter().filter(|&&(_, l)| l).count() as f64;
+    let neg = scored.len() as f64 - pos;
+    let mut sorted: Vec<&(f64, bool)> = scored.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores must not be NaN"));
+    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0 }];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            fpr: if neg > 0.0 { fp / neg } else { 0.0 },
+            tpr: if pos > 0.0 { tp / pos } else { 0.0 },
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scored = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert_eq!(ranking_auc(&scored), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_ranking_gives_zero() {
+        let scored = vec![(0.1, true), (0.9, false)];
+        assert_eq!(ranking_auc(&scored), Some(0.0));
+    }
+
+    #[test]
+    fn all_tied_gives_half() {
+        let scored = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert_eq!(ranking_auc(&scored), Some(0.5));
+    }
+
+    #[test]
+    fn single_class_is_undefined() {
+        assert_eq!(ranking_auc(&[(0.5, true)]), None);
+        assert_eq!(ranking_auc(&[]), None);
+    }
+
+    #[test]
+    fn matches_exhaustive_pair_counting() {
+        let scored = vec![
+            (0.1, false),
+            (0.4, true),
+            (0.35, true),
+            (0.8, false),
+            (0.65, true),
+            (0.4, false),
+        ];
+        // Exhaustive: P(pos > neg) + 0.5 P(tie).
+        let mut wins = 0.0;
+        let mut total = 0.0;
+        for &(sp, lp) in &scored {
+            if !lp {
+                continue;
+            }
+            for &(sn, ln) in &scored {
+                if ln {
+                    continue;
+                }
+                total += 1.0;
+                if sp > sn {
+                    wins += 1.0;
+                } else if sp == sn {
+                    wins += 0.5;
+                }
+            }
+        }
+        let expect = wins / total;
+        let got = ranking_auc(&scored).unwrap();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn averaged_auc_skips_undefined_groups() {
+        let groups = vec![
+            vec![(0.9, true), (0.1, false)],          // AUC 1
+            vec![(0.2, true)],                        // undefined
+            vec![(0.3, true), (0.7, false)],          // AUC 0
+        ];
+        assert_eq!(averaged_auc(&groups), Some(0.5));
+        assert_eq!(averaged_auc(&[]), None);
+    }
+
+    #[test]
+    fn roc_endpoints() {
+        let scored = vec![(0.9, true), (0.5, false), (0.3, true)];
+        let curve = roc_curve(&scored);
+        assert_eq!(curve.first().unwrap(), &RocPoint { fpr: 0.0, tpr: 0.0 });
+        let last = curve.last().unwrap();
+        assert!((last.fpr - 1.0).abs() < 1e-12 && (last.tpr - 1.0).abs() < 1e-12);
+        // Monotone non-decreasing in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr);
+        }
+    }
+}

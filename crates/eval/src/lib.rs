@@ -1,0 +1,32 @@
+//! Evaluation substrate for the COLD reproduction.
+//!
+//! Implements every metric the paper's empirical study (§6) reports:
+//!
+//! * [`auc`] — ranking AUC with tie handling, ROC curves, and the
+//!   *averaged* AUC over retweet tuples used for diffusion prediction
+//!   (Fig. 12, following Dietz et al. as the paper cites).
+//! * [`perplexity`] — held-out perplexity (Fig. 9).
+//! * [`accuracy`] — time-stamp prediction accuracy under a tolerance range
+//!   (Fig. 11).
+//! * [`nmi`] — normalized mutual information against planted ground truth
+//!   (our synthetic-data substitute for the paper's qualitative checks).
+//! * [`timer`] — wall-clock measurement for the efficiency experiments
+//!   (Figs. 13–15).
+//! * [`report`] — serializable experiment result tables rendered to
+//!   markdown and JSON, so EXPERIMENTS.md is regenerable.
+
+pub mod accuracy;
+pub mod auc;
+pub mod nmi;
+pub mod perplexity;
+pub mod ranking;
+pub mod report;
+pub mod timer;
+
+pub use accuracy::tolerance_accuracy;
+pub use auc::{averaged_auc, ranking_auc, RocPoint};
+pub use nmi::normalized_mutual_information;
+pub use perplexity::perplexity;
+pub use ranking::{mean_reciprocal_rank, precision_at_k};
+pub use report::{ExperimentReport, Series};
+pub use timer::Stopwatch;

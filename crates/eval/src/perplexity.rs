@@ -1,0 +1,73 @@
+//! Held-out perplexity (Fig. 9).
+//!
+//! `perplexity(D_test) = exp( − Σ_d log p(w_d) / Σ_d N_d )` — the paper's
+//! §6.2 definition. Models supply per-post log-likelihoods; this module only
+//! does the aggregation, so every model is scored identically.
+
+/// Aggregate per-post `(log_likelihood, token_count)` pairs into perplexity.
+///
+/// Posts with zero tokens are ignored (they carry no evidence). Returns
+/// `None` if no tokens remain or any likelihood is non-finite — a model
+/// that assigns zero probability to a held-out post has infinite
+/// perplexity, which callers should surface explicitly rather than see as a
+/// huge float.
+pub fn perplexity(per_post: &[(f64, usize)]) -> Option<f64> {
+    let mut log_lik = 0.0f64;
+    let mut tokens = 0usize;
+    for &(ll, n) in per_post {
+        if n == 0 {
+            continue;
+        }
+        if !ll.is_finite() {
+            return None;
+        }
+        log_lik += ll;
+        tokens += n;
+    }
+    if tokens == 0 {
+        return None;
+    }
+    Some((-log_lik / tokens as f64).exp())
+}
+
+/// Perplexity of the uniform distribution over a vocabulary of size `v` —
+/// the natural upper baseline: any model beating it has learned something.
+pub fn uniform_perplexity(v: usize) -> f64 {
+    v as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_scores_vocab_size() {
+        // Two posts of 3 and 5 tokens under uniform p = 1/100 per token.
+        let v = 100.0f64;
+        let posts = vec![(3.0 * (1.0 / v).ln(), 3), (5.0 * (1.0 / v).ln(), 5)];
+        let p = perplexity(&posts).unwrap();
+        assert!((p - v).abs() < 1e-9);
+        assert_eq!(uniform_perplexity(100), 100.0);
+    }
+
+    #[test]
+    fn sharper_model_has_lower_perplexity() {
+        let sharp = vec![(10.0 * 0.5f64.ln(), 10)];
+        let diffuse = vec![(10.0 * 0.01f64.ln(), 10)];
+        assert!(perplexity(&sharp).unwrap() < perplexity(&diffuse).unwrap());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(perplexity(&[]), None);
+        assert_eq!(perplexity(&[(0.0, 0)]), None);
+        assert_eq!(perplexity(&[(f64::NEG_INFINITY, 5)]), None);
+    }
+
+    #[test]
+    fn zero_token_posts_are_ignored() {
+        let with = vec![(2.0 * 0.1f64.ln(), 2), (f64::NEG_INFINITY, 0)];
+        // The infinite-likelihood zero-length post must not poison the score.
+        assert!(perplexity(&with).is_some());
+    }
+}

@@ -1,0 +1,85 @@
+//! Top-k ranking metrics.
+//!
+//! The WTM baseline's original task is "whom to mention" — pick the few
+//! followers most likely to spread a post — which is a top-k ranking
+//! problem rather than a full-ranking (AUC) one. These metrics complement
+//! the AUC evaluation for that view.
+
+/// Precision@k: the fraction of the top-`k` scored items that are
+/// positive. Returns `None` for an empty input or `k == 0`.
+pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> Option<f64> {
+    if scored.is_empty() || k == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        scored[b]
+            .0
+            .partial_cmp(&scored[a].0)
+            .expect("scores must not be NaN")
+    });
+    let k = k.min(order.len());
+    let hits = order[..k].iter().filter(|&&i| scored[i].1).count();
+    Some(hits as f64 / k as f64)
+}
+
+/// Mean reciprocal rank of the first positive item (1-based rank).
+/// Returns `None` when there is no positive item.
+pub fn reciprocal_rank(scored: &[(f64, bool)]) -> Option<f64> {
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        scored[b]
+            .0
+            .partial_cmp(&scored[a].0)
+            .expect("scores must not be NaN")
+    });
+    order
+        .iter()
+        .position(|&i| scored[i].1)
+        .map(|rank| 1.0 / (rank + 1) as f64)
+}
+
+/// Mean of [`reciprocal_rank`] over groups where it is defined.
+pub fn mean_reciprocal_rank(groups: &[Vec<(f64, bool)>]) -> Option<f64> {
+    let rrs: Vec<f64> = groups.iter().filter_map(|g| reciprocal_rank(g)).collect();
+    if rrs.is_empty() {
+        return None;
+    }
+    Some(rrs.iter().sum::<f64>() / rrs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_counts_top_hits() {
+        let scored = vec![(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert_eq!(precision_at_k(&scored, 1), Some(1.0));
+        assert_eq!(precision_at_k(&scored, 2), Some(0.5));
+        assert_eq!(precision_at_k(&scored, 3), Some(2.0 / 3.0));
+        // k beyond length clamps.
+        assert_eq!(precision_at_k(&scored, 10), Some(0.5));
+        assert_eq!(precision_at_k(&[], 3), None);
+        assert_eq!(precision_at_k(&scored, 0), None);
+    }
+
+    #[test]
+    fn reciprocal_rank_finds_first_positive() {
+        let scored = vec![(0.9, false), (0.8, false), (0.7, true)];
+        assert_eq!(reciprocal_rank(&scored), Some(1.0 / 3.0));
+        assert_eq!(reciprocal_rank(&[(0.5, false)]), None);
+        assert_eq!(reciprocal_rank(&[(0.5, true)]), Some(1.0));
+    }
+
+    #[test]
+    fn mrr_averages_defined_groups() {
+        let groups = vec![
+            vec![(0.9, true), (0.1, false)],  // RR 1
+            vec![(0.9, false), (0.1, true)],  // RR 1/2
+            vec![(0.9, false)],               // undefined
+        ];
+        assert_eq!(mean_reciprocal_rank(&groups), Some(0.75));
+        assert_eq!(mean_reciprocal_rank(&[]), None);
+    }
+}

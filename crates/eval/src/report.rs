@@ -1,0 +1,190 @@
+//! Serializable experiment results.
+//!
+//! Every `fig*` binary in `cold-bench` produces an [`ExperimentReport`]:
+//! named series over a shared x-axis, plus free-form notes. Reports render
+//! to a markdown table (pasted into EXPERIMENTS.md) and round-trip through
+//! JSON in `results/` so numbers are regenerable and diffable.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One named series of y-values over the report's x-axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name, e.g. `"COLD"` or `"PMTLM"`.
+    pub name: String,
+    /// One value per x-axis entry; `NaN` is not allowed (use `None`).
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    /// Construct from fully-populated values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values: values.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+/// A complete experiment result: an x-axis, several series, and context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Identifier, e.g. `"fig09_perplexity"`.
+    pub id: String,
+    /// Human title, e.g. `"Perplexity vs number of topics"`.
+    pub title: String,
+    /// X-axis label, e.g. `"K"`.
+    pub x_label: String,
+    /// Y-axis label, e.g. `"perplexity"`.
+    pub y_label: String,
+    /// X-axis values (as strings so categorical axes work too).
+    pub x: Vec<String>,
+    /// The measured series.
+    pub series: Vec<Series>,
+    /// Free-form notes (dataset scale, iteration counts, seeds).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Start an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x,
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a series; its length must match the x-axis.
+    ///
+    /// # Panics
+    /// Panics on length mismatch — a malformed report is a bug, not data.
+    pub fn push_series(&mut self, series: Series) -> &mut Self {
+        assert_eq!(
+            series.values.len(),
+            self.x.len(),
+            "series '{}' has {} values for {} x entries",
+            series.name,
+            series.values.len(),
+            self.x.len()
+        );
+        self.series.push(series);
+        self
+    }
+
+    /// Append a context note.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.name));
+        }
+        out.push('\n');
+        out.push_str(&"|---".repeat(1 + self.series.len()));
+        out.push_str("|\n");
+        for (i, xv) in self.x.iter().enumerate() {
+            out.push_str(&format!("| {xv} |"));
+            for s in &self.series {
+                match s.values[i] {
+                    Some(v) => out.push_str(&format!(" {v:.4} |")),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("> {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Write the JSON representation to `dir/<id>.json`.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut file = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("report serialization");
+        file.write_all(json.as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Load a report back from `dir/<id>.json`.
+    pub fn load(dir: impl AsRef<Path>, id: &str) -> std::io::Result<Self> {
+        let path = dir.as_ref().join(format!("{id}.json"));
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new(
+            "fig_test",
+            "Test report",
+            "K",
+            "auc",
+            vec!["20".into(), "50".into()],
+        );
+        r.push_series(Series::new("COLD", vec![0.9, 0.92]));
+        r.push_series(Series {
+            name: "MMSB".into(),
+            values: vec![Some(0.8), None],
+        });
+        r.note("seed=1");
+        r
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| K | COLD | MMSB |"));
+        assert!(md.contains("| 20 | 0.9000 | 0.8000 |"));
+        assert!(md.contains("| 50 | 0.9200 | — |"));
+        assert!(md.contains("> seed=1"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("cold_eval_report_test");
+        let r = sample();
+        let path = r.save(&dir).unwrap();
+        assert!(path.exists());
+        let back = ExperimentReport::load(&dir, "fig_test").unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "x entries")]
+    fn mismatched_series_length_panics() {
+        let mut r = ExperimentReport::new("x", "t", "x", "y", vec!["1".into()]);
+        r.push_series(Series::new("bad", vec![1.0, 2.0]));
+    }
+}

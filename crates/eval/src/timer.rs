@@ -1,0 +1,97 @@
+//! Wall-clock measurement for the efficiency experiments (Figs. 13–15).
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch with lap support.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Total elapsed time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Record a named lap measured from the previous lap (or start).
+    pub fn lap(&mut self, name: impl Into<String>) -> Duration {
+        let total = self.started.elapsed();
+        let prior: Duration = self.laps.iter().map(|(_, d)| *d).sum();
+        let lap = total - prior;
+        self.laps.push((name.into(), lap));
+        lap
+    }
+
+    /// All recorded laps.
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Mean per-call latency of `f` over `iters` calls, in **microseconds**.
+/// Used for the online-prediction cost comparison (Fig. 15).
+pub fn mean_latency_micros(iters: usize, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_sum_to_elapsed() {
+        let mut sw = Stopwatch::new();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap("first");
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap("second");
+        let lap_total: Duration = sw.laps().iter().map(|(_, d)| *d).sum();
+        assert!(sw.elapsed() >= lap_total);
+        assert_eq!(sw.laps().len(), 2);
+        assert!(sw.laps()[0].1 >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn timed_returns_result_and_positive_duration() {
+        let (value, secs) = timed(|| 2 + 2);
+        assert_eq!(value, 4);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn latency_is_finite_and_positive() {
+        let mut acc = 0u64;
+        let micros = mean_latency_micros(1000, || acc = acc.wrapping_add(1));
+        assert!(micros.is_finite());
+        assert!(micros >= 0.0);
+        assert_eq!(acc, 1000);
+    }
+}

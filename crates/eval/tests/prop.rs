@@ -1,0 +1,82 @@
+//! Property tests for the evaluation metrics.
+
+use cold_eval::accuracy::{accuracy_curve, tolerance_accuracy};
+use cold_eval::auc::ranking_auc;
+use cold_eval::nmi::normalized_mutual_information;
+use cold_eval::perplexity::perplexity;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AUC is invariant under strictly monotone score transforms.
+    #[test]
+    fn auc_monotone_invariant(
+        scores in prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..60)
+    ) {
+        prop_assume!(scores.iter().any(|&(_, l)| l) && scores.iter().any(|&(_, l)| !l));
+        let transformed: Vec<(f64, bool)> =
+            scores.iter().map(|&(s, l)| (s.exp() * 3.0 + 1.0, l)).collect();
+        let a = ranking_auc(&scores).unwrap();
+        let b = ranking_auc(&transformed).unwrap();
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    /// AUC of labels vs inverted labels sums to 1.
+    #[test]
+    fn auc_complement(
+        scores in prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..60)
+    ) {
+        prop_assume!(scores.iter().any(|&(_, l)| l) && scores.iter().any(|&(_, l)| !l));
+        let flipped: Vec<(f64, bool)> = scores.iter().map(|&(s, l)| (s, !l)).collect();
+        let a = ranking_auc(&scores).unwrap();
+        let b = ranking_auc(&flipped).unwrap();
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    /// AUC lies in [0, 1].
+    #[test]
+    fn auc_bounded(
+        scores in prop::collection::vec((-5.0f64..5.0, any::<bool>()), 2..80)
+    ) {
+        if let Some(auc) = ranking_auc(&scores) {
+            prop_assert!((0.0..=1.0).contains(&auc));
+        }
+    }
+
+    /// The accuracy curve is monotone and reaches 1 at max spread.
+    #[test]
+    fn accuracy_curve_monotone(pairs in prop::collection::vec((0u16..50, 0u16..50), 1..50)) {
+        let curve = accuracy_curve(&pairs, 50);
+        for w in curve.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert_eq!(*curve.last().unwrap(), 1.0);
+        let acc0 = tolerance_accuracy(&pairs, 0).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc0));
+    }
+
+    /// Perplexity decreases when likelihoods improve uniformly.
+    #[test]
+    fn perplexity_orders_models(lls in prop::collection::vec((-20.0f64..-0.1, 1usize..30), 1..20)) {
+        let worse: Vec<(f64, usize)> = lls.iter().map(|&(ll, n)| (ll * n as f64, n)).collect();
+        let better: Vec<(f64, usize)> = lls.iter().map(|&(ll, n)| (ll * 0.5 * n as f64, n)).collect();
+        let pw = perplexity(&worse).unwrap();
+        let pb = perplexity(&better).unwrap();
+        prop_assert!(pb <= pw + 1e-9, "{pb} vs {pw}");
+    }
+
+    /// NMI is symmetric and bounded.
+    #[test]
+    fn nmi_symmetric_bounded(labels in prop::collection::vec((0u32..5, 0u32..5), 1..80)) {
+        let a: Vec<u32> = labels.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u32> = labels.iter().map(|&(_, y)| y).collect();
+        let ab = normalized_mutual_information(&a, &b).unwrap();
+        let ba = normalized_mutual_information(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        // Self-NMI is 1 whenever entropy is positive (or both trivial).
+        let aa = normalized_mutual_information(&a, &a).unwrap();
+        prop_assert!((aa - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Incremental graph construction.
+
+use crate::{CsrGraph, Link, UserId};
+
+/// Accumulates edges (growing the node count as needed) and finalizes into a
+/// [`CsrGraph`]. Duplicate edges and self-loops are tolerated on input and
+/// removed at build time.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    num_nodes: u32,
+    edges: Vec<Link>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder that pre-declares `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn with_nodes(num_nodes: u32) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Ensure node `u` exists.
+    pub fn ensure_node(&mut self, u: UserId) -> &mut Self {
+        self.num_nodes = self.num_nodes.max(u + 1);
+        self
+    }
+
+    /// Add a directed edge, growing the node range to cover both endpoints.
+    pub fn add_edge(&mut self, source: UserId, target: UserId) -> &mut Self {
+        self.num_nodes = self.num_nodes.max(source + 1).max(target + 1);
+        self.edges.push((source, target));
+        self
+    }
+
+    /// Add many edges at once.
+    pub fn extend_edges(&mut self, edges: impl IntoIterator<Item = Link>) -> &mut Self {
+        for (s, t) in edges {
+            self.add_edge(s, t);
+        }
+        self
+    }
+
+    /// Number of edges currently buffered (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into an immutable CSR graph.
+    pub fn build(self) -> CsrGraph {
+        CsrGraph::from_edges(self.num_nodes, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_grows_node_range() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 7).add_edge(3, 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn builder_with_isolated_tail_nodes() {
+        let mut b = GraphBuilder::with_nodes(10);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.out_neighbors(9).is_empty());
+    }
+
+    #[test]
+    fn extend_and_pending() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(b.pending_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1); // dedup + self-loop removal
+    }
+}

@@ -1,0 +1,182 @@
+//! Compressed-sparse-row directed graph.
+//!
+//! Both directions are materialized: the Gibbs sampler walks *out*-links
+//! (the paper samples `(s_ii', s'_ii')` per positive link), while the
+//! diffusion-prediction evaluation needs *in*-links ("followers of `i`" are
+//! the users who retweet from `i`, i.e. the out-neighbourhood of `i` in the
+//! interaction direction — and predictors score candidate consumers, which
+//! requires the reverse view too).
+
+use crate::{Link, UserId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable directed graph in CSR form with a mirrored reverse index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_nodes: u32,
+    /// Out-adjacency: `out_targets[out_offsets[u]..out_offsets[u+1]]`,
+    /// sorted ascending within each node.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<UserId>,
+    /// In-adjacency (reverse edges), same layout.
+    in_offsets: Vec<u32>,
+    in_sources: Vec<UserId>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list. Edges are deduplicated; self-loops are
+    /// dropped (a user does not "retweet herself" in the paper's data model).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: u32, edges: &[Link]) -> Self {
+        for &(s, t) in edges {
+            assert!(
+                s < num_nodes && t < num_nodes,
+                "edge ({s},{t}) out of range for {num_nodes} nodes"
+            );
+        }
+        let mut cleaned: Vec<Link> = edges.iter().copied().filter(|&(s, t)| s != t).collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+
+        let (out_offsets, out_targets) = Self::pack(num_nodes, cleaned.iter().copied());
+        let mut reversed: Vec<Link> = cleaned.iter().map(|&(s, t)| (t, s)).collect();
+        reversed.sort_unstable();
+        let (in_offsets, in_sources) = Self::pack(num_nodes, reversed.into_iter());
+
+        Self {
+            num_nodes,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Pack a sorted edge iterator into (offsets, targets).
+    fn pack(num_nodes: u32, edges: impl Iterator<Item = Link>) -> (Vec<u32>, Vec<UserId>) {
+        let mut offsets = vec![0u32; num_nodes as usize + 1];
+        let mut targets = Vec::new();
+        for (s, t) in edges {
+            offsets[s as usize + 1] += 1;
+            targets.push(t);
+        }
+        for i in 0..num_nodes as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        (offsets, targets)
+    }
+
+    /// Number of nodes `U`.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of directed edges `|E|` (after dedup / self-loop removal).
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbours of `u`, ascending.
+    pub fn out_neighbors(&self, u: UserId) -> &[UserId] {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `u` (users with an edge *into* `u`), ascending.
+    pub fn in_neighbors(&self, u: UserId) -> &[UserId] {
+        let lo = self.in_offsets[u as usize] as usize;
+        let hi = self.in_offsets[u as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: UserId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: UserId) -> usize {
+        self.in_neighbors(u).len()
+    }
+
+    /// Whether the directed edge `(s, t)` exists. O(log deg(s)).
+    pub fn has_edge(&self, s: UserId, t: UserId) -> bool {
+        self.out_neighbors(s).binary_search(&t).is_ok()
+    }
+
+    /// Iterate all edges in `(source, target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Link> + '_ {
+        (0..self.num_nodes).flat_map(move |s| {
+            self.out_neighbors(s).iter().map(move |&t| (s, t))
+        })
+    }
+
+    /// Number of *absent* directed node pairs `U(U-1) - |E|`; the paper's
+    /// `n_neg`, used to calibrate the Beta prior `λ0` (§3.3).
+    pub fn num_negative_links(&self) -> u64 {
+        let u = self.num_nodes as u64;
+        u * (u.saturating_sub(1)) - self.num_edges() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (2, 0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_and_complete() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn negative_link_count() {
+        let g = diamond();
+        // 4*3 = 12 ordered pairs, 5 present.
+        assert_eq!(g.num_negative_links(), 7);
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.out_neighbors(1).is_empty());
+        assert!(g.in_neighbors(2).is_empty());
+        assert_eq!(g.num_negative_links(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Random-graph generators.
+//!
+//! The synthetic dataset substrate (crate `cold-data`) drives the
+//! [`mixed_membership_block`] generator with planted `π` and `η` — that is
+//! a literal execution of step 3(c) of the paper's generative process
+//! (Alg. 1): for each candidate link, sample a community for each endpoint
+//! from the users' membership vectors and flip a Bernoulli coin with the
+//! community-pair strength. Erdős–Rényi is kept for tests and null models.
+
+use crate::{CsrGraph, Link, UserId};
+use cold_math::categorical::AliasTable;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)` directed graph (no self-loops).
+///
+/// Uses geometric edge skipping so the cost is O(n·p·n) expected rather than
+/// O(n²) trials, which matters for the scalability experiment's null models.
+pub fn erdos_renyi<R: Rng>(rng: &mut R, num_nodes: u32, p: f64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let n = num_nodes as u64;
+    let total_pairs = n * n; // includes self pairs; filtered below
+    let mut edges: Vec<Link> = Vec::new();
+    if p > 0.0 {
+        let log1mp = (1.0 - p).ln();
+        let mut idx: u64 = 0;
+        loop {
+            // Geometric skip: next success after Geom(p) failures.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = if p >= 1.0 { 0 } else { (u.ln() / log1mp) as u64 };
+            idx = idx.saturating_add(skip);
+            if idx >= total_pairs {
+                break;
+            }
+            let s = (idx / n) as UserId;
+            let t = (idx % n) as UserId;
+            if s != t {
+                edges.push((s, t));
+            }
+            idx += 1;
+        }
+    }
+    CsrGraph::from_edges(num_nodes, &edges)
+}
+
+/// Mixed-membership stochastic-block generation (Alg. 1 step 3(c)).
+///
+/// For each ordered pair drawn from a candidate set, endpoint communities
+/// `s ~ Mul(π_i)`, `s' ~ Mul(π_i')` are sampled and the link materializes
+/// with probability `η[s][s']`. Because evaluating *all* `U(U-1)` pairs is
+/// quadratic, callers pass `candidates_per_user`: for each user we examine
+/// that many uniformly-random distinct partners, matching the sparsity of
+/// real interaction networks while preserving the block structure.
+pub fn mixed_membership_block<R: Rng>(
+    rng: &mut R,
+    memberships: &[Vec<f64>],
+    eta: &[Vec<f64>],
+    candidates_per_user: usize,
+) -> CsrGraph {
+    let num_nodes = memberships.len() as u32;
+    assert!(num_nodes > 1, "need at least two users");
+    let c = eta.len();
+    assert!(memberships.iter().all(|m| m.len() == c));
+    assert!(eta.iter().all(|row| row.len() == c));
+
+    let tables: Vec<AliasTable> = memberships.iter().map(|m| AliasTable::new(m)).collect();
+    let mut edges: Vec<Link> = Vec::new();
+    for i in 0..num_nodes {
+        for _ in 0..candidates_per_user {
+            let j = loop {
+                let j = rng.gen_range(0..num_nodes);
+                if j != i {
+                    break j;
+                }
+            };
+            let s = tables[i as usize].sample(rng);
+            let s2 = tables[j as usize].sample(rng);
+            if rng.gen::<f64>() < eta[s][s2] {
+                edges.push((i, j));
+            }
+        }
+    }
+    CsrGraph::from_edges(num_nodes, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::rng::seeded_rng;
+
+    #[test]
+    fn erdos_renyi_density_matches_p() {
+        let mut rng = seeded_rng(21);
+        let n = 300u32;
+        let p = 0.05;
+        let g = erdos_renyi(&mut rng, n, p);
+        let possible = (n as f64) * (n as f64 - 1.0);
+        let density = g.num_edges() as f64 / possible;
+        assert!((density - p).abs() < 0.005, "density {density}");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = seeded_rng(22);
+        assert_eq!(erdos_renyi(&mut rng, 50, 0.0).num_edges(), 0);
+        let full = erdos_renyi(&mut rng, 20, 1.0);
+        assert_eq!(full.num_edges(), 20 * 19);
+    }
+
+    #[test]
+    fn block_structure_dominates_cross_links() {
+        let mut rng = seeded_rng(23);
+        // Two hard communities, strong intra / weak inter.
+        let n = 200usize;
+        let memberships: Vec<Vec<f64>> = (0..n)
+            .map(|i| if i < n / 2 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
+            .collect();
+        let eta = vec![vec![0.30, 0.01], vec![0.01, 0.30]];
+        let g = mixed_membership_block(&mut rng, &memberships, &eta, 40);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (s, t) in g.edges() {
+            if (s < n as u32 / 2) == (t < n as u32 / 2) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn block_generator_respects_zero_eta() {
+        let mut rng = seeded_rng(24);
+        let memberships: Vec<Vec<f64>> = (0..50).map(|_| vec![0.5, 0.5]).collect();
+        let eta = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let g = mixed_membership_block(&mut rng, &memberships, &eta, 20);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Link sampling for evaluation.
+//!
+//! The paper's link-prediction protocol (§6.2) holds out 20% of positive
+//! links and pairs them with a 1% sample of negative links, then ranks both
+//! by predicted probability (AUC). These helpers produce those samples
+//! deterministically given a seed.
+
+use crate::{CsrGraph, Link};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Uniformly sample `count` *negative* links — ordered pairs `(s, t)` with
+/// `s != t` and no edge in `graph` — by rejection.
+///
+/// # Panics
+/// Panics if the graph has fewer than 2 nodes or if `count` exceeds the
+/// number of available negative pairs.
+pub fn sample_negative_links<R: Rng>(rng: &mut R, graph: &CsrGraph, count: usize) -> Vec<Link> {
+    let n = graph.num_nodes();
+    assert!(n >= 2, "need at least two nodes to sample negatives");
+    assert!(
+        (count as u64) <= graph.num_negative_links(),
+        "requested {count} negatives but only {} exist",
+        graph.num_negative_links()
+    );
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    while out.len() < count {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s == t || graph.has_edge(s, t) {
+            continue;
+        }
+        if seen.insert((s, t)) {
+            out.push((s, t));
+        }
+    }
+    out
+}
+
+/// Split the positive links into `k` folds for cross-validation.
+///
+/// Returns `k` disjoint link sets whose union is the full edge set; links
+/// are shuffled first so folds are unbiased.
+pub fn link_folds<R: Rng>(rng: &mut R, graph: &CsrGraph, k: usize) -> Vec<Vec<Link>> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut edges: Vec<Link> = graph.edges().collect();
+    edges.shuffle(rng);
+    let mut folds: Vec<Vec<Link>> = (0..k).map(|_| Vec::new()).collect();
+    for (idx, e) in edges.into_iter().enumerate() {
+        folds[idx % k].push(e);
+    }
+    folds
+}
+
+/// The complement of one fold: all edges not held out, i.e. the training
+/// link set for that fold.
+pub fn training_links(graph: &CsrGraph, held_out: &[Link]) -> Vec<Link> {
+    let held: std::collections::HashSet<Link> = held_out.iter().copied().collect();
+    graph.edges().filter(|e| !held.contains(e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::rng::seeded_rng;
+
+    fn ring(n: u32) -> CsrGraph {
+        let edges: Vec<Link> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn negatives_are_truly_negative_and_distinct() {
+        let g = ring(50);
+        let mut rng = seeded_rng(31);
+        let negs = sample_negative_links(&mut rng, &g, 200);
+        assert_eq!(negs.len(), 200);
+        let set: std::collections::HashSet<_> = negs.iter().collect();
+        assert_eq!(set.len(), 200, "negatives must be distinct");
+        for &(s, t) in &negs {
+            assert_ne!(s, t);
+            assert!(!g.has_edge(s, t));
+        }
+    }
+
+    #[test]
+    fn folds_partition_edges() {
+        let g = ring(30);
+        let mut rng = seeded_rng(32);
+        let folds = link_folds(&mut rng, &g, 5);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_edges());
+        let mut all: Vec<Link> = folds.concat();
+        all.sort_unstable();
+        let mut expect: Vec<Link> = g.edges().collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+        // Balanced within one edge.
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn training_links_complement_fold() {
+        let g = ring(20);
+        let mut rng = seeded_rng(33);
+        let folds = link_folds(&mut rng, &g, 4);
+        let train = training_links(&g, &folds[0]);
+        assert_eq!(train.len() + folds[0].len(), g.num_edges());
+        for e in &train {
+            assert!(!folds[0].contains(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negatives")]
+    fn too_many_negatives_panics() {
+        // 3 nodes, ring of 3 edges -> 3 negatives available.
+        let g = ring(3);
+        let mut rng = seeded_rng(34);
+        let _ = sample_negative_links(&mut rng, &g, 10);
+    }
+}

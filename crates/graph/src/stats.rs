@@ -1,0 +1,113 @@
+//! Degree and density summaries, used by dataset reports and the
+//! scalability experiment's workload descriptions.
+
+use crate::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate structural statistics of an interaction network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of users `U`.
+    pub num_nodes: u32,
+    /// Number of positive links `|E|`.
+    pub num_edges: usize,
+    /// Edge density `|E| / (U(U-1))`.
+    pub density: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Fraction of reciprocated links (both `(s,t)` and `(t,s)` present).
+    pub reciprocity: f64,
+    /// Number of nodes with no links in either direction.
+    pub isolated_nodes: u32,
+}
+
+impl GraphStats {
+    /// Compute the summary for `graph`.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        let mut isolated = 0u32;
+        let mut reciprocated = 0usize;
+        for u in 0..n {
+            let od = graph.out_degree(u);
+            let id = graph.in_degree(u);
+            max_out = max_out.max(od);
+            max_in = max_in.max(id);
+            if od == 0 && id == 0 {
+                isolated += 1;
+            }
+            for &v in graph.out_neighbors(u) {
+                if graph.has_edge(v, u) {
+                    reciprocated += 1;
+                }
+            }
+        }
+        let possible = (n as f64) * (n as f64 - 1.0);
+        Self {
+            num_nodes: n,
+            num_edges: m,
+            density: if possible > 0.0 { m as f64 / possible } else { 0.0 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            mean_out_degree: if n > 0 { m as f64 / n as f64 } else { 0.0 },
+            reciprocity: if m > 0 { reciprocated as f64 / m as f64 } else { 0.0 },
+            isolated_nodes: isolated,
+        }
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_histogram(graph: &CsrGraph) -> Vec<u32> {
+    let max = (0..graph.num_nodes())
+        .map(|u| graph.out_degree(u))
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0u32; max + 1];
+    for u in 0..graph.num_nodes() {
+        hist[graph.out_degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_graph() {
+        // 0 <-> 1, 0 -> 2; node 3 isolated.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.isolated_nodes, 1);
+        assert!((s.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.density - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_node_count() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let hist = out_degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<u32>(), 5);
+        assert_eq!(hist[3], 1); // node 0
+        assert_eq!(hist[0], 3); // nodes 2,3,4
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.isolated_nodes, 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the graph substrate.
+
+use cold_graph::{CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_edges(max_nodes: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..200);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In- and out-adjacency describe the same edge set.
+    #[test]
+    fn in_out_adjacency_mirror((n, edges) in arb_edges(64)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut from_out: Vec<(u32, u32)> = g.edges().collect();
+        let mut from_in: Vec<(u32, u32)> = (0..n)
+            .flat_map(|t| g.in_neighbors(t).iter().map(move |&s| (s, t)))
+            .collect();
+        from_out.sort_unstable();
+        from_in.sort_unstable();
+        prop_assert_eq!(from_out, from_in);
+    }
+
+    /// has_edge agrees with the materialized edge list.
+    #[test]
+    fn has_edge_agrees_with_edges((n, edges) in arb_edges(32)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let set: std::collections::HashSet<(u32, u32)> = g.edges().collect();
+        for s in 0..n {
+            for t in 0..n {
+                prop_assert_eq!(g.has_edge(s, t), set.contains(&(s, t)));
+            }
+        }
+    }
+
+    /// Degrees sum to the edge count, in both directions.
+    #[test]
+    fn degree_sums_match_edge_count((n, edges) in arb_edges(64)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let out_sum: usize = (0..n).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..n).map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+    }
+
+    /// Builder and direct construction agree.
+    #[test]
+    fn builder_equivalent_to_from_edges((n, edges) in arb_edges(48)) {
+        let direct = CsrGraph::from_edges(n, &edges);
+        let mut b = GraphBuilder::with_nodes(n);
+        b.extend_edges(edges.iter().copied());
+        prop_assert_eq!(direct, b.build());
+    }
+
+    /// Neighbour lists are sorted and self-loop free.
+    #[test]
+    fn neighbors_sorted_no_self_loops((n, edges) in arb_edges(64)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        for u in 0..n {
+            let nb = g.out_neighbors(u);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted or dup");
+            prop_assert!(!nb.contains(&u), "self loop survived");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Categorical sampling.
+//!
+//! Two regimes matter in this workspace:
+//!
+//! * The Gibbs inner loops build a fresh weight vector per draw; a single
+//!   linear scan ([`sample_categorical`]) is optimal there.
+//! * The synthetic data generator draws millions of words from *static*
+//!   distributions; the [`AliasTable`] gives O(1) draws after O(n) setup.
+
+use rand::Rng;
+
+/// Draw an index proportional to `weights` (unnormalized, non-negative).
+///
+/// Returns `None` if the total mass is zero or not finite — callers treat
+/// that as "fall back to uniform" or as a hard error depending on context.
+pub fn sample_categorical<R: Rng>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    // NaN-aware: `!(total > 0.0)` is true for NaN, which `total <= 0.0`
+    // would miss.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(total > 0.0) || !total.is_finite() {
+        return None;
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (idx, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return Some(idx);
+        }
+    }
+    // Floating-point round-off can leave a sliver; return the last positive
+    // weight rather than an out-of-range index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Draw an index proportional to `exp(log_weights)`, stably.
+///
+/// Shifts by the maximum before exponentiating so the collapsed conditionals
+/// (which are products of many count ratios) never underflow.
+pub fn sample_log_categorical<R: Rng>(rng: &mut R, log_weights: &[f64]) -> Option<usize> {
+    let max = log_weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return None;
+    }
+    let total: f64 = log_weights.iter().map(|&w| (w - max).exp()).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (idx, &w) in log_weights.iter().enumerate() {
+        u -= (w - max).exp();
+        if u <= 0.0 {
+            return Some(idx);
+        }
+    }
+    log_weights.iter().rposition(|w| w.is_finite())
+}
+
+/// Walker's alias method: O(1) sampling from a fixed categorical
+/// distribution after O(n) preprocessing.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each bucket's "own" outcome.
+    prob: Vec<f64>,
+    /// The alternative outcome of each bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "alias table needs positive finite total mass, got {total}"
+        );
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no outcomes (never: the constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let bucket = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn empirical(weights: &[f64], n: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = seeded_rng(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn alias_matches_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = weights.iter().sum();
+        let freq = empirical(&weights, 200_000, 3);
+        for (f, w) in freq.iter().zip(&weights) {
+            assert!((f - w / total).abs() < 0.01, "{f} vs {}", w / total);
+        }
+    }
+
+    #[test]
+    fn alias_handles_zero_weights() {
+        let freq = empirical(&[0.0, 1.0, 0.0, 1.0], 50_000, 9);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[1] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn alias_single_outcome() {
+        let table = AliasTable::new(&[2.5]);
+        let mut rng = seeded_rng(0);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn linear_scan_matches_distribution() {
+        let weights = [0.5, 0.0, 2.0, 1.5];
+        let total: f64 = weights.iter().sum();
+        let mut rng = seeded_rng(4);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..100_000 {
+            counts[sample_categorical(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for (c, w) in counts.iter().zip(&weights) {
+            assert!((*c as f64 / 100_000.0 - w / total).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn degenerate_weights_return_none() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(sample_categorical(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(sample_categorical(&mut rng, &[]), None);
+        assert_eq!(
+            sample_log_categorical(&mut rng, &[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            None
+        );
+    }
+
+    #[test]
+    fn log_sampler_matches_linear_sampler_distribution() {
+        let weights: [f64; 3] = [1.0, 4.0, 0.5];
+        let logs: Vec<f64> = weights.iter().map(|w| w.ln() - 700.0).collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = seeded_rng(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[sample_log_categorical(&mut rng, &logs).unwrap()] += 1;
+        }
+        for (c, w) in counts.iter().zip(&weights) {
+            assert!((*c as f64 / 100_000.0 - w / total).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Gamma / Beta / Dirichlet variate generation.
+//!
+//! These drive the *generative* side of the reproduction: the synthetic
+//! data generator executes Alg. 1 of the paper literally, sampling
+//! `φ_k ~ Dir(β)`, `θ_c ~ Dir(α)`, `ψ_kc ~ Dir(ε)`, `π_i ~ Dir(ρ)` and
+//! `η_cc' ~ Beta(λ0, λ1)`.
+
+use rand::Rng;
+
+/// Sample from Gamma(shape, 1) using Marsaglia–Tsang's squeeze method.
+///
+/// Handles `shape < 1` via the standard boosting identity
+/// `Gamma(a) = Gamma(a+1) · U^{1/a}`.
+pub fn sample_gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller (avoids a rand_distr dependency).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Sample from Beta(a, b) as a ratio of Gammas.
+pub fn sample_beta<R: Rng>(rng: &mut R, a: f64, b: f64) -> f64 {
+    let x = sample_gamma(rng, a);
+    let y = sample_gamma(rng, b);
+    let s = x + y;
+    if s > 0.0 {
+        x / s
+    } else {
+        0.5
+    }
+}
+
+/// Sample a point on the simplex from a symmetric Dirichlet Dir(conc) of
+/// dimension `dim`.
+pub fn sample_dirichlet<R: Rng>(rng: &mut R, conc: f64, dim: usize) -> Vec<f64> {
+    sample_dirichlet_with(rng, &vec![conc; dim])
+}
+
+/// Sample from a general Dirichlet with per-component concentrations.
+pub fn sample_dirichlet_with<R: Rng>(rng: &mut R, conc: &[f64]) -> Vec<f64> {
+    debug_assert!(!conc.is_empty());
+    let mut draws: Vec<f64> = conc.iter().map(|&a| sample_gamma(rng, a)).collect();
+    let total: f64 = draws.iter().sum();
+    if total > 0.0 {
+        for d in &mut draws {
+            *d /= total;
+        }
+    } else {
+        let uniform = 1.0 / draws.len() as f64;
+        draws.fill(uniform);
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = seeded_rng(11);
+        for &shape in &[0.3, 1.0, 2.5, 9.0] {
+            let n = 80_000;
+            let samples: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, shape)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var =
+                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+            // Gamma(k,1): mean = k, var = k.
+            assert!((mean - shape).abs() < 0.05 * shape.max(1.0), "mean {mean} for {shape}");
+            assert!((var - shape).abs() < 0.15 * shape.max(1.0), "var {var} for {shape}");
+        }
+    }
+
+    #[test]
+    fn beta_moments() {
+        let mut rng = seeded_rng(12);
+        let (a, b) = (2.0, 5.0);
+        let n = 80_000;
+        let mean: f64 = (0..n).map(|_| sample_beta(&mut rng, a, b)).sum::<f64>() / n as f64;
+        assert!((mean - a / (a + b)).abs() < 0.005, "beta mean {mean}");
+    }
+
+    #[test]
+    fn beta_stays_in_unit_interval() {
+        let mut rng = seeded_rng(13);
+        for _ in 0..1_000 {
+            let v = sample_beta(&mut rng, 0.2, 0.1);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_matches_mean() {
+        let mut rng = seeded_rng(14);
+        let dim = 5;
+        let mut mean = vec![0.0; dim];
+        let n = 20_000;
+        for _ in 0..n {
+            let p = sample_dirichlet(&mut rng, 0.5, dim);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (m, v) in mean.iter_mut().zip(&p) {
+                *m += v;
+            }
+        }
+        for m in &mean {
+            assert!((m / n as f64 - 1.0 / dim as f64).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn asymmetric_dirichlet_respects_concentrations() {
+        let mut rng = seeded_rng(15);
+        let conc = [8.0, 1.0, 1.0];
+        let n = 20_000;
+        let mut mean = [0.0f64; 3];
+        for _ in 0..n {
+            let p = sample_dirichlet_with(&mut rng, &conc);
+            for (m, v) in mean.iter_mut().zip(&p) {
+                *m += v;
+            }
+        }
+        let total: f64 = conc.iter().sum();
+        for (m, &a) in mean.iter().zip(&conc) {
+            assert!((m / n as f64 - a / total).abs() < 0.01);
+        }
+    }
+}

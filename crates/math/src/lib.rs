@@ -1,0 +1,30 @@
+//! Probability and numerics substrate for the COLD reproduction.
+//!
+//! Every stochastic component of the workspace (the collapsed Gibbs sampler,
+//! the synthetic data generator, the baseline models, the cascade simulator)
+//! builds on the primitives in this crate:
+//!
+//! * [`special`] — log-gamma, digamma, log-beta and ascending factorials,
+//!   needed by the collapsed conditionals (Eqs. 1–3 of the paper).
+//! * [`rng`] — deterministic, splittable random-number-generator plumbing so
+//!   experiments are reproducible run to run.
+//! * [`categorical`] — categorical sampling over unnormalized weights, both
+//!   one-shot (linear scan, as the Gibbs inner loop wants) and amortized
+//!   ([`categorical::AliasTable`] for the data generator's static
+//!   distributions).
+//! * [`dirichlet`] — Dirichlet / Beta / Gamma variate generation for the
+//!   generative process of Alg. 1.
+//! * [`stats`] — normalization, entropy, moments, medians and other small
+//!   statistics used by the diffusion-pattern analyses (§5.3).
+
+pub mod categorical;
+pub mod dirichlet;
+pub mod rng;
+pub mod special;
+pub mod stats;
+
+pub use categorical::{sample_categorical, sample_log_categorical, AliasTable};
+pub use dirichlet::{sample_beta, sample_dirichlet, sample_gamma};
+pub use rng::{seeded_rng, RngFactory};
+pub use special::{lgamma, log_ascending_factorial, log_beta_fn};
+pub use stats::{entropy, log_sum_exp, normalize_in_place, variance_of_distribution};

@@ -1,0 +1,253 @@
+//! Small statistics used throughout the workspace.
+//!
+//! The diffusion-pattern analyses of §5.3 need the *variance of a temporal
+//! distribution* (fluctuation intensity of `ψ_kc`), medians of aligned
+//! curves, and CDFs of interest strengths; the evaluation needs stable
+//! log-sum-exp; the estimators need in-place normalization.
+
+/// Numerically stable `ln Σ exp(x_i)`.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Normalize `values` to sum to one, in place. Returns the original total.
+///
+/// If the total is not positive the vector is set to uniform (the behaviour
+/// estimators want for never-observed rows).
+pub fn normalize_in_place(values: &mut [f64]) -> f64 {
+    let total: f64 = values.iter().sum();
+    if total > 0.0 && total.is_finite() {
+        for v in values.iter_mut() {
+            *v /= total;
+        }
+    } else if !values.is_empty() {
+        let uniform = 1.0 / values.len() as f64;
+        values.fill(uniform);
+    }
+    total
+}
+
+/// Shannon entropy (nats) of a probability vector.
+pub fn entropy(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Variance of the *index* under a probability distribution over indices.
+///
+/// This is the paper's fluctuation-intensity measure for the temporal
+/// distribution `ψ_kc` (§5.3, Fig. 6): treating the time slice as a random
+/// variable with law `ψ_kc`, a bursty topic concentrates mass in few slices
+/// and a flat one spreads it.
+pub fn variance_of_distribution(probs: &[f64]) -> f64 {
+    let mean: f64 = probs.iter().enumerate().map(|(i, &p)| i as f64 * p).sum();
+    probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| p * (i as f64 - mean) * (i as f64 - mean))
+        .sum()
+}
+
+/// Mean of a slice. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Unbiased sample variance. Returns 0.0 for slices shorter than 2.
+pub fn sample_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Median of a slice (average of the two middle elements for even length).
+/// Returns `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median input"));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    })
+}
+
+/// Empirical CDF evaluation points: returns `(sorted_values, cumulative
+/// fraction ≤ value)` pairs, one per input value.
+pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in cdf input"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Kullback–Leibler divergence KL(p ‖ q) in nats.
+///
+/// Components where `p = 0` contribute zero; components where `p > 0` but
+/// `q = 0` make the divergence infinite.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter()
+        .zip(q)
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| {
+            if qi > 0.0 {
+                pi * (pi / qi).ln()
+            } else {
+                f64::INFINITY
+            }
+        })
+        .sum()
+}
+
+/// Online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased variance (0.0 before two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_direct() {
+        let xs: [f64; 3] = [0.1, -2.0, 3.5];
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_survives_large_magnitudes() {
+        let v = log_sum_exp(&[-1000.0, -1000.0]);
+        assert!((v - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        let mut v = [0.0, 0.0, 0.0];
+        normalize_in_place(&mut v);
+        assert!(v.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12));
+        let mut w = [2.0, 6.0];
+        let total = normalize_in_place(&mut w);
+        assert_eq!(total, 8.0);
+        assert!((w[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let p = [0.25; 4];
+        assert!((entropy(&p) - 4.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn distribution_variance_point_mass_zero_uniform_max() {
+        assert_eq!(variance_of_distribution(&[0.0, 1.0, 0.0]), 0.0);
+        // Uniform on {0,1,2}: variance = 2/3.
+        let u = [1.0 / 3.0; 3];
+        assert!((variance_of_distribution(&u) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[0.3, 0.1, 0.2, 0.2]);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-14);
+        let q = [0.5, 0.3, 0.2];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.variance() - sample_variance(&xs)).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the numerics substrate.
+
+use cold_math::categorical::{sample_categorical, sample_log_categorical, AliasTable};
+use cold_math::rng::seeded_rng;
+use cold_math::special::{lgamma, log_ascending_factorial};
+use cold_math::stats::{log_sum_exp, normalize_in_place, variance_of_distribution};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ln Γ satisfies its defining recurrence for arbitrary positive x.
+    #[test]
+    fn lgamma_recurrence(x in 0.05f64..500.0) {
+        let lhs = lgamma(x + 1.0);
+        let rhs = x.ln() + lgamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    /// The ascending-factorial shortcut agrees with the direct product.
+    #[test]
+    fn ascending_factorial_consistent(x in 0.01f64..50.0, n in 0u32..64) {
+        let direct: f64 = (0..n).map(|q| (x + q as f64).ln()).sum();
+        let fast = log_ascending_factorial(x, n);
+        prop_assert!((fast - direct).abs() < 1e-8 * (1.0 + direct.abs()));
+    }
+
+    /// log_sum_exp is invariant to a constant shift (up to fp noise).
+    #[test]
+    fn lse_shift_invariant(xs in prop::collection::vec(-50.0f64..50.0, 1..20), shift in -300.0f64..300.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let a = log_sum_exp(&xs) + shift;
+        let b = log_sum_exp(&shifted);
+        prop_assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()));
+    }
+
+    /// Normalization yields a probability vector whenever total mass > 0.
+    #[test]
+    fn normalize_yields_simplex(mut xs in prop::collection::vec(0.0f64..10.0, 1..30)) {
+        normalize_in_place(&mut xs);
+        let total: f64 = xs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(xs.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    /// Alias-table sampling only returns indices with positive weight.
+    #[test]
+    fn alias_respects_support(weights in prop::collection::vec(0.0f64..5.0, 1..40), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..200 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
+        }
+    }
+
+    /// The linear-scan sampler stays on the support too.
+    #[test]
+    fn categorical_respects_support(weights in prop::collection::vec(0.0f64..5.0, 1..40), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..100 {
+            let idx = sample_categorical(&mut rng, &weights).expect("positive mass");
+            prop_assert!(weights[idx] > 0.0);
+        }
+    }
+
+    /// Log-space and linear-space samplers agree on the support.
+    #[test]
+    fn log_categorical_respects_support(weights in prop::collection::vec(0.001f64..5.0, 1..20), seed in 0u64..1000) {
+        let logs: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..50 {
+            let idx = sample_log_categorical(&mut rng, &logs).expect("finite mass");
+            prop_assert!(idx < weights.len());
+        }
+    }
+
+    /// Index-variance of a distribution is maximized away from point masses.
+    #[test]
+    fn point_mass_minimizes_variance(dim in 2usize..20, at in 0usize..20) {
+        let at = at % dim;
+        let mut point = vec![0.0; dim];
+        point[at] = 1.0;
+        prop_assert_eq!(variance_of_distribution(&point), 0.0);
+        let uniform = vec![1.0 / dim as f64; dim];
+        prop_assert!(variance_of_distribution(&uniform) > 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The full post collection, with a per-user index.
+
+use crate::{Post, PostId, TimeSlice, Vocabulary, WordId};
+use serde::{Deserialize, Serialize};
+
+/// A corpus: every post of every user, the shared vocabulary, and the time
+/// grid dimension `T`.
+///
+/// Invariants (enforced at build):
+/// * every `Post::time < num_time_slices`,
+/// * every word id `< vocab.len()`,
+/// * `user_posts[i]` lists exactly the posts with `author == i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    vocab: Vocabulary,
+    posts: Vec<Post>,
+    num_users: u32,
+    num_time_slices: TimeSlice,
+    /// CSR-style per-user post index: `user_offsets[i]..user_offsets[i+1]`
+    /// indexes into `user_post_ids`.
+    user_offsets: Vec<u32>,
+    user_post_ids: Vec<PostId>,
+}
+
+impl Corpus {
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of users `U` (including users with zero posts).
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of time slices `T`.
+    pub fn num_time_slices(&self) -> TimeSlice {
+        self.num_time_slices
+    }
+
+    /// Number of posts `D`.
+    pub fn num_posts(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Total token count across all posts.
+    pub fn num_tokens(&self) -> usize {
+        self.posts.iter().map(Post::len).sum()
+    }
+
+    /// The post with id `d`.
+    pub fn post(&self, d: PostId) -> &Post {
+        &self.posts[d as usize]
+    }
+
+    /// All posts, in id order.
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Ids of the posts published by user `i` (the paper's `D_i`).
+    pub fn posts_of(&self, user: u32) -> &[PostId] {
+        let lo = self.user_offsets[user as usize] as usize;
+        let hi = self.user_offsets[user as usize + 1] as usize;
+        &self.user_post_ids[lo..hi]
+    }
+
+    /// Split the post ids into `k` cross-validation folds by round-robin
+    /// over a shuffled order.
+    pub fn post_folds<R: rand::Rng>(&self, rng: &mut R, k: usize) -> Vec<Vec<PostId>> {
+        use rand::seq::SliceRandom;
+        assert!(k >= 2);
+        let mut ids: Vec<PostId> = (0..self.posts.len() as PostId).collect();
+        ids.shuffle(rng);
+        let mut folds: Vec<Vec<PostId>> = (0..k).map(|_| Vec::new()).collect();
+        for (idx, d) in ids.into_iter().enumerate() {
+            folds[idx % k].push(d);
+        }
+        folds
+    }
+
+    /// A sub-corpus containing only the given posts (same vocabulary, users
+    /// and time grid). Used to form training sets for held-out evaluation.
+    pub fn restrict(&self, keep: &[PostId]) -> Corpus {
+        let posts: Vec<Post> = keep.iter().map(|&d| self.posts[d as usize].clone()).collect();
+        CorpusBuilder::from_parts(
+            self.vocab.clone(),
+            self.num_users,
+            self.num_time_slices,
+            posts,
+        )
+    }
+}
+
+/// Incremental corpus construction.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    vocab: Vocabulary,
+    posts: Vec<Post>,
+    num_users: u32,
+    num_time_slices: TimeSlice,
+}
+
+impl CorpusBuilder {
+    /// Fresh builder with an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder seeded with an existing vocabulary (e.g. synthetic).
+    pub fn with_vocab(vocab: Vocabulary) -> Self {
+        Self {
+            vocab,
+            ..Self::default()
+        }
+    }
+
+    /// Declare at least `num_users` users.
+    pub fn ensure_users(&mut self, num_users: u32) -> &mut Self {
+        self.num_users = self.num_users.max(num_users);
+        self
+    }
+
+    /// Mutable access to the vocabulary, for interning during tokenization.
+    pub fn vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.vocab
+    }
+
+    /// Append a post. Grows the user range and time grid to fit.
+    pub fn push(&mut self, post: Post) -> &mut Self {
+        for &w in &post.words {
+            assert!(
+                (w as usize) < self.vocab.len(),
+                "word id {w} not in vocabulary of size {}",
+                self.vocab.len()
+            );
+        }
+        self.num_users = self.num_users.max(post.author + 1);
+        self.num_time_slices = self.num_time_slices.max(post.time + 1);
+        self.posts.push(post);
+        self
+    }
+
+    /// Append a post given raw word strings, interning them.
+    pub fn push_text(&mut self, author: u32, time: TimeSlice, words: &[&str]) -> &mut Self {
+        let ids: Vec<WordId> = words.iter().map(|w| self.vocab.intern(w)).collect();
+        self.push(Post::new(author, time, ids))
+    }
+
+    /// Finalize into an immutable corpus.
+    pub fn build(self) -> Corpus {
+        Self::from_parts(self.vocab, self.num_users, self.num_time_slices, self.posts)
+    }
+
+    fn from_parts(
+        vocab: Vocabulary,
+        num_users: u32,
+        num_time_slices: TimeSlice,
+        posts: Vec<Post>,
+    ) -> Corpus {
+        let mut user_offsets = vec![0u32; num_users as usize + 1];
+        for p in &posts {
+            assert!(p.author < num_users, "author {} out of range", p.author);
+            assert!(
+                p.time < num_time_slices || (num_time_slices == 0 && posts.is_empty()),
+                "time {} out of range {num_time_slices}",
+                p.time
+            );
+            user_offsets[p.author as usize + 1] += 1;
+        }
+        for i in 0..num_users as usize {
+            user_offsets[i + 1] += user_offsets[i];
+        }
+        let mut cursor = user_offsets.clone();
+        let mut user_post_ids = vec![0 as PostId; posts.len()];
+        for (d, p) in posts.iter().enumerate() {
+            let slot = cursor[p.author as usize] as usize;
+            user_post_ids[slot] = d as PostId;
+            cursor[p.author as usize] += 1;
+        }
+        Corpus {
+            vocab,
+            posts,
+            num_users,
+            num_time_slices,
+            user_offsets,
+            user_post_ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_math::rng::seeded_rng;
+
+    fn small() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["ball", "match"]);
+        b.push_text(1, 2, &["film", "oscar", "film"]);
+        b.push_text(0, 1, &["ball"]);
+        b.ensure_users(4);
+        b.build()
+    }
+
+    #[test]
+    fn per_user_index_is_consistent() {
+        let c = small();
+        assert_eq!(c.num_users(), 4);
+        assert_eq!(c.num_posts(), 3);
+        assert_eq!(c.num_time_slices(), 3);
+        assert_eq!(c.posts_of(0), &[0, 2]);
+        assert_eq!(c.posts_of(1), &[1]);
+        assert!(c.posts_of(3).is_empty());
+        assert_eq!(c.num_tokens(), 6);
+    }
+
+    #[test]
+    fn vocabulary_is_shared_across_posts() {
+        let c = small();
+        assert_eq!(c.vocab_size(), 4); // ball match film oscar
+        let ball = c.vocab().id_of("ball").unwrap();
+        assert_eq!(c.post(0).words[0], ball);
+        assert_eq!(c.post(2).words[0], ball);
+    }
+
+    #[test]
+    fn folds_partition_posts() {
+        let c = small();
+        let mut rng = seeded_rng(1);
+        let folds = c.post_folds(&mut rng, 2);
+        let mut all: Vec<u32> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn restrict_keeps_dimensions() {
+        let c = small();
+        let sub = c.restrict(&[1]);
+        assert_eq!(sub.num_posts(), 1);
+        assert_eq!(sub.num_users(), 4);
+        assert_eq!(sub.num_time_slices(), 3);
+        assert_eq!(sub.vocab_size(), 4);
+        assert_eq!(sub.posts_of(1).len(), 1);
+        assert!(sub.posts_of(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in vocabulary")]
+    fn unknown_word_id_panics() {
+        let mut b = CorpusBuilder::new();
+        b.push(Post::new(0, 0, vec![99]));
+    }
+}

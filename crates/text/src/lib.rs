@@ -1,0 +1,41 @@
+//! Corpus substrate: vocabulary, time-stamped posts, preprocessing.
+//!
+//! The paper's data model (Definition 1) attaches to every user a set of
+//! posts; each post is a bag of words over a fixed vocabulary plus a
+//! posting time stamp, discretized into `T` slices (hours in the paper's
+//! Weibo datasets). This crate owns that representation:
+//!
+//! * [`vocab::Vocabulary`] — string ⇄ dense word-id interning.
+//! * [`post::Post`] — one time-stamped bag-of-words message.
+//! * [`corpus::Corpus`] — the full post collection with a per-user index,
+//!   the object every model trains on together with the interaction graph.
+//! * [`timeline::TimeGrid`] — raw epoch seconds → time-slice discretization.
+//! * [`tokenize`] — the stop-word / low-activity-user filtering pipeline the
+//!   paper applies before modeling (§6.1).
+//! * [`tfidf`] — user-history TF-IDF profiles (needed by the WTM baseline's
+//!   interest-match feature).
+
+// Per-user loops index parallel arrays by user id; see cold-core's same
+// allowance.
+#![allow(clippy::needless_range_loop)]
+
+pub mod corpus;
+pub mod post;
+pub mod tfidf;
+pub mod timeline;
+pub mod tokenize;
+pub mod vocab;
+
+pub use corpus::{Corpus, CorpusBuilder};
+pub use post::Post;
+pub use timeline::TimeGrid;
+pub use vocab::Vocabulary;
+
+/// Dense word identifier, `0..V`.
+pub type WordId = u32;
+
+/// Dense post identifier, `0..D` across the whole corpus.
+pub type PostId = u32;
+
+/// Discretized time-slice index, `0..T`.
+pub type TimeSlice = u16;

@@ -1,0 +1,80 @@
+//! A single time-stamped micro-blog post.
+
+use crate::{TimeSlice, WordId};
+use serde::{Deserialize, Serialize};
+
+/// One post `d_ij`: a bag of words plus a discretized time stamp.
+///
+/// The author is stored here (rather than only in the per-user index) so a
+/// post can travel alone through prediction code: Eq. (5) needs the
+/// publisher's community memberships alongside the words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// The publishing user `i`.
+    pub author: u32,
+    /// The discretized posting time `t_ij ∈ 0..T`.
+    pub time: TimeSlice,
+    /// Word ids, with repetitions (bag-of-words order is irrelevant).
+    pub words: Vec<WordId>,
+}
+
+impl Post {
+    /// Construct a post.
+    pub fn new(author: u32, time: TimeSlice, words: Vec<WordId>) -> Self {
+        Self { author, time, words }
+    }
+
+    /// Post length `|d_ij|` in tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the post has no tokens (possible after stop-word filtering).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word *multiset* of the post: sorted `(word, count)` pairs.
+    ///
+    /// Eq. (3)'s collapsed topic conditional iterates distinct words with
+    /// their within-post counts `n_ij^{(v)}`; computing this once per post
+    /// per sweep keeps the inner loop linear in distinct words.
+    pub fn word_multiset(&self) -> Vec<(WordId, u32)> {
+        let mut sorted = self.words.clone();
+        sorted.sort_unstable();
+        let mut out: Vec<(WordId, u32)> = Vec::with_capacity(sorted.len());
+        for &w in &sorted {
+            match out.last_mut() {
+                Some((prev, count)) if *prev == w => *count += 1,
+                _ => out.push((w, 1)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_counts_repetitions() {
+        let p = Post::new(0, 3, vec![5, 2, 5, 5, 2, 9]);
+        assert_eq!(p.word_multiset(), vec![(2, 2), (5, 3), (9, 1)]);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn multiset_of_empty_post() {
+        let p = Post::new(1, 0, vec![]);
+        assert!(p.is_empty());
+        assert!(p.word_multiset().is_empty());
+    }
+
+    #[test]
+    fn multiset_total_equals_len() {
+        let p = Post::new(0, 0, vec![1, 1, 2, 3, 3, 3, 7]);
+        let total: u32 = p.word_multiset().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total as usize, p.len());
+    }
+}

@@ -1,0 +1,185 @@
+//! TF-IDF user-history profiles.
+//!
+//! The WTM baseline (§6.1, method 6) scores "user interest match" between a
+//! message and a candidate retweeter's posting history. Lacking a topic
+//! model, WTM uses sparse TF-IDF vectors and cosine similarity; this module
+//! provides both.
+
+use crate::{Corpus, WordId};
+
+/// A sparse TF-IDF vector: sorted `(word, weight)` pairs, L2-normalized.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    entries: Vec<(WordId, f64)>,
+}
+
+impl SparseVector {
+    /// Build from unsorted raw weights, dropping non-positive entries and
+    /// normalizing to unit L2 norm.
+    pub fn new(mut entries: Vec<(WordId, f64)>) -> Self {
+        entries.retain(|&(_, w)| w > 0.0);
+        entries.sort_unstable_by_key(|&(w, _)| w);
+        let norm: f64 = entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut entries {
+                *w /= norm;
+            }
+        }
+        Self { entries }
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Cosine similarity with another vector (both unit-normalized, so this
+    /// is just the sparse dot product).
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Per-user TF-IDF profiles over a corpus.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    /// `idf[v] = ln(U / (1 + users containing v)) + 1`.
+    idf: Vec<f64>,
+    /// One profile per user, built from her whole post history.
+    profiles: Vec<SparseVector>,
+}
+
+impl TfIdfModel {
+    /// Fit profiles on `corpus` (one "document" per user, per the WTM
+    /// formulation of user interest).
+    pub fn fit(corpus: &Corpus) -> Self {
+        let v = corpus.vocab_size();
+        let u = corpus.num_users() as usize;
+        // Document frequency at the user level.
+        let mut df = vec![0u32; v];
+        let mut per_user_tf: Vec<std::collections::HashMap<WordId, f64>> =
+            vec![std::collections::HashMap::new(); u];
+        for user in 0..u {
+            let mut seen: std::collections::HashSet<WordId> = std::collections::HashSet::new();
+            for &d in corpus.posts_of(user as u32) {
+                for &w in &corpus.post(d).words {
+                    *per_user_tf[user].entry(w).or_insert(0.0) += 1.0;
+                    seen.insert(w);
+                }
+            }
+            for w in seen {
+                df[w as usize] += 1;
+            }
+        }
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| (u as f64 / (1.0 + d as f64)).ln() + 1.0)
+            .collect();
+        let profiles: Vec<SparseVector> = per_user_tf
+            .into_iter()
+            .map(|tf| {
+                SparseVector::new(
+                    tf.into_iter()
+                        .map(|(w, f)| (w, f * idf[w as usize]))
+                        .collect(),
+                )
+            })
+            .collect();
+        Self { idf, profiles }
+    }
+
+    /// The fitted profile for `user`.
+    pub fn user_profile(&self, user: u32) -> &SparseVector {
+        &self.profiles[user as usize]
+    }
+
+    /// TF-IDF vector for an arbitrary bag of words (e.g. one message).
+    pub fn vectorize(&self, words: &[WordId]) -> SparseVector {
+        let mut tf: std::collections::HashMap<WordId, f64> = std::collections::HashMap::new();
+        for &w in words {
+            *tf.entry(w).or_insert(0.0) += 1.0;
+        }
+        SparseVector::new(
+            tf.into_iter()
+                .map(|(w, f)| (w, f * self.idf.get(w as usize).copied().unwrap_or(1.0)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["football", "match", "goal"]);
+        b.push_text(0, 1, &["football", "league"]);
+        b.push_text(1, 0, &["movie", "oscar", "film"]);
+        b.push_text(2, 1, &["football", "movie"]);
+        b.build()
+    }
+
+    #[test]
+    fn profiles_capture_user_interest() {
+        let m = TfIdfModel::fit(&corpus());
+        let sports_msg = m.vectorize(&{
+            let c = corpus();
+            let f = c.vocab().id_of("football").unwrap();
+            let g = c.vocab().id_of("goal").unwrap();
+            vec![f, g]
+        });
+        let sim_sports_user = m.user_profile(0).cosine(&sports_msg);
+        let sim_movie_user = m.user_profile(1).cosine(&sports_msg);
+        assert!(
+            sim_sports_user > sim_movie_user,
+            "{sim_sports_user} vs {sim_movie_user}"
+        );
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_reflexive() {
+        let m = TfIdfModel::fit(&corpus());
+        for u in 0..3 {
+            let p = m.user_profile(u);
+            if p.nnz() > 0 {
+                assert!((p.cosine(p) - 1.0).abs() < 1e-9);
+            }
+            for v in 0..3 {
+                let c = p.cosine(m.user_profile(v));
+                assert!((-1e-9..=1.0 + 1e-9).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_history_gives_empty_profile() {
+        let mut b = CorpusBuilder::new();
+        b.push_text(0, 0, &["hello", "world"]);
+        b.ensure_users(3);
+        let m = TfIdfModel::fit(&b.build());
+        assert_eq!(m.user_profile(2).nnz(), 0);
+        assert_eq!(m.user_profile(2).cosine(m.user_profile(0)), 0.0);
+    }
+
+    #[test]
+    fn sparse_vector_drops_nonpositive() {
+        let v = SparseVector::new(vec![(3, 0.0), (1, 2.0), (2, -1.0)]);
+        assert_eq!(v.nnz(), 1);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Time discretization.
+//!
+//! The paper divides the entire time span of all posts into `T` equal
+//! slices (hour-granularity on the Weibo datasets, §6.1) and models each
+//! `ψ_kc` as a multinomial over those slices. [`TimeGrid`] performs that
+//! mapping from raw epoch seconds.
+
+use crate::TimeSlice;
+use serde::{Deserialize, Serialize};
+
+/// A uniform grid over `[start, end)` with `num_slices` cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeGrid {
+    start: u64,
+    end: u64,
+    num_slices: TimeSlice,
+}
+
+impl TimeGrid {
+    /// Build a grid covering `[start, end)` with `num_slices` slices.
+    ///
+    /// # Panics
+    /// Panics if `end <= start` or `num_slices == 0`.
+    pub fn new(start: u64, end: u64, num_slices: TimeSlice) -> Self {
+        assert!(end > start, "empty time span [{start}, {end})");
+        assert!(num_slices > 0, "need at least one slice");
+        Self {
+            start,
+            end,
+            num_slices,
+        }
+    }
+
+    /// Grid spanning the min/max of `stamps` (inclusive of the max).
+    ///
+    /// Returns `None` for an empty stamp set.
+    pub fn covering(stamps: &[u64], num_slices: TimeSlice) -> Option<Self> {
+        let &min = stamps.iter().min()?;
+        let &max = stamps.iter().max()?;
+        Some(Self::new(min, max + 1, num_slices))
+    }
+
+    /// Number of slices `T`.
+    pub fn num_slices(&self) -> TimeSlice {
+        self.num_slices
+    }
+
+    /// Width of one slice in raw time units (rounded up so the grid covers
+    /// the whole span).
+    pub fn slice_width(&self) -> u64 {
+        let span = self.end - self.start;
+        span.div_ceil(self.num_slices as u64)
+    }
+
+    /// Map a raw stamp to its slice, clamping stamps outside the span to the
+    /// boundary slices (streams in practice contain stragglers).
+    pub fn slice_of(&self, stamp: u64) -> TimeSlice {
+        if stamp < self.start {
+            return 0;
+        }
+        let idx = (stamp - self.start) / self.slice_width();
+        idx.min(self.num_slices as u64 - 1) as TimeSlice
+    }
+
+    /// The raw-time start of `slice` (inverse mapping, for reports).
+    pub fn slice_start(&self, slice: TimeSlice) -> u64 {
+        self.start + self.slice_width() * slice as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_partition_the_span() {
+        let g = TimeGrid::new(1000, 2000, 10);
+        assert_eq!(g.slice_width(), 100);
+        assert_eq!(g.slice_of(1000), 0);
+        assert_eq!(g.slice_of(1099), 0);
+        assert_eq!(g.slice_of(1100), 1);
+        assert_eq!(g.slice_of(1999), 9);
+    }
+
+    #[test]
+    fn out_of_range_stamps_clamp() {
+        let g = TimeGrid::new(1000, 2000, 10);
+        assert_eq!(g.slice_of(0), 0);
+        assert_eq!(g.slice_of(5000), 9);
+    }
+
+    #[test]
+    fn covering_fits_all_stamps() {
+        let stamps = [50u64, 10, 99, 42];
+        let g = TimeGrid::covering(&stamps, 4).unwrap();
+        for &s in &stamps {
+            assert!(g.slice_of(s) < 4);
+        }
+        assert_eq!(g.slice_of(10), 0);
+        assert_eq!(g.slice_of(99), 3);
+        assert!(TimeGrid::covering(&[], 4).is_none());
+    }
+
+    #[test]
+    fn uneven_span_rounds_up() {
+        // Span 7 into 3 slices -> width 3, slices cover [0,3),[3,6),[6,7).
+        let g = TimeGrid::new(0, 7, 3);
+        assert_eq!(g.slice_width(), 3);
+        assert_eq!(g.slice_of(6), 2);
+        assert_eq!(g.slice_start(2), 6);
+    }
+
+    #[test]
+    fn monotone_mapping() {
+        let g = TimeGrid::new(0, 1_000, 16);
+        let mut prev = 0;
+        for stamp in 0..1_000 {
+            let s = g.slice_of(stamp);
+            assert!(s >= prev);
+            prev = s;
+        }
+        assert_eq!(prev, 15);
+    }
+}

@@ -1,0 +1,144 @@
+//! Preprocessing: tokenization, stop-word filtering, low-activity pruning.
+//!
+//! §6.1 of the paper builds its datasets "after removing stop words and low
+//! active users (with fewer than 20 posts)". This module reproduces that
+//! pipeline for raw text input.
+
+use crate::{Corpus, CorpusBuilder, TimeSlice};
+use std::collections::HashSet;
+
+/// A basic tokenizer + filter configuration.
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    stopwords: HashSet<String>,
+    /// Words shorter than this (in chars) are dropped.
+    pub min_word_len: usize,
+    /// Users with fewer posts than this are dropped entirely (paper: 20).
+    pub min_posts_per_user: usize,
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Self {
+            stopwords: DEFAULT_STOPWORDS.iter().map(|s| (*s).to_owned()).collect(),
+            min_word_len: 2,
+            min_posts_per_user: 1,
+        }
+    }
+}
+
+/// A tiny default English stop list; callers supply their own for real data.
+const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "of", "to", "in", "on", "is", "are", "was", "were", "be",
+    "it", "at", "by", "for", "with", "as", "this", "that", "i", "you", "he", "she", "we",
+    "they", "not", "but", "so", "if", "then",
+];
+
+impl Preprocessor {
+    /// Replace the stop list.
+    pub fn with_stopwords(mut self, words: impl IntoIterator<Item = String>) -> Self {
+        self.stopwords = words.into_iter().collect();
+        self
+    }
+
+    /// Lowercase, split on non-alphanumeric boundaries, drop stop words and
+    /// too-short tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.to_lowercase()
+            .split(|ch: char| !ch.is_alphanumeric())
+            .filter(|tok| tok.len() >= self.min_word_len)
+            .filter(|tok| !self.stopwords.contains(*tok))
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Build a corpus from raw `(author, time_slice, text)` messages,
+    /// applying tokenization and dropping users below the activity floor.
+    ///
+    /// Authors are *re-indexed densely* after pruning; the returned map
+    /// gives `new_id -> original_id`.
+    pub fn build_corpus(&self, messages: &[(u32, TimeSlice, &str)]) -> (Corpus, Vec<u32>) {
+        // Count per-author message volume first.
+        let max_author = messages.iter().map(|&(a, _, _)| a).max().map_or(0, |a| a + 1);
+        let mut counts = vec![0usize; max_author as usize];
+        for &(a, _, _) in messages {
+            counts[a as usize] += 1;
+        }
+        let keep: Vec<u32> = (0..max_author)
+            .filter(|&a| counts[a as usize] >= self.min_posts_per_user)
+            .collect();
+        let mut remap = vec![u32::MAX; max_author as usize];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let mut builder = CorpusBuilder::new();
+        builder.ensure_users(keep.len() as u32);
+        for &(author, time, text) in messages {
+            let new_author = remap[author as usize];
+            if new_author == u32::MAX {
+                continue;
+            }
+            let toks = self.tokenize(text);
+            if toks.is_empty() {
+                continue;
+            }
+            let refs: Vec<&str> = toks.iter().map(String::as_str).collect();
+            builder.push_text(new_author, time, &refs);
+        }
+        (builder.build(), keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_strips_stopwords() {
+        let p = Preprocessor::default();
+        let toks = p.tokenize("The Quick-Brown FOX, and a dog!");
+        assert_eq!(toks, vec!["quick", "brown", "fox", "dog"]);
+    }
+
+    #[test]
+    fn short_tokens_are_dropped() {
+        let p = Preprocessor::default();
+        assert!(p.tokenize("x y z").is_empty());
+    }
+
+    #[test]
+    fn custom_stoplist() {
+        let p = Preprocessor::default().with_stopwords(["fox".to_owned()]);
+        let toks = p.tokenize("the fox runs");
+        assert_eq!(toks, vec!["the", "runs"]);
+    }
+
+    #[test]
+    fn low_activity_users_are_pruned_and_reindexed() {
+        let p = Preprocessor {
+            min_posts_per_user: 2,
+            ..Preprocessor::default()
+        };
+        let msgs = vec![
+            (0u32, 0u16, "football match tonight"),
+            (1, 0, "only one post here"),
+            (0, 1, "great football game"),
+            (2, 1, "movie review time"),
+            (2, 2, "another movie night"),
+        ];
+        let (corpus, kept) = p.build_corpus(&msgs);
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(corpus.num_users(), 2);
+        assert_eq!(corpus.num_posts(), 4);
+        // User 2 became id 1.
+        assert_eq!(corpus.posts_of(1).len(), 2);
+    }
+
+    #[test]
+    fn empty_after_filtering_posts_are_skipped() {
+        let p = Preprocessor::default();
+        let msgs = vec![(0u32, 0u16, "the a of"), (0, 1, "football")];
+        let (corpus, _) = p.build_corpus(&msgs);
+        assert_eq!(corpus.num_posts(), 1);
+    }
+}

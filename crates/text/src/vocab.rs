@@ -1,0 +1,113 @@
+//! Vocabulary interning.
+
+use crate::WordId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional map between word strings and dense ids `0..V`.
+///
+/// Models only ever see ids; the strings come back out for topic word-cloud
+/// reports (Fig. 8).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, WordId>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `word`, returning its id (existing or fresh).
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as WordId;
+        self.words.push(word.to_owned());
+        self.index.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned word.
+    pub fn id_of(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Vocabulary size `V`.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterate `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as WordId, w.as_str()))
+    }
+
+    /// Build a synthetic vocabulary of `size` machine-generated words
+    /// (`w0000`, `w0001`, …). Used by the data generator where the actual
+    /// strings are irrelevant but ids must be stable.
+    pub fn synthetic(size: usize) -> Self {
+        let mut v = Self::new();
+        for i in 0..size {
+            v.intern(&format!("w{i:05}"));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("sports");
+        let b = v.intern("movie");
+        assert_eq!(v.intern("sports"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.word(a), "sports");
+        assert_eq!(v.id_of("movie"), Some(b));
+        assert_eq!(v.id_of("absent"), None);
+    }
+
+    #[test]
+    fn iteration_preserves_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("a");
+        v.intern("b");
+        v.intern("c");
+        let collected: Vec<_> = v.iter().map(|(i, w)| (i, w.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "a".to_owned()), (1, "b".to_owned()), (2, "c".to_owned())]
+        );
+    }
+
+    #[test]
+    fn synthetic_vocab_has_distinct_words() {
+        let v = Vocabulary::synthetic(1000);
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v.id_of("w00999"), Some(999));
+    }
+}

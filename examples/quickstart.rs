@@ -1,0 +1,71 @@
+//! Quickstart: generate a small social world, fit COLD, and inspect what
+//! it learned — communities, topics, temporal dynamics and inter-community
+//! influence.
+//!
+//! ```text
+//! cargo run --release -p cold --example quickstart
+//! ```
+
+use cold::core::{ColdConfig, DiffusionPredictor, GibbsSampler};
+use cold::data::{generate, WorldConfig};
+
+fn main() {
+    // 1. A synthetic micro-blog world: users in overlapping communities
+    //    posting time-stamped messages and retweeting each other.
+    let mut world_config = WorldConfig::tiny();
+    world_config.num_users = 120;
+    let data = generate(&world_config, 42);
+    println!("world: {}", data.summary());
+
+    // 2. Fit COLD: C communities, K topics, collapsed Gibbs sampling.
+    let config = ColdConfig::builder(3, 3)
+        .iterations(150)
+        .burn_in(130)
+        .small_data_defaults()
+        .build(&data.corpus, &data.graph);
+    let model = GibbsSampler::new(&data.corpus, &data.graph, config, 7).run();
+
+    // 3. What does each community care about (θ_c)?
+    println!("\ncommunity interests:");
+    for c in 0..3 {
+        let theta = model.community_topics(c);
+        let interests: Vec<String> = theta.iter().map(|p| format!("{p:.2}")).collect();
+        println!("  community {c}: θ = [{}]", interests.join(", "));
+    }
+
+    // 4. What is each topic about (φ_k)? Top words double as Fig. 8's
+    //    word clouds.
+    println!("\ntopic word clouds (top 5):");
+    for k in 0..3 {
+        let words: Vec<String> = model
+            .top_words(k, 5, data.corpus.vocab())
+            .into_iter()
+            .map(|(w, p)| format!("{w} ({p:.3})"))
+            .collect();
+        println!("  topic {k}: {}", words.join(", "));
+    }
+
+    // 5. Who influences whom (η and ζ = Eq. 4)?
+    println!("\ninter-community influence η (rows = source):");
+    for c in 0..3 {
+        let row: Vec<String> = (0..3).map(|c2| format!("{:.3}", model.eta(c, c2))).collect();
+        println!("  from {c}: [{}]", row.join(", "));
+    }
+
+    // 6. Predict diffusion: will user 1 retweet a post by user 0?
+    let predictor = DiffusionPredictor::new(&model, 3);
+    let post = data.corpus.post(data.corpus.posts_of(0)[0]);
+    let p_neighbor = predictor.diffusion_score(0, 1, &post.words);
+    let p_stranger = predictor.diffusion_score(0, 60, &post.words);
+    println!(
+        "\ndiffusion scores for user 0's first post: to user 1 = {p_neighbor:.5}, \
+         to user 60 = {p_stranger:.5}"
+    );
+
+    // 7. Membership of a user (π_i): mixed-membership, sums to one.
+    let pi = model.user_memberships(0);
+    println!(
+        "user 0 memberships: [{}]",
+        pi.iter().map(|p| format!("{p:.2}")).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -1,0 +1,197 @@
+//! End-to-end recovery: train COLD on a generated planted-truth world and
+//! verify it recovers the structure the generator sampled from.
+//!
+//! These are the strongest correctness tests in the workspace — they
+//! exercise the entire pipeline (generator → corpus/graph substrates →
+//! collapsed Gibbs → estimators → predictors → metrics) and fail if any
+//! stage silently degrades.
+
+#![allow(clippy::needless_range_loop)] // ids index parallel arrays
+
+use cold::core::{predict, ColdConfig, DiffusionPredictor, GibbsSampler};
+use cold::data::{generate, WorldConfig};
+use cold::eval::{normalized_mutual_information, ranking_auc};
+use cold::graph::sampling::sample_negative_links;
+use cold::math::rng::seeded_rng;
+
+fn world() -> cold::data::SocialDataset {
+    let mut config = WorldConfig::tiny();
+    config.num_users = 90;
+    config.posts_per_user = 12.0;
+    // A denser network than the tiny default: the link signal must be able
+    // to bind a user's multi-topic posts into one community.
+    config.link_candidates_per_user = 100;
+    config.eta_intra = 0.5;
+    config.eta_inter = 0.005;
+    // Recovery is measured against the block structure; keep the weak-tie
+    // channel mild so the planted blocks stay identifiable at this size.
+    config.weak_tie_strength = 0.1;
+    config.membership_focus = 0.95;
+    config.word_noise = 0.05;
+    generate(&config, 101)
+}
+
+fn fit(data: &cold::data::SocialDataset, seed: u64) -> cold::core::ColdModel {
+    let config = ColdConfig::builder(3, 3)
+        .iterations(200)
+        .burn_in(180)
+        .sample_lag(4)
+        .explicit_negatives(3.0)
+        .hyperparams(cold::core::Hyperparams {
+            alpha: 1.0,
+            beta: 0.01,
+            epsilon: 0.01,
+            rho: 1.0,
+            lambda0: 0.1,
+            lambda1: 0.1,
+        })
+        .build(&data.corpus, &data.graph);
+    GibbsSampler::new(&data.corpus, &data.graph, config, seed).run()
+}
+
+#[test]
+fn recovers_planted_communities() {
+    let data = world();
+    let model = fit(&data, 1);
+    let recovered = model.hard_user_communities();
+    let nmi = normalized_mutual_information(&recovered, &data.truth.primary_community)
+        .expect("non-empty labelings");
+    assert!(nmi > 0.38, "community NMI too low: {nmi}");
+}
+
+#[test]
+fn recovers_planted_topics_per_post() {
+    let data = world();
+    let model = fit(&data, 2);
+    // Harden each post's topic by max-likelihood under the fitted phi.
+    let predicted: Vec<u32> = data
+        .corpus
+        .posts()
+        .iter()
+        .map(|p| {
+            (0..3)
+                .max_by(|&a, &b| {
+                    let la: f64 = p
+                        .words
+                        .iter()
+                        .map(|&w| model.topic_words(a)[w as usize].ln())
+                        .sum();
+                    let lb: f64 = p
+                        .words
+                        .iter()
+                        .map(|&w| model.topic_words(b)[w as usize].ln())
+                        .sum();
+                    la.partial_cmp(&lb).expect("finite")
+                })
+                .unwrap_or(0) as u32
+        })
+        .collect();
+    let truth = data.truth.post_topics();
+    let nmi = normalized_mutual_information(&predicted, &truth).expect("non-empty");
+    assert!(nmi > 0.6, "topic NMI too low: {nmi}");
+}
+
+#[test]
+fn link_prediction_beats_chance_decisively() {
+    let data = world();
+    let model = fit(&data, 3);
+    let mut rng = seeded_rng(33);
+    let positives: Vec<(u32, u32)> = data.graph.edges().collect();
+    let negatives = sample_negative_links(&mut rng, &data.graph, positives.len());
+    let mut scored: Vec<(f64, bool)> = Vec::new();
+    for &(i, j) in positives.iter().take(400) {
+        scored.push((predict::link_probability(&model, i, j), true));
+    }
+    for &(i, j) in negatives.iter().take(400) {
+        scored.push((predict::link_probability(&model, i, j), false));
+    }
+    let auc = ranking_auc(&scored).expect("both classes present");
+    assert!(auc > 0.55, "link AUC too low: {auc}");
+}
+
+#[test]
+fn diffusion_prediction_beats_chance() {
+    let data = world();
+    let model = fit(&data, 4);
+    let predictor = DiffusionPredictor::new(&model, 3);
+    let mut groups: Vec<Vec<(f64, bool)>> = Vec::new();
+    for tuple in data.cascades.iter().filter(|t| t.is_scorable()) {
+        let words = &data.corpus.post(tuple.post).words;
+        let mut group = Vec::new();
+        for &r in &tuple.retweeters {
+            group.push((predictor.diffusion_score(tuple.publisher, r, words), true));
+        }
+        for &g in &tuple.ignorers {
+            group.push((predictor.diffusion_score(tuple.publisher, g, words), false));
+        }
+        groups.push(group);
+    }
+    assert!(groups.len() >= 10, "too few scorable tuples: {}", groups.len());
+    let auc = cold::eval::averaged_auc(&groups).expect("defined");
+    assert!(auc > 0.55, "diffusion AUC too low: {auc}");
+}
+
+#[test]
+fn temporal_estimates_track_planted_bursts() {
+    let data = world();
+    let model = fit(&data, 5);
+    // For the planted primary (community, topic) pairs, the fitted psi peak
+    // should be within a few slices of the planted peak, for at least a
+    // majority of pairs (label matching via best-theta alignment).
+    // Match fitted communities to planted ones by membership overlap.
+    let recovered = model.hard_user_communities();
+    let truth = &data.truth.primary_community;
+    // mapping[fitted_c] = most common planted community among its users
+    let mut mapping = [0usize; 3];
+    for fitted_c in 0..3u32 {
+        let mut counts = [0usize; 3];
+        for (u, &rc) in recovered.iter().enumerate() {
+            if rc == fitted_c {
+                counts[truth[u] as usize] += 1;
+            }
+        }
+        mapping[fitted_c as usize] = (0..3).max_by_key(|&c| counts[c]).unwrap();
+    }
+    // Match fitted topics to planted ones by phi block mass.
+    let v = data.corpus.vocab_size();
+    let mut topic_map = [0usize; 3];
+    for fitted_k in 0..3 {
+        let phi = model.topic_words(fitted_k);
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for planted_k in 0..3 {
+            let lo = planted_k * v / 3;
+            let hi = (planted_k + 1) * v / 3;
+            let mass: f64 = phi[lo..hi].iter().sum();
+            if mass > best.1 {
+                best = (planted_k, mass);
+            }
+        }
+        topic_map[fitted_k] = best.0;
+    }
+    let mut close = 0usize;
+    let mut total = 0usize;
+    for fitted_c in 0..3 {
+        for fitted_k in 0..3 {
+            let planted = data.truth.psi_row(topic_map[fitted_k], mapping[fitted_c]);
+            let fitted = model.temporal(fitted_k, fitted_c);
+            let peak_planted = argmax(planted);
+            let peak_fitted = argmax(fitted);
+            total += 1;
+            if peak_planted.abs_diff(peak_fitted) <= 3 {
+                close += 1;
+            }
+        }
+    }
+    assert!(
+        close * 2 > total,
+        "only {close}/{total} temporal peaks within tolerance"
+    );
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

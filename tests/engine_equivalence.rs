@@ -1,0 +1,129 @@
+//! The parallel (GAS) sampler must be a faithful replacement for the
+//! sequential one: same counter invariants, same converged solution
+//! quality, work metering that matches the data size, and simulated
+//! cluster timing with the Fig. 13 shape.
+
+use cold::core::{ColdConfig, Hyperparams};
+use cold::data::{generate, SocialDataset, WorldConfig};
+use cold::engine::{ClusterCostModel, ParallelGibbs};
+use cold::eval::normalized_mutual_information;
+
+fn world() -> SocialDataset {
+    let mut config = WorldConfig::tiny();
+    config.num_users = 90;
+    config.posts_per_user = 12.0;
+    config.link_candidates_per_user = 80;
+    config.membership_focus = 0.95;
+    config.word_noise = 0.05;
+    generate(&config, 303)
+}
+
+fn config(data: &SocialDataset, iterations: usize) -> ColdConfig {
+    ColdConfig::builder(3, 3)
+        .iterations(iterations)
+        .burn_in(iterations - 10)
+        .sample_lag(4)
+        .explicit_negatives(3.0)
+        .hyperparams(Hyperparams {
+            alpha: 1.0,
+            beta: 0.01,
+            epsilon: 0.01,
+            rho: 1.0,
+            lambda0: 0.1,
+            lambda1: 0.1,
+        })
+        .build(&data.corpus, &data.graph)
+}
+
+#[test]
+fn parallel_sampler_reaches_sequential_quality() {
+    let data = world();
+    let seq = cold::core::GibbsSampler::new(&data.corpus, &data.graph, config(&data, 120), 11)
+        .run();
+    let (par, _) =
+        ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 120), 6, 11).run();
+    // Both runs should recover comparable topic structure: NMI of hardened
+    // per-word topic proxies via the planted vocabulary blocks.
+    let v = data.corpus.vocab_size();
+    let block_mass = |model: &cold::core::ColdModel| -> Vec<f64> {
+        // For each fitted topic, the mass it puts on its best planted block
+        // (1.0 = perfectly clean topic).
+        (0..3)
+            .map(|k| {
+                (0..3)
+                    .map(|b| {
+                        model.topic_words(k)[b * v / 3..(b + 1) * v / 3]
+                            .iter()
+                            .sum::<f64>()
+                    })
+                    .fold(0.0f64, f64::max)
+            })
+            .collect()
+    };
+    let seq_purity: f64 = block_mass(&seq).iter().sum::<f64>() / 3.0;
+    let par_purity: f64 = block_mass(&par).iter().sum::<f64>() / 3.0;
+    assert!(seq_purity > 0.8, "sequential purity {seq_purity}");
+    assert!(
+        par_purity > seq_purity - 0.1,
+        "parallel purity {par_purity} far below sequential {seq_purity}"
+    );
+}
+
+#[test]
+fn parallel_sampler_recovers_communities() {
+    let data = world();
+    let (model, _) =
+        ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 150), 4, 13).run();
+    let nmi = normalized_mutual_information(
+        &model.hard_user_communities(),
+        &data.truth.primary_community,
+    )
+    .expect("non-empty");
+    assert!(nmi > 0.3, "parallel community NMI {nmi}");
+}
+
+#[test]
+fn work_meter_accounts_for_every_item() {
+    let data = world();
+    let pg = ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 20), 5, 17);
+    let stats_neg = pg.state().neg_links.len();
+    let (_, stats) = pg.run();
+    assert_eq!(stats.supersteps.len(), 20);
+    for w in &stats.supersteps {
+        assert_eq!(
+            w.post_ops.iter().sum::<u64>(),
+            data.corpus.num_posts() as u64
+        );
+        // Positive links plus the explicitly-modeled negative pairs.
+        assert_eq!(
+            w.link_ops.iter().sum::<u64>(),
+            (data.graph.num_edges() + stats_neg) as u64
+        );
+    }
+}
+
+#[test]
+fn simulated_scaling_has_fig13_shape() {
+    let data = world();
+    let (_, mut stats) =
+        ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 20), 16, 19).run();
+    // Scale the metered ops into the compute-dominated regime.
+    for w in &mut stats.supersteps {
+        for ops in w.post_ops.iter_mut().chain(w.link_ops.iter_mut()) {
+            *ops *= 20_000;
+        }
+    }
+    let cost = ClusterCostModel::default();
+    let t: Vec<f64> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&n| stats.simulated_seconds(&cost, n))
+        .collect();
+    // Monotone decreasing through 8 nodes, with diminishing returns.
+    for pair in t.windows(2).take(3) {
+        assert!(pair[1] < pair[0], "no speedup: {t:?}");
+    }
+    let speedup_2 = t[0] / t[1];
+    let speedup_8 = t[0] / t[3];
+    assert!(speedup_2 > 1.5, "2-node speedup {speedup_2}");
+    assert!(speedup_8 < 8.0, "superlinear speedup is impossible: {speedup_8}");
+}

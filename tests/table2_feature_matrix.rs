@@ -1,0 +1,123 @@
+//! Table 2 of the paper is a feature/task matrix of the compared methods.
+//! This test *asserts* the matrix: each implementation exposes exactly the
+//! capabilities the table claims, expressed through the capability traits
+//! of `cold-baselines` — so the comparison harness cannot quietly ask a
+//! model for a task the paper says it does not support.
+//!
+//! | method  | topic ext | comm detect | temp model | diff pred |
+//! |---------|-----------|-------------|------------|-----------|
+//! | PMTLM   | ✓         | ✓           |            |           |
+//! | MMSB    |           | ✓           |            |           |
+//! | EUTB    | ✓         |             | ✓          |           |
+//! | Pipeline| ✓         | ✓           | ✓          |           |
+//! | WTM     |           |             |            | ✓         |
+//! | TI      | ✓         |             |            | ✓         |
+//! | COLD    | ✓         | ✓           | ✓          | ✓         |
+
+use cold::baselines::eutb::{Eutb, EutbConfig};
+use cold::baselines::mmsb::{Mmsb, MmsbConfig};
+use cold::baselines::pipeline::{PipelineConfig, PipelineModel};
+use cold::baselines::pmtlm::{Pmtlm, PmtlmConfig};
+use cold::baselines::ti::{TiConfig, TopicInfluence};
+use cold::baselines::wtm::{WhomToMention, WtmWeights};
+use cold::baselines::{DiffusionScorer, LinkScorer, TextScorer, TimePredictor};
+use cold::core::{ColdConfig, DiffusionPredictor, GibbsSampler};
+use cold::data::{generate, SocialDataset, WorldConfig};
+
+fn world() -> SocialDataset {
+    generate(&WorldConfig::tiny(), 7)
+}
+
+/// Static capability checks: these fail to *compile* if a model loses a
+/// trait the table requires, and the `n()` constant documents the row.
+fn assert_link_scorer<T: LinkScorer>(_: &T) {}
+fn assert_text_scorer<T: TextScorer>(_: &T) {}
+fn assert_time_predictor<T: TimePredictor>(_: &T) {}
+fn assert_diffusion_scorer<T: DiffusionScorer>(_: &T) {}
+
+#[test]
+fn pmtlm_row() {
+    let data = world();
+    let m = Pmtlm::fit(
+        &data.corpus,
+        &data.graph,
+        &PmtlmConfig { iterations: 5, ..PmtlmConfig::new(2, &data.graph) },
+        1,
+    );
+    assert_text_scorer(&m); // topic extraction
+    assert_link_scorer(&m); // community detection (via link modeling)
+    assert_eq!(m.hard_user_communities().len(), data.corpus.num_users() as usize);
+}
+
+#[test]
+fn mmsb_row() {
+    let data = world();
+    let m = Mmsb::fit(
+        &data.graph,
+        &MmsbConfig { iterations: 5, ..MmsbConfig::new(2, &data.graph) },
+        1,
+    );
+    assert_link_scorer(&m);
+    assert_eq!(m.hard_user_communities().len(), data.graph.num_nodes() as usize);
+}
+
+#[test]
+fn eutb_row() {
+    let data = world();
+    let m = Eutb::fit(&data.corpus, &EutbConfig { iterations: 5, ..EutbConfig::new(2) }, 1);
+    assert_text_scorer(&m);
+    assert_time_predictor(&m);
+}
+
+#[test]
+fn pipeline_row() {
+    let data = world();
+    let mut cfg = PipelineConfig::new(2, 2, &data.graph);
+    cfg.mmsb.iterations = 5;
+    cfg.tot.iterations = 5;
+    let m = PipelineModel::fit(&data.corpus, &data.graph, &cfg, 1);
+    assert_text_scorer(&m);
+    assert_time_predictor(&m);
+    assert_link_scorer(m.mmsb()); // community stage
+}
+
+#[test]
+fn wtm_row() {
+    let data = world();
+    let m = WhomToMention::fit(&data.corpus, &data.graph, &data.cascades, WtmWeights::default());
+    assert_diffusion_scorer(&m);
+}
+
+#[test]
+fn ti_row() {
+    let data = world();
+    let mut cfg = TiConfig::new(2);
+    cfg.lda.iterations = 5;
+    let m = TopicInfluence::fit(&data.corpus, &data.cascades, &cfg, 1);
+    assert_diffusion_scorer(&m);
+    assert_text_scorer(m.lda()); // topic extraction component
+}
+
+#[test]
+fn cold_row_supports_every_task() {
+    let data = world();
+    let config = ColdConfig::builder(2, 2).iterations(8).build(&data.corpus, &data.graph);
+    let model = GibbsSampler::new(&data.corpus, &data.graph, config, 1).run();
+    // Topic extraction.
+    assert_eq!(model.top_words(0, 3, data.corpus.vocab()).len(), 3);
+    // Community detection.
+    assert_eq!(
+        model.hard_user_communities().len(),
+        data.corpus.num_users() as usize
+    );
+    // Temporal modeling.
+    let t = cold::core::predict::predict_time_slice(&model, 0, &[0, 1]);
+    assert!((t as usize) < model.dims().num_time_slices);
+    // Link prediction.
+    assert!(cold::core::predict::link_probability(&model, 0, 1).is_finite());
+    // Diffusion prediction.
+    let predictor = DiffusionPredictor::new(&model, 2);
+    assert!(predictor.diffusion_score(0, 1, &[0]).is_finite());
+    // Held-out text scoring (perplexity).
+    assert!(cold::core::predict::post_log_likelihood(&model, 0, &[0]).is_finite());
+}
