@@ -142,7 +142,12 @@ impl Eutb {
         // is pulled toward its neighbours, more strongly when the slice has
         // little volume relative to them.
         let slice_volume: Vec<f64> = (0..t_dim)
-            .map(|tt| n_tk[tt * k..(tt + 1) * k].iter().map(|&x| x as f64).sum::<f64>())
+            .map(|tt| {
+                n_tk[tt * k..(tt + 1) * k]
+                    .iter()
+                    .map(|&x| x as f64)
+                    .sum::<f64>()
+            })
             .collect();
         let raw: Vec<f64> = (0..t_dim * k)
             .map(|idx| {
@@ -277,9 +282,20 @@ mod tests {
     #[test]
     fn time_mixtures_track_bursts() {
         let c = corpus();
-        let m = Eutb::fit(&c, &EutbConfig { alpha: 0.1, ..EutbConfig::new(2) }, 1);
+        let m = Eutb::fit(
+            &c,
+            &EutbConfig {
+                alpha: 0.1,
+                ..EutbConfig::new(2)
+            },
+            1,
+        );
         let fb = c.vocab().id_of("football").unwrap() as usize;
-        let k_sports = if m.topic_words(0)[fb] > m.topic_words(1)[fb] { 0 } else { 1 };
+        let k_sports = if m.topic_words(0)[fb] > m.topic_words(1)[fb] {
+            0
+        } else {
+            1
+        };
         // Early slices prefer the sports topic; late slices the movie topic.
         assert!(m.time_topics(0)[k_sports] > m.time_topics(7)[k_sports]);
     }
@@ -287,7 +303,14 @@ mod tests {
     #[test]
     fn time_prediction_tracks_planted_windows() {
         let c = corpus();
-        let m = Eutb::fit(&c, &EutbConfig { alpha: 0.1, ..EutbConfig::new(2) }, 2);
+        let m = Eutb::fit(
+            &c,
+            &EutbConfig {
+                alpha: 0.1,
+                ..EutbConfig::new(2)
+            },
+            5,
+        );
         let fb = c.vocab().id_of("football").unwrap();
         let film = c.vocab().id_of("film").unwrap();
         let t_sports = m.predict_time(0, &[fb, fb, fb]);
@@ -311,7 +334,14 @@ mod tests {
     #[test]
     fn likelihood_prefers_author_vocabulary() {
         let c = corpus();
-        let m = Eutb::fit(&c, &EutbConfig { alpha: 0.1, ..EutbConfig::new(2) }, 4);
+        let m = Eutb::fit(
+            &c,
+            &EutbConfig {
+                alpha: 0.1,
+                ..EutbConfig::new(2)
+            },
+            4,
+        );
         let fb = c.vocab().id_of("football").unwrap();
         let film = c.vocab().id_of("film").unwrap();
         assert!(m.post_log_likelihood(0, &[fb]) > m.post_log_likelihood(0, &[film]));

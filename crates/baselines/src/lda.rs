@@ -62,7 +62,9 @@ impl UserLda {
 
         let multisets: Vec<Vec<(u32, u32)>> = posts.iter().map(|p| p.word_multiset()).collect();
         let lens: Vec<u32> = posts.iter().map(|p| p.len() as u32).collect();
-        let mut z: Vec<u32> = (0..posts.len()).map(|_| rng.gen_range(0..k) as u32).collect();
+        let mut z: Vec<u32> = (0..posts.len())
+            .map(|_| rng.gen_range(0..k) as u32)
+            .collect();
         let mut n_uk = vec![0u32; u * k];
         let mut n_kv = vec![0u32; k * v];
         let mut n_k = vec![0u32; k];
@@ -204,10 +206,21 @@ mod tests {
     #[test]
     fn separates_topics_and_user_mixtures() {
         let c = corpus();
-        let lda = UserLda::fit(&c, &UserLdaConfig { alpha: 0.1, ..UserLdaConfig::new(2) }, 1);
+        let lda = UserLda::fit(
+            &c,
+            &UserLdaConfig {
+                alpha: 0.1,
+                ..UserLdaConfig::new(2)
+            },
+            1,
+        );
         let fb = c.vocab().id_of("football").unwrap() as usize;
         let film = c.vocab().id_of("film").unwrap() as usize;
-        let k_fb = if lda.topic_words(0)[fb] > lda.topic_words(1)[fb] { 0 } else { 1 };
+        let k_fb = if lda.topic_words(0)[fb] > lda.topic_words(1)[fb] {
+            0
+        } else {
+            1
+        };
         let k_film = 1 - k_fb;
         assert!(lda.topic_words(k_film)[film] > lda.topic_words(k_fb)[film]);
         // User 0 prefers the football topic, user 1 the film topic.
@@ -218,7 +231,14 @@ mod tests {
     #[test]
     fn inferred_topics_normalize_and_discriminate() {
         let c = corpus();
-        let lda = UserLda::fit(&c, &UserLdaConfig { alpha: 0.1, ..UserLdaConfig::new(2) }, 2);
+        let lda = UserLda::fit(
+            &c,
+            &UserLdaConfig {
+                alpha: 0.1,
+                ..UserLdaConfig::new(2)
+            },
+            2,
+        );
         let fb = c.vocab().id_of("football").unwrap();
         let post = lda.infer_topics(0, &[fb, fb]);
         assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -228,7 +248,14 @@ mod tests {
     #[test]
     fn likelihood_prefers_topical_text() {
         let c = corpus();
-        let lda = UserLda::fit(&c, &UserLdaConfig { alpha: 0.1, ..UserLdaConfig::new(2) }, 3);
+        let lda = UserLda::fit(
+            &c,
+            &UserLdaConfig {
+                alpha: 0.1,
+                ..UserLdaConfig::new(2)
+            },
+            3,
+        );
         let fb = c.vocab().id_of("football").unwrap();
         let film = c.vocab().id_of("film").unwrap();
         assert!(

@@ -150,8 +150,7 @@ impl Mmsb {
         for cell in 0..c * c {
             let n1 = n1_cc[cell] as f64;
             let n0 = n0_cc[cell] as f64;
-            block[cell] =
-                (n1 + config.lambda1) / (n1 + n0 + config.lambda0 + config.lambda1);
+            block[cell] = (n1 + config.lambda1) / (n1 + n0 + config.lambda0 + config.lambda1);
         }
         Self {
             num_communities: c,

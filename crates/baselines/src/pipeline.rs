@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn stage_one_separates_blocks() {
         let (corpus, graph) = data();
-        let m = PipelineModel::fit(&corpus, &graph, &PipelineConfig::new(2, 2, &graph), 1);
+        let m = PipelineModel::fit(&corpus, &graph, &PipelineConfig::new(2, 2, &graph), 3);
         let hard = m.mmsb().hard_user_communities();
         assert_eq!(hard[0], hard[3]);
         assert_eq!(hard[4], hard[7]);

@@ -79,12 +79,11 @@ impl Pmtlm {
 
         // Latent factor per post and per link (shared by both endpoints —
         // the one-to-one coupling under test).
-        let mut z_post: Vec<u32> = (0..posts.len()).map(|_| rng.gen_range(0..k) as u32).collect();
-        let user_fac: Vec<u32> = (0..u).map(|_| rng.gen_range(0..k) as u32).collect();
-        let mut z_link: Vec<u32> = links
-            .iter()
-            .map(|&(i, _)| user_fac[i as usize])
+        let mut z_post: Vec<u32> = (0..posts.len())
+            .map(|_| rng.gen_range(0..k) as u32)
             .collect();
+        let user_fac: Vec<u32> = (0..u).map(|_| rng.gen_range(0..k) as u32).collect();
+        let mut z_link: Vec<u32> = links.iter().map(|&(i, _)| user_fac[i as usize]).collect();
 
         // n_uk counts BOTH post factors and link-endpoint factors, so text
         // and links shape the same mixture (the model's point).
@@ -263,8 +262,18 @@ mod tests {
         }
         let corpus = b.build();
         let edges = [
-            (0, 1), (1, 0), (1, 2), (2, 0), (0, 2), (2, 1),
-            (3, 4), (4, 3), (4, 5), (5, 3), (3, 5), (5, 4),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 0),
+            (0, 2),
+            (2, 1),
+            (3, 4),
+            (4, 3),
+            (4, 5),
+            (5, 3),
+            (3, 5),
+            (5, 4),
         ];
         (corpus, CsrGraph::from_edges(6, &edges))
     }

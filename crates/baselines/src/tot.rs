@@ -96,7 +96,10 @@ impl TopicsOverTime {
             .iter()
             .map(|&d| corpus.post(d).word_multiset())
             .collect();
-        let lens: Vec<u32> = post_ids.iter().map(|&d| corpus.post(d).len() as u32).collect();
+        let lens: Vec<u32> = post_ids
+            .iter()
+            .map(|&d| corpus.post(d).len() as u32)
+            .collect();
         let times: Vec<f64> = post_ids
             .iter()
             .map(|&d| normalize_time(corpus.post(d).time, t_slices.max(1)))
@@ -152,7 +155,10 @@ impl TopicsOverTime {
                 let assigned: Vec<f64> = (0..n).filter(|&d| z[d] == kk).map(|d| times[d]).collect();
                 if assigned.len() >= 2 {
                     let mean = assigned.iter().sum::<f64>() / assigned.len() as f64;
-                    let var = assigned.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                    let var = assigned
+                        .iter()
+                        .map(|x| (x - mean) * (x - mean))
+                        .sum::<f64>()
                         / assigned.len() as f64;
                     beta_params[kk] = moment_match(mean, var);
                 }
@@ -162,9 +168,7 @@ impl TopicsOverTime {
         let total_posts: u32 = n_kd.iter().sum();
         let theta: Vec<f64> = n_kd
             .iter()
-            .map(|&c| {
-                (c as f64 + config.alpha) / (total_posts as f64 + k as f64 * config.alpha)
-            })
+            .map(|&c| (c as f64 + config.alpha) / (total_posts as f64 + k as f64 * config.alpha))
             .collect();
         let mut phi = vec![0.0f64; k * v];
         for kk in 0..k {
@@ -261,9 +265,21 @@ mod tests {
     #[test]
     fn beta_densities_separate_bursts() {
         let c = corpus();
-        let m = TopicsOverTime::fit(&c, &TotConfig { alpha: 0.5, ..TotConfig::new(2) }, None, 1);
+        let m = TopicsOverTime::fit(
+            &c,
+            &TotConfig {
+                alpha: 0.5,
+                ..TotConfig::new(2)
+            },
+            None,
+            1,
+        );
         let fb = c.vocab().id_of("football").unwrap() as usize;
-        let k_sports = if m.topic_words(0)[fb] > m.topic_words(1)[fb] { 0 } else { 1 };
+        let k_sports = if m.topic_words(0)[fb] > m.topic_words(1)[fb] {
+            0
+        } else {
+            1
+        };
         let (a_s, b_s) = m.temporal_params(k_sports);
         let (a_m, b_m) = m.temporal_params(1 - k_sports);
         // Sports topic mean earlier than movie topic mean.
@@ -275,7 +291,15 @@ mod tests {
     #[test]
     fn time_prediction_tracks_topic_burst() {
         let c = corpus();
-        let m = TopicsOverTime::fit(&c, &TotConfig { alpha: 0.5, ..TotConfig::new(2) }, None, 2);
+        let m = TopicsOverTime::fit(
+            &c,
+            &TotConfig {
+                alpha: 0.5,
+                ..TotConfig::new(2)
+            },
+            None,
+            2,
+        );
         let fb = c.vocab().id_of("football").unwrap();
         let film = c.vocab().id_of("film").unwrap();
         let t_sports = m.predict_time(0, &[fb, fb, fb]);
@@ -296,7 +320,9 @@ mod tests {
         // smoothing, so comparing maxima across topics would be vacuous.)
         let k_fb = (0..2)
             .max_by(|&a, &b| {
-                m.topic_words(a)[fb].partial_cmp(&m.topic_words(b)[fb]).unwrap()
+                m.topic_words(a)[fb]
+                    .partial_cmp(&m.topic_words(b)[fb])
+                    .unwrap()
             })
             .unwrap();
         assert!(m.topic_words(k_fb)[fb] > 10.0 * m.topic_words(k_fb)[film]);

@@ -14,8 +14,18 @@ fn prediction_latency(criterion: &mut Criterion) {
     let data = eval_world(0.5);
     let model = fit_cold(&data, 6, 6, 60, BASE_SEED + 9100);
     let predictor = DiffusionPredictor::new(&model, 5);
-    let ti = TopicInfluence::fit(&data.corpus, &data.cascades, &TiConfig::new(6), BASE_SEED + 9101);
-    let wtm = WhomToMention::fit(&data.corpus, &data.graph, &data.cascades, WtmWeights::default());
+    let ti = TopicInfluence::fit(
+        &data.corpus,
+        &data.cascades,
+        &TiConfig::new(6),
+        BASE_SEED + 9101,
+    );
+    let wtm = WhomToMention::fit(
+        &data.corpus,
+        &data.graph,
+        &data.cascades,
+        WtmWeights::default(),
+    );
     let post = data.corpus.post(0);
     let words = &post.words;
 

@@ -7,7 +7,7 @@
 //! sweep from the full sweep to show the network component's share.
 
 use cold_bench::workloads::{cold_config, BASE_SEED};
-use cold_core::{ColdConfig, GibbsSampler};
+use cold_core::{ColdConfig, GibbsSampler, SamplerKernel};
 use cold_data::{generate, SocialDataset, WorldConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -65,5 +65,38 @@ fn sweep_components(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sweep_scaling, sweep_components);
+/// Per-kernel sweep cost on the mid-size world, for each sweep variant
+/// (posts only, posts + links, posts + links + explicit negatives). The
+/// `bench_sampler` binary reports the same comparison as throughput and
+/// persists it to `BENCH_sampler.json`.
+fn sweep_kernels(criterion: &mut Criterion) {
+    let data = bench_world(0.5);
+    let mut group = criterion.benchmark_group("sweep_kernels");
+    group.sample_size(20);
+    let kernels = [
+        SamplerKernel::Exact,
+        SamplerKernel::CachedLog,
+        SamplerKernel::AliasMh,
+    ];
+    for kernel in kernels {
+        for variant in ["posts", "links", "negatives"] {
+            let label = format!("{variant}/{kernel:?}");
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let builder = ColdConfig::builder(6, 6).iterations(10).kernel(kernel);
+                let builder = match variant {
+                    "posts" => builder.without_links(),
+                    "negatives" => builder.explicit_negatives(3.0),
+                    _ => builder,
+                };
+                let config = builder.build(&data.corpus, &data.graph);
+                let mut sampler =
+                    GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9004);
+                b.iter(|| sampler.sweep());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling, sweep_components, sweep_kernels);
 criterion_main!(benches);

@@ -47,7 +47,10 @@ fn main() {
         }
     }
     if failed.is_empty() {
-        println!("\nall {} experiments completed; see results/", FIGURES.len());
+        println!(
+            "\nall {} experiments completed; see results/",
+            FIGURES.len()
+        );
     } else {
         eprintln!("\nfailed: {failed:?}");
         std::process::exit(1);

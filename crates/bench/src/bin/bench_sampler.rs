@@ -1,0 +1,198 @@
+//! Sampler-kernel throughput study: post draws/second for each
+//! [`SamplerKernel`] on a mid-size synthetic world, across the three sweep
+//! variants (posts only, posts + links, posts + links + explicit
+//! negatives) and across topic counts (where the alias/MH kernel's O(1)
+//! proposals overtake the cached-log kernel's O(K) scan).
+//!
+//! Writes `BENCH_sampler.json` at the workspace root; the README quotes
+//! its numbers.
+
+use cold_bench::workloads::{cold_hyper, BASE_SEED};
+use cold_core::{ColdConfig, GibbsSampler, SamplerKernel};
+use cold_data::{generate, SocialDataset, WorldConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelMeasurement {
+    variant: String,
+    kernel: String,
+    num_topics: usize,
+    sweeps_timed: usize,
+    ms_per_sweep: f64,
+    post_draws_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    world: String,
+    num_posts: usize,
+    num_links: usize,
+    vocab_size: usize,
+    measurements: Vec<KernelMeasurement>,
+    speedups: Vec<String>,
+}
+
+fn bench_world(scale: f64) -> SocialDataset {
+    let config = WorldConfig {
+        num_users: 400,
+        num_communities: 6,
+        num_topics: 6,
+        num_time_slices: 24,
+        vocab_size: 1000,
+        posts_per_user: 18.0,
+        words_per_post: 10.0,
+        ..WorldConfig::default()
+    }
+    .scaled(scale);
+    generate(&config, BASE_SEED + 9100)
+}
+
+fn kernel_name(kernel: SamplerKernel) -> &'static str {
+    match kernel {
+        SamplerKernel::Exact => "exact",
+        SamplerKernel::CachedLog => "cached_log",
+        SamplerKernel::AliasMh => "alias_mh",
+    }
+}
+
+/// Configuration for one (variant, K, kernel) cell.
+fn config_for(variant: &str, k: usize, kernel: SamplerKernel, data: &SocialDataset) -> ColdConfig {
+    let mut builder = ColdConfig::builder(6, k)
+        .iterations(1_000_000) // never run to completion; we drive sweeps manually
+        .hyperparams(cold_hyper(6, k, data))
+        .kernel(kernel);
+    builder = match variant {
+        "posts" => builder.without_links(),
+        "links" => builder,
+        "negatives" => builder.explicit_negatives(3.0),
+        other => panic!("unknown variant {other}"),
+    };
+    builder.build(&data.corpus, &data.graph)
+}
+
+/// Time sweeps until ~1s of wall clock has accumulated (min 4 sweeps)
+/// after a 2-sweep warm-up; returns (sweeps, seconds).
+fn time_sweeps(sampler: &mut GibbsSampler) -> (usize, f64) {
+    sampler.sweep();
+    sampler.sweep();
+    let start = Instant::now();
+    let mut sweeps = 0usize;
+    loop {
+        sampler.sweep();
+        sweeps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if (elapsed >= 1.0 && sweeps >= 4) || sweeps >= 400 {
+            return (sweeps, elapsed);
+        }
+    }
+}
+
+fn main() {
+    let scale = cold_bench::scale_arg();
+    let data = bench_world(scale);
+    let num_posts = data.corpus.num_posts();
+    println!(
+        "world: {} posts, {} links, vocab {}\n",
+        num_posts,
+        data.graph.num_edges(),
+        data.corpus.vocab().len()
+    );
+
+    let mut measurements = Vec::new();
+    let mut throughput = std::collections::HashMap::new();
+    let kernels = [
+        SamplerKernel::Exact,
+        SamplerKernel::CachedLog,
+        SamplerKernel::AliasMh,
+    ];
+
+    // Sweep variants at the world's native K = 6.
+    for variant in ["posts", "links", "negatives"] {
+        for kernel in kernels {
+            let config = config_for(variant, 6, kernel, &data);
+            let mut sampler =
+                GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9101);
+            let (sweeps, secs) = time_sweeps(&mut sampler);
+            let draws_per_sec = num_posts as f64 * sweeps as f64 / secs;
+            println!(
+                "{variant:9} K=6  {:10}  {:8.2} ms/sweep  {:>10.0} post draws/s",
+                kernel_name(kernel),
+                1e3 * secs / sweeps as f64,
+                draws_per_sec
+            );
+            throughput.insert((variant, kernel_name(kernel), 6usize), draws_per_sec);
+            measurements.push(KernelMeasurement {
+                variant: variant.to_owned(),
+                kernel: kernel_name(kernel).to_owned(),
+                num_topics: 6,
+                sweeps_timed: sweeps,
+                ms_per_sweep: 1e3 * secs / sweeps as f64,
+                post_draws_per_sec: draws_per_sec,
+            });
+        }
+        println!();
+    }
+
+    // Topic-count scaling (posts only): where alias/MH overtakes.
+    for k in [8usize, 32, 64] {
+        for kernel in [SamplerKernel::CachedLog, SamplerKernel::AliasMh] {
+            let config = config_for("posts", k, kernel, &data);
+            let mut sampler =
+                GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9102);
+            let (sweeps, secs) = time_sweeps(&mut sampler);
+            let draws_per_sec = num_posts as f64 * sweeps as f64 / secs;
+            println!(
+                "posts     K={k:<3} {:10} {:8.2} ms/sweep  {:>10.0} post draws/s",
+                kernel_name(kernel),
+                1e3 * secs / sweeps as f64,
+                draws_per_sec
+            );
+            throughput.insert(("posts", kernel_name(kernel), k), draws_per_sec);
+            measurements.push(KernelMeasurement {
+                variant: "posts".to_owned(),
+                kernel: kernel_name(kernel).to_owned(),
+                num_topics: k,
+                sweeps_timed: sweeps,
+                ms_per_sweep: 1e3 * secs / sweeps as f64,
+                post_draws_per_sec: draws_per_sec,
+            });
+        }
+    }
+
+    let ratio = |a: f64, b: f64| a / b;
+    let mut speedups = Vec::new();
+    for variant in ["posts", "links", "negatives"] {
+        let cached = throughput[&(variant, "cached_log", 6usize)];
+        let exact = throughput[&(variant, "exact", 6usize)];
+        speedups.push(format!(
+            "{variant} K=6: cached_log {:.2}x over exact",
+            ratio(cached, exact)
+        ));
+    }
+    for k in [32usize, 64] {
+        let alias = throughput[&("posts", "alias_mh", k)];
+        let cached = throughput[&("posts", "cached_log", k)];
+        speedups.push(format!(
+            "posts K={k}: alias_mh {:.2}x over cached_log",
+            ratio(alias, cached)
+        ));
+    }
+    println!();
+    for s in &speedups {
+        println!("{s}");
+    }
+
+    let report = BenchReport {
+        world: format!("synthetic bench world, scale {scale}"),
+        num_posts,
+        num_links: data.graph.num_edges(),
+        vocab_size: data.corpus.vocab().len(),
+        measurements,
+        speedups,
+    };
+    let path = cold_bench::results_dir().join("../BENCH_sampler.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write(&path, json + "\n").expect("write BENCH_sampler.json");
+    println!("\n(saved {})", path.display());
+}

@@ -54,7 +54,11 @@ fn main() {
         "Community-level diffusion of the 'movies' topic",
         "community",
         "interest θ_ck",
-        graph.nodes.iter().map(|n| n.community.to_string()).collect(),
+        graph
+            .nodes
+            .iter()
+            .map(|n| n.community.to_string())
+            .collect(),
     );
     report.push_series(Series::new(
         "interest",
@@ -76,7 +80,10 @@ fn main() {
             .collect(),
     ));
     report.note(format!("world: {}", data.summary()));
-    report.note(format!("{} influence edges above the floor", graph.edges.len()));
+    report.note(format!(
+        "{} influence edges above the floor",
+        graph.edges.len()
+    ));
     report.note("paper: Fig. 5 — the communities most interested in the topic are also the most influential on it; indifferent communities sit outside the diffusion path".to_owned());
     cold_bench::emit(&report);
 }

@@ -83,6 +83,8 @@ fn main() {
         analysis.interest_cdf.last().map_or(0.0, |p| p.0),
         analysis.points.len()
     ));
-    report.note("paper: Fig. 6 — medium-interest pairs fluctuate most; low and high are steady".to_owned());
+    report.note(
+        "paper: Fig. 6 — medium-interest pairs fluctuate most; low and high are steady".to_owned(),
+    );
     cold_bench::emit(&report);
 }

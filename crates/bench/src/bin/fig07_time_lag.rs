@@ -29,7 +29,9 @@ fn main() {
         analysis.peak_lag()
     );
 
-    let slices: Vec<String> = (0..analysis.high_curve.len()).map(|t| t.to_string()).collect();
+    let slices: Vec<String> = (0..analysis.high_curve.len())
+        .map(|t| t.to_string())
+        .collect();
     let mut report = ExperimentReport::new(
         "fig07_time_lag",
         "Peak-aligned median popularity of the 'movies' topic by cohort",
@@ -37,10 +39,19 @@ fn main() {
         "median normalized ψ",
         slices,
     );
-    report.push_series(Series::new("highly interested", analysis.high_curve.clone()));
-    report.push_series(Series::new("medium interested", analysis.medium_curve.clone()));
+    report.push_series(Series::new(
+        "highly interested",
+        analysis.high_curve.clone(),
+    ));
+    report.push_series(Series::new(
+        "medium interested",
+        analysis.medium_curve.clone(),
+    ));
     report.note(format!("world: {}", data.summary()));
-    report.note(format!("peak lag (medium − high): {} slices", analysis.peak_lag()));
+    report.note(format!(
+        "peak lag (medium − high): {} slices",
+        analysis.peak_lag()
+    ));
     report.note("paper: Fig. 7 — the high cohort peaks earlier and decays more slowly".to_owned());
     cold_bench::emit(&report);
 }

@@ -33,7 +33,11 @@ fn main() {
 
             let eutb = Eutb::fit(
                 &train_data.corpus,
-                &EutbConfig { alpha: 1.0, iterations: 120, ..EutbConfig::new(k) },
+                &EutbConfig {
+                    alpha: 1.0,
+                    iterations: 120,
+                    ..EutbConfig::new(k)
+                },
                 BASE_SEED + 91 + fold,
             );
             eutb_series[ki] += perplexity_task(&data, &split.test, |author, words| {
@@ -43,7 +47,10 @@ fn main() {
             let pmtlm = Pmtlm::fit(
                 &train_data.corpus,
                 &train_data.graph,
-                &PmtlmConfig { iterations: 120, ..PmtlmConfig::new(k, &train_data.graph) },
+                &PmtlmConfig {
+                    iterations: 120,
+                    ..PmtlmConfig::new(k, &train_data.graph)
+                },
                 BASE_SEED + 92 + fold,
             );
             pmtlm_series[ki] += perplexity_task(&data, &split.test, |author, words| {
@@ -73,7 +80,9 @@ fn main() {
         "uniform-baseline perplexity = vocabulary size = {}",
         data.corpus.vocab_size()
     ));
-    report.note(format!("{folds}-fold cross validation (paper: 5-fold; pass --folds 5)"));
+    report.note(format!(
+        "{folds}-fold cross validation (paper: 5-fold; pass --folds 5)"
+    ));
     report.note("paper: Fig. 9 — COLD lowest, EUTB close, PMTLM clearly worse".to_owned());
     cold_bench::emit(&report);
 }

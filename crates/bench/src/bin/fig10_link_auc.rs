@@ -27,15 +27,24 @@ fn main() {
     let pmtlm = Pmtlm::fit(
         &train_data.corpus,
         &train_data.graph,
-        &PmtlmConfig { iterations: 150, ..PmtlmConfig::new(c, &train_data.graph) },
+        &PmtlmConfig {
+            iterations: 150,
+            ..PmtlmConfig::new(c, &train_data.graph)
+        },
         BASE_SEED + 102,
     );
-    let auc_pmtlm =
-        link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| pmtlm.link_score(i, j));
+    let auc_pmtlm = link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| {
+        pmtlm.link_score(i, j)
+    });
 
-    let mmsb = Mmsb::fit(&train_data.graph, &MmsbConfig::new(c, &train_data.graph), BASE_SEED + 103);
-    let auc_mmsb =
-        link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| mmsb.link_score(i, j));
+    let mmsb = Mmsb::fit(
+        &train_data.graph,
+        &MmsbConfig::new(c, &train_data.graph),
+        BASE_SEED + 103,
+    );
+    let auc_mmsb = link_auc_task(&data, &held_out, BASE_SEED + 101, |i, j| {
+        mmsb.link_score(i, j)
+    });
 
     println!("COLD {auc_cold:.3}  PMTLM {auc_pmtlm:.3}  MMSB {auc_mmsb:.3}");
 

@@ -34,7 +34,11 @@ fn main() {
 
     let eutb = Eutb::fit(
         &train_data.corpus,
-        &EutbConfig { alpha: 1.0, iterations: 150, ..EutbConfig::new(k) },
+        &EutbConfig {
+            alpha: 1.0,
+            iterations: 150,
+            ..EutbConfig::new(k)
+        },
         BASE_SEED + 112,
     );
     let acc_eutb = timestamp_task(&data, &split.test, &tolerances, |author, words| {

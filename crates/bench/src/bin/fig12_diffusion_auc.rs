@@ -39,7 +39,12 @@ fn main() {
         ti.diffusion_score(p, consumer, words)
     });
 
-    let wtm = WhomToMention::fit(&data.corpus, &data.graph, &train_tuples, WtmWeights::default());
+    let wtm = WhomToMention::fit(
+        &data.corpus,
+        &data.graph,
+        &train_tuples,
+        WtmWeights::default(),
+    );
     let auc_wtm = diffusion_auc_task(&data, &test_tuples, |p, consumer, words| {
         wtm.diffusion_score(p, consumer, words)
     });
@@ -55,6 +60,9 @@ fn main() {
     );
     report.push_series(Series::new("AUC", vec![auc_cold, auc_ti, auc_wtm]));
     report.note(format!("world: {}", data.summary()));
-    report.note("paper: Fig. 12 — COLD clearly best; TI and WTM capped by individual-level sparsity".to_owned());
+    report.note(
+        "paper: Fig. 12 — COLD clearly best; TI and WTM capped by individual-level sparsity"
+            .to_owned(),
+    );
     cold_bench::emit(&report);
 }

@@ -28,8 +28,8 @@ fn main() {
     for &f in &fractions {
         let data = scaling_world(f * scale);
         let config = cold_config(6, 6, iterations, &data);
-        let (_, stats) = ParallelGibbs::new(&data.corpus, &data.graph, config, 8, BASE_SEED + 130)
-            .run();
+        let (_, stats) =
+            ParallelGibbs::new(&data.corpus, &data.graph, config, 8, BASE_SEED + 130).run();
         println!(
             "fraction {f}: {} — wall {:.2}s, simulated(4 nodes) {:.2}s",
             data.summary(),
@@ -68,7 +68,10 @@ fn main() {
         .map(|&n| stats.simulated_seconds(&cost, n))
         .collect();
     for (n, t) in nodes.iter().zip(&times) {
-        println!("{n} nodes: simulated {t:.2}s (speedup {:.2}x)", times[0] / t);
+        println!(
+            "{n} nodes: simulated {t:.2}s (speedup {:.2}x)",
+            times[0] / t
+        );
     }
     let mut report_b = ExperimentReport::new(
         "fig13b_scaling_nodes",
@@ -78,6 +81,9 @@ fn main() {
         nodes.iter().map(|n| n.to_string()).collect(),
     );
     report_b.push_series(Series::new("simulated", times));
-    report_b.note("paper: Fig. 13b — time drops sharply with node count, sublinearly due to synchronization".to_owned());
+    report_b.note(
+        "paper: Fig. 13b — time drops sharply with node count, sublinearly due to synchronization"
+            .to_owned(),
+    );
     cold_bench::emit(&report_b);
 }

@@ -51,7 +51,9 @@ fn main() {
         )
         .run()
     });
-    let simulated8 = stats_model.1.simulated_seconds(&ClusterCostModel::default(), 8);
+    let simulated8 = stats_model
+        .1
+        .simulated_seconds(&ClusterCostModel::default(), 8);
     record("COLD (8 shards, 1 machine)", t_par);
     record("COLD (8) simulated", simulated8);
 
@@ -59,19 +61,32 @@ fn main() {
         Pmtlm::fit(
             &data.corpus,
             &data.graph,
-            &PmtlmConfig { iterations, ..PmtlmConfig::new(c, &data.graph) },
+            &PmtlmConfig {
+                iterations,
+                ..PmtlmConfig::new(c, &data.graph)
+            },
             BASE_SEED + 142,
         )
     });
     record("PMTLM", t);
 
-    let (_, t) = timed(|| Mmsb::fit(&data.graph, &MmsbConfig::new(c, &data.graph), BASE_SEED + 143));
+    let (_, t) = timed(|| {
+        Mmsb::fit(
+            &data.graph,
+            &MmsbConfig::new(c, &data.graph),
+            BASE_SEED + 143,
+        )
+    });
     record("MMSB", t);
 
     let (_, t) = timed(|| {
         Eutb::fit(
             &data.corpus,
-            &EutbConfig { alpha: 1.0, iterations, ..EutbConfig::new(k) },
+            &EutbConfig {
+                alpha: 1.0,
+                iterations,
+                ..EutbConfig::new(k)
+            },
             BASE_SEED + 144,
         )
     });
@@ -88,7 +103,12 @@ fn main() {
     record("Pipeline", t);
 
     let (_, t) = timed(|| {
-        TopicInfluence::fit(&data.corpus, &data.cascades, &TiConfig::new(k), BASE_SEED + 146)
+        TopicInfluence::fit(
+            &data.corpus,
+            &data.cascades,
+            &TiConfig::new(k),
+            BASE_SEED + 146,
+        )
     });
     record("TI", t);
 

@@ -41,7 +41,12 @@ fn main() {
         std::hint::black_box(predictor.diffusion_score(p, f, &data.corpus.post(d).words));
     });
 
-    let ti = TopicInfluence::fit(&data.corpus, &train_tuples, &TiConfig::new(6), BASE_SEED + 151);
+    let ti = TopicInfluence::fit(
+        &data.corpus,
+        &train_tuples,
+        &TiConfig::new(6),
+        BASE_SEED + 151,
+    );
     let mut qi = 0usize;
     let t_ti = mean_latency_micros(iters, || {
         let (p, f, d) = queries[qi % queries.len()];
@@ -49,7 +54,12 @@ fn main() {
         std::hint::black_box(ti.diffusion_score(p, f, &data.corpus.post(d).words));
     });
 
-    let wtm = WhomToMention::fit(&data.corpus, &data.graph, &train_tuples, WtmWeights::default());
+    let wtm = WhomToMention::fit(
+        &data.corpus,
+        &data.graph,
+        &train_tuples,
+        WtmWeights::default(),
+    );
     let mut qi = 0usize;
     let t_wtm = mean_latency_micros(iters, || {
         let (p, f, d) = queries[qi % queries.len()];
@@ -67,7 +77,10 @@ fn main() {
         vec!["COLD".into(), "TI".into(), "WTM".into()],
     );
     report.push_series(Series::new("latency", vec![t_cold, t_ti, t_wtm]));
-    report.note(format!("{} distinct queries, {iters} timed calls each", queries.len()));
+    report.note(format!(
+        "{} distinct queries, {iters} timed calls each",
+        queries.len()
+    ));
     report.note("paper: Fig. 15 — COLD cheapest; TI and WTM notably slower".to_owned());
     cold_bench::emit(&report);
 }

@@ -35,7 +35,10 @@ fn main() {
     top_users.sort_by(|a, b| b.size.partial_cmp(&a.size).expect("finite"));
     println!("\ntop-5 influential users (id, influence, dominant corner):");
     for p in top_users.iter().take(5) {
-        println!("  user {:>3}: {:.2} -> corner {}", p.user, p.size, p.dominant_corner);
+        println!(
+            "  user {:>3}: {:.2} -> corner {}",
+            p.user, p.size, p.dominant_corner
+        );
     }
     println!(
         "corners at {:?}",

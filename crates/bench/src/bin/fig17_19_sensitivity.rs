@@ -42,9 +42,8 @@ fn main() {
                 BASE_SEED + 170 + (ci * 3 + ki) as u64,
             )
             .run();
-            perp[ci][ki] = perplexity_task(&data, &split.test, |a, w| {
-                post_log_likelihood(&model, a, w)
-            });
+            perp[ci][ki] =
+                perplexity_task(&data, &split.test, |a, w| post_log_likelihood(&model, a, w));
             link[ci][ki] = link_auc_task(&data, &held_links, BASE_SEED + 171, |i, j| {
                 link_probability(&model, i, j)
             });

@@ -71,8 +71,13 @@ fn main() {
         .hyperparams(cold_hyper(c, k, &train_data))
         .shared_temporal()
         .build(&train_data.corpus, &train_data.graph);
-    let shared = GibbsSampler::new(&train_data.corpus, &train_data.graph, config, BASE_SEED + 212)
-        .run();
+    let shared = GibbsSampler::new(
+        &train_data.corpus,
+        &train_data.graph,
+        config,
+        BASE_SEED + 212,
+    )
+    .run();
     let acc = timestamp_task(&data, &split.test, &tolerances, |a, w| {
         predict_time_slice(&shared, a, w)
     })[0];

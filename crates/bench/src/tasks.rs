@@ -167,7 +167,10 @@ mod tests {
         });
         let random_auc = link_auc_task(&data, &held, 4, |i, j| ((i * 31 + j) % 97) as f64);
         assert!(truth_auc > 0.75, "oracle link AUC {truth_auc}");
-        assert!((random_auc - 0.5).abs() < 0.1, "random link AUC {random_auc}");
+        assert!(
+            (random_auc - 0.5).abs() < 0.1,
+            "random link AUC {random_auc}"
+        );
     }
 
     #[test]

@@ -112,7 +112,13 @@ pub fn cold_config(c: usize, k: usize, iterations: usize, data: &SocialDataset) 
 }
 
 /// Fit COLD with the standard recipe.
-pub fn fit_cold(data: &SocialDataset, c: usize, k: usize, iterations: usize, seed: u64) -> ColdModel {
+pub fn fit_cold(
+    data: &SocialDataset,
+    c: usize,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> ColdModel {
     GibbsSampler::new(
         &data.corpus,
         &data.graph,
@@ -144,7 +150,10 @@ pub fn fit_cold_best(
             seed + 1_000 * chain as u64,
         );
         let (model, trace) = sampler.run_traced();
-        let ll = trace.log_likelihood.last().map_or(f64::NEG_INFINITY, |&(_, ll)| ll);
+        let ll = trace
+            .log_likelihood
+            .last()
+            .map_or(f64::NEG_INFINITY, |&(_, ll)| ll);
         if best.as_ref().is_none_or(|&(b, _)| ll > b) {
             best = Some((ll, model));
         }

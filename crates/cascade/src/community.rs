@@ -93,7 +93,10 @@ pub fn user_influence(
         edges.push((i, j, p));
     }
     // Weighted-cascade normalization (see `community_influence`).
-    let max_p = edges.iter().map(|&(_, _, p)| p).fold(f64::MIN_POSITIVE, f64::max);
+    let max_p = edges
+        .iter()
+        .map(|&(_, _, p)| p)
+        .fold(f64::MIN_POSITIVE, f64::max);
     for (_, _, p) in &mut edges {
         *p = (*p / max_p * 0.5).clamp(0.0, 1.0);
     }
@@ -123,7 +126,14 @@ mod tests {
         }
         let corpus = b.build();
         let edges = [
-            (0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 4), (1, 5),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (0, 4),
+            (1, 5),
         ];
         let graph = CsrGraph::from_edges(6, &edges);
         let config = ColdConfig::builder(2, 2)

@@ -24,7 +24,10 @@ impl WeightedDigraph {
     /// range.
     pub fn from_edges(num_nodes: u32, edges: &[(u32, u32, f64)]) -> Self {
         for &(s, t, p) in edges {
-            assert!(s < num_nodes && t < num_nodes, "edge ({s},{t}) out of range");
+            assert!(
+                s < num_nodes && t < num_nodes,
+                "edge ({s},{t}) out of range"
+            );
             assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         }
         let mut sorted: Vec<(u32, u32, f64)> = edges.to_vec();
@@ -162,7 +165,13 @@ mod tests {
     fn spread_is_monotone_in_seed_set() {
         let g = WeightedDigraph::from_edges(
             6,
-            &[(0, 1, 0.4), (1, 2, 0.4), (3, 4, 0.4), (4, 5, 0.4), (0, 3, 0.2)],
+            &[
+                (0, 1, 0.4),
+                (1, 2, 0.4),
+                (3, 4, 0.4),
+                (4, 5, 0.4),
+                (0, 3, 0.2),
+            ],
         );
         let ic = IndependentCascade::new(&g, 20_000);
         let mut rng = seeded_rng(5);

@@ -56,8 +56,7 @@ pub fn greedy_celf(
             let mut with = seeds.clone();
             with.push(node);
             let fresh_gain = ic.expected_spread(&with, rng) - current_spread;
-            let pos = heap
-                .partition_point(|&(g, _, _)| g < fresh_gain);
+            let pos = heap.partition_point(|&(g, _, _)| g < fresh_gain);
             heap.insert(pos, (fresh_gain, node, round));
         }
     }
@@ -136,6 +135,10 @@ mod tests {
         let greedy = greedy_celf(&g, 1, 3_000, &mut rng);
         let ic = IndependentCascade::new(&g, 3_000);
         let random = ic.expected_spread(&[3], &mut rng); // a leaf
-        assert!(greedy.spread[0] > random, "{} vs {random}", greedy.spread[0]);
+        assert!(
+            greedy.spread[0] > random,
+            "{} vs {random}",
+            greedy.spread[0]
+        );
     }
 }

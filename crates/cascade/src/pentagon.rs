@@ -37,8 +37,8 @@ pub fn pentagon_embedding(
     let corners_n = corner_communities.len() + 1; // + "others"
     let corners: Vec<(f64, f64)> = (0..corners_n)
         .map(|i| {
-            let angle = std::f64::consts::FRAC_PI_2
-                + i as f64 * std::f64::consts::TAU / corners_n as f64;
+            let angle =
+                std::f64::consts::FRAC_PI_2 + i as f64 * std::f64::consts::TAU / corners_n as f64;
             (angle.cos(), angle.sin())
         })
         .collect();

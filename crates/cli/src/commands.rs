@@ -67,7 +67,10 @@ pub fn train(args: &Args) -> CliResult {
         .sample_lag(4)
         .small_data_defaults()
         .build(&data.corpus, &data.graph);
-    println!("training C={c} K={k} on {} ({iterations} sweeps)…", data.summary());
+    println!(
+        "training C={c} K={k} on {} ({iterations} sweeps)…",
+        data.summary()
+    );
     let started = std::time::Instant::now();
     let model = GibbsSampler::new(&data.corpus, &data.graph, config, seed).run();
     println!("trained in {:.1}s", started.elapsed().as_secs_f64());
@@ -83,7 +86,10 @@ pub fn topics(args: &Args) -> CliResult {
     let top = args.get_or("top", 10usize)?;
     // Optional single-topic filter: `--topic K`.
     let only: Option<usize> = match args.optional("topic") {
-        Some(raw) => Some(raw.parse().map_err(|_| format!("--topic: cannot parse '{raw}'"))?),
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--topic: cannot parse '{raw}'"))?,
+        ),
         None => None,
     };
     for k in 0..model.dims().num_topics {
@@ -108,8 +114,7 @@ pub fn communities(args: &Args) -> CliResult {
     for c in 0..model.dims().num_communities {
         let members = hard.iter().filter(|&&x| x == c as u32).count();
         let theta = model.community_topics(c);
-        let mut ranked: Vec<(usize, f64)> =
-            theta.iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         let interests: Vec<String> = ranked
             .iter()
@@ -203,7 +208,9 @@ pub fn eval(args: &Args) -> CliResult {
         let negatives = cold_graph::sampling::sample_negative_links(
             &mut rng,
             &data.graph,
-            positives.len().min(data.graph.num_negative_links() as usize),
+            positives
+                .len()
+                .min(data.graph.num_negative_links() as usize),
         );
         let mut scored: Vec<(f64, bool)> = Vec::new();
         for &(i, j) in &positives {

@@ -2,15 +2,257 @@
 //! [`CountState`], shared by the sequential sampler and the parallel
 //! engine (`cold-engine`), so both implementations sample from *exactly*
 //! the same distributions.
+//!
+//! ## Sampler kernels
+//!
+//! Three interchangeable kernels evaluate the conditionals
+//! ([`SamplerKernel`], selected via `ColdConfigBuilder::kernel`); all
+//! target the same stationary distribution:
+//!
+//! * **Exact** — every log evaluated directly, in the canonical
+//!   integer-plus-constant form. The reference implementation.
+//! * **CachedLog** (default) — the same arithmetic with `ln(n + const)`
+//!   memoized per hyper-parameter constant (`cold_math::logcache`) and the
+//!   Eq. 2 rate matrix cached in [`Scratch`] with single-cell patching.
+//!   Draws are **bit-identical** to Exact: the caches memoize the exact
+//!   expressions, and patched rate cells are recomputed from the live
+//!   counters rather than adjusted incrementally.
+//! * **AliasMh** — topic draws by Metropolis–Hastings against per-sweep
+//!   stale alias tables over the per-word topic predictive
+//!   `(n_v^(k) + β)/(n^(k) + Vβ)`: amortized O(1) proposals instead of the
+//!   O(K·|d|) exact scan, with the accept step evaluating the exact Eq. 3
+//!   conditional at just the two candidate topics (O(|d|)). Staleness only
+//!   affects proposal *efficiency*, never correctness — the accept ratio
+//!   uses the same stale proposal density that generated the draw, so each
+//!   step is a valid MH kernel for the exact conditional
+//!   (Metropolis-within-Gibbs). Communities (Eq. 1) and links (Eq. 2) use
+//!   the cached-log path.
+//!
+//! Every topic-weight evaluation walks the word-major counter `n_vk`
+//! (maintained by [`CountState`] as a transpose of `n_kv`) so the
+//! word-outer / topic-inner loop reads each word's topic column
+//! contiguously.
 
-use crate::params::Hyperparams;
+use crate::params::{ColdConfig, Hyperparams, SamplerKernel};
 use crate::state::{CountState, PostsView};
-use cold_math::categorical::{sample_categorical, sample_log_categorical};
+use cold_math::categorical::{sample_categorical, sample_log_categorical, AliasTable};
+use cold_math::logcache::{lgamma_shifted, ln_shifted, ShiftedLogTable};
 use cold_math::rng::Rng;
-use cold_math::special::log_ascending_factorial;
+use rand::Rng as _;
 
-/// Reusable weight buffers for the conditionals (avoids per-draw allocs).
-#[derive(Debug, Clone)]
+/// Metropolis–Hastings proposal steps per topic draw in the
+/// [`SamplerKernel::AliasMh`] kernel. Each step costs O(|d|); a handful of
+/// steps mixes the whole-post topic well because the proposals are drawn
+/// from (stale) word evidence.
+pub const MH_STEPS_PER_DRAW: usize = 4;
+
+/// Evaluation strategy for the Eq. 3 log terms. Implemented directly
+/// (Exact kernel) and via memo tables (CachedLog / AliasMh); monomorphized
+/// into both loops so the cached path pays no dispatch.
+trait LogEval {
+    /// `ln(n + α)` — the topic-interest numerator.
+    fn ln_alpha(&mut self, n: u32) -> f64;
+    /// `ln(n + ε)` — the temporal numerator.
+    fn ln_eps(&mut self, n: u32) -> f64;
+    /// `ln(n + T·ε)` — the temporal denominator.
+    fn ln_teps(&mut self, n: u32) -> f64;
+    /// Log ascending factorial over `n + β` — the per-word evidence.
+    fn laf_beta(&mut self, n: u32, cnt: u32) -> f64;
+    /// Log ascending factorial over `n + V·β` — the post-length term.
+    fn laf_vbeta(&mut self, n: u32, cnt: u32) -> f64;
+}
+
+/// Direct evaluation (the Exact kernel).
+struct DirectEval {
+    alpha: f64,
+    epsilon: f64,
+    teps: f64,
+    beta: f64,
+    vbeta: f64,
+}
+
+impl DirectEval {
+    fn new(hyper: &Hyperparams, num_time_slices: usize, vocab_size: usize) -> Self {
+        Self {
+            alpha: hyper.alpha,
+            epsilon: hyper.epsilon,
+            teps: num_time_slices as f64 * hyper.epsilon,
+            beta: hyper.beta,
+            vbeta: vocab_size as f64 * hyper.beta,
+        }
+    }
+}
+
+/// Direct log ascending factorial in the canonical integer-plus-shift
+/// order — must stay the exact uncached mirror of
+/// [`ShiftedLogTable::log_ascending_factorial`].
+#[inline]
+fn laf_direct(n: u32, cnt: u32, shift: f64) -> f64 {
+    if cnt == 0 {
+        return 0.0;
+    }
+    if cnt <= 8 {
+        let mut acc = 0.0;
+        for q in 0..cnt {
+            acc += ln_shifted(n + q, shift);
+        }
+        acc
+    } else {
+        lgamma_shifted(n + cnt, shift) - lgamma_shifted(n, shift)
+    }
+}
+
+impl LogEval for DirectEval {
+    #[inline]
+    fn ln_alpha(&mut self, n: u32) -> f64 {
+        ln_shifted(n, self.alpha)
+    }
+    #[inline]
+    fn ln_eps(&mut self, n: u32) -> f64 {
+        ln_shifted(n, self.epsilon)
+    }
+    #[inline]
+    fn ln_teps(&mut self, n: u32) -> f64 {
+        ln_shifted(n, self.teps)
+    }
+    #[inline]
+    fn laf_beta(&mut self, n: u32, cnt: u32) -> f64 {
+        laf_direct(n, cnt, self.beta)
+    }
+    #[inline]
+    fn laf_vbeta(&mut self, n: u32, cnt: u32) -> f64 {
+        laf_direct(n, cnt, self.vbeta)
+    }
+}
+
+impl LogEval for KernelCaches {
+    #[inline]
+    fn ln_alpha(&mut self, n: u32) -> f64 {
+        self.t_alpha.ln(n)
+    }
+    #[inline]
+    fn ln_eps(&mut self, n: u32) -> f64 {
+        self.t_eps.ln(n)
+    }
+    #[inline]
+    fn ln_teps(&mut self, n: u32) -> f64 {
+        self.t_teps.ln(n)
+    }
+    #[inline]
+    fn laf_beta(&mut self, n: u32, cnt: u32) -> f64 {
+        self.t_beta.log_ascending_factorial(n, cnt)
+    }
+    #[inline]
+    fn laf_vbeta(&mut self, n: u32, cnt: u32) -> f64 {
+        self.t_vbeta.log_ascending_factorial(n, cnt)
+    }
+}
+
+/// Per-sweep stale alias proposals for the AliasMh kernel.
+struct AliasState {
+    /// One alias table per word over the K topics.
+    tables: Vec<AliasTable>,
+    /// Log proposal probabilities, row-major `V×K` (matching the stale
+    /// snapshot the tables were built from).
+    qlog: Vec<f64>,
+    /// Built at least once (by [`Scratch::begin_sweep`]).
+    ready: bool,
+}
+
+/// Memo tables and cached matrices backing the CachedLog / AliasMh kernels.
+struct KernelCaches {
+    hyper: Hyperparams,
+    t_alpha: ShiftedLogTable,
+    t_eps: ShiftedLogTable,
+    t_teps: ShiftedLogTable,
+    t_beta: ShiftedLogTable,
+    t_vbeta: ShiftedLogTable,
+    /// Eq. 2 link predictive `(n1+λ1)/(n1+n0+λ0+λ1)` per `(c,c')` cell.
+    rate_pos: Vec<f64>,
+    /// Eq. 2 failure predictive `(n0+λ0)/(n1+n0+λ0+λ1)` per cell.
+    rate_neg: Vec<f64>,
+    rates_ready: bool,
+    /// Present only for the AliasMh kernel.
+    alias: Option<AliasState>,
+}
+
+impl KernelCaches {
+    fn new(config: &ColdConfig) -> Self {
+        let h = config.hyper;
+        let c = config.dims.num_communities;
+        let tdim = config.dims.num_time_slices as f64;
+        let vdim = config.dims.vocab_size as f64;
+        Self {
+            hyper: h,
+            t_alpha: ShiftedLogTable::new(h.alpha),
+            t_eps: ShiftedLogTable::new(h.epsilon),
+            t_teps: ShiftedLogTable::new(tdim * h.epsilon),
+            t_beta: ShiftedLogTable::new(h.beta),
+            t_vbeta: ShiftedLogTable::new(vdim * h.beta),
+            rate_pos: vec![0.0; c * c],
+            rate_neg: vec![0.0; c * c],
+            rates_ready: false,
+            alias: (config.kernel == SamplerKernel::AliasMh).then_some(AliasState {
+                tables: Vec::new(),
+                qlog: Vec::new(),
+                ready: false,
+            }),
+        }
+    }
+
+    /// Recompute one rate cell from the live counters. Recomputing (rather
+    /// than adjusting) keeps the cached values bit-identical to the Exact
+    /// kernel's inline evaluation.
+    #[inline]
+    fn patch_rate(&mut self, state: &CountState, cell: usize) {
+        let n1 = state.n_cc[cell] as f64;
+        let n0 = state.n0_cc[cell] as f64;
+        let denom = n1 + n0 + self.hyper.lambda0 + self.hyper.lambda1;
+        self.rate_pos[cell] = (n1 + self.hyper.lambda1) / denom;
+        self.rate_neg[cell] = (n0 + self.hyper.lambda0) / denom;
+    }
+
+    fn refresh_rates(&mut self, state: &CountState) {
+        for cell in 0..state.num_communities * state.num_communities {
+            self.patch_rate(state, cell);
+        }
+        self.rates_ready = true;
+    }
+
+    /// Rebuild the per-word alias tables from the current (about to become
+    /// stale) topic-word counters.
+    fn refresh_alias(&mut self, state: &CountState) {
+        let Some(alias) = &mut self.alias else { return };
+        let kdim = state.num_topics;
+        let vdim = state.vocab_size;
+        let beta = self.hyper.beta;
+        let vbeta = vdim as f64 * beta;
+        alias.qlog.resize(vdim * kdim, 0.0);
+        alias.tables.clear();
+        alias.tables.reserve(vdim);
+        let mut weights = vec![0.0f64; kdim];
+        // Denominators are shared across words; hoist them.
+        let denoms: Vec<f64> = state.n_k.iter().map(|&n| n as f64 + vbeta).collect();
+        for w in 0..vdim {
+            let row = w * kdim;
+            let mut total = 0.0;
+            for k in 0..kdim {
+                let q = (state.n_vk[row + k] as f64 + beta) / denoms[k];
+                weights[k] = q;
+                total += q;
+            }
+            let log_total = total.ln();
+            for k in 0..kdim {
+                alias.qlog[row + k] = weights[k].ln() - log_total;
+            }
+            alias.tables.push(AliasTable::new(&weights));
+        }
+        alias.ready = true;
+    }
+}
+
+/// Reusable weight buffers plus kernel state for the conditionals (avoids
+/// per-draw allocs; carries the memo tables of the cached kernels).
 pub struct Scratch {
     /// Per-community weights (Eq. 1).
     pub comm_weights: Vec<f64>,
@@ -18,17 +260,206 @@ pub struct Scratch {
     pub topic_logw: Vec<f64>,
     /// Per-(c,c') weights (Eq. 2).
     pub pair_weights: Vec<f64>,
+    kernel: SamplerKernel,
+    /// `None` for the Exact kernel.
+    caches: Option<KernelCaches>,
 }
 
 impl Scratch {
-    /// Buffers sized for `C` communities and `K` topics.
+    /// Buffers sized for `C` communities and `K` topics, using the
+    /// [`SamplerKernel::Exact`] kernel (no caches). Kept for differential
+    /// tests and callers that predate the kernel layer; samplers should
+    /// use [`Scratch::for_config`].
     pub fn new(num_communities: usize, num_topics: usize) -> Self {
         Self {
             comm_weights: vec![0.0; num_communities],
             topic_logw: vec![0.0; num_topics],
             pair_weights: vec![0.0; num_communities * num_communities],
+            kernel: SamplerKernel::Exact,
+            caches: None,
         }
     }
+
+    /// Buffers and kernel caches for a concrete training configuration.
+    /// The caches bake in the hyper-parameter constants of `config`, so a
+    /// `Scratch` must not be reused across configs with different
+    /// hyper-parameters (a fresh sampler builds a fresh `Scratch`).
+    pub fn for_config(config: &ColdConfig) -> Self {
+        let c = config.dims.num_communities;
+        let k = config.dims.num_topics;
+        Self {
+            comm_weights: vec![0.0; c],
+            topic_logw: vec![0.0; k],
+            pair_weights: vec![0.0; c * c],
+            kernel: config.kernel,
+            caches: (config.kernel != SamplerKernel::Exact).then(|| KernelCaches::new(config)),
+        }
+    }
+
+    /// The kernel this scratch drives.
+    pub fn kernel(&self) -> SamplerKernel {
+        self.kernel
+    }
+
+    /// Per-sweep cache maintenance: builds the Eq. 2 rate matrices on
+    /// first use and (for AliasMh) re-snapshots the per-word alias
+    /// proposals. Samplers call this at the start of every sweep; for the
+    /// Exact kernel it is a no-op.
+    pub fn begin_sweep(&mut self, state: &CountState) {
+        if let Some(caches) = &mut self.caches {
+            if !caches.rates_ready {
+                caches.refresh_rates(state);
+            }
+            caches.refresh_alias(state);
+        }
+    }
+
+    /// Verify the cached Eq. 2 rate matrices against a from-scratch
+    /// recomputation (tests' counterpart to `CountState::check_consistency`
+    /// for the kernel caches). `Ok` for kernels without caches.
+    pub fn check_rate_consistency(&self, state: &CountState) -> Result<(), String> {
+        let Some(caches) = &self.caches else {
+            return Ok(());
+        };
+        if !caches.rates_ready {
+            return Ok(());
+        }
+        let h = &caches.hyper;
+        for cell in 0..state.num_communities * state.num_communities {
+            let n1 = state.n_cc[cell] as f64;
+            let n0 = state.n0_cc[cell] as f64;
+            let denom = n1 + n0 + h.lambda0 + h.lambda1;
+            let pos = (n1 + h.lambda1) / denom;
+            let neg = (n0 + h.lambda0) / denom;
+            if caches.rate_pos[cell].to_bits() != pos.to_bits() {
+                return Err(format!("cached positive rate drifted at cell {cell}"));
+            }
+            if caches.rate_neg[cell].to_bits() != neg.to_bits() {
+                return Err(format!("cached negative rate drifted at cell {cell}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Eq. 3 log-weights for all topics, with the word-outer / topic-inner
+/// loop over the word-major counter `n_vk`. The per-topic accumulation
+/// order (base terms, then words in multiset order, then the length term)
+/// is fixed so every kernel produces bit-identical sums.
+fn topic_logweights<E: LogEval>(
+    eval: &mut E,
+    state: &CountState,
+    posts: &PostsView,
+    d: usize,
+    c: usize,
+    t: usize,
+    logw: &mut [f64],
+) {
+    let kdim = state.num_topics;
+    let shared = state.time_comm_rows == 1;
+    for (k, lw) in logw.iter_mut().enumerate() {
+        let n_ck = state.n_ck[c * kdim + k];
+        let denom = if shared { state.n_post_k[k] } else { n_ck };
+        *lw = eval.ln_alpha(n_ck) + eval.ln_eps(state.n_ckt[state.ckt_index(c, k, t)])
+            - eval.ln_teps(denom);
+    }
+    for &(w, cnt) in &posts.multisets[d] {
+        let row = w as usize * kdim;
+        for (k, lw) in logw.iter_mut().enumerate() {
+            *lw += eval.laf_beta(state.n_vk[row + k], cnt);
+        }
+    }
+    let len = posts.lens[d];
+    for (k, lw) in logw.iter_mut().enumerate() {
+        *lw -= eval.laf_vbeta(state.n_k[k], len);
+    }
+}
+
+/// Eq. 3 log-weight of a single topic (the MH accept step's target
+/// evaluation), in the same term order as [`topic_logweights`].
+fn topic_logweight_one<E: LogEval>(
+    eval: &mut E,
+    state: &CountState,
+    posts: &PostsView,
+    d: usize,
+    c: usize,
+    t: usize,
+    k: usize,
+) -> f64 {
+    let kdim = state.num_topics;
+    let n_ck = state.n_ck[c * kdim + k];
+    let denom = if state.time_comm_rows == 1 {
+        state.n_post_k[k]
+    } else {
+        n_ck
+    };
+    let mut lw = eval.ln_alpha(n_ck) + eval.ln_eps(state.n_ckt[state.ckt_index(c, k, t)])
+        - eval.ln_teps(denom);
+    for &(w, cnt) in &posts.multisets[d] {
+        lw += eval.laf_beta(state.n_vk[w as usize * kdim + k], cnt);
+    }
+    lw - eval.laf_vbeta(state.n_k[k], posts.lens[d])
+}
+
+/// Alias/MH topic draw: cycle word-evidence proposals (stale alias tables)
+/// with uniform-topic proposals, accepting each against the exact
+/// conditional. Returns the new topic.
+///
+/// Each word proposal is a state-independent MH kernel in detailed balance
+/// with the exact Eq. 3 conditional; the interleaved uniform proposals
+/// bound the worst-case mixing when the stale word evidence disagrees with
+/// the community/temporal prior (the cycle-proposal construction of
+/// alias-based LDA samplers).
+fn mh_topic_draw(
+    caches: &mut KernelCaches,
+    state: &CountState,
+    posts: &PostsView,
+    d: usize,
+    c: usize,
+    t: usize,
+    rng: &mut Rng,
+) -> usize {
+    let kdim = state.num_topics;
+    let len = posts.lens[d];
+    let mut k_cur = state.post_topic[d] as usize;
+    let mut lw_cur = topic_logweight_one(caches, state, posts, d, c, t, k_cur);
+    for step in 0..MH_STEPS_PER_DRAW {
+        // Log proposal-density correction q(k_cur) − q(k_new); zero for the
+        // symmetric uniform proposal.
+        let (k_new, q_diff) = if step % 2 == 0 {
+            // Pick a token uniformly, walk the multiset to its word.
+            let mut r = rng.gen_range(0..len);
+            let mut w = posts.multisets[d][0].0 as usize;
+            for &(word, cnt) in &posts.multisets[d] {
+                if r < cnt {
+                    w = word as usize;
+                    break;
+                }
+                r -= cnt;
+            }
+            let alias = caches
+                .alias
+                .as_ref()
+                .expect("AliasMh kernel has alias state");
+            let k_new = alias.tables[w].sample(rng);
+            (
+                k_new,
+                alias.qlog[w * kdim + k_cur] - alias.qlog[w * kdim + k_new],
+            )
+        } else {
+            (rng.gen_range(0..kdim), 0.0)
+        };
+        if k_new == k_cur {
+            continue;
+        }
+        let lw_new = topic_logweight_one(caches, state, posts, d, c, t, k_new);
+        let log_accept = (lw_new - lw_cur) + q_diff;
+        if log_accept >= 0.0 || rng.gen::<f64>() < log_accept.exp() {
+            k_cur = k_new;
+            lw_cur = lw_new;
+        }
+    }
+    k_cur
 }
 
 /// Resample `c_ij` (Eq. 1) then `z_ij` (Eq. 3) for post `d`, updating
@@ -43,26 +474,40 @@ pub fn resample_post(
     rng: &mut Rng,
     scratch: &mut Scratch,
 ) {
+    debug_assert!(
+        scratch.caches.as_ref().is_none_or(|c| c.hyper == *hyper
+            || Hyperparams {
+                rho: c.hyper.rho,
+                ..*hyper
+            } == c.hyper),
+        "Scratch caches were built for different hyper-parameters"
+    );
     state.remove_post(d, posts);
     let i = posts.authors[d] as usize;
     let t = posts.times[d] as usize;
     let cdim = state.num_communities;
     let kdim = state.num_topics;
     let tdim = state.num_time_slices as f64;
+    let teps = tdim * hyper.epsilon;
 
     // --- Eq. (1): community, with the current topic fixed. ---
     let k_cur = state.post_topic[d] as usize;
+    let shared = state.time_comm_rows == 1;
+    // Shared-temporal mode: the denominator Σ_c' n_c'^(k_cur) is the same
+    // for every community — hoisted out of the loop (it is the maintained
+    // posts-per-topic counter).
+    let shared_denom = state.n_post_k[k_cur] as f64;
     for c in 0..cdim {
         let member = state.n_ic[i * cdim + c] as f64 + rho;
         let interest = (state.n_ck[c * kdim + k_cur] as f64 + hyper.alpha)
             / (state.n_c[c] as f64 + kdim as f64 * hyper.alpha);
-        let temporal_denom = if state.time_comm_rows == 1 {
-            (0..cdim).map(|cc| state.n_ck[cc * kdim + k_cur]).sum::<u32>() as f64
+        let temporal_denom = if shared {
+            shared_denom
         } else {
             state.n_ck[c * kdim + k_cur] as f64
         };
         let temporal = (state.n_ckt[state.ckt_index(c, k_cur, t)] as f64 + hyper.epsilon)
-            / (temporal_denom + tdim * hyper.epsilon);
+            / (temporal_denom + teps);
         scratch.comm_weights[c] = member * interest * temporal;
     }
     let new_c = sample_categorical(rng, &scratch.comm_weights)
@@ -71,28 +516,24 @@ pub fn resample_post(
 
     // --- Eq. (3): topic, with the (new) community fixed. ---
     let c = new_c;
-    let vbeta = state.vocab_size as f64 * hyper.beta;
-    for k in 0..kdim {
-        let n_ck = state.n_ck[c * kdim + k] as f64;
-        let temporal_denom = if state.time_comm_rows == 1 {
-            (0..cdim).map(|cc| state.n_ck[cc * kdim + k]).sum::<u32>() as f64
-        } else {
-            n_ck
-        };
-        let mut lw = (n_ck + hyper.alpha).ln()
-            + (state.n_ckt[state.ckt_index(c, k, t)] as f64 + hyper.epsilon).ln()
-            - (temporal_denom + tdim * hyper.epsilon).ln();
-        for &(w, cnt) in &posts.multisets[d] {
-            lw += log_ascending_factorial(
-                state.n_kv[k * state.vocab_size + w as usize] as f64 + hyper.beta,
-                cnt,
-            );
+    let new_k = match (scratch.kernel, &mut scratch.caches) {
+        (SamplerKernel::AliasMh, Some(caches))
+            if posts.lens[d] > 0 && caches.alias.as_ref().is_some_and(|a| a.ready) =>
+        {
+            mh_topic_draw(caches, state, posts, d, c, t, rng)
         }
-        lw -= log_ascending_factorial(state.n_k[k] as f64 + vbeta, posts.lens[d]);
-        scratch.topic_logw[k] = lw;
-    }
-    let new_k = sample_log_categorical(rng, &scratch.topic_logw)
-        .expect("topic weights must have finite mass");
+        (_, Some(caches)) => {
+            topic_logweights(caches, state, posts, d, c, t, &mut scratch.topic_logw);
+            sample_log_categorical(rng, &scratch.topic_logw)
+                .expect("topic weights must have finite mass")
+        }
+        (_, None) => {
+            let mut eval = DirectEval::new(hyper, state.num_time_slices, state.vocab_size);
+            topic_logweights(&mut eval, state, posts, d, c, t, &mut scratch.topic_logw);
+            sample_log_categorical(rng, &scratch.topic_logw)
+                .expect("topic weights must have finite mass")
+        }
+    };
     state.post_topic[d] = new_k as u32;
 
     state.add_post(d, posts);
@@ -107,20 +548,38 @@ pub fn resample_link(
     rng: &mut Rng,
     scratch: &mut Scratch,
 ) {
+    let cdim = state.num_communities;
+    let old_cell = state.link_src_comm[e] as usize * cdim + state.link_dst_comm[e] as usize;
     state.remove_link(e);
     let (i, j) = state.links[e];
-    let cdim = state.num_communities;
-    for c in 0..cdim {
-        let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
-        for c2 in 0..cdim {
-            let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
-            let n1 = state.n_cc[c * cdim + c2] as f64;
-            // With explicit negatives, n0 carries the per-cell absence
-            // evidence; without them it is zero and λ0 alone stands in for
-            // the negatives (the paper's approximation).
-            let n0 = state.n0_cc[c * cdim + c2] as f64;
-            let link = (n1 + hyper.lambda1) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);
-            scratch.pair_weights[c * cdim + c2] = mi * mj * link;
+    let use_cache = scratch
+        .caches
+        .as_ref()
+        .is_some_and(|caches| caches.rates_ready);
+    if use_cache {
+        let caches = scratch.caches.as_mut().expect("checked above");
+        caches.patch_rate(state, old_cell);
+        for c in 0..cdim {
+            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            let rates = &caches.rate_pos[c * cdim..(c + 1) * cdim];
+            for c2 in 0..cdim {
+                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                scratch.pair_weights[c * cdim + c2] = mi * mj * rates[c2];
+            }
+        }
+    } else {
+        for c in 0..cdim {
+            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            for c2 in 0..cdim {
+                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                let n1 = state.n_cc[c * cdim + c2] as f64;
+                // With explicit negatives, n0 carries the per-cell absence
+                // evidence; without them it is zero and λ0 alone stands in
+                // for the negatives (the paper's approximation).
+                let n0 = state.n0_cc[c * cdim + c2] as f64;
+                let link = (n1 + hyper.lambda1) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);
+                scratch.pair_weights[c * cdim + c2] = mi * mj * link;
+            }
         }
     }
     let cell = sample_categorical(rng, &scratch.pair_weights)
@@ -128,6 +587,10 @@ pub fn resample_link(
     state.link_src_comm[e] = (cell / cdim) as u32;
     state.link_dst_comm[e] = (cell % cdim) as u32;
     state.add_link(e);
+    if use_cache {
+        let caches = scratch.caches.as_mut().expect("checked above");
+        caches.patch_rate(state, cell);
+    }
 }
 
 /// Resample `(s, s')` jointly for explicitly-observed negative pair `e`:
@@ -140,17 +603,35 @@ pub fn resample_negative_link(
     rng: &mut Rng,
     scratch: &mut Scratch,
 ) {
+    let cdim = state.num_communities;
+    let old_cell = state.neg_src_comm[e] as usize * cdim + state.neg_dst_comm[e] as usize;
     state.remove_neg_link(e);
     let (i, j) = state.neg_links[e];
-    let cdim = state.num_communities;
-    for c in 0..cdim {
-        let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
-        for c2 in 0..cdim {
-            let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
-            let n1 = state.n_cc[c * cdim + c2] as f64;
-            let n0 = state.n0_cc[c * cdim + c2] as f64;
-            let no_link = (n0 + hyper.lambda0) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);
-            scratch.pair_weights[c * cdim + c2] = mi * mj * no_link;
+    let use_cache = scratch
+        .caches
+        .as_ref()
+        .is_some_and(|caches| caches.rates_ready);
+    if use_cache {
+        let caches = scratch.caches.as_mut().expect("checked above");
+        caches.patch_rate(state, old_cell);
+        for c in 0..cdim {
+            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            let rates = &caches.rate_neg[c * cdim..(c + 1) * cdim];
+            for c2 in 0..cdim {
+                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                scratch.pair_weights[c * cdim + c2] = mi * mj * rates[c2];
+            }
+        }
+    } else {
+        for c in 0..cdim {
+            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            for c2 in 0..cdim {
+                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                let n1 = state.n_cc[c * cdim + c2] as f64;
+                let n0 = state.n0_cc[c * cdim + c2] as f64;
+                let no_link = (n0 + hyper.lambda0) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);
+                scratch.pair_weights[c * cdim + c2] = mi * mj * no_link;
+            }
         }
     }
     let cell = sample_categorical(rng, &scratch.pair_weights)
@@ -158,6 +639,10 @@ pub fn resample_negative_link(
     state.neg_src_comm[e] = (cell / cdim) as u32;
     state.neg_dst_comm[e] = (cell % cdim) as u32;
     state.add_neg_link(e);
+    if use_cache {
+        let caches = scratch.caches.as_mut().expect("checked above");
+        caches.patch_rate(state, cell);
+    }
 }
 
 #[cfg(test)]
@@ -168,27 +653,194 @@ mod tests {
     use cold_math::rng::seeded_rng;
     use cold_text::CorpusBuilder;
 
-    #[test]
-    fn conditionals_preserve_counter_consistency() {
+    fn fixture() -> (cold_text::Corpus, CsrGraph) {
         let mut b = CorpusBuilder::new();
         b.push_text(0, 0, &["a", "b"]);
         b.push_text(1, 1, &["c", "a"]);
         b.push_text(2, 2, &["b"]);
         let corpus = b.build();
         let graph = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
-        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        (corpus, graph)
+    }
+
+    #[test]
+    fn conditionals_preserve_counter_consistency() {
+        let (corpus, graph) = fixture();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
         let posts = crate::state::PostsView::from_corpus(&corpus);
         let mut rng = seeded_rng(9);
         let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
         let mut scratch = Scratch::new(2, 2);
         for _ in 0..5 {
             for d in 0..posts.len() {
-                resample_post(&mut state, &posts, d, &config.hyper, config.hyper.rho, &mut rng, &mut scratch);
+                resample_post(
+                    &mut state,
+                    &posts,
+                    d,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
             }
             for e in 0..state.links.len() {
-                resample_link(&mut state, e, &config.hyper, config.hyper.rho, &mut rng, &mut scratch);
+                resample_link(
+                    &mut state,
+                    e,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
             }
             state.check_consistency(&posts).unwrap();
+        }
+    }
+
+    /// The cached kernel's draws must be bit-identical to the Exact
+    /// kernel's: same seeds, same trajectory, same final assignments.
+    #[test]
+    fn cached_log_trajectory_is_bit_identical_to_exact() {
+        let (corpus, graph) = fixture();
+        let mut states = Vec::new();
+        for kernel in [SamplerKernel::Exact, SamplerKernel::CachedLog] {
+            let config = ColdConfig::builder(2, 2)
+                .iterations(4)
+                .kernel(kernel)
+                .build(&corpus, &graph);
+            let posts = crate::state::PostsView::from_corpus(&corpus);
+            let mut rng = seeded_rng(17);
+            let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+            let mut scratch = Scratch::for_config(&config);
+            for _ in 0..6 {
+                scratch.begin_sweep(&state);
+                for d in 0..posts.len() {
+                    resample_post(
+                        &mut state,
+                        &posts,
+                        d,
+                        &config.hyper,
+                        config.hyper.rho,
+                        &mut rng,
+                        &mut scratch,
+                    );
+                }
+                for e in 0..state.links.len() {
+                    resample_link(
+                        &mut state,
+                        e,
+                        &config.hyper,
+                        config.hyper.rho,
+                        &mut rng,
+                        &mut scratch,
+                    );
+                }
+            }
+            scratch.check_rate_consistency(&state).unwrap();
+            states.push((
+                state.post_comm.clone(),
+                state.post_topic.clone(),
+                state.link_src_comm.clone(),
+            ));
+        }
+        assert_eq!(states[0], states[1], "CachedLog diverged from Exact");
+    }
+
+    /// The cached rate matrix stays exact across incremental patches, for
+    /// both positive links and explicit negatives.
+    #[test]
+    fn rate_cache_survives_link_resampling() {
+        let (corpus, graph) = fixture();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .explicit_negatives(1.0)
+            .kernel(SamplerKernel::CachedLog)
+            .build(&corpus, &graph);
+        let posts = crate::state::PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(23);
+        let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        assert!(
+            !state.neg_links.is_empty(),
+            "fixture should sample negatives"
+        );
+        let mut scratch = Scratch::for_config(&config);
+        for _ in 0..4 {
+            scratch.begin_sweep(&state);
+            for d in 0..posts.len() {
+                resample_post(
+                    &mut state,
+                    &posts,
+                    d,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
+            }
+            for e in 0..state.links.len() {
+                resample_link(
+                    &mut state,
+                    e,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
+            }
+            for e in 0..state.neg_links.len() {
+                resample_negative_link(
+                    &mut state,
+                    e,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
+            }
+            state.check_consistency(&posts).unwrap();
+            scratch.check_rate_consistency(&state).unwrap();
+        }
+    }
+
+    /// AliasMh keeps every counter and cache invariant intact.
+    #[test]
+    fn alias_mh_preserves_invariants() {
+        let (corpus, graph) = fixture();
+        let config = ColdConfig::builder(2, 3)
+            .iterations(4)
+            .kernel(SamplerKernel::AliasMh)
+            .build(&corpus, &graph);
+        let posts = crate::state::PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(31);
+        let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let mut scratch = Scratch::for_config(&config);
+        for _ in 0..6 {
+            scratch.begin_sweep(&state);
+            for d in 0..posts.len() {
+                resample_post(
+                    &mut state,
+                    &posts,
+                    d,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
+            }
+            for e in 0..state.links.len() {
+                resample_link(
+                    &mut state,
+                    e,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    &mut scratch,
+                );
+            }
+            state.check_consistency(&posts).unwrap();
+            scratch.check_rate_consistency(&state).unwrap();
         }
     }
 }

@@ -97,7 +97,11 @@ impl CommunityDiffusionGraph {
             }
         }
         edges.sort_by(|a, b| b.strength.partial_cmp(&a.strength).expect("no NaN"));
-        Self { topic, nodes, edges }
+        Self {
+            topic,
+            nodes,
+            edges,
+        }
     }
 
     /// The community with the largest total outgoing influence on the topic
@@ -147,7 +151,14 @@ mod tests {
         }
         let corpus = b.build();
         let edges = [
-            (0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (3, 0),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (0, 3),
+            (3, 0),
         ];
         let graph = CsrGraph::from_edges(6, &edges);
         let config = ColdConfig::builder(2, 2)

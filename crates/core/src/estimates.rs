@@ -89,7 +89,9 @@ impl ColdModel {
         let mut idx: Vec<usize> = (0..row.len()).collect();
         idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("phi has no NaN"));
         idx.truncate(n);
-        idx.into_iter().map(|v| (vocab.word(v as u32), row[v])).collect()
+        idx.into_iter()
+            .map(|v| (vocab.word(v as u32), row[v]))
+            .collect()
     }
 
     /// `TopComm(i)` — the user's `n` strongest communities by `π_i`
@@ -186,8 +188,7 @@ impl EstimateAccumulator {
         for i in 0..u {
             let denom = state.n_i[i] as f64 + c as f64 * self.hyper_rho;
             for cc in 0..c {
-                self.pi[i * c + cc] +=
-                    (state.n_ic[i * c + cc] as f64 + self.hyper_rho) / denom;
+                self.pi[i * c + cc] += (state.n_ic[i * c + cc] as f64 + self.hyper_rho) / denom;
             }
         }
         for cc in 0..c {
@@ -224,24 +225,21 @@ impl EstimateAccumulator {
         for kk in 0..k {
             let denom = state.n_k[kk] as f64 + v as f64 * self.hyper_beta;
             for vv in 0..v {
-                self.phi[kk * v + vv] +=
-                    (state.n_kv[kk * v + vv] as f64 + self.hyper_beta) / denom;
+                self.phi[kk * v + vv] += (state.n_kv[kk * v + vv] as f64 + self.hyper_beta) / denom;
             }
         }
         for cc in 0..c {
             for kk in 0..k {
-                let n_ck_time = state.n_ckt
-                    [state.time_row(cc) * k * t + kk * t..state.time_row(cc) * k * t + (kk + 1) * t]
+                let n_ck_time = state.n_ckt[state.time_row(cc) * k * t + kk * t
+                    ..state.time_row(cc) * k * t + (kk + 1) * t]
                     .iter()
                     .map(|&x| x as f64)
                     .sum::<f64>();
                 let denom = n_ck_time + t as f64 * self.hyper_epsilon;
                 for tt in 0..t {
-                    self.psi[(cc * k + kk) * t + tt] += (state.n_ckt
-                        [state.ckt_index(cc, kk, tt)]
-                        as f64
-                        + self.hyper_epsilon)
-                        / denom;
+                    self.psi[(cc * k + kk) * t + tt] +=
+                        (state.n_ckt[state.ckt_index(cc, kk, tt)] as f64 + self.hyper_epsilon)
+                            / denom;
                 }
             }
         }
@@ -293,7 +291,9 @@ mod tests {
         b.push_text(1, 1, &["c"]);
         let corpus = b.build();
         let graph = CsrGraph::from_edges(2, &[(0, 1)]);
-        let config = ColdConfig::builder(2, 3).iterations(4).build(&corpus, &graph);
+        let config = ColdConfig::builder(2, 3)
+            .iterations(4)
+            .build(&corpus, &graph);
         let posts = PostsView::from_corpus(&corpus);
         let mut rng = seeded_rng(8);
         let state = crate::state::CountState::init_random(&config, &posts, &graph, &mut rng);
@@ -366,7 +366,9 @@ mod tests {
         b.push_text(0, 0, &["a"]);
         let corpus = b.build();
         let graph = CsrGraph::from_edges(2, &[(0, 1)]);
-        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
         let _ = EstimateAccumulator::new(&config).finalize();
     }
 }

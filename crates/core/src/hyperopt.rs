@@ -90,7 +90,13 @@ mod tests {
 
     /// Sample `groups` count rows from Dir(a) multinomials and check the
     /// estimator recovers `a` reasonably.
-    fn synthetic_counts(a: f64, groups: usize, categories: usize, per_group: u32, seed: u64) -> Vec<u32> {
+    fn synthetic_counts(
+        a: f64,
+        groups: usize,
+        categories: usize,
+        per_group: u32,
+        seed: u64,
+    ) -> Vec<u32> {
         let mut rng = seeded_rng(seed);
         let mut counts = vec![0u32; groups * categories];
         for g in 0..groups {
@@ -157,7 +163,9 @@ mod tests {
         }
         let corpus = b.build();
         let graph = CsrGraph::from_edges(2, &[(0, 1)]);
-        let config = ColdConfig::builder(2, 2).iterations(4).build(&corpus, &graph);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
         let posts = PostsView::from_corpus(&corpus);
         let mut rng = cold_math::rng::seeded_rng(5);
         let state = CountState::init_random(&config, &posts, &graph, &mut rng);

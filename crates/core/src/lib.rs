@@ -71,8 +71,8 @@ pub mod estimates;
 pub mod hyperopt;
 pub mod online;
 pub mod params;
-pub mod persist;
 pub mod patterns;
+pub mod persist;
 pub mod predict;
 pub mod sampler;
 pub mod state;
@@ -80,6 +80,6 @@ pub mod state;
 pub use diffusion::{CommunityDiffusionGraph, DiffusionEdge};
 pub use estimates::ColdModel;
 pub use online::OnlineCold;
-pub use params::{ColdConfig, ColdConfigBuilder, Dims, Hyperparams};
+pub use params::{ColdConfig, ColdConfigBuilder, Dims, Hyperparams, SamplerKernel};
 pub use predict::DiffusionPredictor;
 pub use sampler::GibbsSampler;

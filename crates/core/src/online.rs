@@ -51,7 +51,8 @@ impl OnlineCold {
         }
         let state = sampler.state().clone();
         let posts = PostsView::from_corpus(corpus);
-        let scratch = Scratch::new(state.num_communities, state.num_topics);
+        let mut scratch = Scratch::for_config(&config);
+        scratch.begin_sweep(&state);
         Self {
             config,
             state,
@@ -78,9 +79,9 @@ impl OnlineCold {
         self.posts.lens.push(post.len() as u32);
         // Initial assignment: uniform random, then counted in.
         use rand::Rng as _;
-        self.state.post_comm.push(
-            self.rng.gen_range(0..self.state.num_communities) as u32,
-        );
+        self.state
+            .post_comm
+            .push(self.rng.gen_range(0..self.state.num_communities) as u32);
         self.state
             .post_topic
             .push(self.rng.gen_range(0..self.state.num_topics) as u32);
@@ -102,6 +103,9 @@ impl OnlineCold {
     /// cheap periodic maintenance that lets recent assignments settle
     /// against each other.
     pub fn refresh(&mut self) {
+        // Re-snapshot the kernel caches (fresh alias proposals for the
+        // AliasMh kernel) before the maintenance sweep.
+        self.scratch.begin_sweep(&self.state);
         let start = self.posts.len().saturating_sub(self.refresh_window);
         for d in start..self.posts.len() {
             resample_post(
@@ -206,7 +210,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 8, "only {hits}/10 streamed posts hit the sports topic");
+        assert!(
+            hits >= 8,
+            "only {hits}/10 streamed posts hit the sports topic"
+        );
     }
 
     #[test]
@@ -222,7 +229,11 @@ mod tests {
         online.refresh();
         let after = online.snapshot();
         let fbu = fb as usize;
-        let k_sports = if after.topic_words(0)[fbu] > after.topic_words(1)[fbu] { 0 } else { 1 };
+        let k_sports = if after.topic_words(0)[fbu] > after.topic_words(1)[fbu] {
+            0
+        } else {
+            1
+        };
         // The sports topic's temporal mass at slice 3 must have grown.
         let mass_before: f64 = (0..2).map(|c| before.temporal(k_sports, c)[3]).sum();
         let mass_after: f64 = (0..2).map(|c| after.temporal(k_sports, c)[3]).sum();

@@ -46,7 +46,12 @@ impl Hyperparams {
     ///
     /// `n_neg` is the number of absent ordered pairs (`U(U−1) − |E|`);
     /// `kappa` is the paper's tunable weight on the negative-link prior.
-    pub fn paper_defaults(num_communities: usize, num_topics: usize, n_neg: u64, kappa: f64) -> Self {
+    pub fn paper_defaults(
+        num_communities: usize,
+        num_topics: usize,
+        n_neg: u64,
+        kappa: f64,
+    ) -> Self {
         let c2 = (num_communities * num_communities) as f64;
         // Guard the log for tiny test graphs where n_neg < C².
         let lambda0 = (kappa * ((n_neg as f64 / c2).max(std::f64::consts::E)).ln()).max(0.1);
@@ -77,6 +82,30 @@ impl Hyperparams {
         }
         Ok(())
     }
+}
+
+/// Which implementation evaluates the collapsed conditionals in the Gibbs
+/// hot path. All kernels target the *same* stationary distribution; they
+/// differ only in how the per-draw arithmetic is carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SamplerKernel {
+    /// Evaluate every log directly, exactly as written in Eqs. 1–3. The
+    /// reference implementation; slowest, kept for differential testing.
+    Exact,
+    /// Memoize `ln(n + const)` over the integer counters and cache the
+    /// Eq. 2 rate matrix, producing draws **bit-identical** to [`Exact`]
+    /// (the caches are pure memoization — see `cold_math::logcache`).
+    /// The default.
+    ///
+    /// [`Exact`]: SamplerKernel::Exact
+    #[default]
+    CachedLog,
+    /// Alias-table Metropolis–Hastings topic draws: per-sweep stale alias
+    /// tables over the per-word topic predictive propose topics in O(1);
+    /// an MH accept step against the exact Eq. 3 conditional keeps the
+    /// stationary distribution unchanged. Opt-in; wins at large `K`. The
+    /// community (Eq. 1) and link (Eq. 2) draws use the cached-log path.
+    AliasMh,
 }
 
 /// Full training configuration for the Gibbs sampler.
@@ -115,6 +144,19 @@ pub struct ColdConfig {
     /// should be a small smoothing constant (the builder handles this for
     /// paper-default hyper-parameters).
     pub negative_link_ratio: f64,
+    /// Which conditional-evaluation kernel the samplers use (default:
+    /// [`SamplerKernel::CachedLog`]).
+    pub kernel: SamplerKernel,
+    /// Log-likelihood evaluation cadence: `Some(n)` computes the §4.3
+    /// convergence monitor every `n`-th sweep (plus the final sweep) in
+    /// both [`run`] and [`run_traced`]. `None` keeps the historical
+    /// cadences — every 10th sweep in `run`, every sweep in `run_traced`.
+    /// The monitor costs a full O(data) pass, so on large corpora a sparse
+    /// cadence meaningfully shortens training.
+    ///
+    /// [`run`]: crate::sampler::GibbsSampler::run
+    /// [`run_traced`]: crate::sampler::GibbsSampler::run_traced
+    pub ll_every: Option<usize>,
 }
 
 impl ColdConfig {
@@ -145,12 +187,18 @@ impl ColdConfig {
         if self.sample_lag == 0 {
             return Err("sample_lag must be at least 1".into());
         }
-            #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-aware
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-aware
         if !(self.anneal_boost >= 1.0) {
-            return Err(format!("anneal_boost must be >= 1, got {}", self.anneal_boost));
+            return Err(format!(
+                "anneal_boost must be >= 1, got {}",
+                self.anneal_boost
+            ));
         }
         if self.negative_link_ratio < 0.0 || !self.negative_link_ratio.is_finite() {
             return Err("negative_link_ratio must be finite and non-negative".into());
+        }
+        if self.ll_every == Some(0) {
+            return Err("ll_every must be at least 1 sweep".into());
         }
         if self.anneal_sweeps > self.burn_in {
             return Err(format!(
@@ -177,6 +225,8 @@ pub struct ColdConfigBuilder {
     anneal_boost: f64,
     negative_link_ratio: f64,
     hyper_override: Option<Hyperparams>,
+    kernel: SamplerKernel,
+    ll_every: Option<usize>,
 }
 
 impl ColdConfigBuilder {
@@ -194,6 +244,8 @@ impl ColdConfigBuilder {
             anneal_boost: 10.0,
             negative_link_ratio: 0.0,
             hyper_override: None,
+            kernel: SamplerKernel::default(),
+            ll_every: None,
         }
     }
 
@@ -277,6 +329,23 @@ impl ColdConfigBuilder {
         self
     }
 
+    /// Select the conditional-evaluation kernel (default:
+    /// [`SamplerKernel::CachedLog`]). All kernels sample from the same
+    /// stationary distribution; see the enum docs for the trade-offs.
+    pub fn kernel(mut self, kernel: SamplerKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Compute the training log-likelihood every `n`-th sweep (plus the
+    /// final sweep) in both `run` and `run_traced`. Without this call the
+    /// historical cadences apply: every 10th sweep in `run`, every sweep
+    /// in `run_traced`.
+    pub fn ll_every(mut self, n: usize) -> Self {
+        self.ll_every = Some(n);
+        self
+    }
+
     /// Finalize against a concrete corpus and graph.
     ///
     /// # Panics
@@ -316,6 +385,8 @@ impl ColdConfigBuilder {
             anneal_sweeps: self.anneal_sweeps.unwrap_or(0),
             anneal_boost: self.anneal_boost,
             negative_link_ratio: self.negative_link_ratio,
+            kernel: self.kernel,
+            ll_every: self.ll_every,
         };
         config.validate().expect("invalid COLD configuration");
         config
@@ -356,9 +427,37 @@ mod tests {
     }
 
     #[test]
+    fn builder_sets_kernel_and_ll_every() {
+        let (corpus, graph) = tiny();
+        let cfg = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
+        assert_eq!(
+            cfg.kernel,
+            SamplerKernel::CachedLog,
+            "cached-log is the default"
+        );
+        assert_eq!(cfg.ll_every, None);
+        let cfg = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .kernel(SamplerKernel::AliasMh)
+            .ll_every(7)
+            .build(&corpus, &graph);
+        assert_eq!(cfg.kernel, SamplerKernel::AliasMh);
+        assert_eq!(cfg.ll_every, Some(7));
+        cfg.validate().unwrap();
+        // A zero cadence is meaningless and rejected.
+        let mut bad = cfg;
+        bad.ll_every = Some(0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
     fn builder_fills_dims_from_data() {
         let (corpus, graph) = tiny();
-        let cfg = ColdConfig::builder(3, 4).iterations(10).build(&corpus, &graph);
+        let cfg = ColdConfig::builder(3, 4)
+            .iterations(10)
+            .build(&corpus, &graph);
         assert_eq!(cfg.dims.num_users, 2);
         assert_eq!(cfg.dims.num_communities, 3);
         assert_eq!(cfg.dims.num_topics, 4);
@@ -388,7 +487,9 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         let (corpus, graph) = tiny();
-        let mut cfg = ColdConfig::builder(2, 2).iterations(10).build(&corpus, &graph);
+        let mut cfg = ColdConfig::builder(2, 2)
+            .iterations(10)
+            .build(&corpus, &graph);
         cfg.burn_in = 10;
         assert!(cfg.validate().is_err());
         cfg.burn_in = 2;

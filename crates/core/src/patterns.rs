@@ -196,10 +196,8 @@ mod tests {
             }
         }
         let corpus = b.build();
-        let graph = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 4)],
-        );
+        let graph =
+            CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 4)]);
         let config = ColdConfig::builder(2, 2)
             .iterations(60)
             .burn_in(30)

@@ -82,7 +82,9 @@ mod tests {
         b.push_text(1, 1, &["c", "d"]);
         let corpus = b.build();
         let graph = CsrGraph::from_edges(2, &[(0, 1)]);
-        let config = ColdConfig::builder(2, 2).iterations(10).build(&corpus, &graph);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(10)
+            .build(&corpus, &graph);
         GibbsSampler::new(&corpus, &graph, config, 1).run()
     }
 

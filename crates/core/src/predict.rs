@@ -213,8 +213,18 @@ mod tests {
         }
         let corpus = b.build();
         let edges = [
-            (0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0),
-            (3, 4), (4, 3), (4, 5), (5, 4), (3, 5), (5, 3),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (0, 2),
+            (2, 0),
+            (3, 4),
+            (4, 3),
+            (4, 5),
+            (5, 4),
+            (3, 5),
+            (5, 3),
         ];
         let graph = CsrGraph::from_edges(6, &edges);
         // The paper's ρ = 50/C prior is calibrated for C ≈ 100; on this

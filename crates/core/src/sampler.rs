@@ -54,20 +54,23 @@ impl GibbsSampler {
     /// Prepare a sampler with random initial assignments. The graph is only
     /// read during initialization (its positive links are copied into the
     /// count state).
-    pub fn new(corpus: &cold_text::Corpus, graph: &CsrGraph, config: ColdConfig, seed: u64) -> Self {
+    pub fn new(
+        corpus: &cold_text::Corpus,
+        graph: &CsrGraph,
+        config: ColdConfig,
+        seed: u64,
+    ) -> Self {
         config.validate().expect("invalid COLD configuration");
         let posts = PostsView::from_corpus(corpus);
         let mut rng = seeded_rng(seed);
         let state = CountState::init_random(&config, &posts, graph, &mut rng);
-        let c = config.dims.num_communities;
-        let k = config.dims.num_topics;
         let current_rho = Self::annealed_rho(&config, 0);
         Self {
             posts,
             state,
             rng,
             trace: TrainTrace::default(),
-            scratch: Scratch::new(c, k),
+            scratch: Scratch::for_config(&config),
             sweeps_done: 0,
             current_rho,
             config,
@@ -95,12 +98,20 @@ impl GibbsSampler {
         &self.trace
     }
 
+    /// Whether the convergence monitor should run after sweep `sweep`.
+    /// `ll_every = Some(n)` evaluates every `n`-th sweep plus the final one;
+    /// `None` keeps the historical cadence (`default_every`-th + final).
+    fn should_monitor(&self, sweep: usize, default_every: usize) -> bool {
+        let every = self.config.ll_every.unwrap_or(default_every);
+        sweep.is_multiple_of(every) || sweep + 1 == self.config.iterations
+    }
+
     /// Run the configured number of sweeps and return the averaged model.
     pub fn run(mut self) -> ColdModel {
         let mut acc = EstimateAccumulator::new(&self.config);
         for sweep in 0..self.config.iterations {
             self.sweep();
-            if sweep % 10 == 0 || sweep + 1 == self.config.iterations {
+            if self.should_monitor(sweep, 10) {
                 let ll = self.log_likelihood();
                 self.trace.log_likelihood.push((sweep, ll));
             }
@@ -118,8 +129,10 @@ impl GibbsSampler {
         let mut acc = EstimateAccumulator::new(&self.config);
         for sweep in 0..self.config.iterations {
             self.sweep();
-            let ll = self.log_likelihood();
-            self.trace.log_likelihood.push((sweep, ll));
+            if self.should_monitor(sweep, 1) {
+                let ll = self.log_likelihood();
+                self.trace.log_likelihood.push((sweep, ll));
+            }
             if sweep >= self.config.burn_in
                 && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
             {
@@ -132,6 +145,7 @@ impl GibbsSampler {
     /// One full Gibbs sweep over all posts and links.
     pub fn sweep(&mut self) {
         self.current_rho = Self::annealed_rho(&self.config, self.sweeps_done);
+        self.scratch.begin_sweep(&self.state);
         for d in 0..self.posts.len() {
             resample_post(
                 &mut self.state,
@@ -191,7 +205,9 @@ impl GibbsSampler {
                 / (self.state.n_c[c] as f64 + kdim as f64 * h.alpha))
                 .ln();
             let temporal_denom = if self.state.time_comm_rows == 1 {
-                (0..cdim).map(|cc| self.state.n_ck[cc * kdim + k]).sum::<u32>() as f64
+                // Shared-temporal mode: Σ_c n_c^(k) is the maintained
+                // posts-per-topic counter — O(1) instead of O(C).
+                self.state.n_post_k[k] as f64
             } else {
                 self.state.n_ck[c * kdim + k] as f64
             };
@@ -238,8 +254,18 @@ mod tests {
         }
         let corpus = b.build();
         let edges = [
-            (0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0),
-            (3, 4), (4, 3), (4, 5), (5, 4), (3, 5), (5, 3),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (0, 2),
+            (2, 0),
+            (3, 4),
+            (4, 3),
+            (4, 5),
+            (5, 4),
+            (3, 5),
+            (5, 3),
             (0, 3), // one weak tie
         ];
         (corpus, CsrGraph::from_edges(6, &edges))
@@ -248,7 +274,9 @@ mod tests {
     #[test]
     fn counters_stay_consistent_across_sweeps() {
         let (corpus, graph) = two_block_data();
-        let config = ColdConfig::builder(2, 2).iterations(6).build(&corpus, &graph);
+        let config = ColdConfig::builder(2, 2)
+            .iterations(6)
+            .build(&corpus, &graph);
         let mut s = GibbsSampler::new(&corpus, &graph, config, 5);
         for _ in 0..3 {
             s.sweep();
@@ -268,7 +296,10 @@ mod tests {
         let (_, trace) = GibbsSampler::new(&corpus, &graph, config, 6).run_traced();
         let first = trace.log_likelihood.first().unwrap().1;
         let last = trace.log_likelihood.last().unwrap().1;
-        assert!(last > first, "log-likelihood did not improve: {first} -> {last}");
+        assert!(
+            last > first,
+            "log-likelihood did not improve: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -323,11 +354,107 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
+        use crate::params::SamplerKernel;
         let (corpus, graph) = two_block_data();
-        let config = ColdConfig::builder(2, 2).iterations(12).build(&corpus, &graph);
-        let m1 = GibbsSampler::new(&corpus, &graph, config.clone(), 42).run();
-        let m2 = GibbsSampler::new(&corpus, &graph, config, 42).run();
-        assert_eq!(m1.user_memberships(0), m2.user_memberships(0));
-        assert_eq!(m1.topic_words(1), m2.topic_words(1));
+        for kernel in [
+            SamplerKernel::Exact,
+            SamplerKernel::CachedLog,
+            SamplerKernel::AliasMh,
+        ] {
+            let config = ColdConfig::builder(2, 2)
+                .iterations(12)
+                .kernel(kernel)
+                .build(&corpus, &graph);
+            let m1 = GibbsSampler::new(&corpus, &graph, config.clone(), 42).run();
+            let m2 = GibbsSampler::new(&corpus, &graph, config, 42).run();
+            assert_eq!(m1.user_memberships(0), m2.user_memberships(0), "{kernel:?}");
+            assert_eq!(m1.topic_words(1), m2.topic_words(1), "{kernel:?}");
+        }
+    }
+
+    /// The cached-log kernel is a pure memoization: full training runs must
+    /// produce bit-identical models to the Exact kernel for the same seed.
+    #[test]
+    fn cached_log_run_matches_exact_bitwise() {
+        use crate::params::SamplerKernel;
+        let (corpus, graph) = two_block_data();
+        let models: Vec<ColdModel> = [SamplerKernel::Exact, SamplerKernel::CachedLog]
+            .into_iter()
+            .map(|kernel| {
+                let config = ColdConfig::builder(2, 2)
+                    .iterations(25)
+                    .burn_in(10)
+                    .explicit_negatives(1.0)
+                    .kernel(kernel)
+                    .build(&corpus, &graph);
+                GibbsSampler::new(&corpus, &graph, config, 42).run()
+            })
+            .collect();
+        for u in 0..6 {
+            assert_eq!(
+                models[0].user_memberships(u),
+                models[1].user_memberships(u),
+                "membership diverged for user {u}"
+            );
+        }
+        for k in 0..2 {
+            assert_eq!(models[0].topic_words(k), models[1].topic_words(k));
+        }
+    }
+
+    /// Planted-structure recovery must hold under every kernel — the alias
+    /// chain targets the same stationary distribution even though its
+    /// trajectory differs.
+    #[test]
+    fn all_kernels_recover_planted_topics() {
+        use crate::params::SamplerKernel;
+        let (corpus, graph) = two_block_data();
+        let fb = corpus.vocab().id_of("football").unwrap() as usize;
+        let film = corpus.vocab().id_of("film").unwrap() as usize;
+        for kernel in [
+            SamplerKernel::Exact,
+            SamplerKernel::CachedLog,
+            SamplerKernel::AliasMh,
+        ] {
+            let config = ColdConfig::builder(2, 2)
+                .iterations(60)
+                .burn_in(30)
+                .kernel(kernel)
+                .build(&corpus, &graph);
+            let model = GibbsSampler::new(&corpus, &graph, config, 7).run();
+            let top = |w: usize| {
+                (0..2).max_by(|&a, &b| {
+                    model.topic_words(a)[w]
+                        .partial_cmp(&model.topic_words(b)[w])
+                        .unwrap()
+                })
+            };
+            assert_ne!(top(fb), top(film), "{kernel:?} failed to separate topics");
+        }
+    }
+
+    /// `ll_every` controls the convergence-monitor cadence of both `run`
+    /// and `run_traced` (the final sweep is always evaluated).
+    #[test]
+    fn ll_every_sets_monitor_cadence() {
+        let (corpus, graph) = two_block_data();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(12)
+            .ll_every(5)
+            .build(&corpus, &graph);
+        let (_, trace) = GibbsSampler::new(&corpus, &graph, config.clone(), 3).run_traced();
+        let sweeps: Vec<usize> = trace.log_likelihood.iter().map(|&(s, _)| s).collect();
+        assert_eq!(sweeps, vec![0, 5, 10, 11]);
+        // `run` records into its internal trace with the same cadence; a
+        // sampler driven manually shows the default cadence is preserved.
+        let config_default = ColdConfig::builder(2, 2)
+            .iterations(12)
+            .build(&corpus, &graph);
+        let (_, trace_default) = GibbsSampler::new(&corpus, &graph, config_default, 3).run_traced();
+        assert_eq!(
+            trace_default.log_likelihood.len(),
+            12,
+            "None keeps per-sweep tracing"
+        );
     }
 }

@@ -102,8 +102,15 @@ pub struct CountState {
     pub n_ckt: Vec<u32>,
     /// `n_k^(v)`, row-major `K×V`.
     pub n_kv: Vec<u32>,
+    /// Word-major transpose of `n_kv`, row-major `V×K`. Maintained in
+    /// lock-step with `n_kv` so the topic conditional (Eq. 3) can walk the
+    /// per-word topic column contiguously (word-outer / topic-inner loop).
+    pub n_vk: Vec<u32>,
     /// `n_k^(·)` — tokens per topic.
     pub n_k: Vec<u32>,
+    /// Posts per topic (`Σ_c n_c^(k)`), the shared-temporal denominator of
+    /// Eqs. 1 and 3 maintained in O(1) instead of an O(C) column sum.
+    pub n_post_k: Vec<u32>,
     /// `n_cc'` (positive links), row-major `C×C`.
     pub n_cc: Vec<u32>,
     /// Observed negative pairs per cell, row-major `C×C` (all zero unless
@@ -162,7 +169,9 @@ impl CountState {
             n_c: vec![0; c],
             n_ckt: vec![0; time_rows * k * t],
             n_kv: vec![0; k * v],
+            n_vk: vec![0; v * k],
             n_k: vec![0; k],
+            n_post_k: vec![0; k],
             n_cc: vec![0; c * c],
             n0_cc: vec![0; c * c],
         };
@@ -233,8 +242,10 @@ impl CountState {
             self.n_ckt[ckt] += 1;
             for &(w, cnt) in &posts.multisets[d] {
                 self.n_kv[k * self.vocab_size + w as usize] += cnt;
+                self.n_vk[w as usize * self.num_topics + k] += cnt;
             }
             self.n_k[k] += posts.lens[d];
+            self.n_post_k[k] += 1;
         } else {
             self.n_ic[i * self.num_communities + c] -= 1;
             self.n_i[i] -= 1;
@@ -243,8 +254,10 @@ impl CountState {
             self.n_ckt[ckt] -= 1;
             for &(w, cnt) in &posts.multisets[d] {
                 self.n_kv[k * self.vocab_size + w as usize] -= cnt;
+                self.n_vk[w as usize * self.num_topics + k] -= cnt;
             }
             self.n_k[k] -= posts.lens[d];
+            self.n_post_k[k] -= 1;
         }
     }
 
@@ -327,7 +340,9 @@ impl CountState {
             n_c: vec![0; self.n_c.len()],
             n_ckt: vec![0; self.n_ckt.len()],
             n_kv: vec![0; self.n_kv.len()],
+            n_vk: vec![0; self.n_vk.len()],
             n_k: vec![0; self.n_k.len()],
+            n_post_k: vec![0; self.n_post_k.len()],
             n_cc: vec![0; self.n_cc.len()],
             n0_cc: vec![0; self.n0_cc.len()],
             ..*self
@@ -348,7 +363,9 @@ impl CountState {
             ("n_c", &self.n_c, &fresh.n_c),
             ("n_ckt", &self.n_ckt, &fresh.n_ckt),
             ("n_kv", &self.n_kv, &fresh.n_kv),
+            ("n_vk", &self.n_vk, &fresh.n_vk),
             ("n_k", &self.n_k, &fresh.n_k),
+            ("n_post_k", &self.n_post_k, &fresh.n_post_k),
             ("n_cc", &self.n_cc, &fresh.n_cc),
             ("n0_cc", &self.n0_cc, &fresh.n0_cc),
         ] {
@@ -375,7 +392,9 @@ mod tests {
         b.push_text(0, 1, &["d"]);
         let corpus = b.build();
         let graph = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
-        let config = ColdConfig::builder(3, 2).iterations(4).build(&corpus, &graph);
+        let config = ColdConfig::builder(3, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
         (corpus, graph, config)
     }
 

@@ -389,10 +389,7 @@ mod tests {
         let data = generate(&WorldConfig::tiny(), 42);
         assert_eq!(data.corpus.num_users(), 60);
         assert!(data.corpus.num_posts() > 60); // ≥1 per user + pin post
-        assert_eq!(
-            data.truth.post_assignments.len(),
-            data.corpus.num_posts()
-        );
+        assert_eq!(data.truth.post_assignments.len(), data.corpus.num_posts());
         assert_eq!(data.corpus.num_time_slices(), 12);
         assert_eq!(data.corpus.vocab_size(), 120);
         assert!(data.graph.num_edges() > 0);
@@ -403,9 +400,7 @@ mod tests {
         for cc in 0..3 {
             assert!((data.truth.theta_row(cc).iter().sum::<f64>() - 1.0).abs() < 1e-9);
             for kk in 0..3 {
-                assert!(
-                    (data.truth.psi_row(kk, cc).iter().sum::<f64>() - 1.0).abs() < 1e-9
-                );
+                assert!((data.truth.psi_row(kk, cc).iter().sum::<f64>() - 1.0).abs() < 1e-9);
             }
         }
         for kk in 0..3 {

@@ -5,8 +5,22 @@ use serde::{Deserialize, Serialize};
 /// Names for the synthetic topical word blocks; cycled when `K` exceeds the
 /// list. These make Fig. 8-style word-cloud output readable.
 pub const TOPIC_NAMES: &[&str] = &[
-    "sports", "movies", "music", "politics", "technology", "food", "travel", "finance",
-    "fashion", "science", "gaming", "weather", "health", "education", "traffic", "literature",
+    "sports",
+    "movies",
+    "music",
+    "politics",
+    "technology",
+    "food",
+    "travel",
+    "finance",
+    "fashion",
+    "science",
+    "gaming",
+    "weather",
+    "health",
+    "education",
+    "traffic",
+    "literature",
 ];
 
 /// The parameters Alg. 1 was executed with.

@@ -80,7 +80,10 @@ impl ClusterCostModel {
 
     /// Simulated total for a training run.
     pub fn total_seconds(&self, supersteps: &[SuperstepWork], nodes: usize) -> f64 {
-        supersteps.iter().map(|w| self.superstep_seconds(w, nodes)).sum()
+        supersteps
+            .iter()
+            .map(|w| self.superstep_seconds(w, nodes))
+            .sum()
     }
 }
 

@@ -115,7 +115,10 @@ impl<P: VertexProgram> GasGraph<P> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("gather worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gather worker"))
+                .collect()
         });
         // --- Barrier: merge partials, apply per vertex. ---
         let mut merged: std::collections::HashMap<u32, P::Accum> = std::collections::HashMap::new();
@@ -195,9 +198,21 @@ mod tests {
     #[test]
     fn degree_counting_matches_reference() {
         let edges = vec![
-            GasEdge { src: 0, dst: 1, data: () },
-            GasEdge { src: 1, dst: 2, data: () },
-            GasEdge { src: 0, dst: 2, data: () },
+            GasEdge {
+                src: 0,
+                dst: 1,
+                data: (),
+            },
+            GasEdge {
+                src: 1,
+                dst: 2,
+                data: (),
+            },
+            GasEdge {
+                src: 0,
+                dst: 2,
+                data: (),
+            },
         ];
         for shards in [1, 2, 4] {
             let mut g: GasGraph<DegreeProgram> = GasGraph::new(vec![0; 3], edges.clone(), shards);
@@ -253,7 +268,10 @@ mod tests {
                 data: 1.0 / 3.0 / out_deg[src as usize],
             })
             .collect();
-        let program = PageRank { damping: 0.85, num_vertices: 3.0 };
+        let program = PageRank {
+            damping: 0.85,
+            num_vertices: 3.0,
+        };
         let mut single: GasGraph<PageRank> = GasGraph::new(vertices.clone(), edges.clone(), 1);
         let mut sharded: GasGraph<PageRank> = GasGraph::new(vertices, edges, 3);
         single.run(&program, 40);

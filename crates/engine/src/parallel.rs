@@ -86,12 +86,13 @@ impl ParallelGibbs {
         // Global (synced) counters: everything except the vertex-local n_ic
         // and n_i (§4.3: "global counters are generally only related to
         // latent spaces which are low-dimensional").
-        let sync_bytes = 4 * (global.n_ck.len()
-            + global.n_c.len()
-            + global.n_ckt.len()
-            + global.n_kv.len()
-            + global.n_k.len()
-            + global.n_cc.len()) as u64;
+        let sync_bytes = 4
+            * (global.n_ck.len()
+                + global.n_c.len()
+                + global.n_ckt.len()
+                + global.n_kv.len()
+                + global.n_k.len()
+                + global.n_cc.len()) as u64;
         Self {
             config,
             posts,
@@ -149,19 +150,27 @@ impl ParallelGibbs {
             let shard_links = &self.shard_links;
             let shard_neg_links = &self.shard_neg_links;
             let factory = &self.rng_factory;
+            let config = &self.config;
             let handles: Vec<_> = (0..self.shards)
                 .map(|s| {
                     let mut local = snapshot.clone();
                     scope.spawn(move || {
-                        let mut rng =
-                            factory.stream((sweep as u64) << 16 | s as u64);
-                        let mut scratch = Scratch::new(
-                            local.num_communities,
-                            local.num_topics,
-                        );
+                        let mut rng = factory.stream((sweep as u64) << 16 | s as u64);
+                        // Fresh per-shard kernel caches, snapshotted against
+                        // the superstep's starting counters (the AliasMh
+                        // proposals are rebuilt per superstep, matching the
+                        // sequential sampler's per-sweep refresh).
+                        let mut scratch = Scratch::for_config(config);
+                        scratch.begin_sweep(&local);
                         for &d in &shard_posts[s] {
                             resample_post(
-                                &mut local, posts, d, &hyper, rho, &mut rng, &mut scratch,
+                                &mut local,
+                                posts,
+                                d,
+                                &hyper,
+                                rho,
+                                &mut rng,
+                                &mut scratch,
                             );
                         }
                         for &e in &shard_links[s] {
@@ -169,7 +178,12 @@ impl ParallelGibbs {
                         }
                         for &e in &shard_neg_links[s] {
                             resample_negative_link(
-                                &mut local, e, &hyper, rho, &mut rng, &mut scratch,
+                                &mut local,
+                                e,
+                                &hyper,
+                                rho,
+                                &mut rng,
+                                &mut scratch,
                             );
                         }
                         local
@@ -203,6 +217,12 @@ impl ParallelGibbs {
             merge_delta(&mut next.n_c, &local.n_c, &self.global.n_c);
             merge_delta(&mut next.n_ckt, &local.n_ckt, &self.global.n_ckt);
             merge_delta(&mut next.n_kv, &local.n_kv, &self.global.n_kv);
+            // The word-major mirror and the posts-per-topic counter merge
+            // like any other counter (they are *not* synced over the wire:
+            // each worker derives them from n_kv / n_ck locally, so
+            // sync_bytes is unchanged).
+            merge_delta(&mut next.n_vk, &local.n_vk, &self.global.n_vk);
+            merge_delta(&mut next.n_post_k, &local.n_post_k, &self.global.n_post_k);
             merge_delta(&mut next.n_k, &local.n_k, &self.global.n_k);
             merge_delta(&mut next.n_cc, &local.n_cc, &self.global.n_cc);
             merge_delta(&mut next.n0_cc, &local.n0_cc, &self.global.n0_cc);
@@ -306,7 +326,8 @@ mod tests {
     #[test]
     fn single_shard_behaves_like_a_valid_sampler() {
         let (corpus, graph) = data();
-        let (model, stats) = ParallelGibbs::new(&corpus, &graph, config(&corpus, &graph), 1, 8).run();
+        let (model, stats) =
+            ParallelGibbs::new(&corpus, &graph, config(&corpus, &graph), 1, 8).run();
         assert_eq!(stats.supersteps.len(), 60);
         for i in 0..8 {
             assert!((model.user_memberships(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -319,7 +340,11 @@ mod tests {
         let (model, _) = ParallelGibbs::new(&corpus, &graph, config(&corpus, &graph), 4, 9).run();
         let fb = corpus.vocab().id_of("football").unwrap() as usize;
         let film = corpus.vocab().id_of("film").unwrap() as usize;
-        let k_fb = if model.topic_words(0)[fb] > model.topic_words(1)[fb] { 0 } else { 1 };
+        let k_fb = if model.topic_words(0)[fb] > model.topic_words(1)[fb] {
+            0
+        } else {
+            1
+        };
         assert!(model.topic_words(1 - k_fb)[film] > model.topic_words(k_fb)[film]);
     }
 

@@ -163,9 +163,9 @@ mod tests {
     #[test]
     fn averaged_auc_skips_undefined_groups() {
         let groups = vec![
-            vec![(0.9, true), (0.1, false)],          // AUC 1
-            vec![(0.2, true)],                        // undefined
-            vec![(0.3, true), (0.7, false)],          // AUC 0
+            vec![(0.9, true), (0.1, false)], // AUC 1
+            vec![(0.2, true)],               // undefined
+            vec![(0.3, true), (0.7, false)], // AUC 0
         ];
         assert_eq!(averaged_auc(&groups), Some(0.5));
         assert_eq!(averaged_auc(&[]), None);

@@ -75,9 +75,9 @@ mod tests {
     #[test]
     fn mrr_averages_defined_groups() {
         let groups = vec![
-            vec![(0.9, true), (0.1, false)],  // RR 1
-            vec![(0.9, false), (0.1, true)],  // RR 1/2
-            vec![(0.9, false)],               // undefined
+            vec![(0.9, true), (0.1, false)], // RR 1
+            vec![(0.9, false), (0.1, true)], // RR 1/2
+            vec![(0.9, false)],              // undefined
         ];
         assert_eq!(mean_reciprocal_rank(&groups), Some(0.75));
         assert_eq!(mean_reciprocal_rank(&[]), None);

@@ -109,9 +109,7 @@ impl CsrGraph {
 
     /// Iterate all edges in `(source, target)` order.
     pub fn edges(&self) -> impl Iterator<Item = Link> + '_ {
-        (0..self.num_nodes).flat_map(move |s| {
-            self.out_neighbors(s).iter().map(move |&t| (s, t))
-        })
+        (0..self.num_nodes).flat_map(move |s| self.out_neighbors(s).iter().map(move |&t| (s, t)))
     }
 
     /// Number of *absent* directed node pairs `U(U-1) - |E|`; the paper's

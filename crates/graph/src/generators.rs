@@ -26,7 +26,11 @@ pub fn erdos_renyi<R: Rng>(rng: &mut R, num_nodes: u32, p: f64) -> CsrGraph {
         loop {
             // Geometric skip: next success after Geom(p) failures.
             let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let skip = if p >= 1.0 { 0 } else { (u.ln() / log1mp) as u64 };
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                (u.ln() / log1mp) as u64
+            };
             idx = idx.saturating_add(skip);
             if idx >= total_pairs {
                 break;
@@ -112,7 +116,13 @@ mod tests {
         // Two hard communities, strong intra / weak inter.
         let n = 200usize;
         let memberships: Vec<Vec<f64>> = (0..n)
-            .map(|i| if i < n / 2 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
+            .map(|i| {
+                if i < n / 2 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                }
+            })
             .collect();
         let eta = vec![vec![0.30, 0.01], vec![0.01, 0.30]];
         let g = mixed_membership_block(&mut rng, &memberships, &eta, 40);

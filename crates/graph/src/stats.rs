@@ -52,11 +52,19 @@ impl GraphStats {
         Self {
             num_nodes: n,
             num_edges: m,
-            density: if possible > 0.0 { m as f64 / possible } else { 0.0 },
+            density: if possible > 0.0 {
+                m as f64 / possible
+            } else {
+                0.0
+            },
             max_out_degree: max_out,
             max_in_degree: max_in,
             mean_out_degree: if n > 0 { m as f64 / n as f64 } else { 0.0 },
-            reciprocity: if m > 0 { reciprocated as f64 / m as f64 } else { 0.0 },
+            reciprocity: if m > 0 {
+                reciprocated as f64 / m as f64
+            } else {
+                0.0
+            },
             isolated_nodes: isolated,
         }
     }

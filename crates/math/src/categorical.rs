@@ -74,7 +74,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let total: f64 = weights.iter().sum();
         assert!(
             total > 0.0 && total.is_finite(),

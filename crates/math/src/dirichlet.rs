@@ -82,11 +82,16 @@ mod tests {
             let n = 80_000;
             let samples: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, shape)).collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
             // Gamma(k,1): mean = k, var = k.
-            assert!((mean - shape).abs() < 0.05 * shape.max(1.0), "mean {mean} for {shape}");
-            assert!((var - shape).abs() < 0.15 * shape.max(1.0), "var {var} for {shape}");
+            assert!(
+                (mean - shape).abs() < 0.05 * shape.max(1.0),
+                "mean {mean} for {shape}"
+            );
+            assert!(
+                (var - shape).abs() < 0.15 * shape.max(1.0),
+                "var {var} for {shape}"
+            );
         }
     }
 

@@ -19,12 +19,14 @@
 
 pub mod categorical;
 pub mod dirichlet;
+pub mod logcache;
 pub mod rng;
 pub mod special;
 pub mod stats;
 
 pub use categorical::{sample_categorical, sample_log_categorical, AliasTable};
 pub use dirichlet::{sample_beta, sample_dirichlet, sample_gamma};
+pub use logcache::ShiftedLogTable;
 pub use rng::{seeded_rng, RngFactory};
 pub use special::{lgamma, log_ascending_factorial, log_beta_fn};
 pub use stats::{entropy, log_sum_exp, normalize_in_place, variance_of_distribution};

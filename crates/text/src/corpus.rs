@@ -87,7 +87,10 @@ impl Corpus {
     /// A sub-corpus containing only the given posts (same vocabulary, users
     /// and time grid). Used to form training sets for held-out evaluation.
     pub fn restrict(&self, keep: &[PostId]) -> Corpus {
-        let posts: Vec<Post> = keep.iter().map(|&d| self.posts[d as usize].clone()).collect();
+        let posts: Vec<Post> = keep
+            .iter()
+            .map(|&d| self.posts[d as usize].clone())
+            .collect();
         CorpusBuilder::from_parts(
             self.vocab.clone(),
             self.num_users,

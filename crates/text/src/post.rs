@@ -21,7 +21,11 @@ pub struct Post {
 impl Post {
     /// Construct a post.
     pub fn new(author: u32, time: TimeSlice, words: Vec<WordId>) -> Self {
-        Self { author, time, words }
+        Self {
+            author,
+            time,
+            words,
+        }
     }
 
     /// Post length `|d_ij|` in tokens.

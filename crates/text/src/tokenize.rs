@@ -29,9 +29,9 @@ impl Default for Preprocessor {
 
 /// A tiny default English stop list; callers supply their own for real data.
 const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "of", "to", "in", "on", "is", "are", "was", "were", "be",
-    "it", "at", "by", "for", "with", "as", "this", "that", "i", "you", "he", "she", "we",
-    "they", "not", "but", "so", "if", "then",
+    "a", "an", "the", "and", "or", "of", "to", "in", "on", "is", "are", "was", "were", "be", "it",
+    "at", "by", "for", "with", "as", "this", "that", "i", "you", "he", "she", "we", "they", "not",
+    "but", "so", "if", "then",
 ];
 
 impl Preprocessor {
@@ -59,7 +59,11 @@ impl Preprocessor {
     /// gives `new_id -> original_id`.
     pub fn build_corpus(&self, messages: &[(u32, TimeSlice, &str)]) -> (Corpus, Vec<u32>) {
         // Count per-author message volume first.
-        let max_author = messages.iter().map(|&(a, _, _)| a).max().map_or(0, |a| a + 1);
+        let max_author = messages
+            .iter()
+            .map(|&(a, _, _)| a)
+            .max()
+            .map_or(0, |a| a + 1);
         let mut counts = vec![0usize; max_author as usize];
         for &(a, _, _) in messages {
             counts[a as usize] += 1;

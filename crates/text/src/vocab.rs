@@ -100,7 +100,11 @@ mod tests {
         let collected: Vec<_> = v.iter().map(|(i, w)| (i, w.to_owned())).collect();
         assert_eq!(
             collected,
-            vec![(0, "a".to_owned()), (1, "b".to_owned()), (2, "c".to_owned())]
+            vec![
+                (0, "a".to_owned()),
+                (1, "b".to_owned()),
+                (2, "c".to_owned())
+            ]
         );
     }
 

@@ -48,7 +48,9 @@ fn main() {
     // 5. Who influences whom (η and ζ = Eq. 4)?
     println!("\ninter-community influence η (rows = source):");
     for c in 0..3 {
-        let row: Vec<String> = (0..3).map(|c2| format!("{:.3}", model.eta(c, c2))).collect();
+        let row: Vec<String> = (0..3)
+            .map(|c2| format!("{:.3}", model.eta(c, c2)))
+            .collect();
         println!("  from {c}: [{}]", row.join(", "));
     }
 
@@ -66,6 +68,9 @@ fn main() {
     let pi = model.user_memberships(0);
     println!(
         "user 0 memberships: [{}]",
-        pi.iter().map(|p| format!("{p:.2}")).collect::<Vec<_>>().join(", ")
+        pi.iter()
+            .map(|p| format!("{p:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 }

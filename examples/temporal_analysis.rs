@@ -49,7 +49,10 @@ fn main() {
         test.iter()
             .map(|&d| {
                 let post = data.corpus.post(d);
-                (predict_time_slice(model, post.author, &post.words), post.time)
+                (
+                    predict_time_slice(model, post.author, &post.words),
+                    post.time,
+                )
             })
             .collect()
     };

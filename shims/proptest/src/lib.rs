@@ -1,0 +1,355 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, range / tuple / `Just` /
+//! `any::<T>()` / `prop::collection::vec` strategies, `prop_map` and
+//! `prop_flat_map` combinators, and the `prop_assert*` / `prop_assume`
+//! macros. Cases are generated from a seed derived deterministically from
+//! the test's module path, so failures reproduce across runs. There is no
+//! shrinking: a failing case reports its case index and message.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Derive the deterministic RNG for `(test, case)`.
+pub fn rng_for_case(test: &str, case: u64) -> TestRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; it does not count.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Runner configuration (subset of proptest's).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then build and sample a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a default "arbitrary" distribution for [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::Rng as _;
+                rng.gen_range(<$t>::MIN..<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform!(u8, u16, u32, i8, i16, i32);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::Rng as _;
+        rng.gen::<bool>()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::Rng as _;
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Vectors of `element` values with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                use rand::Rng as _;
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ArbitraryValue, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declare property tests (subset of proptest's macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            while accepted < config.cases {
+                case += 1;
+                assert!(
+                    rejected < config.cases.saturating_mul(16) + 256,
+                    "prop_assume rejected too many cases ({rejected})"
+                );
+                let mut __rng = $crate::rng_for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match result {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case #{case} failed: {msg}");
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `a == b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fail the current case unless `a != b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: both sides equal {:?}",
+            left
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds (it does not count).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

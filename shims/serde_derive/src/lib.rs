@@ -1,0 +1,233 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Supports the shapes this workspace actually uses: structs with named
+//! fields and enums with unit variants only. Parsing is done directly on the
+//! token stream (the environment has no syn/quote), generating impls of the
+//! shim's `Serialize`/`Deserialize` traits over its `Value` tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The pieces of a type definition the generators need.
+struct ParsedItem {
+    name: String,
+    /// Named fields for a struct.
+    fields: Vec<String>,
+    /// Unit variants for an enum (`fields` empty in that case).
+    variants: Vec<String>,
+}
+
+fn parse_item(input: TokenStream) -> ParsedItem {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type {name})");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => TokenStream::new(),
+        other => panic!(
+            "serde shim derive: only brace-bodied or unit types are supported \
+             (type {name}, found {other:?})"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => ParsedItem {
+            name,
+            fields: parse_named_fields(body),
+            variants: Vec::new(),
+        },
+        "enum" => ParsedItem {
+            name,
+            fields: Vec::new(),
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip doc comments / attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        fields.push(field);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "serde shim derive: only unit enum variants are supported, \
+                         found {other:?} after `{}`",
+                        variants.last().unwrap()
+                    ),
+                }
+            }
+            other => panic!("serde shim derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if item.variants.is_empty() {
+        let pushes: String = item
+            .fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                )
+            })
+            .collect();
+        format!(
+            "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+             {pushes}\n::serde::Value::Object(fields)"
+        )
+    } else {
+        let arms: String = item
+            .variants
+            .iter()
+            .map(|v| format!("Self::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+            .collect();
+        format!("match self {{ {arms} }}")
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name
+    );
+    out.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if item.variants.is_empty() {
+        let inits: String = item
+            .fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value(\n\
+                         v.get({f:?}).unwrap_or(&::serde::Value::Null),\n\
+                     ).map_err(|e| format!(\"field {f}: {{e}}\"))?,\n"
+                )
+            })
+            .collect();
+        format!(
+            "if v.as_object().is_none() {{\n\
+                 return Err(format!(\"expected object, found {{}}\", v.kind()));\n\
+             }}\nOk(Self {{ {inits} }})"
+        )
+    } else {
+        let arms: String = item
+            .variants
+            .iter()
+            .map(|v| format!("{v:?} => Ok(Self::{v}),"))
+            .collect();
+        format!(
+            "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {arms}\n\
+                     other => Err(format!(\"unknown variant `{{other}}`\")),\n\
+                 }},\n\
+                 other => Err(format!(\"expected string variant, found {{}}\", other.kind())),\n\
+             }}"
+        )
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, String> {{\n{body}\n}}\n\
+         }}",
+        name = item.name
+    );
+    out.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -126,7 +126,11 @@ fn diffusion_prediction_beats_chance() {
         }
         groups.push(group);
     }
-    assert!(groups.len() >= 10, "too few scorable tuples: {}", groups.len());
+    assert!(
+        groups.len() >= 10,
+        "too few scorable tuples: {}",
+        groups.len()
+    );
     let auc = cold::eval::averaged_auc(&groups).expect("defined");
     assert!(auc > 0.55, "diffusion AUC too low: {auc}");
 }

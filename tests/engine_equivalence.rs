@@ -38,10 +38,9 @@ fn config(data: &SocialDataset, iterations: usize) -> ColdConfig {
 #[test]
 fn parallel_sampler_reaches_sequential_quality() {
     let data = world();
-    let seq = cold::core::GibbsSampler::new(&data.corpus, &data.graph, config(&data, 120), 11)
-        .run();
-    let (par, _) =
-        ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 120), 6, 11).run();
+    let seq =
+        cold::core::GibbsSampler::new(&data.corpus, &data.graph, config(&data, 120), 11).run();
+    let (par, _) = ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 120), 6, 11).run();
     // Both runs should recover comparable topic structure: NMI of hardened
     // per-word topic proxies via the planted vocabulary blocks.
     let v = data.corpus.vocab_size();
@@ -72,8 +71,7 @@ fn parallel_sampler_reaches_sequential_quality() {
 #[test]
 fn parallel_sampler_recovers_communities() {
     let data = world();
-    let (model, _) =
-        ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 150), 4, 13).run();
+    let (model, _) = ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 150), 4, 13).run();
     let nmi = normalized_mutual_information(
         &model.hard_user_communities(),
         &data.truth.primary_community,
@@ -125,5 +123,8 @@ fn simulated_scaling_has_fig13_shape() {
     let speedup_2 = t[0] / t[1];
     let speedup_8 = t[0] / t[3];
     assert!(speedup_2 > 1.5, "2-node speedup {speedup_2}");
-    assert!(speedup_8 < 8.0, "superlinear speedup is impossible: {speedup_8}");
+    assert!(
+        speedup_8 < 8.0,
+        "superlinear speedup is impossible: {speedup_8}"
+    );
 }

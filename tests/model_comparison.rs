@@ -120,7 +120,10 @@ fn cold_text_model_beats_pmtlm_and_uniform() {
     let pmtlm = Pmtlm::fit(
         &train_data.corpus,
         &train_data.graph,
-        &PmtlmConfig { iterations: 120, ..PmtlmConfig::new(3, &train_data.graph) },
+        &PmtlmConfig {
+            iterations: 120,
+            ..PmtlmConfig::new(3, &train_data.graph)
+        },
         6,
     );
     let perp = |score: &dyn Fn(u32, &[u32]) -> f64| {
@@ -178,7 +181,10 @@ fn cold_diffusion_prediction_beats_ti_and_chance() {
     };
     let auc_cold = auc(&|p, c, w| predictor.diffusion_score(p, c, w));
     let auc_ti = auc(&|p, c, w| ti.diffusion_score(p, c, w));
-    assert!(auc_cold > 0.55, "COLD diffusion AUC {auc_cold} barely beats chance");
+    assert!(
+        auc_cold > 0.55,
+        "COLD diffusion AUC {auc_cold} barely beats chance"
+    );
     assert!(
         auc_cold > auc_ti,
         "COLD {auc_cold:.3} should beat individual-level TI {auc_ti:.3}"

@@ -42,7 +42,10 @@ fn saved_and_loaded_models_predict_identically() {
         predict_time_slice(&model, post.author, &post.words),
         predict_time_slice(&loaded, post.author, &post.words)
     );
-    assert_eq!(link_probability(&model, 0, 1), link_probability(&loaded, 0, 1));
+    assert_eq!(
+        link_probability(&model, 0, 1),
+        link_probability(&loaded, 0, 1)
+    );
     let p1 = DiffusionPredictor::new(&model, 3);
     let p2 = DiffusionPredictor::new(&loaded, 3);
     assert_eq!(
@@ -92,7 +95,9 @@ fn online_continuation_extends_a_batch_fit() {
         ));
     }
     online.refresh();
-    online.check_consistency().expect("counters consistent after streaming");
+    online
+        .check_consistency()
+        .expect("counters consistent after streaming");
     assert_eq!(online.num_posts(), before + 50);
     // The snapshot is a fully functional model.
     let snapshot = online.snapshot();

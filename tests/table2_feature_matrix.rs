@@ -41,12 +41,18 @@ fn pmtlm_row() {
     let m = Pmtlm::fit(
         &data.corpus,
         &data.graph,
-        &PmtlmConfig { iterations: 5, ..PmtlmConfig::new(2, &data.graph) },
+        &PmtlmConfig {
+            iterations: 5,
+            ..PmtlmConfig::new(2, &data.graph)
+        },
         1,
     );
     assert_text_scorer(&m); // topic extraction
     assert_link_scorer(&m); // community detection (via link modeling)
-    assert_eq!(m.hard_user_communities().len(), data.corpus.num_users() as usize);
+    assert_eq!(
+        m.hard_user_communities().len(),
+        data.corpus.num_users() as usize
+    );
 }
 
 #[test]
@@ -54,17 +60,30 @@ fn mmsb_row() {
     let data = world();
     let m = Mmsb::fit(
         &data.graph,
-        &MmsbConfig { iterations: 5, ..MmsbConfig::new(2, &data.graph) },
+        &MmsbConfig {
+            iterations: 5,
+            ..MmsbConfig::new(2, &data.graph)
+        },
         1,
     );
     assert_link_scorer(&m);
-    assert_eq!(m.hard_user_communities().len(), data.graph.num_nodes() as usize);
+    assert_eq!(
+        m.hard_user_communities().len(),
+        data.graph.num_nodes() as usize
+    );
 }
 
 #[test]
 fn eutb_row() {
     let data = world();
-    let m = Eutb::fit(&data.corpus, &EutbConfig { iterations: 5, ..EutbConfig::new(2) }, 1);
+    let m = Eutb::fit(
+        &data.corpus,
+        &EutbConfig {
+            iterations: 5,
+            ..EutbConfig::new(2)
+        },
+        1,
+    );
     assert_text_scorer(&m);
     assert_time_predictor(&m);
 }
@@ -84,7 +103,12 @@ fn pipeline_row() {
 #[test]
 fn wtm_row() {
     let data = world();
-    let m = WhomToMention::fit(&data.corpus, &data.graph, &data.cascades, WtmWeights::default());
+    let m = WhomToMention::fit(
+        &data.corpus,
+        &data.graph,
+        &data.cascades,
+        WtmWeights::default(),
+    );
     assert_diffusion_scorer(&m);
 }
 
@@ -101,7 +125,9 @@ fn ti_row() {
 #[test]
 fn cold_row_supports_every_task() {
     let data = world();
-    let config = ColdConfig::builder(2, 2).iterations(8).build(&data.corpus, &data.graph);
+    let config = ColdConfig::builder(2, 2)
+        .iterations(8)
+        .build(&data.corpus, &data.graph);
     let model = GibbsSampler::new(&data.corpus, &data.graph, config, 1).run();
     // Topic extraction.
     assert_eq!(model.top_words(0, 3, data.corpus.vocab()).len(), 3);
