@@ -31,6 +31,11 @@ struct BenchReport {
     vocab_size: usize,
     measurements: Vec<KernelMeasurement>,
     speedups: Vec<String>,
+    /// Relative slowdown of the default cached-log sweep with live
+    /// metrics vs the disabled registry (percent; budget is < 2%).
+    metrics_overhead_pct: f64,
+    /// Where the instrumented run's JSONL snapshot was written.
+    metrics_jsonl: String,
 }
 
 fn bench_world(scale: f64) -> SocialDataset {
@@ -49,11 +54,7 @@ fn bench_world(scale: f64) -> SocialDataset {
 }
 
 fn kernel_name(kernel: SamplerKernel) -> &'static str {
-    match kernel {
-        SamplerKernel::Exact => "exact",
-        SamplerKernel::CachedLog => "cached_log",
-        SamplerKernel::AliasMh => "alias_mh",
-    }
+    kernel.name()
 }
 
 /// Configuration for one (variant, K, kernel) cell.
@@ -183,6 +184,39 @@ fn main() {
         println!("{s}");
     }
 
+    // Observability overhead: the same cached-log sweep with the metrics
+    // registry disabled (default) vs live; the instrumented snapshot is
+    // saved as the JSONL sink exemplar. Runs are interleaved and the best
+    // of three kept per mode, so ambient jitter (>± the real overhead)
+    // doesn't masquerade as instrumentation cost.
+    let metrics = cold_core::Metrics::enabled();
+    let (disabled_ms, enabled_ms) = {
+        let mut best = [f64::INFINITY; 2];
+        for _round in 0..3 {
+            for (slot, instrumented) in [(0usize, false), (1, true)] {
+                let mut config = config_for("links", 6, SamplerKernel::CachedLog, &data);
+                if instrumented {
+                    config.metrics = cold_core::MetricsHandle(metrics.clone());
+                }
+                let mut sampler =
+                    GibbsSampler::new(&data.corpus, &data.graph, config, BASE_SEED + 9103);
+                let (sweeps, secs) = time_sweeps(&mut sampler);
+                best[slot] = best[slot].min(1e3 * secs / sweeps as f64);
+            }
+        }
+        (best[0], best[1])
+    };
+    let metrics_overhead_pct = 100.0 * (enabled_ms / disabled_ms - 1.0);
+    println!(
+        "\nmetrics overhead (links K=6 cached_log): {disabled_ms:.2} ms/sweep off, \
+         {enabled_ms:.2} ms/sweep on -> {metrics_overhead_pct:+.2}%"
+    );
+    let metrics_path = cold_bench::results_dir().join("../BENCH_sampler_metrics.jsonl");
+    metrics
+        .snapshot()
+        .write_jsonl(&metrics_path)
+        .expect("write metrics JSONL");
+
     let report = BenchReport {
         world: format!("synthetic bench world, scale {scale}"),
         num_posts,
@@ -190,6 +224,8 @@ fn main() {
         vocab_size: data.corpus.vocab().len(),
         measurements,
         speedups,
+        metrics_overhead_pct,
+        metrics_jsonl: metrics_path.display().to_string(),
     };
     let path = cold_bench::results_dir().join("../BENCH_sampler.json");
     let json = serde_json::to_string_pretty(&report).expect("report serialization");

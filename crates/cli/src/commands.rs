@@ -1,7 +1,7 @@
 //! CLI subcommands.
 
 use crate::args::Args;
-use cold_core::{ColdConfig, ColdModel, DiffusionPredictor, GibbsSampler};
+use cold_core::{ColdConfig, ColdModel, DiffusionPredictor, GibbsSampler, Metrics};
 use cold_data::{SocialDataset, WorldConfig};
 use cold_math::rng::seeded_rng;
 
@@ -14,12 +14,14 @@ USAGE:
                  [--slices T] [--vocab V] [--seed S]
   cold train     --data <world.json> --out <model.json>
                  [--communities C] [--topics K] [--iterations N] [--seed S]
+                 [--shards N] [--metrics-out <metrics.jsonl>]
   cold topics    --model <model.json> --data <world.json> [--top N] [--topic K]
   cold communities --model <model.json> --data <world.json>
   cold predict   --model <model.json> --data <world.json>
-                 --publisher I --consumer J --post D
+                 --publisher I --consumer J --post D [--metrics-out <m.jsonl>]
   cold influence --model <model.json> [--topic K] [--simulations N] [--seed S]
   cold eval      --model <model.json> --data <world.json> [--seed S]
+  cold metrics-check --file <metrics.jsonl>
   cold help";
 
 type CliResult = Result<(), String>;
@@ -61,21 +63,73 @@ pub fn train(args: &Args) -> CliResult {
     let k = args.get_or("topics", 6usize)?;
     let iterations = args.get_or("iterations", 200usize)?;
     let seed = args.get_or("seed", 1u64)?;
+    let shards = args.get_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let metrics_out = args.optional("metrics-out");
+    // Instrumentation is only switched on when a sink was requested; a
+    // disabled registry keeps the hot path free of metric work.
+    let metrics = if metrics_out.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
     let config = ColdConfig::builder(c, k)
         .iterations(iterations)
         .burn_in(iterations.saturating_sub(20).max(1))
         .sample_lag(4)
         .small_data_defaults()
+        .metrics(metrics.clone())
         .build(&data.corpus, &data.graph);
     println!(
-        "training C={c} K={k} on {} ({iterations} sweeps)…",
-        data.summary()
+        "training C={c} K={k} on {} ({iterations} sweeps, {shards} shard{})…",
+        data.summary(),
+        if shards == 1 { "" } else { "s" }
     );
     let started = std::time::Instant::now();
-    let model = GibbsSampler::new(&data.corpus, &data.graph, config, seed).run();
+    let model = if shards > 1 {
+        let (model, stats) =
+            cold_engine::ParallelGibbs::new(&data.corpus, &data.graph, config, shards, seed).run();
+        println!(
+            "parallel wall time {:.1}s over {} supersteps",
+            stats.wall_seconds,
+            stats.supersteps.len()
+        );
+        model
+    } else {
+        GibbsSampler::new(&data.corpus, &data.graph, config, seed).run()
+    };
     println!("trained in {:.1}s", started.elapsed().as_secs_f64());
     model.save(out).map_err(|e| e.to_string())?;
     println!("model -> {out}");
+    if let Some(path) = metrics_out {
+        write_metrics(&metrics, path)?;
+    }
+    Ok(())
+}
+
+/// Dump a metrics snapshot: JSONL sink to `path`, summary table to stdout.
+fn write_metrics(metrics: &Metrics, path: &str) -> CliResult {
+    let snapshot = metrics.snapshot();
+    snapshot
+        .write_jsonl(path)
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    println!("{}", snapshot.render_table());
+    println!("metrics -> {path}");
+    Ok(())
+}
+
+/// `cold metrics-check` — validate a metrics JSONL file against the
+/// `cold-obs/v1` schema.
+pub fn metrics_check(args: &Args) -> CliResult {
+    let path = args.required("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let stats = cold_obs::schema::validate_jsonl(&text)?;
+    println!(
+        "{path}: ok ({} counters, {} gauges, {} histograms)",
+        stats.counters, stats.gauges, stats.histograms
+    );
     Ok(())
 }
 
@@ -140,7 +194,17 @@ pub fn predict(args: &Args) -> CliResult {
     if post_id as usize >= data.corpus.num_posts() {
         return Err(format!("post {post_id} out of range"));
     }
-    let predictor = DiffusionPredictor::new(&model, cold_core::predict::DEFAULT_TOP_COMM);
+    let metrics_out = args.optional("metrics-out");
+    let metrics = if metrics_out.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+    let predictor = DiffusionPredictor::with_metrics(
+        &model,
+        cold_core::predict::DEFAULT_TOP_COMM,
+        metrics.clone(),
+    );
     let words = &data.corpus.post(post_id).words;
     let score = predictor.diffusion_score(publisher, consumer, words);
     let topics = predictor.post_topics(publisher, words);
@@ -155,6 +219,9 @@ pub fn predict(args: &Args) -> CliResult {
         best.0,
         best.1 * 100.0
     );
+    if let Some(path) = metrics_out {
+        write_metrics(&metrics, path)?;
+    }
     Ok(())
 }
 

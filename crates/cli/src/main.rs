@@ -39,6 +39,7 @@ fn main() {
         "predict" => commands::predict(&args),
         "influence" => commands::influence(&args),
         "eval" => commands::eval(&args),
+        "metrics-check" => commands::metrics_check(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -28,6 +28,7 @@
 //! | [`text`] | corpus / vocabulary / preprocessing substrate |
 //! | [`eval`] | AUC, perplexity, tolerance accuracy, NMI, timers, reports |
 //! | [`math`] | special functions, samplers, statistics |
+//! | [`obs`] | metrics/tracing registry, JSONL + summary-table sinks |
 
 pub use cold_baselines as baselines;
 pub use cold_cascade as cascade;
@@ -37,4 +38,5 @@ pub use cold_engine as engine;
 pub use cold_eval as eval;
 pub use cold_graph as graph;
 pub use cold_math as math;
+pub use cold_obs as obs;
 pub use cold_text as text;

@@ -38,6 +38,7 @@ use crate::state::{CountState, PostsView};
 use cold_math::categorical::{sample_categorical, sample_log_categorical, AliasTable};
 use cold_math::logcache::{lgamma_shifted, ln_shifted, ShiftedLogTable};
 use cold_math::rng::Rng;
+use cold_obs::Metrics;
 use rand::Rng as _;
 
 /// Metropolis–Hastings proposal steps per topic draw in the
@@ -219,10 +220,22 @@ impl KernelCaches {
         self.rates_ready = true;
     }
 
+    /// Total log-table cache misses across the five memo tables.
+    fn logcache_misses(&self) -> u64 {
+        self.t_alpha.misses()
+            + self.t_eps.misses()
+            + self.t_teps.misses()
+            + self.t_beta.misses()
+            + self.t_vbeta.misses()
+    }
+
     /// Rebuild the per-word alias tables from the current (about to become
-    /// stale) topic-word counters.
-    fn refresh_alias(&mut self, state: &CountState) {
-        let Some(alias) = &mut self.alias else { return };
+    /// stale) topic-word counters. Returns whether a rebuild happened
+    /// (false for kernels without alias state).
+    fn refresh_alias(&mut self, state: &CountState) -> bool {
+        let Some(alias) = &mut self.alias else {
+            return false;
+        };
         let kdim = state.num_topics;
         let vdim = state.vocab_size;
         let beta = self.hyper.beta;
@@ -248,6 +261,81 @@ impl KernelCaches {
             alias.tables.push(AliasTable::new(&weights));
         }
         alias.ready = true;
+        true
+    }
+}
+
+/// Per-kernel work counters, accumulated as plain integers in [`Scratch`]
+/// (no atomics, no locks in the draw loop) and flushed to a
+/// [`Metrics`] registry once per sweep via
+/// [`KernelCounters::flush_into`]. All counts are exact except
+/// `logcache_lookups`, which tallies the *evaluations requested* of the
+/// memo tables (each Eq. 3 topic evaluation requests `4 + distinct_words`
+/// of them) rather than instrumenting the nanosecond-scale lookup itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Eq. 1 community draws.
+    pub comm_draws: u64,
+    /// Eq. 3 topic draws (one per post resample, whatever the kernel).
+    pub topic_draws: u64,
+    /// MH proposal steps taken (AliasMh only).
+    pub mh_proposals: u64,
+    /// MH proposals accepted — self-proposals (`k_new == k_cur`) count as
+    /// accepted, so `mh_accepted + mh_rejected == mh_proposals`.
+    pub mh_accepted: u64,
+    /// MH proposals rejected.
+    pub mh_rejected: u64,
+    /// Per-sweep stale alias-table rebuilds (AliasMh only).
+    pub alias_rebuilds: u64,
+    /// Memoized-log evaluations requested (CachedLog / AliasMh).
+    pub logcache_lookups: u64,
+    /// Memoized-log cache misses (table-growth events).
+    pub logcache_misses: u64,
+    /// Eq. 2 positive-link pair draws.
+    pub link_draws: u64,
+    /// Eq. 2 explicit-negative pair draws.
+    pub neg_link_draws: u64,
+}
+
+impl KernelCounters {
+    /// Accumulate another batch of counts (used by the parallel engine to
+    /// combine per-shard tallies).
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.comm_draws += other.comm_draws;
+        self.topic_draws += other.topic_draws;
+        self.mh_proposals += other.mh_proposals;
+        self.mh_accepted += other.mh_accepted;
+        self.mh_rejected += other.mh_rejected;
+        self.alias_rebuilds += other.alias_rebuilds;
+        self.logcache_lookups += other.logcache_lookups;
+        self.logcache_misses += other.logcache_misses;
+        self.link_draws += other.link_draws;
+        self.neg_link_draws += other.neg_link_draws;
+    }
+
+    /// Publish the non-zero counts as `kernel.<kernel>.<field>` counters.
+    /// No-op when `metrics` is disabled or nothing was counted.
+    pub fn flush_into(&self, metrics: &Metrics, kernel: SamplerKernel) {
+        if !metrics.is_enabled() || *self == KernelCounters::default() {
+            return;
+        }
+        let prefix = kernel.name();
+        for (field, value) in [
+            ("comm_draws", self.comm_draws),
+            ("topic_draws", self.topic_draws),
+            ("mh_proposals", self.mh_proposals),
+            ("mh_accepted", self.mh_accepted),
+            ("mh_rejected", self.mh_rejected),
+            ("alias_rebuilds", self.alias_rebuilds),
+            ("logcache_lookups", self.logcache_lookups),
+            ("logcache_misses", self.logcache_misses),
+            ("link_draws", self.link_draws),
+            ("neg_link_draws", self.neg_link_draws),
+        ] {
+            if value > 0 {
+                metrics.counter_add(&format!("kernel.{prefix}.{field}"), value);
+            }
+        }
     }
 }
 
@@ -263,6 +351,11 @@ pub struct Scratch {
     kernel: SamplerKernel,
     /// `None` for the Exact kernel.
     caches: Option<KernelCaches>,
+    /// Work counters accumulated since the last [`Scratch::take_counters`].
+    counters: KernelCounters,
+    /// Log-table miss total already reported by earlier `take_counters`
+    /// calls (the tables count cumulatively).
+    logcache_miss_base: u64,
 }
 
 impl Scratch {
@@ -277,6 +370,8 @@ impl Scratch {
             pair_weights: vec![0.0; num_communities * num_communities],
             kernel: SamplerKernel::Exact,
             caches: None,
+            counters: KernelCounters::default(),
+            logcache_miss_base: 0,
         }
     }
 
@@ -293,6 +388,8 @@ impl Scratch {
             pair_weights: vec![0.0; c * c],
             kernel: config.kernel,
             caches: (config.kernel != SamplerKernel::Exact).then(|| KernelCaches::new(config)),
+            counters: KernelCounters::default(),
+            logcache_miss_base: 0,
         }
     }
 
@@ -310,8 +407,25 @@ impl Scratch {
             if !caches.rates_ready {
                 caches.refresh_rates(state);
             }
-            caches.refresh_alias(state);
+            if caches.refresh_alias(state) {
+                self.counters.alias_rebuilds += 1;
+            }
         }
+    }
+
+    /// Drain the kernel work counters accumulated since the last call
+    /// (including the log-table miss delta). Samplers call this once per
+    /// sweep and [`KernelCounters::flush_into`] the result, keeping the
+    /// draw loop free of any metrics plumbing.
+    pub fn take_counters(&mut self) -> KernelCounters {
+        let mut out = self.counters;
+        if let Some(caches) = &self.caches {
+            let total = caches.logcache_misses();
+            out.logcache_misses = total - self.logcache_miss_base;
+            self.logcache_miss_base = total;
+        }
+        self.counters = KernelCounters::default();
+        out
     }
 
     /// Verify the cached Eq. 2 rate matrices against a from-scratch
@@ -410,8 +524,10 @@ fn topic_logweight_one<E: LogEval>(
 /// bound the worst-case mixing when the stale word evidence disagrees with
 /// the community/temporal prior (the cycle-proposal construction of
 /// alias-based LDA samplers).
+#[allow(clippy::too_many_arguments)]
 fn mh_topic_draw(
     caches: &mut KernelCaches,
+    counters: &mut KernelCounters,
     state: &CountState,
     posts: &PostsView,
     d: usize,
@@ -421,7 +537,11 @@ fn mh_topic_draw(
 ) -> usize {
     let kdim = state.num_topics;
     let len = posts.lens[d];
+    // Memo-table evaluations per single-topic Eq. 3 evaluation: three `ln`
+    // terms, the length term, and one per distinct word.
+    let eval_cost = 4 + posts.multisets[d].len() as u64;
     let mut k_cur = state.post_topic[d] as usize;
+    counters.logcache_lookups += eval_cost;
     let mut lw_cur = topic_logweight_one(caches, state, posts, d, c, t, k_cur);
     for step in 0..MH_STEPS_PER_DRAW {
         // Log proposal-density correction q(k_cur) − q(k_new); zero for the
@@ -449,14 +569,22 @@ fn mh_topic_draw(
         } else {
             (rng.gen_range(0..kdim), 0.0)
         };
+        counters.mh_proposals += 1;
         if k_new == k_cur {
+            // A self-proposal is trivially accepted, keeping
+            // accepted + rejected == proposals.
+            counters.mh_accepted += 1;
             continue;
         }
+        counters.logcache_lookups += eval_cost;
         let lw_new = topic_logweight_one(caches, state, posts, d, c, t, k_new);
         let log_accept = (lw_new - lw_cur) + q_diff;
         if log_accept >= 0.0 || rng.gen::<f64>() < log_accept.exp() {
+            counters.mh_accepted += 1;
             k_cur = k_new;
             lw_cur = lw_new;
+        } else {
+            counters.mh_rejected += 1;
         }
     }
     k_cur
@@ -513,6 +641,8 @@ pub fn resample_post(
     let new_c = sample_categorical(rng, &scratch.comm_weights)
         .expect("community weights must have positive mass");
     state.post_comm[d] = new_c as u32;
+    scratch.counters.comm_draws += 1;
+    scratch.counters.topic_draws += 1;
 
     // --- Eq. (3): topic, with the (new) community fixed. ---
     let c = new_c;
@@ -520,9 +650,11 @@ pub fn resample_post(
         (SamplerKernel::AliasMh, Some(caches))
             if posts.lens[d] > 0 && caches.alias.as_ref().is_some_and(|a| a.ready) =>
         {
-            mh_topic_draw(caches, state, posts, d, c, t, rng)
+            mh_topic_draw(caches, &mut scratch.counters, state, posts, d, c, t, rng)
         }
         (_, Some(caches)) => {
+            scratch.counters.logcache_lookups +=
+                kdim as u64 * (4 + posts.multisets[d].len() as u64);
             topic_logweights(caches, state, posts, d, c, t, &mut scratch.topic_logw);
             sample_log_categorical(rng, &scratch.topic_logw)
                 .expect("topic weights must have finite mass")
@@ -586,6 +718,7 @@ pub fn resample_link(
         .expect("pair weights must have positive mass");
     state.link_src_comm[e] = (cell / cdim) as u32;
     state.link_dst_comm[e] = (cell % cdim) as u32;
+    scratch.counters.link_draws += 1;
     state.add_link(e);
     if use_cache {
         let caches = scratch.caches.as_mut().expect("checked above");
@@ -638,6 +771,7 @@ pub fn resample_negative_link(
         .expect("pair weights must have positive mass");
     state.neg_src_comm[e] = (cell / cdim) as u32;
     state.neg_dst_comm[e] = (cell % cdim) as u32;
+    scratch.counters.neg_link_draws += 1;
     state.add_neg_link(e);
     if use_cache {
         let caches = scratch.caches.as_mut().expect("checked above");

@@ -77,9 +77,11 @@ pub mod predict;
 pub mod sampler;
 pub mod state;
 
+pub use cold_obs::Metrics;
+pub use conditionals::KernelCounters;
 pub use diffusion::{CommunityDiffusionGraph, DiffusionEdge};
 pub use estimates::ColdModel;
 pub use online::OnlineCold;
-pub use params::{ColdConfig, ColdConfigBuilder, Dims, Hyperparams, SamplerKernel};
+pub use params::{ColdConfig, ColdConfigBuilder, Dims, Hyperparams, MetricsHandle, SamplerKernel};
 pub use predict::DiffusionPredictor;
 pub use sampler::GibbsSampler;

@@ -72,6 +72,8 @@ impl OnlineCold {
     /// Absorb one new post: append it, then give its assignment
     /// `draws_per_post` Gibbs draws against the current counters.
     pub fn absorb(&mut self, post: &Post) {
+        let metrics = self.config.metrics.0.clone();
+        let _absorb_span = metrics.span("online_absorb");
         let d = self.posts.len();
         self.posts.authors.push(post.author);
         self.posts.times.push(post.time);
@@ -97,12 +99,20 @@ impl OnlineCold {
                 &mut self.scratch,
             );
         }
+        metrics.counter_add("online.posts_absorbed", 1);
+        if metrics.is_enabled() {
+            self.scratch
+                .take_counters()
+                .flush_into(&metrics, self.config.kernel);
+        }
     }
 
     /// One refresh sweep over the most recent `refresh_window` posts —
     /// cheap periodic maintenance that lets recent assignments settle
     /// against each other.
     pub fn refresh(&mut self) {
+        let metrics = self.config.metrics.0.clone();
+        let _refresh_span = metrics.span("online_refresh");
         // Re-snapshot the kernel caches (fresh alias proposals for the
         // AliasMh kernel) before the maintenance sweep.
         self.scratch.begin_sweep(&self.state);
@@ -117,6 +127,12 @@ impl OnlineCold {
                 &mut self.rng,
                 &mut self.scratch,
             );
+        }
+        metrics.counter_add("online.refresh_sweeps", 1);
+        if metrics.is_enabled() {
+            self.scratch
+                .take_counters()
+                .flush_into(&metrics, self.config.kernel);
         }
     }
 

@@ -6,6 +6,7 @@
 //! negative links from §3.3).
 
 use cold_graph::CsrGraph;
+use cold_obs::Metrics;
 use cold_text::Corpus;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,53 @@ pub enum SamplerKernel {
     AliasMh,
 }
 
+impl SamplerKernel {
+    /// Stable lower-case identifier, used for metric names
+    /// (`kernel.<name>.<counter>`) and benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKernel::Exact => "exact",
+            SamplerKernel::CachedLog => "cached_log",
+            SamplerKernel::AliasMh => "alias_mh",
+        }
+    }
+}
+
+/// A [`Metrics`] handle embedded in [`ColdConfig`].
+///
+/// The newtype exists so the config can keep its `PartialEq` /
+/// `Serialize` / `Deserialize` derives: two configs compare equal
+/// regardless of instrumentation, and the handle (runtime state, not
+/// configuration) serializes as `null` and deserializes to disabled.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHandle(pub Metrics);
+
+impl std::ops::Deref for MetricsHandle {
+    type Target = Metrics;
+
+    fn deref(&self) -> &Metrics {
+        &self.0
+    }
+}
+
+impl PartialEq for MetricsHandle {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for MetricsHandle {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for MetricsHandle {
+    fn from_value(_v: &serde::Value) -> Result<Self, String> {
+        Ok(Self::default())
+    }
+}
+
 /// Full training configuration for the Gibbs sampler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColdConfig {
@@ -157,6 +205,10 @@ pub struct ColdConfig {
     /// [`run`]: crate::sampler::GibbsSampler::run
     /// [`run_traced`]: crate::sampler::GibbsSampler::run_traced
     pub ll_every: Option<usize>,
+    /// Observability handle the samplers report into (disabled by
+    /// default; enable via [`ColdConfigBuilder::metrics`]). Ignored by
+    /// equality and persistence — see [`MetricsHandle`].
+    pub metrics: MetricsHandle,
 }
 
 impl ColdConfig {
@@ -227,6 +279,7 @@ pub struct ColdConfigBuilder {
     hyper_override: Option<Hyperparams>,
     kernel: SamplerKernel,
     ll_every: Option<usize>,
+    metrics: Metrics,
 }
 
 impl ColdConfigBuilder {
@@ -246,6 +299,7 @@ impl ColdConfigBuilder {
             hyper_override: None,
             kernel: SamplerKernel::default(),
             ll_every: None,
+            metrics: Metrics::default(),
         }
     }
 
@@ -346,6 +400,15 @@ impl ColdConfigBuilder {
         self
     }
 
+    /// Attach an observability handle; the samplers, kernels and parallel
+    /// engine record counters, timing histograms and spans into it during
+    /// training. Pass [`Metrics::enabled`] (keeping a clone to snapshot
+    /// afterwards); the default is a disabled handle with no overhead.
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Finalize against a concrete corpus and graph.
     ///
     /// # Panics
@@ -387,6 +450,7 @@ impl ColdConfigBuilder {
             negative_link_ratio: self.negative_link_ratio,
             kernel: self.kernel,
             ll_every: self.ll_every,
+            metrics: MetricsHandle(self.metrics),
         };
         config.validate().expect("invalid COLD configuration");
         config

@@ -11,6 +11,7 @@
 
 use crate::estimates::ColdModel;
 use cold_math::stats::log_sum_exp;
+use cold_obs::Metrics;
 use cold_text::WordId;
 
 /// The paper fixes `|TopComm| = 5` (§5.2).
@@ -25,11 +26,22 @@ pub struct DiffusionPredictor<'m> {
     /// Per-user prior topic preference `P(k|i) = Σ_{c∈Top(i)} π_ic θ_ck`,
     /// row-major `U×K`.
     user_topics: Vec<f64>,
+    /// Per-query latency histograms (`predict.*_seconds`); disabled by
+    /// default.
+    metrics: Metrics,
 }
 
 impl<'m> DiffusionPredictor<'m> {
     /// Run the offline precomputation for all users.
     pub fn new(model: &'m ColdModel, top_comm: usize) -> Self {
+        Self::with_metrics(model, top_comm, Metrics::default())
+    }
+
+    /// Like [`DiffusionPredictor::new`], additionally recording per-query
+    /// latency into `metrics` (`predict.post_topics_seconds` and
+    /// `predict.diffusion_score_seconds` — the histogram count doubles as
+    /// the query count).
+    pub fn with_metrics(model: &'m ColdModel, top_comm: usize, metrics: Metrics) -> Self {
         assert!(top_comm >= 1, "TopComm must keep at least one community");
         let u = model.dims().num_users as usize;
         let k = model.dims().num_topics;
@@ -51,6 +63,7 @@ impl<'m> DiffusionPredictor<'m> {
             top_comm,
             top_communities,
             user_topics,
+            metrics,
         }
     }
 
@@ -62,6 +75,7 @@ impl<'m> DiffusionPredictor<'m> {
     /// Posterior topic distribution of a post: Eq. (5),
     /// `P(k|d,i) ∝ Π_l φ_k,w_l · Σ_{c∈TopComm(i)} π_ic θ_ck`.
     pub fn post_topics(&self, publisher: u32, words: &[WordId]) -> Vec<f64> {
+        let t0 = self.metrics.start();
         let k = self.model.dims().num_topics;
         let mut logw = vec![0.0f64; k];
         for (kk, lw) in logw.iter_mut().enumerate() {
@@ -75,7 +89,10 @@ impl<'m> DiffusionPredictor<'m> {
         }
         // Normalize in log space.
         let lse = log_sum_exp(&logw);
-        logw.iter().map(|&lw| (lw - lse).exp()).collect()
+        let out = logw.iter().map(|&lw| (lw - lse).exp()).collect();
+        self.metrics
+            .observe_since("predict.post_topics_seconds", t0);
+        out
     }
 
     /// Topic-conditional influence of `i` on `i'`: Eq. (6),
@@ -95,12 +112,16 @@ impl<'m> DiffusionPredictor<'m> {
     /// Full diffusion score: Eq. (7),
     /// `P(i,i',d) = Σ_k P(k|d,i) · P(i,i'|k)`.
     pub fn diffusion_score(&self, publisher: u32, consumer: u32, words: &[WordId]) -> f64 {
+        let t0 = self.metrics.start();
         let topics = self.post_topics(publisher, words);
-        topics
+        let score = topics
             .iter()
             .enumerate()
             .map(|(k, &pk)| pk * self.pairwise_influence(k, publisher, consumer))
-            .sum()
+            .sum();
+        self.metrics
+            .observe_since("predict.diffusion_score_seconds", t0);
+        score
     }
 }
 

@@ -108,10 +108,13 @@ impl GibbsSampler {
 
     /// Run the configured number of sweeps and return the averaged model.
     pub fn run(mut self) -> ColdModel {
+        let metrics = self.config.metrics.0.clone();
+        let t0 = metrics.start();
         let mut acc = EstimateAccumulator::new(&self.config);
         for sweep in 0..self.config.iterations {
             self.sweep();
             if self.should_monitor(sweep, 10) {
+                let _monitor = metrics.span("ll_monitor");
                 let ll = self.log_likelihood();
                 self.trace.log_likelihood.push((sweep, ll));
             }
@@ -121,15 +124,19 @@ impl GibbsSampler {
                 acc.collect(&self.state);
             }
         }
+        self.finish_metrics(&metrics, t0);
         acc.finalize()
     }
 
     /// Run and also return the trace (for convergence tests / benches).
     pub fn run_traced(mut self) -> (ColdModel, TrainTrace) {
+        let metrics = self.config.metrics.0.clone();
+        let t0 = metrics.start();
         let mut acc = EstimateAccumulator::new(&self.config);
         for sweep in 0..self.config.iterations {
             self.sweep();
             if self.should_monitor(sweep, 1) {
+                let _monitor = metrics.span("ll_monitor");
                 let ll = self.log_likelihood();
                 self.trace.log_likelihood.push((sweep, ll));
             }
@@ -139,48 +146,73 @@ impl GibbsSampler {
                 acc.collect(&self.state);
             }
         }
+        self.finish_metrics(&metrics, t0);
         (acc.finalize(), self.trace)
+    }
+
+    /// End-of-run gauges for `run`/`run_traced`.
+    fn finish_metrics(&self, metrics: &cold_obs::Metrics, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            metrics.gauge_set("train.wall_seconds", t0.elapsed().as_secs_f64());
+        }
+        metrics.gauge_set("train.sweeps", self.sweeps_done as f64);
     }
 
     /// One full Gibbs sweep over all posts and links.
     pub fn sweep(&mut self) {
+        let metrics = self.config.metrics.0.clone();
+        let _sweep_span = metrics.span("sweep");
         self.current_rho = Self::annealed_rho(&self.config, self.sweeps_done);
         self.scratch.begin_sweep(&self.state);
-        for d in 0..self.posts.len() {
-            resample_post(
-                &mut self.state,
-                &self.posts,
-                d,
-                &self.config.hyper,
-                self.current_rho,
-                &mut self.rng,
-                &mut self.scratch,
-            );
+        {
+            let _posts_span = metrics.span("posts");
+            for d in 0..self.posts.len() {
+                resample_post(
+                    &mut self.state,
+                    &self.posts,
+                    d,
+                    &self.config.hyper,
+                    self.current_rho,
+                    &mut self.rng,
+                    &mut self.scratch,
+                );
+            }
         }
         self.trace.post_draws += self.posts.len() as u64;
-        for e in 0..self.state.links.len() {
-            resample_link(
-                &mut self.state,
-                e,
-                &self.config.hyper,
-                self.current_rho,
-                &mut self.rng,
-                &mut self.scratch,
-            );
+        {
+            let _links_span = metrics.span("links");
+            for e in 0..self.state.links.len() {
+                resample_link(
+                    &mut self.state,
+                    e,
+                    &self.config.hyper,
+                    self.current_rho,
+                    &mut self.rng,
+                    &mut self.scratch,
+                );
+            }
         }
         self.trace.link_draws += self.state.links.len() as u64;
-        for e in 0..self.state.neg_links.len() {
-            resample_negative_link(
-                &mut self.state,
-                e,
-                &self.config.hyper,
-                self.current_rho,
-                &mut self.rng,
-                &mut self.scratch,
-            );
+        {
+            let _neg_span = metrics.span("neg_links");
+            for e in 0..self.state.neg_links.len() {
+                resample_negative_link(
+                    &mut self.state,
+                    e,
+                    &self.config.hyper,
+                    self.current_rho,
+                    &mut self.rng,
+                    &mut self.scratch,
+                );
+            }
         }
         self.trace.link_draws += self.state.neg_links.len() as u64;
         self.sweeps_done += 1;
+        if metrics.is_enabled() {
+            self.scratch
+                .take_counters()
+                .flush_into(&metrics, self.config.kernel);
+        }
     }
 
     /// Complete-data log-likelihood of the training data under the current

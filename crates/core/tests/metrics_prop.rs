@@ -1,0 +1,111 @@
+//! Property tests for the observability layer: for *arbitrary* data
+//! shapes, the metric counters must stay arithmetically consistent with
+//! the work the sampler performed — MH bookkeeping balances, draw counts
+//! match corpus size × sweeps, and every span opened is closed.
+
+use cold_core::conditionals::MH_STEPS_PER_DRAW;
+use cold_core::{ColdConfig, GibbsSampler, Metrics, SamplerKernel};
+use cold_graph::CsrGraph;
+use cold_text::{CorpusBuilder, Post};
+use proptest::prelude::*;
+
+/// Arbitrary small social dataset: up to 8 users, 30 posts, 20 links.
+fn arb_dataset() -> impl Strategy<Value = (cold_text::Corpus, CsrGraph)> {
+    let posts = prop::collection::vec(
+        (0u32..8, 0u16..5, prop::collection::vec(0u32..30, 1..6)),
+        1..30,
+    );
+    let edges = prop::collection::vec((0u32..8, 0u32..8), 0..20);
+    (posts, edges).prop_map(|(posts, edges)| {
+        let mut b = CorpusBuilder::with_vocab(cold_text::Vocabulary::synthetic(30));
+        b.ensure_users(8);
+        for (author, time, words) in posts {
+            b.push(Post::new(author, time, words));
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(8, &edges);
+        (corpus, graph)
+    })
+}
+
+fn run_with_metrics(
+    corpus: &cold_text::Corpus,
+    graph: &CsrGraph,
+    kernel: SamplerKernel,
+    sweeps: usize,
+    seed: u64,
+) -> cold_obs::MetricsSnapshot {
+    let metrics = Metrics::enabled();
+    let config = ColdConfig::builder(3, 3)
+        .iterations(sweeps)
+        .burn_in(sweeps.saturating_sub(1))
+        .kernel(kernel)
+        .metrics(metrics.clone())
+        .build(corpus, graph);
+    GibbsSampler::new(corpus, graph, config, seed).run();
+    metrics.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Metropolis–Hastings accounting balances exactly: every proposal is
+    /// either accepted or rejected, and each topic draw pays exactly
+    /// `MH_STEPS_PER_DRAW` proposals.
+    #[test]
+    fn mh_proposals_balance(
+        (corpus, graph) in arb_dataset(),
+        seed in 0u64..1_000,
+        sweeps in 1usize..5,
+    ) {
+        let snap = run_with_metrics(&corpus, &graph, SamplerKernel::AliasMh, sweeps, seed);
+        let proposals = snap.counter("kernel.alias_mh.mh_proposals");
+        let accepted = snap.counter("kernel.alias_mh.mh_accepted");
+        let rejected = snap.counter("kernel.alias_mh.mh_rejected");
+        prop_assert_eq!(accepted + rejected, proposals);
+        let topic_draws = snap.counter("kernel.alias_mh.topic_draws");
+        prop_assert_eq!(proposals, topic_draws * MH_STEPS_PER_DRAW as u64);
+    }
+
+    /// Draw counters tally exactly one community draw and one topic draw
+    /// per post per sweep, and one draw per (negative) link per sweep —
+    /// under every kernel.
+    #[test]
+    fn draw_counters_match_work(
+        (corpus, graph) in arb_dataset(),
+        seed in 0u64..1_000,
+        sweeps in 1usize..5,
+    ) {
+        for kernel in [SamplerKernel::Exact, SamplerKernel::CachedLog, SamplerKernel::AliasMh] {
+            let snap = run_with_metrics(&corpus, &graph, kernel, sweeps, seed);
+            let name = kernel.name();
+            let expect = (sweeps * corpus.num_posts()) as u64;
+            prop_assert_eq!(snap.counter(&format!("kernel.{name}.comm_draws")), expect);
+            prop_assert_eq!(snap.counter(&format!("kernel.{name}.topic_draws")), expect);
+            prop_assert_eq!(
+                snap.counter(&format!("kernel.{name}.link_draws")),
+                (sweeps * graph.num_edges()) as u64
+            );
+        }
+    }
+
+    /// Span bookkeeping balances: by the time a training run returns, every
+    /// span that was opened has been closed (RAII guards cannot leak).
+    #[test]
+    fn spans_balance(
+        (corpus, graph) in arb_dataset(),
+        seed in 0u64..1_000,
+        sweeps in 1usize..5,
+    ) {
+        let snap = run_with_metrics(&corpus, &graph, SamplerKernel::CachedLog, sweeps, seed);
+        let opened = snap.counter("obs.spans_opened");
+        let closed = snap.counter("obs.spans_closed");
+        prop_assert!(opened > 0, "no spans recorded");
+        prop_assert_eq!(opened, closed);
+        // The sweep span fires once per sweep, its three phase children
+        // nest under it.
+        let sweep_hist = snap.histogram("span.sweep").expect("sweep span missing");
+        prop_assert_eq!(sweep_hist.count, sweeps as u64);
+        prop_assert!(snap.histogram("span.sweep/posts").is_some());
+    }
+}

@@ -12,13 +12,15 @@
 //! the standard AD-LDA approximation.
 
 use crate::cluster::{ClusterCostModel, SuperstepWork};
-use cold_core::conditionals::{resample_link, resample_negative_link, resample_post, Scratch};
+use cold_core::conditionals::{
+    resample_link, resample_negative_link, resample_post, KernelCounters, Scratch,
+};
 use cold_core::estimates::EstimateAccumulator;
 use cold_core::params::ColdConfig;
 use cold_core::state::{CountState, PostsView};
 use cold_core::ColdModel;
 use cold_graph::CsrGraph;
-use cold_math::rng::RngFactory;
+use cold_math::rng::{seeded_rng, Rng, RngFactory};
 use cold_text::Corpus;
 
 /// Work and timing records of a parallel training run.
@@ -26,6 +28,9 @@ use cold_text::Corpus;
 pub struct ParallelStats {
     /// Metered work per superstep (input to the cluster cost model).
     pub supersteps: Vec<SuperstepWork>,
+    /// Measured wall time of each superstep, seconds (same indexing as
+    /// `supersteps`; their sum is bounded by `wall_seconds`).
+    pub superstep_seconds: Vec<f64>,
     /// Real single-machine wall time of the run, seconds.
     pub wall_seconds: f64,
 }
@@ -35,6 +40,19 @@ impl ParallelStats {
     pub fn simulated_seconds(&self, model: &ClusterCostModel, nodes: usize) -> f64 {
         model.total_seconds(&self.supersteps, nodes)
     }
+}
+
+/// How a [`ParallelGibbs`] executes its supersteps.
+enum ShardMode {
+    /// Two or more shards: per-superstep snapshot clones, per-shard RNG
+    /// streams, barrier delta-merge (the AD-LDA approximation).
+    Sharded(RngFactory),
+    /// Exactly one shard: run the sweep in place with a persistent RNG and
+    /// persistent kernel caches, exactly as the sequential
+    /// `GibbsSampler` does — trajectories are **bit-identical** to the
+    /// sequential sampler for the same seed, making shards=1 a true
+    /// degenerate case instead of a differently-seeded approximation.
+    Sequential { rng: Rng, scratch: Box<Scratch> },
 }
 
 /// The sharded parallel sampler.
@@ -50,7 +68,7 @@ pub struct ParallelGibbs {
     shard_neg_links: Vec<Vec<usize>>,
     /// Authoritative state between supersteps.
     global: CountState,
-    rng_factory: RngFactory,
+    mode: ShardMode,
     /// Bytes of global counters exchanged per barrier.
     sync_bytes: u64,
 }
@@ -67,9 +85,19 @@ impl ParallelGibbs {
         assert!(shards >= 1, "need at least one shard");
         config.validate().expect("invalid COLD configuration");
         let posts = PostsView::from_corpus(corpus);
-        let factory = RngFactory::new(seed);
-        let mut init_rng = factory.stream(u64::MAX);
-        let global = CountState::init_random(&config, &posts, graph, &mut init_rng);
+        let (global, mode) = if shards == 1 {
+            // Degenerate case: seed and step the RNG exactly like
+            // `GibbsSampler::new` so the trajectories coincide bit-for-bit.
+            let mut rng = seeded_rng(seed);
+            let global = CountState::init_random(&config, &posts, graph, &mut rng);
+            let scratch = Box::new(Scratch::for_config(&config));
+            (global, ShardMode::Sequential { rng, scratch })
+        } else {
+            let factory = RngFactory::new(seed);
+            let mut init_rng = factory.stream(u64::MAX);
+            let global = CountState::init_random(&config, &posts, graph, &mut init_rng);
+            (global, ShardMode::Sharded(factory))
+        };
         // Ownership: user i belongs to shard i % shards.
         let mut shard_posts: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for d in 0..posts.len() {
@@ -101,7 +129,7 @@ impl ParallelGibbs {
             shard_links,
             shard_neg_links,
             global,
-            rng_factory: factory,
+            mode,
             sync_bytes,
         }
     }
@@ -118,11 +146,14 @@ impl ParallelGibbs {
 
     /// Run the configured sweeps; returns the fitted model and work stats.
     pub fn run(mut self) -> (ColdModel, ParallelStats) {
+        let metrics = self.config.metrics.0.clone();
         let mut acc = EstimateAccumulator::new(&self.config);
         let mut stats = ParallelStats::default();
         let start = std::time::Instant::now();
         for sweep in 0..self.config.iterations {
+            let t_step = std::time::Instant::now();
             let work = self.superstep(sweep);
+            stats.superstep_seconds.push(t_step.elapsed().as_secs_f64());
             stats.supersteps.push(work);
             if sweep >= self.config.burn_in
                 && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
@@ -131,37 +162,102 @@ impl ParallelGibbs {
             }
         }
         stats.wall_seconds = start.elapsed().as_secs_f64();
+        metrics.gauge_set("parallel.wall_seconds", stats.wall_seconds);
+        metrics.gauge_set("parallel.shards", self.shards as f64);
         (acc.finalize(), stats)
     }
 
     /// One bulk-synchronous superstep: every shard resamples its items
     /// against a snapshot + its own updates; the barrier folds the deltas.
+    /// With a single shard this degenerates to an in-place sequential
+    /// sweep (see [`ShardMode`]).
     pub fn superstep(&mut self, sweep: usize) -> SuperstepWork {
+        let metrics = self.config.metrics.0.clone();
+        let t_step = metrics.start();
+        let work = match self.mode {
+            ShardMode::Sequential { .. } => self.superstep_sequential(sweep),
+            ShardMode::Sharded(_) => self.superstep_sharded(sweep),
+        };
+        metrics.observe_since("parallel.superstep_seconds", t_step);
+        metrics.counter_add("parallel.supersteps", 1);
+        metrics.counter_add("parallel.sync_bytes", work.sync_bytes);
+        work
+    }
+
+    /// The shards=1 superstep: one in-place sweep with the persistent RNG
+    /// and kernel caches, mirroring `GibbsSampler::sweep` exactly.
+    fn superstep_sequential(&mut self, sweep: usize) -> SuperstepWork {
+        let metrics = self.config.metrics.0.clone();
+        let hyper = self.config.hyper;
+        let rho = annealed_rho(&self.config, sweep);
+        let ShardMode::Sequential { rng, scratch } = &mut self.mode else {
+            unreachable!("dispatched on mode");
+        };
+        let t_apply = metrics.start();
+        scratch.begin_sweep(&self.global);
+        for d in 0..self.posts.len() {
+            resample_post(&mut self.global, &self.posts, d, &hyper, rho, rng, scratch);
+        }
+        let n_links = self.global.links.len();
+        for e in 0..n_links {
+            resample_link(&mut self.global, e, &hyper, rho, rng, scratch);
+        }
+        let n_neg = self.global.neg_links.len();
+        for e in 0..n_neg {
+            resample_negative_link(&mut self.global, e, &hyper, rho, rng, scratch);
+        }
+        metrics.observe_since("parallel.apply_seconds", t_apply);
+        if metrics.is_enabled() {
+            metrics.counter_add("parallel.shard.0.post_draws", self.posts.len() as u64);
+            metrics.counter_add("parallel.shard.0.link_draws", (n_links + n_neg) as u64);
+            scratch
+                .take_counters()
+                .flush_into(&metrics, self.config.kernel);
+        }
+        debug_assert!(self.global.check_consistency(&self.posts).is_ok());
+        SuperstepWork {
+            post_ops: vec![self.posts.len() as u64],
+            link_ops: vec![(n_links + n_neg) as u64],
+            sync_bytes: self.sync_bytes,
+        }
+    }
+
+    /// The true multi-shard superstep.
+    fn superstep_sharded(&mut self, sweep: usize) -> SuperstepWork {
+        let metrics = self.config.metrics.0.clone();
         let hyper = self.config.hyper;
         let rho = annealed_rho(&self.config, sweep);
         let snapshot = &self.global;
+        let ShardMode::Sharded(factory) = &self.mode else {
+            unreachable!("dispatched on mode");
+        };
         // Each worker gets a private clone of the full state. Assignments
         // are partitioned (each item has exactly one owner shard), so the
         // merge below is conflict-free on assignments; counters merge by
         // delta addition.
-        let results: Vec<CountState> = std::thread::scope(|scope| {
+        let results: Vec<(CountState, KernelCounters)> = std::thread::scope(|scope| {
             let posts = &self.posts;
             let shard_posts = &self.shard_posts;
             let shard_links = &self.shard_links;
             let shard_neg_links = &self.shard_neg_links;
-            let factory = &self.rng_factory;
             let config = &self.config;
             let handles: Vec<_> = (0..self.shards)
                 .map(|s| {
-                    let mut local = snapshot.clone();
+                    let metrics = metrics.clone();
                     scope.spawn(move || {
+                        // Gather phase: snapshot the stale global counters
+                        // and rebuild the kernel caches against them (the
+                        // AliasMh proposals are re-snapshotted per
+                        // superstep, matching the sequential sampler's
+                        // per-sweep refresh).
+                        let t_gather = metrics.start();
+                        let mut local = snapshot.clone();
                         let mut rng = factory.stream((sweep as u64) << 16 | s as u64);
-                        // Fresh per-shard kernel caches, snapshotted against
-                        // the superstep's starting counters (the AliasMh
-                        // proposals are rebuilt per superstep, matching the
-                        // sequential sampler's per-sweep refresh).
                         let mut scratch = Scratch::for_config(config);
                         scratch.begin_sweep(&local);
+                        metrics.observe_since("parallel.gather_seconds", t_gather);
+                        // Apply phase: resample every owned item.
+                        let t_apply = metrics.start();
                         for &d in &shard_posts[s] {
                             resample_post(
                                 &mut local,
@@ -186,7 +282,8 @@ impl ParallelGibbs {
                                 &mut scratch,
                             );
                         }
-                        local
+                        metrics.observe_since("parallel.apply_seconds", t_apply);
+                        (local, scratch.take_counters())
                     })
                 })
                 .collect();
@@ -198,7 +295,9 @@ impl ParallelGibbs {
 
         // Barrier: fold counter deltas and collect assignments.
         let mut next = self.global.clone();
-        for (s, local) in results.iter().enumerate() {
+        let mut kernel_counters = KernelCounters::default();
+        for (s, (local, counters)) in results.iter().enumerate() {
+            let t_merge = metrics.start();
             for &d in &self.shard_posts[s] {
                 next.post_comm[d] = local.post_comm[d];
                 next.post_topic[d] = local.post_topic[d];
@@ -226,8 +325,23 @@ impl ParallelGibbs {
             merge_delta(&mut next.n_k, &local.n_k, &self.global.n_k);
             merge_delta(&mut next.n_cc, &local.n_cc, &self.global.n_cc);
             merge_delta(&mut next.n0_cc, &local.n0_cc, &self.global.n0_cc);
+            metrics.observe_since("parallel.merge_seconds", t_merge);
+            kernel_counters.merge(counters);
         }
         self.global = next;
+        if metrics.is_enabled() {
+            for s in 0..self.shards {
+                metrics.counter_add(
+                    &format!("parallel.shard.{s}.post_draws"),
+                    self.shard_posts[s].len() as u64,
+                );
+                metrics.counter_add(
+                    &format!("parallel.shard.{s}.link_draws"),
+                    (self.shard_links[s].len() + self.shard_neg_links[s].len()) as u64,
+                );
+            }
+            kernel_counters.flush_into(&metrics, self.config.kernel);
+        }
         debug_assert!(self.global.check_consistency(&self.posts).is_ok());
         SuperstepWork {
             post_ops: self.shard_posts.iter().map(|p| p.len() as u64).collect(),

@@ -61,6 +61,7 @@ pub struct ShiftedLogTable {
     shift: f64,
     ln_table: Vec<f64>,
     lgamma_table: Vec<f64>,
+    misses: u64,
 }
 
 impl ShiftedLogTable {
@@ -75,7 +76,14 @@ impl ShiftedLogTable {
             shift,
             ln_table: Vec::new(),
             lgamma_table: Vec::new(),
+            misses: 0,
         }
+    }
+
+    /// Number of cache misses so far — lookups that had to materialize new
+    /// entries (block growth counts as one miss per triggering lookup).
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// The constant this table was built for.
@@ -135,6 +143,7 @@ impl ShiftedLogTable {
 
     #[cold]
     fn grow_ln(&mut self, idx: usize) {
+        self.misses += 1;
         // Grow in blocks so a steadily climbing counter does not pay a
         // branch-and-push per draw.
         let target = (idx + 1).next_power_of_two().max(64);
@@ -145,6 +154,7 @@ impl ShiftedLogTable {
 
     #[cold]
     fn grow_lgamma(&mut self, idx: usize) {
+        self.misses += 1;
         let target = (idx + 1).next_power_of_two().max(64);
         for i in self.lgamma_table.len()..target {
             self.lgamma_table.push(lgamma_shifted(i as u32, self.shift));

@@ -1,0 +1,194 @@
+//! Log-bucketed timing histograms.
+//!
+//! Recording is O(1): a value lands in one of 64 power-of-two buckets
+//! spanning roughly a nanosecond to a couple of hundred years (in
+//! seconds), while count, sum, min and max are tracked exactly. Quantiles
+//! are read back from the bucket boundaries, so p50/p95 carry at most one
+//! octave of error — plenty for "which phase got slower", which is what
+//! the sinks report — and min/max/mean stay exact.
+
+/// Number of buckets; bucket `i` covers `[2^(i-30), 2^(i-29))` seconds.
+const BUCKETS: usize = 64;
+
+/// Exponent offset: bucket 0's lower bound is `2^-30` s (~0.93 ns).
+const EXP_OFFSET: i64 = 30;
+
+fn bucket_of(value: f64) -> usize {
+    if value <= 0.0 || !value.is_finite() {
+        return 0;
+    }
+    let idx = value.log2().floor() as i64 + EXP_OFFSET;
+    idx.clamp(0, BUCKETS as i64 - 1) as usize
+}
+
+/// Geometric midpoint of bucket `i` — the quantile read-back point.
+fn bucket_mid(i: usize) -> f64 {
+    2f64.powf(i as f64 - EXP_OFFSET as f64 + 0.5)
+}
+
+/// One recorded distribution. See the module docs for accuracy notes.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`), clamped into the exact
+    /// `[min, max]` envelope. Zero when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condense into the fixed summary the sinks serialize.
+    pub fn summary(&self) -> HistogramSummary {
+        if self.count == 0 {
+            return HistogramSummary::default();
+        }
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// Snapshot form of a [`Histogram`]: exact count/sum/min/max, bucketed
+/// p50/p95.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded (exact).
+    pub count: u64,
+    /// Sum of all observations (exact).
+    pub sum: f64,
+    /// Smallest observation (exact).
+    pub min: f64,
+    /// Largest observation (exact).
+    pub max: f64,
+    /// Median, within one power-of-two bucket.
+    pub p50: f64,
+    /// 95th percentile, within one power-of-two bucket.
+    pub p95: f64,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded observations (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.0, 2.0, 8.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 11.5);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean() - 2.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_land_within_one_octave() {
+        let mut h = Histogram::default();
+        // 99 fast observations around 1 ms, one slow outlier at 1 s.
+        for _ in 0..99 {
+            h.record(1.0e-3);
+        }
+        h.record(1.0);
+        let s = h.summary();
+        assert!(
+            s.p50 >= 0.5e-3 && s.p50 <= 2.0e-3,
+            "p50 off by more than an octave: {}",
+            s.p50
+        );
+        assert!(s.p95 < 0.5, "p95 pulled up by a single outlier: {}", s.p95);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = Histogram::default();
+        for i in 1..=100u32 {
+            h.record(f64::from(i) * 1e-4);
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+    }
+
+    #[test]
+    fn degenerate_values_go_to_the_bottom_bucket() {
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        // Quantile read-back stays inside the recorded envelope.
+        let q = h.quantile(0.5);
+        assert!(q <= h.summary().max || q.is_nan());
+    }
+}

@@ -1,0 +1,347 @@
+//! # cold-obs — observability for the COLD workspace
+//!
+//! A zero-dependency, low-overhead metrics and tracing layer: the
+//! substrate every sampler, kernel and predictor in this workspace reports
+//! into, and the thing perf PRs measure against.
+//!
+//! ## Design
+//!
+//! The whole layer hangs off one cheap handle, [`Metrics`]:
+//!
+//! * **Disabled** (the default) it is a `None` — every call is a branch on
+//!   an `Option` and returns immediately. No clocks are read, no locks are
+//!   taken, no thread-locals are touched. Instrumented hot paths therefore
+//!   cost nothing measurable when observability is off (the
+//!   `bench_sampler` binary checks this stays under a few percent).
+//! * **Enabled** it holds an `Arc<Registry>`: a mutex-guarded map from
+//!   metric name to cell. Clones share the registry, so a handle stored in
+//!   a training config and the caller's copy observe the same data, across
+//!   threads (the parallel engine's shard workers record from inside
+//!   `thread::scope`).
+//!
+//! Three metric kinds live in the registry:
+//!
+//! * **counters** — monotonically increasing `u64` ([`Metrics::counter_add`]);
+//! * **gauges** — last-write-wins `f64` ([`Metrics::gauge_set`]);
+//! * **histograms** — log-bucketed distributions with exact
+//!   count/sum/min/max and approximate p50/p95 ([`Metrics::observe`],
+//!   [`histogram::Histogram`]).
+//!
+//! [`Metrics::span`] returns an RAII guard that times a region into a
+//! histogram named `span.<path>`, where `<path>` is the `/`-joined stack
+//! of enclosing spans on the current thread — `span.sweep/posts` is the
+//! posts phase inside a sweep. Every span also bumps the
+//! `obs.spans_opened` / `obs.spans_closed` counters, which the invariant
+//! tests check stay equal.
+//!
+//! A point-in-time [`snapshot::MetricsSnapshot`] renders to three sinks:
+//! in-memory (tests assert on it directly), a JSON-lines file
+//! ([`snapshot::MetricsSnapshot::write_jsonl`], schema `cold-obs/v1`,
+//! validated by [`schema::validate_jsonl`]), and a human-readable summary
+//! table ([`snapshot::MetricsSnapshot::render_table`]).
+
+pub mod histogram;
+pub mod schema;
+pub mod snapshot;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use histogram::Histogram;
+pub use histogram::HistogramSummary;
+pub use snapshot::MetricsSnapshot;
+
+/// One registered metric. Histograms dominate the size (their fixed
+/// bucket array lives inline); cells sit in a long-lived map, so the
+/// per-cell footprint is irrelevant next to lookup cost.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+enum Cell {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// The shared metric store behind an enabled [`Metrics`] handle.
+///
+/// A flat mutex over a `BTreeMap` is deliberate: instrumentation in this
+/// workspace records per *phase* (sweep, superstep, query), never per
+/// draw, so contention is negligible and the simplicity keeps the crate
+/// dependency-free.
+#[derive(Debug, Default)]
+struct Registry {
+    cells: Mutex<BTreeMap<String, Cell>>,
+}
+
+impl Registry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut cells = self.cells.lock().expect("metrics registry poisoned");
+        match cells.entry(name.to_owned()).or_insert(Cell::Counter(0)) {
+            Cell::Counter(v) => *v += delta,
+            _ => debug_assert!(false, "metric {name} is not a counter"),
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut cells = self.cells.lock().expect("metrics registry poisoned");
+        match cells.entry(name.to_owned()).or_insert(Cell::Gauge(0.0)) {
+            Cell::Gauge(v) => *v = value,
+            _ => debug_assert!(false, "metric {name} is not a gauge"),
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut cells = self.cells.lock().expect("metrics registry poisoned");
+        match cells
+            .entry(name.to_owned())
+            .or_insert_with(|| Cell::Histogram(Histogram::default()))
+        {
+            Cell::Histogram(h) => h.record(value),
+            _ => debug_assert!(false, "metric {name} is not a histogram"),
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let cells = self.cells.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, cell) in cells.iter() {
+            match cell {
+                Cell::Counter(v) => {
+                    snap.counters.insert(name.clone(), *v);
+                }
+                Cell::Gauge(v) => {
+                    snap.gauges.insert(name.clone(), *v);
+                }
+                Cell::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.summary());
+                }
+            }
+        }
+        snap
+    }
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The observability handle. Cheap to clone (an `Option<Arc>`); disabled
+/// by default. See the crate docs for the full design.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Metrics {
+    /// A disabled handle: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A fresh, enabled handle with its own registry.
+    pub fn enabled() -> Self {
+        Self {
+            registry: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// Whether this handle records anything. Hot paths may branch on this
+    /// once per phase instead of paying per-call `Option` checks.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Add `delta` to the counter `name` (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(reg) = &self.registry {
+            reg.counter_add(name, delta);
+        }
+    }
+
+    /// Set the gauge `name` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(reg) = &self.registry {
+            reg.gauge_set(name, value);
+        }
+    }
+
+    /// Record one observation into the histogram `name`. By convention
+    /// timing histograms in this workspace record **seconds**.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(reg) = &self.registry {
+            reg.observe(name, value);
+        }
+    }
+
+    /// Read the clock — but only when enabled, so disabled runs never pay
+    /// for `Instant::now()`. Pair with [`Metrics::observe_since`].
+    pub fn start(&self) -> Option<Instant> {
+        self.registry.as_ref().map(|_| Instant::now())
+    }
+
+    /// Record the seconds elapsed since a [`Metrics::start`] stamp into
+    /// the histogram `name`. No-op when either side is disabled.
+    pub fn observe_since(&self, name: &str, start: Option<Instant>) {
+        if let (Some(reg), Some(t0)) = (&self.registry, start) {
+            reg.observe(name, t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Open a hierarchical timing span. The returned guard records
+    /// `span.<path>` (path = `/`-joined enclosing span names on this
+    /// thread) when dropped, and maintains the `obs.spans_opened` /
+    /// `obs.spans_closed` counters. Inert when disabled.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(reg) = &self.registry else {
+            return Span { inner: None };
+        };
+        reg.counter_add("obs.spans_opened", 1);
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name.to_owned());
+            stack.join("/")
+        });
+        Span {
+            inner: Some(SpanInner {
+                registry: Arc::clone(reg),
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric. Empty when disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.registry {
+            Some(reg) => reg.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+}
+
+struct SpanInner {
+    registry: Arc<Registry>,
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Metrics::span`]; records its duration when
+/// dropped. Spans must close in LIFO order on a thread (guaranteed by
+/// normal scoping — keep the guard in a `let`).
+#[must_use = "a span records its timing when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let elapsed = inner.start.elapsed().as_secs_f64();
+        inner
+            .registry
+            .observe(&format!("span.{}", inner.path), elapsed);
+        inner.registry.counter_add("obs.spans_closed", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.counter_add("c", 3);
+        m.gauge_set("g", 1.5);
+        m.observe("h", 0.25);
+        assert!(m.start().is_none());
+        drop(m.span("s"));
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_record() {
+        let m = Metrics::enabled();
+        m.counter_add("draws", 2);
+        m.counter_add("draws", 3);
+        m.gauge_set("wall", 0.5);
+        m.gauge_set("wall", 1.5);
+        for v in [0.001, 0.002, 0.004] {
+            m.observe("t", v);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("draws"), 5);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauges["wall"], 1.5);
+        let h = &snap.histograms["t"];
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 0.007).abs() < 1e-12);
+        assert_eq!(h.min, 0.001);
+        assert_eq!(h.max, 0.004);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m2.counter_add("shared", 7);
+        assert_eq!(m.snapshot().counter("shared"), 7);
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths_and_balance() {
+        let m = Metrics::enabled();
+        {
+            let _outer = m.span("sweep");
+            let _inner = m.span("posts");
+        }
+        {
+            let _outer = m.span("sweep");
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms["span.sweep"].count, 2);
+        assert_eq!(snap.histograms["span.sweep/posts"].count, 1);
+        assert_eq!(snap.counter("obs.spans_opened"), 3);
+        assert_eq!(snap.counter("obs.spans_closed"), 3);
+    }
+
+    #[test]
+    fn observe_since_records_elapsed_seconds() {
+        let m = Metrics::enabled();
+        let t0 = m.start();
+        assert!(t0.is_some());
+        m.observe_since("lat", t0);
+        let h = &m.snapshot().histograms["lat"];
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 0.0);
+    }
+
+    #[test]
+    fn workers_record_across_threads() {
+        let m = Metrics::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    m.counter_add("work", 10);
+                    m.observe("shard_t", 0.01);
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("work"), 40);
+        assert_eq!(snap.histograms["shard_t"].count, 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! Schema validation for the `cold-obs/v1` JSON-lines sink.
+//!
+//! The emitter ([`crate::snapshot::MetricsSnapshot::to_jsonl`]) writes a
+//! narrow subset of JSON: one flat object per line, scalar values only.
+//! This module re-parses that subset from scratch (no dependencies) so the
+//! CLI's `metrics-check` command and the check-script smoke stage can
+//! verify a metrics file without trusting the code that wrote it.
+
+use std::collections::BTreeMap;
+
+/// Schema identifier stamped into the leading `meta` line.
+pub const SCHEMA_VERSION: &str = "cold-obs/v1";
+
+/// What a validated file contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlStats {
+    /// Number of `counter` lines.
+    pub counters: usize,
+    /// Number of `gauge` lines.
+    pub gauges: usize,
+    /// Number of `histogram` lines.
+    pub histograms: usize,
+}
+
+/// A scalar value inside one JSONL record.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Scalar {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Validate a `cold-obs/v1` JSON-lines document.
+///
+/// Checks, line by line:
+/// * every non-empty line parses as a flat JSON object of scalars;
+/// * the first line is a `meta` record carrying the expected schema tag;
+/// * `counter` lines carry a non-empty name and a non-negative integer;
+/// * `gauge` lines carry a finite number;
+/// * `histogram` lines carry finite `count`/`sum`/`min`/`max`/`p50`/`p95`
+///   with an integral, non-negative count;
+/// * the meta line's kind tallies match the body.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats::default();
+    let mut meta: Option<(f64, f64, f64)> = None;
+    let mut body_lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let kind = obj
+            .get("type")
+            .and_then(Scalar::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string field \"type\""))?;
+        if meta.is_none() {
+            if kind != "meta" {
+                return Err(format!(
+                    "line {lineno}: first record must be \"meta\", got \"{kind}\""
+                ));
+            }
+            let schema = obj
+                .get("schema")
+                .and_then(Scalar::as_str)
+                .ok_or_else(|| format!("line {lineno}: meta record missing \"schema\""))?;
+            if schema != SCHEMA_VERSION {
+                return Err(format!(
+                    "line {lineno}: schema \"{schema}\" is not \"{SCHEMA_VERSION}\""
+                ));
+            }
+            let tally = |field: &str| -> Result<f64, String> {
+                require_count(&obj, field).map_err(|e| format!("line {lineno}: meta {e}"))
+            };
+            meta = Some((tally("counters")?, tally("gauges")?, tally("histograms")?));
+            continue;
+        }
+        body_lines += 1;
+        let name = obj
+            .get("name")
+            .and_then(Scalar::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string field \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("line {lineno}: empty metric name"));
+        }
+        match kind {
+            "counter" => {
+                require_count(&obj, "value").map_err(|e| format!("line {lineno}: {e}"))?;
+                stats.counters += 1;
+            }
+            "gauge" => {
+                require_finite(&obj, "value").map_err(|e| format!("line {lineno}: {e}"))?;
+                stats.gauges += 1;
+            }
+            "histogram" => {
+                require_count(&obj, "count").map_err(|e| format!("line {lineno}: {e}"))?;
+                for field in ["sum", "min", "max", "p50", "p95"] {
+                    require_finite(&obj, field).map_err(|e| format!("line {lineno}: {e}"))?;
+                }
+                stats.histograms += 1;
+            }
+            other => {
+                return Err(format!("line {lineno}: unknown record type \"{other}\""));
+            }
+        }
+    }
+    let Some((counters, gauges, histograms)) = meta else {
+        return Err("no meta record found (empty file?)".to_owned());
+    };
+    let _ = body_lines;
+    let expect = |label: &str, declared: f64, actual: usize| -> Result<(), String> {
+        if declared as usize != actual {
+            return Err(format!(
+                "meta declares {declared} {label} records but the body has {actual}"
+            ));
+        }
+        Ok(())
+    };
+    expect("counter", counters, stats.counters)?;
+    expect("gauge", gauges, stats.gauges)?;
+    expect("histogram", histograms, stats.histograms)?;
+    Ok(stats)
+}
+
+fn require_finite(obj: &BTreeMap<String, Scalar>, field: &str) -> Result<f64, String> {
+    let v = obj
+        .get(field)
+        .and_then(Scalar::as_num)
+        .ok_or_else(|| format!("missing numeric field \"{field}\""))?;
+    if !v.is_finite() {
+        return Err(format!("field \"{field}\" is not finite"));
+    }
+    Ok(v)
+}
+
+fn require_count(obj: &BTreeMap<String, Scalar>, field: &str) -> Result<f64, String> {
+    let v = require_finite(obj, field)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!(
+            "field \"{field}\" must be a non-negative integer, got {v}"
+        ));
+    }
+    Ok(v)
+}
+
+/// Parse one line as a flat JSON object of scalar values.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut p = Parser {
+        chars: line.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut obj = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            if obj.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key \"{key}\""));
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                Some(c) => return Err(format!("expected ',' or '}}', got '{c}'")),
+                None => return Err("unterminated object".to_owned()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err("trailing characters after object".to_owned());
+    }
+    Ok(obj)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected '{want}', got '{c}'")),
+            None => Err(format!("expected '{want}', got end of line")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    Some(c) => return Err(format!("bad escape '\\{c}'")),
+                    None => return Err("unterminated escape".to_owned()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some('"') => Ok(Scalar::Str(self.parse_string()?)),
+            Some('t') => self.parse_keyword("true", Scalar::Bool(true)),
+            Some('f') => self.parse_keyword("false", Scalar::Bool(false)),
+            Some('n') => self.parse_keyword("null", Scalar::Null),
+            Some(c) if c == '-' || c == '+' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some('-' | '+' | '.' | 'e' | 'E' | '0'..='9')) {
+                    self.pos += 1;
+                }
+                let token: String = self.chars[start..self.pos].iter().collect();
+                token
+                    .parse::<f64>()
+                    .map(Scalar::Num)
+                    .map_err(|_| format!("bad number \"{token}\""))
+            }
+            Some('{' | '[') => Err("nested values are not part of cold-obs/v1".to_owned()),
+            Some(c) => Err(format!("unexpected character '{c}'")),
+            None => Err("expected a value, got end of line".to_owned()),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Scalar) -> Result<Scalar, String> {
+        for want in word.chars() {
+            match self.next() {
+                Some(c) if c == want => {}
+                _ => return Err(format!("bad keyword (expected \"{word}\")")),
+            }
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"type\":\"meta\",\"schema\":\"cold-obs/v1\",\"counters\":2,\"gauges\":1,\"histograms\":1}\n",
+        "{\"type\":\"counter\",\"name\":\"kernel.exact.comm_draws\",\"value\":120}\n",
+        "{\"type\":\"counter\",\"name\":\"obs.spans_opened\",\"value\":4}\n",
+        "{\"type\":\"gauge\",\"name\":\"train.wall_seconds\",\"value\":0.25}\n",
+        "{\"type\":\"histogram\",\"name\":\"span.sweep\",\"count\":4,\"sum\":0.2,\"min\":0.04,\"max\":0.06,\"p50\":0.05,\"p95\":0.06}\n",
+    );
+
+    #[test]
+    fn accepts_a_well_formed_file() {
+        let stats = validate_jsonl(GOOD).unwrap();
+        assert_eq!(
+            stats,
+            JsonlStats {
+                counters: 2,
+                gauges: 1,
+                histograms: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_meta() {
+        let text = "{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n";
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("meta"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = "{\"type\":\"meta\",\"schema\":\"cold-obs/v999\",\"counters\":0,\"gauges\":0,\"histograms\":0}\n";
+        assert!(validate_jsonl(text).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_and_fractional_counters() {
+        for bad in ["-1", "1.5"] {
+            let text = format!(
+                "{{\"type\":\"meta\",\"schema\":\"cold-obs/v1\",\"counters\":1,\"gauges\":0,\"histograms\":0}}\n{{\"type\":\"counter\",\"name\":\"x\",\"value\":{bad}}}\n"
+            );
+            assert!(validate_jsonl(&text).is_err(), "accepted counter {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_tally_mismatch() {
+        let text = "{\"type\":\"meta\",\"schema\":\"cold-obs/v1\",\"counters\":3,\"gauges\":0,\"histograms\":0}\n{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n";
+        let err = validate_jsonl(text).unwrap_err();
+        assert!(err.contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "{\"type\":\"meta\"",
+            "{\"type\":\"meta\",}",
+            "not json at all",
+            "{\"type\":{\"nested\":1}}",
+        ] {
+            assert!(validate_jsonl(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_in_names() {
+        let text = "{\"type\":\"meta\",\"schema\":\"cold-obs/v1\",\"counters\":1,\"gauges\":0,\"histograms\":0}\n{\"type\":\"counter\",\"name\":\"a\\\"b\\\\c\\u0041\",\"value\":1}\n";
+        let stats = validate_jsonl(text).unwrap();
+        assert_eq!(stats.counters, 1);
+    }
+}

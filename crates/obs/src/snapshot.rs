@@ -1,0 +1,246 @@
+//! Point-in-time metric snapshots and their sinks.
+//!
+//! A [`MetricsSnapshot`] is plain data (sorted maps), so tests assert on
+//! it directly. Two serialized sinks are provided:
+//!
+//! * **JSON lines** ([`MetricsSnapshot::to_jsonl`] /
+//!   [`MetricsSnapshot::write_jsonl`]) — one self-describing object per
+//!   line, schema `cold-obs/v1` (first line is a `meta` record). Hand
+//!   rolled, since this crate is dependency-free; the emitted subset of
+//!   JSON is validated by [`crate::schema::validate_jsonl`].
+//! * **summary table** ([`MetricsSnapshot::render_table`]) — the
+//!   human-readable view the CLI prints after a run.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::histogram::HistogramSummary;
+use crate::schema::SCHEMA_VERSION;
+
+/// Every metric registered at snapshot time, by kind, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, zero if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — convenient
+    /// for per-shard families like `parallel.shard.3.post_draws`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Render as `cold-obs/v1` JSON lines (see the module docs).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"schema\":\"{SCHEMA_VERSION}\",\"counters\":{},\"gauges\":{},\"histograms\":{}}}\n",
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len()
+        ));
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+                json_escape(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                json_escape(name),
+                json_num(*value)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}\n",
+                json_escape(name),
+                h.count,
+                json_num(h.sum),
+                json_num(h.min),
+                json_num(h.max),
+                json_num(h.p50),
+                json_num(h.p95)
+            ));
+        }
+        out
+    }
+
+    /// Write the JSON-lines form to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Render the human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let name_width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<name_width$}  {:>14}\n", "counter", "value"));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<name_width$}  {value:>14}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("{:<name_width$}  {:>14}\n", "gauge", "value"));
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{name:<name_width$}  {value:>14.6}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram (s)", "count", "sum", "p50", "p95", "max"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{name:<name_width$}  {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+                    h.count, h.sum, h.p50, h.p95, h.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Escape a metric name for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a valid JSON number (JSON has no NaN/inf).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Rust omits the fraction for integral floats ("3"), which is
+        // valid JSON but ambiguous with integers; keep it explicit.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::validate_jsonl;
+    use crate::Metrics;
+
+    fn sample() -> MetricsSnapshot {
+        let m = Metrics::enabled();
+        m.counter_add("kernel.cached_log.comm_draws", 123);
+        m.gauge_set("train.wall_seconds", 1.25);
+        m.observe("span.sweep", 0.002);
+        m.observe("span.sweep", 0.004);
+        m.snapshot()
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_the_schema_validator() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        let stats = validate_jsonl(&text).expect("emitted JSONL must validate");
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.gauges, 1);
+        assert_eq!(stats.histograms, 1);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_formats_numbers() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("we\"ird\\name".into(), 1);
+        snap.gauges.insert("g".into(), 3.0);
+        snap.gauges.insert("bad".into(), f64::NAN);
+        let text = snap.to_jsonl();
+        assert!(text.contains("we\\\"ird\\\\name"));
+        assert!(text.contains("\"value\":3.0"));
+        validate_jsonl(&text).expect("escaped names still validate");
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let snap = sample();
+        let table = snap.render_table();
+        assert!(table.contains("kernel.cached_log.comm_draws"));
+        assert!(table.contains("train.wall_seconds"));
+        assert!(table.contains("span.sweep"));
+        assert!(MetricsSnapshot::default()
+            .render_table()
+            .contains("no metrics"));
+    }
+
+    #[test]
+    fn prefix_sum_adds_families() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters
+            .insert("parallel.shard.0.post_draws".into(), 3);
+        snap.counters
+            .insert("parallel.shard.1.post_draws".into(), 4);
+        snap.counters.insert("parallel.sync_bytes".into(), 100);
+        assert_eq!(snap.counter_prefix_sum("parallel.shard."), 7);
+    }
+
+    #[test]
+    fn write_jsonl_creates_the_file() {
+        let snap = sample();
+        let path = std::env::temp_dir().join(format!("cold_obs_test_{}.jsonl", std::process::id()));
+        snap.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        validate_jsonl(&text).unwrap();
+    }
+}

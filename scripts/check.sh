@@ -13,4 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== metrics smoke (train --metrics-out + metrics-check) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -q --release -p cold-cli -- generate \
+  --out "$SMOKE_DIR/world.json" \
+  --users 40 --communities 2 --topics 2 --vocab 60 --slices 6 --seed 11
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model.json" \
+  --communities 2 --topics 2 --iterations 40 --seed 11 \
+  --metrics-out "$SMOKE_DIR/metrics.jsonl" >/dev/null
+cargo run -q --release -p cold-cli -- metrics-check --file "$SMOKE_DIR/metrics.jsonl"
+
 echo "All checks passed."

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate the golden-trace fixtures in tests/fixtures/ after an
+# *intentional* change to sampler trajectories (RNG consumption order,
+# conditional arithmetic, kernel caches). Review the resulting diff like
+# any other code change before committing it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REGEN_GOLDEN=1 cargo test -p cold --test golden_trace -- --nocapture
+echo "golden fixtures refreshed:"
+git status --short tests/fixtures/

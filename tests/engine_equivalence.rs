@@ -3,7 +3,7 @@
 //! quality, work metering that matches the data size, and simulated
 //! cluster timing with the Fig. 13 shape.
 
-use cold::core::{ColdConfig, Hyperparams};
+use cold::core::{ColdConfig, Hyperparams, SamplerKernel};
 use cold::data::{generate, SocialDataset, WorldConfig};
 use cold::engine::{ClusterCostModel, ParallelGibbs};
 use cold::eval::normalized_mutual_information;
@@ -98,6 +98,54 @@ fn work_meter_accounts_for_every_item() {
             (data.graph.num_edges() + stats_neg) as u64
         );
     }
+}
+
+/// With exactly one shard the parallel engine degenerates to the
+/// sequential sampler: same seed ⇒ **bit-identical** assignment
+/// trajectories, under every sampler kernel.
+#[test]
+fn single_shard_is_bit_identical_to_sequential() {
+    let data = world();
+    for kernel in [
+        SamplerKernel::Exact,
+        SamplerKernel::CachedLog,
+        SamplerKernel::AliasMh,
+    ] {
+        let mk = || {
+            let base = config(&data, 20);
+            ColdConfig { kernel, ..base }
+        };
+        let mut seq = cold::core::GibbsSampler::new(&data.corpus, &data.graph, mk(), 23);
+        let mut par = ParallelGibbs::new(&data.corpus, &data.graph, mk(), 1, 23);
+        for sweep in 0..8 {
+            seq.sweep();
+            par.superstep(sweep);
+            let (a, b) = (seq.state(), par.state());
+            assert_eq!(a.post_comm, b.post_comm, "{kernel:?} sweep {sweep}");
+            assert_eq!(a.post_topic, b.post_topic, "{kernel:?} sweep {sweep}");
+            assert_eq!(a.link_src_comm, b.link_src_comm, "{kernel:?} sweep {sweep}");
+            assert_eq!(a.link_dst_comm, b.link_dst_comm, "{kernel:?} sweep {sweep}");
+            assert_eq!(a.neg_src_comm, b.neg_src_comm, "{kernel:?} sweep {sweep}");
+            assert_eq!(a.neg_dst_comm, b.neg_dst_comm, "{kernel:?} sweep {sweep}");
+        }
+    }
+}
+
+/// `ParallelStats.wall_seconds` is populated and agrees with the
+/// per-superstep breakdown.
+#[test]
+fn parallel_stats_time_accounting_is_consistent() {
+    let data = world();
+    let (_, stats) = ParallelGibbs::new(&data.corpus, &data.graph, config(&data, 20), 4, 29).run();
+    assert!(stats.wall_seconds > 0.0, "wall_seconds not populated");
+    assert_eq!(stats.superstep_seconds.len(), 20);
+    assert!(stats.superstep_seconds.iter().all(|&t| t >= 0.0));
+    let summed: f64 = stats.superstep_seconds.iter().sum();
+    assert!(
+        summed <= stats.wall_seconds + 1e-6,
+        "superstep sum {summed} exceeds wall {:?}",
+        stats.wall_seconds
+    );
 }
 
 #[test]

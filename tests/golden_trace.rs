@@ -1,0 +1,171 @@
+//! Golden-trace regression tests: every sampler kernel's full training
+//! trajectory — the log-likelihood trace plus the fitted model's top words
+//! and hard community assignments — is pinned against a checked-in
+//! fixture. Any change to RNG consumption order, conditional arithmetic,
+//! or cache behaviour shows up here as a bit-level diff.
+//!
+//! To refresh the fixtures after an *intentional* trajectory change run
+//! `scripts/regen_golden.sh` (sets `REGEN_GOLDEN=1`) and review the
+//! resulting diff like any other code change.
+
+use cold::core::{ColdConfig, GibbsSampler, Hyperparams, SamplerKernel};
+use cold::data::{generate, SocialDataset, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenTrace {
+    kernel: String,
+    seed: u64,
+    /// Sweeps at which the log-likelihood was evaluated.
+    ll_sweeps: Vec<u64>,
+    /// The log-likelihood values, printed with `{:.17e}` so the decimal
+    /// text round-trips `f64` exactly (bit-level pin without hex).
+    ll_values: Vec<String>,
+    /// Top 8 words of each topic, most probable first.
+    top_words: Vec<String>,
+    /// Hard community assignment per user.
+    hard_communities: Vec<u32>,
+}
+
+const SEED: u64 = 97;
+
+fn world() -> SocialDataset {
+    generate(&WorldConfig::tiny(), 4242)
+}
+
+fn config(data: &SocialDataset) -> ColdConfig {
+    ColdConfig::builder(3, 3)
+        .iterations(24)
+        .burn_in(16)
+        .sample_lag(2)
+        .ll_every(4)
+        .hyperparams(Hyperparams {
+            alpha: 1.0,
+            beta: 0.01,
+            epsilon: 0.01,
+            rho: 1.0,
+            lambda0: 0.1,
+            lambda1: 0.1,
+        })
+        .build(&data.corpus, &data.graph)
+}
+
+fn trace_kernel(kernel: SamplerKernel) -> GoldenTrace {
+    let data = world();
+    let base = config(&data);
+    let cfg = ColdConfig { kernel, ..base };
+    let (model, trace) = GibbsSampler::new(&data.corpus, &data.graph, cfg, SEED).run_traced();
+    let top_words = (0..3)
+        .map(|k| {
+            model
+                .top_words(k, 8, data.corpus.vocab())
+                .into_iter()
+                .map(|(w, _)| w.to_owned())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    GoldenTrace {
+        kernel: kernel.name().to_owned(),
+        seed: SEED,
+        ll_sweeps: trace
+            .log_likelihood
+            .iter()
+            .map(|&(s, _)| s as u64)
+            .collect(),
+        ll_values: trace
+            .log_likelihood
+            .iter()
+            .map(|&(_, ll)| format!("{ll:.17e}"))
+            .collect(),
+        top_words,
+        hard_communities: model.hard_user_communities(),
+    }
+}
+
+fn fixture_path(kernel: SamplerKernel) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(format!("golden_{}.json", kernel.name()))
+}
+
+fn check_kernel(kernel: SamplerKernel) {
+    let path = fixture_path(kernel);
+    let actual = trace_kernel(kernel);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let json = serde_json::to_string_pretty(&actual).expect("serialize trace");
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        println!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run scripts/regen_golden.sh",
+            path.display()
+        )
+    });
+    let expected: GoldenTrace = serde_json::from_str(&text).expect("parse fixture");
+    assert_eq!(
+        expected.ll_sweeps,
+        actual.ll_sweeps,
+        "{}: ll checkpoint sweeps drifted",
+        kernel.name()
+    );
+    for (i, (e, a)) in expected.ll_values.iter().zip(&actual.ll_values).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "{}: log-likelihood at sweep {} drifted (intentional? run \
+             scripts/regen_golden.sh and commit the diff)",
+            kernel.name(),
+            expected.ll_sweeps[i]
+        );
+    }
+    assert_eq!(
+        expected.top_words,
+        actual.top_words,
+        "{}: top words drifted",
+        kernel.name()
+    );
+    assert_eq!(
+        expected.hard_communities,
+        actual.hard_communities,
+        "{}: hard community assignments drifted",
+        kernel.name()
+    );
+    assert_eq!(expected, actual, "{}: trace drifted", kernel.name());
+}
+
+#[test]
+fn golden_trace_exact() {
+    check_kernel(SamplerKernel::Exact);
+}
+
+#[test]
+fn golden_trace_cached_log() {
+    check_kernel(SamplerKernel::CachedLog);
+}
+
+#[test]
+fn golden_trace_alias_mh() {
+    check_kernel(SamplerKernel::AliasMh);
+}
+
+/// The cached-log kernel is *pure memoization*: its golden trace must be
+/// byte-identical to the exact kernel's (only the `kernel` tag differs).
+#[test]
+fn cached_log_fixture_matches_exact_fixture() {
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        return;
+    }
+    let read = |k: SamplerKernel| -> GoldenTrace {
+        let text = std::fs::read_to_string(fixture_path(k))
+            .unwrap_or_else(|e| panic!("missing fixture for {} ({e})", k.name()));
+        serde_json::from_str(&text).expect("parse fixture")
+    };
+    let exact = read(SamplerKernel::Exact);
+    let cached = read(SamplerKernel::CachedLog);
+    assert_eq!(exact.ll_values, cached.ll_values);
+    assert_eq!(exact.top_words, cached.top_words);
+    assert_eq!(exact.hard_communities, cached.hard_communities);
+}
