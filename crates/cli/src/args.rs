@@ -56,6 +56,18 @@ impl Args {
         raw.parse()
             .map_err(|_| format!("flag --{name}: cannot parse '{raw}'"))
     }
+
+    /// An optional parsed argument: `None` when absent, an error when
+    /// present but unparsable.
+    pub fn get_optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +100,7 @@ mod tests {
         assert!(args.required("out").is_err());
         assert!(args.get_or("n", 1u32).is_err());
         assert!(args.get_required::<u32>("n").is_err());
+        assert!(args.get_optional::<u32>("n").is_err());
+        assert_eq!(args.get_optional::<u32>("absent").unwrap(), None);
     }
 }

@@ -1,8 +1,10 @@
 //! CLI subcommands.
 
 use crate::args::Args;
+use cold_core::checkpoint::{Checkpoint, CheckpointKind, Checkpointer};
 use cold_core::{ColdConfig, ColdModel, DiffusionPredictor, GibbsSampler, Metrics};
 use cold_data::{SocialDataset, WorldConfig};
+use cold_engine::ParallelGibbs;
 use cold_math::rng::seeded_rng;
 
 /// Top-level usage text.
@@ -15,6 +17,9 @@ USAGE:
   cold train     --data <world.json> --out <model.json>
                  [--communities C] [--topics K] [--iterations N] [--seed S]
                  [--shards N] [--metrics-out <metrics.jsonl>]
+                 [--checkpoint-dir <dir>] [--checkpoint-every N]
+                 [--checkpoint-retain N] [--resume true]
+                 [--crash-after N]
   cold topics    --model <model.json> --data <world.json> [--top N] [--topic K]
   cold communities --model <model.json> --data <world.json>
   cold predict   --model <model.json> --data <world.json>
@@ -22,6 +27,7 @@ USAGE:
   cold influence --model <model.json> [--topic K] [--simulations N] [--seed S]
   cold eval      --model <model.json> --data <world.json> [--seed S]
   cold metrics-check --file <metrics.jsonl>
+  cold ckpt-inspect  --dir <checkpoint-dir>
   cold help";
 
 type CliResult = Result<(), String>;
@@ -56,6 +62,14 @@ pub fn generate(args: &Args) -> CliResult {
 }
 
 /// `cold train` — fit COLD on a stored world.
+///
+/// With `--checkpoint-dir` the run writes `cold-ckpt/v1` checkpoints every
+/// `--checkpoint-every` sweeps (default 10, newest `--checkpoint-retain`
+/// kept, default 3); `--resume true` continues from the newest readable
+/// checkpoint in that directory — the resumed run is bit-identical to an
+/// uninterrupted one, provided the same training flags are passed.
+/// `--crash-after N` aborts the process (exit code 137) after sweep `N`,
+/// for crash-recovery drills.
 pub fn train(args: &Args) -> CliResult {
     let data = load_dataset(args.required("data")?)?;
     let out = args.required("out")?;
@@ -67,6 +81,10 @@ pub fn train(args: &Args) -> CliResult {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    let checkpoint_every: Option<usize> = args.get_optional("checkpoint-every")?;
+    let checkpoint_retain = args.get_or("checkpoint-retain", 3usize)?;
+    let resume = args.get_or("resume", false)?;
+    let crash_after: Option<usize> = args.get_optional("crash-after")?;
     let metrics_out = args.optional("metrics-out");
     // Instrumentation is only switched on when a sink was requested; a
     // disabled registry keeps the hot path free of metric work.
@@ -75,30 +93,72 @@ pub fn train(args: &Args) -> CliResult {
     } else {
         Metrics::disabled()
     };
-    let config = ColdConfig::builder(c, k)
+    let ckptr = match args.optional("checkpoint-dir") {
+        Some(dir) => Some(
+            Checkpointer::new(dir)
+                .map_err(|e| e.to_string())?
+                .retain(checkpoint_retain)
+                .with_metrics(metrics.clone()),
+        ),
+        None => None,
+    };
+    let mut builder = ColdConfig::builder(c, k)
         .iterations(iterations)
         .burn_in(iterations.saturating_sub(20).max(1))
         .sample_lag(4)
-        .small_data_defaults()
+        .small_data_defaults();
+    if let Some(n) = checkpoint_every {
+        builder = builder.checkpoint_every(n);
+    }
+    let config = builder
         .metrics(metrics.clone())
         .build(&data.corpus, &data.graph);
-    println!(
-        "training C={c} K={k} on {} ({iterations} sweeps, {shards} shard{})…",
-        data.summary(),
-        if shards == 1 { "" } else { "s" }
-    );
     let started = std::time::Instant::now();
-    let model = if shards > 1 {
-        let (model, stats) =
-            cold_engine::ParallelGibbs::new(&data.corpus, &data.graph, config, shards, seed).run();
+    let model = if resume {
+        let ckptr = ckptr
+            .as_ref()
+            .ok_or("--resume true requires --checkpoint-dir")?;
+        let ckpt = ckptr.load_latest().map_err(|e| e.to_string())?;
         println!(
-            "parallel wall time {:.1}s over {} supersteps",
-            stats.wall_seconds,
-            stats.supersteps.len()
+            "resuming {:?} run from sweep {}/{iterations} in {}…",
+            ckpt.kind,
+            ckpt.sweeps_done,
+            ckptr.dir().display()
         );
-        model
+        // The config is rebuilt from the flags above; `resume` verifies it
+        // matches the checkpointed one, so pass the same training flags.
+        match ckpt.kind {
+            CheckpointKind::Sequential => {
+                let sampler =
+                    GibbsSampler::resume(&data.corpus, config, ckpt).map_err(|e| e.to_string())?;
+                run_sequential(sampler, Some(ckptr), crash_after)?
+            }
+            CheckpointKind::Parallel => {
+                let pg =
+                    ParallelGibbs::resume(&data.corpus, config, ckpt).map_err(|e| e.to_string())?;
+                run_parallel(pg, Some(ckptr), crash_after)?
+            }
+            CheckpointKind::Online => {
+                return Err(
+                    "the newest checkpoint is an online snapshot; `cold train` resumes \
+                     batch runs only"
+                        .into(),
+                )
+            }
+        }
     } else {
-        GibbsSampler::new(&data.corpus, &data.graph, config, seed).run()
+        println!(
+            "training C={c} K={k} on {} ({iterations} sweeps, {shards} shard{})…",
+            data.summary(),
+            if shards == 1 { "" } else { "s" }
+        );
+        if shards > 1 {
+            let pg = ParallelGibbs::new(&data.corpus, &data.graph, config, shards, seed);
+            run_parallel(pg, ckptr.as_ref(), crash_after)?
+        } else {
+            let sampler = GibbsSampler::new(&data.corpus, &data.graph, config, seed);
+            run_sequential(sampler, ckptr.as_ref(), crash_after)?
+        }
     };
     println!("trained in {:.1}s", started.elapsed().as_secs_f64());
     model.save(out).map_err(|e| e.to_string())?;
@@ -106,6 +166,95 @@ pub fn train(args: &Args) -> CliResult {
     if let Some(path) = metrics_out {
         write_metrics(&metrics, path)?;
     }
+    Ok(())
+}
+
+/// Drive a sequential sampler to completion (or to the injected crash).
+fn run_sequential(
+    mut sampler: GibbsSampler,
+    ckptr: Option<&Checkpointer>,
+    crash_after: Option<usize>,
+) -> Result<ColdModel, String> {
+    if let Some(n) = crash_after {
+        sampler.run_sweeps(n, ckptr).map_err(|e| e.to_string())?;
+        crash_now(n);
+    }
+    match ckptr {
+        Some(ckptr) => sampler.run_checkpointed(ckptr).map_err(|e| e.to_string()),
+        None => Ok(sampler.run()),
+    }
+}
+
+/// Drive a parallel sampler to completion (or to the injected crash).
+fn run_parallel(
+    mut pg: ParallelGibbs,
+    ckptr: Option<&Checkpointer>,
+    crash_after: Option<usize>,
+) -> Result<ColdModel, String> {
+    if let Some(n) = crash_after {
+        pg.run_sweeps(n, ckptr).map_err(|e| e.to_string())?;
+        crash_now(n);
+    }
+    let (model, stats) = match ckptr {
+        Some(ckptr) => pg.run_checkpointed(ckptr).map_err(|e| e.to_string())?,
+        None => pg.run(),
+    };
+    println!(
+        "parallel wall time {:.1}s over {} supersteps",
+        stats.wall_seconds,
+        stats.supersteps.len()
+    );
+    Ok(model)
+}
+
+/// Abort the process the way a crash would (no model written, nonzero
+/// exit). 137 mirrors a SIGKILL'd process so recovery drills look real.
+fn crash_now(after_sweep: usize) -> ! {
+    eprintln!("crash injection: aborting after sweep {after_sweep}");
+    std::process::exit(137);
+}
+
+/// `cold ckpt-inspect` — list a checkpoint directory: sweep, size, and
+/// integrity verdict per file (corrupt files are reported, not fatal).
+pub fn ckpt_inspect(args: &Args) -> CliResult {
+    let dir = args.required("dir")?;
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("{dir} is not a directory"));
+    }
+    let ckptr = Checkpointer::new(dir).map_err(|e| e.to_string())?;
+    let entries = ckptr.list().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("{dir}: no checkpoints");
+        return Ok(());
+    }
+    for entry in &entries {
+        match Checkpoint::read(&entry.path) {
+            Ok(ckpt) => {
+                let d = ckpt.config.dims;
+                println!(
+                    "sweep {:>6}  {:>9} B  ok       {:?} kernel={} C={} K={} samples={}",
+                    entry.sweep,
+                    entry.bytes,
+                    ckpt.kind,
+                    ckpt.config.kernel.name(),
+                    d.num_communities,
+                    d.num_topics,
+                    ckpt.acc.samples_collected(),
+                );
+            }
+            Err(err) => {
+                println!(
+                    "sweep {:>6}  {:>9} B  CORRUPT  {err}",
+                    entry.sweep, entry.bytes
+                );
+            }
+        }
+    }
+    println!(
+        "{dir}: {} checkpoint(s), newest at sweep {}",
+        entries.len(),
+        entries[0].sweep
+    );
     Ok(())
 }
 

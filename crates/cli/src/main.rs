@@ -40,6 +40,7 @@ fn main() {
         "influence" => commands::influence(&args),
         "eval" => commands::eval(&args),
         "metrics-check" => commands::metrics_check(&args),
+        "ckpt-inspect" => commands::ckpt_inspect(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

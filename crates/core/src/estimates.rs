@@ -130,7 +130,9 @@ impl ColdModel {
 }
 
 /// Accumulates per-sample point estimates; finalized into a [`ColdModel`].
-#[derive(Debug, Clone)]
+/// Serializable so checkpoints capture the partial averages collected
+/// before an interruption (resume must not lose post-burn-in samples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EstimateAccumulator {
     dims: Dims,
     hyper_rho: f64,
@@ -173,6 +175,11 @@ impl EstimateAccumulator {
             psi: vec![0.0; c * k * t],
             samples: 0,
         }
+    }
+
+    /// Number of Gibbs samples folded in so far.
+    pub fn samples_collected(&self) -> usize {
+        self.samples
     }
 
     /// Fold in the point estimates computed from the current counts

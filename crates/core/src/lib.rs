@@ -64,6 +64,7 @@
 // those loops obscure the math they mirror.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod conditionals;
 pub mod diagnostics;
 pub mod diffusion;
@@ -77,6 +78,7 @@ pub mod predict;
 pub mod sampler;
 pub mod state;
 
+pub use checkpoint::{Checkpoint, CheckpointKind, Checkpointer, CkptError, CKPT_FORMAT};
 pub use cold_obs::Metrics;
 pub use conditionals::KernelCounters;
 pub use diffusion::{CommunityDiffusionGraph, DiffusionEdge};

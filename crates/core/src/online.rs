@@ -14,10 +14,11 @@
 //! models; it inherits the collapsed conditionals from [`conditionals`],
 //! so online and batch assignments are drawn from the same distributions.
 
+use crate::checkpoint::{Checkpoint, CheckpointKind, CkptError, OnlineMeta};
 use crate::conditionals::{resample_post, Scratch};
 use crate::estimates::{ColdModel, EstimateAccumulator};
 use crate::params::ColdConfig;
-use crate::sampler::GibbsSampler;
+use crate::sampler::{GibbsSampler, TrainTrace};
 use crate::state::{CountState, PostsView};
 use cold_graph::CsrGraph;
 use cold_math::rng::{seeded_rng, Rng};
@@ -32,8 +33,13 @@ pub struct OnlineCold {
     scratch: Scratch,
     /// Gibbs draws per arriving post (burn-in for its assignment).
     pub draws_per_post: usize,
-    /// Recent-window size for refresh sweeps.
+    /// Recent-window size for refresh sweeps, and the cadence of the
+    /// automatic kernel-cache refresh in [`absorb`](Self::absorb).
     pub refresh_window: usize,
+    /// Posts absorbed since the kernel caches were last re-snapshotted.
+    absorbs_since_refresh: usize,
+    /// The warm-start seed, recorded into checkpoints for provenance.
+    seed: u64,
 }
 
 impl OnlineCold {
@@ -61,7 +67,78 @@ impl OnlineCold {
             scratch,
             draws_per_post: 3,
             refresh_window: 256,
+            absorbs_since_refresh: 0,
+            seed,
         }
+    }
+
+    /// Snapshot-on-demand: capture the full streaming state as a
+    /// `cold-ckpt/v1` checkpoint. The absorbed post stream rides along
+    /// (unlike batch checkpoints, the corpus alone cannot rebuild it).
+    /// Never consumes randomness.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            kind: CheckpointKind::Online,
+            seed: self.seed,
+            shards: 1,
+            sweeps_done: self.config.iterations,
+            rng: self.rng.raw_state().to_vec(),
+            config: self.config.clone(),
+            state: self.state.clone(),
+            trace: TrainTrace::default(),
+            acc: EstimateAccumulator::new(&self.config),
+            posts: Some(self.posts.clone()),
+            online: Some(OnlineMeta {
+                draws_per_post: self.draws_per_post,
+                refresh_window: self.refresh_window,
+                absorbs_since_refresh: self.absorbs_since_refresh,
+            }),
+        }
+    }
+
+    /// Rebuild a streaming instance from an [`CheckpointKind::Online`]
+    /// checkpoint. The kernel caches are re-snapshotted from the restored
+    /// counters, exactly as [`warm_start`](Self::warm_start) does — for
+    /// the `Exact` and `CachedLog` kernels (pure evaluation / pure
+    /// memoization) the resumed absorb stream is bit-identical to the
+    /// uninterrupted one; the `AliasMh` kernel rebuilds its proposal
+    /// tables, which preserves the stationary distribution but not the
+    /// draw-for-draw trajectory when the interrupted instance was running
+    /// on stale tables.
+    pub fn resume(config: ColdConfig, ckpt: Checkpoint) -> Result<Self, CkptError> {
+        if ckpt.kind != CheckpointKind::Online {
+            return Err(CkptError::Format(format!(
+                "expected an online checkpoint, found {:?}",
+                ckpt.kind
+            )));
+        }
+        ckpt.check_config(&config)?;
+        if ckpt.rng.len() != 4 {
+            return Err(CkptError::Format(format!(
+                "online checkpoint needs 4 RNG words, got {}",
+                ckpt.rng.len()
+            )));
+        }
+        let (Some(posts), Some(meta)) = (ckpt.posts, ckpt.online) else {
+            return Err(CkptError::Format(
+                "online checkpoint missing posts view or online metadata".into(),
+            ));
+        };
+        let mut words = [0u64; 4];
+        words.copy_from_slice(&ckpt.rng);
+        let mut scratch = Scratch::for_config(&config);
+        scratch.begin_sweep(&ckpt.state);
+        Ok(Self {
+            config,
+            state: ckpt.state,
+            posts,
+            rng: Rng::from_raw_state(words),
+            scratch,
+            draws_per_post: meta.draws_per_post,
+            refresh_window: meta.refresh_window,
+            absorbs_since_refresh: meta.absorbs_since_refresh,
+            seed: ckpt.seed,
+        })
     }
 
     /// Number of posts currently absorbed (batch + streamed).
@@ -100,6 +177,18 @@ impl OnlineCold {
             );
         }
         metrics.counter_add("online.posts_absorbed", 1);
+        // The kernel caches snapshot the counters; a long absorb stream
+        // without a `refresh` call would leave the AliasMh proposal tables
+        // (and the Eq. 2 rate cache) arbitrarily stale, degrading MH
+        // acceptance. Re-snapshot automatically every `refresh_window`
+        // absorbs so cache staleness is bounded even for callers that
+        // never run maintenance sweeps.
+        self.absorbs_since_refresh += 1;
+        if self.absorbs_since_refresh >= self.refresh_window {
+            self.scratch.begin_sweep(&self.state);
+            self.absorbs_since_refresh = 0;
+            metrics.counter_add("online.stale_cache_refreshes", 1);
+        }
         if metrics.is_enabled() {
             self.scratch
                 .take_counters()
@@ -116,6 +205,7 @@ impl OnlineCold {
         // Re-snapshot the kernel caches (fresh alias proposals for the
         // AliasMh kernel) before the maintenance sweep.
         self.scratch.begin_sweep(&self.state);
+        self.absorbs_since_refresh = 0;
         let start = self.posts.len().saturating_sub(self.refresh_window);
         for d in start..self.posts.len() {
             resample_post(
@@ -257,5 +347,98 @@ mod tests {
             mass_after > mass_before,
             "streamed burst ignored: {mass_before} -> {mass_after}"
         );
+    }
+
+    /// A long absorb stream without manual `refresh` calls re-snapshots
+    /// the kernel caches every `refresh_window` posts and counts the
+    /// refreshes into `online.stale_cache_refreshes`.
+    #[test]
+    fn absorb_auto_refreshes_stale_caches() {
+        let (corpus, graph, mut config) = setup();
+        let metrics = crate::Metrics::enabled();
+        config.metrics = crate::params::MetricsHandle(metrics.clone());
+        let mut online = OnlineCold::warm_start(&corpus, &graph, config, 6);
+        online.refresh_window = 4;
+        let fb = corpus.vocab().id_of("football").unwrap();
+        for _ in 0..11 {
+            online.absorb(&Post::new(0, 0, vec![fb, fb]));
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("online.stale_cache_refreshes"), 2);
+        online.check_consistency().unwrap();
+        // A manual refresh resets the staleness clock: 3 absorbs since the
+        // last auto-refresh + 1 more after refresh() stays below the window.
+        online.refresh();
+        online.absorb(&Post::new(0, 0, vec![fb]));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("online.stale_cache_refreshes"), 2);
+    }
+
+    /// Snapshot-on-demand → resume is bit-identical for the pure kernels:
+    /// the interrupted and uninterrupted streams absorb the same posts and
+    /// end in exactly the same state.
+    #[test]
+    fn online_checkpoint_resume_is_bit_identical() {
+        use crate::params::SamplerKernel;
+        for kernel in [SamplerKernel::Exact, SamplerKernel::CachedLog] {
+            let (corpus, graph, _) = setup();
+            let config = ColdConfig::builder(2, 2)
+                .iterations(30)
+                .burn_in(20)
+                .kernel(kernel)
+                .build(&corpus, &graph);
+            let fb = corpus.vocab().id_of("football").unwrap();
+            let film = corpus.vocab().id_of("film").unwrap();
+            let stream: Vec<Post> = (0..12)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Post::new(0, 1, vec![fb, fb])
+                    } else {
+                        Post::new(1, 3, vec![film])
+                    }
+                })
+                .collect();
+            let mut uninterrupted = OnlineCold::warm_start(&corpus, &graph, config.clone(), 7);
+            let mut crashed = OnlineCold::warm_start(&corpus, &graph, config.clone(), 7);
+            for post in &stream[..5] {
+                uninterrupted.absorb(post);
+                crashed.absorb(post);
+            }
+            let ckpt = Checkpoint::decode(&crashed.checkpoint().encode()).unwrap();
+            drop(crashed);
+            let mut resumed = OnlineCold::resume(config, ckpt).unwrap();
+            for post in &stream[5..] {
+                uninterrupted.absorb(post);
+                resumed.absorb(post);
+            }
+            assert_eq!(
+                resumed.state(),
+                uninterrupted.state(),
+                "{kernel:?}: resumed stream diverged"
+            );
+        }
+    }
+
+    /// Resuming an online checkpoint with a different configuration or a
+    /// non-online checkpoint is rejected.
+    #[test]
+    fn online_resume_rejects_mismatches() {
+        let (corpus, graph, config) = setup();
+        let online = OnlineCold::warm_start(&corpus, &graph, config.clone(), 8);
+        let ckpt = online.checkpoint();
+        let other = ColdConfig::builder(2, 2)
+            .iterations(61)
+            .burn_in(50)
+            .build(&corpus, &graph);
+        assert!(matches!(
+            OnlineCold::resume(other, ckpt.clone()),
+            Err(CkptError::ConfigMismatch(_))
+        ));
+        let mut wrong_kind = ckpt;
+        wrong_kind.kind = CheckpointKind::Sequential;
+        assert!(matches!(
+            OnlineCold::resume(config, wrong_kind),
+            Err(CkptError::Format(_))
+        ));
     }
 }

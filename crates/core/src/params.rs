@@ -205,6 +205,15 @@ pub struct ColdConfig {
     /// [`run`]: crate::sampler::GibbsSampler::run
     /// [`run_traced`]: crate::sampler::GibbsSampler::run_traced
     pub ll_every: Option<usize>,
+    /// Checkpoint cadence: `Some(n)` writes a `cold-ckpt/v1` checkpoint
+    /// after every `n`-th sweep (plus the final sweep) whenever the run is
+    /// driven with a [`Checkpointer`] attached. `None` falls back to the
+    /// checkpointing entry points' default cadence (every 10th sweep).
+    /// Checkpoint writes never consume sampler randomness, so a
+    /// checkpointed run stays bit-identical to an unchecked one.
+    ///
+    /// [`Checkpointer`]: crate::checkpoint::Checkpointer
+    pub checkpoint_every: Option<usize>,
     /// Observability handle the samplers report into (disabled by
     /// default; enable via [`ColdConfigBuilder::metrics`]). Ignored by
     /// equality and persistence — see [`MetricsHandle`].
@@ -249,8 +258,15 @@ impl ColdConfig {
         if self.negative_link_ratio < 0.0 || !self.negative_link_ratio.is_finite() {
             return Err("negative_link_ratio must be finite and non-negative".into());
         }
+        // A zero cadence silently degenerates `should_monitor` (every
+        // sweep passes `is_multiple_of(0)` only at sweep 0, so the monitor
+        // would fire once and never again); reject it loudly, and apply
+        // the same guard to the checkpoint cadence.
         if self.ll_every == Some(0) {
             return Err("ll_every must be at least 1 sweep".into());
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err("checkpoint_every must be at least 1 sweep".into());
         }
         if self.anneal_sweeps > self.burn_in {
             return Err(format!(
@@ -279,6 +295,7 @@ pub struct ColdConfigBuilder {
     hyper_override: Option<Hyperparams>,
     kernel: SamplerKernel,
     ll_every: Option<usize>,
+    checkpoint_every: Option<usize>,
     metrics: Metrics,
 }
 
@@ -299,6 +316,7 @@ impl ColdConfigBuilder {
             hyper_override: None,
             kernel: SamplerKernel::default(),
             ll_every: None,
+            checkpoint_every: None,
             metrics: Metrics::default(),
         }
     }
@@ -400,6 +418,16 @@ impl ColdConfigBuilder {
         self
     }
 
+    /// Write a checkpoint after every `n`-th sweep (plus the final sweep)
+    /// when training runs with a [`Checkpointer`] attached. Without this
+    /// call the checkpointing entry points default to every 10th sweep.
+    ///
+    /// [`Checkpointer`]: crate::checkpoint::Checkpointer
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = Some(n);
+        self
+    }
+
     /// Attach an observability handle; the samplers, kernels and parallel
     /// engine record counters, timing histograms and spans into it during
     /// training. Pass [`Metrics::enabled`] (keeping a clone to snapshot
@@ -450,6 +478,7 @@ impl ColdConfigBuilder {
             negative_link_ratio: self.negative_link_ratio,
             kernel: self.kernel,
             ll_every: self.ll_every,
+            checkpoint_every: self.checkpoint_every,
             metrics: MetricsHandle(self.metrics),
         };
         config.validate().expect("invalid COLD configuration");
@@ -510,10 +539,28 @@ mod tests {
         assert_eq!(cfg.kernel, SamplerKernel::AliasMh);
         assert_eq!(cfg.ll_every, Some(7));
         cfg.validate().unwrap();
-        // A zero cadence is meaningless and rejected.
-        let mut bad = cfg;
+        // A zero cadence is meaningless and rejected — for the likelihood
+        // monitor and the checkpoint writer alike.
+        let mut bad = cfg.clone();
         bad.ll_every = Some(0);
         assert!(bad.validate().is_err());
+        let mut bad = cfg;
+        bad.checkpoint_every = Some(0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn builder_sets_checkpoint_every() {
+        let (corpus, graph) = tiny();
+        let cfg = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
+        assert_eq!(cfg.checkpoint_every, None);
+        let cfg = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .checkpoint_every(3)
+            .build(&corpus, &graph);
+        assert_eq!(cfg.checkpoint_every, Some(3));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! outlive the process. JSON keeps the format transparent and diffable;
 //! the tables are f64 so round-trips are bit-exact.
 
+use crate::checkpoint::atomic_write;
 use crate::estimates::ColdModel;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 /// Errors from model persistence.
@@ -53,10 +54,12 @@ impl ColdModel {
         serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))
     }
 
-    /// Write the model to `path` (JSON).
+    /// Write the model to `path` (JSON), atomically: the bytes land in a
+    /// temp file which is fsynced and renamed over the destination (the
+    /// `cold-ckpt` durability protocol), so a crash mid-save can never
+    /// leave a torn model file where a good one used to be.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(self.to_json().as_bytes())?;
+        atomic_write(path, self.to_json().as_bytes())?;
         Ok(())
     }
 
@@ -113,11 +116,36 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let model = fitted();
-        let path = std::env::temp_dir().join("cold_model_persist_test.json");
+        // Unique per-process path: a fixed name races when multiple test
+        // processes (e.g. `cargo test` across crates) run concurrently.
+        let path = std::env::temp_dir().join(format!(
+            "cold_model_persist_test_{}.json",
+            std::process::id()
+        ));
         model.save(&path).unwrap();
         let back = ColdModel::load(&path).unwrap();
         assert_eq!(back.user_memberships(0), model.user_memberships(0));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `save` is atomic: overwriting an existing model either fully
+    /// succeeds or leaves the old file intact, and no temp file lingers.
+    #[test]
+    fn save_overwrites_atomically() {
+        let model = fitted();
+        let dir = std::env::temp_dir().join(format!("cold_persist_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        std::fs::write(&path, "{stale garbage").unwrap();
+        model.save(&path).unwrap();
+        let back = ColdModel::load(&path).unwrap();
+        assert_eq!(back.num_samples(), model.num_samples());
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(names.len(), 1, "temp file left behind: {names:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

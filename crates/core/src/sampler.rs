@@ -13,16 +13,18 @@
 //! links — the §4.2 complexity claim, which the scaling bench (Fig. 13a)
 //! verifies empirically.
 
+use crate::checkpoint::{due_after_sweep, Checkpoint, CheckpointKind, Checkpointer, CkptError};
 use crate::conditionals::{resample_link, resample_negative_link, resample_post, Scratch};
 use crate::estimates::{ColdModel, EstimateAccumulator};
 use crate::params::ColdConfig;
 use crate::state::{CountState, PostsView};
 use cold_graph::CsrGraph;
 use cold_math::rng::{seeded_rng, Rng};
+use serde::{Deserialize, Serialize};
 
 /// Progress of one training run, for convergence monitoring (§4.3 monitors
 /// "the likelihood of training data").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainTrace {
     /// `(sweep index, complete-data log-likelihood)` checkpoints.
     pub log_likelihood: Vec<(usize, f64)>,
@@ -48,6 +50,11 @@ pub struct GibbsSampler {
     sweeps_done: usize,
     /// The membership prior in effect this sweep (annealed toward `ρ`).
     current_rho: f64,
+    /// Partial posterior averages collected after burn-in. A field (not a
+    /// `run`-local) so checkpoints capture it and resume loses no samples.
+    acc: EstimateAccumulator,
+    /// The base seed, recorded into checkpoints for provenance.
+    seed: u64,
 }
 
 impl GibbsSampler {
@@ -73,7 +80,81 @@ impl GibbsSampler {
             scratch: Scratch::for_config(&config),
             sweeps_done: 0,
             current_rho,
+            acc: EstimateAccumulator::new(&config),
+            seed,
             config,
+        }
+    }
+
+    /// Rebuild a sampler from a `cold-ckpt/v1` checkpoint, positioned to
+    /// continue exactly where the checkpointed run stopped. The resumed
+    /// chain is **bit-identical** to the uninterrupted one: assignments,
+    /// counters, partial averages, trace and the RNG stream position are
+    /// all restored, and the kernel caches are rebuilt deterministically
+    /// from the counters at the next sweep.
+    ///
+    /// `config` must equal the checkpointed configuration (a fresh
+    /// [`Metrics`](cold_obs::Metrics) handle may be attached — it is
+    /// ignored by config equality); `corpus` must be the training corpus.
+    pub fn resume(
+        corpus: &cold_text::Corpus,
+        config: ColdConfig,
+        ckpt: Checkpoint,
+    ) -> Result<Self, CkptError> {
+        if ckpt.kind != CheckpointKind::Sequential {
+            return Err(CkptError::Format(format!(
+                "expected a sequential-sampler checkpoint, found {:?}",
+                ckpt.kind
+            )));
+        }
+        ckpt.check_config(&config)?;
+        if ckpt.rng.len() != 4 {
+            return Err(CkptError::Format(format!(
+                "sequential checkpoint needs 4 RNG words, got {}",
+                ckpt.rng.len()
+            )));
+        }
+        let posts = PostsView::from_corpus(corpus);
+        if posts.len() != ckpt.state.post_comm.len() {
+            return Err(CkptError::ConfigMismatch(format!(
+                "corpus has {} posts but the checkpoint assigns {}",
+                posts.len(),
+                ckpt.state.post_comm.len()
+            )));
+        }
+        let mut words = [0u64; 4];
+        words.copy_from_slice(&ckpt.rng);
+        let current_rho = Self::annealed_rho(&config, ckpt.sweeps_done);
+        Ok(Self {
+            posts,
+            state: ckpt.state,
+            rng: Rng::from_raw_state(words),
+            trace: ckpt.trace,
+            scratch: Scratch::for_config(&config),
+            sweeps_done: ckpt.sweeps_done,
+            current_rho,
+            acc: ckpt.acc,
+            seed: ckpt.seed,
+            config,
+        })
+    }
+
+    /// Snapshot the complete training state at the current sweep boundary.
+    /// Never consumes randomness, so checkpointed and plain runs stay
+    /// bit-identical.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            kind: CheckpointKind::Sequential,
+            seed: self.seed,
+            shards: 1,
+            sweeps_done: self.sweeps_done,
+            rng: self.rng.raw_state().to_vec(),
+            config: self.config.clone(),
+            state: self.state.clone(),
+            trace: self.trace.clone(),
+            acc: self.acc.clone(),
+            posts: None,
+            online: None,
         }
     }
 
@@ -106,14 +187,22 @@ impl GibbsSampler {
         sweep.is_multiple_of(every) || sweep + 1 == self.config.iterations
     }
 
-    /// Run the configured number of sweeps and return the averaged model.
-    pub fn run(mut self) -> ColdModel {
+    /// The shared training loop: sweep → monitor → collect → checkpoint,
+    /// from the current position up to sweep `upto` (capped at the
+    /// configured iteration count). Resume-safe because every cadence is a
+    /// pure function of the sweep index.
+    fn run_loop(
+        &mut self,
+        upto: usize,
+        default_every: usize,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<(), CkptError> {
         let metrics = self.config.metrics.0.clone();
-        let t0 = metrics.start();
-        let mut acc = EstimateAccumulator::new(&self.config);
-        for sweep in 0..self.config.iterations {
+        let upto = upto.min(self.config.iterations);
+        while self.sweeps_done < upto {
+            let sweep = self.sweeps_done;
             self.sweep();
-            if self.should_monitor(sweep, 10) {
+            if self.should_monitor(sweep, default_every) {
                 let _monitor = metrics.span("ll_monitor");
                 let ll = self.log_likelihood();
                 self.trace.log_likelihood.push((sweep, ll));
@@ -121,33 +210,84 @@ impl GibbsSampler {
             if sweep >= self.config.burn_in
                 && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
             {
-                acc.collect(&self.state);
+                self.acc.collect(&self.state);
+            }
+            if let Some(ckptr) = ckpt {
+                if due_after_sweep(&self.config, sweep) {
+                    ckptr.write(&self.checkpoint())?;
+                }
             }
         }
+        Ok(())
+    }
+
+    /// Run the configured number of sweeps and return the averaged model.
+    pub fn run(mut self) -> ColdModel {
+        let metrics = self.config.metrics.0.clone();
+        let t0 = metrics.start();
+        self.run_loop(self.config.iterations, 10, None)
+            .expect("checkpoint-free run cannot fail");
         self.finish_metrics(&metrics, t0);
-        acc.finalize()
+        self.acc.finalize()
     }
 
     /// Run and also return the trace (for convergence tests / benches).
     pub fn run_traced(mut self) -> (ColdModel, TrainTrace) {
         let metrics = self.config.metrics.0.clone();
         let t0 = metrics.start();
-        let mut acc = EstimateAccumulator::new(&self.config);
-        for sweep in 0..self.config.iterations {
-            self.sweep();
-            if self.should_monitor(sweep, 1) {
-                let _monitor = metrics.span("ll_monitor");
-                let ll = self.log_likelihood();
-                self.trace.log_likelihood.push((sweep, ll));
-            }
-            if sweep >= self.config.burn_in
-                && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
-            {
-                acc.collect(&self.state);
-            }
-        }
+        self.run_loop(self.config.iterations, 1, None)
+            .expect("checkpoint-free run cannot fail");
         self.finish_metrics(&metrics, t0);
-        (acc.finalize(), self.trace)
+        (self.acc.finalize(), self.trace)
+    }
+
+    /// [`run`](Self::run), writing a checkpoint through `ckpt` every
+    /// `checkpoint_every`-th sweep (default: every 10th) plus the final
+    /// one. Works identically on a fresh or [resumed](Self::resume)
+    /// sampler.
+    pub fn run_checkpointed(mut self, ckpt: &Checkpointer) -> Result<ColdModel, CkptError> {
+        let metrics = self.config.metrics.0.clone();
+        let t0 = metrics.start();
+        self.run_loop(self.config.iterations, 10, Some(ckpt))?;
+        self.finish_metrics(&metrics, t0);
+        Ok(self.acc.finalize())
+    }
+
+    /// [`run_traced`](Self::run_traced) with checkpointing.
+    pub fn run_traced_checkpointed(
+        mut self,
+        ckpt: &Checkpointer,
+    ) -> Result<(ColdModel, TrainTrace), CkptError> {
+        let metrics = self.config.metrics.0.clone();
+        let t0 = metrics.start();
+        self.run_loop(self.config.iterations, 1, Some(ckpt))?;
+        self.finish_metrics(&metrics, t0);
+        Ok((self.acc.finalize(), self.trace))
+    }
+
+    /// Advance to sweep `upto` (capped at the configured iterations)
+    /// without finalizing, optionally checkpointing along the way. Lets
+    /// callers interleave training with inspection, and lets tests stop a
+    /// run mid-flight exactly where a crash would.
+    pub fn run_sweeps(
+        &mut self,
+        upto: usize,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<(), CkptError> {
+        self.run_loop(upto, 10, ckpt)
+    }
+
+    /// Average the samples collected so far into a model.
+    ///
+    /// # Panics
+    /// Panics if no post-burn-in sample was ever collected.
+    pub fn finish(self) -> ColdModel {
+        self.acc.finalize()
+    }
+
+    /// [`finish`](Self::finish), also returning the training trace.
+    pub fn finish_traced(self) -> (ColdModel, TrainTrace) {
+        (self.acc.finalize(), self.trace)
     }
 
     /// End-of-run gauges for `run`/`run_traced`.

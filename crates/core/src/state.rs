@@ -19,10 +19,12 @@ use cold_graph::CsrGraph;
 use cold_math::rng::Rng;
 use cold_text::Corpus;
 use rand::Rng as _;
+use serde::{Deserialize, Serialize};
 
 /// Immutable, sampler-friendly view of the posts: authors, times, and
 /// precomputed word multisets (Eq. 3 iterates distinct words with counts).
-#[derive(Debug, Clone)]
+/// Serializable so online checkpoints can carry the absorbed stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PostsView {
     /// Author of each post.
     pub authors: Vec<u32>,
@@ -57,8 +59,10 @@ impl PostsView {
     }
 }
 
-/// The mutable Gibbs state: assignments plus counters.
-#[derive(Debug, Clone)]
+/// The mutable Gibbs state: assignments plus counters. Serializable as the
+/// core of a `cold-ckpt/v1` checkpoint (all counters are integers, so the
+/// JSON round-trip is exact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CountState {
     /// Number of communities `C`.
     pub num_communities: usize,

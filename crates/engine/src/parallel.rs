@@ -12,11 +12,13 @@
 //! the standard AD-LDA approximation.
 
 use crate::cluster::{ClusterCostModel, SuperstepWork};
+use cold_core::checkpoint::{due_after_sweep, Checkpoint, CheckpointKind, Checkpointer, CkptError};
 use cold_core::conditionals::{
     resample_link, resample_negative_link, resample_post, KernelCounters, Scratch,
 };
 use cold_core::estimates::EstimateAccumulator;
 use cold_core::params::ColdConfig;
+use cold_core::sampler::TrainTrace;
 use cold_core::state::{CountState, PostsView};
 use cold_core::ColdModel;
 use cold_graph::CsrGraph;
@@ -71,6 +73,14 @@ pub struct ParallelGibbs {
     mode: ShardMode,
     /// Bytes of global counters exchanged per barrier.
     sync_bytes: u64,
+    /// Completed supersteps (checkpoints are cut at these barriers).
+    sweeps_done: usize,
+    /// Partial posterior averages collected after burn-in. A field (not a
+    /// `run`-local) so checkpoints capture it and resume loses no samples.
+    acc: EstimateAccumulator,
+    /// The base seed; sharded resume re-derives its per-(sweep, shard)
+    /// RNG streams from it.
+    seed: u64,
 }
 
 impl ParallelGibbs {
@@ -98,6 +108,33 @@ impl ParallelGibbs {
             let global = CountState::init_random(&config, &posts, graph, &mut init_rng);
             (global, ShardMode::Sharded(factory))
         };
+        let (shard_posts, shard_links, shard_neg_links, sync_bytes) =
+            Self::build_partitions(&posts, &global, shards);
+        Self {
+            acc: EstimateAccumulator::new(&config),
+            config,
+            posts,
+            shards,
+            shard_posts,
+            shard_links,
+            shard_neg_links,
+            global,
+            mode,
+            sync_bytes,
+            sweeps_done: 0,
+            seed,
+        }
+    }
+
+    /// Deterministic shard assignment (user `i` → shard `i % shards`) plus
+    /// the per-barrier sync volume. Pure function of posts, links and the
+    /// shard count, so resume rebuilds the identical partition.
+    #[allow(clippy::type_complexity)]
+    fn build_partitions(
+        posts: &PostsView,
+        global: &CountState,
+        shards: usize,
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<Vec<usize>>, u64) {
         // Ownership: user i belongs to shard i % shards.
         let mut shard_posts: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for d in 0..posts.len() {
@@ -121,16 +158,95 @@ impl ParallelGibbs {
                 + global.n_kv.len()
                 + global.n_k.len()
                 + global.n_cc.len()) as u64;
-        Self {
+        (shard_posts, shard_links, shard_neg_links, sync_bytes)
+    }
+
+    /// Rebuild a parallel sampler from a `cold-ckpt/v1` checkpoint,
+    /// positioned at the superstep barrier where it was written. The shard
+    /// count is pinned by the checkpoint (resharding would change both the
+    /// partition and the RNG streams). Resume is **bit-identical**: the
+    /// single-shard mode restores its sequential RNG stream, and the
+    /// sharded mode's per-(superstep, shard) streams are pure functions of
+    /// the base seed, so they need no serialized state at all.
+    ///
+    /// [`ParallelStats`] restart at zero — work metering is per-process,
+    /// not part of the training state.
+    pub fn resume(
+        corpus: &Corpus,
+        config: ColdConfig,
+        ckpt: Checkpoint,
+    ) -> Result<Self, CkptError> {
+        if ckpt.kind != CheckpointKind::Parallel {
+            return Err(CkptError::Format(format!(
+                "expected a parallel-engine checkpoint, found {:?}",
+                ckpt.kind
+            )));
+        }
+        ckpt.check_config(&config)?;
+        let posts = PostsView::from_corpus(corpus);
+        if posts.len() != ckpt.state.post_comm.len() {
+            return Err(CkptError::ConfigMismatch(format!(
+                "corpus has {} posts but the checkpoint assigns {}",
+                posts.len(),
+                ckpt.state.post_comm.len()
+            )));
+        }
+        let shards = ckpt.shards;
+        let mode = if shards == 1 {
+            if ckpt.rng.len() != 4 {
+                return Err(CkptError::Format(format!(
+                    "single-shard checkpoint needs 4 RNG words, got {}",
+                    ckpt.rng.len()
+                )));
+            }
+            let mut words = [0u64; 4];
+            words.copy_from_slice(&ckpt.rng);
+            ShardMode::Sequential {
+                rng: Rng::from_raw_state(words),
+                scratch: Box::new(Scratch::for_config(&config)),
+            }
+        } else {
+            ShardMode::Sharded(RngFactory::new(ckpt.seed))
+        };
+        let (shard_posts, shard_links, shard_neg_links, sync_bytes) =
+            Self::build_partitions(&posts, &ckpt.state, shards);
+        Ok(Self {
             config,
             posts,
             shards,
             shard_posts,
             shard_links,
             shard_neg_links,
-            global,
+            global: ckpt.state,
             mode,
             sync_bytes,
+            sweeps_done: ckpt.sweeps_done,
+            acc: ckpt.acc,
+            seed: ckpt.seed,
+        })
+    }
+
+    /// Snapshot the complete training state at the current superstep
+    /// barrier. Never consumes sampler randomness.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let rng = match &self.mode {
+            ShardMode::Sequential { rng, .. } => rng.raw_state().to_vec(),
+            // Sharded streams are derived per (superstep, shard) from the
+            // base seed — nothing to serialize.
+            ShardMode::Sharded(_) => Vec::new(),
+        };
+        Checkpoint {
+            kind: CheckpointKind::Parallel,
+            seed: self.seed,
+            shards: self.shards,
+            sweeps_done: self.sweeps_done,
+            rng,
+            config: self.config.clone(),
+            state: self.global.clone(),
+            trace: TrainTrace::default(),
+            acc: self.acc.clone(),
+            posts: None,
+            online: None,
         }
     }
 
@@ -144,27 +260,89 @@ impl ParallelGibbs {
         &self.global
     }
 
-    /// Run the configured sweeps; returns the fitted model and work stats.
-    pub fn run(mut self) -> (ColdModel, ParallelStats) {
-        let metrics = self.config.metrics.0.clone();
-        let mut acc = EstimateAccumulator::new(&self.config);
-        let mut stats = ParallelStats::default();
-        let start = std::time::Instant::now();
-        for sweep in 0..self.config.iterations {
-            let t_step = std::time::Instant::now();
-            let work = self.superstep(sweep);
+    /// One superstep + the bookkeeping that belongs to its barrier:
+    /// timing, sample collection, and (if a checkpointer is attached and
+    /// the cadence hits) a durable checkpoint.
+    fn step_once(
+        &mut self,
+        stats: Option<&mut ParallelStats>,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<(), CkptError> {
+        let sweep = self.sweeps_done;
+        let t_step = std::time::Instant::now();
+        let work = self.superstep(sweep);
+        if let Some(stats) = stats {
             stats.superstep_seconds.push(t_step.elapsed().as_secs_f64());
             stats.supersteps.push(work);
-            if sweep >= self.config.burn_in
-                && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
-            {
-                acc.collect(&self.global);
+        }
+        if sweep >= self.config.burn_in
+            && (sweep - self.config.burn_in).is_multiple_of(self.config.sample_lag)
+        {
+            self.acc.collect(&self.global);
+        }
+        if let Some(ckptr) = ckpt {
+            if due_after_sweep(&self.config, sweep) {
+                ckptr.write(&self.checkpoint())?;
             }
+        }
+        Ok(())
+    }
+
+    /// Run until the configured iteration count, from wherever the sampler
+    /// currently is (fresh or resumed).
+    fn run_to_completion(
+        mut self,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<(ColdModel, ParallelStats), CkptError> {
+        let metrics = self.config.metrics.0.clone();
+        let mut stats = ParallelStats::default();
+        let start = std::time::Instant::now();
+        while self.sweeps_done < self.config.iterations {
+            self.step_once(Some(&mut stats), ckpt)?;
         }
         stats.wall_seconds = start.elapsed().as_secs_f64();
         metrics.gauge_set("parallel.wall_seconds", stats.wall_seconds);
         metrics.gauge_set("parallel.shards", self.shards as f64);
-        (acc.finalize(), stats)
+        Ok((self.acc.finalize(), stats))
+    }
+
+    /// Run the configured sweeps; returns the fitted model and work stats.
+    pub fn run(self) -> (ColdModel, ParallelStats) {
+        self.run_to_completion(None)
+            .expect("checkpoint-free run cannot fail")
+    }
+
+    /// [`run`](Self::run), writing a checkpoint through `ckpt` at every
+    /// `checkpoint_every`-th superstep barrier (default: every 10th) plus
+    /// the final one.
+    pub fn run_checkpointed(
+        self,
+        ckpt: &Checkpointer,
+    ) -> Result<(ColdModel, ParallelStats), CkptError> {
+        self.run_to_completion(Some(ckpt))
+    }
+
+    /// Advance to superstep `upto` (capped at the configured iterations)
+    /// without finalizing, optionally checkpointing at the barriers. Lets
+    /// tests stop a run exactly where a crash would.
+    pub fn run_sweeps(
+        &mut self,
+        upto: usize,
+        ckpt: Option<&Checkpointer>,
+    ) -> Result<(), CkptError> {
+        let upto = upto.min(self.config.iterations);
+        while self.sweeps_done < upto {
+            self.step_once(None, ckpt)?;
+        }
+        Ok(())
+    }
+
+    /// Average the samples collected so far into a model.
+    ///
+    /// # Panics
+    /// Panics if no post-burn-in sample was ever collected.
+    pub fn finish(self) -> ColdModel {
+        self.acc.finalize()
     }
 
     /// One bulk-synchronous superstep: every shard resamples its items
@@ -181,6 +359,7 @@ impl ParallelGibbs {
         metrics.observe_since("parallel.superstep_seconds", t_step);
         metrics.counter_add("parallel.supersteps", 1);
         metrics.counter_add("parallel.sync_bytes", work.sync_bytes);
+        self.sweeps_done += 1;
         work
     }
 
@@ -483,6 +662,57 @@ mod tests {
         let (m2, _) = ParallelGibbs::new(&corpus, &graph, config(&corpus, &graph), 3, 11).run();
         assert_eq!(m1.user_memberships(0), m2.user_memberships(0));
         assert_eq!(m1.topic_words(0), m2.topic_words(0));
+    }
+
+    /// Stop a run at a superstep barrier, round-trip the checkpoint
+    /// through the on-disk byte format, resume, and finish: the model must
+    /// be bit-identical to the uninterrupted run — for the single-shard
+    /// (persistent RNG stream) and sharded (derived streams) modes alike.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let (corpus, graph) = data();
+        for shards in [1usize, 3] {
+            let cfg = config(&corpus, &graph);
+            let (full, _) = ParallelGibbs::new(&corpus, &graph, cfg.clone(), shards, 13).run();
+            let mut pg = ParallelGibbs::new(&corpus, &graph, cfg.clone(), shards, 13);
+            // Stop after burn-in so the accumulator already holds partial
+            // averages that the checkpoint must not lose.
+            pg.run_sweeps(55, None).unwrap();
+            let ckpt = Checkpoint::decode(&pg.checkpoint().encode()).unwrap();
+            drop(pg);
+            let resumed = ParallelGibbs::resume(&corpus, cfg, ckpt).unwrap();
+            let (model, _) = resumed.run();
+            assert_eq!(
+                model.to_json(),
+                full.to_json(),
+                "{shards}-shard resume diverged from the uninterrupted run"
+            );
+        }
+    }
+
+    /// A parallel checkpoint refuses to resume under a different
+    /// configuration or kind.
+    #[test]
+    fn resume_rejects_mismatches() {
+        let (corpus, graph) = data();
+        let cfg = config(&corpus, &graph);
+        let mut pg = ParallelGibbs::new(&corpus, &graph, cfg.clone(), 2, 14);
+        pg.run_sweeps(10, None).unwrap();
+        let ckpt = pg.checkpoint();
+        let other = ColdConfig::builder(2, 2)
+            .iterations(61)
+            .burn_in(50)
+            .build(&corpus, &graph);
+        assert!(matches!(
+            ParallelGibbs::resume(&corpus, other, ckpt.clone()),
+            Err(CkptError::ConfigMismatch(_))
+        ));
+        let mut wrong_kind = ckpt;
+        wrong_kind.kind = CheckpointKind::Sequential;
+        assert!(matches!(
+            ParallelGibbs::resume(&corpus, cfg, wrong_kind),
+            Err(CkptError::Format(_))
+        ));
     }
 
     #[test]

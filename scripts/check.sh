@@ -25,4 +25,28 @@ cargo run -q --release -p cold-cli -- train \
   --metrics-out "$SMOKE_DIR/metrics.jsonl" >/dev/null
 cargo run -q --release -p cold-cli -- metrics-check --file "$SMOKE_DIR/metrics.jsonl"
 
+echo "== checkpoint smoke (train → crash → resume → bitwise compare) =="
+# The metrics run above is the uninterrupted reference: instrumentation
+# never touches the trajectory, so its model is the byte-exact target.
+rc=0
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model_resumed.json" \
+  --communities 2 --topics 2 --iterations 40 --seed 11 \
+  --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 8 \
+  --crash-after 23 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "expected simulated crash (exit 137), got $rc" >&2
+  exit 1
+fi
+cargo run -q --release -p cold-cli -- ckpt-inspect --dir "$SMOKE_DIR/ckpts"
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model_resumed.json" \
+  --communities 2 --topics 2 --iterations 40 --seed 11 \
+  --checkpoint-dir "$SMOKE_DIR/ckpts" --resume true >/dev/null
+if ! cmp -s "$SMOKE_DIR/model.json" "$SMOKE_DIR/model_resumed.json"; then
+  echo "resumed model differs from the uninterrupted run" >&2
+  exit 1
+fi
+echo "resume is bit-identical to the uninterrupted run"
+
 echo "All checks passed."

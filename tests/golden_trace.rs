@@ -8,7 +8,7 @@
 //! `scripts/regen_golden.sh` (sets `REGEN_GOLDEN=1`) and review the
 //! resulting diff like any other code change.
 
-use cold::core::{ColdConfig, GibbsSampler, Hyperparams, SamplerKernel};
+use cold::core::{Checkpoint, Checkpointer, ColdConfig, GibbsSampler, Hyperparams, SamplerKernel};
 use cold::data::{generate, SocialDataset, WorldConfig};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +136,86 @@ fn check_kernel(kernel: SamplerKernel) {
     assert_eq!(expected, actual, "{}: trace drifted", kernel.name());
 }
 
+/// Re-run a kernel's golden trajectory with mid-run checkpointing, then
+/// throw the sampler away at sweep 16 and resume from the on-disk
+/// checkpoint. The resumed trace must match the uninterrupted fixture
+/// bit for bit — this is the acceptance test for `cold-ckpt/v1` resume.
+fn trace_kernel_resumed(kernel: SamplerKernel) -> GoldenTrace {
+    let data = world();
+    let base = config(&data);
+    let cfg = || ColdConfig {
+        kernel,
+        checkpoint_every: Some(8),
+        ..base.clone()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "cold_golden_resume_{}_{}",
+        kernel.name(),
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let ckptr = Checkpointer::new(&dir).expect("create checkpoint dir");
+    // Checkpointed run to completion: checkpoints land at sweeps 8, 16, 24.
+    let sampler = GibbsSampler::new(&data.corpus, &data.graph, cfg(), SEED);
+    sampler
+        .run_traced_checkpointed(&ckptr)
+        .expect("checkpointed golden run");
+    // Resume from the *middle* checkpoint, as if the run had died at
+    // sweep 16, and train the remaining 8 sweeps.
+    let ckpt = Checkpoint::read(dir.join("ckpt-00000016.json")).expect("read sweep-16 checkpoint");
+    assert_eq!(ckpt.sweeps_done, 16, "mid-run checkpoint sweep");
+    let mut resumed =
+        GibbsSampler::resume(&data.corpus, cfg(), ckpt).expect("resume from sweep 16");
+    resumed
+        .run_sweeps(usize::MAX, None)
+        .expect("finish resumed run");
+    let (model, trace) = resumed.finish_traced();
+    std::fs::remove_dir_all(&dir).ok();
+    let top_words = (0..3)
+        .map(|k| {
+            model
+                .top_words(k, 8, data.corpus.vocab())
+                .into_iter()
+                .map(|(w, _)| w.to_owned())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    GoldenTrace {
+        kernel: kernel.name().to_owned(),
+        seed: SEED,
+        ll_sweeps: trace
+            .log_likelihood
+            .iter()
+            .map(|&(s, _)| s as u64)
+            .collect(),
+        ll_values: trace
+            .log_likelihood
+            .iter()
+            .map(|&(_, ll)| format!("{ll:.17e}"))
+            .collect(),
+        top_words,
+        hard_communities: model.hard_user_communities(),
+    }
+}
+
+fn check_kernel_resumed(kernel: SamplerKernel) {
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        return;
+    }
+    let text = std::fs::read_to_string(fixture_path(kernel))
+        .unwrap_or_else(|e| panic!("missing fixture for {} ({e})", kernel.name()));
+    let expected: GoldenTrace = serde_json::from_str(&text).expect("parse fixture");
+    let actual = trace_kernel_resumed(kernel);
+    assert_eq!(
+        expected,
+        actual,
+        "{}: resume from a mid-run checkpoint diverged from the \
+         uninterrupted golden trajectory",
+        kernel.name()
+    );
+}
+
 #[test]
 fn golden_trace_exact() {
     check_kernel(SamplerKernel::Exact);
@@ -149,6 +229,21 @@ fn golden_trace_cached_log() {
 #[test]
 fn golden_trace_alias_mh() {
     check_kernel(SamplerKernel::AliasMh);
+}
+
+#[test]
+fn resumed_trace_matches_golden_exact() {
+    check_kernel_resumed(SamplerKernel::Exact);
+}
+
+#[test]
+fn resumed_trace_matches_golden_cached_log() {
+    check_kernel_resumed(SamplerKernel::CachedLog);
+}
+
+#[test]
+fn resumed_trace_matches_golden_alias_mh() {
+    check_kernel_resumed(SamplerKernel::AliasMh);
 }
 
 /// The cached-log kernel is *pure memoization*: its golden trace must be
