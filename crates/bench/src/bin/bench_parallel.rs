@@ -1,0 +1,270 @@
+//! Shard-scaling study of the parallel engine's barrier strategies.
+//!
+//! For shards ∈ {1, 2, 4, 8} × every sampler kernel, measures ms/sweep
+//! and per-superstep synchronization bytes under the sparse delta barrier
+//! (default) and the clone-everything baseline it replaced. The delta
+//! numbers are *measured* serialized wire sizes; the clone numbers are the
+//! full global-counter block the baseline ships each barrier. Sync traffic
+//! is sampled after burn-in — the regime a long training run lives in,
+//! where most assignments are stable and deltas are sparse.
+//!
+//! Writes `BENCH_parallel.json` at the workspace root (the README and
+//! DESIGN.md quote its numbers); `--quick` runs a toy world for CI smoke
+//! and writes `BENCH_parallel_quick.json` instead so the committed
+//! headline is never clobbered by a smoke run.
+
+use cold_bench::workloads::{cold_hyper, BASE_SEED};
+use cold_core::{ColdConfig, SamplerKernel};
+use cold_data::{generate, SocialDataset, WorldConfig};
+use cold_engine::{ParallelGibbs, SyncStrategy};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Cell {
+    kernel: String,
+    shards: usize,
+    strategy: String,
+    ms_per_sweep: f64,
+    /// Mean measured (delta) or estimated (clone) bytes exchanged per
+    /// superstep barrier, after burn-in.
+    sync_bytes_per_superstep: f64,
+    /// Max/mean owned post ops across shards (1.0 = perfect balance).
+    shard_imbalance: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    world: String,
+    num_posts: usize,
+    num_links: usize,
+    vocab_size: usize,
+    /// Serialized size of the full global-counter block: what the clone
+    /// baseline ships per barrier regardless of how little changed.
+    counter_block_bytes: u64,
+    burn_in_sweeps: usize,
+    timed_sweeps: usize,
+    cells: Vec<Cell>,
+    /// Post-burn-in sync-bytes reduction of delta vs clone at shards = 4
+    /// (default kernel).
+    sync_reduction_at_4_shards: f64,
+    /// ms/sweep of delta relative to clone at shards = 4 (< 1 means the
+    /// delta barrier is also faster).
+    ms_ratio_delta_vs_clone_at_4_shards: f64,
+    headline: String,
+}
+
+struct Scenario {
+    world: SocialDataset,
+    world_label: String,
+    kernels: Vec<SamplerKernel>,
+    shard_grid: Vec<usize>,
+    burn_in: usize,
+    timed: usize,
+    out_file: &'static str,
+}
+
+fn scenario(quick: bool, scale: f64) -> Scenario {
+    if quick {
+        let config = WorldConfig {
+            num_users: 60,
+            num_communities: 3,
+            num_topics: 4,
+            num_time_slices: 8,
+            vocab_size: 600,
+            posts_per_user: 8.0,
+            words_per_post: 8.0,
+            ..WorldConfig::default()
+        };
+        Scenario {
+            world: generate(&config, BASE_SEED + 9200),
+            world_label: "quick smoke world".to_owned(),
+            kernels: vec![SamplerKernel::CachedLog],
+            shard_grid: vec![1, 2, 4],
+            burn_in: 5,
+            timed: 3,
+            out_file: "../BENCH_parallel_quick.json",
+        }
+    } else {
+        // A wide-vocabulary world: the global counter block (dominated by
+        // K × V word counts) is large, as in the paper's crawls, while the
+        // per-sweep churn after burn-in touches only a sliver of it — the
+        // asymmetry delta sync exploits.
+        let config = WorldConfig {
+            num_users: 240,
+            num_communities: 6,
+            num_topics: 16,
+            num_time_slices: 24,
+            vocab_size: 12000,
+            posts_per_user: 12.0,
+            words_per_post: 10.0,
+            ..WorldConfig::default()
+        }
+        .scaled(scale);
+        Scenario {
+            world: generate(&config, BASE_SEED + 9201),
+            world_label: format!("wide-vocab bench world, scale {scale}"),
+            kernels: vec![
+                SamplerKernel::Exact,
+                SamplerKernel::CachedLog,
+                SamplerKernel::AliasMh,
+            ],
+            shard_grid: vec![1, 2, 4, 8],
+            burn_in: 40,
+            timed: 10,
+            out_file: "../BENCH_parallel.json",
+        }
+    }
+}
+
+fn config_for(kernel: SamplerKernel, data: &SocialDataset, k: usize) -> ColdConfig {
+    ColdConfig::builder(6.min(k.max(2)), k)
+        .iterations(1_000_000) // driven manually, never run to completion
+        .explicit_negatives(3.0)
+        .hyperparams(cold_hyper(6, k, data))
+        .kernel(kernel)
+        .build(&data.corpus, &data.graph)
+}
+
+/// Burn in, then time `timed` supersteps; returns (ms/sweep, mean sync
+/// bytes per superstep, shard imbalance).
+fn measure(
+    data: &SocialDataset,
+    kernel: SamplerKernel,
+    k: usize,
+    shards: usize,
+    strategy: SyncStrategy,
+    burn_in: usize,
+    timed: usize,
+) -> (f64, f64, f64) {
+    let config = config_for(kernel, data, k);
+    let mut pg = ParallelGibbs::with_strategy(
+        &data.corpus,
+        &data.graph,
+        config,
+        shards,
+        BASE_SEED + 9202,
+        strategy,
+    );
+    for sweep in 0..burn_in {
+        pg.superstep(sweep);
+    }
+    let start = Instant::now();
+    let mut sync_bytes = 0u64;
+    let mut imbalance = 1.0f64;
+    for sweep in burn_in..burn_in + timed {
+        let work = pg.superstep(sweep);
+        sync_bytes += work.sync_bytes;
+        let mean = work.post_ops.iter().sum::<u64>() as f64 / work.post_ops.len() as f64;
+        if mean > 0.0 {
+            imbalance = *work.post_ops.iter().max().unwrap() as f64 / mean;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (
+        1e3 * secs / timed as f64,
+        sync_bytes as f64 / timed as f64,
+        imbalance,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = cold_bench::scale_arg();
+    let sc = scenario(quick, scale);
+    let data = &sc.world;
+    let k = 16.min(data.truth.num_topics.max(2));
+
+    // The static counter-block footprint the clone baseline ships.
+    let probe = ParallelGibbs::new(
+        &data.corpus,
+        &data.graph,
+        config_for(SamplerKernel::CachedLog, data, k),
+        1,
+        BASE_SEED + 9203,
+    );
+    let st = probe.state();
+    let counter_block_bytes = 4
+        * (st.n_ck.len()
+            + st.n_c.len()
+            + st.n_ckt.len()
+            + st.n_kv.len()
+            + st.n_k.len()
+            + st.n_cc.len()) as u64;
+    drop(probe);
+    println!(
+        "world: {} posts, {} links, vocab {}, counter block {:.1} KiB\n",
+        data.corpus.num_posts(),
+        data.graph.num_edges(),
+        data.corpus.vocab().len(),
+        counter_block_bytes as f64 / 1024.0
+    );
+
+    let mut cells = Vec::new();
+    for &kernel in &sc.kernels {
+        for &shards in &sc.shard_grid {
+            for (strategy, name) in [
+                (SyncStrategy::Delta, "delta"),
+                (SyncStrategy::CloneMerge, "clone"),
+            ] {
+                let (ms, sync, imb) =
+                    measure(data, kernel, k, shards, strategy, sc.burn_in, sc.timed);
+                println!(
+                    "{:10} shards={shards} {name:5}  {ms:8.2} ms/sweep  {:>10.0} sync B/superstep  imbalance {imb:.2}",
+                    kernel.name(),
+                    sync
+                );
+                cells.push(Cell {
+                    kernel: kernel.name().to_owned(),
+                    shards,
+                    strategy: name.to_owned(),
+                    ms_per_sweep: ms,
+                    sync_bytes_per_superstep: sync,
+                    shard_imbalance: imb,
+                });
+            }
+        }
+        println!();
+    }
+
+    let find = |kernel: &str, shards: usize, strategy: &str| {
+        cells
+            .iter()
+            .find(|c| c.kernel == kernel && c.shards == shards && c.strategy == strategy)
+            .expect("measured cell")
+    };
+    let headline_kernel = SamplerKernel::CachedLog.name();
+    let headline_shards = 4usize;
+    let delta4 = find(headline_kernel, headline_shards, "delta");
+    let clone4 = find(headline_kernel, headline_shards, "clone");
+    let sync_reduction = clone4.sync_bytes_per_superstep / delta4.sync_bytes_per_superstep;
+    let ms_ratio = delta4.ms_per_sweep / clone4.ms_per_sweep;
+    let headline = format!(
+        "delta sync ships {sync_reduction:.1}x fewer bytes per superstep than the clone \
+         baseline at {headline_shards} shards ({:.0} B vs {:.0} B, post-burn-in, {headline_kernel}), \
+         at {ms_ratio:.2}x the sweep time",
+        delta4.sync_bytes_per_superstep, clone4.sync_bytes_per_superstep
+    );
+    println!("{headline}");
+    if sync_reduction < 5.0 && !quick {
+        eprintln!("warning: sync reduction below the 5x target");
+    }
+
+    let report = BenchReport {
+        world: sc.world_label,
+        num_posts: data.corpus.num_posts(),
+        num_links: data.graph.num_edges(),
+        vocab_size: data.corpus.vocab().len(),
+        counter_block_bytes,
+        burn_in_sweeps: sc.burn_in,
+        timed_sweeps: sc.timed,
+        cells,
+        sync_reduction_at_4_shards: sync_reduction,
+        ms_ratio_delta_vs_clone_at_4_shards: ms_ratio,
+        headline,
+    };
+    let path = cold_bench::results_dir().join(sc.out_file);
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write(&path, json + "\n").expect("write bench report");
+    println!("(saved {})", path.display());
+}

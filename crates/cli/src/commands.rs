@@ -195,16 +195,19 @@ fn run_parallel(
         pg.run_sweeps(n, ckptr).map_err(|e| e.to_string())?;
         crash_now(n);
     }
-    let (model, stats) = match ckptr {
-        Some(ckptr) => pg.run_checkpointed(ckptr).map_err(|e| e.to_string())?,
-        None => pg.run(),
-    };
+    let start = std::time::Instant::now();
+    pg.run_sweeps(usize::MAX, ckptr)
+        .map_err(|e| e.to_string())?;
+    pg.publish_final_gauges(start.elapsed().as_secs_f64());
     println!(
-        "parallel wall time {:.1}s over {} supersteps",
-        stats.wall_seconds,
-        stats.supersteps.len()
+        "parallel wall time {:.1}s over {} supersteps ({} shards); \
+         final complete-data log-likelihood {:.4}",
+        start.elapsed().as_secs_f64(),
+        pg.sweeps_done(),
+        pg.shards(),
+        pg.log_likelihood()
     );
-    Ok(model)
+    Ok(pg.finish())
 }
 
 /// Abort the process the way a crash would (no model written, nonzero

@@ -34,7 +34,7 @@
 //! contiguously.
 
 use crate::params::{ColdConfig, Hyperparams, SamplerKernel};
-use crate::state::{CountState, PostsView};
+use crate::state::{CountState, DeltaAcc, PostsView};
 use cold_math::categorical::{sample_categorical, sample_log_categorical, AliasTable};
 use cold_math::logcache::{lgamma_shifted, ln_shifted, ShiftedLogTable};
 use cold_math::rng::Rng;
@@ -356,6 +356,13 @@ pub struct Scratch {
     /// Log-table miss total already reported by earlier `take_counters`
     /// calls (the tables count cumulatively).
     logcache_miss_base: u64,
+    /// When attached (the parallel engine's delta-sync mode), every
+    /// counter mutation the conditionals perform is mirrored into this
+    /// accumulator so the barrier can ship a sparse [`CountDelta`] instead
+    /// of diffing full states. `None` (zero cost) everywhere else.
+    ///
+    /// [`CountDelta`]: crate::state::CountDelta
+    delta: Option<Box<DeltaAcc>>,
 }
 
 impl Scratch {
@@ -372,6 +379,7 @@ impl Scratch {
             caches: None,
             counters: KernelCounters::default(),
             logcache_miss_base: 0,
+            delta: None,
         }
     }
 
@@ -390,12 +398,28 @@ impl Scratch {
             caches: (config.kernel != SamplerKernel::Exact).then(|| KernelCaches::new(config)),
             counters: KernelCounters::default(),
             logcache_miss_base: 0,
+            delta: None,
         }
     }
 
     /// The kernel this scratch drives.
     pub fn kernel(&self) -> SamplerKernel {
         self.kernel
+    }
+
+    /// Attach a delta accumulator: until [`Scratch::detach_delta`], every
+    /// `resample_*` call records its counter updates and assignment flips
+    /// into it. Recording never changes what is sampled — draws stay
+    /// bit-identical with or without an attached accumulator.
+    pub fn attach_delta(&mut self, acc: Box<DeltaAcc>) {
+        debug_assert!(self.delta.is_none(), "delta accumulator already attached");
+        self.delta = Some(acc);
+    }
+
+    /// Detach the delta accumulator (if one is attached), returning it to
+    /// the caller for draining.
+    pub fn detach_delta(&mut self) -> Option<Box<DeltaAcc>> {
+        self.delta.take()
     }
 
     /// Per-sweep cache maintenance: builds the Eq. 2 rate matrices on
@@ -610,6 +634,10 @@ pub fn resample_post(
             } == c.hyper),
         "Scratch caches were built for different hyper-parameters"
     );
+    let old_assign = (state.post_comm[d], state.post_topic[d]);
+    if let Some(acc) = scratch.delta.as_deref_mut() {
+        acc.record_post(state, posts, d, -1);
+    }
     state.remove_post(d, posts);
     let i = posts.authors[d] as usize;
     let t = posts.times[d] as usize;
@@ -668,6 +696,12 @@ pub fn resample_post(
     };
     state.post_topic[d] = new_k as u32;
 
+    if let Some(acc) = scratch.delta.as_deref_mut() {
+        acc.record_post(state, posts, d, 1);
+        if (new_c as u32, new_k as u32) != old_assign {
+            acc.note_post_assign(d, new_c as u32, new_k as u32);
+        }
+    }
     state.add_post(d, posts);
 }
 
@@ -682,6 +716,9 @@ pub fn resample_link(
 ) {
     let cdim = state.num_communities;
     let old_cell = state.link_src_comm[e] as usize * cdim + state.link_dst_comm[e] as usize;
+    if let Some(acc) = scratch.delta.as_deref_mut() {
+        acc.record_link(state, e, -1);
+    }
     state.remove_link(e);
     let (i, j) = state.links[e];
     let use_cache = scratch
@@ -719,6 +756,12 @@ pub fn resample_link(
     state.link_src_comm[e] = (cell / cdim) as u32;
     state.link_dst_comm[e] = (cell % cdim) as u32;
     scratch.counters.link_draws += 1;
+    if let Some(acc) = scratch.delta.as_deref_mut() {
+        acc.record_link(state, e, 1);
+        if cell != old_cell {
+            acc.note_link_assign(e, state.link_src_comm[e], state.link_dst_comm[e]);
+        }
+    }
     state.add_link(e);
     if use_cache {
         let caches = scratch.caches.as_mut().expect("checked above");
@@ -738,6 +781,9 @@ pub fn resample_negative_link(
 ) {
     let cdim = state.num_communities;
     let old_cell = state.neg_src_comm[e] as usize * cdim + state.neg_dst_comm[e] as usize;
+    if let Some(acc) = scratch.delta.as_deref_mut() {
+        acc.record_neg_link(state, e, -1);
+    }
     state.remove_neg_link(e);
     let (i, j) = state.neg_links[e];
     let use_cache = scratch
@@ -772,6 +818,12 @@ pub fn resample_negative_link(
     state.neg_src_comm[e] = (cell / cdim) as u32;
     state.neg_dst_comm[e] = (cell % cdim) as u32;
     scratch.counters.neg_link_draws += 1;
+    if let Some(acc) = scratch.delta.as_deref_mut() {
+        acc.record_neg_link(state, e, 1);
+        if cell != old_cell {
+            acc.note_neg_assign(e, state.neg_src_comm[e], state.neg_dst_comm[e]);
+        }
+    }
     state.add_neg_link(e);
     if use_cache {
         let caches = scratch.caches.as_mut().expect("checked above");
@@ -936,6 +988,71 @@ mod tests {
             state.check_consistency(&posts).unwrap();
             scratch.check_rate_consistency(&state).unwrap();
         }
+    }
+
+    /// Attaching a delta accumulator must not perturb the trajectory, and
+    /// replaying the drained delta onto the pre-sweep state must land on
+    /// exactly the post-sweep state (counters, mirrors, assignments).
+    #[test]
+    fn delta_recording_is_transparent_and_exact() {
+        let (corpus, graph) = fixture();
+        let config = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .explicit_negatives(1.0)
+            .kernel(SamplerKernel::CachedLog)
+            .build(&corpus, &graph);
+        let posts = crate::state::PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(41);
+        let base = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let sweep = |state: &mut CountState, scratch: &mut Scratch, seed: u64| {
+            let mut rng = seeded_rng(seed);
+            scratch.begin_sweep(state);
+            for d in 0..posts.len() {
+                resample_post(
+                    state,
+                    &posts,
+                    d,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    scratch,
+                );
+            }
+            for e in 0..state.links.len() {
+                resample_link(state, e, &config.hyper, config.hyper.rho, &mut rng, scratch);
+            }
+            for e in 0..state.neg_links.len() {
+                resample_negative_link(
+                    state,
+                    e,
+                    &config.hyper,
+                    config.hyper.rho,
+                    &mut rng,
+                    scratch,
+                );
+            }
+        };
+        // Recorded arm.
+        let mut recorded = base.clone();
+        let mut scratch = Scratch::for_config(&config);
+        scratch.attach_delta(Box::new(crate::state::DeltaAcc::for_state(&recorded)));
+        sweep(&mut recorded, &mut scratch, 77);
+        let delta = scratch.detach_delta().expect("attached above").drain();
+        // Plain arm, same seed: identical trajectory.
+        let mut plain = base.clone();
+        let mut plain_scratch = Scratch::for_config(&config);
+        sweep(&mut plain, &mut plain_scratch, 77);
+        assert_eq!(recorded, plain, "recording perturbed the draws");
+        // Replay arm.
+        let mut replayed = base.clone();
+        replayed.apply_delta(&delta);
+        assert_eq!(replayed, recorded, "delta replay drifted");
+        replayed.check_consistency(&posts).unwrap();
+        // The wire form round-trips the same delta.
+        assert_eq!(
+            crate::state::CountDelta::decode(&delta.encode()).unwrap(),
+            delta
+        );
     }
 
     /// AliasMh keeps every counter and cache invariant intact.

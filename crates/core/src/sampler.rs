@@ -16,7 +16,7 @@
 use crate::checkpoint::{due_after_sweep, Checkpoint, CheckpointKind, Checkpointer, CkptError};
 use crate::conditionals::{resample_link, resample_negative_link, resample_post, Scratch};
 use crate::estimates::{ColdModel, EstimateAccumulator};
-use crate::params::ColdConfig;
+use crate::params::{ColdConfig, Hyperparams};
 use crate::state::{CountState, PostsView};
 use cold_graph::CsrGraph;
 use cold_math::rng::{seeded_rng, Rng};
@@ -358,49 +358,56 @@ impl GibbsSampler {
     /// Complete-data log-likelihood of the training data under the current
     /// point estimates — the convergence monitor of §4.3.
     pub fn log_likelihood(&self) -> f64 {
-        let cdim = self.state.num_communities;
-        let kdim = self.state.num_topics;
-        let tdim = self.state.num_time_slices as f64;
-        let vdim = self.state.vocab_size as f64;
-        let h = &self.config.hyper;
-        let mut ll = 0.0;
-        for d in 0..self.posts.len() {
-            let i = self.posts.authors[d] as usize;
-            let t = self.posts.times[d] as usize;
-            let c = self.state.post_comm[d] as usize;
-            let k = self.state.post_topic[d] as usize;
-            // π̂, θ̂, ψ̂ factors for the assigned pair.
-            ll += ((self.state.n_ic[i * cdim + c] as f64 + h.rho)
-                / (self.state.n_i[i] as f64 + cdim as f64 * h.rho))
-                .ln();
-            ll += ((self.state.n_ck[c * kdim + k] as f64 + h.alpha)
-                / (self.state.n_c[c] as f64 + kdim as f64 * h.alpha))
-                .ln();
-            let temporal_denom = if self.state.time_comm_rows == 1 {
-                // Shared-temporal mode: Σ_c n_c^(k) is the maintained
-                // posts-per-topic counter — O(1) instead of O(C).
-                self.state.n_post_k[k] as f64
-            } else {
-                self.state.n_ck[c * kdim + k] as f64
-            };
-            ll += ((self.state.n_ckt[self.state.ckt_index(c, k, t)] as f64 + h.epsilon)
-                / (temporal_denom + tdim * h.epsilon))
-                .ln();
-            for &(w, cnt) in &self.posts.multisets[d] {
-                ll += cnt as f64
-                    * ((self.state.n_kv[k * self.state.vocab_size + w as usize] as f64 + h.beta)
-                        / (self.state.n_k[k] as f64 + vdim * h.beta))
-                        .ln();
-            }
-        }
-        for e in 0..self.state.links.len() {
-            let s = self.state.link_src_comm[e] as usize;
-            let s2 = self.state.link_dst_comm[e] as usize;
-            let n = self.state.n_cc[s * cdim + s2] as f64;
-            ll += ((n + h.lambda1) / (n + h.lambda0 + h.lambda1)).ln();
-        }
-        ll
+        complete_log_likelihood(&self.state, &self.posts, &self.config.hyper)
     }
+}
+
+/// Complete-data log-likelihood of the training data under the point
+/// estimates implied by `state`'s counters — the convergence monitor of
+/// §4.3. A free function so the sequential and parallel engines score
+/// against exactly the same definition.
+pub fn complete_log_likelihood(state: &CountState, posts: &PostsView, h: &Hyperparams) -> f64 {
+    let cdim = state.num_communities;
+    let kdim = state.num_topics;
+    let tdim = state.num_time_slices as f64;
+    let vdim = state.vocab_size as f64;
+    let mut ll = 0.0;
+    for d in 0..posts.len() {
+        let i = posts.authors[d] as usize;
+        let t = posts.times[d] as usize;
+        let c = state.post_comm[d] as usize;
+        let k = state.post_topic[d] as usize;
+        // π̂, θ̂, ψ̂ factors for the assigned pair.
+        ll += ((state.n_ic[i * cdim + c] as f64 + h.rho)
+            / (state.n_i[i] as f64 + cdim as f64 * h.rho))
+            .ln();
+        ll += ((state.n_ck[c * kdim + k] as f64 + h.alpha)
+            / (state.n_c[c] as f64 + kdim as f64 * h.alpha))
+            .ln();
+        let temporal_denom = if state.time_comm_rows == 1 {
+            // Shared-temporal mode: Σ_c n_c^(k) is the maintained
+            // posts-per-topic counter — O(1) instead of O(C).
+            state.n_post_k[k] as f64
+        } else {
+            state.n_ck[c * kdim + k] as f64
+        };
+        ll += ((state.n_ckt[state.ckt_index(c, k, t)] as f64 + h.epsilon)
+            / (temporal_denom + tdim * h.epsilon))
+            .ln();
+        for &(w, cnt) in &posts.multisets[d] {
+            ll += cnt as f64
+                * ((state.n_kv[k * state.vocab_size + w as usize] as f64 + h.beta)
+                    / (state.n_k[k] as f64 + vdim * h.beta))
+                    .ln();
+        }
+    }
+    for e in 0..state.links.len() {
+        let s = state.link_src_comm[e] as usize;
+        let s2 = state.link_dst_comm[e] as usize;
+        let n = state.n_cc[s * cdim + s2] as f64;
+        ll += ((n + h.lambda1) / (n + h.lambda0 + h.lambda1)).ln();
+    }
+    ll
 }
 
 #[cfg(test)]

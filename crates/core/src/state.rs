@@ -325,6 +325,14 @@ impl CountState {
         }
     }
 
+    /// Apply a sparse [`CountDelta`] (counters *and* assignments) produced
+    /// by another replica's superstep. Equivalent to replaying that
+    /// replica's mutations here.
+    pub fn apply_delta(&mut self, delta: &CountDelta) {
+        delta.apply_counters(self);
+        delta.apply_assignments(self);
+    }
+
     /// Recompute every counter from scratch and compare with the maintained
     /// values. Used by tests to prove the O(1) incremental updates never
     /// drift from the definition.
@@ -378,6 +386,463 @@ impl CountState {
             }
         }
         Ok(())
+    }
+}
+
+/// Sparse summary of the counter and assignment changes one shard made
+/// during a superstep: per counter family the net-changed `(index, ±delta)`
+/// cells (an item that lands back on its old assignment contributes
+/// nothing), plus the owned assignment entries that changed. This is what
+/// a distributed deployment puts on the wire at the barrier (`cold-delta/v1`,
+/// see [`CountDelta::encode`]) and what the in-process engine applies to
+/// the authoritative state and to the other shards' replicas.
+///
+/// Only the nine *independent* families are carried. The word-major mirror
+/// `n_vk` and the posts-per-topic sum `n_post_k` are derived from the
+/// `n_kv` / `n_ck` cells at apply time, so they cost no wire bytes and can
+/// never fall out of lock-step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CountDelta {
+    /// `n_i^(c)` cells (`U×C` indexing).
+    pub n_ic: Vec<(u32, i32)>,
+    /// `n_i^(·)` cells.
+    pub n_i: Vec<(u32, i32)>,
+    /// `n_c^(k)` cells (`C×K` indexing).
+    pub n_ck: Vec<(u32, i32)>,
+    /// `n_c^(·)` cells.
+    pub n_c: Vec<(u32, i32)>,
+    /// `n_ck^(t)` cells (`time_comm_rows×K×T` indexing).
+    pub n_ckt: Vec<(u32, i32)>,
+    /// `n_k^(v)` cells (`K×V` indexing).
+    pub n_kv: Vec<(u32, i32)>,
+    /// `n_k^(·)` cells.
+    pub n_k: Vec<(u32, i32)>,
+    /// `n_cc'` cells (`C×C` indexing).
+    pub n_cc: Vec<(u32, i32)>,
+    /// Negative-pair `n0_cc'` cells (`C×C` indexing).
+    pub n0_cc: Vec<(u32, i32)>,
+    /// Changed post assignments `(d, c_ij, z_ij)`.
+    pub post_assign: Vec<(u32, u32, u32)>,
+    /// Changed link assignments `(e, s_ii', s'_ii')`.
+    pub link_assign: Vec<(u32, u32, u32)>,
+    /// Changed negative-pair assignments `(e, s, s')`.
+    pub neg_assign: Vec<(u32, u32, u32)>,
+}
+
+/// Wire magic of the `cold-delta/v1` format.
+const DELTA_MAGIC: u32 = 0xC01D_DE17;
+
+/// `dst[idx] += delta` with wrap-free arithmetic.
+#[inline]
+fn bump_cell(dst: &mut [u32], idx: u32, delta: i32) {
+    let v = dst[idx as usize] as i64 + delta as i64;
+    debug_assert!(
+        (0..=u32::MAX as i64).contains(&v),
+        "counter left u32 range during delta apply"
+    );
+    dst[idx as usize] = v as u32;
+}
+
+impl CountDelta {
+    /// Whether the delta carries no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.cells() == 0
+            && self.post_assign.is_empty()
+            && self.link_assign.is_empty()
+            && self.neg_assign.is_empty()
+    }
+
+    /// Total touched counter cells across all nine families.
+    pub fn cells(&self) -> u64 {
+        (self.n_ic.len()
+            + self.n_i.len()
+            + self.n_ck.len()
+            + self.n_c.len()
+            + self.n_ckt.len()
+            + self.n_kv.len()
+            + self.n_k.len()
+            + self.n_cc.len()
+            + self.n0_cc.len()) as u64
+    }
+
+    /// Apply the counter cells (including the derived `n_vk` / `n_post_k`
+    /// mirrors) to `state`. Pure integer addition, so applying several
+    /// shards' deltas commutes cell-exactly in any order.
+    pub fn apply_counters(&self, state: &mut CountState) {
+        for (cells, dst) in [
+            (&self.n_ic, &mut state.n_ic),
+            (&self.n_i, &mut state.n_i),
+            (&self.n_ck, &mut state.n_ck),
+            (&self.n_c, &mut state.n_c),
+            (&self.n_ckt, &mut state.n_ckt),
+            (&self.n_kv, &mut state.n_kv),
+            (&self.n_k, &mut state.n_k),
+            (&self.n_cc, &mut state.n_cc),
+            (&self.n0_cc, &mut state.n0_cc),
+        ] {
+            for &(idx, d) in cells {
+                bump_cell(dst, idx, d);
+            }
+        }
+        // Derived mirrors: the transpose of each n_kv cell and the
+        // per-topic column sum of each n_ck cell.
+        let kdim = state.num_topics;
+        let vdim = state.vocab_size;
+        for &(idx, d) in &self.n_kv {
+            let (k, w) = (idx as usize / vdim, idx as usize % vdim);
+            bump_cell(&mut state.n_vk, (w * kdim + k) as u32, d);
+        }
+        for &(idx, d) in &self.n_ck {
+            bump_cell(&mut state.n_post_k, (idx as usize % kdim) as u32, d);
+        }
+    }
+
+    /// Overwrite the assignment entries carried by this delta.
+    pub fn apply_assignments(&self, state: &mut CountState) {
+        for &(d, c, k) in &self.post_assign {
+            state.post_comm[d as usize] = c;
+            state.post_topic[d as usize] = k;
+        }
+        for &(e, s, s2) in &self.link_assign {
+            state.link_src_comm[e as usize] = s;
+            state.link_dst_comm[e as usize] = s2;
+        }
+        for &(e, s, s2) in &self.neg_assign {
+            state.neg_src_comm[e as usize] = s;
+            state.neg_dst_comm[e as usize] = s2;
+        }
+    }
+
+    /// Fold `other` into `self` so that applying the merged delta equals
+    /// applying `self` then `other` (cells coalesce by addition, dropping
+    /// zeros; assignments take the later write per item).
+    pub fn merge(&mut self, other: &CountDelta) {
+        fn merge_cells(a: &mut Vec<(u32, i32)>, b: &[(u32, i32)]) {
+            let mut acc = std::collections::BTreeMap::new();
+            for &(idx, d) in a.iter().chain(b) {
+                *acc.entry(idx).or_insert(0i64) += d as i64;
+            }
+            *a = acc
+                .into_iter()
+                .filter(|&(_, d)| d != 0)
+                .map(|(idx, d)| (idx, d as i32))
+                .collect();
+        }
+        fn merge_assign(a: &mut Vec<(u32, u32, u32)>, b: &[(u32, u32, u32)]) {
+            let mut acc = std::collections::BTreeMap::new();
+            for &(item, x, y) in a.iter().chain(b) {
+                acc.insert(item, (x, y));
+            }
+            *a = acc.into_iter().map(|(item, (x, y))| (item, x, y)).collect();
+        }
+        merge_cells(&mut self.n_ic, &other.n_ic);
+        merge_cells(&mut self.n_i, &other.n_i);
+        merge_cells(&mut self.n_ck, &other.n_ck);
+        merge_cells(&mut self.n_c, &other.n_c);
+        merge_cells(&mut self.n_ckt, &other.n_ckt);
+        merge_cells(&mut self.n_kv, &other.n_kv);
+        merge_cells(&mut self.n_k, &other.n_k);
+        merge_cells(&mut self.n_cc, &other.n_cc);
+        merge_cells(&mut self.n0_cc, &other.n0_cc);
+        merge_assign(&mut self.post_assign, &other.post_assign);
+        merge_assign(&mut self.link_assign, &other.link_assign);
+        merge_assign(&mut self.neg_assign, &other.neg_assign);
+    }
+
+    /// Exact byte length of [`encode`](Self::encode)'s output: a 4-byte
+    /// magic, a 4-byte count per family, 8 bytes per counter cell and 12
+    /// per assignment entry. The engine reports this as the superstep's
+    /// true `sync_bytes`.
+    pub fn encoded_len(&self) -> u64 {
+        4 + 12 * 4
+            + 8 * self.cells()
+            + 12 * (self.post_assign.len() + self.link_assign.len() + self.neg_assign.len()) as u64
+    }
+
+    /// Serialize as `cold-delta/v1`: little-endian magic, then the nine
+    /// counter families in declaration order (`u32` count, then
+    /// `(u32 index, i32 delta)` pairs), then the three assignment families
+    /// (`u32` count, then `(u32 item, u32, u32)` triples).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        out.extend_from_slice(&DELTA_MAGIC.to_le_bytes());
+        for cells in self.cell_families() {
+            out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+            for &(idx, d) in cells {
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        for entries in [&self.post_assign, &self.link_assign, &self.neg_assign] {
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for &(item, x, y) in entries {
+                out.extend_from_slice(&item.to_le_bytes());
+                out.extend_from_slice(&x.to_le_bytes());
+                out.extend_from_slice(&y.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len() as u64, self.encoded_len());
+        out
+    }
+
+    /// Parse a `cold-delta/v1` byte string.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        struct Reader<'a>(&'a [u8]);
+        impl Reader<'_> {
+            fn u32(&mut self) -> Result<u32, String> {
+                let (head, rest) = self
+                    .0
+                    .split_first_chunk::<4>()
+                    .ok_or_else(|| "truncated delta".to_owned())?;
+                self.0 = rest;
+                Ok(u32::from_le_bytes(*head))
+            }
+        }
+        let mut r = Reader(bytes);
+        if r.u32()? != DELTA_MAGIC {
+            return Err("not a cold-delta/v1 byte string".to_owned());
+        }
+        let mut delta = CountDelta::default();
+        for cells in delta.cell_families_mut() {
+            let count = r.u32()? as usize;
+            cells.reserve(count);
+            for _ in 0..count {
+                let idx = r.u32()?;
+                let d = r.u32()? as i32;
+                cells.push((idx, d));
+            }
+        }
+        for entries in [
+            &mut delta.post_assign,
+            &mut delta.link_assign,
+            &mut delta.neg_assign,
+        ] {
+            let count = r.u32()? as usize;
+            entries.reserve(count);
+            for _ in 0..count {
+                entries.push((r.u32()?, r.u32()?, r.u32()?));
+            }
+        }
+        if !r.0.is_empty() {
+            return Err(format!("{} trailing bytes after delta", r.0.len()));
+        }
+        Ok(delta)
+    }
+
+    /// The nine counter families in wire order.
+    fn cell_families(&self) -> [&Vec<(u32, i32)>; 9] {
+        [
+            &self.n_ic,
+            &self.n_i,
+            &self.n_ck,
+            &self.n_c,
+            &self.n_ckt,
+            &self.n_kv,
+            &self.n_k,
+            &self.n_cc,
+            &self.n0_cc,
+        ]
+    }
+
+    fn cell_families_mut(&mut self) -> [&mut Vec<(u32, i32)>; 9] {
+        [
+            &mut self.n_ic,
+            &mut self.n_i,
+            &mut self.n_ck,
+            &mut self.n_c,
+            &mut self.n_ckt,
+            &mut self.n_kv,
+            &mut self.n_k,
+            &mut self.n_cc,
+            &mut self.n0_cc,
+        ]
+    }
+}
+
+/// One counter family of a [`DeltaAcc`]: a dense accumulator with an
+/// epoch stamp per cell, so clearing between supersteps is O(touched)
+/// instead of O(family size).
+struct FamAcc {
+    acc: Vec<i32>,
+    stamp: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl FamAcc {
+    fn new(len: usize) -> Self {
+        Self {
+            acc: vec![0; len],
+            stamp: vec![0; len],
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, epoch: u32, idx: usize, delta: i32) {
+        if self.stamp[idx] != epoch {
+            self.stamp[idx] = epoch;
+            self.acc[idx] = 0;
+            self.touched.push(idx as u32);
+        }
+        self.acc[idx] += delta;
+    }
+
+    /// Emit the non-zero cells in first-touch order and reset.
+    fn drain(&mut self) -> Vec<(u32, i32)> {
+        let mut out = Vec::with_capacity(self.touched.len());
+        for &idx in &self.touched {
+            let d = self.acc[idx as usize];
+            if d != 0 {
+                out.push((idx, d));
+            }
+        }
+        self.touched.clear();
+        out
+    }
+}
+
+/// Sparse delta accumulator: the write-side counterpart of [`CountDelta`].
+/// The sampler records the same `±` updates it applies to its own replica;
+/// [`DeltaAcc::drain`] then emits the coalesced net change of the
+/// superstep. Reused across supersteps — draining bumps an epoch instead
+/// of clearing the dense buffers.
+pub struct DeltaAcc {
+    epoch: u32,
+    n_ic: FamAcc,
+    n_i: FamAcc,
+    n_ck: FamAcc,
+    n_c: FamAcc,
+    n_ckt: FamAcc,
+    n_kv: FamAcc,
+    n_k: FamAcc,
+    n_cc: FamAcc,
+    n0_cc: FamAcc,
+    post_assign: Vec<(u32, u32, u32)>,
+    link_assign: Vec<(u32, u32, u32)>,
+    neg_assign: Vec<(u32, u32, u32)>,
+}
+
+impl DeltaAcc {
+    /// An accumulator sized for `state`'s counter families.
+    pub fn for_state(state: &CountState) -> Self {
+        Self {
+            epoch: 1,
+            n_ic: FamAcc::new(state.n_ic.len()),
+            n_i: FamAcc::new(state.n_i.len()),
+            n_ck: FamAcc::new(state.n_ck.len()),
+            n_c: FamAcc::new(state.n_c.len()),
+            n_ckt: FamAcc::new(state.n_ckt.len()),
+            n_kv: FamAcc::new(state.n_kv.len()),
+            n_k: FamAcc::new(state.n_k.len()),
+            n_cc: FamAcc::new(state.n_cc.len()),
+            n0_cc: FamAcc::new(state.n0_cc.len()),
+            post_assign: Vec::new(),
+            link_assign: Vec::new(),
+            neg_assign: Vec::new(),
+        }
+    }
+
+    /// Record post `d`'s *current* assignment with weight `sign` (−1
+    /// before a removal, +1 after the new assignment is written). Mirrors
+    /// `CountState::apply_post`, minus the derived mirrors.
+    pub fn record_post(&mut self, state: &CountState, posts: &PostsView, d: usize, sign: i32) {
+        let i = posts.authors[d] as usize;
+        let t = posts.times[d] as usize;
+        let c = state.post_comm[d] as usize;
+        let k = state.post_topic[d] as usize;
+        let e = self.epoch;
+        self.n_ic.add(e, i * state.num_communities + c, sign);
+        self.n_i.add(e, i, sign);
+        self.n_ck.add(e, c * state.num_topics + k, sign);
+        self.n_c.add(e, c, sign);
+        self.n_ckt.add(e, state.ckt_index(c, k, t), sign);
+        for &(w, cnt) in &posts.multisets[d] {
+            self.n_kv
+                .add(e, k * state.vocab_size + w as usize, sign * cnt as i32);
+        }
+        self.n_k.add(e, k, sign * posts.lens[d] as i32);
+    }
+
+    /// Record link `e`'s current endpoint assignment with weight `sign`.
+    pub fn record_link(&mut self, state: &CountState, e: usize, sign: i32) {
+        let (i, j) = state.links[e];
+        let s = state.link_src_comm[e] as usize;
+        let s2 = state.link_dst_comm[e] as usize;
+        let c = state.num_communities;
+        let ep = self.epoch;
+        self.n_ic.add(ep, i as usize * c + s, sign);
+        self.n_i.add(ep, i as usize, sign);
+        self.n_ic.add(ep, j as usize * c + s2, sign);
+        self.n_i.add(ep, j as usize, sign);
+        self.n_cc.add(ep, s * c + s2, sign);
+    }
+
+    /// Record negative pair `e`'s current endpoint assignment with `sign`.
+    pub fn record_neg_link(&mut self, state: &CountState, e: usize, sign: i32) {
+        let (i, j) = state.neg_links[e];
+        let s = state.neg_src_comm[e] as usize;
+        let s2 = state.neg_dst_comm[e] as usize;
+        let c = state.num_communities;
+        let ep = self.epoch;
+        self.n_ic.add(ep, i as usize * c + s, sign);
+        self.n_i.add(ep, i as usize, sign);
+        self.n_ic.add(ep, j as usize * c + s2, sign);
+        self.n_i.add(ep, j as usize, sign);
+        self.n0_cc.add(ep, s * c + s2, sign);
+    }
+
+    /// Note that post `d`'s assignment changed to `(comm, topic)`.
+    pub fn note_post_assign(&mut self, d: usize, comm: u32, topic: u32) {
+        self.post_assign.push((d as u32, comm, topic));
+    }
+
+    /// Note that link `e`'s assignment changed to `(src, dst)`.
+    pub fn note_link_assign(&mut self, e: usize, src: u32, dst: u32) {
+        self.link_assign.push((e as u32, src, dst));
+    }
+
+    /// Note that negative pair `e`'s assignment changed to `(src, dst)`.
+    pub fn note_neg_assign(&mut self, e: usize, src: u32, dst: u32) {
+        self.neg_assign.push((e as u32, src, dst));
+    }
+
+    /// Emit everything recorded since the last drain as a [`CountDelta`]
+    /// and reset for the next superstep.
+    pub fn drain(&mut self) -> CountDelta {
+        let delta = CountDelta {
+            n_ic: self.n_ic.drain(),
+            n_i: self.n_i.drain(),
+            n_ck: self.n_ck.drain(),
+            n_c: self.n_c.drain(),
+            n_ckt: self.n_ckt.drain(),
+            n_kv: self.n_kv.drain(),
+            n_k: self.n_k.drain(),
+            n_cc: self.n_cc.drain(),
+            n0_cc: self.n0_cc.drain(),
+            post_assign: std::mem::take(&mut self.post_assign),
+            link_assign: std::mem::take(&mut self.link_assign),
+            neg_assign: std::mem::take(&mut self.neg_assign),
+        };
+        if self.epoch == u32::MAX {
+            // Stamp wrap-around: reset so no stale cell can alias epoch 1.
+            for fam in [
+                &mut self.n_ic,
+                &mut self.n_i,
+                &mut self.n_ck,
+                &mut self.n_c,
+                &mut self.n_ckt,
+                &mut self.n_kv,
+                &mut self.n_k,
+                &mut self.n_cc,
+                &mut self.n0_cc,
+            ] {
+                fam.stamp.fill(0);
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        delta
     }
 }
 
@@ -468,6 +933,101 @@ mod tests {
         assert!(state.links.is_empty());
         assert_eq!(state.n_cc.iter().sum::<u32>(), 0);
         assert_eq!(state.n_i.iter().sum::<u32>(), 4); // posts only
+    }
+
+    /// Accumulate a handful of reassignments through a `DeltaAcc`, apply
+    /// the drained delta to a pristine copy of the base state, and compare
+    /// with the directly-mutated state — counters (including the derived
+    /// mirrors) and assignments must match exactly.
+    #[test]
+    fn delta_accumulate_then_apply_equals_direct_mutation() {
+        let (corpus, graph, config) = setup();
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(11);
+        let base = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let mut live = base.clone();
+        let mut acc = DeltaAcc::for_state(&live);
+        // Reassign every post and link once, recording each flip.
+        for d in 0..posts.len() {
+            acc.record_post(&live, &posts, d, -1);
+            live.remove_post(d, &posts);
+            let (c, k) = ((live.post_comm[d] + 1) % 3, (live.post_topic[d] + 1) % 2);
+            live.post_comm[d] = c;
+            live.post_topic[d] = k;
+            acc.record_post(&live, &posts, d, 1);
+            acc.note_post_assign(d, c, k);
+            live.add_post(d, &posts);
+        }
+        for e in 0..live.links.len() {
+            acc.record_link(&live, e, -1);
+            live.remove_link(e);
+            let (s, s2) = ((live.link_src_comm[e] + 2) % 3, live.link_dst_comm[e]);
+            live.link_src_comm[e] = s;
+            acc.record_link(&live, e, 1);
+            acc.note_link_assign(e, s, s2);
+            live.add_link(e);
+        }
+        let delta = acc.drain();
+        assert!(!delta.is_empty());
+        let mut replayed = base.clone();
+        replayed.apply_delta(&delta);
+        assert_eq!(replayed, live);
+        replayed.check_consistency(&posts).unwrap();
+        // A second drain with no recordings is empty (epoch advanced).
+        assert!(acc.drain().is_empty());
+    }
+
+    /// A post resampled back onto its old assignment coalesces to nothing.
+    #[test]
+    fn unchanged_reassignment_produces_empty_delta() {
+        let (corpus, graph, config) = setup();
+        let posts = PostsView::from_corpus(&corpus);
+        let mut rng = seeded_rng(12);
+        let mut state = CountState::init_random(&config, &posts, &graph, &mut rng);
+        let mut acc = DeltaAcc::for_state(&state);
+        acc.record_post(&state, &posts, 0, -1);
+        state.remove_post(0, &posts);
+        // ... the draw lands on the same (c, k) ...
+        acc.record_post(&state, &posts, 0, 1);
+        state.add_post(0, &posts);
+        assert!(acc.drain().is_empty());
+    }
+
+    #[test]
+    fn delta_encode_round_trips_and_len_matches() {
+        let delta = CountDelta {
+            n_ic: vec![(3, -2), (7, 2)],
+            n_kv: vec![(0, 5), (9, -5)],
+            n_k: vec![(1, 17)],
+            post_assign: vec![(4, 1, 0)],
+            link_assign: vec![(2, 0, 2)],
+            ..CountDelta::default()
+        };
+        let bytes = delta.encode();
+        assert_eq!(bytes.len() as u64, delta.encoded_len());
+        assert_eq!(CountDelta::decode(&bytes).unwrap(), delta);
+        assert!(CountDelta::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(CountDelta::decode(&[0u8; 8]).is_err());
+    }
+
+    /// Merging two deltas equals applying them in sequence.
+    #[test]
+    fn delta_merge_composes_sequentially() {
+        let a = CountDelta {
+            n_ck: vec![(0, 1), (3, -1)],
+            post_assign: vec![(0, 1, 1)],
+            ..CountDelta::default()
+        };
+        let b = CountDelta {
+            n_ck: vec![(3, 1), (5, 2)],
+            post_assign: vec![(0, 2, 0), (1, 1, 0)],
+            ..CountDelta::default()
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // (3, −1) and (3, +1) cancel; the later assignment write wins.
+        assert_eq!(merged.n_ck, vec![(0, 1), (5, 2)]);
+        assert_eq!(merged.post_assign, vec![(0, 2, 0), (1, 1, 0)]);
     }
 
     #[test]

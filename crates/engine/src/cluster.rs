@@ -53,8 +53,16 @@ pub struct SuperstepWork {
     pub post_ops: Vec<u64>,
     /// Link-sampling operations per shard.
     pub link_ops: Vec<u64>,
-    /// Bytes of global counters exchanged at the barrier.
+    /// Bytes of global counters exchanged at the barrier. Under the
+    /// delta-sync strategy this is the measured serialized size of the
+    /// shards' `CountDelta`s; under the clone-merge baseline it is the
+    /// static full-counter-block estimate the pre-delta engine shipped.
     pub sync_bytes: u64,
+    /// Measured serialized delta bytes contributed by each shard at the
+    /// barrier (delta-sync supersteps only; empty when the superstep ran
+    /// the clone-merge baseline or the sequential degenerate path, where
+    /// no per-shard wire size exists to measure).
+    pub shard_sync_bytes: Vec<u64>,
 }
 
 impl ClusterCostModel {
@@ -96,6 +104,7 @@ mod tests {
             post_ops: vec![ops; shards],
             link_ops: vec![ops / 2; shards],
             sync_bytes: 1_000_000,
+            shard_sync_bytes: Vec::new(),
         }
     }
 

@@ -29,4 +29,4 @@ pub mod gas;
 pub mod parallel;
 
 pub use cluster::ClusterCostModel;
-pub use parallel::{ParallelGibbs, ParallelStats};
+pub use parallel::{ParallelGibbs, ParallelStats, SyncStrategy};

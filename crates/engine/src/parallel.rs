@@ -6,10 +6,36 @@
 //! a user's posts (her user–time edges) and her *outgoing* links live on
 //! the shard that owns the user, so the membership counters `n_i` are
 //! mostly shard-local; the low-dimensional global counters (`n_ck`,
-//! `n_ckt`, `n_kv`, `n_k`, `n_cc`) are snapshotted at superstep start and
-//! delta-merged at the barrier — each worker therefore samples against
+//! `n_ckt`, `n_kv`, `n_k`, `n_cc`) are stale within a superstep and
+//! reconciled at the barrier — each worker therefore samples against
 //! counts that are stale by at most one superstep for other shards' items,
 //! the standard AD-LDA approximation.
+//!
+//! ## Delta synchronization
+//!
+//! Two barrier strategies implement that reconciliation
+//! ([`SyncStrategy`]):
+//!
+//! * **Delta** (default) — each shard keeps a *persistent* dense replica
+//!   of the state across supersteps. While sampling, the conditionals
+//!   mirror every counter update into a sparse
+//!   [`DeltaAcc`](cold_core::state::DeltaAcc); the barrier drains each
+//!   shard's [`CountDelta`], applies them to the authoritative state in
+//!   shard order, and broadcasts each delta to the *other* replicas.
+//!   Per-superstep traffic is O(shards × changed cells) — the measured
+//!   serialized delta bytes are reported as `sync_bytes` — instead of
+//!   O(shards × full state).
+//! * **CloneMerge** — the pre-delta engine: every worker clones the full
+//!   state at superstep start and the barrier diffs full states
+//!   element-wise. Kept as the measured baseline for the shard-scaling
+//!   bench (`bench_parallel`) and as the reference arm of the
+//!   delta-equivalence tests.
+//!
+//! The two strategies are **bit-identical**: a replica's counters equal
+//! the authoritative barrier state (integer delta addition is commutative
+//! and exact), per-(superstep, shard) RNG streams are shared, and each
+//! worker still rebuilds its kernel caches per superstep, so every draw
+//! sees exactly the same inputs either way.
 
 use crate::cluster::{ClusterCostModel, SuperstepWork};
 use cold_core::checkpoint::{due_after_sweep, Checkpoint, CheckpointKind, Checkpointer, CkptError};
@@ -18,8 +44,8 @@ use cold_core::conditionals::{
 };
 use cold_core::estimates::EstimateAccumulator;
 use cold_core::params::ColdConfig;
-use cold_core::sampler::TrainTrace;
-use cold_core::state::{CountState, PostsView};
+use cold_core::sampler::{complete_log_likelihood, TrainTrace};
+use cold_core::state::{CountDelta, CountState, DeltaAcc, PostsView};
 use cold_core::ColdModel;
 use cold_graph::CsrGraph;
 use cold_math::rng::{seeded_rng, Rng, RngFactory};
@@ -31,7 +57,10 @@ pub struct ParallelStats {
     /// Metered work per superstep (input to the cluster cost model).
     pub supersteps: Vec<SuperstepWork>,
     /// Measured wall time of each superstep, seconds (same indexing as
-    /// `supersteps`; their sum is bounded by `wall_seconds`).
+    /// `supersteps`; their sum is bounded by `wall_seconds`). Covers the
+    /// sampling + barrier work only: posterior-sample collection and
+    /// checkpoint writes at the barrier are timed separately
+    /// (`ckpt.snapshot_seconds` / `ckpt.write_seconds`), never here.
     pub superstep_seconds: Vec<f64>,
     /// Real single-machine wall time of the run, seconds.
     pub wall_seconds: f64,
@@ -44,11 +73,53 @@ impl ParallelStats {
     }
 }
 
+/// How the sharded engine reconciles shard work at the superstep barrier.
+/// See the [module docs](self) for the full contract; the two strategies
+/// produce bit-identical trajectories and differ only in memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncStrategy {
+    /// Sparse delta sync: persistent per-shard replicas, O(changed cells)
+    /// barrier traffic, measured `sync_bytes`.
+    #[default]
+    Delta,
+    /// Clone-everything baseline: per-superstep full-state clones,
+    /// element-wise diff at the barrier, estimated `sync_bytes`.
+    CloneMerge,
+}
+
+/// Persistent per-shard worker state of the [`SyncStrategy::Delta`] path.
+struct ShardWorker {
+    /// Dense replica of the authoritative state. Counters equal the
+    /// barrier state at every superstep start; assignment entries are
+    /// current for owned items only (non-owned assignments are never read
+    /// by sampling, so they are not synced).
+    replica: CountState,
+    /// Reusable sparse accumulator (epoch-stamped, so draining between
+    /// supersteps is O(touched cells), not O(state)). `None` only while
+    /// lent to the worker thread's `Scratch` during a superstep.
+    acc: Option<Box<DeltaAcc>>,
+}
+
+impl ShardWorker {
+    fn new(global: &CountState) -> Self {
+        Self {
+            replica: global.clone(),
+            acc: Some(Box::new(DeltaAcc::for_state(global))),
+        }
+    }
+}
+
 /// How a [`ParallelGibbs`] executes its supersteps.
 enum ShardMode {
-    /// Two or more shards: per-superstep snapshot clones, per-shard RNG
-    /// streams, barrier delta-merge (the AD-LDA approximation).
-    Sharded(RngFactory),
+    /// Two or more shards: per-shard RNG streams, barrier reconciliation
+    /// under the selected [`SyncStrategy`] (the AD-LDA approximation).
+    Sharded {
+        factory: RngFactory,
+        strategy: SyncStrategy,
+        /// One entry per shard under [`SyncStrategy::Delta`]; empty under
+        /// [`SyncStrategy::CloneMerge`] (workers clone per superstep).
+        workers: Vec<ShardWorker>,
+    },
     /// Exactly one shard: run the sweep in place with a persistent RNG and
     /// persistent kernel caches, exactly as the sequential
     /// `GibbsSampler` does — trajectories are **bit-identical** to the
@@ -71,8 +142,10 @@ pub struct ParallelGibbs {
     /// Authoritative state between supersteps.
     global: CountState,
     mode: ShardMode,
-    /// Bytes of global counters exchanged per barrier.
-    sync_bytes: u64,
+    /// Static estimate of the full global-counter block (bytes): what the
+    /// clone-merge baseline ships per barrier. The delta path reports
+    /// measured serialized delta sizes instead.
+    clone_sync_bytes: u64,
     /// Completed supersteps (checkpoints are cut at these barriers).
     sweeps_done: usize,
     /// Partial posterior averages collected after burn-in. A field (not a
@@ -84,13 +157,28 @@ pub struct ParallelGibbs {
 }
 
 impl ParallelGibbs {
-    /// Prepare a parallel sampler with `shards` partitions.
+    /// Prepare a parallel sampler with `shards` partitions and the default
+    /// [`SyncStrategy::Delta`] barrier.
     pub fn new(
         corpus: &Corpus,
         graph: &CsrGraph,
         config: ColdConfig,
         shards: usize,
         seed: u64,
+    ) -> Self {
+        Self::with_strategy(corpus, graph, config, shards, seed, SyncStrategy::default())
+    }
+
+    /// Prepare a parallel sampler with an explicit barrier strategy. The
+    /// strategy never changes the trajectory — only the barrier's memory
+    /// traffic and the meaning of the reported `sync_bytes`.
+    pub fn with_strategy(
+        corpus: &Corpus,
+        graph: &CsrGraph,
+        config: ColdConfig,
+        shards: usize,
+        seed: u64,
+        strategy: SyncStrategy,
     ) -> Self {
         assert!(shards >= 1, "need at least one shard");
         config.validate().expect("invalid COLD configuration");
@@ -106,11 +194,22 @@ impl ParallelGibbs {
             let factory = RngFactory::new(seed);
             let mut init_rng = factory.stream(u64::MAX);
             let global = CountState::init_random(&config, &posts, graph, &mut init_rng);
-            (global, ShardMode::Sharded(factory))
+            let workers = match strategy {
+                SyncStrategy::Delta => (0..shards).map(|_| ShardWorker::new(&global)).collect(),
+                SyncStrategy::CloneMerge => Vec::new(),
+            };
+            (
+                global,
+                ShardMode::Sharded {
+                    factory,
+                    strategy,
+                    workers,
+                },
+            )
         };
-        let (shard_posts, shard_links, shard_neg_links, sync_bytes) =
+        let (shard_posts, shard_links, shard_neg_links, clone_sync_bytes) =
             Self::build_partitions(&posts, &global, shards);
-        Self {
+        let this = Self {
             acc: EstimateAccumulator::new(&config),
             config,
             posts,
@@ -120,45 +219,92 @@ impl ParallelGibbs {
             shard_neg_links,
             global,
             mode,
-            sync_bytes,
+            clone_sync_bytes,
             sweeps_done: 0,
             seed,
-        }
+        };
+        this.publish_partition_gauges();
+        this
     }
 
-    /// Deterministic shard assignment (user `i` → shard `i % shards`) plus
-    /// the per-barrier sync volume. Pure function of posts, links and the
-    /// shard count, so resume rebuilds the identical partition.
+    /// Deterministic shard assignment by greedy LPT on per-user post
+    /// counts: users are placed in descending post-count order (ties:
+    /// ascending user id) onto the least-loaded shard (ties: lowest shard
+    /// id), and a user's links and negative pairs follow her shard. A pure
+    /// function of posts, links and the shard count, so resume rebuilds
+    /// the identical partition. Compared with the round-robin placement it
+    /// replaces, LPT keeps heavy-tailed author distributions balanced
+    /// (`parallel.shard_imbalance` tracks the achieved max/mean ratio).
+    ///
+    /// Also returns the byte size of the full global-counter block — the
+    /// per-barrier traffic of the clone-merge baseline (§4.3: "global
+    /// counters are generally only related to latent spaces which are
+    /// low-dimensional").
     #[allow(clippy::type_complexity)]
     fn build_partitions(
         posts: &PostsView,
         global: &CountState,
         shards: usize,
     ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<Vec<usize>>, u64) {
-        // Ownership: user i belongs to shard i % shards.
+        let num_users = global.n_i.len();
+        let mut post_count = vec![0u64; num_users];
+        for &a in &posts.authors {
+            post_count[a as usize] += 1;
+        }
+        let mut order: Vec<u32> = (0..num_users as u32).collect();
+        order.sort_by(|&a, &b| {
+            post_count[b as usize]
+                .cmp(&post_count[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut load = vec![0u64; shards];
+        let mut user_shard = vec![0u32; num_users];
+        for &i in &order {
+            let s = (0..shards)
+                .min_by_key(|&s| (load[s], s))
+                .expect("at least one shard");
+            user_shard[i as usize] = s as u32;
+            load[s] += post_count[i as usize];
+        }
         let mut shard_posts: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for d in 0..posts.len() {
-            shard_posts[posts.authors[d] as usize % shards].push(d);
+            shard_posts[user_shard[posts.authors[d] as usize] as usize].push(d);
         }
         let mut shard_links: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for (e, &(i, _)) in global.links.iter().enumerate() {
-            shard_links[i as usize % shards].push(e);
+            shard_links[user_shard[i as usize] as usize].push(e);
         }
         let mut shard_neg_links: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for (e, &(i, _)) in global.neg_links.iter().enumerate() {
-            shard_neg_links[i as usize % shards].push(e);
+            shard_neg_links[user_shard[i as usize] as usize].push(e);
         }
-        // Global (synced) counters: everything except the vertex-local n_ic
-        // and n_i (§4.3: "global counters are generally only related to
-        // latent spaces which are low-dimensional").
-        let sync_bytes = 4
+        let clone_sync_bytes = 4
             * (global.n_ck.len()
                 + global.n_c.len()
                 + global.n_ckt.len()
                 + global.n_kv.len()
                 + global.n_k.len()
                 + global.n_cc.len()) as u64;
-        (shard_posts, shard_links, shard_neg_links, sync_bytes)
+        (shard_posts, shard_links, shard_neg_links, clone_sync_bytes)
+    }
+
+    /// Max/mean owned post ops across shards (1.0 = perfectly balanced).
+    fn shard_imbalance(&self) -> f64 {
+        let mean = self.posts.len() as f64 / self.shards as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        let max = self.shard_posts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Publish the partition-shape gauges (idempotent; called at
+    /// construction and resume so dashboards see them even for runs driven
+    /// by `superstep` directly).
+    fn publish_partition_gauges(&self) {
+        let metrics = &self.config.metrics.0;
+        metrics.gauge_set("parallel.shards", self.shards as f64);
+        metrics.gauge_set("parallel.shard_imbalance", self.shard_imbalance());
     }
 
     /// Rebuild a parallel sampler from a `cold-ckpt/v1` checkpoint,
@@ -167,7 +313,9 @@ impl ParallelGibbs {
     /// partition and the RNG streams). Resume is **bit-identical**: the
     /// single-shard mode restores its sequential RNG stream, and the
     /// sharded mode's per-(superstep, shard) streams are pure functions of
-    /// the base seed, so they need no serialized state at all.
+    /// the base seed, so they need no serialized state at all. Delta-mode
+    /// replicas are barrier-local (each equals the checkpointed state's
+    /// counters), so the checkpoint format carries nothing extra for them.
     ///
     /// [`ParallelStats`] restart at zero — work metering is per-process,
     /// not part of the training state.
@@ -206,11 +354,15 @@ impl ParallelGibbs {
                 scratch: Box::new(Scratch::for_config(&config)),
             }
         } else {
-            ShardMode::Sharded(RngFactory::new(ckpt.seed))
+            ShardMode::Sharded {
+                factory: RngFactory::new(ckpt.seed),
+                strategy: SyncStrategy::Delta,
+                workers: (0..shards).map(|_| ShardWorker::new(&ckpt.state)).collect(),
+            }
         };
-        let (shard_posts, shard_links, shard_neg_links, sync_bytes) =
+        let (shard_posts, shard_links, shard_neg_links, clone_sync_bytes) =
             Self::build_partitions(&posts, &ckpt.state, shards);
-        Ok(Self {
+        let this = Self {
             config,
             posts,
             shards,
@@ -219,11 +371,13 @@ impl ParallelGibbs {
             shard_neg_links,
             global: ckpt.state,
             mode,
-            sync_bytes,
+            clone_sync_bytes,
             sweeps_done: ckpt.sweeps_done,
             acc: ckpt.acc,
             seed: ckpt.seed,
-        })
+        };
+        this.publish_partition_gauges();
+        Ok(this)
     }
 
     /// Snapshot the complete training state at the current superstep
@@ -232,8 +386,9 @@ impl ParallelGibbs {
         let rng = match &self.mode {
             ShardMode::Sequential { rng, .. } => rng.raw_state().to_vec(),
             // Sharded streams are derived per (superstep, shard) from the
-            // base seed — nothing to serialize.
-            ShardMode::Sharded(_) => Vec::new(),
+            // base seed — nothing to serialize. Delta replicas equal the
+            // barrier state, so they are rebuilt on resume, not stored.
+            ShardMode::Sharded { .. } => Vec::new(),
         };
         Checkpoint {
             kind: CheckpointKind::Parallel,
@@ -255,9 +410,21 @@ impl ParallelGibbs {
         self.shards
     }
 
+    /// Completed supersteps so far.
+    pub fn sweeps_done(&self) -> usize {
+        self.sweeps_done
+    }
+
     /// Read access to the authoritative state.
     pub fn state(&self) -> &CountState {
         &self.global
+    }
+
+    /// Complete-data log-likelihood of the training data at the current
+    /// barrier — the same §4.3 convergence monitor the sequential sampler
+    /// reports, evaluated on the authoritative state.
+    pub fn log_likelihood(&self) -> f64 {
+        complete_log_likelihood(&self.global, &self.posts, &self.config.hyper)
     }
 
     /// One superstep + the bookkeeping that belongs to its barrier:
@@ -271,6 +438,9 @@ impl ParallelGibbs {
         let sweep = self.sweeps_done;
         let t_step = std::time::Instant::now();
         let work = self.superstep(sweep);
+        // Superstep timing stops here: sample collection and checkpoint
+        // I/O below are barrier add-ons, not superstep work, and are
+        // accounted under their own metrics (`ckpt.*`).
         if let Some(stats) = stats {
             stats.superstep_seconds.push(t_step.elapsed().as_secs_f64());
             stats.supersteps.push(work);
@@ -282,7 +452,11 @@ impl ParallelGibbs {
         }
         if let Some(ckptr) = ckpt {
             if due_after_sweep(&self.config, sweep) {
-                ckptr.write(&self.checkpoint())?;
+                let metrics = self.config.metrics.0.clone();
+                let t_snap = metrics.start();
+                let snapshot = self.checkpoint();
+                metrics.observe_since("ckpt.snapshot_seconds", t_snap);
+                ckptr.write(&snapshot)?;
             }
         }
         Ok(())
@@ -294,16 +468,25 @@ impl ParallelGibbs {
         mut self,
         ckpt: Option<&Checkpointer>,
     ) -> Result<(ColdModel, ParallelStats), CkptError> {
-        let metrics = self.config.metrics.0.clone();
         let mut stats = ParallelStats::default();
         let start = std::time::Instant::now();
         while self.sweeps_done < self.config.iterations {
             self.step_once(Some(&mut stats), ckpt)?;
         }
         stats.wall_seconds = start.elapsed().as_secs_f64();
-        metrics.gauge_set("parallel.wall_seconds", stats.wall_seconds);
-        metrics.gauge_set("parallel.shards", self.shards as f64);
+        self.publish_final_gauges(stats.wall_seconds);
         Ok((self.acc.finalize(), stats))
+    }
+
+    /// Publish the end-of-run gauges (`parallel.wall_seconds` and the
+    /// partition shape). [`run`](Self::run) and
+    /// [`run_checkpointed`](Self::run_checkpointed) call this themselves;
+    /// callers driving the sampler manually via
+    /// [`run_sweeps`](Self::run_sweeps) should call it once training ends.
+    pub fn publish_final_gauges(&self, wall_seconds: f64) {
+        let metrics = &self.config.metrics.0;
+        metrics.gauge_set("parallel.wall_seconds", wall_seconds);
+        self.publish_partition_gauges();
     }
 
     /// Run the configured sweeps; returns the fitted model and work stats.
@@ -346,15 +529,22 @@ impl ParallelGibbs {
     }
 
     /// One bulk-synchronous superstep: every shard resamples its items
-    /// against a snapshot + its own updates; the barrier folds the deltas.
-    /// With a single shard this degenerates to an in-place sequential
-    /// sweep (see [`ShardMode`]).
+    /// against stale counters + its own updates; the barrier reconciles
+    /// under the configured [`SyncStrategy`]. With a single shard this
+    /// degenerates to an in-place sequential sweep (see [`ShardMode`]).
     pub fn superstep(&mut self, sweep: usize) -> SuperstepWork {
         let metrics = self.config.metrics.0.clone();
         let t_step = metrics.start();
-        let work = match self.mode {
+        let work = match &self.mode {
             ShardMode::Sequential { .. } => self.superstep_sequential(sweep),
-            ShardMode::Sharded(_) => self.superstep_sharded(sweep),
+            ShardMode::Sharded {
+                strategy: SyncStrategy::CloneMerge,
+                ..
+            } => self.superstep_clone_merge(sweep),
+            ShardMode::Sharded {
+                strategy: SyncStrategy::Delta,
+                ..
+            } => self.superstep_delta(sweep),
         };
         metrics.observe_since("parallel.superstep_seconds", t_step);
         metrics.counter_add("parallel.supersteps", 1);
@@ -397,17 +587,18 @@ impl ParallelGibbs {
         SuperstepWork {
             post_ops: vec![self.posts.len() as u64],
             link_ops: vec![(n_links + n_neg) as u64],
-            sync_bytes: self.sync_bytes,
+            sync_bytes: self.clone_sync_bytes,
+            shard_sync_bytes: Vec::new(),
         }
     }
 
-    /// The true multi-shard superstep.
-    fn superstep_sharded(&mut self, sweep: usize) -> SuperstepWork {
+    /// The clone-everything baseline superstep (pre-delta engine).
+    fn superstep_clone_merge(&mut self, sweep: usize) -> SuperstepWork {
         let metrics = self.config.metrics.0.clone();
         let hyper = self.config.hyper;
         let rho = annealed_rho(&self.config, sweep);
         let snapshot = &self.global;
-        let ShardMode::Sharded(factory) = &self.mode else {
+        let ShardMode::Sharded { factory, .. } = &self.mode else {
             unreachable!("dispatched on mode");
         };
         // Each worker gets a private clone of the full state. Assignments
@@ -509,19 +700,168 @@ impl ParallelGibbs {
         }
         self.global = next;
         if metrics.is_enabled() {
-            for s in 0..self.shards {
-                metrics.counter_add(
-                    &format!("parallel.shard.{s}.post_draws"),
-                    self.shard_posts[s].len() as u64,
-                );
-                metrics.counter_add(
-                    &format!("parallel.shard.{s}.link_draws"),
-                    (self.shard_links[s].len() + self.shard_neg_links[s].len()) as u64,
-                );
-            }
+            self.publish_shard_draw_counters(&metrics);
             kernel_counters.flush_into(&metrics, self.config.kernel);
         }
         debug_assert!(self.global.check_consistency(&self.posts).is_ok());
+        self.sharded_work(self.clone_sync_bytes, Vec::new())
+    }
+
+    /// The delta-sync superstep: persistent replicas sample in place,
+    /// recording sparse [`CountDelta`]s; the barrier applies them in shard
+    /// order and broadcasts each to the other replicas.
+    fn superstep_delta(&mut self, sweep: usize) -> SuperstepWork {
+        let metrics = self.config.metrics.0.clone();
+        let hyper = self.config.hyper;
+        let rho = annealed_rho(&self.config, sweep);
+        let ShardMode::Sharded {
+            factory, workers, ..
+        } = &mut self.mode
+        else {
+            unreachable!("dispatched on mode");
+        };
+        let factory = &*factory;
+        let deltas: Vec<(CountDelta, KernelCounters)> = std::thread::scope(|scope| {
+            let posts = &self.posts;
+            let shard_posts = &self.shard_posts;
+            let shard_links = &self.shard_links;
+            let shard_neg_links = &self.shard_neg_links;
+            let config = &self.config;
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .enumerate()
+                .map(|(s, worker)| {
+                    let metrics = metrics.clone();
+                    scope.spawn(move || {
+                        // Gather phase: the replica's counters already
+                        // equal the barrier state, so there is nothing to
+                        // copy — only the kernel caches are rebuilt
+                        // (per superstep, like the clone baseline, which
+                        // is what keeps the two paths bit-identical).
+                        let t_gather = metrics.start();
+                        let mut rng = factory.stream((sweep as u64) << 16 | s as u64);
+                        let mut scratch = Scratch::for_config(config);
+                        scratch.begin_sweep(&worker.replica);
+                        scratch.attach_delta(
+                            worker.acc.take().expect("accumulator parked at barrier"),
+                        );
+                        metrics.observe_since("parallel.gather_seconds", t_gather);
+                        // Apply phase: resample every owned item in place,
+                        // mirroring each counter update into the delta.
+                        let t_apply = metrics.start();
+                        for &d in &shard_posts[s] {
+                            resample_post(
+                                &mut worker.replica,
+                                posts,
+                                d,
+                                &hyper,
+                                rho,
+                                &mut rng,
+                                &mut scratch,
+                            );
+                        }
+                        for &e in &shard_links[s] {
+                            resample_link(
+                                &mut worker.replica,
+                                e,
+                                &hyper,
+                                rho,
+                                &mut rng,
+                                &mut scratch,
+                            );
+                        }
+                        for &e in &shard_neg_links[s] {
+                            resample_negative_link(
+                                &mut worker.replica,
+                                e,
+                                &hyper,
+                                rho,
+                                &mut rng,
+                                &mut scratch,
+                            );
+                        }
+                        metrics.observe_since("parallel.apply_seconds", t_apply);
+                        let mut acc = scratch.detach_delta().expect("attached above");
+                        let delta = acc.drain();
+                        worker.acc = Some(acc);
+                        (delta, scratch.take_counters())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Barrier, step 1: apply each shard's delta to the authoritative
+        // state in ascending shard order. The order is fixed (and cell
+        // updates are exact integer addition), so the result is
+        // deterministic and equal to the clone baseline's merge.
+        let t_merge = metrics.start();
+        let mut kernel_counters = KernelCounters::default();
+        let mut shard_sync_bytes = Vec::with_capacity(self.shards);
+        let mut delta_cells = 0u64;
+        for (delta, counters) in &deltas {
+            self.global.apply_delta(delta);
+            shard_sync_bytes.push(delta.encoded_len());
+            delta_cells += delta.cells();
+            kernel_counters.merge(counters);
+        }
+        metrics.observe_since("parallel.merge.apply_seconds", t_merge);
+        // Barrier, step 2: broadcast every delta's counter cells to the
+        // *other* shards' replicas. Addition commutes, so each replica
+        // lands on exactly the authoritative counters regardless of
+        // order. Assignments are not broadcast: a replica only ever reads
+        // the assignments of items it owns, and those it wrote itself.
+        let t_broadcast = metrics.start();
+        for (r, worker) in workers.iter_mut().enumerate() {
+            for (s, (delta, _)) in deltas.iter().enumerate() {
+                if s != r {
+                    delta.apply_counters(&mut worker.replica);
+                }
+            }
+        }
+        metrics.observe_since("parallel.merge.broadcast_seconds", t_broadcast);
+        metrics.observe_since("parallel.merge_seconds", t_merge);
+        metrics.counter_add("parallel.delta_cells", delta_cells);
+        #[cfg(debug_assertions)]
+        for worker in workers.iter() {
+            debug_assert_eq!(worker.replica.n_ic, self.global.n_ic);
+            debug_assert_eq!(worker.replica.n_kv, self.global.n_kv);
+            debug_assert_eq!(worker.replica.n_vk, self.global.n_vk);
+            debug_assert_eq!(worker.replica.n_post_k, self.global.n_post_k);
+            debug_assert_eq!(worker.replica.n_ckt, self.global.n_ckt);
+            debug_assert_eq!(worker.replica.n_cc, self.global.n_cc);
+        }
+        if metrics.is_enabled() {
+            for (s, &bytes) in shard_sync_bytes.iter().enumerate() {
+                metrics.counter_add(&format!("parallel.shard.{s}.sync_bytes"), bytes);
+            }
+            self.publish_shard_draw_counters(&metrics);
+            kernel_counters.flush_into(&metrics, self.config.kernel);
+        }
+        debug_assert!(self.global.check_consistency(&self.posts).is_ok());
+        let total: u64 = shard_sync_bytes.iter().sum();
+        self.sharded_work(total, shard_sync_bytes)
+    }
+
+    /// Per-shard draw counters, shared by both sharded strategies.
+    fn publish_shard_draw_counters(&self, metrics: &cold_core::Metrics) {
+        for s in 0..self.shards {
+            metrics.counter_add(
+                &format!("parallel.shard.{s}.post_draws"),
+                self.shard_posts[s].len() as u64,
+            );
+            metrics.counter_add(
+                &format!("parallel.shard.{s}.link_draws"),
+                (self.shard_links[s].len() + self.shard_neg_links[s].len()) as u64,
+            );
+        }
+    }
+
+    /// The metered work of one sharded superstep.
+    fn sharded_work(&self, sync_bytes: u64, shard_sync_bytes: Vec<u64>) -> SuperstepWork {
         SuperstepWork {
             post_ops: self.shard_posts.iter().map(|p| p.len() as u64).collect(),
             // Explicitly-modeled negative pairs cost the same O(C²) draw as
@@ -532,7 +872,8 @@ impl ParallelGibbs {
                 .zip(&self.shard_neg_links)
                 .map(|(l, n)| (l.len() + n.len()) as u64)
                 .collect(),
-            sync_bytes: self.sync_bytes,
+            sync_bytes,
+            shard_sync_bytes,
         }
     }
 }
@@ -641,6 +982,63 @@ mod tests {
         assert!(model.topic_words(1 - k_fb)[film] > model.topic_words(k_fb)[film]);
     }
 
+    /// The delta barrier and the clone-merge baseline must walk the exact
+    /// same trajectory: same partition, same RNG streams, same draws.
+    #[test]
+    fn delta_strategy_is_bit_identical_to_clone_merge() {
+        let (corpus, graph) = data();
+        let mut delta = ParallelGibbs::with_strategy(
+            &corpus,
+            &graph,
+            config(&corpus, &graph),
+            3,
+            21,
+            SyncStrategy::Delta,
+        );
+        let mut clone = ParallelGibbs::with_strategy(
+            &corpus,
+            &graph,
+            config(&corpus, &graph),
+            3,
+            21,
+            SyncStrategy::CloneMerge,
+        );
+        for sweep in 0..6 {
+            delta.superstep(sweep);
+            clone.superstep(sweep);
+            assert_eq!(delta.state(), clone.state(), "diverged at sweep {sweep}");
+        }
+    }
+
+    /// Delta-mode sync accounting is honest: per-shard bytes are reported,
+    /// they sum to the superstep total, and each is the serialized size of
+    /// an actual wire message (non-zero while the chain is still moving).
+    #[test]
+    fn delta_sync_bytes_are_measured_per_shard() {
+        let (corpus, graph) = data();
+        let mut pg = ParallelGibbs::new(&corpus, &graph, config(&corpus, &graph), 4, 10);
+        let work = pg.superstep(0);
+        assert_eq!(work.shard_sync_bytes.len(), 4);
+        assert_eq!(work.sync_bytes, work.shard_sync_bytes.iter().sum::<u64>());
+        // Sweep 0 starts from a random init, so every shard changes state.
+        for (s, &bytes) in work.shard_sync_bytes.iter().enumerate() {
+            assert!(bytes > 0, "shard {s} reported an empty delta at sweep 0");
+        }
+        // The clone baseline reports the static counter-block estimate and
+        // measures no per-shard wire size.
+        let mut clone = ParallelGibbs::with_strategy(
+            &corpus,
+            &graph,
+            config(&corpus, &graph),
+            4,
+            10,
+            SyncStrategy::CloneMerge,
+        );
+        let work = clone.superstep(0);
+        assert!(work.shard_sync_bytes.is_empty());
+        assert!(work.sync_bytes > 0);
+    }
+
     #[test]
     fn work_metering_is_complete_and_balanced() {
         let (corpus, graph) = data();
@@ -649,10 +1047,42 @@ mod tests {
         assert_eq!(work.post_ops.iter().sum::<u64>(), corpus.num_posts() as u64);
         assert_eq!(work.link_ops.iter().sum::<u64>(), graph.num_edges() as u64);
         assert!(work.sync_bytes > 0);
-        // Users are spread round-robin, so shards are roughly balanced.
+        // LPT placement on per-user post counts keeps shards balanced.
         let max = *work.post_ops.iter().max().unwrap();
         let min = *work.post_ops.iter().min().unwrap();
         assert!(max - min <= 10, "{work:?}");
+    }
+
+    /// Greedy LPT packs a heavy-tailed author distribution much tighter
+    /// than round-robin user placement would.
+    #[test]
+    fn lpt_partition_balances_heavy_tailed_authors() {
+        let mut b = CorpusBuilder::new();
+        // User 0 posts 16×; users 1..8 post twice each — round-robin over
+        // 4 shards would put users {0, 4} (18 posts) against {3, 7}
+        // (4 posts). LPT packs to at most 8 per shard (30 posts total).
+        for rep in 0..16u16 {
+            b.push_text(0, rep % 4, &["alpha", "beta"]);
+        }
+        for u in 1..8u32 {
+            for rep in 0..2u16 {
+                b.push_text(u, rep % 4, &["gamma", "delta"]);
+            }
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let cfg = ColdConfig::builder(2, 2)
+            .iterations(4)
+            .build(&corpus, &graph);
+        let mut pg = ParallelGibbs::new(&corpus, &graph, cfg, 4, 3);
+        let work = pg.superstep(0);
+        let max = *work.post_ops.iter().max().unwrap();
+        assert_eq!(work.post_ops.iter().sum::<u64>(), 30);
+        assert!(max <= 16, "heaviest user bounds the heaviest shard");
+        // The heavy user sits alone; the small users pack the other shards
+        // to ~5 posts each, so max/mean stays close to the LPT bound.
+        let imbalance = max as f64 / (30.0 / 4.0);
+        assert!(imbalance < 2.2, "imbalance {imbalance}");
     }
 
     #[test]

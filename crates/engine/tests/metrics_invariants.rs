@@ -53,43 +53,54 @@ fn config(corpus: &Corpus, graph: &CsrGraph, metrics: Metrics) -> ColdConfig {
 }
 
 /// Per-shard post/link counters must sum to the corpus totals each sweep,
-/// and the synced-bytes counter must equal sweeps × the serialized size of
-/// the global counter block.
+/// and the synced-bytes accounting must be internally consistent: the
+/// `parallel.sync_bytes` counter equals the sum over supersteps of the
+/// per-superstep measured totals, which in turn equal the sum of the
+/// per-shard serialized delta sizes (`parallel.shard.<s>.sync_bytes`).
 #[test]
 fn shard_counters_and_sync_bytes_account_for_all_work() {
     let (corpus, graph) = data();
     let metrics = Metrics::enabled();
     let cfg = config(&corpus, &graph, metrics.clone());
     let mut pg = ParallelGibbs::new(&corpus, &graph, cfg, 3, 7);
-    let state = pg.state();
-    let expected_sync = 4
-        * (state.n_ck.len()
-            + state.n_c.len()
-            + state.n_ckt.len()
-            + state.n_kv.len()
-            + state.n_k.len()
-            + state.n_cc.len()) as u64;
     let n_posts = corpus.num_posts() as u64;
-    let n_links = (state.links.len() + state.neg_links.len()) as u64;
+    let n_links = (pg.state().links.len() + pg.state().neg_links.len()) as u64;
     let sweeps = 5u64;
+    let mut work_sync_total = 0u64;
     for sweep in 0..sweeps as usize {
-        pg.superstep(sweep);
+        let work = pg.superstep(sweep);
+        // The delta strategy measures real wire sizes per shard; they must
+        // sum to the superstep total.
+        assert_eq!(work.shard_sync_bytes.len(), 3);
+        assert_eq!(work.sync_bytes, work.shard_sync_bytes.iter().sum::<u64>());
+        work_sync_total += work.sync_bytes;
     }
     let snap = metrics.snapshot();
     assert_eq!(snap.counter("parallel.supersteps"), sweeps);
-    assert_eq!(snap.counter("parallel.sync_bytes"), sweeps * expected_sync);
+    assert_eq!(snap.counter("parallel.sync_bytes"), work_sync_total);
+    let mut shard_sync = 0u64;
     let mut post_draws = 0;
     let mut link_draws = 0;
     for s in 0..3 {
+        shard_sync += snap.counter(&format!("parallel.shard.{s}.sync_bytes"));
         post_draws += snap.counter(&format!("parallel.shard.{s}.post_draws"));
         link_draws += snap.counter(&format!("parallel.shard.{s}.link_draws"));
     }
+    assert_eq!(shard_sync, work_sync_total);
+    // Deltas are sparse but never empty while the chain is moving, and a
+    // shard's serialized delta is bounded by (a small multiple of) the
+    // counter cells its items can touch.
+    assert!(work_sync_total > 0);
+    assert!(snap.counter("parallel.delta_cells") > 0);
     assert_eq!(post_draws, sweeps * n_posts);
     assert_eq!(link_draws, sweeps * n_links);
     // Every shard owns users, so every shard reports work.
     for s in 0..3 {
         assert!(snap.counter(&format!("parallel.shard.{s}.post_draws")) > 0);
     }
+    // The imbalance gauge is published and sane (max/mean ≥ 1).
+    let imbalance = snap.gauge("parallel.shard_imbalance").unwrap();
+    assert!((1.0..3.0).contains(&imbalance), "{imbalance}");
 }
 
 /// The MH bookkeeping must balance even when proposals are drawn

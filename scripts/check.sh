@@ -49,4 +49,27 @@ if ! cmp -s "$SMOKE_DIR/model.json" "$SMOKE_DIR/model_resumed.json"; then
 fi
 echo "resume is bit-identical to the uninterrupted run"
 
+echo "== shard-scaling smoke (train --shards 4 + metrics-check) =="
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model_par.json" \
+  --communities 2 --topics 2 --iterations 30 --seed 11 --shards 4 \
+  --metrics-out "$SMOKE_DIR/metrics_par.jsonl" | tee "$SMOKE_DIR/par.log"
+# The parallel trainer prints the final complete-data log-likelihood;
+# require it to be a finite number (a diverged or corrupted merge would
+# surface as nan/inf here).
+ll=$(sed -n 's/.*log-likelihood \(-\{0,1\}[0-9.][0-9.e+-]*\)$/\1/p' "$SMOKE_DIR/par.log")
+if [ -z "$ll" ]; then
+  echo "no final log-likelihood in the --shards 4 output" >&2
+  exit 1
+fi
+awk -v ll="$ll" 'BEGIN { if (ll + 0 != ll + 0 || ll == "inf" || ll == "-inf") exit 1 }' || {
+  echo "non-finite final log-likelihood: $ll" >&2
+  exit 1
+}
+echo "final ll $ll is finite"
+cargo run -q --release -p cold-cli -- metrics-check --file "$SMOKE_DIR/metrics_par.jsonl"
+
+echo "== bench_parallel --quick =="
+cargo run -q --release -p cold-bench --bin bench_parallel -- --quick
+
 echo "All checks passed."
