@@ -33,6 +33,13 @@ struct Cell {
     shard_imbalance: f64,
 }
 
+/// One counter family's share of the cloned counter block.
+#[derive(Serialize)]
+struct FamilyBytes {
+    family: String,
+    bytes: u64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     world: String,
@@ -42,6 +49,9 @@ struct BenchReport {
     /// Serialized size of the full global-counter block: what the clone
     /// baseline ships per barrier regardless of how little changed.
     counter_block_bytes: u64,
+    /// The same block broken down per counter family (wire bytes; the
+    /// block always serializes dense regardless of in-memory backend).
+    counter_block_breakdown: Vec<FamilyBytes>,
     burn_in_sweeps: usize,
     timed_sweeps: usize,
     cells: Vec<Cell>,
@@ -184,21 +194,36 @@ fn main() {
         BASE_SEED + 9203,
     );
     let st = probe.state();
-    let counter_block_bytes = 4
-        * (st.n_ck.len()
-            + st.n_c.len()
-            + st.n_ckt.len()
-            + st.n_kv.len()
-            + st.n_k.len()
-            + st.n_cc.len()) as u64;
+    // Families the clone baseline ships per barrier (the shared counts a
+    // shard replica can drift on); u32 wire cells regardless of backend.
+    const CLONE_FAMILIES: [&str; 6] = ["n_ck", "n_c", "n_ckt", "n_kv", "n_k", "n_cc"];
+    let counter_block_breakdown: Vec<FamilyBytes> = st
+        .families()
+        .iter()
+        .filter(|(name, _)| CLONE_FAMILIES.contains(name))
+        .map(|&(name, store)| FamilyBytes {
+            family: name.to_owned(),
+            bytes: 4 * store.len() as u64,
+        })
+        .collect();
+    let counter_block_bytes: u64 = counter_block_breakdown.iter().map(|f| f.bytes).sum();
     drop(probe);
     println!(
-        "world: {} posts, {} links, vocab {}, counter block {:.1} KiB\n",
+        "world: {} posts, {} links, vocab {}, counter block {:.1} KiB",
         data.corpus.num_posts(),
         data.graph.num_edges(),
         data.corpus.vocab().len(),
         counter_block_bytes as f64 / 1024.0
     );
+    for f in &counter_block_breakdown {
+        println!(
+            "  {:6} {:>10} B ({:.1}%)",
+            f.family,
+            f.bytes,
+            100.0 * f.bytes as f64 / counter_block_bytes as f64
+        );
+    }
+    println!();
 
     let mut cells = Vec::new();
     for &kernel in &sc.kernels {
@@ -256,6 +281,7 @@ fn main() {
         num_links: data.graph.num_edges(),
         vocab_size: data.corpus.vocab().len(),
         counter_block_bytes,
+        counter_block_breakdown,
         burn_in_sweeps: sc.burn_in,
         timed_sweeps: sc.timed,
         cells,

@@ -2,7 +2,9 @@
 
 use crate::args::Args;
 use cold_core::checkpoint::{Checkpoint, CheckpointKind, Checkpointer};
-use cold_core::{ColdConfig, ColdModel, DiffusionPredictor, GibbsSampler, Metrics};
+use cold_core::{
+    ColdConfig, ColdModel, CounterStorage, DiffusionPredictor, GibbsSampler, Metrics, ModelFormat,
+};
 use cold_data::{SocialDataset, WorldConfig};
 use cold_engine::ParallelGibbs;
 use cold_math::rng::seeded_rng;
@@ -17,6 +19,8 @@ USAGE:
   cold train     --data <world.json> --out <model.json>
                  [--communities C] [--topics K] [--iterations N] [--seed S]
                  [--shards N] [--metrics-out <metrics.jsonl>]
+                 [--counter-storage auto|dense|sparse]
+                 [--model-format json|binary]
                  [--checkpoint-dir <dir>] [--checkpoint-every N]
                  [--checkpoint-retain N] [--resume true]
                  [--crash-after N]
@@ -70,6 +74,12 @@ pub fn generate(args: &Args) -> CliResult {
 /// uninterrupted one, provided the same training flags are passed.
 /// `--crash-after N` aborts the process (exit code 137) after sweep `N`,
 /// for crash-recovery drills.
+///
+/// `--counter-storage` picks the counter backend (`auto` measures occupancy
+/// at build time; `dense`/`sparse` force one for benchmarking) — results are
+/// bit-identical either way. `--model-format binary` writes the zero-copy
+/// `cold-model/v1` artifact instead of JSON; `ColdModel::load` auto-detects
+/// both.
 pub fn train(args: &Args) -> CliResult {
     let data = load_dataset(args.required("data")?)?;
     let out = args.required("out")?;
@@ -85,6 +95,8 @@ pub fn train(args: &Args) -> CliResult {
     let checkpoint_retain = args.get_or("checkpoint-retain", 3usize)?;
     let resume = args.get_or("resume", false)?;
     let crash_after: Option<usize> = args.get_optional("crash-after")?;
+    let counter_storage = args.get_or("counter-storage", CounterStorage::Auto)?;
+    let model_format = args.get_or("model-format", ModelFormat::Json)?;
     let metrics_out = args.optional("metrics-out");
     // Instrumentation is only switched on when a sink was requested; a
     // disabled registry keeps the hot path free of metric work.
@@ -106,6 +118,7 @@ pub fn train(args: &Args) -> CliResult {
         .iterations(iterations)
         .burn_in(iterations.saturating_sub(20).max(1))
         .sample_lag(4)
+        .counter_storage(counter_storage)
         .small_data_defaults();
     if let Some(n) = checkpoint_every {
         builder = builder.checkpoint_every(n);
@@ -161,8 +174,10 @@ pub fn train(args: &Args) -> CliResult {
         }
     };
     println!("trained in {:.1}s", started.elapsed().as_secs_f64());
-    model.save(out).map_err(|e| e.to_string())?;
-    println!("model -> {out}");
+    model
+        .save_as(out, model_format)
+        .map_err(|e| e.to_string())?;
+    println!("model -> {out} ({} format)", model_format.name());
     if let Some(path) = metrics_out {
         write_metrics(&metrics, path)?;
     }
@@ -282,7 +297,42 @@ pub fn metrics_check(args: &Args) -> CliResult {
         "{path}: ok ({} counters, {} gauges, {} histograms)",
         stats.counters, stats.gauges, stats.histograms
     );
+    print_storage_table(&text);
     Ok(())
+}
+
+/// Summarize `state.*` gauges (counter-storage footprints) from validated
+/// JSONL: one row per counter family, bytes alongside occupancy.
+fn print_storage_table(text: &str) {
+    let mut bytes: Vec<(String, f64)> = Vec::new();
+    let mut occupancy: Vec<(String, f64)> = Vec::new();
+    let mut total: Option<f64> = None;
+    for (name, value) in cold_obs::schema::gauges(text) {
+        if name == "state.bytes.total" {
+            total = Some(value);
+        } else if let Some(fam) = name.strip_prefix("state.bytes.") {
+            bytes.push((fam.to_owned(), value));
+        } else if let Some(fam) = name.strip_prefix("state.occupancy.") {
+            occupancy.push((fam.to_owned(), value));
+        }
+    }
+    if bytes.is_empty() {
+        return;
+    }
+    bytes.sort_by(|a, b| a.0.cmp(&b.0));
+    println!("\ncounter storage (state.* gauges):");
+    println!("  {:<10} {:>14} {:>11}", "family", "bytes", "occupancy");
+    for (fam, b) in &bytes {
+        let occ = occupancy
+            .iter()
+            .find(|(f, _)| f == fam)
+            .map(|&(_, o)| format!("{:>10.1}%", o * 100.0))
+            .unwrap_or_else(|| format!("{:>11}", "-"));
+        println!("  {fam:<10} {b:>14.0} {occ}");
+    }
+    if let Some(t) = total {
+        println!("  {:<10} {t:>14.0}", "total");
+    }
 }
 
 /// `cold topics` — print each topic's top words.

@@ -244,13 +244,17 @@ impl KernelCaches {
         alias.tables.clear();
         alias.tables.reserve(vdim);
         let mut weights = vec![0.0f64; kdim];
+        let mut vk_row = vec![0u32; kdim];
         // Denominators are shared across words; hoist them.
-        let denoms: Vec<f64> = state.n_k.iter().map(|&n| n as f64 + vbeta).collect();
+        let denoms: Vec<f64> = state.n_k.iter().map(|n| n as f64 + vbeta).collect();
         for w in 0..vdim {
             let row = w * kdim;
+            // Bulk-read the row: same values as per-cell indexing, without
+            // a per-topic hash probe when `n_vk` is sparse.
+            state.n_vk.gather_row(row, &mut vk_row);
             let mut total = 0.0;
             for k in 0..kdim {
-                let q = (state.n_vk[row + k] as f64 + beta) / denoms[k];
+                let q = (vk_row[k] as f64 + beta) / denoms[k];
                 weights[k] = q;
                 total += q;
             }
@@ -346,6 +350,14 @@ pub struct Scratch {
     pub comm_weights: Vec<f64>,
     /// Per-topic log-weights (Eq. 3).
     pub topic_logw: Vec<f64>,
+    /// One gathered `n_vk` row (Eq. 3's word loop bulk-reads sparse rows
+    /// through this instead of probing per topic).
+    pub vk_row: Vec<u32>,
+    /// Gathered `n_ic` membership rows for the two endpoints of a draw
+    /// (Eqs. 1–2 bulk-read sparse rows instead of probing per community —
+    /// the Eq. 2 pair loop would otherwise probe `C×C` times per link).
+    pub ic_row_i: Vec<u32>,
+    pub ic_row_j: Vec<u32>,
     /// Per-(c,c') weights (Eq. 2).
     pub pair_weights: Vec<f64>,
     kernel: SamplerKernel,
@@ -374,6 +386,9 @@ impl Scratch {
         Self {
             comm_weights: vec![0.0; num_communities],
             topic_logw: vec![0.0; num_topics],
+            vk_row: vec![0; num_topics],
+            ic_row_i: vec![0; num_communities],
+            ic_row_j: vec![0; num_communities],
             pair_weights: vec![0.0; num_communities * num_communities],
             kernel: SamplerKernel::Exact,
             caches: None,
@@ -393,6 +408,9 @@ impl Scratch {
         Self {
             comm_weights: vec![0.0; c],
             topic_logw: vec![0.0; k],
+            vk_row: vec![0; k],
+            ic_row_i: vec![0; c],
+            ic_row_j: vec![0; c],
             pair_weights: vec![0.0; c * c],
             kernel: config.kernel,
             caches: (config.kernel != SamplerKernel::Exact).then(|| KernelCaches::new(config)),
@@ -484,6 +502,7 @@ impl Scratch {
 /// loop over the word-major counter `n_vk`. The per-topic accumulation
 /// order (base terms, then words in multiset order, then the length term)
 /// is fixed so every kernel produces bit-identical sums.
+#[allow(clippy::too_many_arguments)]
 fn topic_logweights<E: LogEval>(
     eval: &mut E,
     state: &CountState,
@@ -492,19 +511,42 @@ fn topic_logweights<E: LogEval>(
     c: usize,
     t: usize,
     logw: &mut [f64],
+    vk_row: &mut [u32],
 ) {
     let kdim = state.num_topics;
     let shared = state.time_comm_rows == 1;
+    let words = &posts.multisets[d];
+    // Hide the first row's random access behind the base-term loop.
+    if let Some(&(w0, _)) = words.first() {
+        state.n_vk.prefetch_row(w0 as usize * kdim, kdim);
+    }
     for (k, lw) in logw.iter_mut().enumerate() {
         let n_ck = state.n_ck[c * kdim + k];
         let denom = if shared { state.n_post_k[k] } else { n_ck };
         *lw = eval.ln_alpha(n_ck) + eval.ln_eps(state.n_ckt[state.ckt_index(c, k, t)])
             - eval.ln_teps(denom);
     }
-    for &(w, cnt) in &posts.multisets[d] {
+    for (j, &(w, cnt)) in words.iter().enumerate() {
+        // Hide the next row's random access behind this word's topic
+        // loop (a hint only — values and order are unchanged).
+        if let Some(&(w_next, _)) = words.get(j + 1) {
+            state.n_vk.prefetch_row(w_next as usize * kdim, kdim);
+        }
         let row = w as usize * kdim;
-        for (k, lw) in logw.iter_mut().enumerate() {
-            *lw += eval.laf_beta(state.n_vk[row + k], cnt);
+        // Same values either way; the sparse arm bulk-gathers the row so
+        // the inner loop never pays a per-topic hash probe.
+        match state.n_vk.as_dense_slice() {
+            Some(vk) => {
+                for (k, lw) in logw.iter_mut().enumerate() {
+                    *lw += eval.laf_beta(vk[row + k], cnt);
+                }
+            }
+            None => {
+                state.n_vk.gather_row(row, vk_row);
+                for (k, lw) in logw.iter_mut().enumerate() {
+                    *lw += eval.laf_beta(vk_row[k], cnt);
+                }
+            }
         }
     }
     let len = posts.lens[d];
@@ -614,6 +656,26 @@ fn mh_topic_draw(
     k_cur
 }
 
+/// One user's `n_ic` membership row: a direct slice when dense, a bulk
+/// gather into `buf` when sparse. Same cell values either way — callers
+/// read identical numbers, they just stop paying a hash probe per
+/// community (the Eq. 2 pair loop reads each row `C` times).
+#[inline]
+fn membership_row<'a>(
+    n_ic: &'a crate::storage::CounterStore,
+    user: usize,
+    cdim: usize,
+    buf: &'a mut [u32],
+) -> &'a [u32] {
+    match n_ic.as_dense_slice() {
+        Some(s) => &s[user * cdim..(user + 1) * cdim],
+        None => {
+            n_ic.gather_row(user * cdim, buf);
+            buf
+        }
+    }
+}
+
 /// Resample `c_ij` (Eq. 1) then `z_ij` (Eq. 3) for post `d`, updating
 /// `state` in place. `rho` is passed separately from `hyper` so callers can
 /// anneal the membership prior.
@@ -653,8 +715,9 @@ pub fn resample_post(
     // for every community — hoisted out of the loop (it is the maintained
     // posts-per-topic counter).
     let shared_denom = state.n_post_k[k_cur] as f64;
+    let mi_row = membership_row(&state.n_ic, i, cdim, &mut scratch.ic_row_i);
     for c in 0..cdim {
-        let member = state.n_ic[i * cdim + c] as f64 + rho;
+        let member = mi_row[c] as f64 + rho;
         let interest = (state.n_ck[c * kdim + k_cur] as f64 + hyper.alpha)
             / (state.n_c[c] as f64 + kdim as f64 * hyper.alpha);
         let temporal_denom = if shared {
@@ -683,13 +746,31 @@ pub fn resample_post(
         (_, Some(caches)) => {
             scratch.counters.logcache_lookups +=
                 kdim as u64 * (4 + posts.multisets[d].len() as u64);
-            topic_logweights(caches, state, posts, d, c, t, &mut scratch.topic_logw);
+            topic_logweights(
+                caches,
+                state,
+                posts,
+                d,
+                c,
+                t,
+                &mut scratch.topic_logw,
+                &mut scratch.vk_row,
+            );
             sample_log_categorical(rng, &scratch.topic_logw)
                 .expect("topic weights must have finite mass")
         }
         (_, None) => {
             let mut eval = DirectEval::new(hyper, state.num_time_slices, state.vocab_size);
-            topic_logweights(&mut eval, state, posts, d, c, t, &mut scratch.topic_logw);
+            topic_logweights(
+                &mut eval,
+                state,
+                posts,
+                d,
+                c,
+                t,
+                &mut scratch.topic_logw,
+                &mut scratch.vk_row,
+            );
             sample_log_categorical(rng, &scratch.topic_logw)
                 .expect("topic weights must have finite mass")
         }
@@ -715,6 +796,12 @@ pub fn resample_link(
     scratch: &mut Scratch,
 ) {
     let cdim = state.num_communities;
+    // Sweeps walk the edge list in order: hint the next pair's
+    // membership rows so their random accesses overlap this draw.
+    if let Some(&(ni, nj)) = state.links.get(e + 1) {
+        state.n_ic.prefetch_row(ni as usize * cdim, cdim);
+        state.n_ic.prefetch_row(nj as usize * cdim, cdim);
+    }
     let old_cell = state.link_src_comm[e] as usize * cdim + state.link_dst_comm[e] as usize;
     if let Some(acc) = scratch.delta.as_deref_mut() {
         acc.record_link(state, e, -1);
@@ -725,22 +812,24 @@ pub fn resample_link(
         .caches
         .as_ref()
         .is_some_and(|caches| caches.rates_ready);
+    let mi_row = membership_row(&state.n_ic, i as usize, cdim, &mut scratch.ic_row_i);
+    let mj_row = membership_row(&state.n_ic, j as usize, cdim, &mut scratch.ic_row_j);
     if use_cache {
         let caches = scratch.caches.as_mut().expect("checked above");
         caches.patch_rate(state, old_cell);
         for c in 0..cdim {
-            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            let mi = mi_row[c] as f64 + rho;
             let rates = &caches.rate_pos[c * cdim..(c + 1) * cdim];
             for c2 in 0..cdim {
-                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                let mj = mj_row[c2] as f64 + rho;
                 scratch.pair_weights[c * cdim + c2] = mi * mj * rates[c2];
             }
         }
     } else {
         for c in 0..cdim {
-            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            let mi = mi_row[c] as f64 + rho;
             for c2 in 0..cdim {
-                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                let mj = mj_row[c2] as f64 + rho;
                 let n1 = state.n_cc[c * cdim + c2] as f64;
                 // With explicit negatives, n0 carries the per-cell absence
                 // evidence; without them it is zero and λ0 alone stands in
@@ -780,6 +869,11 @@ pub fn resample_negative_link(
     scratch: &mut Scratch,
 ) {
     let cdim = state.num_communities;
+    // Same next-pair hint as `resample_link`.
+    if let Some(&(ni, nj)) = state.neg_links.get(e + 1) {
+        state.n_ic.prefetch_row(ni as usize * cdim, cdim);
+        state.n_ic.prefetch_row(nj as usize * cdim, cdim);
+    }
     let old_cell = state.neg_src_comm[e] as usize * cdim + state.neg_dst_comm[e] as usize;
     if let Some(acc) = scratch.delta.as_deref_mut() {
         acc.record_neg_link(state, e, -1);
@@ -790,22 +884,24 @@ pub fn resample_negative_link(
         .caches
         .as_ref()
         .is_some_and(|caches| caches.rates_ready);
+    let mi_row = membership_row(&state.n_ic, i as usize, cdim, &mut scratch.ic_row_i);
+    let mj_row = membership_row(&state.n_ic, j as usize, cdim, &mut scratch.ic_row_j);
     if use_cache {
         let caches = scratch.caches.as_mut().expect("checked above");
         caches.patch_rate(state, old_cell);
         for c in 0..cdim {
-            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            let mi = mi_row[c] as f64 + rho;
             let rates = &caches.rate_neg[c * cdim..(c + 1) * cdim];
             for c2 in 0..cdim {
-                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                let mj = mj_row[c2] as f64 + rho;
                 scratch.pair_weights[c * cdim + c2] = mi * mj * rates[c2];
             }
         }
     } else {
         for c in 0..cdim {
-            let mi = state.n_ic[i as usize * cdim + c] as f64 + rho;
+            let mi = mi_row[c] as f64 + rho;
             for c2 in 0..cdim {
-                let mj = state.n_ic[j as usize * cdim + c2] as f64 + rho;
+                let mj = mj_row[c2] as f64 + rho;
                 let n1 = state.n_cc[c * cdim + c2] as f64;
                 let n0 = state.n0_cc[c * cdim + c2] as f64;
                 let no_link = (n0 + hyper.lambda0) / (n1 + n0 + hyper.lambda0 + hyper.lambda1);

@@ -14,19 +14,19 @@ use serde::{Deserialize, Serialize};
 /// `π, θ, η, φ, ψ` (Table 1), all row-major flat matrices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ColdModel {
-    dims: Dims,
+    pub(crate) dims: Dims,
     /// `π`, `U×C`.
-    pi: Vec<f64>,
+    pub(crate) pi: Vec<f64>,
     /// `θ`, `C×K`.
-    theta: Vec<f64>,
+    pub(crate) theta: Vec<f64>,
     /// `η`, `C×C`.
-    eta: Vec<f64>,
+    pub(crate) eta: Vec<f64>,
     /// `φ`, `K×V`.
-    phi: Vec<f64>,
+    pub(crate) phi: Vec<f64>,
     /// `ψ`, `C×K×T` (duplicated across communities in shared-temporal mode).
-    psi: Vec<f64>,
+    pub(crate) psi: Vec<f64>,
     /// Number of Gibbs samples averaged into the estimates.
-    samples: usize,
+    pub(crate) samples: usize,
 }
 
 impl ColdModel {
@@ -237,11 +237,8 @@ impl EstimateAccumulator {
         }
         for cc in 0..c {
             for kk in 0..k {
-                let n_ck_time = state.n_ckt[state.time_row(cc) * k * t + kk * t
-                    ..state.time_row(cc) * k * t + (kk + 1) * t]
-                    .iter()
-                    .map(|&x| x as f64)
-                    .sum::<f64>();
+                let row = state.time_row(cc) * k * t + kk * t;
+                let n_ck_time = (0..t).map(|tt| state.n_ckt[row + tt] as f64).sum::<f64>();
                 let denom = n_ck_time + t as f64 * self.hyper_epsilon;
                 for tt in 0..t {
                     self.psi[(cc * k + kk) * t + tt] +=

@@ -76,8 +76,10 @@ pub fn estimate_rho_alpha(state: &CountState) -> (f64, f64) {
     let c = state.num_communities;
     let k = state.num_topics;
     let users = state.n_ic.len() / c;
-    let rho = estimate_concentration(&state.n_ic, users, c, 1.0, 1e-4, 100);
-    let alpha = estimate_concentration(&state.n_ck, c, k, 1.0, 1e-4, 100);
+    // Cold path (once per training run): a dense image is fine whatever
+    // backend the families are on.
+    let rho = estimate_concentration(&state.n_ic.to_dense_vec(), users, c, 1.0, 1e-4, 100);
+    let alpha = estimate_concentration(&state.n_ck.to_dense_vec(), c, k, 1.0, 1e-4, 100);
     (rho, alpha)
 }
 

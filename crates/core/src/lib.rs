@@ -77,6 +77,7 @@ pub mod persist;
 pub mod predict;
 pub mod sampler;
 pub mod state;
+pub mod storage;
 
 pub use checkpoint::{Checkpoint, CheckpointKind, Checkpointer, CkptError, CKPT_FORMAT};
 pub use cold_obs::Metrics;
@@ -85,5 +86,7 @@ pub use diffusion::{CommunityDiffusionGraph, DiffusionEdge};
 pub use estimates::ColdModel;
 pub use online::OnlineCold;
 pub use params::{ColdConfig, ColdConfigBuilder, Dims, Hyperparams, MetricsHandle, SamplerKernel};
+pub use persist::ModelFormat;
 pub use predict::DiffusionPredictor;
 pub use sampler::GibbsSampler;
+pub use storage::{CounterStorage, CounterStore};

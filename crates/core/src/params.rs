@@ -5,6 +5,7 @@
 //! `λ0 = κ·ln(n_neg/C²)` with tunable weight `κ` (the implicit treatment of
 //! negative links from §3.3).
 
+use crate::storage::CounterStorage;
 use cold_graph::CsrGraph;
 use cold_obs::Metrics;
 use cold_text::Corpus;
@@ -214,6 +215,12 @@ pub struct ColdConfig {
     ///
     /// [`Checkpointer`]: crate::checkpoint::Checkpointer
     pub checkpoint_every: Option<usize>,
+    /// Counter storage backend policy (default [`CounterStorage::Auto`]:
+    /// measure occupancy per family and go sparse only where it saves
+    /// ≥ 4×). `Dense`/`Sparse` force one backend everywhere — for
+    /// benchmarks and equivalence tests. Either way the sampled chain is
+    /// bit-identical; only the memory/speed trade moves.
+    pub counter_storage: CounterStorage,
     /// Observability handle the samplers report into (disabled by
     /// default; enable via [`ColdConfigBuilder::metrics`]). Ignored by
     /// equality and persistence — see [`MetricsHandle`].
@@ -296,6 +303,7 @@ pub struct ColdConfigBuilder {
     kernel: SamplerKernel,
     ll_every: Option<usize>,
     checkpoint_every: Option<usize>,
+    counter_storage: CounterStorage,
     metrics: Metrics,
 }
 
@@ -317,6 +325,7 @@ impl ColdConfigBuilder {
             kernel: SamplerKernel::default(),
             ll_every: None,
             checkpoint_every: None,
+            counter_storage: CounterStorage::default(),
             metrics: Metrics::default(),
         }
     }
@@ -428,6 +437,14 @@ impl ColdConfigBuilder {
         self
     }
 
+    /// Select the counter storage backend policy (default
+    /// [`CounterStorage::Auto`]). See [`crate::storage`] for the
+    /// occupancy heuristic and the memory/speed trade-offs.
+    pub fn counter_storage(mut self, storage: CounterStorage) -> Self {
+        self.counter_storage = storage;
+        self
+    }
+
     /// Attach an observability handle; the samplers, kernels and parallel
     /// engine record counters, timing histograms and spans into it during
     /// training. Pass [`Metrics::enabled`] (keeping a clone to snapshot
@@ -479,6 +496,7 @@ impl ColdConfigBuilder {
             kernel: self.kernel,
             ll_every: self.ll_every,
             checkpoint_every: self.checkpoint_every,
+            counter_storage: self.counter_storage,
             metrics: MetricsHandle(self.metrics),
         };
         config.validate().expect("invalid COLD configuration");

@@ -2,11 +2,27 @@
 //!
 //! A fitted [`ColdModel`] is a set of dense probability tables; training it
 //! on real data can take hours (the paper's Fig. 14), so the model must
-//! outlive the process. JSON keeps the format transparent and diffable;
-//! the tables are f64 so round-trips are bit-exact.
+//! outlive the process. Two on-disk formats share one `load` entry point:
+//!
+//! * **JSON** — transparent and diffable; the tables are f64 so
+//!   round-trips are bit-exact. The historical default.
+//! * **`cold-model/v1` binary** ([`ModelFormat::Binary`]) — the zero-copy
+//!   artifact serving paths open in milliseconds: a fixed 64-byte header
+//!   (magic `COLDMDL1`, version, the six dimensions as little-endian
+//!   `u64`s), the five probability tables as back-to-back little-endian
+//!   `f64` sections in declaration order (`π, θ, η, φ, ψ` — every section
+//!   starts 8-byte aligned, so an mmap of the file can be read in place),
+//!   and an FNV-1a64 checksum footer over everything before it (computed
+//!   over little-endian 64-bit words — see [`fnv1a64_words`]), following
+//!   the `cold-ckpt/v1` durability conventions. Loading is one read plus
+//!   `f64::from_le_bytes` per cell — no parsing, bit-exact.
+//!
+//! [`ColdModel::load`] sniffs the magic, so callers never name the format
+//! on the read side.
 
 use crate::checkpoint::atomic_write;
 use crate::estimates::ColdModel;
+use crate::params::Dims;
 use std::io::Read;
 use std::path::Path;
 
@@ -43,6 +59,75 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// On-disk encoding of a [`ColdModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelFormat {
+    /// Human-readable JSON (the historical default).
+    #[default]
+    Json,
+    /// The `cold-model/v1` zero-copy binary artifact.
+    Binary,
+}
+
+impl ModelFormat {
+    /// Stable lowercase name, matching what [`FromStr`](std::str::FromStr)
+    /// accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFormat::Json => "json",
+            ModelFormat::Binary => "binary",
+        }
+    }
+}
+
+impl std::str::FromStr for ModelFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(ModelFormat::Json),
+            "binary" => Ok(ModelFormat::Binary),
+            other => Err(format!(
+                "unknown model format `{other}` (expected json|binary)"
+            )),
+        }
+    }
+}
+
+/// 8-byte magic opening every `cold-model/v1` artifact.
+pub const MODEL_MAGIC: [u8; 8] = *b"COLDMDL1";
+
+/// FNV-1a64 over the body viewed as little-endian 64-bit words (a short
+/// tail, only possible in corrupt files, is zero-padded). Same offset
+/// basis and prime as `cold-ckpt`'s byte-wise `fnv1a64`, but consuming
+/// 8 bytes per multiply: the hash is a serial dependency chain, and at
+/// artifact sizes (hundreds of MiB) a byte-at-a-time walk would dominate
+/// the very load path this format exists to make fast.
+fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        hash ^= u64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
+        hash = hash.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        hash ^= u64::from_le_bytes(tail);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Format version written into (and required of) the header.
+const MODEL_VERSION: u32 = 1;
+
+/// Header bytes: magic, version `u32`, reserved `u32`, six `u64` dims.
+const MODEL_HEADER_LEN: usize = 8 + 4 + 4 + 6 * 8;
+
 impl ColdModel {
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> String {
@@ -54,20 +139,144 @@ impl ColdModel {
         serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))
     }
 
+    /// The five probability tables in artifact section order.
+    fn sections(&self) -> [&Vec<f64>; 5] {
+        [&self.pi, &self.theta, &self.eta, &self.phi, &self.psi]
+    }
+
+    /// Serialize as a `cold-model/v1` byte string (see the module docs
+    /// for the layout).
+    pub fn to_binary(&self) -> Vec<u8> {
+        let cells: usize = self.sections().iter().map(|s| s.len()).sum();
+        let mut out = Vec::with_capacity(MODEL_HEADER_LEN + 8 * cells + 8);
+        out.extend_from_slice(&MODEL_MAGIC);
+        out.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        for dim in [
+            self.dims.num_users as u64,
+            self.dims.num_communities as u64,
+            self.dims.num_topics as u64,
+            self.dims.num_time_slices as u64,
+            self.dims.vocab_size as u64,
+            self.samples as u64,
+        ] {
+            out.extend_from_slice(&dim.to_le_bytes());
+        }
+        for section in self.sections() {
+            for &x in section.iter() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a64_words(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parse a `cold-model/v1` byte string, verifying magic, version,
+    /// section lengths and the checksum footer. Bit-exact: every `f64`
+    /// comes back from `from_le_bytes` untouched.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, PersistError> {
+        let bad = |msg: String| PersistError::Format(msg);
+        if bytes.len() < MODEL_HEADER_LEN + 8 {
+            return Err(bad(format!(
+                "cold-model/v1 artifact truncated: {} bytes is below the \
+                 {}-byte header + footer minimum",
+                bytes.len(),
+                MODEL_HEADER_LEN + 8
+            )));
+        }
+        if bytes[..8] != MODEL_MAGIC {
+            return Err(bad("bad magic: not a cold-model/v1 artifact".into()));
+        }
+        let u32_at =
+            |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
+        let u64_at =
+            |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte slice"));
+        let version = u32_at(8);
+        if version != MODEL_VERSION {
+            return Err(bad(format!(
+                "unsupported cold-model version {version} (expected {MODEL_VERSION})"
+            )));
+        }
+        // Checksum before trusting any length derived from the header.
+        let body = &bytes[..bytes.len() - 8];
+        let expected = u64_at(bytes.len() - 8);
+        let actual = fnv1a64_words(body);
+        if actual != expected {
+            return Err(bad(format!(
+                "checksum mismatch: footer says {expected:#018x}, body hashes to {actual:#018x}"
+            )));
+        }
+        let dim = |i: usize| u64_at(16 + 8 * i) as usize;
+        let (u, c, k, t, v) = (dim(0), dim(1), dim(2), dim(3), dim(4));
+        let samples = dim(5);
+        let dims = Dims {
+            num_users: u as u32,
+            num_communities: c,
+            num_topics: k,
+            num_time_slices: t,
+            vocab_size: v,
+        };
+        let section_lens = [u * c, c * k, c * c, k * v, c * k * t];
+        let payload = section_lens.iter().sum::<usize>() * 8;
+        if body.len() != MODEL_HEADER_LEN + payload {
+            return Err(bad(format!(
+                "section length mismatch: dims imply {} payload bytes, file carries {}",
+                payload,
+                body.len() - MODEL_HEADER_LEN
+            )));
+        }
+        let mut off = MODEL_HEADER_LEN;
+        let mut section = |len: usize| -> Vec<f64> {
+            let out = bytes[off..off + 8 * len]
+                .chunks_exact(8)
+                .map(|ch| f64::from_le_bytes(ch.try_into().expect("8-byte chunk")))
+                .collect();
+            off += 8 * len;
+            out
+        };
+        Ok(ColdModel {
+            dims,
+            pi: section(section_lens[0]),
+            theta: section(section_lens[1]),
+            eta: section(section_lens[2]),
+            phi: section(section_lens[3]),
+            psi: section(section_lens[4]),
+            samples,
+        })
+    }
+
     /// Write the model to `path` (JSON), atomically: the bytes land in a
     /// temp file which is fsynced and renamed over the destination (the
     /// `cold-ckpt` durability protocol), so a crash mid-save can never
     /// leave a torn model file where a good one used to be.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        atomic_write(path, self.to_json().as_bytes())?;
+        self.save_as(path, ModelFormat::Json)
+    }
+
+    /// Write the model to `path` in the chosen format, with the same
+    /// atomic-rename durability as [`save`](Self::save).
+    pub fn save_as(&self, path: impl AsRef<Path>, format: ModelFormat) -> Result<(), PersistError> {
+        let bytes = match format {
+            ModelFormat::Json => self.to_json().into_bytes(),
+            ModelFormat::Binary => self.to_binary(),
+        };
+        atomic_write(path, &bytes)?;
         Ok(())
     }
 
-    /// Read a model back from `path`.
+    /// Read a model back from `path`, auto-detecting the format: files
+    /// opening with the `COLDMDL1` magic parse as `cold-model/v1`,
+    /// anything else as JSON.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let mut data = String::new();
-        std::fs::File::open(path)?.read_to_string(&mut data)?;
-        Self::from_json(&data)
+        let mut data = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut data)?;
+        if data.len() >= MODEL_MAGIC.len() && data[..MODEL_MAGIC.len()] == MODEL_MAGIC {
+            return Self::from_binary(&data);
+        }
+        let text = String::from_utf8(data)
+            .map_err(|_| PersistError::Format("neither cold-model/v1 nor UTF-8 JSON".into()))?;
+        Self::from_json(&text)
     }
 }
 
@@ -159,5 +368,105 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = ColdModel::load("/definitely/not/here.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    /// Binary round-trip is bit-exact and equal to the JSON path.
+    #[test]
+    fn binary_round_trip_matches_json_path() {
+        let model = fitted();
+        let back = ColdModel::from_binary(&model.to_binary()).unwrap();
+        let via_json = ColdModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(back.dims(), model.dims());
+        assert_eq!(back.num_samples(), model.num_samples());
+        for i in 0..2 {
+            assert_eq!(back.user_memberships(i), model.user_memberships(i));
+            assert_eq!(back.user_memberships(i), via_json.user_memberships(i));
+        }
+        for k in 0..2 {
+            assert_eq!(back.topic_words(k), model.topic_words(k));
+            assert_eq!(back.topic_words(k), via_json.topic_words(k));
+            for c in 0..2 {
+                assert_eq!(back.temporal(k, c), model.temporal(k, c));
+            }
+        }
+        for c in 0..2 {
+            for c2 in 0..2 {
+                assert_eq!(back.eta(c, c2), model.eta(c, c2));
+            }
+        }
+    }
+
+    /// `load` auto-detects the format from the leading bytes.
+    #[test]
+    fn load_auto_detects_json_and_binary() {
+        let model = fitted();
+        let dir = std::env::temp_dir().join(format!("cold_model_detect_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("model.json");
+        let bin_path = dir.join("model.cold");
+        model.save_as(&json_path, ModelFormat::Json).unwrap();
+        model.save_as(&bin_path, ModelFormat::Binary).unwrap();
+        let from_json = ColdModel::load(&json_path).unwrap();
+        let from_bin = ColdModel::load(&bin_path).unwrap();
+        assert_eq!(from_json.user_memberships(0), model.user_memberships(0));
+        assert_eq!(from_bin.user_memberships(0), model.user_memberships(0));
+        assert_eq!(from_bin.topic_words(1), from_json.topic_words(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_bad_magic_fails_loudly() {
+        let model = fitted();
+        let mut bytes = model.to_binary();
+        bytes[0] ^= 0xFF;
+        let err = ColdModel::from_binary(&bytes).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn binary_truncation_fails_loudly() {
+        let model = fitted();
+        let bytes = model.to_binary();
+        // Sub-header truncation.
+        let err = ColdModel::from_binary(&bytes[..16]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // A lost tail invalidates the checksum (the footer is now section
+        // bytes, and the hashed body shrank).
+        let err = ColdModel::from_binary(&bytes[..bytes.len() - 8]).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn binary_bit_flip_fails_the_checksum() {
+        let model = fitted();
+        let mut bytes = model.to_binary();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let err = ColdModel::from_binary(&bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn binary_wrong_version_is_rejected() {
+        let model = fitted();
+        let mut bytes = model.to_binary();
+        bytes[8] = 9; // version little-endian low byte
+                      // Re-stamp the checksum so the version check itself is exercised.
+        let body_len = bytes.len() - 8;
+        let sum = super::fnv1a64_words(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = ColdModel::from_binary(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn model_format_parses() {
+        assert_eq!("json".parse::<ModelFormat>().unwrap(), ModelFormat::Json);
+        assert_eq!(
+            "binary".parse::<ModelFormat>().unwrap(),
+            ModelFormat::Binary
+        );
+        assert!("yaml".parse::<ModelFormat>().is_err());
     }
 }

@@ -125,9 +125,14 @@ impl GibbsSampler {
         let mut words = [0u64; 4];
         words.copy_from_slice(&ckpt.rng);
         let current_rho = Self::annealed_rho(&config, ckpt.sweeps_done);
+        // Checkpoints always carry dense counters; re-apply the configured
+        // storage policy so a resumed run uses the same backends a fresh
+        // one would (cell values, and hence the chain, are unaffected).
+        let mut state = ckpt.state;
+        state.select_storage(config.counter_storage);
         Ok(Self {
             posts,
-            state: ckpt.state,
+            state,
             rng: Rng::from_raw_state(words),
             trace: ckpt.trace,
             scratch: Scratch::for_config(&config),
@@ -296,6 +301,7 @@ impl GibbsSampler {
             metrics.gauge_set("train.wall_seconds", t0.elapsed().as_secs_f64());
         }
         metrics.gauge_set("train.sweeps", self.sweeps_done as f64);
+        self.state.publish_storage_gauges(metrics);
     }
 
     /// One full Gibbs sweep over all posts and links.

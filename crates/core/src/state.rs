@@ -9,11 +9,13 @@
 //! * `n_k^(v)` — occurrences of word `v` under topic `k`;
 //! * `n_cc'` — positive links with endpoint communities `(c, c')`.
 //!
-//! Counters are flat `Vec<u32>` arrays (row-major), updated in O(1) per
-//! assignment flip — that is what makes each Gibbs sweep linear in the data
-//! size (§4.2).
+//! Counters are flat row-major arrays behind a [`CounterStore`] (dense
+//! `Vec<u32>` or a sparse hash backend, chosen per family — see
+//! [`crate::storage`]), updated in O(1) per assignment flip — that is what
+//! makes each Gibbs sweep linear in the data size (§4.2).
 
 use crate::params::ColdConfig;
+use crate::storage::{CounterStorage, CounterStore};
 use cold_graph::sampling::sample_negative_links;
 use cold_graph::CsrGraph;
 use cold_math::rng::Rng;
@@ -95,32 +97,39 @@ pub struct CountState {
     pub neg_dst_comm: Vec<u32>,
 
     /// `n_i^(c)`, row-major `U×C`.
-    pub n_ic: Vec<u32>,
+    pub n_ic: CounterStore,
     /// `n_i^(·)` per user (posts + link endpoints).
-    pub n_i: Vec<u32>,
+    pub n_i: CounterStore,
     /// `n_c^(k)`, row-major `C×K`.
-    pub n_ck: Vec<u32>,
+    pub n_ck: CounterStore,
     /// `n_c^(·)` — posts per community.
-    pub n_c: Vec<u32>,
+    pub n_c: CounterStore,
     /// `n_ck^(t)`, row-major `time_comm_rows×K×T`.
-    pub n_ckt: Vec<u32>,
+    pub n_ckt: CounterStore,
     /// `n_k^(v)`, row-major `K×V`.
-    pub n_kv: Vec<u32>,
+    pub n_kv: CounterStore,
     /// Word-major transpose of `n_kv`, row-major `V×K`. Maintained in
     /// lock-step with `n_kv` so the topic conditional (Eq. 3) can walk the
     /// per-word topic column contiguously (word-outer / topic-inner loop).
-    pub n_vk: Vec<u32>,
+    pub n_vk: CounterStore,
     /// `n_k^(·)` — tokens per topic.
-    pub n_k: Vec<u32>,
+    pub n_k: CounterStore,
     /// Posts per topic (`Σ_c n_c^(k)`), the shared-temporal denominator of
     /// Eqs. 1 and 3 maintained in O(1) instead of an O(C) column sum.
-    pub n_post_k: Vec<u32>,
+    pub n_post_k: CounterStore,
     /// `n_cc'` (positive links), row-major `C×C`.
-    pub n_cc: Vec<u32>,
+    pub n_cc: CounterStore,
     /// Observed negative pairs per cell, row-major `C×C` (all zero unless
     /// explicit negatives are enabled).
-    pub n0_cc: Vec<u32>,
+    pub n0_cc: CounterStore,
 }
+
+/// The eleven counter families by name — the nine independent families of
+/// the model plus the two derived mirrors (`n_vk`, `n_post_k`). Order is
+/// the declaration order in [`CountState`].
+pub const COUNTER_FAMILIES: [&str; 11] = [
+    "n_ic", "n_i", "n_ck", "n_c", "n_ckt", "n_kv", "n_vk", "n_k", "n_post_k", "n_cc", "n0_cc",
+];
 
 impl CountState {
     /// Initialize with uniformly-random assignments (the standard Gibbs
@@ -167,17 +176,17 @@ impl CountState {
             neg_src_comm: vec![0; neg_links.len()],
             neg_dst_comm: vec![0; neg_links.len()],
             neg_links,
-            n_ic: vec![0; u * c],
-            n_i: vec![0; u],
-            n_ck: vec![0; c * k],
-            n_c: vec![0; c],
-            n_ckt: vec![0; time_rows * k * t],
-            n_kv: vec![0; k * v],
-            n_vk: vec![0; v * k],
-            n_k: vec![0; k],
-            n_post_k: vec![0; k],
-            n_cc: vec![0; c * c],
-            n0_cc: vec![0; c * c],
+            n_ic: CounterStore::dense(u * c),
+            n_i: CounterStore::dense(u),
+            n_ck: CounterStore::dense(c * k),
+            n_c: CounterStore::dense(c),
+            n_ckt: CounterStore::dense(time_rows * k * t),
+            n_kv: CounterStore::dense(k * v),
+            n_vk: CounterStore::dense(v * k),
+            n_k: CounterStore::dense(k),
+            n_post_k: CounterStore::dense(k),
+            n_cc: CounterStore::dense(c * c),
+            n0_cc: CounterStore::dense(c * c),
         };
         // User-coherent initialization: every item of a user starts in one
         // random community. A per-item random start tends to fall into the
@@ -202,7 +211,82 @@ impl CountState {
             state.neg_dst_comm[e] = user_comm[j as usize];
             state.add_neg_link(e);
         }
+        // Occupancy is only meaningful once everything is counted in, so
+        // backends are selected last.
+        state.select_storage(config.counter_storage);
         state
+    }
+
+    /// Re-pick each family's storage backend per `policy`. `Auto` measures
+    /// occupancy and goes sparse only where that saves ≥ 4× (see
+    /// [`CounterStore::auto_prefers_sparse`]); `Dense`/`Sparse` force one
+    /// backend everywhere. Idempotent, and safe at any quiescent point
+    /// (init, resume, before a benchmark) — cell values never change.
+    pub fn select_storage(&mut self, policy: CounterStorage) {
+        for (_, store) in self.families_mut() {
+            let sparse = match policy {
+                CounterStorage::Dense => false,
+                CounterStorage::Sparse => true,
+                CounterStorage::Auto => CounterStore::auto_prefers_sparse(store.len(), store.nnz()),
+            };
+            if sparse {
+                store.make_sparse();
+            } else {
+                store.make_dense();
+            }
+        }
+    }
+
+    /// The eleven counter families with their [`COUNTER_FAMILIES`] names.
+    pub fn families(&self) -> [(&'static str, &CounterStore); 11] {
+        [
+            ("n_ic", &self.n_ic),
+            ("n_i", &self.n_i),
+            ("n_ck", &self.n_ck),
+            ("n_c", &self.n_c),
+            ("n_ckt", &self.n_ckt),
+            ("n_kv", &self.n_kv),
+            ("n_vk", &self.n_vk),
+            ("n_k", &self.n_k),
+            ("n_post_k", &self.n_post_k),
+            ("n_cc", &self.n_cc),
+            ("n0_cc", &self.n0_cc),
+        ]
+    }
+
+    fn families_mut(&mut self) -> [(&'static str, &mut CounterStore); 11] {
+        [
+            ("n_ic", &mut self.n_ic),
+            ("n_i", &mut self.n_i),
+            ("n_ck", &mut self.n_ck),
+            ("n_c", &mut self.n_c),
+            ("n_ckt", &mut self.n_ckt),
+            ("n_kv", &mut self.n_kv),
+            ("n_vk", &mut self.n_vk),
+            ("n_k", &mut self.n_k),
+            ("n_post_k", &mut self.n_post_k),
+            ("n_cc", &mut self.n_cc),
+            ("n0_cc", &mut self.n0_cc),
+        ]
+    }
+
+    /// Total heap bytes held by all counter families under their current
+    /// backends.
+    pub fn counter_heap_bytes(&self) -> usize {
+        self.families().iter().map(|(_, s)| s.heap_bytes()).sum()
+    }
+
+    /// Publish `state.bytes.<family>` / `state.occupancy.<family>` gauges
+    /// plus the `state.bytes.total` roll-up to `metrics`.
+    pub fn publish_storage_gauges(&self, metrics: &cold_obs::Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        for (name, store) in self.families() {
+            metrics.gauge_set(&format!("state.bytes.{name}"), store.heap_bytes() as f64);
+            metrics.gauge_set(&format!("state.occupancy.{name}"), store.occupancy());
+        }
+        metrics.gauge_set("state.bytes.total", self.counter_heap_bytes() as f64);
     }
 
     /// Row index into the time counter for community `c` (collapses to 0 in
@@ -239,29 +323,29 @@ impl CountState {
         let k = self.post_topic[d] as usize;
         let ckt = self.ckt_index(c, k, t);
         if add {
-            self.n_ic[i * self.num_communities + c] += 1;
-            self.n_i[i] += 1;
-            self.n_ck[c * self.num_topics + k] += 1;
-            self.n_c[c] += 1;
-            self.n_ckt[ckt] += 1;
+            self.n_ic.inc(i * self.num_communities + c);
+            self.n_i.inc(i);
+            self.n_ck.inc(c * self.num_topics + k);
+            self.n_c.inc(c);
+            self.n_ckt.inc(ckt);
             for &(w, cnt) in &posts.multisets[d] {
-                self.n_kv[k * self.vocab_size + w as usize] += cnt;
-                self.n_vk[w as usize * self.num_topics + k] += cnt;
+                self.n_kv.add_u32(k * self.vocab_size + w as usize, cnt);
+                self.n_vk.add_u32(w as usize * self.num_topics + k, cnt);
             }
-            self.n_k[k] += posts.lens[d];
-            self.n_post_k[k] += 1;
+            self.n_k.add_u32(k, posts.lens[d]);
+            self.n_post_k.inc(k);
         } else {
-            self.n_ic[i * self.num_communities + c] -= 1;
-            self.n_i[i] -= 1;
-            self.n_ck[c * self.num_topics + k] -= 1;
-            self.n_c[c] -= 1;
-            self.n_ckt[ckt] -= 1;
+            self.n_ic.dec(i * self.num_communities + c);
+            self.n_i.dec(i);
+            self.n_ck.dec(c * self.num_topics + k);
+            self.n_c.dec(c);
+            self.n_ckt.dec(ckt);
             for &(w, cnt) in &posts.multisets[d] {
-                self.n_kv[k * self.vocab_size + w as usize] -= cnt;
-                self.n_vk[w as usize * self.num_topics + k] -= cnt;
+                self.n_kv.sub_u32(k * self.vocab_size + w as usize, cnt);
+                self.n_vk.sub_u32(w as usize * self.num_topics + k, cnt);
             }
-            self.n_k[k] -= posts.lens[d];
-            self.n_post_k[k] -= 1;
+            self.n_k.sub_u32(k, posts.lens[d]);
+            self.n_post_k.dec(k);
         }
     }
 
@@ -291,17 +375,17 @@ impl CountState {
         let s2 = self.neg_dst_comm[e] as usize;
         let c = self.num_communities;
         if add {
-            self.n_ic[i as usize * c + s] += 1;
-            self.n_i[i as usize] += 1;
-            self.n_ic[j as usize * c + s2] += 1;
-            self.n_i[j as usize] += 1;
-            self.n0_cc[s * c + s2] += 1;
+            self.n_ic.inc(i as usize * c + s);
+            self.n_i.inc(i as usize);
+            self.n_ic.inc(j as usize * c + s2);
+            self.n_i.inc(j as usize);
+            self.n0_cc.inc(s * c + s2);
         } else {
-            self.n_ic[i as usize * c + s] -= 1;
-            self.n_i[i as usize] -= 1;
-            self.n_ic[j as usize * c + s2] -= 1;
-            self.n_i[j as usize] -= 1;
-            self.n0_cc[s * c + s2] -= 1;
+            self.n_ic.dec(i as usize * c + s);
+            self.n_i.dec(i as usize);
+            self.n_ic.dec(j as usize * c + s2);
+            self.n_i.dec(j as usize);
+            self.n0_cc.dec(s * c + s2);
         }
     }
 
@@ -311,17 +395,17 @@ impl CountState {
         let s2 = self.link_dst_comm[e] as usize;
         let c = self.num_communities;
         if add {
-            self.n_ic[i as usize * c + s] += 1;
-            self.n_i[i as usize] += 1;
-            self.n_ic[j as usize * c + s2] += 1;
-            self.n_i[j as usize] += 1;
-            self.n_cc[s * c + s2] += 1;
+            self.n_ic.inc(i as usize * c + s);
+            self.n_i.inc(i as usize);
+            self.n_ic.inc(j as usize * c + s2);
+            self.n_i.inc(j as usize);
+            self.n_cc.inc(s * c + s2);
         } else {
-            self.n_ic[i as usize * c + s] -= 1;
-            self.n_i[i as usize] -= 1;
-            self.n_ic[j as usize * c + s2] -= 1;
-            self.n_i[j as usize] -= 1;
-            self.n_cc[s * c + s2] -= 1;
+            self.n_ic.dec(i as usize * c + s);
+            self.n_i.dec(i as usize);
+            self.n_ic.dec(j as usize * c + s2);
+            self.n_i.dec(j as usize);
+            self.n_cc.dec(s * c + s2);
         }
     }
 
@@ -346,17 +430,17 @@ impl CountState {
             neg_links: self.neg_links.clone(),
             neg_src_comm: self.neg_src_comm.clone(),
             neg_dst_comm: self.neg_dst_comm.clone(),
-            n_ic: vec![0; self.n_ic.len()],
-            n_i: vec![0; self.n_i.len()],
-            n_ck: vec![0; self.n_ck.len()],
-            n_c: vec![0; self.n_c.len()],
-            n_ckt: vec![0; self.n_ckt.len()],
-            n_kv: vec![0; self.n_kv.len()],
-            n_vk: vec![0; self.n_vk.len()],
-            n_k: vec![0; self.n_k.len()],
-            n_post_k: vec![0; self.n_post_k.len()],
-            n_cc: vec![0; self.n_cc.len()],
-            n0_cc: vec![0; self.n0_cc.len()],
+            n_ic: CounterStore::dense(self.n_ic.len()),
+            n_i: CounterStore::dense(self.n_i.len()),
+            n_ck: CounterStore::dense(self.n_ck.len()),
+            n_c: CounterStore::dense(self.n_c.len()),
+            n_ckt: CounterStore::dense(self.n_ckt.len()),
+            n_kv: CounterStore::dense(self.n_kv.len()),
+            n_vk: CounterStore::dense(self.n_vk.len()),
+            n_k: CounterStore::dense(self.n_k.len()),
+            n_post_k: CounterStore::dense(self.n_post_k.len()),
+            n_cc: CounterStore::dense(self.n_cc.len()),
+            n0_cc: CounterStore::dense(self.n0_cc.len()),
             ..*self
         };
         for d in 0..posts.len() {
@@ -432,17 +516,6 @@ pub struct CountDelta {
 /// Wire magic of the `cold-delta/v1` format.
 const DELTA_MAGIC: u32 = 0xC01D_DE17;
 
-/// `dst[idx] += delta` with wrap-free arithmetic.
-#[inline]
-fn bump_cell(dst: &mut [u32], idx: u32, delta: i32) {
-    let v = dst[idx as usize] as i64 + delta as i64;
-    debug_assert!(
-        (0..=u32::MAX as i64).contains(&v),
-        "counter left u32 range during delta apply"
-    );
-    dst[idx as usize] = v as u32;
-}
-
 impl CountDelta {
     /// Whether the delta carries no changes at all.
     pub fn is_empty(&self) -> bool {
@@ -481,7 +554,7 @@ impl CountDelta {
             (&self.n0_cc, &mut state.n0_cc),
         ] {
             for &(idx, d) in cells {
-                bump_cell(dst, idx, d);
+                dst.add_i64(idx as usize, i64::from(d));
             }
         }
         // Derived mirrors: the transpose of each n_kv cell and the
@@ -490,10 +563,10 @@ impl CountDelta {
         let vdim = state.vocab_size;
         for &(idx, d) in &self.n_kv {
             let (k, w) = (idx as usize / vdim, idx as usize % vdim);
-            bump_cell(&mut state.n_vk, (w * kdim + k) as u32, d);
+            state.n_vk.add_i64(w * kdim + k, i64::from(d));
         }
         for &(idx, d) in &self.n_ck {
-            bump_cell(&mut state.n_post_k, (idx as usize % kdim) as u32, d);
+            state.n_post_k.add_i64(idx as usize % kdim, i64::from(d));
         }
     }
 
@@ -659,45 +732,98 @@ impl CountDelta {
     }
 }
 
-/// One counter family of a [`DeltaAcc`]: a dense accumulator with an
-/// epoch stamp per cell, so clearing between supersteps is O(touched)
-/// instead of O(family size).
-struct FamAcc {
-    acc: Vec<i32>,
-    stamp: Vec<u32>,
-    touched: Vec<u32>,
+/// One counter family of a [`DeltaAcc`]. The dense variant is an
+/// accumulator with an epoch stamp per cell, so clearing between
+/// supersteps is O(touched) instead of O(family size); the sparse
+/// variant (used when the family itself is sparse, so a dense 8-byte
+/// per-cell accumulator would dwarf the store it shadows) keeps only
+/// the touched entries in a hash map. Both drain the coalesced
+/// non-zero cells in **first-touch order**, which keeps the engine's
+/// delta wire bytes and merge order backend-independent.
+enum FamAcc {
+    Dense {
+        acc: Vec<i32>,
+        stamp: Vec<u32>,
+        touched: Vec<u32>,
+    },
+    Sparse {
+        /// Cell index → position in `entries`.
+        slots: std::collections::HashMap<u32, u32>,
+        /// `(idx, accumulated delta)` in first-touch order.
+        entries: Vec<(u32, i32)>,
+    },
 }
 
 impl FamAcc {
-    fn new(len: usize) -> Self {
-        Self {
-            acc: vec![0; len],
-            stamp: vec![0; len],
-            touched: Vec::new(),
+    /// An accumulator sized/shaped for `store`.
+    fn for_store(store: &CounterStore) -> Self {
+        if store.is_sparse() {
+            FamAcc::Sparse {
+                slots: std::collections::HashMap::new(),
+                entries: Vec::new(),
+            }
+        } else {
+            FamAcc::Dense {
+                acc: vec![0; store.len()],
+                stamp: vec![0; store.len()],
+                touched: Vec::new(),
+            }
         }
     }
 
     #[inline]
     fn add(&mut self, epoch: u32, idx: usize, delta: i32) {
-        if self.stamp[idx] != epoch {
-            self.stamp[idx] = epoch;
-            self.acc[idx] = 0;
-            self.touched.push(idx as u32);
+        match self {
+            FamAcc::Dense {
+                acc,
+                stamp,
+                touched,
+            } => {
+                if stamp[idx] != epoch {
+                    stamp[idx] = epoch;
+                    acc[idx] = 0;
+                    touched.push(idx as u32);
+                }
+                acc[idx] += delta;
+            }
+            FamAcc::Sparse { slots, entries } => {
+                let pos = *slots.entry(idx as u32).or_insert_with(|| {
+                    entries.push((idx as u32, 0));
+                    (entries.len() - 1) as u32
+                });
+                entries[pos as usize].1 += delta;
+            }
         }
-        self.acc[idx] += delta;
     }
 
     /// Emit the non-zero cells in first-touch order and reset.
     fn drain(&mut self) -> Vec<(u32, i32)> {
-        let mut out = Vec::with_capacity(self.touched.len());
-        for &idx in &self.touched {
-            let d = self.acc[idx as usize];
-            if d != 0 {
-                out.push((idx, d));
+        match self {
+            FamAcc::Dense { acc, touched, .. } => {
+                let mut out = Vec::with_capacity(touched.len());
+                for &idx in touched.iter() {
+                    let d = acc[idx as usize];
+                    if d != 0 {
+                        out.push((idx, d));
+                    }
+                }
+                touched.clear();
+                out
+            }
+            FamAcc::Sparse { slots, entries } => {
+                slots.clear();
+                let mut out = std::mem::take(entries);
+                out.retain(|&(_, d)| d != 0);
+                out
             }
         }
-        self.touched.clear();
-        out
+    }
+
+    /// Clear dense epoch stamps on wrap-around (no-op for sparse).
+    fn reset_stamps(&mut self) {
+        if let FamAcc::Dense { stamp, .. } = self {
+            stamp.fill(0);
+        }
     }
 }
 
@@ -727,15 +853,15 @@ impl DeltaAcc {
     pub fn for_state(state: &CountState) -> Self {
         Self {
             epoch: 1,
-            n_ic: FamAcc::new(state.n_ic.len()),
-            n_i: FamAcc::new(state.n_i.len()),
-            n_ck: FamAcc::new(state.n_ck.len()),
-            n_c: FamAcc::new(state.n_c.len()),
-            n_ckt: FamAcc::new(state.n_ckt.len()),
-            n_kv: FamAcc::new(state.n_kv.len()),
-            n_k: FamAcc::new(state.n_k.len()),
-            n_cc: FamAcc::new(state.n_cc.len()),
-            n0_cc: FamAcc::new(state.n0_cc.len()),
+            n_ic: FamAcc::for_store(&state.n_ic),
+            n_i: FamAcc::for_store(&state.n_i),
+            n_ck: FamAcc::for_store(&state.n_ck),
+            n_c: FamAcc::for_store(&state.n_c),
+            n_ckt: FamAcc::for_store(&state.n_ckt),
+            n_kv: FamAcc::for_store(&state.n_kv),
+            n_k: FamAcc::for_store(&state.n_k),
+            n_cc: FamAcc::for_store(&state.n_cc),
+            n0_cc: FamAcc::for_store(&state.n0_cc),
             post_assign: Vec::new(),
             link_assign: Vec::new(),
             neg_assign: Vec::new(),
@@ -836,7 +962,7 @@ impl DeltaAcc {
                 &mut self.n_cc,
                 &mut self.n0_cc,
             ] {
-                fam.stamp.fill(0);
+                fam.reset_stamps();
             }
             self.epoch = 1;
         } else {

@@ -1,0 +1,1002 @@
+//! Counter storage backends for [`crate::state::CountState`].
+//!
+//! The nine Gibbs counter families have wildly different occupancy at
+//! realistic scales: `n_c`/`n_k` are tiny and fully dense, while
+//! `n_ic` (users × communities), `n_kv` (topics × vocab) and
+//! `n_ckt` (time-rows × topics × slices) are huge and mostly zero —
+//! a user posts into a handful of communities, a topic uses a sliver
+//! of the vocabulary. [`CounterStore`] puts each family behind one of
+//! two backends:
+//!
+//! * **Dense** — the original `Vec<u32>`, 4 bytes per cell, O(1)
+//!   everything. Default, and what every family deserializes to.
+//! * **Sparse** — an open-addressing hash table storing only non-zero
+//!   cells at 8 bytes per slot (index + value `u32`s), ≤ 50 % load.
+//!   Breaks even against dense at 1/4 occupancy; the auto policy
+//!   switches at 1/16 so sparse families are ≥ 4× smaller than their
+//!   dense form even after growth slack — and only above a cell-count
+//!   floor ([`CounterStore::AUTO_MIN_CELLS`]), because shrinking a
+//!   family that was already small buys nothing and row gathers are
+//!   on the hot path.
+//!
+//! Bit-identity is non-negotiable: both backends expose the same
+//! logical cell values, and every consumer (conditionals, estimates,
+//! deltas, checkpoints) sees identical numbers regardless of backend.
+//! Reads go through `Index<usize>` (absent sparse cells return a
+//! shared zero), so the hot conditional loops are textually unchanged;
+//! mutation uses explicit `inc`/`dec`/`add_*` methods.
+//!
+//! ## Locality
+//!
+//! The conditionals read counters in *rows* (`n_ic[i*C..]`,
+//! `n_kv[k*V..]`), so a naive hash would turn one cache line of dense
+//! reads into C random probes. The sparse table instead hashes the
+//! *group* `idx >> GROUP_BITS` and keeps the low bits of the index as
+//! an offset within the group's slot run, so consecutive indices land
+//! in consecutive slots and row reads stay within a couple of cache
+//! lines.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Which backend each counter family should use. A policy on
+/// [`crate::ColdConfig`], applied by `CountState::select_storage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterStorage {
+    /// Measure occupancy per family after init and pick dense or
+    /// sparse per the footprint heuristic (sparse only when it saves
+    /// ≥ 4×). On small worlds this selects dense everywhere.
+    #[default]
+    Auto,
+    /// Force every family dense (the pre-PR behaviour).
+    Dense,
+    /// Force every family sparse — for benchmarks and equivalence
+    /// tests; never smaller than `Auto` on real workloads.
+    Sparse,
+}
+
+impl CounterStorage {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CounterStorage::Auto => "auto",
+            CounterStorage::Dense => "dense",
+            CounterStorage::Sparse => "sparse",
+        }
+    }
+}
+
+impl std::str::FromStr for CounterStorage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(CounterStorage::Auto),
+            "dense" => Ok(CounterStorage::Dense),
+            "sparse" => Ok(CounterStorage::Sparse),
+            other => Err(format!(
+                "unknown counter storage `{other}` (expected auto|dense|sparse)"
+            )),
+        }
+    }
+}
+
+// Manual serde: serialize as the policy name; deserialize tolerates a
+// missing field (`Null`) as `Auto` so checkpoints written before this
+// field existed still load.
+impl Serialize for CounterStorage {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for CounterStorage {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(CounterStorage::Auto),
+            Value::Str(s) => s.parse(),
+            other => Err(format!("expected storage string, found {}", other.kind())),
+        }
+    }
+}
+
+/// Sparse-group geometry: indices sharing `idx >> GROUP_BITS` probe
+/// from the same home slot, preserving row locality (see module docs).
+/// 64 covers a whole `n_vk` row at the typical K, so a row gather is a
+/// single hash plus one contiguous key scan.
+const GROUP_BITS: u32 = 6;
+
+/// Shared zero for `Index` reads of absent sparse cells.
+static ZERO: u32 = 0;
+
+/// Open-addressing hash table from cell index to its count.
+///
+/// Invariants:
+/// * capacity is a power of two, load ≤ [`SparseCounter::MAX_LOAD_NUM`]/
+///   [`SparseCounter::MAX_LOAD_DEN`];
+/// * `keys[slot] == EMPTY` marks a free slot; occupied slots hold the
+///   cell index and a strictly positive count;
+/// * a cell decremented to zero is removed immediately with
+///   backward-shift deletion, so probe chains and the row-gather run
+///   scans stay as short as the live entries allow — reads dominate
+///   writes in the Gibbs kernels, so deletion pays for read speed.
+#[derive(Debug, Clone)]
+pub struct SparseCounter {
+    /// Logical length (number of cells the family addresses).
+    len: usize,
+    /// Slot → cell index, `EMPTY` when free.
+    keys: Vec<u32>,
+    /// Slot → count (parallel to `keys`; always > 0 when occupied).
+    vals: Vec<u32>,
+    /// Occupied slots (== non-zero cells).
+    occupied: usize,
+    /// `capacity - 1` (capacity is a power of two).
+    mask: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl SparseCounter {
+    const MAX_LOAD_NUM: usize = 1;
+    const MAX_LOAD_DEN: usize = 2;
+    // Capacity must cover at least two full group runs so
+    // `group_slot_bits` stays positive.
+    const MIN_CAPACITY: usize = 2 << GROUP_BITS;
+
+    fn with_capacity_for(len: usize, expected_nnz: usize) -> Self {
+        let cap = (expected_nnz.max(1) * Self::MAX_LOAD_DEN / Self::MAX_LOAD_NUM)
+            .next_power_of_two()
+            .max(Self::MIN_CAPACITY);
+        SparseCounter {
+            len,
+            keys: vec![EMPTY; cap],
+            vals: vec![0; cap],
+            occupied: 0,
+            mask: cap - 1,
+        }
+    }
+
+    /// Home slot for a cell index: Fibonacci-hash the group, then keep
+    /// the within-group offset so neighbouring indices stay adjacent.
+    #[inline(always)]
+    fn home_slot(&self, idx: u32) -> usize {
+        let group = (idx >> GROUP_BITS) as u64;
+        let hashed = group.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // High bits of the product select the group's base run.
+        let base = (hashed >> (64 - GROUP_BITS as u64 - self.group_slot_bits())) as usize;
+        let offset = (idx & ((1 << GROUP_BITS) - 1)) as usize;
+        ((base << GROUP_BITS) + offset) & self.mask
+    }
+
+    /// log2(capacity) - GROUP_BITS, i.e. how many bits select a group
+    /// run. Capacity ≥ 16 so this never underflows.
+    #[inline(always)]
+    fn group_slot_bits(&self) -> u64 {
+        (usize::BITS - 1 - (self.mask + 1).leading_zeros()) as u64 - GROUP_BITS as u64
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u32 {
+        debug_assert!(idx < self.len);
+        let key = idx as u32;
+        let mut slot = self.home_slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return self.vals[slot];
+            }
+            if k == EMPTY {
+                return 0;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Reference-returning probe for the `Index` impl.
+    #[inline]
+    fn get_ref(&self, idx: usize) -> &u32 {
+        debug_assert!(idx < self.len);
+        let key = idx as u32;
+        let mut slot = self.home_slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return &self.vals[slot];
+            }
+            if k == EMPTY {
+                return &ZERO;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Add `delta` (may be negative); a cell reaching zero frees its
+    /// slot via backward-shift deletion. Panics in debug builds on
+    /// underflow.
+    fn add(&mut self, idx: usize, delta: i64) {
+        debug_assert!(idx < self.len);
+        if delta == 0 {
+            return;
+        }
+        let key = idx as u32;
+        let mut slot = self.home_slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                let cur = i64::from(self.vals[slot]);
+                let next = cur + delta;
+                debug_assert!(
+                    (0..=i64::from(u32::MAX)).contains(&next),
+                    "counter cell {idx} out of range: {cur} + {delta}"
+                );
+                if next == 0 {
+                    self.remove_slot(slot);
+                } else {
+                    self.vals[slot] = next as u32;
+                }
+                return;
+            }
+            if k == EMPTY {
+                debug_assert!(delta > 0, "counter cell {idx} out of range: 0 + {delta}");
+                self.insert_at(slot, key, delta as u32);
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn insert_at(&mut self, slot: usize, key: u32, val: u32) {
+        self.keys[slot] = key;
+        self.vals[slot] = val;
+        self.occupied += 1;
+        if self.occupied * Self::MAX_LOAD_DEN > (self.mask + 1) * Self::MAX_LOAD_NUM {
+            self.grow();
+        }
+    }
+
+    /// Backward-shift deletion: walk the probe run after `slot`, moving
+    /// back any entry whose home precedes the hole, so the "no EMPTY
+    /// between home and entry" invariant survives without tombstones.
+    fn remove_slot(&mut self, mut slot: usize) {
+        let mut next = (slot + 1) & self.mask;
+        loop {
+            let k = self.keys[next];
+            if k == EMPTY {
+                break;
+            }
+            let home = self.home_slot(k);
+            // `next` may fill the hole iff its home is cyclically outside
+            // the (slot, next] run — i.e. probing from `home` would have
+            // visited `slot` before `next`.
+            let fills = if slot <= next {
+                home <= slot || home > next
+            } else {
+                home <= slot && home > next
+            };
+            if fills {
+                self.keys[slot] = k;
+                self.vals[slot] = self.vals[next];
+                slot = next;
+            }
+            next = (next + 1) & self.mask;
+        }
+        self.keys[slot] = EMPTY;
+        self.vals[slot] = 0;
+        self.occupied -= 1;
+        // Shrink once load falls to an eighth of the growth trigger, so
+        // a family that empties out gives its slack back.
+        let cap = self.mask + 1;
+        if cap > Self::MIN_CAPACITY
+            && self.occupied * Self::MAX_LOAD_DEN * 8 <= cap * Self::MAX_LOAD_NUM
+        {
+            let target = (self.occupied.max(1) * Self::MAX_LOAD_DEN * 2 / Self::MAX_LOAD_NUM)
+                .next_power_of_two()
+                .max(Self::MIN_CAPACITY);
+            if target < cap {
+                self.rehash(target);
+            }
+        }
+    }
+
+    /// Rebuild at `cap` slots.
+    fn rehash(&mut self, cap: usize) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.keys = vec![EMPTY; cap];
+        self.vals = vec![0; cap];
+        self.mask = cap - 1;
+        self.occupied = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                let mut slot = self.home_slot(k);
+                while self.keys[slot] != EMPTY {
+                    slot = (slot + 1) & self.mask;
+                }
+                self.keys[slot] = k;
+                self.vals[slot] = v;
+                self.occupied += 1;
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        self.rehash(((self.mask + 1) * 2).max(Self::MIN_CAPACITY));
+    }
+
+    /// Gather the contiguous range `start .. start + out.len()` into
+    /// `out` (absent cells read 0): one group scan per
+    /// `2^GROUP_BITS`-aligned chunk instead of a hash probe per cell —
+    /// the bulk read behind [`CounterStore::gather_row`].
+    fn gather_range(&self, start: usize, out: &mut [u32]) {
+        debug_assert!(start + out.len() <= self.len);
+        out.fill(0);
+        let end = start + out.len();
+        let group_size = 1usize << GROUP_BITS;
+        let mut idx = start;
+        while idx < end {
+            let chunk_end = (((idx >> GROUP_BITS) + 1) << GROUP_BITS).min(end);
+            let lo = idx - start;
+            let span = chunk_end - idx;
+            // Every entry of this group lives at or after its home slot
+            // with no EMPTY in between, so scanning the group's home run
+            // and then forward while occupied visits each exactly once.
+            // Home runs are group-aligned slot ranges, so the run itself
+            // never wraps — and since probing only displaces entries
+            // forward, a key >= idx can't sit before idx's own home
+            // offset, so the scan starts there. Two passes keep the hot
+            // one branch-free: a compare pass packs matches into a
+            // bitmask (EMPTY underflows the wrapping compare to a huge
+            // offset and fails it), then only the set bits are placed.
+            let first = idx & (group_size - 1);
+            let run = self.home_slot((idx & !(group_size - 1)) as u32);
+            let keys = &self.keys[run + first..run + group_size];
+            let vals = &self.vals[run + first..run + group_size];
+            let idx32 = idx as u32;
+            let span32 = span as u32;
+            let mut hits = 0u64;
+            for (i, &k) in keys.iter().enumerate() {
+                hits |= u64::from(k.wrapping_sub(idx32) < span32) << i;
+            }
+            while hits != 0 {
+                let i = hits.trailing_zeros() as usize;
+                hits &= hits - 1;
+                let off = (keys[i] as usize).wrapping_sub(idx);
+                out[lo + off] = vals[i];
+            }
+            // Entries displaced past the run's end sit in its forward
+            // non-EMPTY tail (which may wrap).
+            let mut slot = (run + group_size) & self.mask;
+            loop {
+                let k = self.keys[slot];
+                if k == EMPTY {
+                    break;
+                }
+                let off = (k as usize).wrapping_sub(idx);
+                if off < span {
+                    out[lo + off] = self.vals[slot];
+                }
+                slot = (slot + 1) & self.mask;
+            }
+            idx = chunk_end;
+        }
+    }
+
+    /// Issue prefetches for the home-run cache lines that
+    /// [`SparseCounter::gather_range`] over `start .. start + width`
+    /// will scan (keys and vals). No semantic effect.
+    #[cfg(target_arch = "x86_64")]
+    fn prefetch_range(&self, start: usize, width: usize) {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let group_size = 1usize << GROUP_BITS;
+        let end = (start + width.max(1)).min(self.len);
+        let mut idx = start;
+        while idx < end {
+            let first = idx & (group_size - 1);
+            let run = self.home_slot((idx & !(group_size - 1)) as u32);
+            // 16 u32 slots per 64-byte line; runs are line-aligned.
+            let mut s = run + first;
+            while s < run + group_size {
+                // SAFETY: prefetch has no memory effects and `s` is in
+                // bounds for both arrays (capacity covers the full run).
+                unsafe {
+                    _mm_prefetch(self.keys.as_ptr().add(s).cast::<i8>(), _MM_HINT_T0);
+                    _mm_prefetch(self.vals.as_ptr().add(s).cast::<i8>(), _MM_HINT_T0);
+                }
+                s += 16;
+            }
+            idx = (idx | (group_size - 1)) + 1;
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Storage for one counter family: dense `Vec<u32>` or a sparse hash
+/// table, same logical contents either way. See the module docs.
+#[derive(Debug, Clone)]
+pub enum CounterStore {
+    Dense(Vec<u32>),
+    Sparse(SparseCounter),
+}
+
+impl CounterStore {
+    /// A dense, all-zero family of `len` cells (the construction path
+    /// `init_random` and tests use; backends are selected afterwards).
+    pub fn dense(len: usize) -> Self {
+        CounterStore::Dense(vec![0; len])
+    }
+
+    /// Number of logical cells (dense length), independent of backend.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            CounterStore::Dense(v) => v.len(),
+            CounterStore::Sparse(s) => s.len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell value by index; absent sparse cells read as zero.
+    #[inline(always)]
+    pub fn get(&self, idx: usize) -> u32 {
+        match self {
+            CounterStore::Dense(v) => v[idx],
+            CounterStore::Sparse(s) => s.get(idx),
+        }
+    }
+
+    /// Increment a cell by one.
+    #[inline(always)]
+    pub fn inc(&mut self, idx: usize) {
+        match self {
+            CounterStore::Dense(v) => v[idx] += 1,
+            CounterStore::Sparse(s) => s.add(idx, 1),
+        }
+    }
+
+    /// Decrement a cell by one. Debug-asserts it was non-zero.
+    #[inline(always)]
+    pub fn dec(&mut self, idx: usize) {
+        match self {
+            CounterStore::Dense(v) => {
+                debug_assert!(v[idx] > 0, "counter underflow at cell {idx}");
+                v[idx] -= 1;
+            }
+            CounterStore::Sparse(s) => s.add(idx, -1),
+        }
+    }
+
+    /// Add an unsigned amount to a cell.
+    #[inline(always)]
+    pub fn add_u32(&mut self, idx: usize, amount: u32) {
+        match self {
+            CounterStore::Dense(v) => v[idx] += amount,
+            CounterStore::Sparse(s) => s.add(idx, i64::from(amount)),
+        }
+    }
+
+    /// Subtract an unsigned amount from a cell. Debug-asserts no
+    /// underflow.
+    #[inline(always)]
+    pub fn sub_u32(&mut self, idx: usize, amount: u32) {
+        match self {
+            CounterStore::Dense(v) => {
+                debug_assert!(
+                    v[idx] >= amount,
+                    "counter underflow at cell {idx}: {} - {amount}",
+                    v[idx]
+                );
+                v[idx] -= amount;
+            }
+            CounterStore::Sparse(s) => s.add(idx, -i64::from(amount)),
+        }
+    }
+
+    /// Apply a signed delta (the delta-merge path). Debug-asserts the
+    /// result stays within `u32`.
+    #[inline]
+    pub fn add_i64(&mut self, idx: usize, delta: i64) {
+        match self {
+            CounterStore::Dense(v) => {
+                let cur = i64::from(v[idx]);
+                let next = cur + delta;
+                debug_assert!(
+                    (0..=i64::from(u32::MAX)).contains(&next),
+                    "counter cell {idx} out of range: {cur} + {delta}"
+                );
+                v[idx] = next as u32;
+            }
+            CounterStore::Sparse(s) => s.add(idx, delta),
+        }
+    }
+
+    /// The underlying slice when dense, `None` when sparse. Hot row loops
+    /// branch on this once so the dense path keeps its direct slice reads.
+    #[inline]
+    pub fn as_dense_slice(&self) -> Option<&[u32]> {
+        match self {
+            CounterStore::Dense(v) => Some(v),
+            CounterStore::Sparse(_) => None,
+        }
+    }
+
+    /// Read the contiguous range `start .. start + out.len()` into `out`.
+    /// Dense is one slice copy; sparse runs one group scan per aligned
+    /// chunk — far cheaper than a hash probe per cell for the row-shaped
+    /// reads the kernels do (Eq. 3 walks whole `n_vk` rows).
+    pub fn gather_row(&self, start: usize, out: &mut [u32]) {
+        match self {
+            CounterStore::Dense(v) => out.copy_from_slice(&v[start..start + out.len()]),
+            CounterStore::Sparse(s) => s.gather_range(start, out),
+        }
+    }
+
+    /// Hint the cache lines a subsequent [`CounterStore::gather_row`] of
+    /// `start .. start + width` will touch. Purely a prefetch — results
+    /// are unaffected — so callers with natural lookahead (the kernels
+    /// know the *next* word's row while scoring the current one) can
+    /// overlap the row's random access with useful work. The sparse arm
+    /// matters most: its keys and vals live in separate arrays, so an
+    /// unhinted gather pays two dependent misses back to back.
+    #[inline]
+    pub fn prefetch_row(&self, start: usize, width: usize) {
+        #[cfg(target_arch = "x86_64")]
+        match self {
+            CounterStore::Dense(v) => {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                let end = (start + width.max(1)).min(v.len());
+                let mut s = start;
+                while s < end {
+                    // SAFETY: prefetch has no memory effects and `s` is
+                    // in bounds for `v`.
+                    unsafe { _mm_prefetch(v.as_ptr().add(s).cast::<i8>(), _MM_HINT_T0) };
+                    s += 16;
+                }
+            }
+            CounterStore::Sparse(s) => s.prefetch_range(start, width),
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (start, width);
+        }
+    }
+
+    /// Iterate the cell values in index order (dense order, zeros
+    /// included) — for sums and full scans; not a hot-path API.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Sum of every cell.
+    pub fn sum(&self) -> u64 {
+        match self {
+            CounterStore::Dense(v) => v.iter().map(|&x| u64::from(x)).sum(),
+            CounterStore::Sparse(s) => s
+                .keys
+                .iter()
+                .zip(&s.vals)
+                .filter(|(&k, _)| k != EMPTY)
+                .map(|(_, &v)| u64::from(v))
+                .sum(),
+        }
+    }
+
+    /// Number of non-zero cells.
+    pub fn nnz(&self) -> usize {
+        match self {
+            CounterStore::Dense(v) => v.iter().filter(|&&x| x > 0).count(),
+            CounterStore::Sparse(s) => s.occupied,
+        }
+    }
+
+    /// Fraction of cells that are non-zero (0 for empty families).
+    pub fn occupancy(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.len() as f64
+        }
+    }
+
+    /// Bytes of heap this backend holds for the family.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            CounterStore::Dense(v) => v.capacity() * std::mem::size_of::<u32>(),
+            CounterStore::Sparse(s) => s.heap_bytes(),
+        }
+    }
+
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, CounterStore::Sparse(_))
+    }
+
+    /// Materialize the dense image of the family.
+    pub fn to_dense_vec(&self) -> Vec<u32> {
+        match self {
+            CounterStore::Dense(v) => v.clone(),
+            CounterStore::Sparse(s) => {
+                let mut out = vec![0u32; s.len];
+                for (&k, &v) in s.keys.iter().zip(&s.vals) {
+                    if k != EMPTY {
+                        out[k as usize] = v;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Convert in place to the dense backend.
+    pub fn make_dense(&mut self) {
+        if let CounterStore::Sparse(_) = self {
+            *self = CounterStore::Dense(self.to_dense_vec());
+        }
+    }
+
+    /// Convert in place to the sparse backend (regardless of payoff —
+    /// policy decisions belong to the caller).
+    pub fn make_sparse(&mut self) {
+        if let CounterStore::Dense(v) = self {
+            let nnz = v.iter().filter(|&&x| x > 0).count();
+            let mut s = SparseCounter::with_capacity_for(v.len(), nnz);
+            for (i, &x) in v.iter().enumerate() {
+                if x > 0 {
+                    s.add(i, i64::from(x));
+                }
+            }
+            *self = CounterStore::Sparse(s);
+        }
+    }
+
+    /// Cell-count floor below which the auto policy keeps a family
+    /// dense regardless of occupancy: under 4 MiB of dense counters the
+    /// bytes saved are immaterial next to the gather overhead sparse
+    /// adds on hot rows (`n_ic` sits on the Eq. 2 pair loop). At
+    /// million-user scale `n_ic` crosses this floor and goes sparse —
+    /// exactly when its dense bytes start to matter.
+    pub const AUTO_MIN_CELLS: usize = 1 << 20;
+
+    /// Whether the auto policy should pick sparse for a family of this
+    /// size and occupancy: sparse costs ~16 bytes per non-zero cell
+    /// (8-byte slots at ≤ 50 % load), dense costs 4 per cell, so
+    /// sparse wins ≥ 4× exactly when `nnz * 16 ≤ len`. Small families
+    /// stay dense (see [`CounterStore::AUTO_MIN_CELLS`]) — there is
+    /// nothing worth saving, and row gathers are hot.
+    pub fn auto_prefers_sparse(len: usize, nnz: usize) -> bool {
+        len >= Self::AUTO_MIN_CELLS && nnz * 16 <= len
+    }
+}
+
+impl std::ops::Index<usize> for CounterStore {
+    type Output = u32;
+
+    #[inline(always)]
+    fn index(&self, idx: usize) -> &u32 {
+        match self {
+            CounterStore::Dense(v) => &v[idx],
+            CounterStore::Sparse(s) => s.get_ref(idx),
+        }
+    }
+}
+
+/// Backend-independent logical equality: two stores are equal when
+/// every cell agrees, however it is stored.
+impl PartialEq for CounterStore {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match (self, other) {
+            (CounterStore::Dense(a), CounterStore::Dense(b)) => a == b,
+            _ => (0..self.len()).all(|i| self.get(i) == other.get(i)),
+        }
+    }
+}
+
+impl Eq for CounterStore {}
+
+// Serialize as the dense cell array: checkpoints are byte-identical
+// whichever backend a run used, and deserialization always yields
+// Dense (resume re-applies the configured policy).
+impl Serialize for CounterStore {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|x| Value::Int(i64::from(x)))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl Deserialize for CounterStore {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let cells: Vec<u32> = Deserialize::from_value(v)?;
+        Ok(CounterStore::Dense(cells))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(len: usize) -> CounterStore {
+        let mut s = CounterStore::dense(len);
+        s.make_sparse();
+        s
+    }
+
+    #[test]
+    fn dense_basics() {
+        let mut c = CounterStore::dense(10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.sum(), 0);
+        c.inc(3);
+        c.inc(3);
+        c.inc(7);
+        assert_eq!(c[3], 2);
+        assert_eq!(c.get(7), 1);
+        assert_eq!(c.nnz(), 2);
+        c.dec(3);
+        assert_eq!(c[3], 1);
+        assert_eq!(c.sum(), 2);
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_scripted_ops() {
+        let len = 1000;
+        let mut d = CounterStore::dense(len);
+        let mut s = sparse(len);
+        // A deterministic pseudo-random op sequence.
+        let mut x: u64 = 0x1234_5678;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..20_000 {
+            let idx = (step() % len as u64) as usize;
+            match step() % 4 {
+                0 | 1 => {
+                    d.inc(idx);
+                    s.inc(idx);
+                }
+                2 => {
+                    if d[idx] > 0 {
+                        d.dec(idx);
+                        s.dec(idx);
+                    }
+                }
+                _ => {
+                    let amt = (step() % 5) as u32;
+                    d.add_u32(idx, amt);
+                    s.add_u32(idx, amt);
+                }
+            }
+        }
+        assert_eq!(d, s);
+        assert_eq!(d.sum(), s.sum());
+        assert_eq!(d.nnz(), s.nnz());
+        assert_eq!(d.to_dense_vec(), s.to_dense_vec());
+    }
+
+    #[test]
+    fn dec_to_zero_clears_cells_and_nnz() {
+        let mut s = sparse(100);
+        for i in 0..50 {
+            s.inc(i);
+        }
+        assert_eq!(s.nnz(), 50);
+        for i in 0..50 {
+            s.dec(i);
+        }
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.sum(), 0);
+        for i in 0..100 {
+            assert_eq!(s[i], 0);
+        }
+    }
+
+    #[test]
+    fn backward_shift_deletion_keeps_probe_chains_valid() {
+        // Hammer one group so entries collide and chains form, then
+        // delete from the middle of chains and reinsert.
+        let mut s = sparse(4096);
+        let idxs: Vec<usize> = (0..64).map(|i| i * 8).collect();
+        for &i in &idxs {
+            s.add_u32(i, i as u32 + 1);
+        }
+        for &i in idxs.iter().step_by(2) {
+            s.sub_u32(i, i as u32 + 1);
+        }
+        for (n, &i) in idxs.iter().enumerate() {
+            let expect = if n % 2 == 0 { 0 } else { i as u32 + 1 };
+            assert_eq!(s[i], expect, "cell {i}");
+        }
+        for &i in idxs.iter().step_by(2) {
+            s.inc(i);
+        }
+        for (n, &i) in idxs.iter().enumerate() {
+            let expect = if n % 2 == 0 { 1 } else { i as u32 + 1 };
+            assert_eq!(s[i], expect, "cell {i} after reinsertion");
+        }
+    }
+
+    #[test]
+    fn deletion_shrinks_emptied_tables() {
+        let len = 1 << 16;
+        let mut s = sparse(len);
+        for i in 0..8192 {
+            s.inc(i);
+        }
+        let loaded = s.heap_bytes();
+        // Delete almost everything; the shrink-on-remove threshold must
+        // fire and give the slack back.
+        for i in 0..8000 {
+            s.dec(i);
+        }
+        assert_eq!(s.nnz(), 192);
+        assert!(
+            s.heap_bytes() < loaded / 8,
+            "purge must shrink the table: {} vs {loaded}",
+            s.heap_bytes()
+        );
+        for i in 0..len {
+            let expect = u32::from((8000..8192).contains(&i));
+            assert_eq!(s.get(i), expect, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let len = 1 << 16;
+        let mut d = CounterStore::dense(len);
+        let mut s = sparse(len);
+        for i in (0..len).step_by(3) {
+            d.add_u32(i, (i % 7 + 1) as u32);
+            s.add_u32(i, (i % 7 + 1) as u32);
+        }
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn round_trip_conversions() {
+        let mut c = CounterStore::dense(5000);
+        for i in (0..5000).step_by(17) {
+            c.add_u32(i, i as u32 % 9 + 1);
+        }
+        let image = c.to_dense_vec();
+        c.make_sparse();
+        assert!(c.is_sparse());
+        assert_eq!(c.to_dense_vec(), image);
+        c.make_dense();
+        assert!(!c.is_sparse());
+        assert_eq!(c.to_dense_vec(), image);
+    }
+
+    #[test]
+    fn mixed_backend_equality_is_logical() {
+        let mut d = CounterStore::dense(300);
+        d.inc(5);
+        d.add_u32(200, 9);
+        let mut s = d.clone();
+        s.make_sparse();
+        assert_eq!(d, s);
+        assert_eq!(s, d);
+        s.inc(6);
+        assert_ne!(d, s);
+    }
+
+    #[test]
+    fn serde_is_backend_agnostic_and_deserializes_dense() {
+        let mut d = CounterStore::dense(64);
+        d.add_u32(3, 4);
+        d.add_u32(63, 1);
+        let mut s = d.clone();
+        s.make_sparse();
+        let dj = serde_json::to_string(&d).unwrap();
+        let sj = serde_json::to_string(&s).unwrap();
+        assert_eq!(dj, sj, "checkpoint bytes must not depend on backend");
+        let back: CounterStore = serde_json::from_str(&sj).unwrap();
+        assert!(!back.is_sparse());
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn auto_heuristic_thresholds() {
+        let floor = CounterStore::AUTO_MIN_CELLS;
+        // Small families stay dense no matter how empty.
+        assert!(!CounterStore::auto_prefers_sparse(floor - 1, 0));
+        // Exactly 1/16 occupancy at the floor qualifies…
+        assert!(CounterStore::auto_prefers_sparse(floor, floor / 16));
+        // …one more cell does not.
+        assert!(!CounterStore::auto_prefers_sparse(floor, floor / 16 + 1));
+    }
+
+    #[test]
+    fn storage_policy_parses_and_serializes() {
+        assert_eq!(
+            "auto".parse::<CounterStorage>().unwrap(),
+            CounterStorage::Auto
+        );
+        assert_eq!(
+            "dense".parse::<CounterStorage>().unwrap(),
+            CounterStorage::Dense
+        );
+        assert_eq!(
+            "sparse".parse::<CounterStorage>().unwrap(),
+            CounterStorage::Sparse
+        );
+        assert!("csr".parse::<CounterStorage>().is_err());
+        let j = serde_json::to_string(&CounterStorage::Sparse).unwrap();
+        let back: CounterStorage = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, CounterStorage::Sparse);
+        // Missing field / null tolerated as Auto for old checkpoints.
+        let from_null = CounterStorage::from_value(&Value::Null).unwrap();
+        assert_eq!(from_null, CounterStorage::Auto);
+    }
+
+    #[test]
+    fn gather_row_matches_per_cell_reads() {
+        // Scripted LCG fill on a K=24 row grid (rows straddle group
+        // boundaries since 24 is not a multiple of the group size), with
+        // deletions mixed in so displaced probe chains get exercised.
+        let kdim = 24usize;
+        let rows = 200usize;
+        let len = kdim * rows;
+        let mut sparse = CounterStore::dense(len);
+        let mut seed = 0x1234_5678_u64;
+        let mut lcg = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..4000 {
+            sparse.inc(lcg() % len);
+        }
+        for _ in 0..1500 {
+            let idx = lcg() % len;
+            if sparse.get(idx) > 0 {
+                sparse.dec(idx);
+            }
+        }
+        sparse.make_sparse();
+        let mut buf = vec![0u32; kdim];
+        for r in 0..rows {
+            sparse.gather_row(r * kdim, &mut buf);
+            for k in 0..kdim {
+                assert_eq!(buf[k], sparse.get(r * kdim + k), "row {r} cell {k}");
+            }
+        }
+        // Unaligned starts and sub-row lengths too.
+        let mut short = vec![0u32; 7];
+        for start in [1usize, 5, 13, 100, len - 7] {
+            sparse.gather_row(start, &mut short);
+            for (i, &v) in short.iter().enumerate() {
+                assert_eq!(v, sparse.get(start + i), "start {start} offset {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn heap_bytes_reflect_backend() {
+        let len = 1 << 16;
+        let mut c = CounterStore::dense(len);
+        for i in (0..len).step_by(64) {
+            c.inc(i);
+        }
+        let dense_bytes = c.heap_bytes();
+        assert_eq!(dense_bytes, len * 4);
+        c.make_sparse();
+        assert!(
+            c.heap_bytes() * 4 <= dense_bytes,
+            "sparse at 1/64 occupancy must be ≥4× smaller: {} vs {dense_bytes}",
+            c.heap_bytes()
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the counter-storage backends: for *arbitrary* op
+//! scripts and data shapes, the sparse backend must be observationally
+//! identical to the dense one — same cell values, same aggregates, same
+//! sampler trajectories, same recount consistency.
+
+use cold_core::state::PostsView;
+use cold_core::{ColdConfig, CounterStorage, CounterStore, GibbsSampler, SamplerKernel};
+use cold_graph::CsrGraph;
+use cold_text::{CorpusBuilder, Post};
+use proptest::prelude::*;
+
+/// One mutation against a counter family.
+#[derive(Debug, Clone)]
+enum Op {
+    Inc(usize),
+    /// Decrement, skipped when the cell is already zero.
+    Dec(usize),
+    Add(usize, u8),
+    Sub(usize, u8),
+}
+
+fn arb_ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..len, 0u8..4, 1u8..6).prop_map(|(idx, kind, amt)| match kind {
+            0 => Op::Inc(idx),
+            1 => Op::Dec(idx),
+            2 => Op::Add(idx, amt),
+            _ => Op::Sub(idx, amt),
+        }),
+        0..400,
+    )
+}
+
+fn apply(store: &mut CounterStore, op: &Op) {
+    match *op {
+        Op::Inc(i) => store.inc(i),
+        Op::Dec(i) => {
+            if store.get(i) > 0 {
+                store.dec(i);
+            }
+        }
+        Op::Add(i, amt) => store.add_u32(i, u32::from(amt)),
+        Op::Sub(i, amt) => {
+            let take = u32::from(amt).min(store.get(i));
+            store.sub_u32(i, take);
+        }
+    }
+}
+
+/// Arbitrary small social dataset (same shape as `tests/prop.rs`).
+fn arb_dataset() -> impl Strategy<Value = (cold_text::Corpus, CsrGraph)> {
+    let posts = prop::collection::vec(
+        (0u32..8, 0u16..5, prop::collection::vec(0u32..30, 1..6)),
+        1..30,
+    );
+    let edges = prop::collection::vec((0u32..8, 0u32..8), 0..20);
+    (posts, edges).prop_map(|(posts, edges)| {
+        let mut b = CorpusBuilder::with_vocab(cold_text::Vocabulary::synthetic(30));
+        b.ensure_users(8);
+        for (author, time, words) in posts {
+            b.push(Post::new(author, time, words));
+        }
+        let corpus = b.build();
+        let graph = CsrGraph::from_edges(8, &edges);
+        (corpus, graph)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any op script leaves the two backends logically equal — per cell,
+    /// in aggregate, and through `gather_row` windows — including after
+    /// mid-script backend conversions.
+    #[test]
+    fn sparse_equals_dense_under_arbitrary_ops(
+        len in 16usize..3000,
+        ops in arb_ops(4096),
+        flip_at in 0usize..400,
+    ) {
+        let mut dense = CounterStore::dense(len);
+        let mut sparse = CounterStore::dense(len);
+        sparse.make_sparse();
+        for (n, op) in ops.iter().enumerate() {
+            // Clamp indices into range (the strategy over-generates).
+            let op = match *op {
+                Op::Inc(i) => Op::Inc(i % len),
+                Op::Dec(i) => Op::Dec(i % len),
+                Op::Add(i, a) => Op::Add(i % len, a),
+                Op::Sub(i, a) => Op::Sub(i % len, a),
+            };
+            apply(&mut dense, &op);
+            apply(&mut sparse, &op);
+            if n == flip_at {
+                // Conversions must preserve contents mid-stream.
+                sparse.make_dense();
+                sparse.make_sparse();
+            }
+        }
+        prop_assert_eq!(&dense, &sparse);
+        prop_assert_eq!(dense.sum(), sparse.sum());
+        prop_assert_eq!(dense.nnz(), sparse.nnz());
+        prop_assert_eq!(dense.to_dense_vec(), sparse.to_dense_vec());
+        // Row-shaped bulk reads agree on arbitrary windows.
+        for width in [1usize, 3, 8, 17, 64] {
+            let width = width.min(len);
+            let mut a = vec![0u32; width];
+            let mut b = vec![0u32; width];
+            for start in [0, (len - width) / 2, len - width] {
+                dense.gather_row(start, &mut a);
+                sparse.gather_row(start, &mut b);
+                prop_assert_eq!(&a, &b, "window {}..{}", start, start + width);
+            }
+        }
+    }
+
+    /// A sampler backed by sparse counters walks the exact trajectory of
+    /// the dense-backed run (same seed, any kernel), and its state passes
+    /// the from-scratch recount both backends use.
+    #[test]
+    fn sparse_sampler_trajectory_matches_dense(
+        (corpus, graph) in arb_dataset(),
+        seed in 0u64..1_000,
+        kernel_pick in 0usize..3,
+    ) {
+        let kernel = [
+            SamplerKernel::Exact,
+            SamplerKernel::CachedLog,
+            SamplerKernel::AliasMh,
+        ][kernel_pick];
+        let mk = |storage: CounterStorage| {
+            let base = ColdConfig::builder(3, 3)
+                .iterations(10)
+                .burn_in(6)
+                .kernel(kernel)
+                .build(&corpus, &graph);
+            ColdConfig { counter_storage: storage, ..base }
+        };
+        let mut dense = GibbsSampler::new(&corpus, &graph, mk(CounterStorage::Dense), seed);
+        let mut sparse = GibbsSampler::new(&corpus, &graph, mk(CounterStorage::Sparse), seed);
+        let posts = PostsView::from_corpus(&corpus);
+        for sweep in 0..4 {
+            dense.sweep();
+            sparse.sweep();
+            let (a, b) = (dense.state(), sparse.state());
+            prop_assert_eq!(&a.post_comm, &b.post_comm, "sweep {}", sweep);
+            prop_assert_eq!(&a.post_topic, &b.post_topic, "sweep {}", sweep);
+            prop_assert_eq!(&a.n_kv, &b.n_kv, "sweep {}", sweep);
+            prop_assert_eq!(&a.n_vk, &b.n_vk, "sweep {}", sweep);
+            prop_assert_eq!(&a.n_ckt, &b.n_ckt, "sweep {}", sweep);
+        }
+        let sparse_recount = sparse.state().check_consistency(&posts);
+        prop_assert!(sparse_recount.is_ok(), "sparse recount: {:?}", sparse_recount);
+        let dense_recount = dense.state().check_consistency(&posts);
+        prop_assert!(dense_recount.is_ok(), "dense recount: {:?}", dense_recount);
+    }
+
+    /// Checkpoint bytes are backend-agnostic: serializing a sparse-backed
+    /// store yields the same JSON as its dense twin, and it deserializes
+    /// back to the same logical contents.
+    #[test]
+    fn serialization_is_backend_agnostic(
+        len in 16usize..1500,
+        ops in arb_ops(2048),
+    ) {
+        let mut dense = CounterStore::dense(len);
+        for op in &ops {
+            let op = match *op {
+                Op::Inc(i) => Op::Inc(i % len),
+                Op::Dec(i) => Op::Dec(i % len),
+                Op::Add(i, a) => Op::Add(i % len, a),
+                Op::Sub(i, a) => Op::Sub(i % len, a),
+            };
+            apply(&mut dense, &op);
+        }
+        let mut sparse = dense.clone();
+        sparse.make_sparse();
+        let dj = serde_json::to_string(&dense).unwrap();
+        let sj = serde_json::to_string(&sparse).unwrap();
+        prop_assert_eq!(&dj, &sj);
+        let back: CounterStore = serde_json::from_str(&sj).unwrap();
+        prop_assert!(!back.is_sparse());
+        prop_assert_eq!(&back, &dense);
+    }
+}

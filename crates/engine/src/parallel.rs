@@ -46,6 +46,7 @@ use cold_core::estimates::EstimateAccumulator;
 use cold_core::params::ColdConfig;
 use cold_core::sampler::{complete_log_likelihood, TrainTrace};
 use cold_core::state::{CountDelta, CountState, DeltaAcc, PostsView};
+use cold_core::storage::CounterStore;
 use cold_core::ColdModel;
 use cold_graph::CsrGraph;
 use cold_math::rng::{seeded_rng, Rng, RngFactory};
@@ -340,6 +341,11 @@ impl ParallelGibbs {
             )));
         }
         let shards = ckpt.shards;
+        // Checkpoints always carry dense counters; re-apply the configured
+        // storage policy before the shard replicas clone the global, so a
+        // resumed run uses the same backends a fresh one would.
+        let mut global = ckpt.state;
+        global.select_storage(config.counter_storage);
         let mode = if shards == 1 {
             if ckpt.rng.len() != 4 {
                 return Err(CkptError::Format(format!(
@@ -357,11 +363,11 @@ impl ParallelGibbs {
             ShardMode::Sharded {
                 factory: RngFactory::new(ckpt.seed),
                 strategy: SyncStrategy::Delta,
-                workers: (0..shards).map(|_| ShardWorker::new(&ckpt.state)).collect(),
+                workers: (0..shards).map(|_| ShardWorker::new(&global)).collect(),
             }
         };
         let (shard_posts, shard_links, shard_neg_links, clone_sync_bytes) =
-            Self::build_partitions(&posts, &ckpt.state, shards);
+            Self::build_partitions(&posts, &global, shards);
         let this = Self {
             config,
             posts,
@@ -369,7 +375,7 @@ impl ParallelGibbs {
             shard_posts,
             shard_links,
             shard_neg_links,
-            global: ckpt.state,
+            global,
             mode,
             clone_sync_bytes,
             sweeps_done: ckpt.sweeps_done,
@@ -487,6 +493,7 @@ impl ParallelGibbs {
         let metrics = &self.config.metrics.0;
         metrics.gauge_set("parallel.wall_seconds", wall_seconds);
         self.publish_partition_gauges();
+        self.global.publish_storage_gauges(metrics);
     }
 
     /// Run the configured sweeps; returns the fitted model and work stats.
@@ -889,14 +896,26 @@ fn annealed_rho(config: &ColdConfig, sweep: usize) -> f64 {
 }
 
 /// `into += local - base`, element-wise, with wrap-free arithmetic.
-fn merge_delta(into: &mut [u32], local: &[u32], base: &[u32]) {
+fn merge_delta(into: &mut CounterStore, local: &CounterStore, base: &CounterStore) {
     debug_assert_eq!(into.len(), local.len());
     debug_assert_eq!(into.len(), base.len());
-    for ((dst, &l), &b) in into.iter_mut().zip(local).zip(base) {
-        // Deltas can be negative; do the arithmetic in i64.
-        let v = *dst as i64 + l as i64 - b as i64;
-        debug_assert!(v >= 0, "counter went negative during delta merge");
-        *dst = v as u32;
+    if let (CounterStore::Dense(dst), CounterStore::Dense(l), CounterStore::Dense(b)) =
+        (&mut *into, local, base)
+    {
+        // All-dense fast path: one linear fused pass.
+        for ((dst, &l), &b) in dst.iter_mut().zip(l).zip(b) {
+            // Deltas can be negative; do the arithmetic in i64.
+            let v = *dst as i64 + l as i64 - b as i64;
+            debug_assert!(v >= 0, "counter went negative during delta merge");
+            *dst = v as u32;
+        }
+        return;
+    }
+    for i in 0..into.len() {
+        let d = i64::from(local.get(i)) - i64::from(base.get(i));
+        if d != 0 {
+            into.add_i64(i, d);
+        }
     }
 }
 

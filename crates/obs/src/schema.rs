@@ -139,6 +139,33 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
     Ok(stats)
 }
 
+/// Extract `(name, value)` for every `gauge` record, in file order.
+///
+/// Lines that do not parse as gauge records are skipped; pair with
+/// [`validate_jsonl`] first when integrity matters.
+pub fn gauges(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(obj) = parse_flat_object(line) else {
+            continue;
+        };
+        if obj.get("type").and_then(Scalar::as_str) != Some("gauge") {
+            continue;
+        }
+        let (Some(name), Some(value)) = (
+            obj.get("name").and_then(Scalar::as_str),
+            obj.get("value").and_then(Scalar::as_num),
+        ) else {
+            continue;
+        };
+        out.push((name.to_owned(), value));
+    }
+    out
+}
+
 fn require_finite(obj: &BTreeMap<String, Scalar>, field: &str) -> Result<f64, String> {
     let v = obj
         .get(field)

@@ -69,7 +69,31 @@ awk -v ll="$ll" 'BEGIN { if (ll + 0 != ll + 0 || ll == "inf" || ll == "-inf") ex
 echo "final ll $ll is finite"
 cargo run -q --release -p cold-cli -- metrics-check --file "$SMOKE_DIR/metrics_par.jsonl"
 
+echo "== sparse-backend smoke (train --counter-storage sparse, binary model) =="
+# Same world/seed as the dense reference run above, every counter family
+# forced sparse, and the model written as a cold-model/v1 binary: the
+# fitted estimates must round-trip equal to the dense JSON reference
+# (storage backend and artifact format are both bit-invisible).
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model_sparse.bin" \
+  --communities 2 --topics 2 --iterations 40 --seed 11 \
+  --counter-storage sparse --model-format binary >/dev/null
+cargo run -q --release -p cold-cli -- topics \
+  --model "$SMOKE_DIR/model_sparse.bin" --data "$SMOKE_DIR/world.json" \
+  > "$SMOKE_DIR/topics_sparse.txt"
+cargo run -q --release -p cold-cli -- topics \
+  --model "$SMOKE_DIR/model.json" --data "$SMOKE_DIR/world.json" \
+  > "$SMOKE_DIR/topics_dense.txt"
+if ! cmp -s "$SMOKE_DIR/topics_sparse.txt" "$SMOKE_DIR/topics_dense.txt"; then
+  echo "sparse-backed binary model disagrees with the dense JSON reference" >&2
+  exit 1
+fi
+echo "sparse-backed binary model matches the dense JSON reference"
+
 echo "== bench_parallel --quick =="
 cargo run -q --release -p cold-bench --bin bench_parallel -- --quick
+
+echo "== bench_memory --quick =="
+cargo run -q --release -p cold-bench --bin bench_memory -- --quick
 
 echo "All checks passed."

@@ -3,7 +3,7 @@
 //! quality, work metering that matches the data size, and simulated
 //! cluster timing with the Fig. 13 shape.
 
-use cold::core::{ColdConfig, Hyperparams, SamplerKernel};
+use cold::core::{ColdConfig, CounterStorage, Hyperparams, SamplerKernel};
 use cold::data::{generate, SocialDataset, WorldConfig};
 use cold::engine::{ClusterCostModel, ParallelGibbs, SyncStrategy};
 use cold::eval::normalized_mutual_information;
@@ -184,6 +184,64 @@ fn delta_sync_is_bit_identical_to_clone_merge() {
                 // the whole counter block.
                 assert_eq!(dw.shard_sync_bytes.len(), shards);
                 assert!(cw.shard_sync_bytes.is_empty());
+            }
+        }
+    }
+}
+
+/// A sharded run on sparse counters walks the exact trajectory of the
+/// sharded dense run — the storage backend must be invisible to shard
+/// replicas, delta recording, and the merge barrier alike, under every
+/// kernel. Together with the single-shard and golden-trace suites this
+/// closes the bit-identity loop: dense ≡ sparse, sequential ≡ sharded.
+#[test]
+fn sharded_sparse_is_bit_identical_to_sharded_dense() {
+    let data = world();
+    for shards in [2usize, 3] {
+        for kernel in [
+            SamplerKernel::Exact,
+            SamplerKernel::CachedLog,
+            SamplerKernel::AliasMh,
+        ] {
+            let mk = |storage: CounterStorage| {
+                let base = config(&data, 20);
+                ColdConfig {
+                    kernel,
+                    counter_storage: storage,
+                    ..base
+                }
+            };
+            let mut dense = ParallelGibbs::new(
+                &data.corpus,
+                &data.graph,
+                mk(CounterStorage::Dense),
+                shards,
+                37,
+            );
+            let mut sparse = ParallelGibbs::new(
+                &data.corpus,
+                &data.graph,
+                mk(CounterStorage::Sparse),
+                shards,
+                37,
+            );
+            for sweep in 0..6 {
+                dense.superstep(sweep);
+                sparse.superstep(sweep);
+                let (a, b) = (dense.state(), sparse.state());
+                assert_eq!(a.post_comm, b.post_comm, "{kernel:?}/{shards} s{sweep}");
+                assert_eq!(a.post_topic, b.post_topic, "{kernel:?}/{shards} s{sweep}");
+                assert_eq!(a.link_src_comm, b.link_src_comm, "{kernel:?}/{shards}");
+                assert_eq!(a.link_dst_comm, b.link_dst_comm, "{kernel:?}/{shards}");
+                assert_eq!(a.neg_src_comm, b.neg_src_comm, "{kernel:?}/{shards}");
+                assert_eq!(a.neg_dst_comm, b.neg_dst_comm, "{kernel:?}/{shards}");
+                // Counter equality is *logical* (PartialEq bridges the
+                // backends), so this also exercises cross-backend compare.
+                assert_eq!(a.n_ic, b.n_ic, "{kernel:?}/{shards} s{sweep}");
+                assert_eq!(a.n_kv, b.n_kv, "{kernel:?}/{shards} s{sweep}");
+                assert_eq!(a.n_vk, b.n_vk, "{kernel:?}/{shards} s{sweep}");
+                assert_eq!(a.n_ckt, b.n_ckt, "{kernel:?}/{shards} s{sweep}");
+                assert_eq!(a.n_cc, b.n_cc, "{kernel:?}/{shards} s{sweep}");
             }
         }
     }

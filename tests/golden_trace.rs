@@ -8,7 +8,9 @@
 //! `scripts/regen_golden.sh` (sets `REGEN_GOLDEN=1`) and review the
 //! resulting diff like any other code change.
 
-use cold::core::{Checkpoint, Checkpointer, ColdConfig, GibbsSampler, Hyperparams, SamplerKernel};
+use cold::core::{
+    Checkpoint, Checkpointer, ColdConfig, CounterStorage, GibbsSampler, Hyperparams, SamplerKernel,
+};
 use cold::data::{generate, SocialDataset, WorldConfig};
 use serde::{Deserialize, Serialize};
 
@@ -51,9 +53,20 @@ fn config(data: &SocialDataset) -> ColdConfig {
 }
 
 fn trace_kernel(kernel: SamplerKernel) -> GoldenTrace {
+    trace_kernel_with_storage(kernel, CounterStorage::Dense)
+}
+
+fn trace_kernel_with_storage(
+    kernel: SamplerKernel,
+    counter_storage: CounterStorage,
+) -> GoldenTrace {
     let data = world();
     let base = config(&data);
-    let cfg = ColdConfig { kernel, ..base };
+    let cfg = ColdConfig {
+        kernel,
+        counter_storage,
+        ..base
+    };
     let (model, trace) = GibbsSampler::new(&data.corpus, &data.graph, cfg, SEED).run_traced();
     let top_words = (0..3)
         .map(|k| {
@@ -87,6 +100,28 @@ fn fixture_path(kernel: SamplerKernel) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../tests/fixtures")
         .join(format!("golden_{}.json", kernel.name()))
+}
+
+/// Re-run a kernel's golden trajectory with every counter family forced
+/// onto the sparse backend. The fixtures were recorded dense: matching
+/// them is the storage abstraction's bit-identity acceptance test — the
+/// hashed backend must feed the conditionals the exact same counts in the
+/// exact same order, so the trajectory (RNG consumption included) cannot
+/// drift by even one draw.
+fn check_kernel_sparse(kernel: SamplerKernel) {
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        return; // fixtures are regenerated from the dense default only
+    }
+    let text = std::fs::read_to_string(fixture_path(kernel))
+        .unwrap_or_else(|e| panic!("missing fixture for {} ({e})", kernel.name()));
+    let expected: GoldenTrace = serde_json::from_str(&text).expect("parse fixture");
+    let actual = trace_kernel_with_storage(kernel, CounterStorage::Sparse);
+    assert_eq!(
+        expected,
+        actual,
+        "{}: sparse-backed trajectory diverged from the dense golden fixture",
+        kernel.name()
+    );
 }
 
 fn check_kernel(kernel: SamplerKernel) {
@@ -140,17 +175,23 @@ fn check_kernel(kernel: SamplerKernel) {
 /// throw the sampler away at sweep 16 and resume from the on-disk
 /// checkpoint. The resumed trace must match the uninterrupted fixture
 /// bit for bit — this is the acceptance test for `cold-ckpt/v1` resume.
-fn trace_kernel_resumed(kernel: SamplerKernel) -> GoldenTrace {
+fn trace_kernel_resumed(kernel: SamplerKernel, counter_storage: CounterStorage) -> GoldenTrace {
     let data = world();
     let base = config(&data);
     let cfg = || ColdConfig {
         kernel,
+        counter_storage,
         checkpoint_every: Some(8),
         ..base.clone()
     };
     let dir = std::env::temp_dir().join(format!(
-        "cold_golden_resume_{}_{}",
+        "cold_golden_resume_{}_{}_{}",
         kernel.name(),
+        if counter_storage == CounterStorage::Sparse {
+            "sparse"
+        } else {
+            "dense"
+        },
         std::process::id()
     ));
     std::fs::remove_dir_all(&dir).ok();
@@ -199,21 +240,30 @@ fn trace_kernel_resumed(kernel: SamplerKernel) -> GoldenTrace {
     }
 }
 
-fn check_kernel_resumed(kernel: SamplerKernel) {
+fn check_kernel_resumed_with_storage(kernel: SamplerKernel, counter_storage: CounterStorage) {
     if std::env::var_os("REGEN_GOLDEN").is_some() {
         return;
     }
     let text = std::fs::read_to_string(fixture_path(kernel))
         .unwrap_or_else(|e| panic!("missing fixture for {} ({e})", kernel.name()));
     let expected: GoldenTrace = serde_json::from_str(&text).expect("parse fixture");
-    let actual = trace_kernel_resumed(kernel);
+    let actual = trace_kernel_resumed(kernel, counter_storage);
     assert_eq!(
         expected,
         actual,
-        "{}: resume from a mid-run checkpoint diverged from the \
-         uninterrupted golden trajectory",
-        kernel.name()
+        "{}: resume from a mid-run checkpoint ({} counters) diverged from \
+         the uninterrupted golden trajectory",
+        kernel.name(),
+        if counter_storage == CounterStorage::Sparse {
+            "sparse"
+        } else {
+            "dense"
+        },
     );
+}
+
+fn check_kernel_resumed(kernel: SamplerKernel) {
+    check_kernel_resumed_with_storage(kernel, CounterStorage::Dense);
 }
 
 #[test]
@@ -244,6 +294,31 @@ fn resumed_trace_matches_golden_cached_log() {
 #[test]
 fn resumed_trace_matches_golden_alias_mh() {
     check_kernel_resumed(SamplerKernel::AliasMh);
+}
+
+/// Sparse-backed runs replay the dense golden fixtures bit for bit: the
+/// counter-storage backend is observationally invisible to the chain.
+#[test]
+fn sparse_trace_matches_golden_exact() {
+    check_kernel_sparse(SamplerKernel::Exact);
+}
+
+#[test]
+fn sparse_trace_matches_golden_cached_log() {
+    check_kernel_sparse(SamplerKernel::CachedLog);
+}
+
+#[test]
+fn sparse_trace_matches_golden_alias_mh() {
+    check_kernel_sparse(SamplerKernel::AliasMh);
+}
+
+/// Checkpoint → resume with sparse counters: the checkpoint bytes are
+/// backend-agnostic (dense JSON), resume re-selects the sparse backend,
+/// and the finished trajectory still matches the dense golden fixture.
+#[test]
+fn sparse_resumed_trace_matches_golden_cached_log() {
+    check_kernel_resumed_with_storage(SamplerKernel::CachedLog, CounterStorage::Sparse);
 }
 
 /// The cached-log kernel is *pure memoization*: its golden trace must be
