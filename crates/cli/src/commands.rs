@@ -23,7 +23,7 @@ USAGE:
                  [--model-format json|binary]
                  [--checkpoint-dir <dir>] [--checkpoint-every N]
                  [--checkpoint-retain N] [--resume true]
-                 [--crash-after N]
+                 [--crash-after N] [--trace-out <trace.jsonl>]
   cold topics    --model <model.json> --data <world.json> [--top N] [--topic K]
   cold communities --model <model.json> --data <world.json>
   cold predict   --model <model.json> --data <world.json>
@@ -32,6 +32,7 @@ USAGE:
   cold eval      --model <model.json> --data <world.json> [--seed S]
   cold metrics-check --file <metrics.jsonl>
   cold ckpt-inspect  --dir <checkpoint-dir>
+  cold replay-check  --trace <t1.jsonl[,t2.jsonl,…]> [--fuzz N] [--seed S]
   cold help";
 
 type CliResult = Result<(), String>;
@@ -98,13 +99,19 @@ pub fn train(args: &Args) -> CliResult {
     let counter_storage = args.get_or("counter-storage", CounterStorage::Auto)?;
     let model_format = args.get_or("model-format", ModelFormat::Json)?;
     let metrics_out = args.optional("metrics-out");
+    let trace_out = args.optional("trace-out");
     // Instrumentation is only switched on when a sink was requested; a
-    // disabled registry keeps the hot path free of metric work.
-    let metrics = if metrics_out.is_some() {
+    // disabled registry keeps the hot path free of metric work. The trace
+    // buffer is independent of the metrics registry.
+    let mut metrics = if metrics_out.is_some() {
         Metrics::enabled()
     } else {
         Metrics::disabled()
     };
+    if trace_out.is_some() {
+        metrics = metrics.with_trace();
+    }
+    let trace = trace_out.map(|path| (metrics.clone(), path.to_owned()));
     let ckptr = match args.optional("checkpoint-dir") {
         Some(dir) => Some(
             Checkpointer::new(dir)
@@ -144,12 +151,12 @@ pub fn train(args: &Args) -> CliResult {
             CheckpointKind::Sequential => {
                 let sampler =
                     GibbsSampler::resume(&data.corpus, config, ckpt).map_err(|e| e.to_string())?;
-                run_sequential(sampler, Some(ckptr), crash_after)?
+                run_sequential(sampler, Some(ckptr), crash_after, trace.as_ref())?
             }
             CheckpointKind::Parallel => {
                 let pg =
                     ParallelGibbs::resume(&data.corpus, config, ckpt).map_err(|e| e.to_string())?;
-                run_parallel(pg, Some(ckptr), crash_after)?
+                run_parallel(pg, Some(ckptr), crash_after, trace.as_ref())?
             }
             CheckpointKind::Online => {
                 return Err(
@@ -167,10 +174,10 @@ pub fn train(args: &Args) -> CliResult {
         );
         if shards > 1 {
             let pg = ParallelGibbs::new(&data.corpus, &data.graph, config, shards, seed);
-            run_parallel(pg, ckptr.as_ref(), crash_after)?
+            run_parallel(pg, ckptr.as_ref(), crash_after, trace.as_ref())?
         } else {
             let sampler = GibbsSampler::new(&data.corpus, &data.graph, config, seed);
-            run_sequential(sampler, ckptr.as_ref(), crash_after)?
+            run_sequential(sampler, ckptr.as_ref(), crash_after, trace.as_ref())?
         }
     };
     println!("trained in {:.1}s", started.elapsed().as_secs_f64());
@@ -181,6 +188,17 @@ pub fn train(args: &Args) -> CliResult {
     if let Some(path) = metrics_out {
         write_metrics(&metrics, path)?;
     }
+    if let Some((metrics, path)) = &trace {
+        write_trace(metrics, path)?;
+    }
+    Ok(())
+}
+
+/// Flush the recorded `cold-trace/v1` events to `path`.
+fn write_trace(metrics: &Metrics, path: &str) -> CliResult {
+    let events = metrics.trace_events();
+    cold_obs::trace::write_jsonl(&events, path).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("trace -> {path} ({} events)", events.len());
     Ok(())
 }
 
@@ -189,10 +207,11 @@ fn run_sequential(
     mut sampler: GibbsSampler,
     ckptr: Option<&Checkpointer>,
     crash_after: Option<usize>,
+    trace: Option<&(Metrics, String)>,
 ) -> Result<ColdModel, String> {
     if let Some(n) = crash_after {
         sampler.run_sweeps(n, ckptr).map_err(|e| e.to_string())?;
-        crash_now(n);
+        crash_now(n, trace);
     }
     match ckptr {
         Some(ckptr) => sampler.run_checkpointed(ckptr).map_err(|e| e.to_string()),
@@ -205,10 +224,11 @@ fn run_parallel(
     mut pg: ParallelGibbs,
     ckptr: Option<&Checkpointer>,
     crash_after: Option<usize>,
+    trace: Option<&(Metrics, String)>,
 ) -> Result<ColdModel, String> {
     if let Some(n) = crash_after {
         pg.run_sweeps(n, ckptr).map_err(|e| e.to_string())?;
-        crash_now(n);
+        crash_now(n, trace);
     }
     let start = std::time::Instant::now();
     pg.run_sweeps(usize::MAX, ckptr)
@@ -227,7 +247,15 @@ fn run_parallel(
 
 /// Abort the process the way a crash would (no model written, nonzero
 /// exit). 137 mirrors a SIGKILL'd process so recovery drills look real.
-fn crash_now(after_sweep: usize) -> ! {
+/// The trace segment, if one was requested, is flushed first: a real
+/// crash loses its tail too, but replay verification needs the events up
+/// to the crash point to chain with the resume segment.
+fn crash_now(after_sweep: usize, trace: Option<&(Metrics, String)>) -> ! {
+    if let Some((metrics, path)) = trace {
+        if let Err(err) = write_trace(metrics, path) {
+            eprintln!("error: {err}");
+        }
+    }
     eprintln!("crash injection: aborting after sweep {after_sweep}");
     std::process::exit(137);
 }
@@ -273,6 +301,68 @@ pub fn ckpt_inspect(args: &Args) -> CliResult {
         entries.len(),
         entries[0].sweep
     );
+    Ok(())
+}
+
+/// `cold replay-check` — verify a recorded `cold-trace/v1` stream against
+/// the replay model, then (with `--fuzz N`) require the model to reject
+/// seeded protocol faults and accept legal schedule permutations.
+///
+/// `--trace` takes a comma-separated list of segment files; a crash/resume
+/// pair records one segment per process, and chaining them lets the model
+/// carry checkpoint knowledge across the crash.
+pub fn replay_check(args: &Args) -> CliResult {
+    let spec = args.required("trace")?;
+    let fuzz_cases = args.get_or("fuzz", 0usize)?;
+    let base_seed = args.get_or("seed", 0xC0_1Du64)?;
+    let mut events = Vec::new();
+    for path in spec.split(',').filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let segment =
+            cold_obs::trace::parse_jsonl(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        println!("loaded {path}: {} events", segment.len());
+        events.extend(segment);
+    }
+    let report = cold_replay::verify(&events)
+        .map_err(|v| format!("replay rejected the recorded trace: {v}"))?;
+    println!("replay clean: {report}");
+    if fuzz_cases == 0 {
+        return Ok(());
+    }
+    let outcomes = cold_replay::fault::fuzz(&events, fuzz_cases, base_seed);
+    let mut wrong = 0usize;
+    for out in &outcomes {
+        let label = out.fault.map_or("schedule", |c| c.name());
+        let answer = match (&out.fault, &out.rejection) {
+            (Some(_), Some(v)) => format!("rejected ({})", v.kind),
+            (Some(_), None) => "NOT REJECTED".to_owned(),
+            (None, None) => "accepted".to_owned(),
+            (None, Some(v)) => format!("WRONGLY REJECTED ({})", v.kind),
+        };
+        if !out.ok() {
+            wrong += 1;
+        }
+        println!(
+            "fuzz seed {:#018x}  {label:<18} {answer:<28} {}",
+            out.seed, out.detail
+        );
+    }
+    let classes: std::collections::BTreeSet<&str> = outcomes
+        .iter()
+        .filter_map(|o| o.fault.map(|c| c.name()))
+        .collect();
+    println!(
+        "fuzz: {}/{} cases answered correctly ({} fault classes covered)",
+        outcomes.len() - wrong,
+        outcomes.len(),
+        classes.len()
+    );
+    if wrong > 0 {
+        return Err(format!("{wrong} fuzz case(s) answered wrong"));
+    }
+    if outcomes.is_empty() {
+        return Err("no fuzz cases could be generated from this trace".into());
+    }
     Ok(())
 }
 

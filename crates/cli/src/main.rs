@@ -41,6 +41,7 @@ fn main() {
         "eval" => commands::eval(&args),
         "metrics-check" => commands::metrics_check(&args),
         "ckpt-inspect" => commands::ckpt_inspect(&args),
+        "replay-check" => commands::replay_check(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -39,7 +39,7 @@ use crate::estimates::EstimateAccumulator;
 use crate::params::ColdConfig;
 use crate::sampler::TrainTrace;
 use crate::state::{CountState, PostsView};
-use cold_obs::Metrics;
+use cold_obs::{trace, Metrics};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -459,12 +459,33 @@ impl Checkpointer {
             .counter_add("ckpt.bytes_written", bytes.len() as u64);
         self.metrics
             .gauge_set("ckpt.last_sweep", ckpt.sweeps_done as f64);
-        // Retention: drop the oldest beyond `retain`. Best-effort — a
-        // failed unlink must not fail the checkpoint that just landed.
+        if self.metrics.trace_enabled() {
+            self.metrics.trace_event(
+                "ckpt_write",
+                vec![
+                    trace::field("sweep", ckpt.sweeps_done),
+                    trace::field("bytes", bytes.len()),
+                    trace::field("digest", trace::hex_digest(fnv1a64(&bytes))),
+                ],
+            );
+        }
+        // Retention: drop the oldest beyond `retain`, but never the file
+        // this very call just wrote — a stale corrupt file with a higher
+        // sweep number (bit rot on a future-sweep leftover) must not be
+        // able to push the only fresh checkpoint out of the window.
+        // Best-effort — a failed unlink must not fail the checkpoint that
+        // just landed.
         let entries = self.list()?;
         for stale in entries.iter().skip(self.retain) {
+            if stale.path == path {
+                continue;
+            }
             if std::fs::remove_file(&stale.path).is_ok() {
                 self.metrics.counter_add("ckpt.retention_removed", 1);
+                if self.metrics.trace_enabled() {
+                    self.metrics
+                        .trace_event("ckpt_retain", vec![trace::field("sweep", stale.sweep)]);
+                }
             }
         }
         Ok(path)
@@ -501,8 +522,15 @@ impl Checkpointer {
         let t0 = self.metrics.start();
         let mut skipped = 0usize;
         for entry in self.list()? {
-            match Checkpoint::read(&entry.path) {
-                Ok(ckpt) => {
+            // Read bytes first so the trace can digest exactly what was
+            // on disk (the replay model matches this against the digest
+            // the writer recorded).
+            let decoded = match std::fs::read(&entry.path) {
+                Ok(bytes) => Checkpoint::decode(&bytes).map(|ckpt| (ckpt, fnv1a64(&bytes))),
+                Err(e) => Err(e.into()),
+            };
+            match decoded {
+                Ok((ckpt, digest)) => {
                     if skipped > 0 {
                         eprintln!(
                             "warning: fell back to checkpoint at sweep {} ({} newer \
@@ -517,6 +545,16 @@ impl Checkpointer {
                     self.metrics.counter_add("ckpt.loads", 1);
                     self.metrics
                         .counter_add("ckpt.corrupt_skipped", skipped as u64);
+                    if self.metrics.trace_enabled() {
+                        self.metrics.trace_event(
+                            "ckpt_load",
+                            vec![
+                                trace::field("sweep", ckpt.sweeps_done),
+                                trace::field("digest", trace::hex_digest(digest)),
+                                trace::field("skipped", skipped),
+                            ],
+                        );
+                    }
                     return Ok(ckpt);
                 }
                 Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -527,6 +565,10 @@ impl Checkpointer {
                         "warning: skipping unreadable checkpoint {}: {e}",
                         entry.path.display()
                     );
+                    if self.metrics.trace_enabled() {
+                        self.metrics
+                            .trace_event("ckpt_skip", vec![trace::field("sweep", entry.sweep)]);
+                    }
                     skipped += 1;
                 }
             }

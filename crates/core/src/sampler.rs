@@ -130,6 +130,19 @@ impl GibbsSampler {
         // one would (cell values, and hence the chain, are unaffected).
         let mut state = ckpt.state;
         state.select_storage(config.counter_storage);
+        // The `resume` trace event consumes the preceding `ckpt_load` in
+        // the replay model — every resume must pair with exactly one
+        // loaded checkpoint.
+        let metrics = &config.metrics.0;
+        if metrics.trace_enabled() {
+            metrics.trace_event(
+                "resume",
+                vec![
+                    cold_obs::trace::field("sweep", ckpt.sweeps_done),
+                    cold_obs::trace::field("shards", 1usize),
+                ],
+            );
+        }
         Ok(Self {
             posts,
             state,

@@ -827,6 +827,64 @@ mod tests {
     }
 
     #[test]
+    fn remove_heavy_workload_across_group_boundaries_matches_dense() {
+        // Backward-shift deletion operates within `2^GROUP_BITS`-aligned
+        // probe regions; cells straddling the 64-cell group edges are the
+        // cases where a shift could leak into (or starve) the neighbouring
+        // group. Churn a band of cells around each boundary with a
+        // delete-dominated workload and check every read path against a
+        // dense twin.
+        let group = 1usize << GROUP_BITS;
+        let len = group * 8;
+        let mut d = CounterStore::dense(len);
+        let mut s = sparse(len);
+        let boundaries = [group, 2 * group]; // cells around indices 64 and 128
+        let band: Vec<usize> = boundaries
+            .iter()
+            .flat_map(|&b| b.saturating_sub(3)..(b + 3))
+            .collect();
+        let mut x: u64 = 0x5eed;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for round in 0..400 {
+            let idx = band[(step() % band.len() as u64) as usize];
+            // Two removals for every insertion once cells are populated,
+            // so chains repeatedly form and collapse across the edge.
+            if step() % 3 == 0 || d[idx] == 0 {
+                let amt = (step() % 4 + 1) as u32;
+                d.add_u32(idx, amt);
+                s.add_u32(idx, amt);
+            } else {
+                d.dec(idx);
+                s.dec(idx);
+            }
+            if round % 50 == 0 {
+                assert_eq!(d.sum(), s.sum(), "round {round}");
+            }
+        }
+        // Per-cell reads…
+        for i in 0..len {
+            assert_eq!(d.get(i), s.get(i), "cell {i}");
+        }
+        // …and the chunked row-gather path, over windows that straddle
+        // each group boundary, must agree with the dense twin.
+        for &b in &boundaries {
+            let start = b - group / 2;
+            let mut from_dense = vec![0u32; group];
+            let mut from_sparse = vec![0u32; group];
+            d.gather_row(start, &mut from_dense);
+            s.gather_row(start, &mut from_sparse);
+            assert_eq!(from_dense, from_sparse, "gather straddling {b}");
+        }
+        assert_eq!(d, s);
+        assert_eq!(d.nnz(), s.nnz());
+    }
+
+    #[test]
     fn deletion_shrinks_emptied_tables() {
         let len = 1 << 16;
         let mut s = sparse(len);

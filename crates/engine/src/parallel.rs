@@ -38,7 +38,9 @@
 //! sees exactly the same inputs either way.
 
 use crate::cluster::{ClusterCostModel, SuperstepWork};
-use cold_core::checkpoint::{due_after_sweep, Checkpoint, CheckpointKind, Checkpointer, CkptError};
+use cold_core::checkpoint::{
+    due_after_sweep, fnv1a64, Checkpoint, CheckpointKind, Checkpointer, CkptError,
+};
 use cold_core::conditionals::{
     resample_link, resample_negative_link, resample_post, KernelCounters, Scratch,
 };
@@ -50,6 +52,7 @@ use cold_core::storage::CounterStore;
 use cold_core::ColdModel;
 use cold_graph::CsrGraph;
 use cold_math::rng::{seeded_rng, Rng, RngFactory};
+use cold_obs::trace::{field, hex_digest};
 use cold_text::Corpus;
 
 /// Work and timing records of a parallel training run.
@@ -383,6 +386,19 @@ impl ParallelGibbs {
             seed: ckpt.seed,
         };
         this.publish_partition_gauges();
+        // The `resume` trace event consumes the preceding `ckpt_load` in
+        // the replay model — every resume must pair with exactly one
+        // loaded checkpoint.
+        let metrics = &this.config.metrics.0;
+        if metrics.trace_enabled() {
+            metrics.trace_event(
+                "resume",
+                vec![
+                    field("sweep", this.sweeps_done),
+                    field("shards", this.shards),
+                ],
+            );
+        }
         Ok(this)
     }
 
@@ -541,6 +557,18 @@ impl ParallelGibbs {
     /// degenerates to an in-place sequential sweep (see [`ShardMode`]).
     pub fn superstep(&mut self, sweep: usize) -> SuperstepWork {
         let metrics = self.config.metrics.0.clone();
+        let sync = match &self.mode {
+            ShardMode::Sequential { .. } => "seq",
+            ShardMode::Sharded {
+                strategy: SyncStrategy::CloneMerge,
+                ..
+            } => "clone",
+            ShardMode::Sharded {
+                strategy: SyncStrategy::Delta,
+                ..
+            } => "delta",
+        };
+        self.trace_superstep("superstep_begin", sweep, sync);
         let t_step = metrics.start();
         let work = match &self.mode {
             ShardMode::Sequential { .. } => self.superstep_sequential(sweep),
@@ -556,8 +584,29 @@ impl ParallelGibbs {
         metrics.observe_since("parallel.superstep_seconds", t_step);
         metrics.counter_add("parallel.supersteps", 1);
         metrics.counter_add("parallel.sync_bytes", work.sync_bytes);
+        self.trace_superstep("superstep_end", sweep, sync);
         self.sweeps_done += 1;
         work
+    }
+
+    /// Emit one `cold-trace/v1` superstep boundary event: the sweep, shard
+    /// count, sync mode and the eleven per-family counter sums of the
+    /// authoritative state — the values the replay model checks delta
+    /// conservation against. No-op (and sum-free) when tracing is off.
+    fn trace_superstep(&self, kind: &str, sweep: usize, sync: &str) {
+        let metrics = &self.config.metrics.0;
+        if !metrics.trace_enabled() {
+            return;
+        }
+        let mut fields = vec![
+            field("sweep", sweep),
+            field("shards", self.shards),
+            field("sync", sync),
+        ];
+        for (name, store) in self.global.families() {
+            fields.push(field(format!("sum_{name}"), store.sum()));
+        }
+        metrics.trace_event(kind, fields);
     }
 
     /// The shards=1 superstep: one in-place sweep with the persistent RNG
@@ -801,6 +850,33 @@ impl ParallelGibbs {
                 .collect()
         });
 
+        // Trace announcements: one `shard_delta` summary per shard —
+        // epoch, per-family cell counts and net changes, and an FNV digest
+        // of the `cold-delta/v1` wire bytes — emitted before any apply, as
+        // a distributed barrier would receive them.
+        let traced = metrics.trace_enabled();
+        let mut digests: Vec<u64> = Vec::new();
+        if traced {
+            for (s, (delta, _)) in deltas.iter().enumerate() {
+                let encoded = delta.encode();
+                let digest = fnv1a64(&encoded);
+                digests.push(digest);
+                let mut fields = vec![
+                    field("sweep", sweep),
+                    field("shard", s),
+                    field("cells", delta.cells()),
+                    field("bytes", encoded.len()),
+                    field("digest", hex_digest(digest)),
+                ];
+                for (name, cells) in delta_families(delta) {
+                    let net: i64 = cells.iter().map(|&(_, d)| i64::from(d)).sum();
+                    fields.push(field(format!("cells_{name}"), cells.len()));
+                    fields.push(field(format!("net_{name}"), net));
+                }
+                metrics.trace_event("shard_delta", fields);
+            }
+        }
+
         // Barrier, step 1: apply each shard's delta to the authoritative
         // state in ascending shard order. The order is fixed (and cell
         // updates are exact integer addition), so the result is
@@ -809,8 +885,18 @@ impl ParallelGibbs {
         let mut kernel_counters = KernelCounters::default();
         let mut shard_sync_bytes = Vec::with_capacity(self.shards);
         let mut delta_cells = 0u64;
-        for (delta, counters) in &deltas {
+        for (s, (delta, counters)) in deltas.iter().enumerate() {
             self.global.apply_delta(delta);
+            if traced {
+                metrics.trace_event(
+                    "delta_apply",
+                    vec![
+                        field("sweep", sweep),
+                        field("shard", s),
+                        field("digest", hex_digest(digests[s])),
+                    ],
+                );
+            }
             shard_sync_bytes.push(delta.encoded_len());
             delta_cells += delta.cells();
             kernel_counters.merge(counters);
@@ -883,6 +969,25 @@ impl ParallelGibbs {
             shard_sync_bytes,
         }
     }
+}
+
+/// The nine independent counter families a [`CountDelta`] carries, with
+/// their wire names in `cold-delta/v1` declaration order. The trace
+/// recorder summarizes each family per shard (`cells_*` / `net_*`), which
+/// is what lets the replay model check per-epoch conservation without the
+/// full cell lists.
+fn delta_families(delta: &CountDelta) -> [(&'static str, &Vec<(u32, i32)>); 9] {
+    [
+        ("n_ic", &delta.n_ic),
+        ("n_i", &delta.n_i),
+        ("n_ck", &delta.n_ck),
+        ("n_c", &delta.n_c),
+        ("n_ckt", &delta.n_ckt),
+        ("n_kv", &delta.n_kv),
+        ("n_k", &delta.n_k),
+        ("n_cc", &delta.n_cc),
+        ("n0_cc", &delta.n0_cc),
+    ]
 }
 
 /// Mirror of the sequential sampler's annealing schedule.

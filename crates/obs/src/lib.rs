@@ -43,6 +43,7 @@
 pub mod histogram;
 pub mod schema;
 pub mod snapshot;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -52,6 +53,8 @@ use std::time::Instant;
 use histogram::Histogram;
 pub use histogram::HistogramSummary;
 pub use snapshot::MetricsSnapshot;
+use trace::TraceLog;
+pub use trace::{TraceEvent, TraceValue};
 
 /// One registered metric. Histograms dominate the size (their fixed
 /// bucket array lives inline); cells sit in a long-lived map, so the
@@ -133,6 +136,10 @@ thread_local! {
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     registry: Option<Arc<Registry>>,
+    /// The `cold-trace/v1` protocol event buffer; independent of the
+    /// metric registry so a run can record a trace without paying for
+    /// counters (and vice versa).
+    trace: Option<Arc<TraceLog>>,
 }
 
 impl Metrics {
@@ -145,6 +152,37 @@ impl Metrics {
     pub fn enabled() -> Self {
         Self {
             registry: Some(Arc::new(Registry::default())),
+            trace: None,
+        }
+    }
+
+    /// Attach a fresh `cold-trace/v1` event buffer to this handle; clones
+    /// share it. Works on disabled handles too (trace-only recording).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Arc::new(TraceLog::default()));
+        self
+    }
+
+    /// Whether protocol events are being recorded. Instrumented barriers
+    /// branch on this once, so untraced runs never build event payloads
+    /// (or pay for the per-family sums some events carry).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record one protocol event (no-op without an attached trace buffer).
+    pub fn trace_event(&self, kind: &str, fields: Vec<(String, TraceValue)>) {
+        if let Some(log) = &self.trace {
+            log.record(kind, fields);
+        }
+    }
+
+    /// Point-in-time copy of the recorded protocol events (empty when no
+    /// trace buffer is attached).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &self.trace {
+            Some(log) => log.events(),
+            None => Vec::new(),
         }
     }
 
@@ -326,6 +364,24 @@ mod tests {
         let h = &m.snapshot().histograms["lat"];
         assert_eq!(h.count, 1);
         assert!(h.max >= 0.0);
+    }
+
+    #[test]
+    fn trace_buffer_is_optional_and_shared_by_clones() {
+        let plain = Metrics::enabled();
+        assert!(!plain.trace_enabled());
+        plain.trace_event("ignored", Vec::new());
+        assert!(plain.trace_events().is_empty());
+
+        let traced = Metrics::disabled().with_trace();
+        assert!(traced.trace_enabled());
+        assert!(!traced.is_enabled());
+        let clone = traced.clone();
+        clone.trace_event("superstep_begin", vec![trace::field("sweep", 3u64)]);
+        let events = traced.trace_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "superstep_begin");
+        assert_eq!(events[0].uint("sweep"), Some(3));
     }
 
     #[test]

@@ -22,9 +22,11 @@ pub struct JsonlStats {
     pub histograms: usize,
 }
 
-/// A scalar value inside one JSONL record.
+/// A scalar value inside one JSONL record. Shared with the
+/// `cold-trace/v1` parser ([`crate::trace`]), which reuses this module's
+/// flat-object subset.
 #[derive(Debug, Clone, PartialEq)]
-enum Scalar {
+pub(crate) enum Scalar {
     Str(String),
     Num(f64),
     Bool(bool),
@@ -32,14 +34,14 @@ enum Scalar {
 }
 
 impl Scalar {
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Scalar::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    pub(crate) fn as_num(&self) -> Option<f64> {
         match self {
             Scalar::Num(n) => Some(*n),
             _ => None,
@@ -188,7 +190,7 @@ fn require_count(obj: &BTreeMap<String, Scalar>, field: &str) -> Result<f64, Str
 }
 
 /// Parse one line as a flat JSON object of scalar values.
-fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+pub(crate) fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
     let mut p = Parser {
         chars: line.chars().collect(),
         pos: 0,

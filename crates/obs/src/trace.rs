@@ -1,0 +1,400 @@
+//! The `cold-trace/v1` protocol event stream.
+//!
+//! Where the snapshot sink ([`crate::snapshot`]) answers "how much work
+//! happened", the trace sink answers "in what order did the protocol
+//! steps happen". An enabled trace buffer ([`crate::Metrics::with_trace`])
+//! collects one [`TraceEvent`] per protocol step — superstep begin/end,
+//! per-shard delta announcements and applies, checkpoint write / load /
+//! retention / resume — in the order the instrumented code emitted them.
+//! The buffer serializes to a JSON-lines file whose records are flat
+//! scalar objects (the same narrow subset `cold-obs/v1` uses), so the
+//! replay checker can re-parse it without trusting the writer.
+//!
+//! Values that must round-trip exactly through the float-based JSON
+//! parser are restricted: 64-bit digests travel as 16-hex-digit strings
+//! ([`TraceEvent::hex`]); counts and sums stay far below 2^53.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::schema::{parse_flat_object, Scalar};
+
+/// Schema identifier stamped into the leading `meta` line of a trace file.
+pub const TRACE_SCHEMA: &str = "cold-trace/v1";
+
+/// One scalar field value inside a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// A string (also how 64-bit digests travel, as fixed-width hex).
+    Str(String),
+    /// A signed integer (per-family net changes can be negative).
+    Int(i64),
+    /// An unsigned integer (sweeps, shards, byte counts, cell sums).
+    Uint(u64),
+}
+
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> Self {
+        TraceValue::Uint(v)
+    }
+}
+
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> Self {
+        TraceValue::Uint(v as u64)
+    }
+}
+
+impl From<i64> for TraceValue {
+    fn from(v: i64) -> Self {
+        TraceValue::Int(v)
+    }
+}
+
+/// Build one `(name, value)` trace field; sugar for event construction.
+pub fn field(name: impl Into<String>, value: impl Into<TraceValue>) -> (String, TraceValue) {
+    (name.into(), value.into())
+}
+
+/// Render a 64-bit digest the way trace events carry it: 16 hex digits.
+pub fn hex_digest(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// One protocol event. `seq` is the emission index within its process
+/// (restarts at zero after a crash/resume, so concatenated segment files
+/// stay well-formed); `kind` names the protocol step; `fields` carry the
+/// step's scalars in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emission index within the recording process.
+    pub seq: u64,
+    /// Protocol step name (`superstep_begin`, `shard_delta`, `ckpt_write`, …).
+    pub kind: String,
+    /// Scalar payload, in emission order.
+    pub fields: Vec<(String, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// Look up a field by name.
+    pub fn get(&self, name: &str) -> Option<&TraceValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// An unsigned-integer field (accepts a non-negative `Int` too).
+    pub fn uint(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            TraceValue::Uint(v) => Some(*v),
+            TraceValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// A signed-integer field (accepts an in-range `Uint` too).
+    pub fn int(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            TraceValue::Int(v) => Some(*v),
+            TraceValue::Uint(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// A string field.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        match self.get(name)? {
+            TraceValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A 64-bit digest field, parsed from its hex-string encoding.
+    pub fn hex(&self, name: &str) -> Option<u64> {
+        u64::from_str_radix(self.str_field(name)?, 16).ok()
+    }
+
+    /// Overwrite (or append) one field. Fault injectors use this to mutate
+    /// recorded events.
+    pub fn set(&mut self, name: &str, value: TraceValue) {
+        match self.fields.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.fields.push((name.to_owned(), value)),
+        }
+    }
+}
+
+/// The append-only event buffer behind a trace-enabled [`crate::Metrics`]
+/// handle. Shard workers never emit (all protocol steps happen on the
+/// coordinating thread at barriers), but the mutex keeps the handle safe
+/// to clone across threads like the rest of the registry.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceLog {
+    /// Append one event, assigning the next sequence number.
+    pub fn record(&self, kind: &str, fields: Vec<(String, TraceValue)>) {
+        let mut events = self.events.lock().expect("trace log poisoned");
+        let seq = events.len() as u64;
+        events.push(TraceEvent {
+            seq,
+            kind: kind.to_owned(),
+            fields,
+        });
+    }
+
+    /// Point-in-time copy of every recorded event, in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace log poisoned").clone()
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render events as a `cold-trace/v1` JSON-lines document: a `meta` line
+/// carrying the schema tag and event count, then one flat object per event.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"schema\":\"{TRACE_SCHEMA}\",\"events\":{}}}\n",
+        events.len()
+    ));
+    for ev in events {
+        out.push_str(&format!(
+            "{{\"seq\":{},\"event\":\"{}\"",
+            ev.seq,
+            escape_json(&ev.kind)
+        ));
+        for (name, value) in &ev.fields {
+            out.push_str(&format!(",\"{}\":", escape_json(name)));
+            match value {
+                TraceValue::Str(s) => out.push_str(&format!("\"{}\"", escape_json(s))),
+                TraceValue::Int(v) => out.push_str(&v.to_string()),
+                TraceValue::Uint(v) => out.push_str(&v.to_string()),
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Write events to `path` as `cold-trace/v1` JSON lines.
+pub fn write_jsonl(events: &[TraceEvent], path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_jsonl(events).as_bytes())?;
+    file.flush()
+}
+
+fn scalar_to_value(s: &Scalar) -> Result<TraceValue, String> {
+    match s {
+        Scalar::Str(v) => Ok(TraceValue::Str(v.clone())),
+        Scalar::Num(n) => {
+            if !n.is_finite() || n.fract() != 0.0 {
+                return Err(format!("non-integral number {n}"));
+            }
+            if *n < 0.0 {
+                Ok(TraceValue::Int(*n as i64))
+            } else {
+                Ok(TraceValue::Uint(*n as u64))
+            }
+        }
+        Scalar::Bool(_) | Scalar::Null => Err("booleans/nulls are not cold-trace/v1 values".into()),
+    }
+}
+
+/// Parse a `cold-trace/v1` JSON-lines document back into events.
+///
+/// A crash/resume pair records one trace file per process; callers may
+/// concatenate the segments before parsing, so any line after the first
+/// may start a new segment with its own `meta` record (validated and
+/// skipped — event sequence numbers restart with each segment).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    let mut saw_meta = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if let Some(kind) = obj.get("type").and_then(Scalar::as_str) {
+            if kind != "meta" {
+                return Err(format!("line {lineno}: unexpected record type \"{kind}\""));
+            }
+            let schema = obj
+                .get("schema")
+                .and_then(Scalar::as_str)
+                .ok_or_else(|| format!("line {lineno}: meta record missing \"schema\""))?;
+            if schema != TRACE_SCHEMA {
+                return Err(format!(
+                    "line {lineno}: schema \"{schema}\" is not \"{TRACE_SCHEMA}\""
+                ));
+            }
+            saw_meta = true;
+            continue;
+        }
+        if !saw_meta {
+            return Err(format!("line {lineno}: first record must be \"meta\""));
+        }
+        let mut seq = None;
+        let mut kind = None;
+        let mut fields = Vec::new();
+        // `parse_flat_object` returns a BTreeMap, so fields arrive in name
+        // order rather than emission order; nothing downstream depends on
+        // field order.
+        for (name, value) in &obj {
+            match name.as_str() {
+                "seq" => {
+                    let n = value
+                        .as_num()
+                        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                        .ok_or_else(|| format!("line {lineno}: bad \"seq\""))?;
+                    seq = Some(n as u64);
+                }
+                "event" => {
+                    kind = Some(
+                        value
+                            .as_str()
+                            .ok_or_else(|| format!("line {lineno}: \"event\" must be a string"))?
+                            .to_owned(),
+                    );
+                }
+                _ => {
+                    let v = scalar_to_value(value)
+                        .map_err(|e| format!("line {lineno}: field \"{name}\": {e}"))?;
+                    fields.push((name.clone(), v));
+                }
+            }
+        }
+        events.push(TraceEvent {
+            seq: seq.ok_or_else(|| format!("line {lineno}: missing \"seq\""))?,
+            kind: kind.ok_or_else(|| format!("line {lineno}: missing \"event\""))?,
+            fields,
+        });
+    }
+    if !saw_meta {
+        return Err("no meta record found (empty file?)".to_owned());
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                seq: 0,
+                kind: "superstep_begin".into(),
+                fields: vec![field("sweep", 0u64), field("shards", 4u64)],
+            },
+            TraceEvent {
+                seq: 1,
+                kind: "shard_delta".into(),
+                fields: vec![
+                    field("sweep", 0u64),
+                    field("shard", 1u64),
+                    field("digest", hex_digest(0xdead_beef_0bad_f00d)),
+                    field("net_n_ck", -3i64),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        for (a, b) in parsed.iter().zip(&events) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.kind, b.kind);
+            for (name, value) in &b.fields {
+                assert_eq!(a.get(name), Some(value), "field {name}");
+            }
+        }
+        assert_eq!(parsed[1].hex("digest"), Some(0xdead_beef_0bad_f00d));
+        assert_eq!(parsed[1].int("net_n_ck"), Some(-3));
+        assert_eq!(parsed[0].uint("shards"), Some(4));
+    }
+
+    #[test]
+    fn concatenated_segments_parse_as_one_stream() {
+        let a = to_jsonl(&sample_events());
+        let b = to_jsonl(&sample_events());
+        let all = parse_jsonl(&format!("{a}{b}")).unwrap();
+        assert_eq!(all.len(), 4);
+        // Sequence numbers restart at the segment boundary.
+        assert_eq!(all[2].seq, 0);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_meta() {
+        assert!(parse_jsonl("{\"seq\":0,\"event\":\"x\"}\n").is_err());
+        let bad = "{\"type\":\"meta\",\"schema\":\"cold-trace/v999\",\"events\":0}\n";
+        assert!(parse_jsonl(bad).is_err());
+        assert!(parse_jsonl("").is_err());
+    }
+
+    #[test]
+    fn rejects_fractional_numbers_and_missing_keys() {
+        let meta = format!("{{\"type\":\"meta\",\"schema\":\"{TRACE_SCHEMA}\",\"events\":1}}\n");
+        for bad in [
+            "{\"seq\":0.5,\"event\":\"x\"}",
+            "{\"seq\":0,\"event\":\"x\",\"v\":1.25}",
+            "{\"event\":\"x\"}",
+            "{\"seq\":0}",
+        ] {
+            assert!(parse_jsonl(&format!("{meta}{bad}\n")).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_log_assigns_sequence_numbers() {
+        let log = TraceLog::default();
+        log.record("a", vec![field("x", 1u64)]);
+        log.record("b", Vec::new());
+        let events = log.events();
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].kind, "b");
+    }
+
+    #[test]
+    fn set_overwrites_or_appends() {
+        let mut ev = sample_events().remove(1);
+        ev.set("shard", TraceValue::Uint(3));
+        ev.set("extra", TraceValue::Int(-1));
+        assert_eq!(ev.uint("shard"), Some(3));
+        assert_eq!(ev.int("extra"), Some(-1));
+    }
+}

@@ -1,0 +1,477 @@
+//! Seeded fault injection and schedule fuzzing for recorded traces.
+//!
+//! [`inject`] mutates a protocol-conformant trace to seed one concrete
+//! violation of a [`FaultClass`]; the replay model must reject every
+//! injected trace. [`permute_schedule`] applies a *legal* mutation —
+//! reordering shard announcements within a superstep — that the model
+//! must still accept. Both draw all randomness from a caller-seeded RNG,
+//! so every generated case replays from its recorded seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cold_obs::trace::{field, hex_digest, TraceEvent, TraceValue};
+
+use crate::{verify, Violation};
+
+/// The protocol-violation families the injector can seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A shard's delta vanishes entirely (announcement and apply).
+    DroppedDelta,
+    /// A delta is announced but its apply never happens.
+    DroppedApply,
+    /// A shard's delta is applied twice.
+    DuplicatedApply,
+    /// Two adjacent applies swap, breaking ascending shard order.
+    ReorderedApply,
+    /// An apply from an earlier epoch replays inside a later superstep.
+    StaleEpochReplay,
+    /// A checkpoint's bytes change between write and load (torn write).
+    TornCheckpoint,
+    /// Retention deletes the newest valid checkpoint.
+    RetiredNewest,
+    /// A resume consumes a checkpoint known to be corrupt.
+    CorruptResume,
+    /// A second resume fires without a second load.
+    DoubleResume,
+}
+
+impl FaultClass {
+    /// Every injectable class, in round-robin order.
+    pub const ALL: [FaultClass; 9] = [
+        FaultClass::DroppedDelta,
+        FaultClass::DroppedApply,
+        FaultClass::DuplicatedApply,
+        FaultClass::ReorderedApply,
+        FaultClass::StaleEpochReplay,
+        FaultClass::TornCheckpoint,
+        FaultClass::RetiredNewest,
+        FaultClass::CorruptResume,
+        FaultClass::DoubleResume,
+    ];
+
+    /// Stable name for reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::DroppedDelta => "dropped-delta",
+            FaultClass::DroppedApply => "dropped-apply",
+            FaultClass::DuplicatedApply => "duplicated-apply",
+            FaultClass::ReorderedApply => "reordered-apply",
+            FaultClass::StaleEpochReplay => "stale-epoch-replay",
+            FaultClass::TornCheckpoint => "torn-checkpoint",
+            FaultClass::RetiredNewest => "retired-newest",
+            FaultClass::CorruptResume => "corrupt-resume",
+            FaultClass::DoubleResume => "double-resume",
+        }
+    }
+}
+
+fn positions(events: &[TraceEvent], kind: &str) -> Vec<usize> {
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == kind)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn pick(rng: &mut SmallRng, candidates: &[usize]) -> Option<usize> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+fn renumber(events: &mut [TraceEvent]) {
+    for (i, ev) in events.iter_mut().enumerate() {
+        ev.seq = i as u64;
+    }
+}
+
+/// The partition width recorded in the trace, for synthesized events.
+fn trace_shards(events: &[TraceEvent]) -> u64 {
+    events
+        .iter()
+        .find_map(|e| {
+            (e.kind == "superstep_begin" || e.kind == "resume").then(|| e.uint("shards"))?
+        })
+        .unwrap_or(1)
+}
+
+/// Seed one fault of `class` into `events`. Returns the mutated trace and
+/// a description of the concrete mutation, or `None` when the trace lacks
+/// the structure this class needs (e.g. no checkpoints at all).
+pub fn inject(
+    events: &[TraceEvent],
+    class: FaultClass,
+    rng: &mut SmallRng,
+) -> Option<(Vec<TraceEvent>, String)> {
+    let mut out = events.to_vec();
+    let detail = match class {
+        FaultClass::DroppedDelta => {
+            let i = pick(rng, &positions(events, "shard_delta"))?;
+            let sweep = out[i].uint("sweep");
+            let shard = out[i].uint("shard");
+            out.remove(i);
+            out.retain(|e| {
+                !(e.kind == "delta_apply" && e.uint("sweep") == sweep && e.uint("shard") == shard)
+            });
+            format!("dropped shard {shard:?} delta of sweep {sweep:?}")
+        }
+        FaultClass::DroppedApply => {
+            let i = pick(rng, &positions(events, "delta_apply"))?;
+            let (sweep, shard) = (out[i].uint("sweep"), out[i].uint("shard"));
+            out.remove(i);
+            format!("dropped apply of shard {shard:?} in sweep {sweep:?}")
+        }
+        FaultClass::DuplicatedApply => {
+            let i = pick(rng, &positions(events, "delta_apply"))?;
+            let dup = out[i].clone();
+            let (sweep, shard) = (dup.uint("sweep"), dup.uint("shard"));
+            out.insert(i + 1, dup);
+            format!("duplicated apply of shard {shard:?} in sweep {sweep:?}")
+        }
+        FaultClass::ReorderedApply => {
+            // Need two adjacent applies of the same superstep to swap.
+            let pairs: Vec<usize> = positions(events, "delta_apply")
+                .into_iter()
+                .filter(|&i| {
+                    i + 1 < events.len()
+                        && events[i + 1].kind == "delta_apply"
+                        && events[i + 1].uint("sweep") == events[i].uint("sweep")
+                })
+                .collect();
+            let i = pick(rng, &pairs)?;
+            let sweep = out[i].uint("sweep");
+            out.swap(i, i + 1);
+            format!(
+                "swapped applies of shards {:?} and {:?} in sweep {sweep:?}",
+                out[i].uint("shard"),
+                out[i + 1].uint("shard")
+            )
+        }
+        FaultClass::StaleEpochReplay => {
+            // Replay an apply inside a later superstep than its own.
+            let applies = positions(events, "delta_apply");
+            let begins = positions(events, "superstep_begin");
+            let candidates: Vec<usize> = applies
+                .iter()
+                .copied()
+                .filter(|&i| begins.iter().any(|&b| b > i))
+                .collect();
+            let i = pick(rng, &candidates)?;
+            let stale = out[i].clone();
+            let (sweep, shard) = (stale.uint("sweep"), stale.uint("shard"));
+            let b = *begins.iter().find(|&&b| b > i).unwrap();
+            out.insert(b + 1, stale);
+            format!(
+                "replayed shard {shard:?} apply of sweep {sweep:?} inside superstep {:?}",
+                out[b].uint("sweep")
+            )
+        }
+        FaultClass::TornCheckpoint => {
+            // Flip a loaded digest; if the trace never loads, synthesize a
+            // load of a written checkpoint with the wrong digest.
+            let written_sweeps: Vec<u64> = events
+                .iter()
+                .filter(|e| e.kind == "ckpt_write")
+                .filter_map(|e| e.uint("sweep"))
+                .collect();
+            let loads: Vec<usize> = positions(events, "ckpt_load")
+                .into_iter()
+                .filter(|&i| {
+                    // Only loads the model can cross-check: the write must
+                    // appear earlier in the trace.
+                    events[i]
+                        .uint("sweep")
+                        .is_some_and(|s| written_sweeps.contains(&s))
+                })
+                .collect();
+            if let Some(i) = pick(rng, &loads) {
+                let digest = out[i].hex("digest")?;
+                out[i].set("digest", TraceValue::Str(hex_digest(digest ^ 1)));
+                format!(
+                    "tore checkpoint bytes under load of sweep {:?}",
+                    out[i].uint("sweep")
+                )
+            } else {
+                let sweep = *written_sweeps.last()?;
+                let digest = events
+                    .iter()
+                    .rfind(|e| e.kind == "ckpt_write" && e.uint("sweep") == Some(sweep))?
+                    .hex("digest")?;
+                out.push(TraceEvent {
+                    seq: 0,
+                    kind: "ckpt_load".into(),
+                    fields: vec![
+                        field("sweep", sweep),
+                        field("digest", hex_digest(digest ^ 1)),
+                        field("skipped", 0u64),
+                    ],
+                });
+                format!("synthesized load of torn checkpoint at sweep {sweep}")
+            }
+        }
+        FaultClass::RetiredNewest => {
+            // Retire the newest checkpoint right after it is written.
+            let i = *positions(events, "ckpt_write").last()?;
+            let sweep = out[i].uint("sweep")?;
+            out.insert(
+                i + 1,
+                TraceEvent {
+                    seq: 0,
+                    kind: "ckpt_retain".into(),
+                    fields: vec![field("sweep", sweep)],
+                },
+            );
+            format!("retention removed the newest checkpoint (sweep {sweep})")
+        }
+        FaultClass::CorruptResume => {
+            // Mark the loaded checkpoint corrupt just before its load; if
+            // the trace never loads, synthesize a skip-then-load pair.
+            let skip_of = |sweep: u64| TraceEvent {
+                seq: 0,
+                kind: "ckpt_skip".into(),
+                fields: vec![field("sweep", sweep)],
+            };
+            if let Some(i) = pick(rng, &positions(events, "ckpt_load")) {
+                let sweep = out[i].uint("sweep")?;
+                out.insert(i, skip_of(sweep));
+                format!("marked the resumed checkpoint (sweep {sweep}) corrupt before its load")
+            } else {
+                let w = *positions(events, "ckpt_write").last()?;
+                let sweep = events[w].uint("sweep")?;
+                let digest = events[w].hex("digest")?;
+                out.push(skip_of(sweep));
+                out.push(TraceEvent {
+                    seq: 0,
+                    kind: "ckpt_load".into(),
+                    fields: vec![
+                        field("sweep", sweep),
+                        field("digest", hex_digest(digest)),
+                        field("skipped", 1u64),
+                    ],
+                });
+                format!("synthesized load of a checkpoint skipped as corrupt (sweep {sweep})")
+            }
+        }
+        FaultClass::DoubleResume => {
+            if let Some(i) = pick(rng, &positions(events, "resume")) {
+                let dup = out[i].clone();
+                let sweep = dup.uint("sweep");
+                out.insert(i + 1, dup);
+                format!("resumed twice from one load (sweep {sweep:?})")
+            } else {
+                out.push(TraceEvent {
+                    seq: 0,
+                    kind: "resume".into(),
+                    fields: vec![field("sweep", 0u64), field("shards", trace_shards(events))],
+                });
+                "synthesized a resume with no loaded checkpoint".to_owned()
+            }
+        }
+    };
+    renumber(&mut out);
+    Some((out, detail))
+}
+
+/// Legally permute the trace: shuffle each superstep's run of shard
+/// announcements (their order is unconstrained by the protocol). The
+/// model must accept every permutation.
+pub fn permute_schedule(events: &[TraceEvent], rng: &mut SmallRng) -> Vec<TraceEvent> {
+    let mut out = events.to_vec();
+    let mut i = 0;
+    while i < out.len() {
+        if out[i].kind == "shard_delta" {
+            let start = i;
+            while i < out.len() && out[i].kind == "shard_delta" {
+                i += 1;
+            }
+            // Fisher-Yates over the run [start, i).
+            for j in (start + 1..i).rev() {
+                let k = rng.gen_range(start..j + 1);
+                out.swap(j, k);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    renumber(&mut out);
+    out
+}
+
+/// One fuzzed case: what was injected, under which seed, and how the
+/// model answered.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Which fault family this case seeded (`None` for a legal schedule
+    /// permutation, which must pass).
+    pub fault: Option<FaultClass>,
+    /// RNG seed that regenerates this exact case.
+    pub seed: u64,
+    /// The concrete mutation applied.
+    pub detail: String,
+    /// The model's rejection, if any.
+    pub rejection: Option<Violation>,
+}
+
+impl FuzzOutcome {
+    /// Did the model answer correctly for this case? Faulted traces must
+    /// be rejected; legal permutations must pass.
+    pub fn ok(&self) -> bool {
+        self.fault.is_some() == self.rejection.is_some()
+    }
+}
+
+/// Derive the RNG seed for fuzz case `case` under `base_seed`, using the
+/// same golden-ratio mixing as the proptest shim.
+pub fn case_seed(base_seed: u64, case: u64) -> u64 {
+    base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `cases` seeded mutations against `events`: fault classes round-
+/// robin, with a legal schedule permutation interleaved after each full
+/// round. Classes the trace cannot express (e.g. checkpoint faults on a
+/// checkpoint-free trace) are skipped. Every outcome records its seed.
+pub fn fuzz(events: &[TraceEvent], cases: usize, base_seed: u64) -> Vec<FuzzOutcome> {
+    let mut outcomes = Vec::new();
+    let classes = FaultClass::ALL.len();
+    let mut case = 0u64;
+    // Per round: each fault class once, then one legal permutation. Bound
+    // total draws so inexpressible classes cannot stall the loop.
+    while outcomes.len() < cases && (case as usize) < cases * (classes + 1) + classes {
+        let slot = case as usize % (classes + 1);
+        let seed = case_seed(base_seed, case);
+        case += 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if slot == classes {
+            let permuted = permute_schedule(events, &mut rng);
+            outcomes.push(FuzzOutcome {
+                fault: None,
+                seed,
+                detail: "legal schedule permutation".to_owned(),
+                rejection: verify(&permuted).err(),
+            });
+        } else {
+            let class = FaultClass::ALL[slot];
+            if let Some((mutated, detail)) = inject(events, class, &mut rng) {
+                outcomes.push(FuzzOutcome {
+                    fault: Some(class),
+                    seed,
+                    detail,
+                    rejection: verify(&mutated).err(),
+                });
+            }
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthTrace;
+    use crate::ViolationKind;
+
+    fn checkpointed_trace() -> Vec<TraceEvent> {
+        let mut t = SynthTrace::new(3);
+        t.superstep(&[
+            vec![("n_ck", 2), ("n_kv", 1)],
+            vec![("n_i", -1)],
+            vec![("n_cc", 3), ("n0_cc", 1)],
+        ]);
+        t.checkpoint();
+        t.superstep(&[vec![("n_ck", -1)], vec![("n_k", 2)], vec![]]);
+        t.checkpoint();
+        t.superstep(&[vec![("n_ic", 1)], vec![("n_ckt", 1)], vec![("n_c", -2)]]);
+        t.crash_and_resume();
+        t.superstep(&[vec![("n_ic", 1)], vec![("n_ckt", 1)], vec![("n_c", -2)]]);
+        t.events()
+    }
+
+    #[test]
+    fn base_trace_is_clean() {
+        crate::verify(&checkpointed_trace()).unwrap();
+    }
+
+    #[test]
+    fn every_fault_class_is_injectable_and_rejected() {
+        let events = checkpointed_trace();
+        for (i, class) in FaultClass::ALL.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(0xFA17 + i as u64);
+            let (mutated, detail) = inject(&events, *class, &mut rng)
+                .unwrap_or_else(|| panic!("{} not injectable", class.name()));
+            let err = crate::verify(&mutated)
+                .err()
+                .unwrap_or_else(|| panic!("{} survived replay: {detail}", class.name()));
+            assert_ne!(
+                err.kind,
+                ViolationKind::Malformed,
+                "{}: {err}",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_under_a_seed() {
+        let events = checkpointed_trace();
+        for class in FaultClass::ALL {
+            let run = |seed: u64| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                inject(&events, class, &mut rng).map(|(ev, detail)| (ev.len(), detail))
+            };
+            assert_eq!(run(7), run(7), "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn schedule_permutations_always_pass() {
+        let events = checkpointed_trace();
+        for seed in 0..16 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let permuted = permute_schedule(&events, &mut rng);
+            assert_eq!(permuted.len(), events.len());
+            crate::verify(&permuted)
+                .unwrap_or_else(|e| panic!("legal permutation rejected (seed {seed}): {e}"));
+        }
+    }
+
+    #[test]
+    fn fuzz_covers_all_classes_and_all_cases_hold() {
+        let events = checkpointed_trace();
+        let outcomes = fuzz(&events, 20, 0xBA5E);
+        assert_eq!(outcomes.len(), 20);
+        for out in &outcomes {
+            assert!(
+                out.ok(),
+                "case seed {:#x} ({}) answered wrong: {}",
+                out.seed,
+                out.fault.map_or("schedule", |c| c.name()),
+                out.detail
+            );
+        }
+        for class in FaultClass::ALL {
+            assert!(
+                outcomes.iter().any(|o| o.fault == Some(class)),
+                "{} never fuzzed in 20 cases",
+                class.name()
+            );
+        }
+        assert!(outcomes.iter().any(|o| o.fault.is_none()));
+    }
+
+    #[test]
+    fn fuzz_skips_checkpoint_faults_on_checkpoint_free_traces() {
+        let mut t = SynthTrace::new(2);
+        t.superstep(&[vec![("n_ck", 1)], vec![("n_i", 1)]]);
+        let outcomes = fuzz(&t.events(), 12, 1);
+        assert!(!outcomes.is_empty());
+        for out in &outcomes {
+            assert!(out.ok(), "seed {:#x}: {}", out.seed, out.detail);
+            assert_ne!(out.fault, Some(FaultClass::RetiredNewest));
+        }
+    }
+}

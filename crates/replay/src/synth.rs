@@ -1,0 +1,200 @@
+//! Synthetic `cold-trace/v1` streams for exercising the replay model.
+//!
+//! [`SynthTrace`] fabricates protocol-conformant event sequences without
+//! running the sampler: counter sums evolve exactly by the announced nets,
+//! digests are deterministic stand-ins, and crash/resume rewinds to the
+//! recorded checkpoint snapshot. Tests then mutate the fabricated stream
+//! to seed violations, or hand it to the fault injector.
+
+use std::collections::BTreeMap;
+
+use cold_obs::trace::{field, hex_digest, TraceEvent, TraceValue};
+
+use crate::{DELTA_FAMILIES, DERIVED_FAMILIES, STATE_FAMILIES};
+
+/// Each family starts here so small negative nets never underflow the
+/// unsigned sums carried in the events.
+const BASE_SUM: i64 = 1_000;
+
+struct SynthCheckpoint {
+    sweep: u64,
+    digest: u64,
+    sums: BTreeMap<&'static str, i64>,
+}
+
+/// A growing synthetic trace. Every mutator appends protocol-conformant
+/// events; [`SynthTrace::events`] yields the stream to verify or corrupt.
+pub struct SynthTrace {
+    shards: u64,
+    sweep: u64,
+    next_seq: u64,
+    sums: BTreeMap<&'static str, i64>,
+    checkpoints: Vec<SynthCheckpoint>,
+    events: Vec<TraceEvent>,
+}
+
+impl SynthTrace {
+    /// An empty trace for a `shards`-way partition.
+    pub fn new(shards: u64) -> Self {
+        Self {
+            shards,
+            sweep: 0,
+            next_seq: 0,
+            sums: STATE_FAMILIES.iter().map(|f| (*f, BASE_SUM)).collect(),
+            checkpoints: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: &str, fields: Vec<(String, TraceValue)>) {
+        self.events.push(TraceEvent {
+            seq: self.next_seq,
+            kind: kind.to_owned(),
+            fields,
+        });
+        self.next_seq += 1;
+    }
+
+    fn sum_fields(&self) -> Vec<(String, TraceValue)> {
+        STATE_FAMILIES
+            .iter()
+            .map(|f| field(format!("sum_{f}"), self.sums[f] as u64))
+            .collect()
+    }
+
+    fn boundary_fields(&self, kind_sweep: u64) -> Vec<(String, TraceValue)> {
+        let mut fields = vec![
+            field("sweep", kind_sweep),
+            field("shards", self.shards),
+            field("sync", "delta"),
+        ];
+        fields.extend(self.sum_fields());
+        fields
+    }
+
+    /// Deterministic stand-in digest for `(sweep, shard)` deltas.
+    fn delta_digest(sweep: u64, shard: u64) -> u64 {
+        (sweep.wrapping_mul(31) ^ shard.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// One delta-synced superstep. `shard_nets[s]` lists the `(family,
+    /// net)` changes shard `s` contributes; sums and derived mirrors
+    /// evolve accordingly.
+    pub fn superstep(&mut self, shard_nets: &[Vec<(&'static str, i64)>]) {
+        assert_eq!(
+            shard_nets.len() as u64,
+            self.shards,
+            "one net list per shard"
+        );
+        let sweep = self.sweep;
+        self.push("superstep_begin", self.boundary_fields(sweep));
+        for (s, nets) in shard_nets.iter().enumerate() {
+            let cells = nets.len() as u64;
+            let mut fields = vec![
+                field("sweep", sweep),
+                field("shard", s as u64),
+                field("cells", cells),
+                field("bytes", 16 + 8 * cells),
+                field("digest", hex_digest(Self::delta_digest(sweep, s as u64))),
+            ];
+            for fam in DELTA_FAMILIES {
+                let fam_cells = nets.iter().filter(|(f, _)| *f == fam).count() as u64;
+                let net: i64 = nets.iter().filter(|(f, _)| *f == fam).map(|(_, n)| n).sum();
+                fields.push(field(format!("cells_{fam}"), fam_cells));
+                fields.push(field(format!("net_{fam}"), net));
+            }
+            self.push("shard_delta", fields);
+        }
+        for (s, nets) in shard_nets.iter().enumerate() {
+            self.push(
+                "delta_apply",
+                vec![
+                    field("sweep", sweep),
+                    field("shard", s as u64),
+                    field("digest", hex_digest(Self::delta_digest(sweep, s as u64))),
+                ],
+            );
+            for (fam, net) in nets {
+                *self.sums.get_mut(fam).unwrap() += net;
+                for (mirror, source) in DERIVED_FAMILIES {
+                    if source == *fam {
+                        *self.sums.get_mut(mirror).unwrap() += net;
+                    }
+                }
+            }
+        }
+        self.push("superstep_end", self.boundary_fields(sweep));
+        self.sweep += 1;
+    }
+
+    /// Write a checkpoint at the current sweep count.
+    pub fn checkpoint(&mut self) {
+        let sweep = self.sweep;
+        let digest = 0x00C0_FFEE_u64 ^ sweep.wrapping_mul(0x0100_0000_01b3);
+        self.push(
+            "ckpt_write",
+            vec![
+                field("sweep", sweep),
+                field("bytes", 64u64),
+                field("digest", hex_digest(digest)),
+            ],
+        );
+        self.checkpoints.push(SynthCheckpoint {
+            sweep,
+            digest,
+            sums: self.sums.clone(),
+        });
+    }
+
+    /// Retention removes the checkpoint written at `sweep`.
+    pub fn retain(&mut self, sweep: u64) {
+        self.push("ckpt_retain", vec![field("sweep", sweep)]);
+    }
+
+    /// A load pass skipped the checkpoint at `sweep` as unreadable.
+    pub fn skip(&mut self, sweep: u64) {
+        self.push("ckpt_skip", vec![field("sweep", sweep)]);
+    }
+
+    /// Crash, then load the most recent checkpoint and resume from it:
+    /// the sweep counter and all sums rewind to the checkpointed state.
+    pub fn crash_and_resume(&mut self) {
+        let ckpt = self
+            .checkpoints
+            .last()
+            .expect("no checkpoint to resume from");
+        let (sweep, digest, sums) = (ckpt.sweep, ckpt.digest, ckpt.sums.clone());
+        self.push(
+            "ckpt_load",
+            vec![
+                field("sweep", sweep),
+                field("digest", hex_digest(digest)),
+                field("skipped", 0u64),
+            ],
+        );
+        self.push(
+            "resume",
+            vec![field("sweep", sweep), field("shards", self.shards)],
+        );
+        self.sweep = sweep;
+        self.sums = sums;
+    }
+
+    /// Sweeps at which checkpoints were written, in write order.
+    pub fn checkpoint_sweeps(&self) -> Vec<u64> {
+        self.checkpoints.iter().map(|c| c.sweep).collect()
+    }
+
+    /// The digest written for the checkpoint at `sweep`, if any.
+    pub fn checkpoint_digest(&self, sweep: u64) -> Option<u64> {
+        self.checkpoints
+            .iter()
+            .find(|c| c.sweep == sweep)
+            .map(|c| c.digest)
+    }
+
+    /// The fabricated event stream so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.clone()
+    }
+}

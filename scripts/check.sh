@@ -90,6 +90,33 @@ if ! cmp -s "$SMOKE_DIR/topics_sparse.txt" "$SMOKE_DIR/topics_dense.txt"; then
 fi
 echo "sparse-backed binary model matches the dense JSON reference"
 
+echo "== replay-smoke (record → crash → resume → replay-check --fuzz) =="
+# A 4-shard checkpointed run is crashed mid-flight and resumed, each
+# process recording its own cold-trace/v1 segment; the chained segments
+# must replay clean, every seeded fault class must be rejected, and
+# every legal schedule permutation must pass (two full rounds: 9 fault
+# classes + 1 permutation each).
+rc=0
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model_traced.json" \
+  --communities 2 --topics 2 --iterations 24 --seed 11 --shards 4 \
+  --checkpoint-dir "$SMOKE_DIR/trace_ckpts" --checkpoint-every 4 \
+  --checkpoint-retain 2 --trace-out "$SMOKE_DIR/trace_crash.jsonl" \
+  --crash-after 12 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "expected simulated crash (exit 137), got $rc" >&2
+  exit 1
+fi
+cargo run -q --release -p cold-cli -- train \
+  --data "$SMOKE_DIR/world.json" --out "$SMOKE_DIR/model_traced.json" \
+  --communities 2 --topics 2 --iterations 24 --seed 11 --shards 4 \
+  --checkpoint-dir "$SMOKE_DIR/trace_ckpts" --checkpoint-every 4 \
+  --checkpoint-retain 2 --trace-out "$SMOKE_DIR/trace_resume.jsonl" \
+  --resume true >/dev/null
+cargo run -q --release -p cold-cli -- replay-check \
+  --trace "$SMOKE_DIR/trace_crash.jsonl,$SMOKE_DIR/trace_resume.jsonl" \
+  --fuzz 20
+
 echo "== bench_parallel --quick =="
 cargo run -q --release -p cold-bench --bin bench_parallel -- --quick
 

@@ -16,15 +16,48 @@ use std::ops::Range;
 /// The RNG handed to strategies.
 pub type TestRng = SmallRng;
 
-/// Derive the deterministic RNG for `(test, case)`.
-pub fn rng_for_case(test: &str, case: u64) -> TestRng {
-    // FNV-1a over the test path, mixed with the case index.
+/// Environment variable that pins a single replay seed: when set, each
+/// `proptest!` test runs exactly one case seeded from its value (decimal
+/// or `0x…` hex) instead of the full generated sequence. Failure messages
+/// print the seed in this form, so a failing case replays with
+/// `COLD_PROPTEST_SEED=<seed> cargo test <test-name>`.
+pub const SEED_ENV: &str = "COLD_PROPTEST_SEED";
+
+/// The deterministic seed for `(test, case)`: FNV-1a over the test path,
+/// mixed with the case index. Printed on failure for replay via
+/// [`SEED_ENV`].
+pub fn seed_for_case(test: &str, case: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in test.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The RNG for an explicit seed (replaying a recorded failure).
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derive the deterministic RNG for `(test, case)`.
+pub fn rng_for_case(test: &str, case: u64) -> TestRng {
+    rng_from_seed(seed_for_case(test, case))
+}
+
+/// Parse a seed override: decimal or `0x`-prefixed hex.
+pub fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// The [`SEED_ENV`] override, if set and parseable.
+pub fn env_seed() -> Option<u64> {
+    parse_seed(&std::env::var(SEED_ENV).ok()?)
 }
 
 /// Why a generated case did not pass.
@@ -271,6 +304,7 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let pinned = $crate::env_seed();
             let mut accepted: u32 = 0;
             let mut rejected: u32 = 0;
             let mut case: u64 = 0;
@@ -280,10 +314,13 @@ macro_rules! __proptest_fns {
                     rejected < config.cases.saturating_mul(16) + 256,
                     "prop_assume rejected too many cases ({rejected})"
                 );
-                let mut __rng = $crate::rng_for_case(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    case,
-                );
+                let seed = pinned.unwrap_or_else(|| {
+                    $crate::seed_for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    )
+                });
+                let mut __rng = $crate::rng_from_seed(seed);
                 $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 let result: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
@@ -291,8 +328,16 @@ macro_rules! __proptest_fns {
                     Ok(()) => accepted += 1,
                     Err($crate::TestCaseError::Reject) => rejected += 1,
                     Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("proptest case #{case} failed: {msg}");
+                        panic!(
+                            "proptest case #{case} failed \
+                             (replay with {}=0x{seed:x}): {msg}",
+                            $crate::SEED_ENV,
+                        );
                     }
+                }
+                if pinned.is_some() {
+                    // A pinned seed replays exactly one case.
+                    break;
                 }
             }
         }
@@ -352,4 +397,37 @@ macro_rules! prop_assume {
             return ::std::result::Result::Err($crate::TestCaseError::Reject);
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct_across_cases() {
+        let a = seed_for_case("crate::tests::prop", 1);
+        assert_eq!(a, seed_for_case("crate::tests::prop", 1));
+        assert_ne!(a, seed_for_case("crate::tests::prop", 2));
+        assert_ne!(a, seed_for_case("crate::tests::other", 1));
+    }
+
+    #[test]
+    fn rng_from_seed_matches_rng_for_case() {
+        use rand::Rng;
+        let seed = seed_for_case("crate::tests::prop", 7);
+        let mut direct = rng_from_seed(seed);
+        let mut derived = rng_for_case("crate::tests::prop", 7);
+        for _ in 0..8 {
+            assert_eq!(direct.gen::<u64>(), derived.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 0xff "), Some(255));
+        assert_eq!(parse_seed("0XDEADBEEF"), Some(0xdead_beef));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(""), None);
+    }
 }

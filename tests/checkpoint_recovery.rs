@@ -150,6 +150,52 @@ fn all_checkpoints_corrupt_is_a_hard_error() {
     std::fs::remove_dir_all(ckptr.dir()).ok();
 }
 
+/// `retain = 1` with a corrupt file at a *higher* sweep than anything the
+/// run writes: retention must not let the stale corrupt file push the
+/// only fresh checkpoint out of the window, and recovery must skip the
+/// corrupt file and land on the valid one.
+#[test]
+fn retain_one_keeps_fresh_checkpoint_despite_corrupt_newer_file() {
+    let data = world();
+    let kernel = SamplerKernel::Exact;
+    let dir = unique_dir("retain1");
+    let ckptr = Checkpointer::new(&dir)
+        .expect("create checkpoint dir")
+        .retain(1);
+    // A leftover from some imagined future run, unreadable: it sorts
+    // newest, so naive retention would evict every real checkpoint.
+    std::fs::write(dir.join("ckpt-00000099.json"), b"not a checkpoint").expect("plant corrupt");
+    let mut sampler = GibbsSampler::new(&data.corpus, &data.graph, config(&data, kernel), SEED);
+    sampler
+        .run_sweeps(23, Some(&ckptr))
+        .expect("train to crash point");
+    drop(sampler);
+    // The fresh sweep-16 checkpoint must have survived its own retention pass…
+    assert!(
+        dir.join("ckpt-00000016.json").exists(),
+        "retention evicted the checkpoint the run just wrote"
+    );
+    // …and recovery must fall back past the corrupt sweep-99 file onto it.
+    let recovered = ckptr.load_latest().expect("skip corrupt file and recover");
+    assert_eq!(recovered.sweeps_done, 16);
+    let resumed = resume_to_completion(&data, kernel, &ckptr);
+    assert_eq!(reference_model(&data, kernel), resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming from a directory that has no checkpoints at all must fail
+/// loudly with `NoCheckpoint`, not fabricate a fresh run.
+#[test]
+fn empty_directory_resume_is_a_hard_error() {
+    let dir = unique_dir("empty");
+    let ckptr = Checkpointer::new(&dir).expect("create checkpoint dir");
+    assert!(
+        matches!(ckptr.load_latest(), Err(CkptError::NoCheckpoint(_))),
+        "empty directory must be a hard resume error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// An intact crash directory (no corruption at all) resumes from the
 /// newest checkpoint and still reproduces the reference bit for bit.
 #[test]
