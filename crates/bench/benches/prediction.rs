@@ -13,7 +13,7 @@ use std::hint::black_box;
 fn prediction_latency(criterion: &mut Criterion) {
     let data = eval_world(0.5);
     let model = fit_cold(&data, 6, 6, 60, BASE_SEED + 9100);
-    let predictor = DiffusionPredictor::new(&model, 5);
+    let predictor = DiffusionPredictor::new(&model, 5).expect("top_comm >= 1");
     let ti = TopicInfluence::fit(
         &data.corpus,
         &data.cascades,
@@ -31,7 +31,13 @@ fn prediction_latency(criterion: &mut Criterion) {
 
     let mut group = criterion.benchmark_group("diffusion_query");
     group.bench_function("cold", |b| {
-        b.iter(|| black_box(predictor.diffusion_score(black_box(0), black_box(1), words)))
+        b.iter(|| {
+            black_box(
+                predictor
+                    .diffusion_score(black_box(0), black_box(1), words)
+                    .expect("valid ids"),
+            )
+        })
     });
     group.bench_function("ti", |b| {
         b.iter(|| black_box(ti.diffusion_score(black_box(0), black_box(1), words)))

@@ -26,9 +26,11 @@ fn main() {
 
     let (c, k) = (6usize, 6usize);
     let cold = fit_cold_best(&data, c, k, 200, BASE_SEED + 120, 3);
-    let predictor = DiffusionPredictor::new(&cold, 5);
+    let predictor = DiffusionPredictor::new(&cold, 5).expect("top_comm >= 1");
     let auc_cold = diffusion_auc_task(&data, &test_tuples, |p, consumer, words| {
-        predictor.diffusion_score(p, consumer, words)
+        predictor
+            .diffusion_score(p, consumer, words)
+            .expect("valid ids")
     });
 
     let mut ti_cfg = TiConfig::new(k);

@@ -33,12 +33,16 @@ fn main() {
     let iters = 20_000usize;
 
     let cold = fit_cold(&data, 6, 6, 150, BASE_SEED + 150);
-    let predictor = DiffusionPredictor::new(&cold, 5);
+    let predictor = DiffusionPredictor::new(&cold, 5).expect("top_comm >= 1");
     let mut qi = 0usize;
     let t_cold = mean_latency_micros(iters, || {
         let (p, f, d) = queries[qi % queries.len()];
         qi += 1;
-        std::hint::black_box(predictor.diffusion_score(p, f, &data.corpus.post(d).words));
+        std::hint::black_box(
+            predictor
+                .diffusion_score(p, f, &data.corpus.post(d).words)
+                .expect("valid ids"),
+        );
     });
 
     let ti = TopicInfluence::fit(

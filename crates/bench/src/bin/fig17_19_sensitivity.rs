@@ -47,9 +47,9 @@ fn main() {
             link[ci][ki] = link_auc_task(&data, &held_links, BASE_SEED + 171, |i, j| {
                 link_probability(&model, i, j)
             });
-            let predictor = DiffusionPredictor::new(&model, 5);
+            let predictor = DiffusionPredictor::new(&model, 5).expect("top_comm >= 1");
             diff[ci][ki] = diffusion_auc_task(&data, &test_tuples, |p, f, w| {
-                predictor.diffusion_score(p, f, w)
+                predictor.diffusion_score(p, f, w).expect("valid ids")
             });
             println!(
                 "C={c} K={k}: perplexity {:.1}, link AUC {:.3}, diffusion AUC {:.3}",

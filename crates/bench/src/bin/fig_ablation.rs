@@ -45,9 +45,9 @@ fn main() {
     let acc = timestamp_task(&data, &split.test, &tolerances, |a, w| {
         predict_time_slice(&full, a, w)
     })[0];
-    let predictor = DiffusionPredictor::new(&full, 5);
+    let predictor = DiffusionPredictor::new(&full, 5).expect("top_comm >= 1");
     let auc = diffusion_auc_task(&data, &test_tuples, |p, f, w| {
-        predictor.diffusion_score(p, f, w)
+        predictor.diffusion_score(p, f, w).expect("valid ids")
     });
     record("COLD (full)", acc, auc);
 
@@ -56,9 +56,9 @@ fn main() {
     let acc = timestamp_task(&data, &split.test, &tolerances, |a, w| {
         predict_time_slice(&nolink, a, w)
     })[0];
-    let predictor = DiffusionPredictor::new(&nolink, 5);
+    let predictor = DiffusionPredictor::new(&nolink, 5).expect("top_comm >= 1");
     let auc = diffusion_auc_task(&data, &test_tuples, |p, f, w| {
-        predictor.diffusion_score(p, f, w)
+        predictor.diffusion_score(p, f, w).expect("valid ids")
     });
     record("NoLink", acc, auc);
 
@@ -81,19 +81,19 @@ fn main() {
     let acc = timestamp_task(&data, &split.test, &tolerances, |a, w| {
         predict_time_slice(&shared, a, w)
     })[0];
-    let predictor = DiffusionPredictor::new(&shared, 5);
+    let predictor = DiffusionPredictor::new(&shared, 5).expect("top_comm >= 1");
     let auc = diffusion_auc_task(&data, &test_tuples, |p, f, w| {
-        predictor.diffusion_score(p, f, w)
+        predictor.diffusion_score(p, f, w).expect("valid ids")
     });
     record("SharedTemporal (ψ_k)", acc, auc);
 
     // Single-membership prediction (TopComm = 1) on the full model.
-    let single = DiffusionPredictor::new(&full, 1);
+    let single = DiffusionPredictor::new(&full, 1).expect("top_comm >= 1");
     let acc = timestamp_task(&data, &split.test, &tolerances, |a, w| {
         predict_time_slice(&full, a, w)
     })[0];
     let auc = diffusion_auc_task(&data, &test_tuples, |p, f, w| {
-        single.diffusion_score(p, f, w)
+        single.diffusion_score(p, f, w).expect("valid ids")
     });
     record("TopComm = 1", acc, auc);
 

@@ -30,6 +30,10 @@ USAGE:
                  --publisher I --consumer J --post D [--metrics-out <m.jsonl>]
   cold influence --model <model.json> [--topic K] [--simulations N] [--seed S]
   cold eval      --model <model.json> --data <world.json> [--seed S]
+  cold serve     --model <model.cold> [--addr HOST:PORT | --port P]
+                 [--workers N] [--top-comm N] [--rank-depth N]
+                 [--data <world.json>] [--batch-max N] [--batch-wait-us U]
+                 [--max-body BYTES]
   cold metrics-check --file <metrics.jsonl>
   cold ckpt-inspect  --dir <checkpoint-dir>
   cold replay-check  --trace <t1.jsonl[,t2.jsonl,…]> [--fuzz N] [--seed S]
@@ -461,7 +465,7 @@ pub fn communities(args: &Args) -> CliResult {
         let members = hard.iter().filter(|&&x| x == c as u32).count();
         let theta = model.community_topics(c);
         let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         let interests: Vec<String> = ranked
             .iter()
             .take(3)
@@ -484,7 +488,10 @@ pub fn predict(args: &Args) -> CliResult {
     let consumer: u32 = args.get_required("consumer")?;
     let post_id: u32 = args.get_required("post")?;
     if post_id as usize >= data.corpus.num_posts() {
-        return Err(format!("post {post_id} out of range"));
+        return Err(format!(
+            "post {post_id} out of range (dataset has {} posts)",
+            data.corpus.num_posts()
+        ));
     }
     let metrics_out = args.optional("metrics-out");
     let metrics = if metrics_out.is_some() {
@@ -496,14 +503,19 @@ pub fn predict(args: &Args) -> CliResult {
         &model,
         cold_core::predict::DEFAULT_TOP_COMM,
         metrics.clone(),
-    );
+    )
+    .map_err(|e| format!("cannot build predictor: {e}"))?;
     let words = &data.corpus.post(post_id).words;
-    let score = predictor.diffusion_score(publisher, consumer, words);
-    let topics = predictor.post_topics(publisher, words);
+    let score = predictor
+        .diffusion_score(publisher, consumer, words)
+        .map_err(|e| format!("cannot score {publisher} -> {consumer}: {e}"))?;
+    let topics = predictor
+        .post_topics(publisher, words)
+        .map_err(|e| format!("cannot infer topics for post {post_id}: {e}"))?;
     let best = topics
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(k, p)| (k, *p))
         .unwrap_or((0, 0.0));
     println!(
@@ -581,5 +593,55 @@ pub fn eval(args: &Args) -> CliResult {
         let auc = cold_eval::ranking_auc(&scored).ok_or("AUC undefined")?;
         println!("link AUC (in-sample positives vs sampled negatives): {auc:.3}");
     }
+    Ok(())
+}
+
+/// `cold serve` — long-running HTTP prediction API over a trained model.
+///
+/// Loads the model once (zero-copy for `cold-model/v1` binaries), builds
+/// the predictor's `ζ` tensor and per-topic influencer rankings up front,
+/// then blocks answering requests until `POST /shutdown`. With `--data`
+/// the dataset's vocabulary is attached so `/predict` accepts word
+/// strings, not just ids. Startup failures (missing model, occupied
+/// port) exit nonzero with the underlying error in context.
+pub fn serve(args: &Args) -> CliResult {
+    let model_path = args.required("model")?;
+    let addr = match args.optional("addr") {
+        Some(addr) => addr.to_owned(),
+        None => format!("127.0.0.1:{}", args.get_or("port", 8391u16)?),
+    };
+    let top_comm = args.get_or("top-comm", cold_core::predict::DEFAULT_TOP_COMM)?;
+    let rank_depth = args.get_or("rank-depth", 100usize)?;
+    let vocab = match args.optional("data") {
+        Some(data_path) => {
+            let data = load_dataset(data_path)?;
+            let v = data.corpus.vocab();
+            Some(
+                (0..v.len() as u32)
+                    .map(|id| (v.word(id).to_owned(), id))
+                    .collect(),
+            )
+        }
+        None => None,
+    };
+    let config = cold_serve::ServeConfig {
+        addr,
+        workers: args.get_or("workers", 8usize)?,
+        batch_max: args.get_or("batch-max", 32usize)?,
+        batch_wait: std::time::Duration::from_micros(args.get_or("batch-wait-us", 500u64)?),
+        max_body: args.get_or("max-body", 1usize << 20)?,
+    };
+
+    let app = cold_serve::App::load(model_path, top_comm, rank_depth, vocab, Metrics::enabled())
+        .map_err(|e| format!("cannot load {model_path}: {e}"))?;
+    let server = cold_serve::Server::start(config, app).map_err(|e| e.to_string())?;
+    println!(
+        "cold-serve listening on {} ({} workers); stop with: curl -X POST http://{}/shutdown",
+        server.addr(),
+        args.get_or("workers", 8usize)?,
+        server.addr()
+    );
+    server.join();
+    println!("cold-serve: drained and stopped");
     Ok(())
 }

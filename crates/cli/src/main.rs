@@ -8,6 +8,7 @@
 //! cold predict  --model model.json --data world.json --publisher 0 --consumer 1 --post 0
 //! cold influence --model model.json --topic 0
 //! cold eval     --model model.json --data world.json
+//! cold serve    --model model.cold --port 8391
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -39,6 +40,7 @@ fn main() {
         "predict" => commands::predict(&args),
         "influence" => commands::influence(&args),
         "eval" => commands::eval(&args),
+        "serve" => commands::serve(&args),
         "metrics-check" => commands::metrics_check(&args),
         "ckpt-inspect" => commands::ckpt_inspect(&args),
         "replay-check" => commands::replay_check(&args),

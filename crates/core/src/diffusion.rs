@@ -67,7 +67,7 @@ impl CommunityDiffusionGraph {
             .map(|&c| {
                 let theta = model.community_topics(c);
                 let mut order: Vec<usize> = (0..theta.len()).collect();
-                order.sort_by(|&a, &b| theta[b].partial_cmp(&theta[a]).expect("no NaN"));
+                order.sort_by(|&a, &b| theta[b].total_cmp(&theta[a]));
                 DiffusionNode {
                     community: c,
                     interest: theta[topic],
@@ -96,7 +96,7 @@ impl CommunityDiffusionGraph {
                 }
             }
         }
-        edges.sort_by(|a, b| b.strength.partial_cmp(&a.strength).expect("no NaN"));
+        edges.sort_by(|a, b| b.strength.total_cmp(&a.strength));
         Self {
             topic,
             nodes,
@@ -113,7 +113,7 @@ impl CommunityDiffusionGraph {
         }
         totals
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
     }
 

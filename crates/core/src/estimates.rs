@@ -10,6 +10,106 @@ use crate::state::CountState;
 use cold_text::Vocabulary;
 use serde::{Deserialize, Serialize};
 
+/// Read-only access to a fitted model's probability tables.
+///
+/// Two storage strategies implement it: the owned [`ColdModel`] (five
+/// `Vec<f64>` tables, the training-side representation) and the zero-copy
+/// [`crate::view::ModelView`] (in-place reads over one aligned artifact
+/// buffer, the serving-side representation). Prediction code
+/// ([`crate::predict`]) is generic over this trait, so the same Eq. 5–7
+/// implementation runs against either backing.
+///
+/// Implementations must uphold the [`ColdModel`] layout contract: `π` is
+/// `U×C` row-major, `θ` is `C×K`, `η` is `C×C`, `φ` is `K×V`, `ψ` is
+/// `C×K×T`. Accessors may assume in-range indices (callers validate at
+/// the API boundary — see [`crate::predict::PredictError`]).
+pub trait ModelRead {
+    /// Model dimensions.
+    fn dims(&self) -> Dims;
+    /// Number of averaged Gibbs samples.
+    fn num_samples(&self) -> usize;
+    /// `π_i` — user `i`'s distribution over communities.
+    fn user_memberships(&self, user: u32) -> &[f64];
+    /// `θ_c` — community `c`'s interest over topics.
+    fn community_topics(&self, community: usize) -> &[f64];
+    /// `η_cc'` — general influence strength of community `c` on `c'`.
+    fn eta(&self, c: usize, c2: usize) -> f64;
+    /// `φ_k` — topic `k`'s distribution over words.
+    fn topic_words(&self, topic: usize) -> &[f64];
+    /// `ψ_kc` — topic `k`'s temporal distribution within community `c`.
+    fn temporal(&self, topic: usize, community: usize) -> &[f64];
+
+    /// `ζ_kcc' = θ_ck · θ_c'k · η_cc'` — Eq. (4), the topic-sensitive
+    /// community-level influence strength.
+    fn zeta(&self, topic: usize, c: usize, c2: usize) -> f64 {
+        self.community_topics(c)[topic] * self.community_topics(c2)[topic] * self.eta(c, c2)
+    }
+
+    /// `TopComm(i)` — the user's `n` strongest communities by `π_i`
+    /// (paper §5.2 fixes `n = 5`). Total order on the weights, so a
+    /// model carrying NaN cells (possible only through a hand-crafted
+    /// binary artifact) still ranks deterministically instead of
+    /// panicking.
+    fn top_communities(&self, user: u32, n: usize) -> Vec<usize> {
+        let row = self.user_memberships(user);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+        idx.truncate(n);
+        idx
+    }
+}
+
+/// Borrowed and shared handles read straight through, so prediction code
+/// can own an `Arc<ModelView>` (a server) or borrow a `&ColdModel` (an
+/// experiment) with the same generic bounds.
+impl<M: ModelRead + ?Sized> ModelRead for &M {
+    fn dims(&self) -> Dims {
+        (**self).dims()
+    }
+    fn num_samples(&self) -> usize {
+        (**self).num_samples()
+    }
+    fn user_memberships(&self, user: u32) -> &[f64] {
+        (**self).user_memberships(user)
+    }
+    fn community_topics(&self, community: usize) -> &[f64] {
+        (**self).community_topics(community)
+    }
+    fn eta(&self, c: usize, c2: usize) -> f64 {
+        (**self).eta(c, c2)
+    }
+    fn topic_words(&self, topic: usize) -> &[f64] {
+        (**self).topic_words(topic)
+    }
+    fn temporal(&self, topic: usize, community: usize) -> &[f64] {
+        (**self).temporal(topic, community)
+    }
+}
+
+impl<M: ModelRead + ?Sized> ModelRead for std::sync::Arc<M> {
+    fn dims(&self) -> Dims {
+        (**self).dims()
+    }
+    fn num_samples(&self) -> usize {
+        (**self).num_samples()
+    }
+    fn user_memberships(&self, user: u32) -> &[f64] {
+        (**self).user_memberships(user)
+    }
+    fn community_topics(&self, community: usize) -> &[f64] {
+        (**self).community_topics(community)
+    }
+    fn eta(&self, c: usize, c2: usize) -> f64 {
+        (**self).eta(c, c2)
+    }
+    fn topic_words(&self, topic: usize) -> &[f64] {
+        (**self).topic_words(topic)
+    }
+    fn temporal(&self, topic: usize, community: usize) -> &[f64] {
+        (**self).temporal(topic, community)
+    }
+}
+
 /// A fitted COLD model: averaged posterior point estimates of
 /// `π, θ, η, φ, ψ` (Table 1), all row-major flat matrices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,6 +144,40 @@ impl ColdModel {
     pub fn user_memberships(&self, user: u32) -> &[f64] {
         let c = self.dims.num_communities;
         &self.pi[user as usize * c..(user as usize + 1) * c]
+    }
+
+    /// A copy of this model scaled to `num_users` by cycling the fitted
+    /// `π` rows; `θ`, `η`, `φ`, `ψ` carry over unchanged.
+    ///
+    /// This is a *load-scaling* harness, not training at scale: the
+    /// community/topic structure stays exactly what the fit produced,
+    /// while the user axis — which is what serving-path memory, `TopComm`
+    /// caches and influencer rankings scale with — grows to deployment
+    /// size. `bench_serve` uses it to drive a million-user model through
+    /// the HTTP API without a million-user Gibbs run.
+    ///
+    /// # Panics
+    /// Panics if the model has no users to tile from.
+    pub fn tile_users(&self, num_users: u32) -> ColdModel {
+        assert!(self.dims.num_users > 0, "cannot tile an empty model");
+        let c = self.dims.num_communities;
+        let mut pi = Vec::with_capacity(num_users as usize * c);
+        for i in 0..num_users {
+            let src = (i % self.dims.num_users) as usize;
+            pi.extend_from_slice(&self.pi[src * c..(src + 1) * c]);
+        }
+        ColdModel {
+            dims: Dims {
+                num_users,
+                ..self.dims
+            },
+            pi,
+            theta: self.theta.clone(),
+            eta: self.eta.clone(),
+            phi: self.phi.clone(),
+            psi: self.psi.clone(),
+            samples: self.samples,
+        }
     }
 
     /// `θ_c` — community `c`'s interest over topics.
@@ -87,7 +221,7 @@ impl ColdModel {
     ) -> Vec<(&'v str, f64)> {
         let row = self.topic_words(topic);
         let mut idx: Vec<usize> = (0..row.len()).collect();
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("phi has no NaN"));
+        idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
         idx.truncate(n);
         idx.into_iter()
             .map(|v| (vocab.word(v as u32), row[v]))
@@ -97,11 +231,7 @@ impl ColdModel {
     /// `TopComm(i)` — the user's `n` strongest communities by `π_i`
     /// (paper §5.2 fixes `n = 5`).
     pub fn top_communities(&self, user: u32, n: usize) -> Vec<usize> {
-        let row = self.user_memberships(user);
-        let mut idx: Vec<usize> = (0..row.len()).collect();
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("pi has no NaN"));
-        idx.truncate(n);
-        idx
+        ModelRead::top_communities(self, user, n)
     }
 
     /// Communities ranked by interest in `topic` (for the §5.3 analyses).
@@ -109,7 +239,7 @@ impl ColdModel {
         let mut out: Vec<(usize, f64)> = (0..self.dims.num_communities)
             .map(|c| (c, self.community_topics(c)[topic]))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("theta has no NaN"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 
@@ -121,11 +251,35 @@ impl ColdModel {
                 let row = self.user_memberships(i);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("pi has no NaN"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(c, _)| c as u32)
                     .unwrap_or(0)
             })
             .collect()
+    }
+}
+
+impl ModelRead for ColdModel {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+    fn num_samples(&self) -> usize {
+        self.samples
+    }
+    fn user_memberships(&self, user: u32) -> &[f64] {
+        ColdModel::user_memberships(self, user)
+    }
+    fn community_topics(&self, community: usize) -> &[f64] {
+        ColdModel::community_topics(self, community)
+    }
+    fn eta(&self, c: usize, c2: usize) -> f64 {
+        ColdModel::eta(self, c, c2)
+    }
+    fn topic_words(&self, topic: usize) -> &[f64] {
+        ColdModel::topic_words(self, topic)
+    }
+    fn temporal(&self, topic: usize, community: usize) -> &[f64] {
+        ColdModel::temporal(self, topic, community)
     }
 }
 

@@ -78,15 +78,17 @@ pub mod predict;
 pub mod sampler;
 pub mod state;
 pub mod storage;
+pub mod view;
 
 pub use checkpoint::{Checkpoint, CheckpointKind, Checkpointer, CkptError, CKPT_FORMAT};
 pub use cold_obs::Metrics;
 pub use conditionals::KernelCounters;
 pub use diffusion::{CommunityDiffusionGraph, DiffusionEdge};
-pub use estimates::ColdModel;
+pub use estimates::{ColdModel, ModelRead};
 pub use online::OnlineCold;
 pub use params::{ColdConfig, ColdConfigBuilder, Dims, Hyperparams, MetricsHandle, SamplerKernel};
-pub use persist::ModelFormat;
-pub use predict::DiffusionPredictor;
+pub use persist::{ModelFormat, PersistError};
+pub use predict::{DiffusionPredictor, PredictError};
 pub use sampler::GibbsSampler;
 pub use storage::{CounterStorage, CounterStore};
+pub use view::{MappedModel, ModelView};

@@ -154,7 +154,7 @@ impl TimeLagAnalysis {
         curve
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("curve is finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(t, _)| t)
             .unwrap_or(0)
     }

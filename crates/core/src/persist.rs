@@ -126,7 +126,97 @@ fn fnv1a64_words(bytes: &[u8]) -> u64 {
 const MODEL_VERSION: u32 = 1;
 
 /// Header bytes: magic, version `u32`, reserved `u32`, six `u64` dims.
-const MODEL_HEADER_LEN: usize = 8 + 4 + 4 + 6 * 8;
+pub(crate) const MODEL_HEADER_LEN: usize = 8 + 4 + 4 + 6 * 8;
+
+/// Verified shape of a `cold-model/v1` artifact: where each probability
+/// table lives, in f64 cells from the start of the payload.
+///
+/// Produced only by [`verify_artifact`], so holding one means the bytes
+/// passed magic, version, checksum and section-length validation — the
+/// zero-copy [`crate::view::MappedModel`] relies on that to hand out
+/// slices without per-read checks.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArtifactLayout {
+    /// Model dimensions from the header.
+    pub dims: Dims,
+    /// Number of averaged Gibbs samples from the header.
+    pub samples: usize,
+    /// Section lengths in f64 cells, in `π, θ, η, φ, ψ` order.
+    pub section_lens: [usize; 5],
+}
+
+impl ArtifactLayout {
+    /// Start of section `s` in f64 cells from the payload start.
+    pub fn section_start(&self, s: usize) -> usize {
+        self.section_lens[..s].iter().sum()
+    }
+}
+
+/// Validate a `cold-model/v1` byte string end to end — truncation, magic,
+/// version, checksum footer, then header-implied section lengths — and
+/// return the layout. Shared by the parsing loader
+/// ([`ColdModel::from_binary`]) and the zero-copy view, so the two paths
+/// can never drift in what they accept.
+pub(crate) fn verify_artifact(bytes: &[u8]) -> Result<ArtifactLayout, PersistError> {
+    let bad = |msg: String| PersistError::Format(msg);
+    if bytes.len() < MODEL_HEADER_LEN + 8 {
+        return Err(bad(format!(
+            "cold-model/v1 artifact truncated: {} bytes is below the \
+             {}-byte header + footer minimum",
+            bytes.len(),
+            MODEL_HEADER_LEN + 8
+        )));
+    }
+    if bytes[..8] != MODEL_MAGIC {
+        return Err(bad("bad magic: not a cold-model/v1 artifact".into()));
+    }
+    let u32_at =
+        |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
+    let u64_at =
+        |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte slice"));
+    let version = u32_at(8);
+    if version != MODEL_VERSION {
+        return Err(bad(format!(
+            "unsupported cold-model version {version} (expected {MODEL_VERSION})"
+        )));
+    }
+    // Checksum before trusting any length derived from the header.
+    let body = &bytes[..bytes.len() - 8];
+    let expected = u64_at(bytes.len() - 8);
+    let actual = fnv1a64_words(body);
+    if actual != expected {
+        return Err(bad(format!(
+            "checksum mismatch: footer says {expected:#018x}, body hashes to {actual:#018x}"
+        )));
+    }
+    let dim = |i: usize| u64_at(16 + 8 * i) as usize;
+    let (u, c, k, t, v) = (dim(0), dim(1), dim(2), dim(3), dim(4));
+    let samples = dim(5);
+    if u > u32::MAX as usize {
+        return Err(bad(format!("user count {u} exceeds the u32 id space")));
+    }
+    let dims = Dims {
+        num_users: u as u32,
+        num_communities: c,
+        num_topics: k,
+        num_time_slices: t,
+        vocab_size: v,
+    };
+    let section_lens = [u * c, c * k, c * c, k * v, c * k * t];
+    let payload = section_lens.iter().sum::<usize>() * 8;
+    if body.len() != MODEL_HEADER_LEN + payload {
+        return Err(bad(format!(
+            "section length mismatch: dims imply {} payload bytes, file carries {}",
+            payload,
+            body.len() - MODEL_HEADER_LEN
+        )));
+    }
+    Ok(ArtifactLayout {
+        dims,
+        samples,
+        section_lens,
+    })
+}
 
 impl ColdModel {
     /// Serialize to a JSON string.
@@ -176,56 +266,7 @@ impl ColdModel {
     /// section lengths and the checksum footer. Bit-exact: every `f64`
     /// comes back from `from_le_bytes` untouched.
     pub fn from_binary(bytes: &[u8]) -> Result<Self, PersistError> {
-        let bad = |msg: String| PersistError::Format(msg);
-        if bytes.len() < MODEL_HEADER_LEN + 8 {
-            return Err(bad(format!(
-                "cold-model/v1 artifact truncated: {} bytes is below the \
-                 {}-byte header + footer minimum",
-                bytes.len(),
-                MODEL_HEADER_LEN + 8
-            )));
-        }
-        if bytes[..8] != MODEL_MAGIC {
-            return Err(bad("bad magic: not a cold-model/v1 artifact".into()));
-        }
-        let u32_at =
-            |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
-        let u64_at =
-            |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte slice"));
-        let version = u32_at(8);
-        if version != MODEL_VERSION {
-            return Err(bad(format!(
-                "unsupported cold-model version {version} (expected {MODEL_VERSION})"
-            )));
-        }
-        // Checksum before trusting any length derived from the header.
-        let body = &bytes[..bytes.len() - 8];
-        let expected = u64_at(bytes.len() - 8);
-        let actual = fnv1a64_words(body);
-        if actual != expected {
-            return Err(bad(format!(
-                "checksum mismatch: footer says {expected:#018x}, body hashes to {actual:#018x}"
-            )));
-        }
-        let dim = |i: usize| u64_at(16 + 8 * i) as usize;
-        let (u, c, k, t, v) = (dim(0), dim(1), dim(2), dim(3), dim(4));
-        let samples = dim(5);
-        let dims = Dims {
-            num_users: u as u32,
-            num_communities: c,
-            num_topics: k,
-            num_time_slices: t,
-            vocab_size: v,
-        };
-        let section_lens = [u * c, c * k, c * c, k * v, c * k * t];
-        let payload = section_lens.iter().sum::<usize>() * 8;
-        if body.len() != MODEL_HEADER_LEN + payload {
-            return Err(bad(format!(
-                "section length mismatch: dims imply {} payload bytes, file carries {}",
-                payload,
-                body.len() - MODEL_HEADER_LEN
-            )));
-        }
+        let layout = verify_artifact(bytes)?;
         let mut off = MODEL_HEADER_LEN;
         let mut section = |len: usize| -> Vec<f64> {
             let out = bytes[off..off + 8 * len]
@@ -236,13 +277,13 @@ impl ColdModel {
             out
         };
         Ok(ColdModel {
-            dims,
-            pi: section(section_lens[0]),
-            theta: section(section_lens[1]),
-            eta: section(section_lens[2]),
-            phi: section(section_lens[3]),
-            psi: section(section_lens[4]),
-            samples,
+            dims: layout.dims,
+            pi: section(layout.section_lens[0]),
+            theta: section(layout.section_lens[1]),
+            eta: section(layout.section_lens[2]),
+            phi: section(layout.section_lens[3]),
+            psi: section(layout.section_lens[4]),
+            samples: layout.samples,
         })
     }
 

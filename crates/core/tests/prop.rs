@@ -193,10 +193,10 @@ proptest! {
     ) {
         let config = ColdConfig::builder(3, 2).iterations(6).build(&corpus, &graph);
         let model = GibbsSampler::new(&corpus, &graph, config, seed).run();
-        let pred = cold_core::DiffusionPredictor::new(&model, 2);
-        let topics = pred.post_topics(0, &words);
+        let pred = cold_core::DiffusionPredictor::new(&model, 2).expect("top_comm >= 1");
+        let topics = pred.post_topics(0, &words).expect("valid ids");
         prop_assert!((topics.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        let score = pred.diffusion_score(0, 1, &words);
+        let score = pred.diffusion_score(0, 1, &words).expect("valid ids");
         prop_assert!(score.is_finite() && score >= 0.0);
         let ll = cold_core::predict::post_log_likelihood(&model, 0, &words);
         prop_assert!(ll.is_finite() && ll <= 1e-9);

@@ -3,9 +3,9 @@
 //! Recording is O(1): a value lands in one of 64 power-of-two buckets
 //! spanning roughly a nanosecond to a couple of hundred years (in
 //! seconds), while count, sum, min and max are tracked exactly. Quantiles
-//! are read back from the bucket boundaries, so p50/p95 carry at most one
-//! octave of error — plenty for "which phase got slower", which is what
-//! the sinks report — and min/max/mean stay exact.
+//! are read back from the bucket boundaries, so p50/p95/p99 carry at most
+//! one octave of error — plenty for "which phase got slower", which is
+//! what the sinks report — and min/max/mean stay exact.
 
 /// Number of buckets; bucket `i` covers `[2^(i-30), 2^(i-29))` seconds.
 const BUCKETS: usize = 64;
@@ -92,12 +92,13 @@ impl Histogram {
             max: self.max,
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
 
 /// Snapshot form of a [`Histogram`]: exact count/sum/min/max, bucketed
-/// p50/p95.
+/// p50/p95/p99.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistogramSummary {
     /// Observations recorded (exact).
@@ -112,6 +113,9 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// 95th percentile, within one power-of-two bucket.
     pub p95: f64,
+    /// 99th percentile, within one power-of-two bucket — the serving-tail
+    /// number `cold-serve` reports per endpoint.
+    pub p99: f64,
 }
 
 impl HistogramSummary {
@@ -155,18 +159,22 @@ mod tests {
     #[test]
     fn quantiles_land_within_one_octave() {
         let mut h = Histogram::default();
-        // 99 fast observations around 1 ms, one slow outlier at 1 s.
-        for _ in 0..99 {
+        // 97 fast observations around 1 ms, a 3% slow tail at 1 s.
+        for _ in 0..97 {
             h.record(1.0e-3);
         }
-        h.record(1.0);
+        for _ in 0..3 {
+            h.record(1.0);
+        }
         let s = h.summary();
         assert!(
             s.p50 >= 0.5e-3 && s.p50 <= 2.0e-3,
             "p50 off by more than an octave: {}",
             s.p50
         );
-        assert!(s.p95 < 0.5, "p95 pulled up by a single outlier: {}", s.p95);
+        assert!(s.p95 < 0.5, "p95 pulled up by a 3% tail: {}", s.p95);
+        // A 3% tail is exactly what p99 exists to surface.
+        assert!(s.p99 >= 0.5, "p99 must see the slow tail: {}", s.p99);
         assert_eq!(s.max, 1.0);
     }
 
@@ -177,7 +185,7 @@ mod tests {
             h.record(f64::from(i) * 1e-4);
         }
         let s = h.summary();
-        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
     #[test]

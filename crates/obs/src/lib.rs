@@ -24,7 +24,7 @@
 //! * **counters** — monotonically increasing `u64` ([`Metrics::counter_add`]);
 //! * **gauges** — last-write-wins `f64` ([`Metrics::gauge_set`]);
 //! * **histograms** — log-bucketed distributions with exact
-//!   count/sum/min/max and approximate p50/p95 ([`Metrics::observe`],
+//!   count/sum/min/max and approximate p50/p95/p99 ([`Metrics::observe`],
 //!   [`histogram::Histogram`]).
 //!
 //! [`Metrics::span`] returns an RAII guard that times a region into a

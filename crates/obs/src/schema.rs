@@ -56,8 +56,9 @@ impl Scalar {
 /// * the first line is a `meta` record carrying the expected schema tag;
 /// * `counter` lines carry a non-empty name and a non-negative integer;
 /// * `gauge` lines carry a finite number;
-/// * `histogram` lines carry finite `count`/`sum`/`min`/`max`/`p50`/`p95`
-///   with an integral, non-negative count;
+/// * `histogram` lines carry finite
+///   `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99` with an integral,
+///   non-negative count;
 /// * the meta line's kind tallies match the body.
 pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
     let mut stats = JsonlStats::default();
@@ -113,7 +114,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
             }
             "histogram" => {
                 require_count(&obj, "count").map_err(|e| format!("line {lineno}: {e}"))?;
-                for field in ["sum", "min", "max", "p50", "p95"] {
+                for field in ["sum", "min", "max", "p50", "p95", "p99"] {
                     require_finite(&obj, field).map_err(|e| format!("line {lineno}: {e}"))?;
                 }
                 stats.histograms += 1;
@@ -338,7 +339,7 @@ mod tests {
         "{\"type\":\"counter\",\"name\":\"kernel.exact.comm_draws\",\"value\":120}\n",
         "{\"type\":\"counter\",\"name\":\"obs.spans_opened\",\"value\":4}\n",
         "{\"type\":\"gauge\",\"name\":\"train.wall_seconds\",\"value\":0.25}\n",
-        "{\"type\":\"histogram\",\"name\":\"span.sweep\",\"count\":4,\"sum\":0.2,\"min\":0.04,\"max\":0.06,\"p50\":0.05,\"p95\":0.06}\n",
+        "{\"type\":\"histogram\",\"name\":\"span.sweep\",\"count\":4,\"sum\":0.2,\"min\":0.04,\"max\":0.06,\"p50\":0.05,\"p95\":0.06,\"p99\":0.06}\n",
     );
 
     #[test]

@@ -79,14 +79,15 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}\n",
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}\n",
                 json_escape(name),
                 h.count,
                 json_num(h.sum),
                 json_num(h.min),
                 json_num(h.max),
                 json_num(h.p50),
-                json_num(h.p95)
+                json_num(h.p95),
+                json_num(h.p99)
             ));
         }
         out
@@ -124,13 +125,13 @@ impl MetricsSnapshot {
         }
         if !self.histograms.is_empty() {
             out.push_str(&format!(
-                "{:<name_width$}  {:>8} {:>12} {:>12} {:>12} {:>12}\n",
-                "histogram (s)", "count", "sum", "p50", "p95", "max"
+                "{:<name_width$}  {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram (s)", "count", "sum", "p50", "p95", "p99", "max"
             ));
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "{name:<name_width$}  {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
-                    h.count, h.sum, h.p50, h.p95, h.max
+                    "{name:<name_width$}  {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+                    h.count, h.sum, h.p50, h.p95, h.p99, h.max
                 ));
             }
         }

@@ -1,0 +1,128 @@
+//! A tiny blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! Exists so the integration tests and the `bench_serve` load generator
+//! can exercise the server without external tooling. Supports exactly
+//! what [`crate::server`] emits: fixed-length responses on a persistent
+//! connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body as text.
+    pub body: String,
+    /// Whether the server kept the connection open.
+    pub keep_alive: bool,
+}
+
+/// One persistent connection to a `cold-serve` instance.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connect. The read timeout bounds how long a request may take
+    /// end-to-end.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, json: &str) -> std::io::Result<Response> {
+        self.request("POST", path, Some(json))
+    }
+
+    /// Issue one request on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        let body = body.unwrap_or("");
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nhost: cold-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad content-length: {value:?}"),
+                    )
+                })?;
+            } else if name == "connection" {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "body is not UTF-8")
+        })?;
+        Ok(Response {
+            status,
+            body,
+            keep_alive,
+        })
+    }
+}

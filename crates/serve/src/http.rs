@@ -1,0 +1,364 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! Just enough of RFC 9112 for a JSON API: request-line + headers +
+//! `Content-Length` bodies on the way in, fixed-length responses on the
+//! way out. No chunked transfer, no TLS, no pipelining (requests on a
+//! connection are handled strictly in order, which is what every
+//! mainstream client does anyway). Keep-alive follows the HTTP/1.1
+//! default (persistent unless `Connection: close`; HTTP/1.0 is the
+//! reverse).
+//!
+//! Reads poll with a short socket timeout so a worker blocked on an idle
+//! keep-alive connection still notices server shutdown within one poll
+//! interval — the price of doing graceful shutdown with blocking sockets
+//! and no `select(2)`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Largest accepted request line or single header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Largest accepted header count.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path component of the target, e.g. `/communities/3`.
+    pub path: String,
+    /// Lowercased header name/value pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should persist after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request off a connection stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Peer closed (or server shutdown interrupted an idle wait) —
+    /// not an error, just the end of the connection.
+    Closed,
+    /// The bytes were not a parseable HTTP request → respond 400.
+    BadRequest(String),
+    /// Declared body length exceeds the configured cap → respond 413.
+    BodyTooLarge {
+        /// What the request declared.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Transport failure mid-request.
+    Io(std::io::Error),
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, polling through socket
+/// timeouts until `shutdown` is raised. Partial bytes accumulated before
+/// a timeout are kept (both in `line` and in the `BufReader`), so slow
+/// writers are handled correctly.
+fn read_line(
+    reader: &mut BufReader<&TcpStream>,
+    line: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> Result<(), ReadError> {
+    loop {
+        match reader.read_until(b'\n', line) {
+            Ok(0) => {
+                return Err(if line.is_empty() {
+                    ReadError::Closed
+                } else {
+                    ReadError::BadRequest("connection closed mid-line".into())
+                });
+            }
+            Ok(_) => {
+                // Strip the terminator.
+                if line.last() == Some(&b'\n') {
+                    line.pop();
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                }
+                return Ok(());
+            }
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return Err(ReadError::Closed);
+                }
+                if line.len() > MAX_LINE {
+                    return Err(ReadError::BadRequest(format!(
+                        "header line exceeds {MAX_LINE} bytes"
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// `read_exact` with the same timeout-polling contract as [`read_line`].
+fn read_full(
+    reader: &mut BufReader<&TcpStream>,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> Result<(), ReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ReadError::BadRequest("connection closed mid-body".into())),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return Err(ReadError::Closed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read and parse one request. `Err(ReadError::Closed)` is the normal end
+/// of a keep-alive connection.
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    max_body: usize,
+    shutdown: &AtomicBool,
+) -> Result<Request, ReadError> {
+    let mut line = Vec::new();
+    read_line(reader, &mut line, shutdown)?;
+    if line.len() > MAX_LINE {
+        return Err(ReadError::BadRequest(format!(
+            "request line exceeds {MAX_LINE} bytes"
+        )));
+    }
+    let text = String::from_utf8(line)
+        .map_err(|_| ReadError::BadRequest("request line is not UTF-8".into()))?;
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ReadError::BadRequest(format!(
+                "malformed request line: {text:?}"
+            )))
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(ReadError::BadRequest(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = Vec::new();
+        read_line(reader, &mut line, shutdown)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let text = String::from_utf8(line)
+            .map_err(|_| ReadError::BadRequest("header line is not UTF-8".into()))?;
+        let (name, value) = text
+            .split_once(':')
+            .ok_or_else(|| ReadError::BadRequest(format!("malformed header line: {text:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::BadRequest(format!("bad content-length: {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    read_full(reader, &mut body, shutdown)?;
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+
+    // Split the query string off; endpoints here don't use one.
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reason phrase for the handful of statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete fixed-length response.
+pub fn write_response(
+    stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    out.extend_from_slice(body);
+    let mut w = stream;
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicBool;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .unwrap();
+        let shutdown = AtomicBool::new(false);
+        let mut reader = BufReader::new(&server);
+        read_request(&mut reader, 1024, &shutdown)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_request_line_is_bad_request() {
+        let err = roundtrip(b"NONSENSE\r\n\r\n").unwrap_err();
+        assert!(matches!(err, ReadError::BadRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_by_declared_length() {
+        let err =
+            roundtrip(b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReadError::BodyTooLarge {
+                    declared: 999999,
+                    limit: 1024
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn query_strings_are_split_off() {
+        let req = roundtrip(b"GET /healthz?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,43 @@
+//! # cold-serve — an HTTP prediction API over a fitted COLD model
+//!
+//! Turns a trained model (ideally the `cold-model/v1` binary artifact,
+//! opened zero-copy through [`cold_core::ModelView`]) into a long-running
+//! prediction service, hand-rolled over `std::net` — the build
+//! environment has no crates.io, and the workspace's no-external-deps
+//! rule holds for the server too.
+//!
+//! ## Endpoints
+//!
+//! | Route | Method | Body | Answer |
+//! |---|---|---|---|
+//! | `/predict` | POST | `{"publisher":u,"consumer":u,"words":[...]}` | Eq. 7 diffusion score |
+//! | `/rank-influencers` | POST | `{"topic":k,"limit":n}` | top users by outgoing influence on `k` |
+//! | `/communities/:user` | GET | — | `TopComm(i)` + full `π_i` row |
+//! | `/healthz` | GET | — | model shape, backing, uptime |
+//! | `/metrics` | GET | — | `cold-obs/v1` JSONL snapshot |
+//! | `/shutdown` | POST | — | graceful stop (in-band SIGTERM) |
+//!
+//! `words` entries are word ids, or strings when the server was started
+//! with a vocabulary. Caller mistakes (unknown user/word/topic, malformed
+//! JSON) come back as HTTP 400 with `{"error": ...}` — the predict path
+//! is `Result`-typed end to end ([`cold_core::PredictError`]), so no
+//! request can panic a worker.
+//!
+//! ## Shape
+//!
+//! [`app::App`] holds the loaded state (model view, predictor with the
+//! precomputed `ζ` tensor and `TopComm` caches, per-topic influencer
+//! rankings); [`server::Server`] owns the sockets: an acceptor, a fixed
+//! worker pool, and a `/predict` micro-batcher. [`client::HttpClient`] is
+//! the minimal keep-alive client used by the integration tests and the
+//! `bench_serve` load generator. Latency lands in `serve.*_seconds`
+//! histograms (p50/p95/p99) via `cold-obs`.
+
+pub mod app;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use app::{App, ServeError};
+pub use client::{HttpClient, Response};
+pub use server::{ServeConfig, Server};

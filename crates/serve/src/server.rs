@@ -1,0 +1,445 @@
+//! The transport layer: listener, worker pool, batcher, shutdown.
+//!
+//! ```text
+//!                    ┌─────────┐  TcpStream   ┌──────────┐
+//!   accept() loop ──▶│ channel │─────────────▶│ worker 0 │──┐
+//!                    └─────────┘              │   ...    │  │ PredictJob
+//!                                             │ worker N │──┤
+//!                                             └──────────┘  ▼
+//!                                                       ┌─────────┐
+//!                                                       │ batcher │
+//!                                                       └─────────┘
+//! ```
+//!
+//! * **Acceptor** — one thread on `accept()`; accepted connections go
+//!   down an mpsc channel.
+//! * **Workers** — a fixed pool; each pulls a connection and serves it to
+//!   completion (keep-alive: many requests per connection). Concurrency
+//!   is therefore bounded by the pool size; surplus connections queue.
+//! * **Batcher** — one thread that drains `/predict` jobs into
+//!   micro-batches (up to `batch_max` jobs or `batch_wait`, whichever
+//!   first), scores them back-to-back through the shared predictor, and
+//!   answers each job's reply channel. Batching amortizes channel wakeups
+//!   and keeps the score loop hot; the achieved sizes are visible in the
+//!   `serve.batch_size` histogram.
+//! * **Shutdown** — `POST /shutdown` (or [`Server::shutdown`]) raises a
+//!   flag; the acceptor is woken by a self-connection and stops; workers
+//!   finish their in-flight request, answer with `connection: close`, and
+//!   exit; the batcher drains and exits when the last worker hangs up.
+//!   The process equivalent of SIGTERM handling, done in-band because
+//!   `std` exposes no signal API.
+
+use crate::app::{App, ServeError};
+use crate::http::{self, ReadError, Request};
+use cold_core::PredictError;
+use cold_text::WordId;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8391` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads — the connection concurrency bound.
+    pub workers: usize,
+    /// Max `/predict` jobs scored per micro-batch.
+    pub batch_max: usize,
+    /// Max time the batcher waits to fill a batch once it holds a job.
+    pub batch_wait: Duration,
+    /// Request body cap in bytes (`413` beyond it).
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8391".to_owned(),
+            workers: 8,
+            batch_max: 32,
+            batch_wait: Duration::from_micros(500),
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One queued `/predict` computation.
+struct PredictJob {
+    publisher: u32,
+    consumer: u32,
+    words: Vec<WordId>,
+    reply: mpsc::SyncSender<Result<f64, PredictError>>,
+}
+
+/// Shared shutdown signal; `trigger` is idempotent.
+struct ShutdownFlag {
+    flag: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownFlag {
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::AcqRel) {
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A running service; dropping it without calling [`Server::shutdown`]
+/// or [`Server::join`] detaches the threads.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<ShutdownFlag>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the thread pool, and start serving `app`.
+    pub fn start(config: ServeConfig, app: App) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Io {
+            context: format!("cannot bind {}", config.addr),
+            source,
+        })?;
+        let addr = listener.local_addr().map_err(|source| ServeError::Io {
+            context: "cannot read bound address".to_owned(),
+            source,
+        })?;
+        let app = Arc::new(app);
+        let metrics = app.metrics().clone();
+        metrics.gauge_set("serve.workers", config.workers as f64);
+        let shutdown = Arc::new(ShutdownFlag {
+            flag: AtomicBool::new(false),
+            addr,
+        });
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (job_tx, job_rx) = mpsc::channel::<PredictJob>();
+
+        let batcher = {
+            let app = Arc::clone(&app);
+            let batch_max = config.batch_max.max(1);
+            let batch_wait = config.batch_wait;
+            std::thread::Builder::new()
+                .name("cold-serve-batcher".into())
+                .spawn(move || batcher_loop(&app, &job_rx, batch_max, batch_wait))
+                .map_err(|source| ServeError::Io {
+                    context: "cannot spawn batcher thread".to_owned(),
+                    source,
+                })?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers.max(1) {
+            let app = Arc::clone(&app);
+            let shutdown = Arc::clone(&shutdown);
+            let conn_rx = Arc::clone(&conn_rx);
+            let job_tx = job_tx.clone();
+            let max_body = config.max_body;
+            let handle = std::thread::Builder::new()
+                .name(format!("cold-serve-worker-{w}"))
+                .spawn(move || worker_loop(&app, &shutdown, &conn_rx, &job_tx, max_body))
+                .map_err(|source| ServeError::Io {
+                    context: format!("cannot spawn worker thread {w}"),
+                    source,
+                })?;
+            workers.push(handle);
+        }
+        // Workers hold the only job senders now, so the batcher exits
+        // exactly when the last worker does.
+        drop(job_tx);
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("cold-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shutdown, &conn_tx, &metrics))
+                .map_err(|source| ServeError::Io {
+                    context: "cannot spawn acceptor thread".to_owned(),
+                    source,
+                })?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raise the shutdown flag and wait for every thread to finish its
+    /// in-flight work and exit.
+    pub fn shutdown(mut self) {
+        self.shutdown.trigger();
+        self.join_threads();
+    }
+
+    /// Block until shutdown is triggered elsewhere (`POST /shutdown`),
+    /// then reap the threads.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shutdown: &ShutdownFlag,
+    conn_tx: &mpsc::Sender<TcpStream>,
+    metrics: &cold_obs::Metrics,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shutdown.is_set() {
+                    // The wake-up connection (or a straggler): drop it.
+                    return;
+                }
+                metrics.counter_add("serve.connections_total", 1);
+                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                let _ = stream.set_nodelay(true);
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                if shutdown.is_set() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    app: &App,
+    shutdown: &ShutdownFlag,
+    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    job_tx: &mpsc::Sender<PredictJob>,
+    max_body: usize,
+) {
+    loop {
+        // Hold the lock only long enough to poll; holding it across a
+        // blocking recv() would serialize the pool on one mutex.
+        let next = {
+            let rx = conn_rx.lock().expect("connection queue poisoned");
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match next {
+            Ok(stream) => serve_connection(app, shutdown, &stream, job_tx, max_body),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.is_set() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection until it closes, errors, or shutdown.
+fn serve_connection(
+    app: &App,
+    shutdown: &ShutdownFlag,
+    stream: &TcpStream,
+    job_tx: &mpsc::Sender<PredictJob>,
+    max_body: usize,
+) {
+    let metrics = app.metrics();
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader, max_body, &shutdown.flag) {
+            Ok(r) => r,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::BadRequest(msg)) => {
+                metrics.counter_add("serve.responses_400", 1);
+                let body = format!("{{\"error\":\"{}\"}}", http::json_escape(&msg));
+                let _ =
+                    http::write_response(stream, 400, "application/json", body.as_bytes(), false);
+                return;
+            }
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                metrics.counter_add("serve.responses_413", 1);
+                let body = format!(
+                    "{{\"error\":\"body of {declared} bytes exceeds the {limit}-byte limit\"}}"
+                );
+                let _ =
+                    http::write_response(stream, 413, "application/json", body.as_bytes(), false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        metrics.counter_add("serve.requests_total", 1);
+
+        let t0 = Instant::now();
+        let (endpoint, status, content_type, body) = route(app, shutdown, &request, job_tx);
+        metrics.observe(endpoint, t0.elapsed().as_secs_f64());
+        match status {
+            400 => metrics.counter_add("serve.responses_400", 1),
+            404 | 405 => metrics.counter_add("serve.responses_404", 1),
+            _ => metrics.counter_add("serve.responses_200", 1),
+        }
+
+        // Once shutdown is underway, answer but stop keeping alive.
+        let keep_alive = request.keep_alive && !shutdown.is_set();
+        if http::write_response(stream, status, content_type, body.as_bytes(), keep_alive).is_err()
+        {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request; returns `(latency histogram, status, content
+/// type, body)`.
+fn route(
+    app: &App,
+    shutdown: &ShutdownFlag,
+    request: &Request,
+    job_tx: &mpsc::Sender<PredictJob>,
+) -> (&'static str, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => {
+            let (status, body) = predict(app, request, job_tx);
+            ("serve.predict_seconds", status, JSON, body)
+        }
+        ("POST", "/rank-influencers") => {
+            let (status, body) = app.rank_influencers(&request.body);
+            ("serve.rank_seconds", status, JSON, body)
+        }
+        ("GET", path) if path.starts_with("/communities/") => {
+            let segment = &path["/communities/".len()..];
+            let (status, body) = app.communities(segment);
+            ("serve.communities_seconds", status, JSON, body)
+        }
+        ("GET", "/healthz") => {
+            let (status, body) = app.healthz();
+            ("serve.healthz_seconds", status, JSON, body)
+        }
+        ("GET", "/metrics") => (
+            "serve.metrics_seconds",
+            200,
+            "application/jsonl",
+            app.metrics_jsonl(),
+        ),
+        ("POST", "/shutdown") => {
+            shutdown.trigger();
+            (
+                "serve.shutdown_seconds",
+                200,
+                JSON,
+                "{\"status\":\"shutting down\"}".to_owned(),
+            )
+        }
+        (_, "/predict" | "/rank-influencers" | "/healthz" | "/metrics" | "/shutdown") => (
+            "serve.other_seconds",
+            405,
+            JSON,
+            "{\"error\":\"method not allowed\"}".to_owned(),
+        ),
+        _ => (
+            "serve.other_seconds",
+            404,
+            JSON,
+            "{\"error\":\"no such endpoint\"}".to_owned(),
+        ),
+    }
+}
+
+/// Parse, enqueue on the batcher, await the score.
+fn predict(app: &App, request: &Request, job_tx: &mpsc::Sender<PredictJob>) -> (u16, String) {
+    let (publisher, consumer, words) = match app.parse_predict(&request.body) {
+        Ok(p) => p,
+        Err(msg) => {
+            return (
+                400,
+                format!("{{\"error\":\"{}\"}}", http::json_escape(&msg)),
+            )
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = PredictJob {
+        publisher,
+        consumer,
+        words,
+        reply: reply_tx,
+    };
+    if job_tx.send(job).is_err() {
+        return (503, "{\"error\":\"scoring queue is gone\"}".to_owned());
+    }
+    match reply_rx.recv() {
+        Ok(result) => app.predict_response(publisher, consumer, result),
+        Err(_) => (503, "{\"error\":\"scoring queue is gone\"}".to_owned()),
+    }
+}
+
+/// Drain jobs into micro-batches and score them.
+fn batcher_loop(
+    app: &App,
+    job_rx: &mpsc::Receiver<PredictJob>,
+    batch_max: usize,
+    batch_wait: Duration,
+) {
+    let metrics = app.metrics();
+    let mut batch = Vec::with_capacity(batch_max);
+    loop {
+        match job_rx.recv() {
+            Ok(job) => batch.push(job),
+            Err(_) => return, // every worker hung up
+        }
+        let deadline = Instant::now() + batch_wait;
+        while batch.len() < batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match job_rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        metrics.observe("serve.batch_size", batch.len() as f64);
+        for job in batch.drain(..) {
+            let result = app
+                .predictor()
+                .diffusion_score(job.publisher, job.consumer, &job.words);
+            let _ = job.reply.send(result);
+        }
+    }
+}

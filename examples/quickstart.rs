@@ -55,10 +55,14 @@ fn main() {
     }
 
     // 6. Predict diffusion: will user 1 retweet a post by user 0?
-    let predictor = DiffusionPredictor::new(&model, 3);
+    let predictor = DiffusionPredictor::new(&model, 3).expect("top_comm >= 1");
     let post = data.corpus.post(data.corpus.posts_of(0)[0]);
-    let p_neighbor = predictor.diffusion_score(0, 1, &post.words);
-    let p_stranger = predictor.diffusion_score(0, 60, &post.words);
+    let p_neighbor = predictor
+        .diffusion_score(0, 1, &post.words)
+        .expect("valid ids");
+    let p_stranger = predictor
+        .diffusion_score(0, 60, &post.words)
+        .expect("valid ids");
     println!(
         "\ndiffusion scores for user 0's first post: to user 1 = {p_neighbor:.5}, \
          to user 60 = {p_stranger:.5}"

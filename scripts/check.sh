@@ -117,6 +117,49 @@ cargo run -q --release -p cold-cli -- replay-check \
   --trace "$SMOKE_DIR/trace_crash.jsonl,$SMOKE_DIR/trace_resume.jsonl" \
   --fuzz 20
 
+echo "== serve-smoke (binary model → cold serve → all endpoints → clean stop) =="
+# Serve the sparse-run binary artifact from above on a loopback port and
+# hit every endpoint: each answer must carry the expected JSON fields,
+# caller mistakes must come back 400 (never a worker panic), and
+# POST /shutdown must drain the server to a clean exit 0.
+SERVE_PORT=18395
+cargo run -q --release -p cold-cli -- serve \
+  --model "$SMOKE_DIR/model_sparse.bin" --data "$SMOKE_DIR/world.json" \
+  --port "$SERVE_PORT" --workers 2 > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://127.0.0.1:$SERVE_PORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+BASE="http://127.0.0.1:$SERVE_PORT"
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"'
+curl -sf "$BASE/healthz" | grep -q '"backing":"mapped"'
+curl -sf -X POST "$BASE/predict" \
+  -d '{"publisher":0,"consumer":1,"words":[0,1,2]}' | grep -q '"score":'
+curl -sf -X POST "$BASE/rank-influencers" \
+  -d '{"topic":0,"limit":3}' | grep -q '"influencers":'
+curl -sf "$BASE/communities/5" | grep -q '"top_communities":'
+curl -sf "$BASE/metrics" | grep -q '"schema":"cold-obs/v1"'
+# Caller mistakes are 400s with an error body, not panics.
+st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/predict" \
+  -d '{"publisher":99999,"consumer":1,"words":[0]}')
+if [ "$st" != "400" ]; then
+  echo "unknown user returned HTTP $st, wanted 400" >&2
+  exit 1
+fi
+st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/predict" -d '{bad json')
+if [ "$st" != "400" ]; then
+  echo "malformed JSON returned HTTP $st, wanted 400" >&2
+  exit 1
+fi
+curl -sf -X POST "$BASE/shutdown" | grep -q 'shutting down'
+wait "$SERVE_PID"
+grep -q "drained and stopped" "$SMOKE_DIR/serve.log"
+echo "all endpoints answered; server drained to a clean exit"
+
+echo "== bench_serve --quick =="
+cargo run -q --release -p cold-bench --bin bench_serve -- --quick
+
 echo "== bench_parallel --quick =="
 cargo run -q --release -p cold-bench --bin bench_parallel -- --quick
 

@@ -113,16 +113,26 @@ fn link_prediction_beats_chance_decisively() {
 fn diffusion_prediction_beats_chance() {
     let data = world();
     let model = fit(&data, 4);
-    let predictor = DiffusionPredictor::new(&model, 3);
+    let predictor = DiffusionPredictor::new(&model, 3).expect("top_comm >= 1");
     let mut groups: Vec<Vec<(f64, bool)>> = Vec::new();
     for tuple in data.cascades.iter().filter(|t| t.is_scorable()) {
         let words = &data.corpus.post(tuple.post).words;
         let mut group = Vec::new();
         for &r in &tuple.retweeters {
-            group.push((predictor.diffusion_score(tuple.publisher, r, words), true));
+            group.push((
+                predictor
+                    .diffusion_score(tuple.publisher, r, words)
+                    .expect("valid ids"),
+                true,
+            ));
         }
         for &g in &tuple.ignorers {
-            group.push((predictor.diffusion_score(tuple.publisher, g, words), false));
+            group.push((
+                predictor
+                    .diffusion_score(tuple.publisher, g, words)
+                    .expect("valid ids"),
+                false,
+            ));
         }
         groups.push(group);
     }

@@ -155,7 +155,7 @@ fn cold_diffusion_prediction_beats_ti_and_chance() {
     let mut rng = seeded_rng(7);
     let (train_tuples, test_tuples) = split_tuples(&mut rng, &data.cascades, 0.25);
     let cold = fit_cold(&data, 8);
-    let predictor = DiffusionPredictor::new(&cold, 3);
+    let predictor = DiffusionPredictor::new(&cold, 3).expect("top_comm >= 1");
     let mut ti_cfg = TiConfig::new(3);
     ti_cfg.lda.alpha = 1.0;
     ti_cfg.lda.iterations = 80;
@@ -179,7 +179,7 @@ fn cold_diffusion_prediction_beats_ti_and_chance() {
             .collect();
         averaged_auc(&groups).expect("scorable tuples")
     };
-    let auc_cold = auc(&|p, c, w| predictor.diffusion_score(p, c, w));
+    let auc_cold = auc(&|p, c, w| predictor.diffusion_score(p, c, w).expect("valid ids"));
     let auc_ti = auc(&|p, c, w| ti.diffusion_score(p, c, w));
     assert!(
         auc_cold > 0.55,

@@ -46,11 +46,11 @@ fn saved_and_loaded_models_predict_identically() {
         link_probability(&model, 0, 1),
         link_probability(&loaded, 0, 1)
     );
-    let p1 = DiffusionPredictor::new(&model, 3);
-    let p2 = DiffusionPredictor::new(&loaded, 3);
+    let p1 = DiffusionPredictor::new(&model, 3).expect("top_comm >= 1");
+    let p2 = DiffusionPredictor::new(&loaded, 3).expect("top_comm >= 1");
     assert_eq!(
-        p1.diffusion_score(0, 1, &post.words),
-        p2.diffusion_score(0, 1, &post.words)
+        p1.diffusion_score(0, 1, &post.words).expect("valid ids"),
+        p2.diffusion_score(0, 1, &post.words).expect("valid ids")
     );
     for k in 0..3 {
         assert_eq!(

@@ -142,8 +142,11 @@ fn cold_row_supports_every_task() {
     // Link prediction.
     assert!(cold::core::predict::link_probability(&model, 0, 1).is_finite());
     // Diffusion prediction.
-    let predictor = DiffusionPredictor::new(&model, 2);
-    assert!(predictor.diffusion_score(0, 1, &[0]).is_finite());
+    let predictor = DiffusionPredictor::new(&model, 2).expect("top_comm >= 1");
+    assert!(predictor
+        .diffusion_score(0, 1, &[0])
+        .expect("valid ids")
+        .is_finite());
     // Held-out text scoring (perplexity).
     assert!(cold::core::predict::post_log_likelihood(&model, 0, &[0]).is_finite());
 }
