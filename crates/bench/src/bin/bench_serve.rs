@@ -46,6 +46,26 @@ struct LoadPoint {
     max_ms: f64,
 }
 
+/// One saturation point: connection-per-request clients at an offered
+/// load far beyond the deliberately small constrained server.
+#[derive(Serialize)]
+struct OverloadPoint {
+    clients: usize,
+    duration_seconds: f64,
+    /// Requests attempted per second (connects included).
+    offered_qps: f64,
+    /// `200`s per second — what the server actually delivered.
+    goodput_qps: f64,
+    /// Fraction of attempts shed with `503` + `Retry-After`.
+    shed_rate: f64,
+    /// Fraction of attempts that failed at the transport level.
+    error_rate: f64,
+    /// Latency of *successful* requests: bounded by the deadline even
+    /// at saturation — overload degrades into sheds, not into collapse.
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     world: String,
@@ -58,6 +78,10 @@ struct BenchReport {
     /// `ModelView::open` + ζ/TopComm/ranking precompute, seconds.
     app_load_seconds: f64,
     points: Vec<LoadPoint>,
+    /// Saturation study against a constrained server (small worker pool
+    /// and queues) — goodput and tail latency under offered load ≫
+    /// capacity.
+    overload: Vec<OverloadPoint>,
     headline: String,
 }
 
@@ -211,6 +235,103 @@ fn run_point(
     point
 }
 
+/// Constrained-server shape for the overload study: a pool and queues
+/// small enough that the sweep's offered load is far beyond capacity.
+const OVERLOAD_WORKERS: usize = 2;
+const OVERLOAD_MAX_CONNS: usize = 16;
+const OVERLOAD_MAX_QUEUE: usize = 32;
+
+/// Hammer the constrained server with `clients` connection-per-request
+/// threads for `duration`, classifying every attempt.
+fn run_overload_point(
+    addr: SocketAddr,
+    clients: usize,
+    duration: Duration,
+    num_users: u32,
+    vocab: usize,
+) -> OverloadPoint {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let rngs = RngFactory::new(BASE_SEED + 9403);
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let mut rng = rngs.stream(t as u64);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                let (mut ok, mut shed, mut err) = (0usize, 0usize, 0usize);
+                let mut latencies = Vec::new();
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    // A fresh connection per request: every attempt goes
+                    // through accept → queue admission, so saturation is
+                    // exercised where the shed policy lives.
+                    let outcome =
+                        HttpClient::connect(addr, Duration::from_secs(5)).and_then(|mut client| {
+                            let body = format!(
+                                "{{\"publisher\":{},\"consumer\":{},\"words\":[{}]}}",
+                                rng.gen_range(0..num_users),
+                                rng.gen_range(0..num_users),
+                                rng.gen_range(0..vocab as u32),
+                            );
+                            client.post("/predict", &body)
+                        });
+                    match outcome {
+                        Ok(r) if r.status == 200 => {
+                            ok += 1;
+                            latencies.push(1e3 * t0.elapsed().as_secs_f64());
+                        }
+                        Ok(r) if r.status == 503 => shed += 1,
+                        Ok(_) | Err(_) => err += 1,
+                    }
+                }
+                (ok, shed, err, latencies)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let (mut ok, mut shed, mut err) = (0usize, 0usize, 0usize);
+    let mut latencies = Vec::new();
+    for h in handles {
+        let (o, s, e, l) = h.join().expect("overload client thread");
+        ok += o;
+        shed += s;
+        err += e;
+        latencies.extend(l);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let attempts = (ok + shed + err).max(1);
+    latencies.sort_by(f64::total_cmp);
+    let q = |p: f64| {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let point = OverloadPoint {
+        clients,
+        duration_seconds: wall,
+        offered_qps: attempts as f64 / wall,
+        goodput_qps: ok as f64 / wall,
+        shed_rate: shed as f64 / attempts as f64,
+        error_rate: err as f64 / attempts as f64,
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+    };
+    println!(
+        "  overload c={:<4} offered {:>7.0} qps  goodput {:>6.0} qps  shed {:>5.1}%  err {:>4.1}%  p99 {:.1} ms",
+        point.clients,
+        point.offered_qps,
+        point.goodput_qps,
+        100.0 * point.shed_rate,
+        100.0 * point.error_rate,
+        point.p99_ms
+    );
+    point
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (num_users, levels, per_thread): (u32, &[usize], usize) = if quick {
@@ -274,6 +395,53 @@ fn main() {
         }
     }
     server.shutdown();
+
+    // Overload study: a deliberately undersized server (2 workers, short
+    // queues, 2s deadline) under offered load far beyond capacity. The
+    // claim: goodput holds and p99 stays deadline-bounded while the
+    // excess is shed with 503 — degradation, not collapse.
+    let (overload_levels, overload_secs): (&[usize], f64) = if quick {
+        (&[8, 32], 2.0)
+    } else {
+        (&[16, 64, 256], 4.0)
+    };
+    println!(
+        "\noverload sweep against a constrained server ({OVERLOAD_WORKERS} workers, \
+         {OVERLOAD_MAX_CONNS}-conn / {OVERLOAD_MAX_QUEUE}-job queues):"
+    );
+    let app = App::load(
+        &path,
+        cold_core::predict::DEFAULT_TOP_COMM,
+        100,
+        None,
+        Metrics::enabled(),
+    )
+    .expect("reload model for overload sweep");
+    let constrained = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: OVERLOAD_WORKERS,
+            max_conns: OVERLOAD_MAX_CONNS,
+            max_queue: OVERLOAD_MAX_QUEUE,
+            request_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+        app,
+    )
+    .expect("start constrained server");
+    let overload: Vec<OverloadPoint> = overload_levels
+        .iter()
+        .map(|&clients| {
+            run_overload_point(
+                constrained.addr(),
+                clients,
+                Duration::from_secs_f64(overload_secs),
+                num_users,
+                vocab,
+            )
+        })
+        .collect();
+    constrained.shutdown();
     let _ = std::fs::remove_file(&path);
 
     let best_predict = points
@@ -303,6 +471,7 @@ fn main() {
         artifact_bytes,
         app_load_seconds,
         points,
+        overload,
         headline,
     };
     let out = cold_bench::results_dir().join(out_file);

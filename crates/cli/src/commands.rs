@@ -33,7 +33,9 @@ USAGE:
   cold serve     --model <model.cold> [--addr HOST:PORT | --port P]
                  [--workers N] [--top-comm N] [--rank-depth N]
                  [--data <world.json>] [--batch-max N] [--batch-wait-us U]
-                 [--max-body BYTES]
+                 [--max-body BYTES] [--max-conns N] [--max-queue N]
+                 [--request-timeout-ms MS] [--respawn-limit N]
+                 [--watch-model-ms MS] [--chaos true]
   cold metrics-check --file <metrics.jsonl>
   cold ckpt-inspect  --dir <checkpoint-dir>
   cold replay-check  --trace <t1.jsonl[,t2.jsonl,…]> [--fuzz N] [--seed S]
@@ -624,13 +626,31 @@ pub fn serve(args: &Args) -> CliResult {
         }
         None => None,
     };
+    let defaults = cold_serve::ServeConfig::default();
     let config = cold_serve::ServeConfig {
         addr,
         workers: args.get_or("workers", 8usize)?,
         batch_max: args.get_or("batch-max", 32usize)?,
         batch_wait: std::time::Duration::from_micros(args.get_or("batch-wait-us", 500u64)?),
         max_body: args.get_or("max-body", 1usize << 20)?,
+        max_conns: args.get_or("max-conns", defaults.max_conns)?,
+        max_queue: args.get_or("max-queue", defaults.max_queue)?,
+        // 0 disables the per-request deadline.
+        request_timeout: std::time::Duration::from_millis(args.get_or(
+            "request-timeout-ms",
+            defaults.request_timeout.as_millis() as u64,
+        )?),
+        respawn_limit: args.get_or("respawn-limit", defaults.respawn_limit)?,
+        chaos_endpoints: args.get_or("chaos", false)?,
+        // 0 disables artifact watching.
+        watch_model: match args.get_or("watch-model-ms", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
     };
+    if config.chaos_endpoints {
+        eprintln!("cold-serve: WARNING: /chaos/* fault-injection endpoints are enabled");
+    }
 
     let app = cold_serve::App::load(model_path, top_comm, rank_depth, vocab, Metrics::enabled())
         .map_err(|e| format!("cannot load {model_path}: {e}"))?;

@@ -183,6 +183,19 @@ impl ModelView {
         }
     }
 
+    /// Verify that `path` holds a loadable model and return its
+    /// dimensions, without keeping the view.
+    ///
+    /// This is the artifact re-verification gate the serving layer runs
+    /// before committing to a hot reload: a `cold-model/v1` binary gets
+    /// the full header/length/checksum pass (so a torn or half-copied
+    /// file is rejected before any expensive predictor precompute), a
+    /// JSON model a full parse. The buffer is dropped on return — the
+    /// caller re-opens only once the bytes are known good.
+    pub fn verify_file(path: impl AsRef<Path>) -> Result<Dims, PersistError> {
+        Ok(Self::open(path)?.dims())
+    }
+
     /// Which backing this view opened with: `"mapped"` (zero-copy binary)
     /// or `"owned"` (parsed JSON). Surfaces in `/healthz`.
     pub fn backing(&self) -> &'static str {
@@ -317,6 +330,8 @@ mod tests {
         assert_eq!(vb.backing(), "mapped");
         assert_eq!(vj.user_memberships(1), vb.user_memberships(1));
         assert_eq!(vj.dims(), vb.dims());
+        assert_eq!(ModelView::verify_file(&json).unwrap(), model.dims());
+        assert_eq!(ModelView::verify_file(&bin).unwrap(), model.dims());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -336,6 +351,8 @@ mod tests {
         std::fs::write(&path, &model.to_binary()[..40]).unwrap();
         let err = MappedModel::open(&path).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+        // The pre-reload verification gate rejects the same corruption.
+        assert!(ModelView::verify_file(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,7 +14,8 @@ use cold_text::WordId;
 use serde::{Deserialize, Value};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// How the service failed to come up (never used on the request path).
@@ -85,11 +86,18 @@ struct RankedUser {
 }
 
 /// The loaded service state shared by every worker.
+///
+/// An `App` is immutable once built — hot reload builds a *new* `App`
+/// and swaps it into the serving [`AppSlot`]; requests hold an
+/// `Arc<App>` for their whole lifetime, so in-flight work always
+/// finishes on the model it started with.
 pub struct App {
     view: Arc<ModelView>,
     predictor: DiffusionPredictor<Arc<ModelView>>,
     /// Per-topic top users by aggregate outgoing influence, best first.
     rank: Vec<Vec<RankedUser>>,
+    /// `top_comm` this app was built with (reload reuses it).
+    top_comm: usize,
     /// Ranking depth each entry of `rank` was truncated to.
     rank_depth: usize,
     /// Optional word → id lookup, enabling string words in `/predict`.
@@ -141,6 +149,7 @@ impl App {
             view,
             predictor,
             rank,
+            top_comm,
             rank_depth,
             vocab,
             metrics,
@@ -152,6 +161,11 @@ impl App {
     /// The metrics handle shared with the transport layer.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The path this app's model was opened from.
+    pub fn model_path(&self) -> &str {
+        &self.model_path
     }
 
     /// The predictor (the batcher scores through it directly).
@@ -289,12 +303,23 @@ impl App {
     }
 
     /// `GET /healthz`.
-    pub fn healthz(&self) -> JsonResponse {
+    ///
+    /// `generation` counts completed hot reloads; `degraded` (the worker
+    /// supervisor's respawn breaker has tripped) turns the answer into a
+    /// `503` so load balancers stop routing here while the pool is
+    /// impaired — the server keeps answering what it still can.
+    pub fn healthz(&self, generation: u64, degraded: bool) -> JsonResponse {
         let d = self.view.dims();
+        let (status, word) = if degraded {
+            (503, "degraded")
+        } else {
+            (200, "ok")
+        };
         (
-            200,
+            status,
             format!(
-                "{{\"status\":\"ok\",\"backing\":\"{}\",\"model\":\"{}\",\
+                "{{\"status\":\"{word}\",\"backing\":\"{}\",\"model\":\"{}\",\
+                 \"generation\":{generation},\
                  \"users\":{},\"communities\":{},\"topics\":{},\
                  \"time_slices\":{},\"vocab\":{},\"samples\":{},\
                  \"uptime_seconds\":{}}}",
@@ -311,9 +336,147 @@ impl App {
         )
     }
 
+    /// Parse a `/reload` body: empty (or `{}`) re-opens the current
+    /// artifact path, `{"model": "path"}` switches to a new one.
+    pub fn parse_reload(body: &[u8]) -> Result<Option<String>, String> {
+        if body.iter().all(|b| b.is_ascii_whitespace()) {
+            return Ok(None);
+        }
+        let v = parse_json_object(body)?;
+        match v.get("model") {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::Str(s)) => Ok(Some(s.clone())),
+            Some(other) => Err(format!(
+                "`model` must be a path string, got {}",
+                other.kind()
+            )),
+        }
+    }
+
     /// `GET /metrics` — the `cold-obs/v1` JSONL snapshot.
     pub fn metrics_jsonl(&self) -> String {
         self.metrics.snapshot().to_jsonl()
+    }
+}
+
+/// What a successful hot reload swapped in.
+#[derive(Debug)]
+pub struct ReloadOutcome {
+    /// Completed-reload count after this swap (starts at 0 at boot).
+    pub generation: u64,
+    /// The artifact path now being served.
+    pub model_path: String,
+    /// User axis of the new model.
+    pub users: u32,
+}
+
+/// The hot-swappable serving slot.
+///
+/// Holds the current [`App`] behind a mutex-guarded `Arc` (the
+/// ArcSwap pattern with std parts): request dispatch takes the lock just
+/// long enough to clone the `Arc`, so a swap is atomic from the workers'
+/// point of view and in-flight requests keep the model they started
+/// with. [`AppSlot::reload`] builds the replacement *outside* that lock —
+/// traffic keeps flowing on the old model during the (potentially
+/// seconds-long) verify + precompute — and only a fully validated app is
+/// ever swapped in. A corrupt, truncated, or dimension-skewed artifact is
+/// rejected with the old model still serving.
+pub struct AppSlot {
+    current: Mutex<Arc<App>>,
+    /// Completed reloads; also published as the `serve.model_generation`
+    /// gauge and in `/healthz`.
+    generation: AtomicU64,
+    /// Serializes reloads end to end (verify → build → swap) so two
+    /// concurrent `/reload`s cannot interleave their swaps.
+    reload_lock: Mutex<()>,
+    metrics: Metrics,
+}
+
+impl AppSlot {
+    /// Wrap the boot-time app as generation 0.
+    pub fn new(app: App) -> Self {
+        let metrics = app.metrics().clone();
+        metrics.gauge_set("serve.model_generation", 0.0);
+        Self {
+            current: Mutex::new(Arc::new(app)),
+            generation: AtomicU64::new(0),
+            reload_lock: Mutex::new(()),
+            metrics,
+        }
+    }
+
+    /// The app serving right now. Callers hold the returned `Arc` for the
+    /// whole request, pinning the model across any concurrent swap.
+    pub fn current(&self) -> Arc<App> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Completed reload count.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The metrics handle shared across generations.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Re-open the serving artifact (or `new_path`) into a fresh [`App`]
+    /// and atomically swap it in.
+    ///
+    /// The new artifact is re-verified first ([`ModelView::verify_file`]:
+    /// header, length, and checksum for `cold-model/v1`; full parse for
+    /// JSON) and, when a vocabulary is attached, must keep the old
+    /// model's vocab axis — `/predict`'s string→id map would otherwise
+    /// silently mis-resolve. Any failure leaves the old model serving and
+    /// returns the reason (the transport answers `409`).
+    pub fn reload(&self, new_path: Option<&str>) -> Result<ReloadOutcome, String> {
+        let _guard = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let t0 = self.metrics.start();
+        let old = self.current();
+        let path = new_path.unwrap_or_else(|| old.model_path()).to_owned();
+        let outcome = self.reload_inner(&old, &path);
+        match &outcome {
+            Ok(_) => {
+                self.metrics.counter_add("serve.reloads_ok", 1);
+                self.metrics.observe_since("serve.reload_seconds", t0);
+            }
+            Err(_) => self.metrics.counter_add("serve.reloads_failed", 1),
+        }
+        outcome
+    }
+
+    fn reload_inner(&self, old: &App, path: &str) -> Result<ReloadOutcome, String> {
+        let dims = ModelView::verify_file(path).map_err(|e| format!("artifact rejected: {e}"))?;
+        if old.vocab.is_some() && dims.vocab_size != old.view.dims().vocab_size {
+            return Err(format!(
+                "artifact rejected: vocab axis changed from {} to {} but the server's \
+                 word→id vocabulary is fixed at startup (restart with matching --data)",
+                old.view.dims().vocab_size,
+                dims.vocab_size,
+            ));
+        }
+        let app = App::load(
+            path,
+            old.top_comm,
+            old.rank_depth,
+            old.vocab.clone(),
+            self.metrics.clone(),
+        )
+        .map_err(|e| format!("artifact rejected: {e}"))?;
+        let users = app.view.dims().num_users;
+        *self.current.lock().unwrap_or_else(PoisonError::into_inner) = Arc::new(app);
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        self.metrics
+            .gauge_set("serve.model_generation", generation as f64);
+        Ok(ReloadOutcome {
+            generation,
+            model_path: path.to_owned(),
+            users,
+        })
     }
 }
 

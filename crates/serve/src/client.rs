@@ -3,7 +3,9 @@
 //! Exists so the integration tests and the `bench_serve` load generator
 //! can exercise the server without external tooling. Supports exactly
 //! what [`crate::server`] emits: fixed-length responses on a persistent
-//! connection.
+//! connection. Every socket operation is bounded — connect, read, and
+//! write all time out — so a wedged server turns into a clear error in
+//! the caller instead of a hung CI job.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -18,6 +20,8 @@ pub struct Response {
     pub body: String,
     /// Whether the server kept the connection open.
     pub keep_alive: bool,
+    /// `Retry-After` seconds, present on shed (`503`) responses.
+    pub retry_after: Option<u64>,
 }
 
 /// One persistent connection to a `cold-serve` instance.
@@ -26,16 +30,36 @@ pub struct HttpClient {
     reader: BufReader<TcpStream>,
 }
 
+fn timed_out(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn with_context(e: std::io::Error, context: &str) -> std::io::Error {
+    let kind = if timed_out(&e) {
+        std::io::ErrorKind::TimedOut
+    } else {
+        e.kind()
+    };
+    std::io::Error::new(kind, format!("{context}: {e}"))
+}
+
 impl HttpClient {
-    /// Connect. The read timeout bounds how long a request may take
-    /// end-to-end.
+    /// Connect with `timeout` bounding the TCP connect itself and every
+    /// subsequent read and write. A server that accepts but never
+    /// answers — or never drains its receive buffer — yields
+    /// `ErrorKind::TimedOut` instead of blocking forever.
     pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| with_context(e, &format!("cannot connect to {addr}")))?;
         stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self { stream, reader })
@@ -63,9 +87,13 @@ impl HttpClient {
             self.stream,
             "{method} {path} HTTP/1.1\r\nhost: cold-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
-        )?;
-        self.stream.flush()?;
+        )
+        .map_err(|e| with_context(e, &format!("cannot send {method} {path}")))?;
+        self.stream
+            .flush()
+            .map_err(|e| with_context(e, &format!("cannot send {method} {path}")))?;
         self.read_response()
+            .map_err(|e| with_context(e, &format!("no response to {method} {path}")))
     }
 
     fn read_line(&mut self) -> std::io::Result<String> {
@@ -93,6 +121,7 @@ impl HttpClient {
             })?;
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -112,6 +141,8 @@ impl HttpClient {
                 })?;
             } else if name == "connection" {
                 keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name == "retry-after" {
+                retry_after = value.parse().ok();
             }
         }
         let mut body = vec![0u8; content_length];
@@ -123,6 +154,7 @@ impl HttpClient {
             status,
             body,
             keep_alive,
+            retry_after,
         })
     }
 }

@@ -16,12 +16,62 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Largest accepted request line or single header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
 
 /// Largest accepted header count.
 const MAX_HEADERS: usize = 64;
+
+/// The per-request deadline, armed by the request's first byte.
+///
+/// A fresh clock is created for every request on a connection: time spent
+/// *idle* on a keep-alive connection costs nothing, but once the client
+/// has started sending a request, the whole parse → batch → reply span
+/// must finish inside the configured timeout. The read loops check
+/// [`RequestClock::expired`] at every socket-timeout poll, so a slowloris
+/// writer is cut off within one poll interval of the deadline; the
+/// handler path checks [`RequestClock::remaining`] before waiting on the
+/// batcher.
+#[derive(Debug, Clone)]
+pub struct RequestClock {
+    timeout: Option<Duration>,
+    started: Option<Instant>,
+}
+
+impl RequestClock {
+    /// A clock with the given budget; `None` disables the deadline.
+    pub fn new(timeout: Option<Duration>) -> Self {
+        Self {
+            timeout,
+            started: None,
+        }
+    }
+
+    /// Arm the clock (idempotent) — called when request bytes first land.
+    pub fn mark(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// The absolute deadline, once armed.
+    pub fn deadline(&self) -> Option<Instant> {
+        Some(self.started? + self.timeout?)
+    }
+
+    /// Whether the armed deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline().is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Budget left for the rest of the request; `None` means unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// One parsed request.
 #[derive(Debug)]
@@ -63,6 +113,9 @@ pub enum ReadError {
         /// The configured cap.
         limit: usize,
     },
+    /// The request's deadline passed before it was fully read → respond
+    /// 408 and free the worker slot.
+    TimedOut,
     /// Transport failure mid-request.
     Io(std::io::Error),
 }
@@ -82,6 +135,7 @@ fn read_line(
     reader: &mut BufReader<&TcpStream>,
     line: &mut Vec<u8>,
     shutdown: &AtomicBool,
+    clock: &mut RequestClock,
 ) -> Result<(), ReadError> {
     loop {
         match reader.read_until(b'\n', line) {
@@ -93,6 +147,7 @@ fn read_line(
                 });
             }
             Ok(_) => {
+                clock.mark();
                 // Strip the terminator.
                 if line.last() == Some(&b'\n') {
                     line.pop();
@@ -103,8 +158,16 @@ fn read_line(
                 return Ok(());
             }
             Err(e) if is_timeout(&e) => {
+                // read_until may have consumed partial bytes before the
+                // poll timeout — that still arms the request deadline.
+                if !line.is_empty() {
+                    clock.mark();
+                }
                 if shutdown.load(Ordering::Acquire) {
                     return Err(ReadError::Closed);
+                }
+                if clock.expired() {
+                    return Err(ReadError::TimedOut);
                 }
                 if line.len() > MAX_LINE {
                     return Err(ReadError::BadRequest(format!(
@@ -123,15 +186,22 @@ fn read_full(
     reader: &mut BufReader<&TcpStream>,
     buf: &mut [u8],
     shutdown: &AtomicBool,
+    clock: &mut RequestClock,
 ) -> Result<(), ReadError> {
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
             Ok(0) => return Err(ReadError::BadRequest("connection closed mid-body".into())),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                clock.mark();
+            }
             Err(e) if is_timeout(&e) => {
                 if shutdown.load(Ordering::Acquire) {
                     return Err(ReadError::Closed);
+                }
+                if clock.expired() {
+                    return Err(ReadError::TimedOut);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -147,9 +217,10 @@ pub fn read_request(
     reader: &mut BufReader<&TcpStream>,
     max_body: usize,
     shutdown: &AtomicBool,
+    clock: &mut RequestClock,
 ) -> Result<Request, ReadError> {
     let mut line = Vec::new();
-    read_line(reader, &mut line, shutdown)?;
+    read_line(reader, &mut line, shutdown, clock)?;
     if line.len() > MAX_LINE {
         return Err(ReadError::BadRequest(format!(
             "request line exceeds {MAX_LINE} bytes"
@@ -179,7 +250,7 @@ pub fn read_request(
     let mut headers = Vec::new();
     loop {
         let mut line = Vec::new();
-        read_line(reader, &mut line, shutdown)?;
+        read_line(reader, &mut line, shutdown, clock)?;
         if line.is_empty() {
             break;
         }
@@ -212,7 +283,7 @@ pub fn read_request(
         });
     }
     let mut body = vec![0u8; content_length];
-    read_full(reader, &mut body, shutdown)?;
+    read_full(reader, &mut body, shutdown, clock)?;
 
     let connection = headers
         .iter()
@@ -244,6 +315,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -259,14 +331,31 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_ext(stream, status, content_type, body, keep_alive, None)
+}
+
+/// [`write_response`] with an optional `Retry-After` header — the shed
+/// path's way of telling well-behaved clients when to come back.
+pub fn write_response_ext(
+    stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> std::io::Result<()> {
     let mut out = Vec::with_capacity(128 + body.len());
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len(),
     )?;
+    if let Some(secs) = retry_after_secs {
+        write!(out, "retry-after: {secs}\r\n")?;
+    }
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body);
     let mut w = stream;
     w.write_all(&out)?;
@@ -308,7 +397,8 @@ mod tests {
             .unwrap();
         let shutdown = AtomicBool::new(false);
         let mut reader = BufReader::new(&server);
-        read_request(&mut reader, 1024, &shutdown)
+        let mut clock = RequestClock::new(None);
+        read_request(&mut reader, 1024, &shutdown, &mut clock)
     }
 
     #[test]
@@ -354,6 +444,52 @@ mod tests {
     fn query_strings_are_split_off() {
         let req = roundtrip(b"GET /healthz?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn stalled_request_times_out_once_the_clock_is_armed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Half a request line, then silence: the first byte arms the
+        // deadline and the poll loop must surface TimedOut.
+        client.write_all(b"POST /pred").unwrap();
+        client.flush().unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(10)))
+            .unwrap();
+        let shutdown = AtomicBool::new(false);
+        let mut reader = BufReader::new(&server);
+        let mut clock = RequestClock::new(Some(Duration::from_millis(60)));
+        let t0 = Instant::now();
+        let err = read_request(&mut reader, 1024, &shutdown, &mut clock).unwrap_err();
+        assert!(matches!(err, ReadError::TimedOut), "{err:?}");
+        assert!(t0.elapsed() < Duration::from_secs(2), "timed out too late");
+        // An idle connection (no bytes at all) never arms the clock.
+        let clock = RequestClock::new(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!clock.expired());
+        assert_eq!(clock.deadline(), None);
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        write_response_ext(&server, 503, "application/json", b"{}", false, Some(2)).unwrap();
+        drop(server);
+        let mut raw = String::new();
+        let mut r = BufReader::new(client);
+        r.read_to_string(&mut raw).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("retry-after: 2\r\n"), "{raw}");
+        assert!(raw.ends_with("\r\n\r\n{}"), "{raw}");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! | `/predict` | POST | `{"publisher":u,"consumer":u,"words":[...]}` | Eq. 7 diffusion score |
 //! | `/rank-influencers` | POST | `{"topic":k,"limit":n}` | top users by outgoing influence on `k` |
 //! | `/communities/:user` | GET | — | `TopComm(i)` + full `π_i` row |
-//! | `/healthz` | GET | — | model shape, backing, uptime |
+//! | `/healthz` | GET | — | model shape, backing, uptime, generation, degraded state |
 //! | `/metrics` | GET | — | `cold-obs/v1` JSONL snapshot |
+//! | `/reload` | POST | `{}` or `{"model": path}` | verify + atomically swap in a new artifact |
 //! | `/shutdown` | POST | — | graceful stop (in-band SIGTERM) |
 //!
 //! `words` entries are word ids, or strings when the server was started
@@ -32,12 +33,27 @@
 //! the minimal keep-alive client used by the integration tests and the
 //! `bench_serve` load generator. Latency lands in `serve.*_seconds`
 //! histograms (p50/p95/p99) via `cold-obs`.
+//!
+//! ## Robustness
+//!
+//! The transport layer is built to survive hostile networks and its own
+//! bugs: bounded connection and predict queues shed overload with `503` +
+//! `Retry-After` ([`ServeConfig::max_conns`] / [`ServeConfig::max_queue`]),
+//! a per-request deadline covers parse → batch → reply
+//! ([`ServeConfig::request_timeout`]), panicking handlers are contained
+//! per-connection and crashed workers respawned under a breaker
+//! ([`ServeConfig::respawn_limit`]), and `POST /reload` atomically swaps
+//! a verified new artifact into the [`app::AppSlot`] without dropping
+//! traffic. The [`chaos`] module (feature `chaos`, always on in tests)
+//! injects seeded network faults to prove all of it.
 
 pub mod app;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod server;
 
-pub use app::{App, ServeError};
+pub use app::{App, AppSlot, ReloadOutcome, ServeError};
 pub use client::{HttpClient, Response};
 pub use server::{ServeConfig, Server};

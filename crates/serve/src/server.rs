@@ -1,44 +1,59 @@
-//! The transport layer: listener, worker pool, batcher, shutdown.
+//! The transport layer: listener, worker pool, batcher, supervisor,
+//! shutdown.
 //!
 //! ```text
 //!                    ┌─────────┐  TcpStream   ┌──────────┐
-//!   accept() loop ──▶│ channel │─────────────▶│ worker 0 │──┐
-//!                    └─────────┘              │   ...    │  │ PredictJob
-//!                                             │ worker N │──┤
+//!   accept() loop ──▶│ bounded │─────────────▶│ worker 0 │──┐
+//!    (sheds 503)     │ channel │              │   ...    │  │ PredictJob
+//!                    └─────────┘              │ worker N │──┤ (bounded)
 //!                                             └──────────┘  ▼
-//!                                                       ┌─────────┐
-//!                                                       │ batcher │
-//!                                                       └─────────┘
+//!                                               ▲       ┌─────────┐
+//!                                    supervisor ┘       │ batcher │
+//!                                  (respawns on panic)  └─────────┘
 //! ```
 //!
 //! * **Acceptor** — one thread on `accept()`; accepted connections go
-//!   down an mpsc channel.
+//!   down a *bounded* channel (`max_conns`). When it is full the server
+//!   is saturated: the acceptor sheds the connection immediately with
+//!   `503` + `Retry-After` instead of buffering without bound — memory
+//!   stays flat and well-behaved clients back off.
 //! * **Workers** — a fixed pool; each pulls a connection and serves it to
-//!   completion (keep-alive: many requests per connection). Concurrency
-//!   is therefore bounded by the pool size; surplus connections queue.
+//!   completion (keep-alive: many requests per connection). Per-connection
+//!   handling runs under `catch_unwind`: a panicking handler costs that
+//!   connection a `500`, never the worker. Each request runs against the
+//!   app the [`AppSlot`] held at dispatch, and under a deadline
+//!   ([`ServeConfig::request_timeout`]) spanning parse → batch → reply.
+//! * **Supervisor** — watches the pool and respawns workers whose panics
+//!   escape the per-connection catch (`serve.worker_respawns`). A capped
+//!   respawn breaker ([`ServeConfig::respawn_limit`]) stops a
+//!   crash-loop: past the cap the pool is left shrunken and `/healthz`
+//!   flips to `503 degraded` so load balancers route away.
 //! * **Batcher** — one thread that drains `/predict` jobs into
 //!   micro-batches (up to `batch_max` jobs or `batch_wait`, whichever
-//!   first), scores them back-to-back through the shared predictor, and
-//!   answers each job's reply channel. Batching amortizes channel wakeups
-//!   and keeps the score loop hot; the achieved sizes are visible in the
-//!   `serve.batch_size` histogram.
+//!   first), scores them back-to-back, and answers each job's reply
+//!   channel. Jobs carry their dispatch-time `Arc<App>`, so a hot reload
+//!   mid-batch cannot change what an in-flight job scores against.
+//! * **Watcher** (optional) — polls the serving artifact for changes
+//!   (`--watch-model`) and triggers the same verified reload as
+//!   `POST /reload`.
 //! * **Shutdown** — `POST /shutdown` (or [`Server::shutdown`]) raises a
 //!   flag; the acceptor is woken by a self-connection and stops; workers
 //!   finish their in-flight request, answer with `connection: close`, and
-//!   exit; the batcher drains and exits when the last worker hangs up.
-//!   The process equivalent of SIGTERM handling, done in-band because
-//!   `std` exposes no signal API.
+//!   exit; the supervisor joins them; the batcher drains and exits when
+//!   the last job sender hangs up.
 
-use crate::app::{App, ServeError};
-use crate::http::{self, ReadError, Request};
-use cold_core::PredictError;
+use crate::app::{App, AppSlot, ServeError};
+use crate::http::{self, ReadError, Request, RequestClock};
+use cold_core::{ModelView, PredictError};
+use cold_obs::Metrics;
 use cold_text::WordId;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -53,6 +68,29 @@ pub struct ServeConfig {
     pub batch_wait: Duration,
     /// Request body cap in bytes (`413` beyond it).
     pub max_body: usize,
+    /// Connection queue bound: accepted-but-unserved connections beyond
+    /// this are shed with `503` + `Retry-After` (`serve.shed_conns`).
+    pub max_conns: usize,
+    /// Predict-job queue bound: jobs beyond this are shed with `503` +
+    /// `Retry-After` (`serve.shed_jobs`).
+    pub max_queue: usize,
+    /// Per-request deadline covering parse → batch → reply, armed by the
+    /// request's first byte. `Duration::ZERO` disables it. A stalled
+    /// upload gets `408`; a reply the batcher cannot produce in time gets
+    /// `503` + `Retry-After`; response writes are bounded by the same
+    /// budget via `set_write_timeout`.
+    pub request_timeout: Duration,
+    /// Respawn breaker: after this many worker respawns the supervisor
+    /// stops replacing crashed workers and flips `/healthz` to
+    /// `503 degraded` rather than crash-looping.
+    pub respawn_limit: u32,
+    /// Expose `POST /chaos/panic` and `POST /chaos/panic-worker`
+    /// (fault-injection hooks for the chaos harness). Never enable in
+    /// production.
+    pub chaos_endpoints: bool,
+    /// Poll the serving artifact at this interval and hot-reload it when
+    /// the file changes (after re-verification). `None` disables.
+    pub watch_model: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +101,12 @@ impl Default for ServeConfig {
             batch_max: 32,
             batch_wait: Duration::from_micros(500),
             max_body: 1024 * 1024,
+            max_conns: 1024,
+            max_queue: 1024,
+            request_timeout: Duration::from_secs(10),
+            respawn_limit: 8,
+            chaos_endpoints: false,
+            watch_model: None,
         }
     }
 }
@@ -70,11 +114,28 @@ impl Default for ServeConfig {
 /// How often blocked reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// One queued `/predict` computation.
+/// Write bound used when the request deadline is disabled, and for the
+/// acceptor's shed responses (which must never block the accept loop).
+const FALLBACK_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+const JSON: &str = "application/json";
+const RETRY_AFTER_SECS: u64 = 1;
+
+fn shed_body(what: &str) -> String {
+    format!("{{\"error\":\"server overloaded: {what}; retry shortly\"}}")
+}
+
+/// One queued `/predict` computation, pinned to the app that dispatched
+/// it — a concurrent hot reload never changes what an in-flight job
+/// scores against.
 struct PredictJob {
+    app: Arc<App>,
     publisher: u32,
     consumer: u32,
     words: Vec<WordId>,
+    /// Request deadline; the batcher skips jobs that expired in-queue.
+    deadline: Option<Instant>,
     reply: mpsc::SyncSender<Result<f64, PredictError>>,
 }
 
@@ -97,14 +158,29 @@ impl ShutdownFlag {
     }
 }
 
+/// Everything a worker (or its supervisor-spawned replacement) needs.
+struct WorkerCtx {
+    slot: Arc<AppSlot>,
+    metrics: Metrics,
+    shutdown: Arc<ShutdownFlag>,
+    degraded: Arc<AtomicBool>,
+    conn_rx: Mutex<mpsc::Receiver<TcpStream>>,
+    job_tx: mpsc::SyncSender<PredictJob>,
+    max_body: usize,
+    request_timeout: Option<Duration>,
+    chaos_endpoints: bool,
+}
+
 /// A running service; dropping it without calling [`Server::shutdown`]
 /// or [`Server::join`] detaches the threads.
 pub struct Server {
     addr: SocketAddr,
+    slot: Arc<AppSlot>,
     shutdown: Arc<ShutdownFlag>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -118,56 +194,99 @@ impl Server {
             context: "cannot read bound address".to_owned(),
             source,
         })?;
-        let app = Arc::new(app);
-        let metrics = app.metrics().clone();
-        metrics.gauge_set("serve.workers", config.workers as f64);
+        let slot = Arc::new(AppSlot::new(app));
+        let metrics = slot.metrics().clone();
+        metrics.gauge_set("serve.workers", config.workers.max(1) as f64);
+        metrics.gauge_set("serve.degraded", 0.0);
         let shutdown = Arc::new(ShutdownFlag {
             flag: AtomicBool::new(false),
             addr,
         });
+        let degraded = Arc::new(AtomicBool::new(false));
 
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let (job_tx, job_rx) = mpsc::channel::<PredictJob>();
+        // Bounded queues: saturation shows up as fast sheds, not as
+        // unbounded buffering.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.max_conns.max(1));
+        let (job_tx, job_rx) = mpsc::sync_channel::<PredictJob>(config.max_queue.max(1));
 
         let batcher = {
-            let app = Arc::clone(&app);
+            let metrics = metrics.clone();
             let batch_max = config.batch_max.max(1);
             let batch_wait = config.batch_wait;
             std::thread::Builder::new()
                 .name("cold-serve-batcher".into())
-                .spawn(move || batcher_loop(&app, &job_rx, batch_max, batch_wait))
+                .spawn(move || batcher_loop(&metrics, &job_rx, batch_max, batch_wait))
                 .map_err(|source| ServeError::Io {
                     context: "cannot spawn batcher thread".to_owned(),
                     source,
                 })?
         };
 
-        let mut workers = Vec::with_capacity(config.workers);
-        for w in 0..config.workers.max(1) {
-            let app = Arc::clone(&app);
-            let shutdown = Arc::clone(&shutdown);
-            let conn_rx = Arc::clone(&conn_rx);
-            let job_tx = job_tx.clone();
-            let max_body = config.max_body;
-            let handle = std::thread::Builder::new()
-                .name(format!("cold-serve-worker-{w}"))
-                .spawn(move || worker_loop(&app, &shutdown, &conn_rx, &job_tx, max_body))
-                .map_err(|source| ServeError::Io {
-                    context: format!("cannot spawn worker thread {w}"),
+        let ctx = Arc::new(WorkerCtx {
+            slot: Arc::clone(&slot),
+            metrics: metrics.clone(),
+            shutdown: Arc::clone(&shutdown),
+            degraded: Arc::clone(&degraded),
+            conn_rx: Mutex::new(conn_rx),
+            job_tx,
+            max_body: config.max_body,
+            request_timeout: (config.request_timeout > Duration::ZERO)
+                .then_some(config.request_timeout),
+            chaos_endpoints: config.chaos_endpoints,
+        });
+
+        let worker_names = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            workers.push(
+                spawn_worker(&ctx, &worker_names).map_err(|source| ServeError::Io {
+                    context: "cannot spawn worker thread".to_owned(),
                     source,
-                })?;
-            workers.push(handle);
+                })?,
+            );
         }
-        // Workers hold the only job senders now, so the batcher exits
-        // exactly when the last worker does.
-        drop(job_tx);
+
+        let supervisor = {
+            let ctx = Arc::clone(&ctx);
+            let respawn_limit = config.respawn_limit;
+            let worker_names = Arc::clone(&worker_names);
+            std::thread::Builder::new()
+                .name("cold-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&ctx, workers, respawn_limit, &worker_names))
+                .map_err(|source| ServeError::Io {
+                    context: "cannot spawn supervisor thread".to_owned(),
+                    source,
+                })?
+        };
+
+        let watcher = match config.watch_model {
+            Some(interval) => {
+                let slot = Arc::clone(&slot);
+                let shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::Builder::new()
+                    .name("cold-serve-watcher".into())
+                    .spawn(move || watcher_loop(&slot, &shutdown, interval))
+                    .map_err(|source| ServeError::Io {
+                        context: "cannot spawn watcher thread".to_owned(),
+                        source,
+                    })?;
+                Some(handle)
+            }
+            None => None,
+        };
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            let write_timeout = if config.request_timeout > Duration::ZERO {
+                config.request_timeout
+            } else {
+                FALLBACK_WRITE_TIMEOUT
+            };
             std::thread::Builder::new()
                 .name("cold-serve-acceptor".into())
-                .spawn(move || acceptor_loop(&listener, &shutdown, &conn_tx, &metrics))
+                .spawn(move || {
+                    acceptor_loop(&listener, &shutdown, &conn_tx, &metrics, write_timeout)
+                })
                 .map_err(|source| ServeError::Io {
                     context: "cannot spawn acceptor thread".to_owned(),
                     source,
@@ -176,16 +295,23 @@ impl Server {
 
         Ok(Server {
             addr,
+            slot,
             shutdown,
             acceptor: Some(acceptor),
-            workers,
+            supervisor: Some(supervisor),
             batcher: Some(batcher),
+            watcher,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The serving slot — current model generation, programmatic reload.
+    pub fn app_slot(&self) -> &Arc<AppSlot> {
+        &self.slot
     }
 
     /// Raise the shutdown flag and wait for every thread to finish its
@@ -205,7 +331,11 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        // The supervisor joins every worker (original or respawned).
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watcher.take() {
             let _ = h.join();
         }
         if let Some(h) = self.batcher.take() {
@@ -214,11 +344,20 @@ impl Server {
     }
 }
 
+fn spawn_worker(ctx: &Arc<WorkerCtx>, names: &AtomicUsize) -> std::io::Result<JoinHandle<()>> {
+    let id = names.fetch_add(1, Ordering::Relaxed);
+    let ctx = Arc::clone(ctx);
+    std::thread::Builder::new()
+        .name(format!("cold-serve-worker-{id}"))
+        .spawn(move || worker_loop(&ctx))
+}
+
 fn acceptor_loop(
     listener: &TcpListener,
     shutdown: &ShutdownFlag,
-    conn_tx: &mpsc::Sender<TcpStream>,
-    metrics: &cold_obs::Metrics,
+    conn_tx: &mpsc::SyncSender<TcpStream>,
+    metrics: &Metrics,
+    write_timeout: Duration,
 ) {
     loop {
         match listener.accept() {
@@ -229,9 +368,27 @@ fn acceptor_loop(
                 }
                 metrics.counter_add("serve.connections_total", 1);
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                let _ = stream.set_write_timeout(Some(write_timeout));
                 let _ = stream.set_nodelay(true);
-                if conn_tx.send(stream).is_err() {
-                    return;
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(stream)) => {
+                        // Saturated: shed now, with a bounded write so a
+                        // dead peer cannot stall the accept loop.
+                        metrics.counter_add("serve.shed", 1);
+                        metrics.counter_add("serve.shed_conns", 1);
+                        metrics.counter_add("serve.responses_503", 1);
+                        let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+                        let _ = http::write_response_ext(
+                            &stream,
+                            503,
+                            JSON,
+                            shed_body("connection queue full").as_bytes(),
+                            false,
+                            Some(RETRY_AFTER_SECS),
+                        );
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => return,
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -244,24 +401,140 @@ fn acceptor_loop(
     }
 }
 
-fn worker_loop(
-    app: &App,
-    shutdown: &ShutdownFlag,
-    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
-    job_tx: &mpsc::Sender<PredictJob>,
-    max_body: usize,
+/// Watch every worker; replace the ones whose panics escape the
+/// per-connection catch. The breaker caps total respawns: past
+/// `respawn_limit` the pool stays shrunken and `/healthz` goes degraded —
+/// a persistently crashing handler must not turn into a crash-loop.
+fn supervisor_loop(
+    ctx: &Arc<WorkerCtx>,
+    mut workers: Vec<JoinHandle<()>>,
+    respawn_limit: u32,
+    names: &AtomicUsize,
 ) {
+    let mut respawns = 0u32;
+    loop {
+        let mut i = 0;
+        while i < workers.len() {
+            if !workers[i].is_finished() {
+                i += 1;
+                continue;
+            }
+            let panicked = workers.swap_remove(i).join().is_err();
+            if ctx.shutdown.is_set() || !panicked {
+                // Clean exits (drain, or channel teardown) need no action.
+                continue;
+            }
+            // A panic that escaped serve_connection's catch_unwind killed
+            // the whole thread (chaos worker-kill, or a bug in the
+            // transport loop itself).
+            ctx.metrics.counter_add("serve.worker_panics", 1);
+            if respawns >= respawn_limit {
+                if !ctx.degraded.swap(true, Ordering::AcqRel) {
+                    ctx.metrics.gauge_set("serve.degraded", 1.0);
+                }
+            } else if let Ok(handle) = spawn_worker(ctx, names) {
+                respawns += 1;
+                ctx.metrics.counter_add("serve.worker_respawns", 1);
+                workers.push(handle);
+            }
+            ctx.metrics.gauge_set("serve.workers", workers.len() as f64);
+        }
+        if ctx.shutdown.is_set() {
+            for handle in workers {
+                let _ = handle.join();
+            }
+            return;
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+}
+
+/// Poll the serving artifact; when the file changes, re-verify and
+/// hot-reload it through the [`AppSlot`]. A half-copied or corrupt file
+/// is retried on the next change of its stat signature, never swapped in.
+fn watcher_loop(slot: &AppSlot, shutdown: &ShutdownFlag, interval: Duration) {
+    fn stat_sig(path: &str) -> Option<(SystemTime, u64)> {
+        let meta = std::fs::metadata(path).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    }
+
+    let metrics = slot.metrics().clone();
+    let mut last = stat_sig(slot.current().model_path());
+    let mut last_rejected: Option<(SystemTime, u64)> = None;
+    loop {
+        // Sleep `interval` in short slices so shutdown stays responsive.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shutdown.is_set() {
+                return;
+            }
+            let step = POLL_INTERVAL.min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        if shutdown.is_set() {
+            return;
+        }
+        let path = slot.current().model_path().to_owned();
+        let now = stat_sig(&path);
+        if now.is_none() || now == last || now == last_rejected {
+            continue;
+        }
+        // Cheap verification first: a copy still in flight fails the
+        // checksum and is retried once its stat signature changes again.
+        match ModelView::verify_file(&path) {
+            Ok(_) => match slot.reload(None) {
+                Ok(outcome) => {
+                    metrics.counter_add("serve.watch_reloads", 1);
+                    last = now;
+                    last_rejected = None;
+                    let _ = outcome;
+                }
+                Err(_) => last_rejected = now,
+            },
+            Err(_) => last_rejected = now,
+        }
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
     loop {
         // Hold the lock only long enough to poll; holding it across a
-        // blocking recv() would serialize the pool on one mutex.
+        // blocking recv() would serialize the pool on one mutex. A
+        // poisoned mutex just means some worker panicked while holding
+        // it — the receiver inside is still sound, so recover instead of
+        // cascading the panic through the whole pool.
         let next = {
-            let rx = conn_rx.lock().expect("connection queue poisoned");
+            let rx = ctx.conn_rx.lock().unwrap_or_else(PoisonError::into_inner);
             rx.recv_timeout(POLL_INTERVAL)
         };
         match next {
-            Ok(stream) => serve_connection(app, shutdown, &stream, job_tx, max_body),
+            Ok(stream) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(ctx, &stream)));
+                match outcome {
+                    Ok(ConnOutcome::Done) => {}
+                    Ok(ConnOutcome::KillWorker) => {
+                        // Chaos hook: die *outside* the catch so the
+                        // supervisor's respawn path gets exercised.
+                        panic!("chaos: injected worker kill");
+                    }
+                    Err(_) => {
+                        // The handler panicked: this connection is lost,
+                        // the worker is not.
+                        ctx.metrics.counter_add("serve.worker_panics", 1);
+                        ctx.metrics.counter_add("serve.responses_500", 1);
+                        let _ = http::write_response(
+                            &stream,
+                            500,
+                            JSON,
+                            b"{\"error\":\"internal error; the request was aborted\"}",
+                            false,
+                        );
+                    }
+                }
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shutdown.is_set() {
+                if ctx.shutdown.is_set() {
                     return;
                 }
             }
@@ -270,110 +543,193 @@ fn worker_loop(
     }
 }
 
-/// Serve one connection until it closes, errors, or shutdown.
-fn serve_connection(
-    app: &App,
-    shutdown: &ShutdownFlag,
-    stream: &TcpStream,
-    job_tx: &mpsc::Sender<PredictJob>,
-    max_body: usize,
-) {
-    let metrics = app.metrics();
-    let mut reader = BufReader::new(stream);
-    loop {
-        let request = match http::read_request(&mut reader, max_body, &shutdown.flag) {
-            Ok(r) => r,
-            Err(ReadError::Closed) => return,
-            Err(ReadError::BadRequest(msg)) => {
-                metrics.counter_add("serve.responses_400", 1);
-                let body = format!("{{\"error\":\"{}\"}}", http::json_escape(&msg));
-                let _ =
-                    http::write_response(stream, 400, "application/json", body.as_bytes(), false);
-                return;
-            }
-            Err(ReadError::BodyTooLarge { declared, limit }) => {
-                metrics.counter_add("serve.responses_413", 1);
-                let body = format!(
-                    "{{\"error\":\"body of {declared} bytes exceeds the {limit}-byte limit\"}}"
-                );
-                let _ =
-                    http::write_response(stream, 413, "application/json", body.as_bytes(), false);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        };
-        metrics.counter_add("serve.requests_total", 1);
+/// What serving a connection asks of the worker afterwards.
+enum ConnOutcome {
+    Done,
+    /// Chaos `POST /chaos/panic-worker`: panic outside the catch.
+    KillWorker,
+}
 
-        let t0 = Instant::now();
-        let (endpoint, status, content_type, body) = route(app, shutdown, &request, job_tx);
-        metrics.observe(endpoint, t0.elapsed().as_secs_f64());
-        match status {
-            400 => metrics.counter_add("serve.responses_400", 1),
-            404 | 405 => metrics.counter_add("serve.responses_404", 1),
-            _ => metrics.counter_add("serve.responses_200", 1),
-        }
+/// One routed response, plus its transport side effects.
+struct Routed {
+    endpoint: &'static str,
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after: Option<u64>,
+    close: bool,
+    kill_worker: bool,
+}
 
-        // Once shutdown is underway, answer but stop keeping alive.
-        let keep_alive = request.keep_alive && !shutdown.is_set();
-        if http::write_response(stream, status, content_type, body.as_bytes(), keep_alive).is_err()
-        {
-            return;
-        }
-        if !keep_alive {
-            return;
+impl Routed {
+    fn new(endpoint: &'static str, status: u16, content_type: &'static str, body: String) -> Self {
+        Self {
+            endpoint,
+            status,
+            content_type,
+            body,
+            retry_after: None,
+            close: false,
+            kill_worker: false,
         }
     }
 }
 
-/// Dispatch one request; returns `(latency histogram, status, content
-/// type, body)`.
-fn route(
-    app: &App,
-    shutdown: &ShutdownFlag,
-    request: &Request,
-    job_tx: &mpsc::Sender<PredictJob>,
-) -> (&'static str, u16, &'static str, String) {
-    const JSON: &str = "application/json";
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/predict") => {
-            let (status, body) = predict(app, request, job_tx);
-            ("serve.predict_seconds", status, JSON, body)
+/// Serve one connection until it closes, errors, times out, or shutdown.
+fn serve_connection(ctx: &WorkerCtx, stream: &TcpStream) -> ConnOutcome {
+    let metrics = &ctx.metrics;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // A fresh deadline per request: idle keep-alive time is free, but
+        // once the first byte lands the whole parse → batch → reply span
+        // runs on the clock.
+        let mut clock = RequestClock::new(ctx.request_timeout);
+        let request =
+            match http::read_request(&mut reader, ctx.max_body, &ctx.shutdown.flag, &mut clock) {
+                Ok(r) => r,
+                Err(ReadError::Closed) => return ConnOutcome::Done,
+                Err(ReadError::TimedOut) => {
+                    metrics.counter_add("serve.request_timeouts", 1);
+                    metrics.counter_add("serve.responses_408", 1);
+                    let _ = http::write_response(
+                        stream,
+                        408,
+                        JSON,
+                        b"{\"error\":\"request not completed within the deadline\"}",
+                        false,
+                    );
+                    return ConnOutcome::Done;
+                }
+                Err(ReadError::BadRequest(msg)) => {
+                    metrics.counter_add("serve.responses_400", 1);
+                    let body = format!("{{\"error\":\"{}\"}}", http::json_escape(&msg));
+                    let _ = http::write_response(stream, 400, JSON, body.as_bytes(), false);
+                    return ConnOutcome::Done;
+                }
+                Err(ReadError::BodyTooLarge { declared, limit }) => {
+                    metrics.counter_add("serve.responses_413", 1);
+                    let body = format!(
+                        "{{\"error\":\"body of {declared} bytes exceeds the {limit}-byte limit\"}}"
+                    );
+                    let _ = http::write_response(stream, 413, JSON, body.as_bytes(), false);
+                    return ConnOutcome::Done;
+                }
+                Err(ReadError::Io(_)) => return ConnOutcome::Done,
+            };
+        metrics.counter_add("serve.requests_total", 1);
+
+        // Pin the serving app for this request: a concurrent hot reload
+        // swaps the slot, not anything this request can observe.
+        let app = ctx.slot.current();
+
+        let t0 = Instant::now();
+        let routed = route(ctx, &app, &request, &clock);
+        metrics.observe(routed.endpoint, t0.elapsed().as_secs_f64());
+        match routed.status {
+            400 => metrics.counter_add("serve.responses_400", 1),
+            404 | 405 => metrics.counter_add("serve.responses_404", 1),
+            408 => metrics.counter_add("serve.responses_408", 1),
+            409 => metrics.counter_add("serve.responses_409", 1),
+            413 => metrics.counter_add("serve.responses_413", 1),
+            500 => metrics.counter_add("serve.responses_500", 1),
+            503 => metrics.counter_add("serve.responses_503", 1),
+            _ => metrics.counter_add("serve.responses_200", 1),
         }
+
+        // Once shutdown is underway, answer but stop keeping alive.
+        let keep_alive =
+            request.keep_alive && !routed.close && !routed.kill_worker && !ctx.shutdown.is_set();
+        if let Err(e) = http::write_response_ext(
+            stream,
+            routed.status,
+            routed.content_type,
+            routed.body.as_bytes(),
+            keep_alive,
+            routed.retry_after,
+        ) {
+            // A peer that stopped reading hits the socket write timeout;
+            // dropping the connection here is the slowloris-write
+            // equivalent of the read-side poll discipline.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                metrics.counter_add("serve.write_timeouts", 1);
+            }
+            return ConnOutcome::Done;
+        }
+        if routed.kill_worker {
+            return ConnOutcome::KillWorker;
+        }
+        if !keep_alive {
+            return ConnOutcome::Done;
+        }
+    }
+}
+
+/// Dispatch one request against the pinned `app`.
+fn route(ctx: &WorkerCtx, app: &Arc<App>, request: &Request, clock: &RequestClock) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => predict(ctx, app, request, clock),
         ("POST", "/rank-influencers") => {
             let (status, body) = app.rank_influencers(&request.body);
-            ("serve.rank_seconds", status, JSON, body)
+            Routed::new("serve.rank_seconds", status, JSON, body)
         }
         ("GET", path) if path.starts_with("/communities/") => {
             let segment = &path["/communities/".len()..];
             let (status, body) = app.communities(segment);
-            ("serve.communities_seconds", status, JSON, body)
+            Routed::new("serve.communities_seconds", status, JSON, body)
         }
         ("GET", "/healthz") => {
-            let (status, body) = app.healthz();
-            ("serve.healthz_seconds", status, JSON, body)
+            let (status, body) =
+                app.healthz(ctx.slot.generation(), ctx.degraded.load(Ordering::Acquire));
+            Routed::new("serve.healthz_seconds", status, JSON, body)
         }
-        ("GET", "/metrics") => (
+        ("GET", "/metrics") => Routed::new(
             "serve.metrics_seconds",
             200,
             "application/jsonl",
-            app.metrics_jsonl(),
+            ctx.metrics.snapshot().to_jsonl(),
         ),
+        ("POST", "/reload") => reload(ctx, request),
         ("POST", "/shutdown") => {
-            shutdown.trigger();
-            (
+            ctx.shutdown.trigger();
+            Routed::new(
                 "serve.shutdown_seconds",
                 200,
                 JSON,
                 "{\"status\":\"shutting down\"}".to_owned(),
             )
         }
-        (_, "/predict" | "/rank-influencers" | "/healthz" | "/metrics" | "/shutdown") => (
+        ("POST", "/chaos/panic") if ctx.chaos_endpoints => {
+            // Injected handler panic: must be contained by the worker's
+            // catch_unwind, costing only this connection.
+            panic!("chaos: injected handler panic");
+        }
+        ("POST", "/chaos/panic-worker") if ctx.chaos_endpoints => {
+            // Answer first, then die outside the catch (the worker loop
+            // panics after the response is on the wire) so the
+            // supervisor's respawn path is exercised end to end.
+            let mut routed = Routed::new(
+                "serve.chaos_seconds",
+                200,
+                JSON,
+                "{\"status\":\"worker will panic\"}".to_owned(),
+            );
+            routed.close = true;
+            routed.kill_worker = true;
+            routed
+        }
+        (
+            _,
+            "/predict" | "/rank-influencers" | "/healthz" | "/metrics" | "/reload" | "/shutdown",
+        ) => Routed::new(
             "serve.other_seconds",
             405,
             JSON,
             "{\"error\":\"method not allowed\"}".to_owned(),
         ),
-        _ => (
+        _ => Routed::new(
             "serve.other_seconds",
             404,
             JSON,
@@ -382,46 +738,128 @@ fn route(
     }
 }
 
-/// Parse, enqueue on the batcher, await the score.
-fn predict(app: &App, request: &Request, job_tx: &mpsc::Sender<PredictJob>) -> (u16, String) {
+/// `POST /reload` — verify and swap in a new artifact; any failure leaves
+/// the old model serving and reports `409`.
+fn reload(ctx: &WorkerCtx, request: &Request) -> Routed {
+    let path = match App::parse_reload(&request.body) {
+        Ok(p) => p,
+        Err(msg) => {
+            return Routed::new(
+                "serve.reload_endpoint_seconds",
+                400,
+                JSON,
+                format!("{{\"error\":\"{}\"}}", http::json_escape(&msg)),
+            )
+        }
+    };
+    match ctx.slot.reload(path.as_deref()) {
+        Ok(outcome) => Routed::new(
+            "serve.reload_endpoint_seconds",
+            200,
+            JSON,
+            format!(
+                "{{\"status\":\"reloaded\",\"generation\":{},\"model\":\"{}\",\"users\":{}}}",
+                outcome.generation,
+                http::json_escape(&outcome.model_path),
+                outcome.users,
+            ),
+        ),
+        Err(msg) => Routed::new(
+            "serve.reload_endpoint_seconds",
+            409,
+            JSON,
+            format!("{{\"error\":\"{}\"}}", http::json_escape(&msg)),
+        ),
+    }
+}
+
+/// Parse, enqueue on the batcher (bounded), await the score (bounded).
+fn predict(ctx: &WorkerCtx, app: &Arc<App>, request: &Request, clock: &RequestClock) -> Routed {
     let (publisher, consumer, words) = match app.parse_predict(&request.body) {
         Ok(p) => p,
         Err(msg) => {
-            return (
+            return Routed::new(
+                "serve.predict_seconds",
                 400,
+                JSON,
                 format!("{{\"error\":\"{}\"}}", http::json_escape(&msg)),
             )
         }
     };
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let deadline = clock.deadline();
     let job = PredictJob {
+        app: Arc::clone(app),
         publisher,
         consumer,
         words,
+        deadline,
         reply: reply_tx,
     };
-    if job_tx.send(job).is_err() {
-        return (503, "{\"error\":\"scoring queue is gone\"}".to_owned());
+    match ctx.job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) => {
+            ctx.metrics.counter_add("serve.shed", 1);
+            ctx.metrics.counter_add("serve.shed_jobs", 1);
+            let mut routed = Routed::new(
+                "serve.predict_seconds",
+                503,
+                JSON,
+                shed_body("predict queue full"),
+            );
+            routed.retry_after = Some(RETRY_AFTER_SECS);
+            return routed;
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            return Routed::new(
+                "serve.predict_seconds",
+                503,
+                JSON,
+                "{\"error\":\"scoring queue is gone\"}".to_owned(),
+            )
+        }
     }
-    match reply_rx.recv() {
-        Ok(result) => app.predict_response(publisher, consumer, result),
-        Err(_) => (503, "{\"error\":\"scoring queue is gone\"}".to_owned()),
+    // Wait no longer than the request deadline allows: a stalled batcher
+    // becomes a clean 503, never a hung client slot.
+    let wait = clock.remaining().unwrap_or(Duration::from_secs(3600));
+    match reply_rx.recv_timeout(wait) {
+        Ok(result) => {
+            let (status, body) = app.predict_response(publisher, consumer, result);
+            Routed::new("serve.predict_seconds", status, JSON, body)
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            ctx.metrics.counter_add("serve.request_timeouts", 1);
+            let mut routed = Routed::new(
+                "serve.predict_seconds",
+                503,
+                JSON,
+                shed_body("scoring missed the request deadline"),
+            );
+            routed.retry_after = Some(RETRY_AFTER_SECS);
+            routed
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Routed::new(
+            "serve.predict_seconds",
+            503,
+            JSON,
+            "{\"error\":\"scoring queue is gone\"}".to_owned(),
+        ),
     }
 }
 
-/// Drain jobs into micro-batches and score them.
+/// Drain jobs into micro-batches and score them, each against the app it
+/// was dispatched with.
 fn batcher_loop(
-    app: &App,
+    metrics: &Metrics,
     job_rx: &mpsc::Receiver<PredictJob>,
     batch_max: usize,
     batch_wait: Duration,
 ) {
-    let metrics = app.metrics();
     let mut batch = Vec::with_capacity(batch_max);
     loop {
         match job_rx.recv() {
             Ok(job) => batch.push(job),
-            Err(_) => return, // every worker hung up
+            Err(_) => return, // every job sender hung up
         }
         let deadline = Instant::now() + batch_wait;
         while batch.len() < batch_max {
@@ -436,10 +874,27 @@ fn batcher_loop(
         }
         metrics.observe("serve.batch_size", batch.len() as f64);
         for job in batch.drain(..) {
-            let result = app
-                .predictor()
-                .diffusion_score(job.publisher, job.consumer, &job.words);
-            let _ = job.reply.send(result);
+            // A job that expired while queued is dead weight: its worker
+            // already answered 503, so scoring it would only delay live
+            // jobs further. Dropping the reply sender unblocks any
+            // straggler receiver.
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                metrics.counter_add("serve.batch_expired", 1);
+                continue;
+            }
+            // Contain scoring panics to the one job: the reply channel
+            // drops, its worker answers 503, and the batcher lives on.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                job.app
+                    .predictor()
+                    .diffusion_score(job.publisher, job.consumer, &job.words)
+            }));
+            match result {
+                Ok(score) => {
+                    let _ = job.reply.send(score);
+                }
+                Err(_) => metrics.counter_add("serve.worker_panics", 1),
+            }
         }
     }
 }

@@ -1,0 +1,279 @@
+//! Chaos soak: seeded network faults and injected panics against a live
+//! server, with healthy traffic interleaved. The claims under test:
+//! hostile peers cost the server one connection each, never a worker and
+//! never a healthy client's answer; overload sheds exactly; panics are
+//! contained, counted, and survived; a crash-looping pool degrades
+//! loudly instead of dying.
+
+mod common;
+
+use cold_serve::chaos::ChaosPlan;
+use cold_serve::HttpClient;
+use common::{json, num, predict_score, TestServer, PREDICT};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[test]
+fn healthy_traffic_survives_chaos_mix() {
+    let ts = TestServer::start("soak", |_| {});
+    let mut c = ts.client();
+    let reference = predict_score(&mut c);
+    // Release the reference connection's worker before the storm.
+    drop(c);
+
+    let addr = ts.addr;
+    let healthy: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(addr, Duration::from_secs(10)).unwrap();
+                let mut scores = Vec::new();
+                for _ in 0..50 {
+                    let r = c.post("/predict", PREDICT).unwrap();
+                    assert_eq!(r.status, 200, "healthy request failed: {}", r.body);
+                    scores.push(num(json(&r.body).get("score").unwrap()));
+                }
+                scores
+            })
+        })
+        .collect();
+    let chaos: Vec<_> = (0..3u64)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let mut plan = ChaosPlan::new(0xC0FFEE ^ seed);
+                plan.stall = Duration::from_millis(150);
+                for _ in 0..10 {
+                    let fault = plan.next_fault();
+                    plan.run(addr, fault);
+                }
+            })
+        })
+        .collect();
+
+    for h in chaos {
+        h.join().unwrap();
+    }
+    for h in healthy {
+        for s in h.join().unwrap() {
+            assert_eq!(s, reference, "score drifted under chaos");
+        }
+    }
+
+    // The process took every fault on the chin: no worker died, nothing
+    // was shed (the healthy load is far below the queue bounds), and the
+    // server still answers.
+    let m = ts.client().get("/metrics").unwrap();
+    assert_eq!(m.status, 200);
+    cold_obs::schema::validate_jsonl(&m.body).unwrap();
+    assert_eq!(common::counter_in(&m.body, "serve.worker_panics"), 0);
+    assert_eq!(common::counter_in(&m.body, "serve.shed"), 0);
+    assert_eq!(ts.client().get("/healthz").unwrap().status, 200);
+}
+
+#[test]
+fn handler_panic_is_contained_to_one_connection() {
+    let ts = TestServer::start("panic", |c| c.chaos_endpoints = true);
+    let mut c = ts.client();
+    let reference = predict_score(&mut c);
+
+    // The injected panic unwinds out of the handler; the worker's
+    // catch_unwind turns it into a 500 on this connection only.
+    let r = ts.client().post("/chaos/panic", "").unwrap();
+    assert_eq!(r.status, 500, "{}", r.body);
+    assert!(!r.keep_alive);
+
+    // Same worker pool, same answers, exact accounting: one contained
+    // panic, zero respawns (the thread never died).
+    assert_eq!(predict_score(&mut ts.client()), reference);
+    assert_eq!(ts.counter("serve.worker_panics"), 1);
+    assert_eq!(ts.counter("serve.worker_respawns"), 0);
+    assert_eq!(ts.client().get("/healthz").unwrap().status, 200);
+}
+
+#[test]
+fn killed_workers_are_respawned_by_the_supervisor() {
+    let ts = TestServer::start("respawn", |c| c.chaos_endpoints = true);
+    let mut c = ts.client();
+    let reference = predict_score(&mut c);
+
+    for round in 1..=3u64 {
+        let r = ts.client().post("/chaos/panic-worker", "").unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        // The worker thread panics after responding; the supervisor
+        // notices within its poll interval and replaces it.
+        let respawns = ts.wait_counter("serve.worker_respawns", round, Duration::from_secs(5));
+        assert_eq!(respawns, round, "supervisor did not respawn worker");
+    }
+
+    assert_eq!(ts.counter("serve.worker_panics"), 3);
+    let health = ts.client().get("/healthz").unwrap();
+    assert_eq!(health.status, 200, "{}", health.body);
+    assert_eq!(predict_score(&mut ts.client()), reference);
+}
+
+#[test]
+fn respawn_breaker_flips_healthz_to_degraded() {
+    let ts = TestServer::start("breaker", |c| {
+        c.chaos_endpoints = true;
+        c.workers = 2;
+        c.respawn_limit = 1;
+    });
+    let mut c = ts.client();
+    let reference = predict_score(&mut c);
+    // With a pool this small, a lingering keep-alive connection would
+    // pin the post-breaker survivor; release it.
+    drop(c);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // First kill: within budget, respawned.
+    assert_eq!(
+        ts.client().post("/chaos/panic-worker", "").unwrap().status,
+        200
+    );
+    assert_eq!(
+        ts.wait_counter("serve.worker_respawns", 1, Duration::from_secs(5)),
+        1
+    );
+    // Second kill: over budget — no respawn, the breaker trips instead.
+    assert_eq!(
+        ts.client().post("/chaos/panic-worker", "").unwrap().status,
+        200
+    );
+    assert_eq!(
+        ts.wait_counter("serve.worker_panics", 2, Duration::from_secs(5)),
+        2
+    );
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let health = loop {
+        let h = ts.client().get("/healthz").unwrap();
+        if h.status == 503 || std::time::Instant::now() >= deadline {
+            break h;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(health.status, 503, "{}", health.body);
+    assert!(health.body.contains("degraded"), "{}", health.body);
+    assert_eq!(
+        ts.counter("serve.worker_respawns"),
+        1,
+        "breaker respawned past the cap"
+    );
+
+    // Degraded, not dead: the surviving worker still answers correctly.
+    assert_eq!(predict_score(&mut ts.client()), reference);
+}
+
+#[test]
+fn overload_sheds_exactly_beyond_the_connection_bound() {
+    let ts = TestServer::start("shed", |c| {
+        c.workers = 1;
+        c.max_conns = 2;
+        // Disable the deadline so the plug connection holds its worker
+        // for as long as the test needs.
+        c.request_timeout = Duration::ZERO;
+    });
+    let mut warm = ts.client();
+    let reference = predict_score(&mut warm);
+    drop(warm);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Plug the only worker with a half-sent request.
+    let mut plug = TcpStream::connect(ts.addr).unwrap();
+    plug.write_all(b"POST /pre").unwrap();
+    plug.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Six more connections: the queue takes 2, the other 4 are shed at
+    // accept time with 503 + Retry-After. Shed responses arrive without
+    // the client sending a byte; queued connections stay silent.
+    let streams: Vec<TcpStream> = (0..6)
+        .map(|_| {
+            let s = TcpStream::connect(ts.addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(1500)))
+                .unwrap();
+            s.set_nodelay(true).unwrap();
+            s
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut queued = Vec::new();
+    let mut shed = 0;
+    for mut s in streams {
+        let mut buf = [0u8; 1024];
+        match s.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                let head = String::from_utf8_lossy(&buf[..n]).to_string();
+                assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+                assert!(
+                    head.to_ascii_lowercase().contains("retry-after: 1"),
+                    "shed response lacks Retry-After: {head}"
+                );
+                shed += 1;
+            }
+            Ok(_) => panic!("connection closed without a shed response"),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                queued.push(s);
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+    }
+    assert_eq!(shed, 4, "exactly the overflow must be shed");
+    assert_eq!(queued.len(), 2, "queued connections must stay pending");
+
+    // Free the worker: the two queued connections drain and answer.
+    drop(plug);
+    for mut s in queued {
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let request = format!(
+            "POST /predict HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
+             content-type: application/json\r\ncontent-length: {}\r\n\r\n{PREDICT}",
+            PREDICT.len()
+        );
+        s.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(num(json(body).get("score").unwrap()), reference);
+    }
+
+    assert_eq!(ts.counter("serve.shed_conns"), 4);
+    assert_eq!(ts.counter("serve.shed"), 4);
+    assert_eq!(ts.counter("serve.worker_panics"), 0);
+}
+
+#[test]
+fn stalled_request_times_out_with_408_and_frees_the_worker() {
+    let ts = TestServer::start("stall408", |c| {
+        c.workers = 1;
+        c.request_timeout = Duration::from_millis(300);
+    });
+    let mut warm = ts.client();
+    let reference = predict_score(&mut warm);
+    // Free the only worker for the stalled connection.
+    drop(warm);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Arm the clock with a partial request, then stall.
+    let mut stall = TcpStream::connect(ts.addr).unwrap();
+    stall
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stall.write_all(b"POST /pre").unwrap();
+    stall.flush().unwrap();
+    let mut buf = [0u8; 256];
+    let n = stall.read(&mut buf).unwrap();
+    let head = String::from_utf8_lossy(&buf[..n]).to_string();
+    assert!(head.starts_with("HTTP/1.1 408"), "{head}");
+
+    // The only worker is free again and still correct.
+    assert_eq!(predict_score(&mut ts.client()), reference);
+    assert!(ts.counter("serve.request_timeouts") >= 1);
+}

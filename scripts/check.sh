@@ -157,6 +157,58 @@ wait "$SERVE_PID"
 grep -q "drained and stopped" "$SMOKE_DIR/serve.log"
 echo "all endpoints answered; server drained to a clean exit"
 
+echo "== chaos-smoke (seeded faults + worker kill + reload under a live server) =="
+# The robustness contract, end to end on a real process: healthy clients
+# keep getting bit-identical answers while seeded network faults, a
+# contained handler panic, and a worker kill (respawned by the
+# supervisor) land concurrently; a corrupt /reload is rejected with the
+# old model still serving; a valid /reload swaps generations; and the
+# server still drains to a clean exit 0.
+CHAOS_PORT=18396
+cargo run -q --release -p cold-cli -- serve \
+  --model "$SMOKE_DIR/model_sparse.bin" --data "$SMOKE_DIR/world.json" \
+  --port "$CHAOS_PORT" --workers 2 --chaos true \
+  --max-conns 32 --max-queue 64 --request-timeout-ms 2000 \
+  > "$SMOKE_DIR/chaos_serve.log" 2>&1 &
+CHAOS_PID=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://127.0.0.1:$CHAOS_PORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+CBASE="http://127.0.0.1:$CHAOS_PORT"
+ref=$(curl -sf -X POST "$CBASE/predict" -d '{"publisher":0,"consumer":1,"words":[0]}')
+cargo run -q --release -p cold-bench --bin chaos_client -- \
+  --addr "127.0.0.1:$CHAOS_PORT" --healthy 3 --chaos 3 --requests 40 \
+  --faults 10 --seed 9 --stall-ms 150 --kill-workers 1
+# A deliberately corrupt artifact must be rejected (409) with the old
+# model untouched and still serving.
+head -c 200 "$SMOKE_DIR/model_sparse.bin" > "$SMOKE_DIR/model_corrupt.bin"
+st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$CBASE/reload" \
+  -d "{\"model\":\"$SMOKE_DIR/model_corrupt.bin\"}")
+if [ "$st" != "409" ]; then
+  echo "corrupt reload returned HTTP $st, wanted 409" >&2
+  exit 1
+fi
+after=$(curl -sf -X POST "$CBASE/predict" -d '{"publisher":0,"consumer":1,"words":[0]}')
+if [ "$ref" != "$after" ]; then
+  echo "answer changed after a rejected reload: $ref -> $after" >&2
+  exit 1
+fi
+# A valid artifact hot-swaps in (same bytes here, so same answers).
+cp "$SMOKE_DIR/model_sparse.bin" "$SMOKE_DIR/model_copy.bin"
+curl -sf -X POST "$CBASE/reload" -d "{\"model\":\"$SMOKE_DIR/model_copy.bin\"}" \
+  | grep -q '"generation":1'
+curl -sf "$CBASE/healthz" | grep -q '"generation":1'
+after=$(curl -sf -X POST "$CBASE/predict" -d '{"publisher":0,"consumer":1,"words":[0]}')
+if [ "$ref" != "$after" ]; then
+  echo "answer changed after a same-bytes reload: $ref -> $after" >&2
+  exit 1
+fi
+curl -sf -X POST "$CBASE/shutdown" | grep -q 'shutting down'
+wait "$CHAOS_PID"
+grep -q "drained and stopped" "$SMOKE_DIR/chaos_serve.log"
+echo "chaos mix survived; corrupt reload rejected; valid reload swapped; clean drain"
+
 echo "== bench_serve --quick =="
 cargo run -q --release -p cold-bench --bin bench_serve -- --quick
 
