@@ -128,7 +128,7 @@ fn main() {
 
     let healthy_threads: Vec<_> = (0..healthy)
         .map(|_| {
-            std::thread::spawn(move || -> Result<(), String> {
+            std::thread::spawn(move || -> Result<u64, String> {
                 let mut client = HttpClient::connect(addr, Duration::from_secs(10))
                     .map_err(|e| format!("connect: {e}"))?;
                 for i in 0..requests {
@@ -139,7 +139,9 @@ fn main() {
                         ));
                     }
                 }
-                Ok(())
+                // Keep-alive reuse held except where chaos killed the
+                // connection under us — worth reporting either way.
+                Ok(client.reconnects())
             })
         })
         .collect();
@@ -190,9 +192,10 @@ fn main() {
         h.join().expect("chaos thread panicked");
     }
     let mut failures = Vec::new();
+    let mut client_reconnects = 0u64;
     for (i, h) in healthy_threads.into_iter().enumerate() {
         match h.join() {
-            Ok(Ok(())) => {}
+            Ok(Ok(reconnects)) => client_reconnects += reconnects,
             Ok(Err(e)) => failures.push(format!("healthy client {i}: {e}")),
             Err(_) => failures.push(format!("healthy client {i} panicked")),
         }
@@ -210,7 +213,7 @@ fn main() {
     assert_eq!(after, reference, "score drifted across the chaos run");
     println!(
         "chaos_client: OK ({} healthy x {} requests, {} chaos x {} faults, {} worker kills, \
-         panics={} respawns={} shed={})",
+         panics={} respawns={} shed={} client_reconnects={})",
         healthy,
         requests,
         chaos,
@@ -219,5 +222,6 @@ fn main() {
         counter(addr, "serve.worker_panics"),
         counter(addr, "serve.worker_respawns"),
         counter(addr, "serve.shed"),
+        client_reconnects,
     );
 }

@@ -34,6 +34,7 @@ USAGE:
                  [--workers N] [--top-comm N] [--rank-depth N]
                  [--data <world.json>] [--batch-max N] [--batch-wait-us U]
                  [--max-body BYTES] [--max-conns N] [--max-queue N]
+                 [--io-mode threads|epoll] [--io-threads N]
                  [--request-timeout-ms MS] [--respawn-limit N]
                  [--watch-model-ms MS] [--chaos true]
   cold metrics-check --file <metrics.jsonl>
@@ -627,8 +628,14 @@ pub fn serve(args: &Args) -> CliResult {
         None => None,
     };
     let defaults = cold_serve::ServeConfig::default();
+    let io_mode = match args.optional("io-mode") {
+        Some(raw) => raw.parse::<cold_serve::IoMode>()?,
+        None => defaults.io_mode,
+    };
     let config = cold_serve::ServeConfig {
         addr,
+        io_mode,
+        io_threads: args.get_or("io-threads", defaults.io_threads)?,
         workers: args.get_or("workers", 8usize)?,
         batch_max: args.get_or("batch-max", 32usize)?,
         batch_wait: std::time::Duration::from_micros(args.get_or("batch-wait-us", 500u64)?),
@@ -656,7 +663,7 @@ pub fn serve(args: &Args) -> CliResult {
         .map_err(|e| format!("cannot load {model_path}: {e}"))?;
     let server = cold_serve::Server::start(config, app).map_err(|e| e.to_string())?;
     println!(
-        "cold-serve listening on {} ({} workers); stop with: curl -X POST http://{}/shutdown",
+        "cold-serve listening on {} ({io_mode} transport, {} workers); stop with: curl -X POST http://{}/shutdown",
         server.addr(),
         args.get_or("workers", 8usize)?,
         server.addr()

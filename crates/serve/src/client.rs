@@ -1,4 +1,5 @@
-//! A tiny blocking HTTP/1.1 client over one keep-alive connection.
+//! A tiny blocking HTTP/1.1 client over a persistent keep-alive
+//! connection.
 //!
 //! Exists so the integration tests and the `bench_serve` load generator
 //! can exercise the server without external tooling. Supports exactly
@@ -6,9 +7,17 @@
 //! connection. Every socket operation is bounded — connect, read, and
 //! write all time out — so a wedged server turns into a clear error in
 //! the caller instead of a hung CI job.
+//!
+//! Connection reuse is the default: one TCP connection carries request
+//! after request until the server answers `connection: close`. A stale
+//! keep-alive connection (the server closed it between requests — e.g.
+//! an idle timeout or a restart) is replaced transparently with a single
+//! retry, and every connection established after the first is counted in
+//! [`HttpClient::reconnects`] — so a load generator can prove its
+//! measured throughput wasn't spent on TCP handshakes.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A parsed response.
@@ -24,10 +33,18 @@ pub struct Response {
     pub retry_after: Option<u64>,
 }
 
-/// One persistent connection to a `cold-serve` instance.
-pub struct HttpClient {
+struct Conn {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+}
+
+/// A persistent connection to a `cold-serve` instance, re-established
+/// on demand.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<Conn>,
+    reconnects: u64,
 }
 
 fn timed_out(e: &std::io::Error) -> bool {
@@ -46,6 +63,18 @@ fn with_context(e: std::io::Error, context: &str) -> std::io::Error {
     std::io::Error::new(kind, format!("{context}: {e}"))
 }
 
+/// Did the connection die under us in a way a fresh one can fix — as
+/// opposed to the server actively answering with an error?
+fn stale_conn(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
 impl HttpClient {
     /// Connect with `timeout` bounding the TCP connect itself and every
     /// subsequent read and write. A server that accepts but never
@@ -56,13 +85,32 @@ impl HttpClient {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        // Eager first connection: a dead server fails here, not on the
+        // first request.
+        let conn = Self::open(addr, timeout)?;
+        Ok(Self {
+            addr,
+            timeout,
+            conn: Some(conn),
+            reconnects: 0,
+        })
+    }
+
+    fn open(addr: SocketAddr, timeout: Duration) -> std::io::Result<Conn> {
         let stream = TcpStream::connect_timeout(&addr, timeout)
             .map_err(|e| with_context(e, &format!("cannot connect to {addr}")))?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { stream, reader })
+        Ok(Conn { stream, reader })
+    }
+
+    /// Connections established beyond the first — how often keep-alive
+    /// reuse failed (server closed between requests, `connection:
+    /// close` responses, transparent retries).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// `GET path`.
@@ -75,7 +123,10 @@ impl HttpClient {
         self.request("POST", path, Some(json))
     }
 
-    /// Issue one request on the persistent connection.
+    /// Issue one request, reusing the persistent connection. If a held
+    /// keep-alive connection turns out to be dead (closed server-side
+    /// since the last request), it is replaced and the request retried
+    /// once on the fresh connection.
     pub fn request(
         &mut self,
         method: &str,
@@ -83,22 +134,52 @@ impl HttpClient {
         body: Option<&str>,
     ) -> std::io::Result<Response> {
         let body = body.unwrap_or("");
-        write!(
-            self.stream,
+        let had_conn = self.conn.is_some();
+        match self.try_request(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(e) if had_conn && stale_conn(&e) => {
+                self.conn = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        if self.conn.is_none() {
+            self.conn = Some(Self::open(self.addr, self.timeout)?);
+            self.reconnects += 1;
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        let sent = write!(
+            conn.stream,
             "{method} {path} HTTP/1.1\r\nhost: cold-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         )
-        .map_err(|e| with_context(e, &format!("cannot send {method} {path}")))?;
-        self.stream
-            .flush()
-            .map_err(|e| with_context(e, &format!("cannot send {method} {path}")))?;
-        self.read_response()
-            .map_err(|e| with_context(e, &format!("no response to {method} {path}")))
+        .and_then(|()| conn.stream.flush());
+        if let Err(e) = sent {
+            self.conn = None;
+            return Err(with_context(e, &format!("cannot send {method} {path}")));
+        }
+        match Self::read_response(conn) {
+            Ok(response) => {
+                if !response.keep_alive {
+                    // The server is closing this connection; don't let
+                    // the next request trip over the corpse.
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(with_context(e, &format!("no response to {method} {path}")))
+            }
+        }
     }
 
-    fn read_line(&mut self) -> std::io::Result<String> {
+    fn read_line(conn: &mut Conn) -> std::io::Result<String> {
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        if conn.reader.read_line(&mut line)? == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
@@ -107,8 +188,8 @@ impl HttpClient {
         Ok(line.trim_end_matches(['\r', '\n']).to_owned())
     }
 
-    fn read_response(&mut self) -> std::io::Result<Response> {
-        let status_line = self.read_line()?;
+    fn read_response(conn: &mut Conn) -> std::io::Result<Response> {
+        let status_line = Self::read_line(conn)?;
         let status: u16 = status_line
             .split(' ')
             .nth(1)
@@ -123,7 +204,7 @@ impl HttpClient {
         let mut keep_alive = true;
         let mut retry_after = None;
         loop {
-            let line = self.read_line()?;
+            let line = Self::read_line(conn)?;
             if line.is_empty() {
                 break;
             }
@@ -146,7 +227,7 @@ impl HttpClient {
             }
         }
         let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        conn.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body).map_err(|_| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "body is not UTF-8")
         })?;

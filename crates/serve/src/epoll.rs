@@ -1,0 +1,866 @@
+//! The readiness-driven transport (Linux): a small pool of epoll event
+//! loops owns every socket; the scorer pool never touches one.
+//!
+//! ```text
+//!                       ┌────────────────┐   Job (bounded)  ┌──────────┐
+//!   listener ──────────▶│ io loop 0      │─────────────────▶│ scorer 0 │
+//!   (loop 0, nonblock)  │  conns: {...}  │◀───┐             │   ...    │
+//!          round-robin  ├────────────────┤    │ Completion  │ scorer N │
+//!          handoff ────▶│ io loop 1..N   │────┴── eventfd ──└──────────┘
+//!                       └────────────────┘
+//! ```
+//!
+//! Each loop runs a per-connection state machine:
+//!
+//! ```text
+//!            readable: buffer bytes, try_parse
+//!   ┌─────────┐──────── complete /predict ────────▶┌───────────────┐
+//!   │ Reading │                                    │ AwaitingScore │
+//!   │         │◀─── completion (or deadline) ──────│  (job queued) │
+//!   └─────────┘      response queued on write_buf  └───────────────┘
+//!        │ any other request: route inline, queue response
+//!        ▼ writable: flush write_buf, then parse pipelined bytes
+//! ```
+//!
+//! Interest management is deliberately minimal (level-triggered, no
+//! `EPOLLET`): every connection is armed `EPOLLIN | EPOLLRDHUP` for its
+//! whole life, `EPOLLOUT` is added only while a response is partially
+//! written (`serve.io_write_partial` counts those) and dropped as soon
+//! as the buffer drains, and the only other `MOD` is a read-side pause
+//! when a client pipelines more than [`PIPELINE_CAP`] bytes behind an
+//! in-flight `/predict` — the epoll analogue of the thread transport's
+//! TCP backpressure (it simply stops `read()`ing while scoring).
+//!
+//! Deadlines move from read-timeout polling onto the epoll timer tick:
+//! `epoll_wait` sleeps no longer than the nearest armed deadline (capped
+//! by [`POLL_INTERVAL`]) and a sweep then answers expired requests — a
+//! stalled upload gets `408`, a score the pool couldn't produce in time
+//! gets `503` + `Retry-After`, a peer that stops reading its response is
+//! closed (`serve.write_timeouts`). A slowloris therefore costs one
+//! buffer and one timer entry, never a thread.
+//!
+//! Metric accounting is bit-identical to the thread transport by
+//! construction: both funnel through [`count_status`], both count
+//! `serve.connections_total` at accept and `serve.requests_total` at
+//! parse, and `serve.predict_seconds` spans dispatch → reply either way.
+
+use crate::http::{self, ReadError, RequestClock};
+use crate::server::{
+    count_status, route_async, shed_body, shed_conn, Job, PredictJob, ReplySink, RouteOutcome,
+    ServiceCtx, FALLBACK_WRITE_TIMEOUT, JSON, POLL_INTERVAL, RETRY_AFTER_SECS,
+};
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use cold_core::PredictError;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token for the listening socket (loop 0 only).
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token for the loop's wakeup eventfd.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Bytes read per readiness event; level-triggered epoll re-reports
+/// until the socket is drained, so one bounded read per wakeup is fair
+/// to the other connections on the loop.
+const READ_CHUNK: usize = 64 * 1024;
+/// Read-side pause threshold while a `/predict` is in flight: a client
+/// may pipeline this many buffered bytes before the loop stops reading
+/// from it until the score comes back.
+const PIPELINE_CAP: usize = 256 * 1024;
+
+/// Where a scorer posts a finished `/predict` for a loop-owned
+/// connection: push the completion, ring the loop's eventfd.
+pub(crate) struct CompletionSink {
+    shared: Arc<LoopShared>,
+    conn: u64,
+    seq: u64,
+}
+
+impl CompletionSink {
+    pub(crate) fn send(self, result: Result<f64, PredictError>) {
+        self.shared
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion {
+                conn: self.conn,
+                seq: self.seq,
+                result,
+            });
+        self.shared.wake.wake();
+    }
+}
+
+/// The cross-thread face of one event loop: anything that must reach it
+/// (accepted-connection handoff, scorer completions, shutdown) goes
+/// through here and rings the eventfd.
+struct LoopShared {
+    wake: Arc<EventFd>,
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+}
+
+struct Completion {
+    conn: u64,
+    /// Must match the connection's current sequence number — a reply to
+    /// a request the loop already answered (deadline 503) is discarded.
+    seq: u64,
+    result: Result<f64, PredictError>,
+}
+
+/// What a connection is doing between readiness events.
+enum ConnPhase {
+    /// Accumulating request bytes (or idle keep-alive).
+    Reading,
+    /// A `/predict` job is queued on the scorer pool; everything needed
+    /// to answer when the completion lands (or the deadline fires).
+    AwaitingScore {
+        app: Arc<crate::app::App>,
+        publisher: u32,
+        consumer: u32,
+        t0: Instant,
+        keep_alive: bool,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already on the wire.
+    written: usize,
+    phase: ConnPhase,
+    /// Armed by the request's first byte, spanning parse → score → reply.
+    clock: RequestClock,
+    /// Bumped per answered request; stale completions don't match.
+    seq: u64,
+    /// Close once `write_buf` drains (`connection: close` responses).
+    close_after_write: bool,
+    /// `EPOLLOUT` currently armed.
+    want_write: bool,
+    /// `EPOLLIN` currently armed (dropped only at [`PIPELINE_CAP`]).
+    want_read: bool,
+    /// Bound on flushing the current `write_buf`.
+    write_deadline: Option<Instant>,
+    /// Peer sent EOF; serve what is buffered, then close.
+    peer_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, timeout: Option<Duration>) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            phase: ConnPhase::Reading,
+            clock: RequestClock::new(timeout),
+            seq: 0,
+            close_after_write: false,
+            want_write: false,
+            want_read: true,
+            write_deadline: None,
+            peer_closed: false,
+        }
+    }
+
+    fn interest(&self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.want_read {
+            bits |= EPOLLIN;
+        }
+        if self.want_write {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    fn write_pending(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+}
+
+struct EventLoop {
+    idx: usize,
+    ep: Epoll,
+    shared: Arc<LoopShared>,
+    peers: Vec<Arc<LoopShared>>,
+    /// Round-robin cursor for connection handoff, shared by all loops
+    /// (only loop 0 accepts, but the counter surviving a loop is cheap).
+    rr: Arc<AtomicUsize>,
+    listener: Option<TcpListener>,
+    svc: Arc<ServiceCtx>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    live_loops: Arc<AtomicUsize>,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+/// Spawn `io_threads` event loops. Loop 0 owns the (nonblocking)
+/// listener and hands accepted connections round-robin across the pool;
+/// every loop registers its eventfd as a shutdown waker first, so a
+/// trigger always lands.
+pub(crate) fn spawn_loops(
+    svc: &Arc<ServiceCtx>,
+    listener: TcpListener,
+    io_threads: usize,
+    live_loops: &Arc<AtomicUsize>,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    let mut shareds = Vec::with_capacity(io_threads);
+    for _ in 0..io_threads {
+        let shared = Arc::new(LoopShared {
+            wake: Arc::new(EventFd::new()?),
+            inbox: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+        });
+        svc.shutdown.add_waker(Arc::clone(&shared.wake));
+        shareds.push(shared);
+    }
+    let rr = Arc::new(AtomicUsize::new(0));
+    let mut listener = Some(listener);
+    let mut handles = Vec::with_capacity(io_threads);
+    for idx in 0..io_threads {
+        let el = EventLoop {
+            idx,
+            ep: Epoll::new()?,
+            shared: Arc::clone(&shareds[idx]),
+            peers: shareds.clone(),
+            rr: Arc::clone(&rr),
+            listener: if idx == 0 { listener.take() } else { None },
+            svc: Arc::clone(svc),
+            conns: HashMap::new(),
+            next_conn: 0,
+            live_loops: Arc::clone(live_loops),
+            draining: false,
+            drain_deadline: None,
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("cold-serve-io-{idx}"))
+                .spawn(move || el.run())?,
+        );
+    }
+    Ok(handles)
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        // Registration failures here mean epoll itself is broken; the
+        // panic surfaces as `serve.io_loop_panics` + degraded.
+        self.ep
+            .add(self.shared.wake.raw(), EPOLLIN, TOKEN_WAKE)
+            .expect("cannot register loop eventfd");
+        if let Some(l) = &self.listener {
+            self.ep
+                .add(l.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+                .expect("cannot register listener");
+        }
+        let mut events = vec![EpollEvent::empty(); 256];
+        loop {
+            if self.svc.shutdown.is_set() && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining
+                && (self.conns.is_empty()
+                    || self.drain_deadline.is_some_and(|d| Instant::now() >= d))
+            {
+                break;
+            }
+            let timeout = self.next_timeout();
+            let n = match self.ep.wait(&mut events, Some(timeout)) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            self.svc.metrics.counter_add("serve.epoll_wakeups", 1);
+            for ev in &events[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (token, bits) = (ev.data, ev.events);
+                match token {
+                    TOKEN_WAKE => self.on_wake(),
+                    TOKEN_LISTENER => self.on_accept(),
+                    id => self.on_conn_event(id, bits),
+                }
+            }
+            self.expire_deadlines();
+        }
+        // Force-close whatever the drain deadline cut off.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+        self.reject_inbox();
+        self.live_loops.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// The nearest armed deadline bounds the sleep (timer-tick
+    /// discipline); [`POLL_INTERVAL`] is the ceiling either way.
+    fn next_timeout(&self) -> Duration {
+        let mut nearest: Option<Instant> = self.drain_deadline;
+        let mut consider = |d: Option<Instant>| {
+            if let Some(d) = d {
+                nearest = Some(match nearest {
+                    Some(n) => n.min(d),
+                    None => d,
+                });
+            }
+        };
+        for conn in self.conns.values() {
+            consider(conn.clock.deadline());
+            if conn.write_pending() {
+                consider(conn.write_deadline);
+            }
+        }
+        match nearest {
+            Some(d) => d
+                .saturating_duration_since(Instant::now())
+                .min(POLL_INTERVAL),
+            None => POLL_INTERVAL,
+        }
+    }
+
+    fn on_accept(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let metrics = &self.svc.metrics;
+                    metrics.counter_add("serve.connections_total", 1);
+                    // The live open-connection count is the shed bound
+                    // here — the epoll analogue of a full accept queue.
+                    if self.svc.open_conns.count() >= self.svc.max_conns as i64 {
+                        shed_conn(metrics, &stream);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.svc.open_conns.inc();
+                    let target = self.rr.fetch_add(1, Ordering::Relaxed) % self.peers.len();
+                    if target == self.idx {
+                        self.register_conn(stream);
+                    } else {
+                        let peer = &self.peers[target];
+                        peer.inbox
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(stream);
+                        peer.wake.wake();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return, // WouldBlock: drained the backlog
+            }
+        }
+    }
+
+    /// Adopt a connection (locally accepted or handed off by loop 0).
+    /// The open-connection gauge was already bumped at accept.
+    fn register_conn(&mut self, stream: TcpStream) {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let fd = stream.as_raw_fd();
+        let conn = Conn::new(stream, self.svc.request_timeout);
+        if self.ep.add(fd, conn.interest(), id).is_err() {
+            self.svc.open_conns.dec();
+            return;
+        }
+        self.conns.insert(id, conn);
+    }
+
+    fn on_wake(&mut self) {
+        self.shared.wake.drain();
+        let handed: Vec<TcpStream> = std::mem::take(
+            &mut *self
+                .shared
+                .inbox
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for stream in handed {
+            if self.draining {
+                self.svc.open_conns.dec();
+            } else {
+                self.register_conn(stream);
+            }
+        }
+        let done: Vec<Completion> = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for completion in done {
+            self.on_completion(completion);
+        }
+    }
+
+    fn on_conn_event(&mut self, id: u64, bits: u32) {
+        if !self.conns.contains_key(&id) {
+            return; // stale event for a connection closed this batch
+        }
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(id);
+            return;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.on_readable(id);
+        } else if bits & EPOLLOUT != 0 {
+            self.advance(id, false);
+        }
+    }
+
+    /// One bounded read; level-triggered epoll re-reports leftovers.
+    fn on_readable(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut scratch = [0u8; READ_CHUNK];
+        match (&conn.stream).read(&mut scratch) {
+            Ok(0) => conn.peer_closed = true,
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&scratch[..n]);
+                conn.clock.mark();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return
+            }
+            Err(_) => {
+                // Transport failure mid-request: same silent close as the
+                // thread transport's `ReadError::Io`.
+                self.close_conn(id);
+                return;
+            }
+        }
+        self.advance(id, true);
+    }
+
+    /// The per-connection driver: flush, parse, dispatch, repeat. One
+    /// iterative loop (never recursion) so a pipelined burst of requests
+    /// costs stack O(1).
+    fn advance(&mut self, id: u64, after_read: bool) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+
+            // 1. Flush queued response bytes.
+            if conn.write_pending() {
+                loop {
+                    match (&conn.stream).write(&conn.write_buf[conn.written..]) {
+                        Ok(0) => {
+                            self.close_conn(id);
+                            return;
+                        }
+                        Ok(n) => {
+                            conn.written += n;
+                            if !conn.write_pending() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // Socket buffer full: arm EPOLLOUT and come
+                            // back when the peer drains it.
+                            self.svc.metrics.counter_add("serve.io_write_partial", 1);
+                            if !conn.want_write {
+                                conn.want_write = true;
+                                let fd = conn.stream.as_raw_fd();
+                                let interest = conn.interest();
+                                let _ = self.ep.modify(fd, interest, id);
+                            }
+                            return;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.close_conn(id);
+                            return;
+                        }
+                    }
+                }
+                conn.write_buf.clear();
+                conn.written = 0;
+                conn.write_deadline = None;
+                if conn.want_write {
+                    conn.want_write = false;
+                    let fd = conn.stream.as_raw_fd();
+                    let interest = conn.interest();
+                    let _ = self.ep.modify(fd, interest, id);
+                }
+                if conn.close_after_write {
+                    self.close_conn(id);
+                    return;
+                }
+                continue; // re-fetch: state may allow the next request now
+            }
+
+            // 2. A queued score answers this connection, not the parser.
+            if matches!(conn.phase, ConnPhase::AwaitingScore { .. }) {
+                if conn.read_buf.len() >= PIPELINE_CAP && conn.want_read {
+                    // Backpressure a hyper-pipeliner: stop reading until
+                    // the in-flight score is answered.
+                    conn.want_read = false;
+                    let fd = conn.stream.as_raw_fd();
+                    let interest = conn.interest();
+                    let _ = self.ep.modify(fd, interest, id);
+                }
+                return;
+            }
+
+            // Draining: requests not yet complete are dropped, exactly
+            // like the thread transport's shutdown-interrupted read.
+            if self.draining {
+                self.close_conn(id);
+                return;
+            }
+
+            // 3. Parse the next request out of the buffer.
+            if conn.read_buf.is_empty() {
+                if conn.peer_closed {
+                    self.close_conn(id);
+                }
+                return;
+            }
+            conn.clock.mark();
+            match http::try_parse(&conn.read_buf, self.svc.max_body) {
+                Ok(Some((request, consumed))) => {
+                    conn.read_buf.drain(..consumed);
+                    self.svc.metrics.counter_add("serve.requests_total", 1);
+                    self.dispatch(id, request);
+                }
+                Ok(None) => {
+                    if conn.peer_closed {
+                        // EOF mid-request: 400, as the blocking reader
+                        // answers a connection closed mid-line/mid-body.
+                        count_status(&self.svc.metrics, 400);
+                        self.queue_response(
+                            id,
+                            400,
+                            JSON,
+                            b"{\"error\":\"connection closed mid-request\"}",
+                            false,
+                            None,
+                        );
+                        continue;
+                    }
+                    if after_read {
+                        self.svc.metrics.counter_add("serve.io_read_partial", 1);
+                    }
+                    return;
+                }
+                Err(ReadError::BadRequest(msg)) => {
+                    count_status(&self.svc.metrics, 400);
+                    let body = format!("{{\"error\":\"{}\"}}", http::json_escape(&msg));
+                    self.queue_response(id, 400, JSON, body.as_bytes(), false, None);
+                }
+                Err(ReadError::BodyTooLarge { declared, limit }) => {
+                    count_status(&self.svc.metrics, 413);
+                    let body = format!(
+                        "{{\"error\":\"body of {declared} bytes exceeds the {limit}-byte limit\"}}"
+                    );
+                    self.queue_response(id, 413, JSON, body.as_bytes(), false, None);
+                }
+                Err(_) => {
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Route one parsed request: inline endpoints answer immediately,
+    /// `/predict` goes to the scorer pool and parks the connection.
+    fn dispatch(&mut self, id: u64, request: http::Request) {
+        let svc = Arc::clone(&self.svc);
+        let app = svc.slot.current();
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| route_async(&svc, &app, &request)));
+        match outcome {
+            Err(_) => {
+                // A panicking handler costs this connection a 500, never
+                // the loop (same containment as the worker's catch).
+                svc.metrics.counter_add("serve.worker_panics", 1);
+                svc.metrics.counter_add("serve.responses_500", 1);
+                self.queue_response(
+                    id,
+                    500,
+                    JSON,
+                    b"{\"error\":\"internal error; the request was aborted\"}",
+                    false,
+                    None,
+                );
+            }
+            Ok(RouteOutcome::Ready(routed)) => {
+                svc.metrics
+                    .observe(routed.endpoint, t0.elapsed().as_secs_f64());
+                count_status(&svc.metrics, routed.status);
+                let keep_alive = request.keep_alive
+                    && !routed.close
+                    && !routed.kill_worker
+                    && !svc.shutdown.is_set();
+                self.queue_response(
+                    id,
+                    routed.status,
+                    routed.content_type,
+                    routed.body.as_bytes(),
+                    keep_alive,
+                    routed.retry_after,
+                );
+                if routed.kill_worker {
+                    // Chaos worker-kill: poison one scorer so the
+                    // supervisor respawn path runs, as in thread mode.
+                    let _ = svc.job_tx.try_send(Job::Poison);
+                }
+            }
+            Ok(RouteOutcome::Predict {
+                publisher,
+                consumer,
+                words,
+            }) => {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                let keep_alive = request.keep_alive && !svc.shutdown.is_set();
+                let job = Job::Predict(PredictJob {
+                    app: Arc::clone(&app),
+                    publisher,
+                    consumer,
+                    words,
+                    deadline: conn.clock.deadline(),
+                    reply: ReplySink::Loop(CompletionSink {
+                        shared: Arc::clone(&self.shared),
+                        conn: id,
+                        seq: conn.seq,
+                    }),
+                });
+                match svc.job_tx.try_send(job) {
+                    Ok(()) => {
+                        conn.phase = ConnPhase::AwaitingScore {
+                            app,
+                            publisher,
+                            consumer,
+                            t0,
+                            keep_alive,
+                        };
+                    }
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        svc.metrics.counter_add("serve.shed", 1);
+                        svc.metrics.counter_add("serve.shed_jobs", 1);
+                        svc.metrics
+                            .observe("serve.predict_seconds", t0.elapsed().as_secs_f64());
+                        count_status(&svc.metrics, 503);
+                        self.queue_response(
+                            id,
+                            503,
+                            JSON,
+                            shed_body("predict queue full").as_bytes(),
+                            keep_alive,
+                            Some(RETRY_AFTER_SECS),
+                        );
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => {
+                        svc.metrics
+                            .observe("serve.predict_seconds", t0.elapsed().as_secs_f64());
+                        count_status(&svc.metrics, 503);
+                        self.queue_response(
+                            id,
+                            503,
+                            JSON,
+                            b"{\"error\":\"scoring queue is gone\"}",
+                            keep_alive,
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A scorer finished a `/predict` for one of our connections.
+    fn on_completion(&mut self, completion: Completion) {
+        let Some(conn) = self.conns.get_mut(&completion.conn) else {
+            return; // connection closed while the job was in flight
+        };
+        if completion.seq != conn.seq {
+            return; // already answered (deadline 503); stale score
+        }
+        let phase = std::mem::replace(&mut conn.phase, ConnPhase::Reading);
+        let ConnPhase::AwaitingScore {
+            app,
+            publisher,
+            consumer,
+            t0,
+            keep_alive,
+        } = phase
+        else {
+            return;
+        };
+        conn.seq += 1;
+        let (status, body) = app.predict_response(publisher, consumer, completion.result);
+        self.svc
+            .metrics
+            .observe("serve.predict_seconds", t0.elapsed().as_secs_f64());
+        count_status(&self.svc.metrics, status);
+        self.queue_response(
+            completion.conn,
+            status,
+            JSON,
+            body.as_bytes(),
+            keep_alive,
+            None,
+        );
+        self.advance(completion.conn, false);
+    }
+
+    /// Queue one response on the connection's write buffer and reset its
+    /// per-request state; `advance` does the actual flushing.
+    fn queue_response(
+        &mut self,
+        id: u64,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        keep_alive: bool,
+        retry_after: Option<u64>,
+    ) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        conn.write_buf.extend_from_slice(&http::format_response(
+            status,
+            content_type,
+            body,
+            keep_alive,
+            retry_after,
+        ));
+        conn.close_after_write = !keep_alive;
+        conn.clock = RequestClock::new(self.svc.request_timeout);
+        conn.write_deadline =
+            Some(Instant::now() + self.svc.request_timeout.unwrap_or(FALLBACK_WRITE_TIMEOUT));
+        if !conn.want_read {
+            // Re-arm reads paused at the pipeline cap.
+            conn.want_read = true;
+            let fd = conn.stream.as_raw_fd();
+            let interest = conn.interest();
+            let _ = self.ep.modify(fd, interest, id);
+        }
+    }
+
+    /// Timer tick: answer every expired deadline. This is where the
+    /// thread transport's read-timeout polling moved to.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            if conn.write_pending() {
+                // A peer not reading its response: bounded patience.
+                if conn.write_deadline.is_some_and(|d| now >= d) {
+                    self.svc.metrics.counter_add("serve.write_timeouts", 1);
+                    self.close_conn(id);
+                }
+                continue;
+            }
+            if conn.clock.deadline().is_none_or(|d| now < d) {
+                continue;
+            }
+            match &conn.phase {
+                ConnPhase::Reading => {
+                    // Stalled mid-upload (slowloris): 408, close.
+                    self.svc.metrics.counter_add("serve.request_timeouts", 1);
+                    self.svc.metrics.counter_add("serve.responses_408", 1);
+                    self.queue_response(
+                        id,
+                        408,
+                        JSON,
+                        b"{\"error\":\"request not completed within the deadline\"}",
+                        false,
+                        None,
+                    );
+                    self.advance(id, false);
+                }
+                ConnPhase::AwaitingScore { t0, keep_alive, .. } => {
+                    // The pool couldn't score in time: 503 + Retry-After,
+                    // keep-alive preserved; a late completion is stale.
+                    let (t0, keep_alive) = (*t0, *keep_alive);
+                    conn.seq += 1;
+                    conn.phase = ConnPhase::Reading;
+                    self.svc.metrics.counter_add("serve.request_timeouts", 1);
+                    self.svc
+                        .metrics
+                        .observe("serve.predict_seconds", t0.elapsed().as_secs_f64());
+                    count_status(&self.svc.metrics, 503);
+                    self.queue_response(
+                        id,
+                        503,
+                        JSON,
+                        shed_body("scoring missed the request deadline").as_bytes(),
+                        keep_alive,
+                        Some(RETRY_AFTER_SECS),
+                    );
+                    self.advance(id, false);
+                }
+            }
+        }
+    }
+
+    /// Shutdown raised: stop accepting, drop idle and mid-read
+    /// connections, flush what is answerable, and bound the rest with a
+    /// hard deadline.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + FALLBACK_WRITE_TIMEOUT);
+        if let Some(listener) = self.listener.take() {
+            self.ep.delete(listener.as_raw_fd());
+        }
+        self.reject_inbox();
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(conn) = self.conns.get(&id) else {
+                continue;
+            };
+            // In-flight scores get answered; queued writes get flushed;
+            // everything else (idle keep-alive, partial reads) closes
+            // now — thread-transport parity.
+            if matches!(conn.phase, ConnPhase::Reading) && !conn.write_pending() {
+                self.close_conn(id);
+            }
+        }
+    }
+
+    /// Connections handed off but never adopted still own a gauge slot.
+    fn reject_inbox(&mut self) {
+        let handed: Vec<TcpStream> = std::mem::take(
+            &mut *self
+                .shared
+                .inbox
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for stream in handed {
+            self.svc.open_conns.dec();
+            drop(stream);
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            self.ep.delete(conn.stream.as_raw_fd());
+            self.svc.open_conns.dec();
+        }
+    }
+}

@@ -8,10 +8,15 @@
 //! default (persistent unless `Connection: close`; HTTP/1.0 is the
 //! reverse).
 //!
-//! Reads poll with a short socket timeout so a worker blocked on an idle
-//! keep-alive connection still notices server shutdown within one poll
-//! interval — the price of doing graceful shutdown with blocking sockets
-//! and no `select(2)`.
+//! Two consumers share the grammar. The blocking path
+//! ([`read_request`]) polls with a short socket timeout so a worker
+//! blocked on an idle keep-alive connection still notices server
+//! shutdown within one poll interval — the price of doing graceful
+//! shutdown with blocking sockets and no `select(2)`. The resumable path
+//! ([`try_parse`]) parses straight out of an accumulated byte buffer and
+//! reports how much it consumed, which is what a readiness-driven
+//! (epoll) transport needs: feed it whatever the socket had, get back a
+//! request or "not yet".
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -211,23 +216,8 @@ fn read_full(
     Ok(())
 }
 
-/// Read and parse one request. `Err(ReadError::Closed)` is the normal end
-/// of a keep-alive connection.
-pub fn read_request(
-    reader: &mut BufReader<&TcpStream>,
-    max_body: usize,
-    shutdown: &AtomicBool,
-    clock: &mut RequestClock,
-) -> Result<Request, ReadError> {
-    let mut line = Vec::new();
-    read_line(reader, &mut line, shutdown, clock)?;
-    if line.len() > MAX_LINE {
-        return Err(ReadError::BadRequest(format!(
-            "request line exceeds {MAX_LINE} bytes"
-        )));
-    }
-    let text = String::from_utf8(line)
-        .map_err(|_| ReadError::BadRequest("request line is not UTF-8".into()))?;
+/// Parse `METHOD target HTTP/1.x` → `(method, target, is_http11)`.
+fn parse_request_line(text: &str) -> Result<(&str, &str, bool), ReadError> {
     let mut parts = text.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
@@ -246,27 +236,19 @@ pub fn read_request(
             )))
         }
     };
+    Ok((method, target, http11))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let mut line = Vec::new();
-        read_line(reader, &mut line, shutdown, clock)?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(ReadError::BadRequest(format!(
-                "more than {MAX_HEADERS} headers"
-            )));
-        }
-        let text = String::from_utf8(line)
-            .map_err(|_| ReadError::BadRequest("header line is not UTF-8".into()))?;
-        let (name, value) = text
-            .split_once(':')
-            .ok_or_else(|| ReadError::BadRequest(format!("malformed header line: {text:?}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
+/// Parse one `Name: value` header line into lowercase-name/trimmed-value.
+fn parse_header_line(text: &str) -> Result<(String, String), ReadError> {
+    let (name, value) = text
+        .split_once(':')
+        .ok_or_else(|| ReadError::BadRequest(format!("malformed header line: {text:?}")))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+}
 
+/// Declared body length (0 when absent), bounds-checked against the cap.
+fn content_length_of(headers: &[(String, String)], max_body: usize) -> Result<usize, ReadError> {
     let content_length = headers
         .iter()
         .find(|(k, _)| k == "content-length")
@@ -282,9 +264,17 @@ pub fn read_request(
             limit: max_body,
         });
     }
-    let mut body = vec![0u8; content_length];
-    read_full(reader, &mut body, shutdown, clock)?;
+    Ok(content_length)
+}
 
+/// Assemble the [`Request`] once method/target/headers/body are in hand.
+fn finish_request(
+    method: &str,
+    target: &str,
+    http11: bool,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+) -> Request {
     let connection = headers
         .iter()
         .find(|(k, _)| k == "connection")
@@ -294,17 +284,135 @@ pub fn read_request(
         Some("keep-alive") => true,
         _ => http11,
     };
-
     // Split the query string off; endpoints here don't use one.
     let path = target.split('?').next().unwrap_or(target).to_owned();
-
-    Ok(Request {
+    Request {
         method: method.to_owned(),
         path,
         headers,
         body,
         keep_alive,
-    })
+    }
+}
+
+/// Read and parse one request. `Err(ReadError::Closed)` is the normal end
+/// of a keep-alive connection.
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    max_body: usize,
+    shutdown: &AtomicBool,
+    clock: &mut RequestClock,
+) -> Result<Request, ReadError> {
+    let mut line = Vec::new();
+    read_line(reader, &mut line, shutdown, clock)?;
+    if line.len() > MAX_LINE {
+        return Err(ReadError::BadRequest(format!(
+            "request line exceeds {MAX_LINE} bytes"
+        )));
+    }
+    let text = String::from_utf8(line)
+        .map_err(|_| ReadError::BadRequest("request line is not UTF-8".into()))?;
+    let (method, target, http11) = parse_request_line(&text)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = Vec::new();
+        read_line(reader, &mut line, shutdown, clock)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let text = String::from_utf8(line)
+            .map_err(|_| ReadError::BadRequest("header line is not UTF-8".into()))?;
+        headers.push(parse_header_line(&text)?);
+    }
+
+    let content_length = content_length_of(&headers, max_body)?;
+    let mut body = vec![0u8; content_length];
+    read_full(reader, &mut body, shutdown, clock)?;
+
+    Ok(finish_request(method, target, http11, headers, body))
+}
+
+/// Try to parse one complete request from the front of `buf`.
+///
+/// The resumable entry point for readiness-driven transports: the caller
+/// accumulates socket bytes in a buffer and re-invokes this after every
+/// read. `Ok(None)` means "incomplete — keep the bytes and wait for
+/// more"; `Ok(Some((request, consumed)))` hands back the request plus how
+/// many bytes it spanned, so the caller can drain them and leave any
+/// pipelined follow-up request in place. Errors map exactly like the
+/// blocking path: 400 for grammar violations, 413 via
+/// [`ReadError::BodyTooLarge`] for an oversized declared body.
+///
+/// Grammar limits are enforced *incrementally* — an over-long line or an
+/// over-long header block is rejected as soon as the buffer proves it,
+/// not once a terminator arrives, so a hostile peer cannot grow the
+/// buffer beyond the caps by simply never finishing a line.
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<Option<(Request, usize)>, ReadError> {
+    // Walk the header block line by line.
+    let mut start = 0usize; // byte offset where the current line begins
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let head_end = loop {
+        let Some(nl) = buf[start..].iter().position(|&b| b == b'\n') else {
+            // No terminator yet: partial line. Reject it already if it
+            // cannot possibly fit the line cap.
+            if buf.len() - start > MAX_LINE {
+                return Err(if lines.is_empty() {
+                    ReadError::BadRequest(format!("request line exceeds {MAX_LINE} bytes"))
+                } else {
+                    ReadError::BadRequest(format!("header line exceeds {MAX_LINE} bytes"))
+                });
+            }
+            return Ok(None);
+        };
+        let end = start + nl;
+        let mut line = &buf[start..end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE {
+            return Err(if lines.is_empty() {
+                ReadError::BadRequest(format!("request line exceeds {MAX_LINE} bytes"))
+            } else {
+                ReadError::BadRequest(format!("header line exceeds {MAX_LINE} bytes"))
+            });
+        }
+        if line.is_empty() && !lines.is_empty() {
+            break end + 1; // blank line: end of the header block
+        }
+        if !lines.is_empty() && lines.len() > MAX_HEADERS {
+            return Err(ReadError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        lines.push(line);
+        start = end + 1;
+    };
+
+    let text = std::str::from_utf8(lines[0])
+        .map_err(|_| ReadError::BadRequest("request line is not UTF-8".into()))?;
+    let (method, target, http11) = parse_request_line(text)?;
+    let mut headers = Vec::with_capacity(lines.len() - 1);
+    for raw in &lines[1..] {
+        let text = std::str::from_utf8(raw)
+            .map_err(|_| ReadError::BadRequest("header line is not UTF-8".into()))?;
+        headers.push(parse_header_line(text)?);
+    }
+
+    let content_length = content_length_of(&headers, max_body)?;
+    if buf.len() < head_end + content_length {
+        return Ok(None); // body still in flight
+    }
+    let body = buf[head_end..head_end + content_length].to_vec();
+    Ok(Some((
+        finish_request(method, target, http11, headers, body),
+        head_end + content_length,
+    )))
 }
 
 /// Reason phrase for the handful of statuses this server emits.
@@ -344,22 +452,38 @@ pub fn write_response_ext(
     keep_alive: bool,
     retry_after_secs: Option<u64>,
 ) -> std::io::Result<()> {
+    let out = format_response(status, content_type, body, keep_alive, retry_after_secs);
+    let mut w = stream;
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// Serialize a complete fixed-length response into a byte buffer — the
+/// building block both write paths share. The epoll transport queues
+/// these bytes on the connection and flushes them as the socket reports
+/// writability.
+pub fn format_response(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(128 + body.len());
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
+    // Writing into a Vec is infallible.
+    let _ = write!(
         out,
         "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len(),
-    )?;
+    );
     if let Some(secs) = retry_after_secs {
-        write!(out, "retry-after: {secs}\r\n")?;
+        let _ = write!(out, "retry-after: {secs}\r\n");
     }
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body);
-    let mut w = stream;
-    w.write_all(&out)?;
-    w.flush()
+    out
 }
 
 /// Escape a string for embedding in a JSON string literal.
@@ -496,5 +620,85 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("plain"), "plain");
+    }
+
+    const RAW: &[u8] = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+
+    #[test]
+    fn try_parse_complete_request() {
+        let (req, consumed) = try_parse(RAW, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert_eq!(consumed, RAW.len());
+    }
+
+    #[test]
+    fn try_parse_is_resumable_byte_by_byte() {
+        // Every proper prefix is Partial; the full buffer parses. This is
+        // the exact contract the epoll read loop leans on.
+        for cut in 0..RAW.len() {
+            assert!(
+                try_parse(&RAW[..cut], 1024).unwrap().is_none(),
+                "prefix of {cut} bytes parsed too early"
+            );
+        }
+        assert!(try_parse(RAW, 1024).unwrap().is_some());
+    }
+
+    #[test]
+    fn try_parse_leaves_pipelined_bytes_for_the_next_round() {
+        let mut two = RAW.to_vec();
+        two.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (first, consumed) = try_parse(&two, 1024).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        let (second, rest) = try_parse(&two[consumed..], 1024).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_what_the_blocking_parser_rejects() {
+        let err = try_parse(b"NONSENSE\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(err, ReadError::BadRequest(_)), "{err:?}");
+        let err = try_parse(b"POST /p HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", 1024).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReadError::BodyTooLarge {
+                    declared: 9999,
+                    limit: 1024
+                }
+            ),
+            "{err:?}"
+        );
+        let err = try_parse(b"GET / HTTP/2\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(err, ReadError::BadRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn try_parse_caps_unterminated_lines() {
+        // A request line that can no longer fit the cap is rejected even
+        // without its terminator — the buffer must not grow unboundedly.
+        let flood = vec![b'A'; MAX_LINE + 2];
+        let err = try_parse(&flood, 1024).unwrap_err();
+        assert!(matches!(err, ReadError::BadRequest(_)), "{err:?}");
+        // Just under the cap stays Partial.
+        assert!(try_parse(&flood[..MAX_LINE], 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn format_response_matches_the_streaming_writer() {
+        let bytes = format_response(503, "application/json", b"{}", false, Some(2));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

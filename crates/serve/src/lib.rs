@@ -28,11 +28,19 @@
 //!
 //! [`app::App`] holds the loaded state (model view, predictor with the
 //! precomputed `ζ` tensor and `TopComm` caches, per-topic influencer
-//! rankings); [`server::Server`] owns the sockets: an acceptor, a fixed
-//! worker pool, and a `/predict` micro-batcher. [`client::HttpClient`] is
-//! the minimal keep-alive client used by the integration tests and the
-//! `bench_serve` load generator. Latency lands in `serve.*_seconds`
-//! histograms (p50/p95/p99) via `cold-obs`.
+//! rankings); [`server::Server`] owns the sockets through one of two
+//! transports ([`server::IoMode`]). The default thread transport runs an
+//! acceptor feeding a fixed worker pool, one thread per live connection,
+//! with `/predict` scoring micro-batched on a single batcher thread. The
+//! epoll transport (Linux; [`ServeConfig::io_threads`]) multiplexes every
+//! connection onto a few event loops over a hand-rolled `epoll`/`eventfd`
+//! binding — nonblocking per-connection state machines, buffered writes,
+//! deadlines enforced by timer ticks — and the worker pool becomes pure
+//! CPU scorers, so thread count no longer scales with connections.
+//! [`client::HttpClient`] is the minimal persistent keep-alive client
+//! used by the integration tests and the `bench_serve` load generator
+//! (reconnects are counted, not silent). Latency lands in
+//! `serve.*_seconds` histograms (p50/p95/p99) via `cold-obs`.
 //!
 //! ## Robustness
 //!
@@ -51,9 +59,13 @@ pub mod app;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
 pub mod client;
+#[cfg(target_os = "linux")]
+mod epoll;
 pub mod http;
 pub mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub use app::{App, AppSlot, ReloadOutcome, ServeError};
 pub use client::{HttpClient, Response};
-pub use server::{ServeConfig, Server};
+pub use server::{IoMode, ServeConfig, Server};

@@ -1,6 +1,14 @@
 //! The transport layer: listener, worker pool, batcher, supervisor,
 //! shutdown.
 //!
+//! Two transports share this module's routing and accounting
+//! ([`IoMode`]). Below is the default thread transport; the epoll
+//! transport (`crate::epoll`, Linux) replaces the acceptor + pinned
+//! workers with a few event loops over nonblocking connection state
+//! machines and reuses the same scorer loop, shed policy, supervisor,
+//! and status counters — the integration suites assert both modes keep
+//! bit-identical metric accounting.
+//!
 //! ```text
 //!                    ┌─────────┐  TcpStream   ┌──────────┐
 //!   accept() loop ──▶│ bounded │─────────────▶│ worker 0 │──┐
@@ -50,17 +58,66 @@ use cold_text::WordId;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
+
+/// Which transport carries connections to the compute pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Thread per in-flight connection: an acceptor feeds a bounded
+    /// channel drained by `workers` threads, each owning one connection
+    /// end to end. Portable, simple, and the measured baseline — but a
+    /// keep-alive connection pins a thread even while idle, so
+    /// concurrency is capped at the pool size.
+    #[default]
+    Threads,
+    /// Readiness-driven event loops (Linux only): `io_threads` epoll
+    /// loops own all sockets via nonblocking state machines and hand
+    /// `/predict` work to `workers` scorer threads. Connections scale
+    /// past the thread count; idle or slow sockets cost a buffer, not a
+    /// thread.
+    Epoll,
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "threads" | "thread" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!(
+                "unknown io mode {other:?} (expected \"threads\" or \"epoll\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoMode::Threads => "threads",
+            IoMode::Epoll => "epoll",
+        })
+    }
+}
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:8391` (port 0 picks a free port).
     pub addr: String,
-    /// Worker threads — the connection concurrency bound.
+    /// Transport selection; see [`IoMode`].
+    pub io_mode: IoMode,
+    /// Event-loop threads in [`IoMode::Epoll`]; ignored by
+    /// [`IoMode::Threads`].
+    pub io_threads: usize,
+    /// Scoring threads. In [`IoMode::Threads`] each also owns the
+    /// connection it is serving (the concurrency bound); in
+    /// [`IoMode::Epoll`] they form a pure CPU pool draining `/predict`
+    /// micro-batches.
     pub workers: usize,
     /// Max `/predict` jobs scored per micro-batch.
     pub batch_max: usize,
@@ -68,8 +125,10 @@ pub struct ServeConfig {
     pub batch_wait: Duration,
     /// Request body cap in bytes (`413` beyond it).
     pub max_body: usize,
-    /// Connection queue bound: accepted-but-unserved connections beyond
-    /// this are shed with `503` + `Retry-After` (`serve.shed_conns`).
+    /// Open-connection bound. In [`IoMode::Threads`] it bounds the
+    /// accepted-but-unserved queue; in [`IoMode::Epoll`] it caps
+    /// concurrently open connections. Beyond it, connections are shed
+    /// with `503` + `Retry-After` (`serve.shed_conns`).
     pub max_conns: usize,
     /// Predict-job queue bound: jobs beyond this are shed with `503` +
     /// `Retry-After` (`serve.shed_jobs`).
@@ -97,6 +156,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:8391".to_owned(),
+            io_mode: IoMode::default(),
+            io_threads: 2,
             workers: 8,
             batch_max: 32,
             batch_wait: Duration::from_micros(500),
@@ -111,64 +172,178 @@ impl Default for ServeConfig {
     }
 }
 
-/// How often blocked reads wake up to check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// How often blocked reads wake up to check the shutdown flag; also the
+/// epoll loops' timer-tick ceiling for deadline scans.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Write bound used when the request deadline is disabled, and for the
 /// acceptor's shed responses (which must never block the accept loop).
-const FALLBACK_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+pub(crate) const FALLBACK_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
 
-const JSON: &str = "application/json";
-const RETRY_AFTER_SECS: u64 = 1;
+pub(crate) const JSON: &str = "application/json";
+pub(crate) const RETRY_AFTER_SECS: u64 = 1;
 
-fn shed_body(what: &str) -> String {
+pub(crate) fn shed_body(what: &str) -> String {
     format!("{{\"error\":\"server overloaded: {what}; retry shortly\"}}")
 }
 
 /// One queued `/predict` computation, pinned to the app that dispatched
 /// it — a concurrent hot reload never changes what an in-flight job
 /// scores against.
-struct PredictJob {
-    app: Arc<App>,
-    publisher: u32,
-    consumer: u32,
-    words: Vec<WordId>,
-    /// Request deadline; the batcher skips jobs that expired in-queue.
-    deadline: Option<Instant>,
-    reply: mpsc::SyncSender<Result<f64, PredictError>>,
+pub(crate) struct PredictJob {
+    pub(crate) app: Arc<App>,
+    pub(crate) publisher: u32,
+    pub(crate) consumer: u32,
+    pub(crate) words: Vec<WordId>,
+    /// Request deadline; the scorer skips jobs that expired in-queue.
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: ReplySink,
+}
+
+/// Where a scored `/predict` result goes back to.
+pub(crate) enum ReplySink {
+    /// Thread transport: the dispatching worker blocks on a rendezvous
+    /// channel.
+    Channel(mpsc::SyncSender<Result<f64, PredictError>>),
+    /// Epoll transport: push onto the owning event loop's completion
+    /// queue and ring its eventfd.
+    #[cfg(target_os = "linux")]
+    Loop(crate::epoll::CompletionSink),
+}
+
+impl ReplySink {
+    fn send(self, result: Result<f64, PredictError>) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            #[cfg(target_os = "linux")]
+            ReplySink::Loop(sink) => sink.send(result),
+        }
+    }
+}
+
+/// Work for the scorer pool.
+pub(crate) enum Job {
+    Predict(PredictJob),
+    /// Chaos `POST /chaos/panic-worker` under the epoll transport: the
+    /// scorer that drains this panics *outside* its per-job catch, so
+    /// the supervisor's respawn path is exercised with the same metric
+    /// accounting as a thread-transport worker kill.
+    Poison,
 }
 
 /// Shared shutdown signal; `trigger` is idempotent.
-struct ShutdownFlag {
-    flag: AtomicBool,
+pub(crate) struct ShutdownFlag {
+    pub(crate) flag: AtomicBool,
     addr: SocketAddr,
+    /// Eventfds of running epoll loops; rung on trigger so a loop parked
+    /// in `epoll_wait` notices shutdown immediately.
+    #[cfg(target_os = "linux")]
+    wakers: Mutex<Vec<Arc<crate::sys::EventFd>>>,
 }
 
 impl ShutdownFlag {
-    fn trigger(&self) {
+    fn new(addr: SocketAddr) -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            addr,
+            #[cfg(target_os = "linux")]
+            wakers: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn add_waker(&self, wake: Arc<crate::sys::EventFd>) {
+        self.wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(wake);
+    }
+
+    pub(crate) fn trigger(&self) {
         if !self.flag.swap(true, Ordering::AcqRel) {
+            #[cfg(target_os = "linux")]
+            {
+                let wakers = self.wakers.lock().unwrap_or_else(PoisonError::into_inner);
+                if !wakers.is_empty() {
+                    for w in wakers.iter() {
+                        w.wake();
+                    }
+                    return;
+                }
+            }
             // Wake the acceptor out of its blocking accept().
             let _ = TcpStream::connect(self.addr);
         }
     }
 
-    fn is_set(&self) -> bool {
+    pub(crate) fn is_set(&self) -> bool {
         self.flag.load(Ordering::Acquire)
     }
 }
 
-/// Everything a worker (or its supervisor-spawned replacement) needs.
-struct WorkerCtx {
-    slot: Arc<AppSlot>,
+/// Live open-connection accounting behind the `serve.open_conns` gauge
+/// (with a monotonic `serve.open_conns_peak` high-water mark). Both
+/// transports feed it; the epoll transport also uses the live count as
+/// its `max_conns` shed bound.
+pub(crate) struct ConnGauge {
     metrics: Metrics,
-    shutdown: Arc<ShutdownFlag>,
-    degraded: Arc<AtomicBool>,
+    open: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl ConnGauge {
+    fn new(metrics: Metrics) -> Self {
+        metrics.gauge_set("serve.open_conns", 0.0);
+        metrics.gauge_set("serve.open_conns_peak", 0.0);
+        Self {
+            metrics,
+            open: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }
+    }
+
+    pub(crate) fn inc(&self) {
+        let v = self.open.fetch_add(1, Ordering::AcqRel) + 1;
+        self.metrics.gauge_set("serve.open_conns", v as f64);
+        if v > self.peak.fetch_max(v, Ordering::AcqRel) {
+            self.metrics.gauge_set("serve.open_conns_peak", v as f64);
+        }
+    }
+
+    pub(crate) fn dec(&self) {
+        let v = self.open.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.metrics.gauge_set("serve.open_conns", v as f64);
+    }
+
+    pub(crate) fn count(&self) -> i64 {
+        self.open.load(Ordering::Acquire)
+    }
+}
+
+/// Transport-agnostic service state: everything routing and scoring
+/// need, shared by the thread workers and the epoll loops alike.
+pub(crate) struct ServiceCtx {
+    pub(crate) slot: Arc<AppSlot>,
+    pub(crate) metrics: Metrics,
+    pub(crate) shutdown: Arc<ShutdownFlag>,
+    pub(crate) degraded: Arc<AtomicBool>,
+    pub(crate) job_tx: mpsc::SyncSender<Job>,
+    pub(crate) max_body: usize,
+    pub(crate) max_conns: usize,
+    pub(crate) request_timeout: Option<Duration>,
+    pub(crate) chaos_endpoints: bool,
+    pub(crate) open_conns: ConnGauge,
+}
+
+/// Everything a thread-transport worker (or its supervisor-spawned
+/// replacement) needs: the shared service state plus the connection
+/// queue.
+struct WorkerCtx {
+    svc: Arc<ServiceCtx>,
     conn_rx: Mutex<mpsc::Receiver<TcpStream>>,
-    job_tx: mpsc::SyncSender<PredictJob>,
-    max_body: usize,
-    request_timeout: Option<Duration>,
-    chaos_endpoints: bool,
 }
 
 /// A running service; dropping it without calling [`Server::shutdown`]
@@ -184,8 +359,38 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind, spawn the thread pool, and start serving `app`.
+    /// Bind, spawn the transport and compute threads, and start serving
+    /// `app` under the configured [`IoMode`].
     pub fn start(config: ServeConfig, app: App) -> Result<Server, ServeError> {
+        match config.io_mode {
+            IoMode::Threads => Self::start_threads(config, app),
+            #[cfg(target_os = "linux")]
+            IoMode::Epoll => Self::start_epoll(config, app),
+            #[cfg(not(target_os = "linux"))]
+            IoMode::Epoll => Err(ServeError::Io {
+                context: "io-mode epoll is only available on Linux; use io-mode threads".to_owned(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "epoll syscalls unavailable on this platform",
+                ),
+            }),
+        }
+    }
+
+    /// Bind and build the pieces both transports share: app slot,
+    /// metrics, shutdown flag, job queue, service context.
+    fn start_common(
+        config: &ServeConfig,
+        app: App,
+    ) -> Result<
+        (
+            TcpListener,
+            SocketAddr,
+            Arc<ServiceCtx>,
+            mpsc::Receiver<Job>,
+        ),
+        ServeError,
+    > {
         let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Io {
             context: format!("cannot bind {}", config.addr),
             source,
@@ -198,24 +403,66 @@ impl Server {
         let metrics = slot.metrics().clone();
         metrics.gauge_set("serve.workers", config.workers.max(1) as f64);
         metrics.gauge_set("serve.degraded", 0.0);
-        let shutdown = Arc::new(ShutdownFlag {
-            flag: AtomicBool::new(false),
-            addr,
-        });
+        let shutdown = Arc::new(ShutdownFlag::new(addr));
         let degraded = Arc::new(AtomicBool::new(false));
-
-        // Bounded queues: saturation shows up as fast sheds, not as
+        // Bounded job queue: saturation shows up as fast sheds, not as
         // unbounded buffering.
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.max_queue.max(1));
+        let svc = Arc::new(ServiceCtx {
+            slot,
+            metrics: metrics.clone(),
+            shutdown,
+            degraded,
+            job_tx,
+            max_body: config.max_body,
+            max_conns: config.max_conns.max(1),
+            request_timeout: (config.request_timeout > Duration::ZERO)
+                .then_some(config.request_timeout),
+            chaos_endpoints: config.chaos_endpoints,
+            open_conns: ConnGauge::new(metrics),
+        });
+        Ok((listener, addr, svc, job_rx))
+    }
+
+    fn spawn_watcher(
+        svc: &Arc<ServiceCtx>,
+        watch_model: Option<Duration>,
+    ) -> Result<Option<JoinHandle<()>>, ServeError> {
+        let Some(interval) = watch_model else {
+            return Ok(None);
+        };
+        let slot = Arc::clone(&svc.slot);
+        let shutdown = Arc::clone(&svc.shutdown);
+        // Capture the baseline signature before the thread exists: a
+        // freshly spawned thread can be scheduled arbitrarily late, and an
+        // artifact replaced in that window would be mistaken for the
+        // baseline and never reloaded.
+        let baseline = stat_sig(slot.current().model_path());
+        let handle = std::thread::Builder::new()
+            .name("cold-serve-watcher".into())
+            .spawn(move || watcher_loop(&slot, &shutdown, interval, baseline))
+            .map_err(|source| ServeError::Io {
+                context: "cannot spawn watcher thread".to_owned(),
+                source,
+            })?;
+        Ok(Some(handle))
+    }
+
+    /// The thread-per-connection transport (the portable baseline).
+    fn start_threads(config: ServeConfig, app: App) -> Result<Server, ServeError> {
+        let (listener, addr, svc, job_rx) = Self::start_common(&config, app)?;
+
+        // Bounded connection queue, drained by the worker pool.
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.max_conns.max(1));
-        let (job_tx, job_rx) = mpsc::sync_channel::<PredictJob>(config.max_queue.max(1));
 
         let batcher = {
-            let metrics = metrics.clone();
+            let metrics = svc.metrics.clone();
             let batch_max = config.batch_max.max(1);
             let batch_wait = config.batch_wait;
+            let job_rx = Mutex::new(job_rx);
             std::thread::Builder::new()
                 .name("cold-serve-batcher".into())
-                .spawn(move || batcher_loop(&metrics, &job_rx, batch_max, batch_wait))
+                .spawn(move || scorer_loop(&metrics, &job_rx, batch_max, batch_wait, None))
                 .map_err(|source| ServeError::Io {
                     context: "cannot spawn batcher thread".to_owned(),
                     source,
@@ -223,16 +470,8 @@ impl Server {
         };
 
         let ctx = Arc::new(WorkerCtx {
-            slot: Arc::clone(&slot),
-            metrics: metrics.clone(),
-            shutdown: Arc::clone(&shutdown),
-            degraded: Arc::clone(&degraded),
+            svc: Arc::clone(&svc),
             conn_rx: Mutex::new(conn_rx),
-            job_tx,
-            max_body: config.max_body,
-            request_timeout: (config.request_timeout > Duration::ZERO)
-                .then_some(config.request_timeout),
-            chaos_endpoints: config.chaos_endpoints,
         });
 
         let worker_names = Arc::new(AtomicUsize::new(0));
@@ -247,36 +486,26 @@ impl Server {
         }
 
         let supervisor = {
-            let ctx = Arc::clone(&ctx);
+            let svc = Arc::clone(&svc);
             let respawn_limit = config.respawn_limit;
-            let worker_names = Arc::clone(&worker_names);
+            let respawn = {
+                let ctx = Arc::clone(&ctx);
+                let worker_names = Arc::clone(&worker_names);
+                move || spawn_worker(&ctx, &worker_names)
+            };
             std::thread::Builder::new()
                 .name("cold-serve-supervisor".into())
-                .spawn(move || supervisor_loop(&ctx, workers, respawn_limit, &worker_names))
+                .spawn(move || supervisor_loop(&svc, workers, respawn_limit, respawn, Vec::new()))
                 .map_err(|source| ServeError::Io {
                     context: "cannot spawn supervisor thread".to_owned(),
                     source,
                 })?
         };
 
-        let watcher = match config.watch_model {
-            Some(interval) => {
-                let slot = Arc::clone(&slot);
-                let shutdown = Arc::clone(&shutdown);
-                let handle = std::thread::Builder::new()
-                    .name("cold-serve-watcher".into())
-                    .spawn(move || watcher_loop(&slot, &shutdown, interval))
-                    .map_err(|source| ServeError::Io {
-                        context: "cannot spawn watcher thread".to_owned(),
-                        source,
-                    })?;
-                Some(handle)
-            }
-            None => None,
-        };
+        let watcher = Self::spawn_watcher(&svc, config.watch_model)?;
 
         let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
+            let svc = Arc::clone(&svc);
             let write_timeout = if config.request_timeout > Duration::ZERO {
                 config.request_timeout
             } else {
@@ -284,9 +513,7 @@ impl Server {
             };
             std::thread::Builder::new()
                 .name("cold-serve-acceptor".into())
-                .spawn(move || {
-                    acceptor_loop(&listener, &shutdown, &conn_tx, &metrics, write_timeout)
-                })
+                .spawn(move || acceptor_loop(&listener, &svc, &conn_tx, write_timeout))
                 .map_err(|source| ServeError::Io {
                     context: "cannot spawn acceptor thread".to_owned(),
                     source,
@@ -295,11 +522,99 @@ impl Server {
 
         Ok(Server {
             addr,
-            slot,
-            shutdown,
+            slot: Arc::clone(&svc.slot),
+            shutdown: Arc::clone(&svc.shutdown),
             acceptor: Some(acceptor),
             supervisor: Some(supervisor),
             batcher: Some(batcher),
+            watcher,
+        })
+    }
+
+    /// The readiness-driven transport: epoll event loops own every
+    /// socket; the worker pool becomes a pure scorer pool.
+    #[cfg(target_os = "linux")]
+    fn start_epoll(config: ServeConfig, app: App) -> Result<Server, ServeError> {
+        let (listener, addr, svc, job_rx) = Self::start_common(&config, app)?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|source| ServeError::Io {
+                context: "cannot set listener nonblocking".to_owned(),
+                source,
+            })?;
+        let io_threads = config.io_threads.max(1);
+        svc.metrics.gauge_set("serve.io_threads", io_threads as f64);
+
+        // Event loops first: they register their eventfds as shutdown
+        // wakers and own the listener.
+        let live_loops = Arc::new(AtomicUsize::new(io_threads));
+        let loop_handles = crate::epoll::spawn_loops(&svc, listener, io_threads, &live_loops)
+            .map_err(|source| ServeError::Io {
+                context: "cannot start epoll event loops".to_owned(),
+                source,
+            })?;
+
+        // Scorer pool: `workers` threads draining micro-batches, each
+        // respawnable by the supervisor under the same breaker as the
+        // thread transport's workers.
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let scorer_names = Arc::new(AtomicUsize::new(0));
+        let spawn_scorer = {
+            let metrics = svc.metrics.clone();
+            let shutdown = Arc::clone(&svc.shutdown);
+            let live_loops = Arc::clone(&live_loops);
+            let batch_max = config.batch_max.max(1);
+            let batch_wait = config.batch_wait;
+            move || -> std::io::Result<JoinHandle<()>> {
+                let id = scorer_names.fetch_add(1, Ordering::Relaxed);
+                let metrics = metrics.clone();
+                let job_rx = Arc::clone(&job_rx);
+                let shutdown = Arc::clone(&shutdown);
+                let live_loops = Arc::clone(&live_loops);
+                std::thread::Builder::new()
+                    .name(format!("cold-serve-scorer-{id}"))
+                    .spawn(move || {
+                        scorer_loop(
+                            &metrics,
+                            &job_rx,
+                            batch_max,
+                            batch_wait,
+                            Some((&shutdown, &live_loops)),
+                        )
+                    })
+            }
+        };
+        let mut scorers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            scorers.push(spawn_scorer().map_err(|source| ServeError::Io {
+                context: "cannot spawn scorer thread".to_owned(),
+                source,
+            })?);
+        }
+
+        let supervisor = {
+            let svc = Arc::clone(&svc);
+            let respawn_limit = config.respawn_limit;
+            std::thread::Builder::new()
+                .name("cold-serve-supervisor".into())
+                .spawn(move || {
+                    supervisor_loop(&svc, scorers, respawn_limit, spawn_scorer, loop_handles)
+                })
+                .map_err(|source| ServeError::Io {
+                    context: "cannot spawn supervisor thread".to_owned(),
+                    source,
+                })?
+        };
+
+        let watcher = Self::spawn_watcher(&svc, config.watch_model)?;
+
+        Ok(Server {
+            addr,
+            slot: Arc::clone(&svc.slot),
+            shutdown: Arc::clone(&svc.shutdown),
+            acceptor: None,
+            supervisor: Some(supervisor),
+            batcher: None,
             watcher,
         })
     }
@@ -354,15 +669,15 @@ fn spawn_worker(ctx: &Arc<WorkerCtx>, names: &AtomicUsize) -> std::io::Result<Jo
 
 fn acceptor_loop(
     listener: &TcpListener,
-    shutdown: &ShutdownFlag,
+    svc: &ServiceCtx,
     conn_tx: &mpsc::SyncSender<TcpStream>,
-    metrics: &Metrics,
     write_timeout: Duration,
 ) {
+    let metrics = &svc.metrics;
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if shutdown.is_set() {
+                if svc.shutdown.is_set() {
                     // The wake-up connection (or a straggler): drop it.
                     return;
                 }
@@ -371,29 +686,18 @@ fn acceptor_loop(
                 let _ = stream.set_write_timeout(Some(write_timeout));
                 let _ = stream.set_nodelay(true);
                 match conn_tx.try_send(stream) {
-                    Ok(()) => {}
+                    Ok(()) => svc.open_conns.inc(),
                     Err(mpsc::TrySendError::Full(stream)) => {
                         // Saturated: shed now, with a bounded write so a
                         // dead peer cannot stall the accept loop.
-                        metrics.counter_add("serve.shed", 1);
-                        metrics.counter_add("serve.shed_conns", 1);
-                        metrics.counter_add("serve.responses_503", 1);
-                        let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
-                        let _ = http::write_response_ext(
-                            &stream,
-                            503,
-                            JSON,
-                            shed_body("connection queue full").as_bytes(),
-                            false,
-                            Some(RETRY_AFTER_SECS),
-                        );
+                        shed_conn(metrics, &stream);
                     }
                     Err(mpsc::TrySendError::Disconnected(_)) => return,
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
-                if shutdown.is_set() {
+                if svc.shutdown.is_set() {
                     return;
                 }
             }
@@ -401,15 +705,40 @@ fn acceptor_loop(
     }
 }
 
-/// Watch every worker; replace the ones whose panics escape the
-/// per-connection catch. The breaker caps total respawns: past
+/// Shed one connection at accept time: count it, answer `503` +
+/// `Retry-After` with a bounded write, close. Shared by both transports.
+pub(crate) fn shed_conn(metrics: &Metrics, stream: &TcpStream) {
+    metrics.counter_add("serve.shed", 1);
+    metrics.counter_add("serve.shed_conns", 1);
+    metrics.counter_add("serve.responses_503", 1);
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let _ = http::write_response_ext(
+        stream,
+        503,
+        JSON,
+        shed_body("connection queue full").as_bytes(),
+        false,
+        Some(RETRY_AFTER_SECS),
+    );
+}
+
+/// Watch every worker (thread transport: connection workers; epoll
+/// transport: scorers) and replace the ones whose panics escape the
+/// per-connection / per-job catch. The breaker caps total respawns: past
 /// `respawn_limit` the pool stays shrunken and `/healthz` goes degraded —
 /// a persistently crashing handler must not turn into a crash-loop.
+///
+/// `io_loops` (epoll transport) are watched but never respawned: an
+/// event loop carries live connection state that cannot be rebuilt, so a
+/// loop death flips straight to degraded. At shutdown the loops are
+/// joined first — the scorers only exit once the last loop (job
+/// producer) is gone and the queue has drained.
 fn supervisor_loop(
-    ctx: &Arc<WorkerCtx>,
+    svc: &ServiceCtx,
     mut workers: Vec<JoinHandle<()>>,
     respawn_limit: u32,
-    names: &AtomicUsize,
+    respawn: impl Fn() -> std::io::Result<JoinHandle<()>>,
+    mut io_loops: Vec<JoinHandle<()>>,
 ) {
     let mut respawns = 0u32;
     loop {
@@ -420,26 +749,43 @@ fn supervisor_loop(
                 continue;
             }
             let panicked = workers.swap_remove(i).join().is_err();
-            if ctx.shutdown.is_set() || !panicked {
+            if svc.shutdown.is_set() || !panicked {
                 // Clean exits (drain, or channel teardown) need no action.
                 continue;
             }
-            // A panic that escaped serve_connection's catch_unwind killed
-            // the whole thread (chaos worker-kill, or a bug in the
-            // transport loop itself).
-            ctx.metrics.counter_add("serve.worker_panics", 1);
+            // A panic that escaped the per-connection / per-job catch
+            // killed the whole thread (chaos worker-kill, or a bug in
+            // the loop itself).
+            svc.metrics.counter_add("serve.worker_panics", 1);
             if respawns >= respawn_limit {
-                if !ctx.degraded.swap(true, Ordering::AcqRel) {
-                    ctx.metrics.gauge_set("serve.degraded", 1.0);
+                if !svc.degraded.swap(true, Ordering::AcqRel) {
+                    svc.metrics.gauge_set("serve.degraded", 1.0);
                 }
-            } else if let Ok(handle) = spawn_worker(ctx, names) {
+            } else if let Ok(handle) = respawn() {
                 respawns += 1;
-                ctx.metrics.counter_add("serve.worker_respawns", 1);
+                svc.metrics.counter_add("serve.worker_respawns", 1);
                 workers.push(handle);
             }
-            ctx.metrics.gauge_set("serve.workers", workers.len() as f64);
+            svc.metrics.gauge_set("serve.workers", workers.len() as f64);
         }
-        if ctx.shutdown.is_set() {
+        let mut i = 0;
+        while i < io_loops.len() {
+            if !io_loops[i].is_finished() {
+                i += 1;
+                continue;
+            }
+            let panicked = io_loops.swap_remove(i).join().is_err();
+            if panicked && !svc.shutdown.is_set() {
+                svc.metrics.counter_add("serve.io_loop_panics", 1);
+                if !svc.degraded.swap(true, Ordering::AcqRel) {
+                    svc.metrics.gauge_set("serve.degraded", 1.0);
+                }
+            }
+        }
+        if svc.shutdown.is_set() {
+            for handle in io_loops {
+                let _ = handle.join();
+            }
             for handle in workers {
                 let _ = handle.join();
             }
@@ -452,15 +798,36 @@ fn supervisor_loop(
 /// Poll the serving artifact; when the file changes, re-verify and
 /// hot-reload it through the [`AppSlot`]. A half-copied or corrupt file
 /// is retried on the next change of its stat signature, never swapped in.
-fn watcher_loop(slot: &AppSlot, shutdown: &ShutdownFlag, interval: Duration) {
-    fn stat_sig(path: &str) -> Option<(SystemTime, u64)> {
-        let meta = std::fs::metadata(path).ok()?;
-        Some((meta.modified().ok()?, meta.len()))
-    }
+/// Change signature for the watcher's cheap polling: `(mtime, len)` plus
+/// the file's trailing 8 bytes. The tail matters: file mtimes come from
+/// the kernel's coarse clock (one scheduler tick of granularity), and a
+/// retrained same-shape artifact has the same byte length, so `(mtime,
+/// len)` alone can read as unchanged when the file is replaced quickly.
+/// For `cold-model/v1` the tail is the FNV-1a64 checksum footer — a true
+/// content fingerprint.
+type StatSig = (SystemTime, u64, [u8; 8]);
 
+fn stat_sig(path: &str) -> Option<StatSig> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = std::fs::File::open(path).ok()?;
+    let meta = file.metadata().ok()?;
+    let mut tail = [0u8; 8];
+    if meta.len() >= 8 {
+        file.seek(SeekFrom::End(-8)).ok()?;
+        file.read_exact(&mut tail).ok()?;
+    }
+    Some((meta.modified().ok()?, meta.len(), tail))
+}
+
+fn watcher_loop(
+    slot: &AppSlot,
+    shutdown: &ShutdownFlag,
+    interval: Duration,
+    baseline: Option<StatSig>,
+) {
     let metrics = slot.metrics().clone();
-    let mut last = stat_sig(slot.current().model_path());
-    let mut last_rejected: Option<(SystemTime, u64)> = None;
+    let mut last = baseline;
+    let mut last_rejected: Option<StatSig> = None;
     loop {
         // Sleep `interval` in short slices so shutdown stays responsive.
         let mut slept = Duration::ZERO;
@@ -498,6 +865,7 @@ fn watcher_loop(slot: &AppSlot, shutdown: &ShutdownFlag, interval: Duration) {
 }
 
 fn worker_loop(ctx: &WorkerCtx) {
+    let svc = &*ctx.svc;
     loop {
         // Hold the lock only long enough to poll; holding it across a
         // blocking recv() would serialize the pool on one mutex. A
@@ -510,7 +878,8 @@ fn worker_loop(ctx: &WorkerCtx) {
         };
         match next {
             Ok(stream) => {
-                let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(ctx, &stream)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(svc, &stream)));
+                svc.open_conns.dec();
                 match outcome {
                     Ok(ConnOutcome::Done) => {}
                     Ok(ConnOutcome::KillWorker) => {
@@ -521,8 +890,8 @@ fn worker_loop(ctx: &WorkerCtx) {
                     Err(_) => {
                         // The handler panicked: this connection is lost,
                         // the worker is not.
-                        ctx.metrics.counter_add("serve.worker_panics", 1);
-                        ctx.metrics.counter_add("serve.responses_500", 1);
+                        svc.metrics.counter_add("serve.worker_panics", 1);
+                        svc.metrics.counter_add("serve.responses_500", 1);
                         let _ = http::write_response(
                             &stream,
                             500,
@@ -534,7 +903,7 @@ fn worker_loop(ctx: &WorkerCtx) {
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if ctx.shutdown.is_set() {
+                if svc.shutdown.is_set() {
                     return;
                 }
             }
@@ -551,14 +920,14 @@ enum ConnOutcome {
 }
 
 /// One routed response, plus its transport side effects.
-struct Routed {
-    endpoint: &'static str,
-    status: u16,
-    content_type: &'static str,
-    body: String,
-    retry_after: Option<u64>,
-    close: bool,
-    kill_worker: bool,
+pub(crate) struct Routed {
+    pub(crate) endpoint: &'static str,
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: String,
+    pub(crate) retry_after: Option<u64>,
+    pub(crate) close: bool,
+    pub(crate) kill_worker: bool,
 }
 
 impl Routed {
@@ -575,8 +944,24 @@ impl Routed {
     }
 }
 
+/// Map a response status onto its `serve.responses_*` counter. Both
+/// transports report through this, which is what keeps their metric
+/// accounting bit-identical.
+pub(crate) fn count_status(metrics: &Metrics, status: u16) {
+    match status {
+        400 => metrics.counter_add("serve.responses_400", 1),
+        404 | 405 => metrics.counter_add("serve.responses_404", 1),
+        408 => metrics.counter_add("serve.responses_408", 1),
+        409 => metrics.counter_add("serve.responses_409", 1),
+        413 => metrics.counter_add("serve.responses_413", 1),
+        500 => metrics.counter_add("serve.responses_500", 1),
+        503 => metrics.counter_add("serve.responses_503", 1),
+        _ => metrics.counter_add("serve.responses_200", 1),
+    }
+}
+
 /// Serve one connection until it closes, errors, times out, or shutdown.
-fn serve_connection(ctx: &WorkerCtx, stream: &TcpStream) -> ConnOutcome {
+fn serve_connection(ctx: &ServiceCtx, stream: &TcpStream) -> ConnOutcome {
     let metrics = &ctx.metrics;
     let mut reader = BufReader::new(stream);
     loop {
@@ -625,16 +1010,7 @@ fn serve_connection(ctx: &WorkerCtx, stream: &TcpStream) -> ConnOutcome {
         let t0 = Instant::now();
         let routed = route(ctx, &app, &request, &clock);
         metrics.observe(routed.endpoint, t0.elapsed().as_secs_f64());
-        match routed.status {
-            400 => metrics.counter_add("serve.responses_400", 1),
-            404 | 405 => metrics.counter_add("serve.responses_404", 1),
-            408 => metrics.counter_add("serve.responses_408", 1),
-            409 => metrics.counter_add("serve.responses_409", 1),
-            413 => metrics.counter_add("serve.responses_413", 1),
-            500 => metrics.counter_add("serve.responses_500", 1),
-            503 => metrics.counter_add("serve.responses_503", 1),
-            _ => metrics.counter_add("serve.responses_200", 1),
-        }
+        count_status(metrics, routed.status);
 
         // Once shutdown is underway, answer but stop keeping alive.
         let keep_alive =
@@ -667,10 +1043,56 @@ fn serve_connection(ctx: &WorkerCtx, stream: &TcpStream) -> ConnOutcome {
     }
 }
 
-/// Dispatch one request against the pinned `app`.
-fn route(ctx: &WorkerCtx, app: &Arc<App>, request: &Request, clock: &RequestClock) -> Routed {
+/// What routing decided, for transports that score asynchronously.
+pub(crate) enum RouteOutcome {
+    /// Answer now.
+    Ready(Routed),
+    /// A parseable `POST /predict`: hand it to the scorer pool however
+    /// the transport likes.
+    Predict {
+        publisher: u32,
+        consumer: u32,
+        words: Vec<WordId>,
+    },
+}
+
+/// Dispatch one request against the pinned `app`, stopping short of the
+/// scoring rendezvous — the transport decides how to wait for a score.
+pub(crate) fn route_async(ctx: &ServiceCtx, app: &Arc<App>, request: &Request) -> RouteOutcome {
+    if request.method == "POST" && request.path == "/predict" {
+        return match app.parse_predict(&request.body) {
+            Ok((publisher, consumer, words)) => RouteOutcome::Predict {
+                publisher,
+                consumer,
+                words,
+            },
+            Err(msg) => RouteOutcome::Ready(Routed::new(
+                "serve.predict_seconds",
+                400,
+                JSON,
+                format!("{{\"error\":\"{}\"}}", http::json_escape(&msg)),
+            )),
+        };
+    }
+    RouteOutcome::Ready(route_inline(ctx, app, request))
+}
+
+/// Dispatch one request against the pinned `app` (blocking transport).
+fn route(ctx: &ServiceCtx, app: &Arc<App>, request: &Request, clock: &RequestClock) -> Routed {
+    match route_async(ctx, app, request) {
+        RouteOutcome::Ready(routed) => routed,
+        RouteOutcome::Predict {
+            publisher,
+            consumer,
+            words,
+        } => predict(ctx, app, clock, publisher, consumer, words),
+    }
+}
+
+/// Every endpoint except `/predict` — answered inline on whichever
+/// thread routed it.
+fn route_inline(ctx: &ServiceCtx, app: &Arc<App>, request: &Request) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/predict") => predict(ctx, app, request, clock),
         ("POST", "/rank-influencers") => {
             let (status, body) = app.rank_influencers(&request.body);
             Routed::new("serve.rank_seconds", status, JSON, body)
@@ -740,7 +1162,7 @@ fn route(ctx: &WorkerCtx, app: &Arc<App>, request: &Request, clock: &RequestCloc
 
 /// `POST /reload` — verify and swap in a new artifact; any failure leaves
 /// the old model serving and reports `409`.
-fn reload(ctx: &WorkerCtx, request: &Request) -> Routed {
+fn reload(ctx: &ServiceCtx, request: &Request) -> Routed {
     let path = match App::parse_reload(&request.body) {
         Ok(p) => p,
         Err(msg) => {
@@ -773,29 +1195,26 @@ fn reload(ctx: &WorkerCtx, request: &Request) -> Routed {
     }
 }
 
-/// Parse, enqueue on the batcher (bounded), await the score (bounded).
-fn predict(ctx: &WorkerCtx, app: &Arc<App>, request: &Request, clock: &RequestClock) -> Routed {
-    let (publisher, consumer, words) = match app.parse_predict(&request.body) {
-        Ok(p) => p,
-        Err(msg) => {
-            return Routed::new(
-                "serve.predict_seconds",
-                400,
-                JSON,
-                format!("{{\"error\":\"{}\"}}", http::json_escape(&msg)),
-            )
-        }
-    };
+/// Enqueue on the scorer pool (bounded) and block for the score
+/// (bounded) — the thread transport's `/predict` rendezvous.
+fn predict(
+    ctx: &ServiceCtx,
+    app: &Arc<App>,
+    clock: &RequestClock,
+    publisher: u32,
+    consumer: u32,
+    words: Vec<WordId>,
+) -> Routed {
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let deadline = clock.deadline();
-    let job = PredictJob {
+    let job = Job::Predict(PredictJob {
         app: Arc::clone(app),
         publisher,
         consumer,
         words,
         deadline,
-        reply: reply_tx,
-    };
+        reply: ReplySink::Channel(reply_tx),
+    });
     match ctx.job_tx.try_send(job) {
         Ok(()) => {}
         Err(mpsc::TrySendError::Full(_)) => {
@@ -848,53 +1267,94 @@ fn predict(ctx: &WorkerCtx, app: &Arc<App>, request: &Request, clock: &RequestCl
 }
 
 /// Drain jobs into micro-batches and score them, each against the app it
-/// was dispatched with.
-fn batcher_loop(
+/// was dispatched with. One body serves both transports: the thread
+/// transport runs a single instance (the batcher), the epoll transport
+/// runs `workers` instances contending on the shared receiver — whoever
+/// wins the lock fills a whole batch, so batching semantics are
+/// unchanged.
+///
+/// Exit discipline differs by transport. The thread transport's batcher
+/// exits only when every job sender hangs up (`Disconnected`): workers
+/// still submit jobs while draining in-flight requests, so shutdown
+/// alone must not stop scoring. The epoll transport's scorers pass
+/// `drain_exit`: the event loops are the only producers and exit first,
+/// so a scorer leaves once shutdown is up, the last loop is gone, and
+/// the queue has run dry.
+fn scorer_loop(
     metrics: &Metrics,
-    job_rx: &mpsc::Receiver<PredictJob>,
+    job_rx: &Mutex<mpsc::Receiver<Job>>,
     batch_max: usize,
     batch_wait: Duration,
+    drain_exit: Option<(&ShutdownFlag, &AtomicUsize)>,
 ) {
-    let mut batch = Vec::with_capacity(batch_max);
+    let mut batch: Vec<PredictJob> = Vec::with_capacity(batch_max);
     loop {
-        match job_rx.recv() {
-            Ok(job) => batch.push(job),
-            Err(_) => return, // every job sender hung up
-        }
-        let deadline = Instant::now() + batch_wait;
-        while batch.len() < batch_max {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
+        let mut poison = false;
+        {
+            // Hold the lock across the whole batch fill: one scorer
+            // collecting a full micro-batch beats N scorers stealing
+            // single jobs (identical to the dedicated-batcher behavior).
+            let rx = job_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            match rx.recv_timeout(POLL_INTERVAL) {
+                Ok(Job::Predict(job)) => batch.push(job),
+                Ok(Job::Poison) => poison = true,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some((shutdown, live_loops)) = drain_exit {
+                        if shutdown.is_set() && live_loops.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
-            match job_rx.recv_timeout(deadline - now) {
-                Ok(job) => batch.push(job),
-                Err(_) => break,
+            if !poison {
+                let deadline = Instant::now() + batch_wait;
+                while batch.len() < batch_max {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(Job::Predict(job)) => batch.push(job),
+                        Ok(Job::Poison) => {
+                            poison = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
             }
         }
-        metrics.observe("serve.batch_size", batch.len() as f64);
+        if !batch.is_empty() {
+            metrics.observe("serve.batch_size", batch.len() as f64);
+        }
         for job in batch.drain(..) {
-            // A job that expired while queued is dead weight: its worker
-            // already answered 503, so scoring it would only delay live
-            // jobs further. Dropping the reply sender unblocks any
+            // A job that expired while queued is dead weight: its client
+            // already got a 503, so scoring it would only delay live
+            // jobs further. Dropping the reply sink unblocks any
             // straggler receiver.
             if job.deadline.is_some_and(|d| Instant::now() >= d) {
                 metrics.counter_add("serve.batch_expired", 1);
                 continue;
             }
-            // Contain scoring panics to the one job: the reply channel
-            // drops, its worker answers 503, and the batcher lives on.
+            // Contain scoring panics to the one job: the reply sink
+            // drops, its client gets a 503, and the scorer lives on.
             let result = catch_unwind(AssertUnwindSafe(|| {
                 job.app
                     .predictor()
                     .diffusion_score(job.publisher, job.consumer, &job.words)
             }));
             match result {
-                Ok(score) => {
-                    let _ = job.reply.send(score);
-                }
+                Ok(score) => job.reply.send(score),
                 Err(_) => metrics.counter_add("serve.worker_panics", 1),
             }
+        }
+        if poison {
+            // Chaos worker-kill under the epoll transport: every real job
+            // in the batch was answered above; now die *outside* the
+            // per-job catch so the supervisor respawn path runs.
+            panic!("chaos: injected worker kill");
         }
     }
 }

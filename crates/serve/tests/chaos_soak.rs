@@ -4,19 +4,23 @@
 //! never a healthy client's answer; overload sheds exactly; panics are
 //! contained, counted, and survived; a crash-looping pool degrades
 //! loudly instead of dying.
+//!
+//! Every transport-agnostic claim runs against both `--io-mode`
+//! backends (Linux; elsewhere the epoll variants don't exist) with the
+//! same exact metric assertions — the accounting contract is part of
+//! the transport abstraction, not an accident of the thread backend.
 
 mod common;
 
 use cold_serve::chaos::ChaosPlan;
-use cold_serve::HttpClient;
+use cold_serve::{HttpClient, IoMode};
 use common::{json, num, predict_score, TestServer, PREDICT};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-#[test]
-fn healthy_traffic_survives_chaos_mix() {
-    let ts = TestServer::start("soak", |_| {});
+fn healthy_traffic_survives_chaos_mix(mode: IoMode) {
+    let ts = TestServer::start_with_mode("soak", mode, |_| {});
     let mut c = ts.client();
     let reference = predict_score(&mut c);
     // Release the reference connection's worker before the storm.
@@ -71,19 +75,29 @@ fn healthy_traffic_survives_chaos_mix() {
 }
 
 #[test]
-fn handler_panic_is_contained_to_one_connection() {
-    let ts = TestServer::start("panic", |c| c.chaos_endpoints = true);
+fn healthy_traffic_survives_chaos_mix_threads() {
+    healthy_traffic_survives_chaos_mix(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn healthy_traffic_survives_chaos_mix_epoll() {
+    healthy_traffic_survives_chaos_mix(IoMode::Epoll);
+}
+
+fn handler_panic_is_contained_to_one_connection(mode: IoMode) {
+    let ts = TestServer::start_with_mode("panic", mode, |c| c.chaos_endpoints = true);
     let mut c = ts.client();
     let reference = predict_score(&mut c);
 
-    // The injected panic unwinds out of the handler; the worker's
+    // The injected panic unwinds out of the handler; the transport's
     // catch_unwind turns it into a 500 on this connection only.
     let r = ts.client().post("/chaos/panic", "").unwrap();
     assert_eq!(r.status, 500, "{}", r.body);
     assert!(!r.keep_alive);
 
-    // Same worker pool, same answers, exact accounting: one contained
-    // panic, zero respawns (the thread never died).
+    // Same pool, same answers, exact accounting: one contained panic,
+    // zero respawns (no thread died).
     assert_eq!(predict_score(&mut ts.client()), reference);
     assert_eq!(ts.counter("serve.worker_panics"), 1);
     assert_eq!(ts.counter("serve.worker_respawns"), 0);
@@ -91,15 +105,26 @@ fn handler_panic_is_contained_to_one_connection() {
 }
 
 #[test]
-fn killed_workers_are_respawned_by_the_supervisor() {
-    let ts = TestServer::start("respawn", |c| c.chaos_endpoints = true);
+fn handler_panic_is_contained_to_one_connection_threads() {
+    handler_panic_is_contained_to_one_connection(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn handler_panic_is_contained_to_one_connection_epoll() {
+    handler_panic_is_contained_to_one_connection(IoMode::Epoll);
+}
+
+fn killed_workers_are_respawned_by_the_supervisor(mode: IoMode) {
+    let ts = TestServer::start_with_mode("respawn", mode, |c| c.chaos_endpoints = true);
     let mut c = ts.client();
     let reference = predict_score(&mut c);
 
     for round in 1..=3u64 {
         let r = ts.client().post("/chaos/panic-worker", "").unwrap();
         assert_eq!(r.status, 200, "{}", r.body);
-        // The worker thread panics after responding; the supervisor
+        // The worker (thread backend: connection worker; epoll backend:
+        // poisoned scorer) panics after the response; the supervisor
         // notices within its poll interval and replaces it.
         let respawns = ts.wait_counter("serve.worker_respawns", round, Duration::from_secs(5));
         assert_eq!(respawns, round, "supervisor did not respawn worker");
@@ -112,8 +137,18 @@ fn killed_workers_are_respawned_by_the_supervisor() {
 }
 
 #[test]
-fn respawn_breaker_flips_healthz_to_degraded() {
-    let ts = TestServer::start("breaker", |c| {
+fn killed_workers_are_respawned_by_the_supervisor_threads() {
+    killed_workers_are_respawned_by_the_supervisor(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn killed_workers_are_respawned_by_the_supervisor_epoll() {
+    killed_workers_are_respawned_by_the_supervisor(IoMode::Epoll);
+}
+
+fn respawn_breaker_flips_healthz_to_degraded(mode: IoMode) {
+    let ts = TestServer::start_with_mode("breaker", mode, |c| {
         c.chaos_endpoints = true;
         c.workers = 2;
         c.respawn_limit = 1;
@@ -121,7 +156,7 @@ fn respawn_breaker_flips_healthz_to_degraded() {
     let mut c = ts.client();
     let reference = predict_score(&mut c);
     // With a pool this small, a lingering keep-alive connection would
-    // pin the post-breaker survivor; release it.
+    // pin the post-breaker survivor (thread backend); release it.
     drop(c);
     std::thread::sleep(Duration::from_millis(200));
 
@@ -164,6 +199,21 @@ fn respawn_breaker_flips_healthz_to_degraded() {
     assert_eq!(predict_score(&mut ts.client()), reference);
 }
 
+#[test]
+fn respawn_breaker_flips_healthz_to_degraded_threads() {
+    respawn_breaker_flips_healthz_to_degraded(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn respawn_breaker_flips_healthz_to_degraded_epoll() {
+    respawn_breaker_flips_healthz_to_degraded(IoMode::Epoll);
+}
+
+/// Thread backend only: the shed bound under test is the
+/// accepted-but-unserved queue, plugged by parking its single worker.
+/// The epoll backend's open-connection cap is covered in
+/// `epoll_transport.rs`.
 #[test]
 fn overload_sheds_exactly_beyond_the_connection_bound() {
     let ts = TestServer::start("shed", |c| {
@@ -249,9 +299,8 @@ fn overload_sheds_exactly_beyond_the_connection_bound() {
     assert_eq!(ts.counter("serve.worker_panics"), 0);
 }
 
-#[test]
-fn stalled_request_times_out_with_408_and_frees_the_worker() {
-    let ts = TestServer::start("stall408", |c| {
+fn stalled_request_times_out_with_408_and_frees_the_worker(mode: IoMode) {
+    let ts = TestServer::start_with_mode("stall408", mode, |c| {
         c.workers = 1;
         c.request_timeout = Duration::from_millis(300);
     });
@@ -276,4 +325,15 @@ fn stalled_request_times_out_with_408_and_frees_the_worker() {
     // The only worker is free again and still correct.
     assert_eq!(predict_score(&mut ts.client()), reference);
     assert!(ts.counter("serve.request_timeouts") >= 1);
+}
+
+#[test]
+fn stalled_request_times_out_with_408_and_frees_the_worker_threads() {
+    stalled_request_times_out_with_408_and_frees_the_worker(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn stalled_request_times_out_with_408_and_frees_the_worker_epoll() {
+    stalled_request_times_out_with_408_and_frees_the_worker(IoMode::Epoll);
 }

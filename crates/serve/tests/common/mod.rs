@@ -6,7 +6,7 @@
 use cold_core::{ColdConfig, GibbsSampler, ModelFormat};
 use cold_graph::CsrGraph;
 use cold_obs::Metrics;
-use cold_serve::{App, HttpClient, ServeConfig, Server};
+use cold_serve::{App, HttpClient, IoMode, ServeConfig, Server};
 use cold_text::CorpusBuilder;
 use serde::Value;
 use std::collections::HashMap;
@@ -90,17 +90,43 @@ pub struct TestServer {
     pub model: PathBuf,
 }
 
+/// The transports available on this platform — the epoll backend only
+/// exists on Linux; elsewhere the suites cover the thread backend alone.
+pub fn io_modes() -> Vec<IoMode> {
+    #[cfg(target_os = "linux")]
+    {
+        vec![IoMode::Threads, IoMode::Epoll]
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        vec![IoMode::Threads]
+    }
+}
+
 impl TestServer {
     /// Start a server on a fresh tiny world; `configure` tweaks the
     /// defaults (workers 4, port 0, everything else stock).
     pub fn start(tag: &str, configure: impl FnOnce(&mut ServeConfig)) -> Self {
-        let dir = std::env::temp_dir().join(format!("cold_serve_{tag}_{}", std::process::id()));
+        Self::start_with_mode(tag, IoMode::Threads, configure)
+    }
+
+    /// [`TestServer::start`] under an explicit transport — how the
+    /// chaos/reload suites prove both backends keep the same exact
+    /// metric accounting.
+    pub fn start_with_mode(
+        tag: &str,
+        io_mode: IoMode,
+        configure: impl FnOnce(&mut ServeConfig),
+    ) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("cold_serve_{tag}_{io_mode}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let model = model_file(&dir, "current.cold", 5);
         let app = App::load(&model, 2, 16, Some(vocab()), Metrics::enabled()).unwrap();
         let mut config = ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
+            io_mode,
             workers: 4,
             ..ServeConfig::default()
         };

@@ -7,15 +7,14 @@
 
 mod common;
 
-use cold_serve::HttpClient;
+use cold_serve::{HttpClient, IoMode};
 use common::{json, model_file, num, predict_score, skewed_model_file, TestServer, PREDICT};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-#[test]
-fn reload_swaps_models_atomically_under_load() {
-    let ts = TestServer::start("reload_load", |_| {});
+fn reload_swaps_models_atomically_under_load(mode: IoMode) {
+    let ts = TestServer::start_with_mode("reload_load", mode, |_| {});
     let next = model_file(&ts.dir, "next.cold", 77);
     let mut c = ts.client();
     let score_a = predict_score(&mut c);
@@ -77,8 +76,18 @@ fn reload_swaps_models_atomically_under_load() {
 }
 
 #[test]
-fn corrupt_and_skewed_reloads_are_rejected_with_the_old_model_serving() {
-    let ts = TestServer::start("reload_bad", |_| {});
+fn reload_swaps_models_atomically_under_load_threads() {
+    reload_swaps_models_atomically_under_load(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reload_swaps_models_atomically_under_load_epoll() {
+    reload_swaps_models_atomically_under_load(IoMode::Epoll);
+}
+
+fn corrupt_and_skewed_reloads_are_rejected_with_the_old_model_serving(mode: IoMode) {
+    let ts = TestServer::start_with_mode("reload_bad", mode, |_| {});
     let mut c = ts.client();
     let score_a = predict_score(&mut c);
 
@@ -126,8 +135,18 @@ fn corrupt_and_skewed_reloads_are_rejected_with_the_old_model_serving() {
 }
 
 #[test]
-fn watch_model_picks_up_a_replaced_artifact() {
-    let ts = TestServer::start("watch", |c| {
+fn corrupt_and_skewed_reloads_are_rejected_threads() {
+    corrupt_and_skewed_reloads_are_rejected_with_the_old_model_serving(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn corrupt_and_skewed_reloads_are_rejected_epoll() {
+    corrupt_and_skewed_reloads_are_rejected_with_the_old_model_serving(IoMode::Epoll);
+}
+
+fn watch_model_picks_up_a_replaced_artifact(mode: IoMode) {
+    let ts = TestServer::start_with_mode("watch", mode, |c| {
         c.watch_model = Some(Duration::from_millis(150));
     });
     let mut c = ts.client();
@@ -154,4 +173,15 @@ fn watch_model_picks_up_a_replaced_artifact() {
     assert_eq!(ts.counter("serve.watch_reloads"), 1);
     let h = json(&ts.client().get("/healthz").unwrap().body);
     assert_eq!(num(h.get("generation").unwrap()) as u64, 1);
+}
+
+#[test]
+fn watch_model_picks_up_a_replaced_artifact_threads() {
+    watch_model_picks_up_a_replaced_artifact(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn watch_model_picks_up_a_replaced_artifact_epoll() {
+    watch_model_picks_up_a_replaced_artifact(IoMode::Epoll);
 }

@@ -5,7 +5,7 @@
 use cold_core::{ColdConfig, GibbsSampler, ModelFormat};
 use cold_graph::CsrGraph;
 use cold_obs::Metrics;
-use cold_serve::{App, HttpClient, ServeConfig, Server};
+use cold_serve::{App, HttpClient, IoMode, ServeConfig, Server};
 use cold_text::CorpusBuilder;
 use serde::Value;
 use std::collections::HashMap;
@@ -54,13 +54,15 @@ struct TestServer {
 }
 
 impl TestServer {
-    fn start(tag: &str, max_body: usize) -> Self {
-        let dir = std::env::temp_dir().join(format!("cold_serve_{tag}_{}", std::process::id()));
+    fn start(tag: &str, mode: IoMode, max_body: usize) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("cold_serve_{tag}_{mode}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = model_file(&dir);
         let app = App::load(&path, 2, 16, Some(vocab()), Metrics::enabled()).unwrap();
         let config = ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
+            io_mode: mode,
             workers: 4,
             max_body,
             ..ServeConfig::default()
@@ -101,9 +103,8 @@ fn num(v: &Value) -> f64 {
     }
 }
 
-#[test]
-fn all_endpoints_answer_on_one_keepalive_connection() {
-    let ts = TestServer::start("endpoints", 64 * 1024);
+fn all_endpoints_answer_on_one_keepalive_connection(mode: IoMode) {
+    let ts = TestServer::start("endpoints", mode, 64 * 1024);
     let mut c = ts.client();
 
     let health = c.get("/healthz").unwrap();
@@ -174,8 +175,18 @@ fn all_endpoints_answer_on_one_keepalive_connection() {
 }
 
 #[test]
-fn caller_mistakes_are_400_not_panics() {
-    let ts = TestServer::start("badreq", 64 * 1024);
+fn all_endpoints_answer_on_one_keepalive_connection_threads() {
+    all_endpoints_answer_on_one_keepalive_connection(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn all_endpoints_answer_on_one_keepalive_connection_epoll() {
+    all_endpoints_answer_on_one_keepalive_connection(IoMode::Epoll);
+}
+
+fn caller_mistakes_are_400_not_panics(mode: IoMode) {
+    let ts = TestServer::start("badreq", mode, 64 * 1024);
     let mut c = ts.client();
 
     // Unknown user id.
@@ -241,8 +252,18 @@ fn caller_mistakes_are_400_not_panics() {
 }
 
 #[test]
-fn oversized_body_gets_413() {
-    let ts = TestServer::start("oversize", 256);
+fn caller_mistakes_are_400_not_panics_threads() {
+    caller_mistakes_are_400_not_panics(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn caller_mistakes_are_400_not_panics_epoll() {
+    caller_mistakes_are_400_not_panics(IoMode::Epoll);
+}
+
+fn oversized_body_gets_413(mode: IoMode) {
+    let ts = TestServer::start("oversize", mode, 256);
     let mut c = ts.client();
     let huge = format!(
         "{{\"publisher\":0,\"consumer\":1,\"words\":[{}]}}",
@@ -254,8 +275,18 @@ fn oversized_body_gets_413() {
 }
 
 #[test]
-fn concurrent_clients_all_get_consistent_answers() {
-    let ts = TestServer::start("concurrent", 64 * 1024);
+fn oversized_body_gets_413_threads() {
+    oversized_body_gets_413(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn oversized_body_gets_413_epoll() {
+    oversized_body_gets_413(IoMode::Epoll);
+}
+
+fn concurrent_clients_all_get_consistent_answers(mode: IoMode) {
+    let ts = TestServer::start("concurrent", mode, 64 * 1024);
     // Reference answer on a warm connection.
     let mut c = ts.client();
     let reference = num(json(
@@ -308,8 +339,18 @@ fn concurrent_clients_all_get_consistent_answers() {
 }
 
 #[test]
-fn shutdown_endpoint_stops_the_server_cleanly() {
-    let mut ts = TestServer::start("shutdown", 64 * 1024);
+fn concurrent_clients_all_get_consistent_answers_threads() {
+    concurrent_clients_all_get_consistent_answers(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn concurrent_clients_all_get_consistent_answers_epoll() {
+    concurrent_clients_all_get_consistent_answers(IoMode::Epoll);
+}
+
+fn shutdown_endpoint_stops_the_server_cleanly(mode: IoMode) {
+    let mut ts = TestServer::start("shutdown", mode, 64 * 1024);
     let mut c = ts.client();
     assert_eq!(c.get("/healthz").unwrap().status, 200);
     let r = c.post("/shutdown", "").unwrap();
@@ -321,4 +362,15 @@ fn shutdown_endpoint_stops_the_server_cleanly() {
     let after = HttpClient::connect(ts.addr, Duration::from_millis(500))
         .and_then(|mut c| c.get("/healthz"));
     assert!(after.is_err(), "server still answering after shutdown");
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server_cleanly_threads() {
+    shutdown_endpoint_stops_the_server_cleanly(IoMode::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_endpoint_stops_the_server_cleanly_epoll() {
+    shutdown_endpoint_stops_the_server_cleanly(IoMode::Epoll);
 }
